@@ -1,0 +1,41 @@
+//! Criterion comparison of the three exact engines (NFA, ZStream tree, lazy)
+//! on the same pattern and stream — the mechanism behind Fig. 12.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlacep_bench::queries::real::{q_a11, SeqOrConj};
+use dlacep_cep::engine::CepEngine;
+use dlacep_cep::plan::Plan;
+use dlacep_cep::tree::estimate_cost_model;
+use dlacep_cep::{LazyEngine, NfaEngine, TreeEngine};
+use dlacep_data::StockConfig;
+
+fn exact_engines(c: &mut Criterion) {
+    let (_, stream) = StockConfig { num_events: 3_000, ..Default::default() }.generate();
+    let pattern = q_a11(SeqOrConj::Seq, 8, 0.5, 2.0, 40);
+    let plan = Plan::compile(&pattern).unwrap();
+    let model = estimate_cost_model(&plan.branches[0], &stream.events()[..2_000]);
+    let mut group = c.benchmark_group("exact_engines");
+    group.sample_size(10);
+    group.bench_function("nfa", |b| {
+        b.iter(|| {
+            let mut e = NfaEngine::new(&pattern).unwrap();
+            e.run(stream.events()).len()
+        });
+    });
+    group.bench_function("zstream_tree", |b| {
+        b.iter(|| {
+            let mut e = TreeEngine::with_cost_model(&pattern, Some(model.clone())).unwrap();
+            e.run(stream.events()).len()
+        });
+    });
+    group.bench_function("lazy", |b| {
+        b.iter(|| {
+            let mut e = LazyEngine::new(&pattern, Some(&model.rates)).unwrap();
+            e.run(stream.events()).len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, exact_engines);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks of the exact NFA engine: how the per-event
+//! cost scales with window size and pattern length (the ECEP blow-up DLACEP
+//! exploits, paper §3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlacep_bench::queries::synth::by_length;
+use dlacep_cep::engine::CepEngine;
+use dlacep_cep::NfaEngine;
+use dlacep_data::SyntheticConfig;
+
+fn nfa_window_scaling(c: &mut Criterion) {
+    let (_, stream) = SyntheticConfig { num_events: 2_000, ..Default::default() }.generate();
+    let mut group = c.benchmark_group("nfa_throughput_vs_window");
+    group.sample_size(10);
+    for w in [20u64, 40, 80] {
+        let pattern = by_length(4, w);
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| {
+                let mut engine = NfaEngine::new(&pattern).unwrap();
+                engine.run(stream.events()).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn nfa_pattern_length_scaling(c: &mut Criterion) {
+    let (_, stream) = SyntheticConfig { num_events: 2_000, ..Default::default() }.generate();
+    let mut group = c.benchmark_group("nfa_throughput_vs_length");
+    group.sample_size(10);
+    for len in [4usize, 5, 6] {
+        let pattern = by_length(len, 60);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                let mut engine = NfaEngine::new(&pattern).unwrap();
+                engine.run(stream.events()).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, nfa_window_scaling, nfa_pattern_length_scaling);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Figure 11 — impact of the number of training epochs and the fraction of
+//! training data on throughput gain (TP) and false-negative percentage.
+//!
+//! Evaluated on `Q_A9(j=5)` (the pattern needing the most epochs to converge
+//! in the paper). Shapes to reproduce: FN% stabilizes quickly with both
+//! epochs and data; throughput gain *decreases* then stabilizes as training
+//! progresses (early, class-imbalanced models overfilter, which looks fast
+//! but misses matches).
+
+use dlacep_bench::harness::split_stream;
+use dlacep_bench::queries::real::q_a9;
+use dlacep_bench::ExpConfig;
+use dlacep_core::metrics::{compare_runs, run_ecep};
+use dlacep_core::prelude::*;
+use dlacep_core::trainer::train_event_filter;
+use dlacep_data::StockConfig;
+use serde::Serialize;
+use std::io::Write as _;
+
+#[derive(Serialize)]
+struct Point {
+    x: f64,
+    gain: f64,
+    fn_percent: f64,
+    recall: f64,
+    model_f1: f64,
+}
+
+fn main() {
+    let cfg = ExpConfig::scaled();
+    let (_, stream) = StockConfig {
+        num_events: cfg.train_events + cfg.eval_events,
+        ..Default::default()
+    }
+    .generate();
+    let w = 22;
+    let pattern = q_a9(5, 6, 12, 0.8, 1.2, 0.8, 1.2, w);
+    let (train_stream, eval) = split_stream(&stream, cfg.train_events, cfg.eval_events);
+    let (ecep_matches, ecep_time, ecep_stats) = run_ecep(&pattern, &eval);
+    println!("exact matches on eval prefix: {}", ecep_matches.len());
+
+    // ---- (a)/(b): epochs sweep (full data, convergence disabled) --------
+    let mut epoch_points = Vec::new();
+    println!("\n== Fig 11(a,b): epochs -> TP gain and FN% ==");
+    println!("{:>7} {:>9} {:>7} {:>8} {:>9}", "epochs", "gain", "FN%", "recall", "model-F1");
+    for epochs in [2usize, 4, 8, 16, 24] {
+        let mut tc = cfg.train.clone();
+        tc.max_epochs = epochs;
+        tc.convergence_patience = usize::MAX; // run exactly `epochs`
+        let out = train_event_filter(&pattern, &train_stream, &tc);
+        let dl = Dlacep::new(pattern.clone(), out.filter).expect("valid assembler");
+        let run = dl.run(&eval);
+        let cmp = compare_runs(eval.len(), &ecep_matches, ecep_time, &ecep_stats, &run);
+        println!(
+            "{:>7} {:>9.2} {:>6.1}% {:>8.3} {:>9.3}",
+            epochs, cmp.throughput_gain, cmp.fn_percent, cmp.recall, out.test.f1()
+        );
+        epoch_points.push(Point {
+            x: epochs as f64,
+            gain: cmp.throughput_gain,
+            fn_percent: cmp.fn_percent,
+            recall: cmp.recall,
+            model_f1: out.test.f1(),
+        });
+    }
+
+    // ---- (c)/(d): data% sweep (fixed epochs) -----------------------------
+    let mut data_points = Vec::new();
+    println!("\n== Fig 11(c,d): data% -> TP gain and FN% ==");
+    println!("{:>7} {:>9} {:>7} {:>8} {:>9}", "data%", "gain", "FN%", "recall", "model-F1");
+    for frac in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        let mut tc = cfg.train.clone();
+        tc.data_fraction = frac;
+        let out = train_event_filter(&pattern, &train_stream, &tc);
+        let dl = Dlacep::new(pattern.clone(), out.filter).expect("valid assembler");
+        let run = dl.run(&eval);
+        let cmp = compare_runs(eval.len(), &ecep_matches, ecep_time, &ecep_stats, &run);
+        println!(
+            "{:>6.0}% {:>9.2} {:>6.1}% {:>8.3} {:>9.3}",
+            frac * 100.0,
+            cmp.throughput_gain,
+            cmp.fn_percent,
+            cmp.recall,
+            out.test.f1()
+        );
+        data_points.push(Point {
+            x: frac,
+            gain: cmp.throughput_gain,
+            fn_percent: cmp.fn_percent,
+            recall: cmp.recall,
+            model_f1: out.test.f1(),
+        });
+    }
+
+    let _ = std::fs::create_dir_all("results");
+    if let Ok(mut f) = std::fs::File::create("results/fig11_training_budget.json") {
+        let payload = serde_json::json!({
+            "epochs_sweep": epoch_points,
+            "data_fraction_sweep": data_points,
+            "exact_matches": ecep_matches.len(),
+        });
+        let _ = f.write_all(serde_json::to_string_pretty(&payload).unwrap().as_bytes());
+        println!("\n[saved results/fig11_training_budget.json]");
+    }
+}

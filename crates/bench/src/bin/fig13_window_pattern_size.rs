@@ -1,0 +1,125 @@
+//! Figure 13 — impact of the window size `W`, pattern length, and number of
+//! stacked BiLSTM layers.
+//!
+//! * (a)/(b): pattern lengths 4/5/6 (Table 2's `Q_B3`/`Q_B2`/`Q_B1`) × a
+//!   sweep of `W`; a fresh synthetic dataset per configuration, as in the
+//!   paper. Shape: gain grows superlinearly with both `W` and the length
+//!   (ECEP cost is exponential in both, the filter's only linear); recall
+//!   degrades somewhat as complexity grows.
+//! * (c)/(d): number of layers sweep on the length-6 pattern at the largest
+//!   `W`: recall rises with depth, gain falls (deeper models are slower).
+//!
+//! Scaled axes: the paper sweeps W ∈ 100..350 and layers 3..5; this runs
+//! W ∈ {16, 24, 32, 40} and layers ∈ {1, 2, 3} by default (`DLACEP_FULL=1`
+//! extends both).
+
+use dlacep_bench::harness::{split_stream, ReplayFilter};
+use dlacep_bench::queries::synth::by_length;
+use dlacep_bench::ExpConfig;
+use dlacep_core::metrics::{compare_runs, run_ecep};
+use dlacep_core::prelude::*;
+use dlacep_core::trainer::train_event_filter;
+use dlacep_data::SyntheticConfig;
+use serde::Serialize;
+use std::io::Write as _;
+
+#[derive(Serialize)]
+struct Point {
+    pattern_len: usize,
+    w: u64,
+    layers: usize,
+    gain: f64,
+    oracle_gain: f64,
+    recall: f64,
+    model_f1: f64,
+    ecep_partials: u64,
+}
+
+fn run_point(len: usize, w: u64, layers: usize, cfg: &ExpConfig, seed: u64) -> Point {
+    // A fresh synthetic dataset per (W, length), like the paper.
+    let (_, stream) = SyntheticConfig {
+        num_events: cfg.train_events + cfg.eval_events,
+        seed,
+        ..Default::default()
+    }
+    .generate();
+    let pattern = by_length(len, w);
+    let (train_stream, eval) = split_stream(&stream, cfg.train_events, cfg.eval_events);
+    let mut tc = cfg.train.clone();
+    tc.layers = layers;
+    let out = train_event_filter(&pattern, &train_stream, &tc);
+    let (ecep_matches, ecep_time, ecep_stats) = run_ecep(&pattern, &eval);
+    let dl = Dlacep::new(pattern.clone(), out.filter).expect("valid assembler");
+    let run = dl.run(&eval);
+    let cmp = compare_runs(eval.len(), &ecep_matches, ecep_time, &ecep_stats, &run);
+    // Perfect marks at neural-inference cost: the converged-model bound.
+    let assembler = AssemblerConfig::paper_default(pattern.window_size());
+    let perfect =
+        ReplayFilter::precompute(&pattern, &eval, &assembler, tc.hidden, tc.layers);
+    let oracle = Dlacep::with_assembler(pattern.clone(), perfect, assembler)
+        .expect("valid assembler")
+        .run(&eval);
+    let oracle_cmp = compare_runs(eval.len(), &ecep_matches, ecep_time, &ecep_stats, &oracle);
+    Point {
+        pattern_len: len,
+        w,
+        layers,
+        gain: cmp.throughput_gain,
+        oracle_gain: oracle_cmp.throughput_gain,
+        recall: cmp.recall,
+        model_f1: out.test.f1(),
+        ecep_partials: cmp.ecep_partials,
+    }
+}
+
+fn main() {
+    let full = std::env::var("DLACEP_FULL").is_ok_and(|v| v == "1");
+    let mut cfg = ExpConfig::scaled();
+    // The uniform 15-type stream needs larger windows before ECEP cost
+    // dominates (the paper sweeps 100–350); bound the timed prefix so the
+    // largest configurations stay tractable.
+    cfg.train_events = cfg.train_events.min(12_000);
+    cfg.eval_events = cfg.eval_events.min(4_000);
+    cfg.train.max_epochs = cfg.train.max_epochs.min(10);
+    let windows: Vec<u64> = if full { vec![60, 100, 140, 180, 220] } else { vec![60, 100, 140] };
+    let layer_sweep: Vec<usize> = if full { vec![1, 2, 3, 4, 5] } else { vec![1, 2, 3] };
+
+    // ---- (a)/(b): W × pattern length ------------------------------------
+    let mut points = Vec::new();
+    println!("== Fig 13(a,b): throughput gain and recall vs W and pattern length ==");
+    println!(
+        "{:>5} {:>4} {:>9} {:>11} {:>8} {:>9} {:>13}",
+        "len", "W", "gain", "perfect-gain", "recall", "model-F1", "ecep-partials"
+    );
+    for &len in &[4usize, 5, 6] {
+        for &w in &windows {
+            let p = run_point(len, w, cfg.train.layers, &cfg, 100 + w + len as u64);
+            println!(
+                "{:>5} {:>4} {:>9.2} {:>11.2} {:>8.3} {:>9.3} {:>13}",
+                len, w, p.gain, p.oracle_gain, p.recall, p.model_f1, p.ecep_partials
+            );
+            points.push(p);
+        }
+    }
+
+    // ---- (c)/(d): layers sweep at the hardest configuration -------------
+    let w_big = *windows.last().expect("non-empty");
+    let mut layer_points = Vec::new();
+    println!("\n== Fig 13(c,d): gain and recall vs number of BiLSTM layers (len 6, W={w_big}) ==");
+    println!("{:>7} {:>9} {:>8} {:>9}", "layers", "gain", "recall", "model-F1");
+    for &layers in &layer_sweep {
+        let p = run_point(6, w_big, layers, &cfg, 777);
+        println!("{:>7} {:>9.2} {:>8.3} {:>9.3}", layers, p.gain, p.recall, p.model_f1);
+        layer_points.push(p);
+    }
+
+    let _ = std::fs::create_dir_all("results");
+    if let Ok(mut f) = std::fs::File::create("results/fig13_window_pattern_size.json") {
+        let payload = serde_json::json!({
+            "w_sweep": points,
+            "layer_sweep": layer_points,
+        });
+        let _ = f.write_all(serde_json::to_string_pretty(&payload).unwrap().as_bytes());
+        println!("\n[saved results/fig13_window_pattern_size.json]");
+    }
+}

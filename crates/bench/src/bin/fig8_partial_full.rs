@@ -1,0 +1,106 @@
+//! Figure 8 — impact of the amount of partial and full matches on the
+//! throughput gain over ECEP.
+//!
+//! * Part (a): patterns with increasing partial-match load — `Q_A1(k=small)`
+//!   (few partials → little to gain), `Q_A2` (many partials, almost all
+//!   complete → DLACEP *loses*), `Q_A3` (many partials, few full → big
+//!   gains); plus the scalability point `Q_A1(k=large)`.
+//! * Part (b): different partial→full completion ratios
+//!   (`Q_A3(α=0.75)`, `Q_A3(α=0.81)`, `Q_A4`).
+//! * Part (c): same partial count, different full-match count
+//!   (`Q_A1` α ∈ {0.24, 0.5, 0.76}).
+//!
+//! Shapes to reproduce: gain ≈ 1 (or < 1) when partials are scarce or almost
+//! all complete; gain grows with the partial count and with the fraction of
+//! partials that fail to complete.
+
+use dlacep_bench::queries::real::{q_a1, q_a2, q_a3, q_a4};
+use dlacep_bench::{print_rows, run_experiment, save_rows, ExpConfig, FilterKind, Row};
+use dlacep_data::StockConfig;
+
+fn main() {
+    let cfg = ExpConfig::scaled();
+    let (_, stream) = StockConfig {
+        num_events: cfg.train_events + cfg.eval_events,
+        ..Default::default()
+    }
+    .generate();
+    let w = 16; // light patterns
+    let w_heavy = 26; // heavy-partials patterns: ECEP cost ~ (W·r)^j
+    let both = [FilterKind::EventNet, FilterKind::WindowNet];
+    let event_only = [FilterKind::EventNet];
+    let event_and_perfect = [FilterKind::EventNet, FilterKind::PerfectAtNetCost];
+
+    // ---- Part (a): amount of partial matches ----------------------------
+    let mut rows: Vec<Row> = Vec::new();
+    // Few partial matches: short pattern over rare types, tight bands.
+    rows.extend(run_experiment(
+        "Q_A1(k=7-analog,low)",
+        &q_a1(4, 2, &[1, 2], 0.8, 1.25, w),
+        &stream,
+        &cfg,
+        &both,
+    ));
+    // Many partials, almost all complete (no conditions): ACEP loses.
+    rows.extend(run_experiment("Q_A2", &q_a2(2, 12), &stream, &cfg, &both));
+    // Many partials, few complete: ACEP wins big.
+    rows.extend(run_experiment(
+        "Q_A3",
+        &q_a3(5, 6, 5, &[1, 2, 3], 1, 4, 0.75, 1.25, 2.2, w_heavy),
+        &stream,
+        &cfg,
+        &both,
+    ));
+    // Scalability point: massive partial load. `perfect@net` is the
+    // converged-model bound (ground-truth marks at neural-inference cost).
+    rows.extend(run_experiment(
+        "Q_A1(k=100-analog)",
+        &q_a1(5, 24, &[1, 2, 3, 4], 0.9, 1.1, w_heavy),
+        &stream,
+        &cfg,
+        &event_and_perfect,
+    ));
+    print_rows("Fig 8(a): amount of partial matches", &rows);
+    save_rows("fig8a_partial_matches", &rows);
+
+    // ---- Part (b): ratio of partials completed to full ------------------
+    let mut rows_b: Vec<Row> = Vec::new();
+    rows_b.extend(run_experiment(
+        "Q_A3(alpha=0.75)",
+        &q_a3(5, 6, 5, &[1, 2, 3], 1, 4, 0.75, 1.25, 2.2, w_heavy),
+        &stream,
+        &cfg,
+        &both,
+    ));
+    rows_b.extend(run_experiment(
+        "Q_A3(alpha=0.81)",
+        &q_a3(5, 6, 5, &[1, 2, 3], 1, 4, 0.81, 1.19, 2.2, w_heavy),
+        &stream,
+        &cfg,
+        &both,
+    ));
+    rows_b.extend(run_experiment(
+        "Q_A4",
+        &q_a4(5, 6, &[1, 2, 3], 1, 4, 0.8, 1.2, 0.8, 1.2, w_heavy),
+        &stream,
+        &cfg,
+        &both,
+    ));
+    print_rows("Fig 8(b): partial->full completion ratio", &rows_b);
+    save_rows("fig8b_completion_ratio", &rows_b);
+
+    // ---- Part (c): amount of full matches at fixed partial count --------
+    let mut rows_c: Vec<Row> = Vec::new();
+    for (label, alpha) in [("alpha=0.24", 0.24), ("alpha=0.50", 0.50), ("alpha=0.76", 0.76)] {
+        let beta = 2.0 - alpha; // symmetric band; width shrinks as α grows
+        rows_c.extend(run_experiment(
+            &format!("Q_A1({label})"),
+            &q_a1(5, 6, &[1, 2, 3, 4], alpha, beta, w_heavy),
+            &stream,
+            &cfg,
+            &event_only,
+        ));
+    }
+    print_rows("Fig 8(c): amount of full matches", &rows_c);
+    save_rows("fig8c_full_matches", &rows_c);
+}

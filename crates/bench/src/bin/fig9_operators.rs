@@ -1,0 +1,126 @@
+//! Figure 9 — impact of the pattern operator on the throughput gain.
+//!
+//! Parts: (a) non-nested KC `Q_A5(j)`; (b) nested KC `Q_A6(j)`;
+//! (c) non-nested NEG `Q_A7(j)`; (d) nested NEG `Q_A8(j)`;
+//! (e) DISJ of two sequences `Q_A9(j)`; (f) DISJ of `j` length-4 sequences
+//! `Q_A10(j)`; (g) separate vs combined (disjunction) evaluation.
+//!
+//! Shapes to reproduce: longer DISJ nests / longer sequences under KC
+//! increase the gain (more partial matches); more NEG or KC operators (or
+//! longer negated nests) decrease it (more full matches → lower filtering
+//! ratio). The combined disjunction scores above the average of its parts.
+
+use dlacep_bench::queries::real::{q_a10, q_a5, q_a6, q_a7, q_a8, q_a9};
+use dlacep_bench::{print_rows, run_experiment, save_rows, ExpConfig, FilterKind, Row};
+use dlacep_cep::Pattern;
+use dlacep_data::StockConfig;
+
+fn main() {
+    let cfg = ExpConfig::scaled();
+    let (_, stream) = StockConfig {
+        num_events: cfg.train_events + cfg.eval_events,
+        ..Default::default()
+    }
+    .generate();
+    let w = 22;
+    let event_only = [FilterKind::EventNet];
+    let base = 6;
+    let step = 2;
+
+    // (a) KC, non-nested: number of KC operators j = 1..3.
+    let mut rows: Vec<Row> = Vec::new();
+    for j in 1..=3usize {
+        rows.extend(run_experiment(
+            &format!("Q_A5(j={j})"),
+            &q_a5(j, base, step, 0.8, 1.2, w),
+            &stream,
+            &cfg,
+            &event_only,
+        ));
+    }
+    print_rows("Fig 9(a): KC (non-nested), j KC operators", &rows);
+    save_rows("fig9a_kc", &rows);
+
+    // (b) KC, nested: inner sequence length j = 2..4.
+    let mut rows_b: Vec<Row> = Vec::new();
+    for j in 2..=4usize {
+        rows_b.extend(run_experiment(
+            &format!("Q_A6(j={j})"),
+            &q_a6(j, base, 0.8, 1.2, w),
+            &stream,
+            &cfg,
+            &event_only,
+        ));
+    }
+    print_rows("Fig 9(b): KC (nested sequence of length j)", &rows_b);
+    save_rows("fig9b_kc_nested", &rows_b);
+
+    // (c) NEG, non-nested: number of NEG operators j = 1..3.
+    let mut rows_c: Vec<Row> = Vec::new();
+    for j in 1..=3usize {
+        rows_c.extend(run_experiment(
+            &format!("Q_A7(j={j})"),
+            &q_a7(j, base, step, 0.8, 1.2, w),
+            &stream,
+            &cfg,
+            &event_only,
+        ));
+    }
+    print_rows("Fig 9(c): NEG (non-nested), j NEG operators", &rows_c);
+    save_rows("fig9c_neg", &rows_c);
+
+    // (d) NEG, nested: negated sequence of length j = 1..3.
+    let mut rows_d: Vec<Row> = Vec::new();
+    for j in 1..=3usize {
+        rows_d.extend(run_experiment(
+            &format!("Q_A8(j={j})"),
+            &q_a8(j, base, step, 0.8, 1.2, w),
+            &stream,
+            &cfg,
+            &event_only,
+        ));
+    }
+    print_rows("Fig 9(d): NEG (nested sequence of length j)", &rows_d);
+    save_rows("fig9d_neg_nested", &rows_d);
+
+    // (e) DISJ of two sequences of length j = 3..5.
+    let mut rows_e: Vec<Row> = Vec::new();
+    for j in 3..=5usize {
+        rows_e.extend(run_experiment(
+            &format!("Q_A9(j={j})"),
+            &q_a9(j, base, 2 * base, 0.8, 1.2, 0.8, 1.2, w),
+            &stream,
+            &cfg,
+            &event_only,
+        ));
+    }
+    print_rows("Fig 9(e): DISJ of 2 sequences of length j", &rows_e);
+    save_rows("fig9e_disj_two_seqs", &rows_e);
+
+    // (f) DISJ of j sequences of length 4.
+    let mut rows_f: Vec<Row> = Vec::new();
+    for j in 2..=4usize {
+        let bands = vec![(0.8, 1.2); j];
+        rows_f.extend(run_experiment(
+            &format!("Q_A10(j={j})"),
+            &q_a10(j, base, base, &bands, w),
+            &stream,
+            &cfg,
+            &event_only,
+        ));
+    }
+    print_rows("Fig 9(f): DISJ of j sequences of length 4", &rows_f);
+    save_rows("fig9f_disj_many_seqs", &rows_f);
+
+    // (g) Separate vs combined evaluation: Q_A9(j=4) and Q_A5(j=1)
+    // individually, then their disjunction as one composite pattern.
+    let p1 = q_a9(4, base, 2 * base, 0.8, 1.2, 0.8, 1.2, w);
+    let p2 = q_a5(1, base, step, 0.8, 1.2, w);
+    let combined = Pattern::disjunction_of(&[p1.clone(), p2.clone()]);
+    let mut rows_g: Vec<Row> = Vec::new();
+    rows_g.extend(run_experiment("Q_A9(j=4) alone", &p1, &stream, &cfg, &event_only));
+    rows_g.extend(run_experiment("Q_A5(j=1) alone", &p2, &stream, &cfg, &event_only));
+    rows_g.extend(run_experiment("DISJ(Q_A9, Q_A5)", &combined, &stream, &cfg, &event_only));
+    print_rows("Fig 9(g): separate vs combined (DISJ) evaluation", &rows_g);
+    save_rows("fig9g_separate_vs_disj", &rows_g);
+}

@@ -1,0 +1,309 @@
+//! Shared experiment runner: train the requested filters on a stream prefix,
+//! evaluate DLACEP vs exact CEP on a held-out continuation, print the same
+//! series the paper plots, and dump machine-readable JSON under `results/`.
+
+use dlacep_core::model::{EventNetwork, NetworkConfig};
+use dlacep_core::prelude::*;
+use dlacep_core::trainer::{train_event_filter, train_window_filter};
+use dlacep_core::metrics::{compare_runs, run_ecep};
+use dlacep_core::{EventEmbedder, Filter};
+use dlacep_cep::plan::Plan;
+use dlacep_cep::Pattern;
+use dlacep_events::{EventStream, PrimitiveEvent};
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::io::Write as _;
+
+/// Which filter variant to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterKind {
+    /// Trained event-network (BiLSTM + BI-CRF).
+    EventNet,
+    /// Trained window-network (BiLSTM + classifier head).
+    WindowNet,
+    /// Ground-truth marks, timed at ground-truth (exact CEP) marking cost.
+    /// Upper bound on recall/filtering ratio; its wall-clock is *not*
+    /// meaningful (the oracle pays ECEP prices to find its marks).
+    Oracle,
+    /// Ground-truth marks delivered at *neural inference* cost: each window
+    /// is run through an (untrained) event-network of the configured size
+    /// for timing, then the precomputed exact marks are returned. This is
+    /// the fully-converged-model upper bound the paper's trained networks
+    /// approach.
+    PerfectAtNetCost,
+}
+
+impl FilterKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FilterKind::EventNet => "event-net",
+            FilterKind::WindowNet => "window-net",
+            FilterKind::Oracle => "oracle",
+            FilterKind::PerfectAtNetCost => "perfect@net",
+        }
+    }
+}
+
+/// Replays precomputed marks while paying a real per-window neural
+/// inference (see [`FilterKind::PerfectAtNetCost`]). Windows must be
+/// requested in assembler order.
+pub struct ReplayFilter {
+    marks: Vec<Vec<bool>>,
+    pos: Cell<usize>,
+    net: EventNetwork,
+    embedder: EventEmbedder,
+}
+
+impl ReplayFilter {
+    /// Precompute oracle marks for every assembler window of `events`.
+    pub fn precompute(
+        pattern: &Pattern,
+        events: &[PrimitiveEvent],
+        assembler: &AssemblerConfig,
+        hidden: usize,
+        layers: usize,
+    ) -> Self {
+        let oracle = OracleFilter::new(pattern.clone());
+        let marks: Vec<Vec<bool>> =
+            assembler.windows(events).map(|w| oracle.mark(w)).collect();
+        let plan = Plan::compile(pattern).expect("compiles");
+        let num_attrs = events.first().map_or(0, |e| e.attrs.len());
+        let embedder = EventEmbedder::for_plan(&plan, num_attrs);
+        let net = EventNetwork::new(NetworkConfig {
+            input_dim: embedder.dim(),
+            hidden,
+            layers,
+            seed: 0,
+        });
+        Self { marks, pos: Cell::new(0), net, embedder }
+    }
+}
+
+impl Filter for ReplayFilter {
+    fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
+        // Pay the neural marking cost (result intentionally unused).
+        let embeds = self.embedder.embed_window(window, window.len());
+        let _ = self.net.marginals(&embeds);
+        let i = self.pos.get();
+        self.pos.set(i + 1);
+        self.marks.get(i).cloned().unwrap_or_else(|| vec![true; window.len()])
+    }
+
+    fn name(&self) -> &'static str {
+        "perfect@net"
+    }
+}
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Events used for labeling + training.
+    pub train_events: usize,
+    /// Events used for the timed head-to-head evaluation.
+    pub eval_events: usize,
+    /// Network/optimizer settings.
+    pub train: TrainConfig,
+}
+
+impl ExpConfig {
+    /// Laptop-scale defaults used by the figure binaries. Set the
+    /// `DLACEP_FULL=1` environment variable for a larger run.
+    pub fn scaled() -> Self {
+        let full = std::env::var("DLACEP_FULL").is_ok_and(|v| v == "1");
+        let mut train = TrainConfig::quick();
+        if full {
+            train.hidden = 48;
+            train.layers = 2;
+            train.max_epochs = 60;
+        }
+        Self {
+            train_events: if full { 60_000 } else { 16_000 },
+            eval_events: if full { 30_000 } else { 8_000 },
+            train,
+        }
+    }
+}
+
+/// One row of an experiment table (one system on one pattern).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Pattern / configuration label (the figure's x value).
+    pub label: String,
+    /// Filter kind evaluated.
+    pub system: String,
+    /// Throughput gain over ECEP (the paper's headline y axis).
+    pub gain: f64,
+    /// Match recall vs the exact set.
+    pub recall: f64,
+    /// Match precision (1.0 except negation patterns).
+    pub precision: f64,
+    /// Match F1.
+    pub f1: f64,
+    /// Missed matches percentage.
+    pub fn_percent: f64,
+    /// Fraction of events filtered out.
+    pub filtering_ratio: f64,
+    /// ECEP partial matches created on the eval prefix.
+    pub ecep_partials: u64,
+    /// Extractor partial matches on the filtered stream.
+    pub acep_partials: u64,
+    /// Exact match count on the eval prefix.
+    pub ecep_matches: usize,
+    /// DLACEP match count.
+    pub acep_matches: usize,
+    /// Training epochs actually run (None for oracle).
+    pub train_epochs: Option<usize>,
+    /// Model test-set F1 from training (None for oracle).
+    pub model_f1: Option<f64>,
+}
+
+/// Split a stream into a training prefix and an evaluation continuation.
+pub fn split_stream(stream: &EventStream, train_events: usize, eval_events: usize) -> (EventStream, Vec<dlacep_events::PrimitiveEvent>) {
+    let events = stream.events();
+    let train_end = train_events.min(events.len());
+    let eval_end = (train_end + eval_events).min(events.len());
+    let train = EventStream::from_events(events[..train_end].to_vec()).expect("valid prefix");
+    let eval = events[train_end..eval_end].to_vec();
+    (train, eval)
+}
+
+/// Run one pattern × several filter kinds; ECEP timed once.
+pub fn run_experiment(
+    label: &str,
+    pattern: &Pattern,
+    stream: &EventStream,
+    cfg: &ExpConfig,
+    kinds: &[FilterKind],
+) -> Vec<Row> {
+    let (train_stream, eval) = split_stream(stream, cfg.train_events, cfg.eval_events);
+    let (ecep_matches, ecep_time, ecep_stats) = run_ecep(pattern, &eval);
+    let mut rows = Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        let (report, train_epochs, model_f1) = match kind {
+            FilterKind::Oracle => {
+                let dl = Dlacep::new(pattern.clone(), OracleFilter::new(pattern.clone()))
+                    .expect("valid assembler");
+                (dl.run(&eval), None, None)
+            }
+            FilterKind::PerfectAtNetCost => {
+                let assembler = AssemblerConfig::paper_default(pattern.window_size());
+                let filter = ReplayFilter::precompute(
+                    pattern,
+                    &eval,
+                    &assembler,
+                    cfg.train.hidden,
+                    cfg.train.layers,
+                );
+                let dl = Dlacep::with_assembler(pattern.clone(), filter, assembler)
+                    .expect("valid assembler");
+                (dl.run(&eval), None, None)
+            }
+            FilterKind::EventNet => {
+                let out = train_event_filter(pattern, &train_stream, &cfg.train);
+                let epochs = out.report.epochs_run;
+                let f1 = out.test.f1();
+                let dl = Dlacep::new(pattern.clone(), out.filter).expect("valid assembler");
+                (dl.run(&eval), Some(epochs), Some(f1))
+            }
+            FilterKind::WindowNet => {
+                let out = train_window_filter(pattern, &train_stream, &cfg.train);
+                let epochs = out.report.epochs_run;
+                let f1 = out.test.f1();
+                let dl = Dlacep::new(pattern.clone(), out.filter).expect("valid assembler");
+                (dl.run(&eval), Some(epochs), Some(f1))
+            }
+        };
+        let cmp = compare_runs(eval.len(), &ecep_matches, ecep_time, &ecep_stats, &report);
+        rows.push(Row {
+            label: label.to_string(),
+            system: kind.name().to_string(),
+            gain: cmp.throughput_gain,
+            recall: cmp.recall,
+            precision: cmp.precision,
+            f1: cmp.f1,
+            fn_percent: cmp.fn_percent,
+            filtering_ratio: cmp.filtering_ratio,
+            ecep_partials: cmp.ecep_partials,
+            acep_partials: cmp.acep_partials,
+            ecep_matches: cmp.ecep_matches,
+            acep_matches: cmp.acep_matches,
+            train_epochs,
+            model_f1,
+        });
+    }
+    rows
+}
+
+/// Pretty-print rows as an aligned table.
+pub fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<28} {:<11} {:>9} {:>7} {:>7} {:>6} {:>8} {:>12} {:>12}",
+        "pattern", "system", "gain", "recall", "prec", "F1", "filter%", "ecep-partials", "acep-partials"
+    );
+    for r in rows {
+        println!(
+            "{:<28} {:<11} {:>9.2} {:>7.3} {:>7.3} {:>6.3} {:>7.1}% {:>12} {:>12}",
+            r.label,
+            r.system,
+            r.gain,
+            r.recall,
+            r.precision,
+            r.f1,
+            100.0 * r.filtering_ratio,
+            r.ecep_partials,
+            r.acep_partials
+        );
+    }
+}
+
+/// Dump rows (and any extra metadata) as JSON under `results/`.
+pub fn save_rows(name: &str, rows: &[Row]) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let json = serde_json::to_string_pretty(rows).expect("rows serialize");
+            let _ = f.write_all(json.as_bytes());
+            println!("[saved {}]", path.display());
+        }
+        Err(e) => eprintln!("could not save {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::real::q_a2;
+    use dlacep_data::StockConfig;
+
+    #[test]
+    fn split_respects_bounds() {
+        let (_, stream) = StockConfig { num_events: 1000, ..Default::default() }.generate();
+        let (train, eval) = split_stream(&stream, 600, 900);
+        assert_eq!(train.len(), 600);
+        assert_eq!(eval.len(), 400);
+        assert_eq!(eval[0].id.0, 600);
+    }
+
+    #[test]
+    fn oracle_experiment_produces_sane_row() {
+        let (_, stream) = StockConfig { num_events: 4000, ..Default::default() }.generate();
+        let cfg = ExpConfig {
+            train_events: 2000,
+            eval_events: 2000,
+            train: TrainConfig::quick(),
+        };
+        let pattern = q_a2(2, 12);
+        let rows = run_experiment("q_a2", &pattern, &stream, &cfg, &[FilterKind::Oracle]);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.system, "oracle");
+        assert_eq!(r.recall, 1.0);
+        assert!(r.gain.is_finite() && r.gain > 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # dlacep-bench
+//!
+//! Experiment harness reproducing every table and figure of the DLACEP
+//! paper's evaluation (§5). The query-template library ([`queries`]) encodes
+//! Tables 1 and 2; [`harness`] trains filters and runs timed DLACEP-vs-ECEP
+//! comparisons; one binary per figure regenerates that figure's series (see
+//! DESIGN.md's per-experiment index and EXPERIMENTS.md for recorded runs).
+//!
+//! Scale: binaries default to laptop-scale parameters; set `DLACEP_FULL=1`
+//! for larger streams and networks.
+
+pub mod harness;
+pub mod queries {
+    //! Tables 1 and 2: parameterized pattern templates.
+    pub mod real;
+    pub mod synth;
+}
+
+pub use harness::{print_rows, run_experiment, save_rows, ExpConfig, FilterKind, Row};

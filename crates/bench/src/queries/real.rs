@@ -1,0 +1,334 @@
+//! The real-world query templates of Table 1 (Q_A1 … Q_A12), as
+//! parameterized constructors over the stock schema.
+//!
+//! `T_k` is the set of the top-k most prevalent stock identifiers — with the
+//! Zipf generator those are type ids `0..k` ([`dlacep_data::stocks`]). The
+//! paper instantiates the templates with k around 100 on a 2500-ticker
+//! dataset; the scaled experiments here use proportionally smaller k on a
+//! 128-ticker stream. Every constructor takes its `k`s explicitly, so both
+//! scales are expressible.
+//!
+//! Parameter effects (Table 1 caption): larger `j`, `k` ⇒ more partial
+//! matches; wider bands (`β − α`, `δ − γ`) or smaller `|p|` ⇒ more full
+//! matches.
+
+use dlacep_cep::{Expr, Pattern, PatternExpr, Predicate, TypeSet};
+use dlacep_data::stocks::{rank_band_types, top_k_types};
+use dlacep_events::WindowSpec;
+
+const VOL: usize = 0;
+
+fn leaf(types: TypeSet, name: String) -> PatternExpr {
+    PatternExpr::Event { types, binding: name }
+}
+
+fn band(alpha: f64, from: &str, mid: &str, beta: f64) -> Predicate {
+    Predicate::band(alpha, (from, VOL), (mid, VOL), beta, (from, VOL))
+}
+
+/// `Q_A1(j, k, p, α, β)`: `SEQ(S_1..S_j)`, all in `T_k`, with
+/// `∀i ∈ p: α·S_i.vol < S_j.vol < β·S_i.vol`.
+pub fn q_a1(j: usize, k: usize, p: &[usize], alpha: f64, beta: f64, w: u64) -> Pattern {
+    assert!(j >= 2);
+    let leaves =
+        (1..=j).map(|t| leaf(top_k_types(k), format!("s{t}"))).collect();
+    let last = format!("s{j}");
+    let conds = p
+        .iter()
+        .map(|&i| {
+            assert!(i >= 1 && i < j, "p ⊆ [j-1]");
+            band(alpha, &format!("s{i}"), &last, beta)
+        })
+        .collect();
+    Pattern::new(PatternExpr::Seq(leaves), conds, WindowSpec::Count(w))
+}
+
+/// `Q_A2(k)`: `SEQ(S_1..S_5)` in `T_k`, no conditions — almost every partial
+/// match completes, the regime where filtration cannot help (§3.2).
+pub fn q_a2(k: usize, w: u64) -> Pattern {
+    let leaves = (1..=5).map(|t| leaf(top_k_types(k), format!("s{t}"))).collect();
+    Pattern::new(PatternExpr::Seq(leaves), vec![], WindowSpec::Count(w))
+}
+
+/// `Q_A3(j, k, r, p, l, m, α, β, γ)`: bands target `S_r` instead of the last
+/// element, plus a one-sided condition `γ·S_l.vol < S_m.vol`.
+#[allow(clippy::too_many_arguments)]
+pub fn q_a3(
+    j: usize,
+    k: usize,
+    r: usize,
+    p: &[usize],
+    l: usize,
+    m: usize,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    w: u64,
+) -> Pattern {
+    assert!(r >= 1 && r <= j && l >= 1 && l <= j && m >= 1 && m <= j);
+    let leaves = (1..=j).map(|t| leaf(top_k_types(k), format!("s{t}"))).collect();
+    let mut conds: Vec<Predicate> =
+        p.iter().map(|&i| band(alpha, &format!("s{i}"), &format!("s{r}"), beta)).collect();
+    conds.push(Predicate::lt(
+        Expr::scaled(gamma, format!("s{l}"), VOL),
+        Expr::attr(format!("s{m}"), VOL),
+    ));
+    Pattern::new(PatternExpr::Seq(leaves), conds, WindowSpec::Count(w))
+}
+
+/// `Q_A4(j, k, p, l, m, α, β, γ, δ)`: the `Q_A1` bands plus a second band
+/// between `S_l` and `S_m`.
+#[allow(clippy::too_many_arguments)]
+pub fn q_a4(
+    j: usize,
+    k: usize,
+    p: &[usize],
+    l: usize,
+    m: usize,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    delta: f64,
+    w: u64,
+) -> Pattern {
+    let mut pat = q_a1(j, k, p, alpha, beta, w);
+    pat.conditions.push(band(gamma, &format!("s{l}"), &format!("s{m}"), delta));
+    pat
+}
+
+/// `Q_A5(j, base, step, α, β)`: `SEQ(S_1..S_5 ∈ T_base, KC(S'_1), …,
+/// KC(S'_j))` where `S'_l ∈ T_{base+l·step} / T_{base+(l−1)·step}`, with the
+/// usual band on `S_1..S_5` vs `S_5`.
+pub fn q_a5(j: usize, base: usize, step: usize, alpha: f64, beta: f64, w: u64) -> Pattern {
+    let mut children: Vec<PatternExpr> =
+        (1..=5).map(|t| leaf(top_k_types(base), format!("s{t}"))).collect();
+    for l in 1..=j {
+        let types = rank_band_types(base + l * step, base + (l - 1) * step);
+        children.push(PatternExpr::Kleene(Box::new(leaf(types, format!("k{l}")))));
+    }
+    let conds = (1..=4).map(|i| band(alpha, &format!("s{i}"), "s5", beta)).collect();
+    Pattern::new(PatternExpr::Seq(children), conds, WindowSpec::Count(w))
+}
+
+/// `Q_A6(j, k, α, β)`: `KC(SEQ(S_1..S_j ∈ T_k))` with per-iteration bands
+/// `∀i ∈ [j−1]: α·S_i.vol < S_j.vol < β·S_i.vol`.
+pub fn q_a6(j: usize, k: usize, alpha: f64, beta: f64, w: u64) -> Pattern {
+    assert!(j >= 2);
+    let inner: Vec<PatternExpr> =
+        (1..=j).map(|t| leaf(top_k_types(k), format!("s{t}"))).collect();
+    let last = format!("s{j}");
+    let conds = (1..j).map(|i| band(alpha, &format!("s{i}"), &last, beta)).collect();
+    Pattern::new(
+        PatternExpr::Kleene(Box::new(PatternExpr::Seq(inner))),
+        conds,
+        WindowSpec::Count(w),
+    )
+}
+
+/// `Q_A7(j, base, step, α, β)`: `SEQ(S_1..S_4, NEG(S'_1), …, NEG(S'_j),
+/// S_5)` — `j` independent negated events in the gap before `S_5`.
+pub fn q_a7(j: usize, base: usize, step: usize, alpha: f64, beta: f64, w: u64) -> Pattern {
+    let mut children: Vec<PatternExpr> =
+        (1..=4).map(|t| leaf(top_k_types(base), format!("s{t}"))).collect();
+    for l in 1..=j {
+        let types = rank_band_types(base + l * step, base + (l - 1) * step);
+        children.push(PatternExpr::Neg(Box::new(leaf(types, format!("n{l}")))));
+    }
+    children.push(leaf(top_k_types(base), "s5".into()));
+    let conds = (1..=4).map(|i| band(alpha, &format!("s{i}"), "s5", beta)).collect();
+    Pattern::new(PatternExpr::Seq(children), conds, WindowSpec::Count(w))
+}
+
+/// `Q_A8(j, base, step, α, β)`: like `Q_A7` but a single negated *sequence*
+/// `NEG(SEQ(S'_1..S'_j))`.
+pub fn q_a8(j: usize, base: usize, step: usize, alpha: f64, beta: f64, w: u64) -> Pattern {
+    let mut children: Vec<PatternExpr> =
+        (1..=4).map(|t| leaf(top_k_types(base), format!("s{t}"))).collect();
+    let inner: Vec<PatternExpr> = (1..=j)
+        .map(|l| {
+            let types = rank_band_types(base + l * step, base + (l - 1) * step);
+            leaf(types, format!("n{l}"))
+        })
+        .collect();
+    children.push(PatternExpr::Neg(Box::new(PatternExpr::Seq(inner))));
+    children.push(leaf(top_k_types(base), "s5".into()));
+    let conds = (1..=4).map(|i| band(alpha, &format!("s{i}"), "s5", beta)).collect();
+    Pattern::new(PatternExpr::Seq(children), conds, WindowSpec::Count(w))
+}
+
+/// `Q_A9(j, k1, k2, α, β, γ, δ)`: disjunction of two sequences of length `j`
+/// on disjoint prevalence bands with per-branch bands.
+#[allow(clippy::too_many_arguments)]
+pub fn q_a9(
+    j: usize,
+    k1: usize,
+    k2: usize,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    delta: f64,
+    w: u64,
+) -> Pattern {
+    assert!(j >= 2 && k2 > k1);
+    let b1: Vec<PatternExpr> =
+        (1..=j).map(|t| leaf(top_k_types(k1), format!("s{t}"))).collect();
+    let b2: Vec<PatternExpr> =
+        (1..=j).map(|t| leaf(rank_band_types(k2, k1), format!("r{t}"))).collect();
+    let last1 = format!("s{j}");
+    let last2 = format!("r{j}");
+    let mut conds: Vec<Predicate> =
+        (1..j).map(|i| band(alpha, &format!("s{i}"), &last1, beta)).collect();
+    conds.extend((1..j).map(|i| band(gamma, &format!("r{i}"), &last2, delta)));
+    Pattern::new(
+        PatternExpr::Disj(vec![PatternExpr::Seq(b1), PatternExpr::Seq(b2)]),
+        conds,
+        WindowSpec::Count(w),
+    )
+}
+
+/// `Q_A10(j, base, step, bands)`: disjunction of `j` sequences of length 4,
+/// sequence `l` over prevalence band `l`, with per-sequence `(α₁, α₂)`
+/// bands against its fourth element.
+pub fn q_a10(j: usize, base: usize, step: usize, bands: &[(f64, f64)], w: u64) -> Pattern {
+    assert_eq!(bands.len(), j);
+    let mut seqs = Vec::with_capacity(j);
+    let mut conds = Vec::new();
+    for l in 1..=j {
+        // Sequence 1 uses T_base; sequence l>1 uses the next rank bands.
+        let types = if l == 1 {
+            top_k_types(base)
+        } else {
+            rank_band_types(base + (l - 1) * step, base + (l - 2) * step)
+        };
+        let leaves: Vec<PatternExpr> =
+            (1..=4).map(|m| leaf(types.clone(), format!("s{l}_{m}"))).collect();
+        let (a1, a2) = bands[l - 1];
+        let last = format!("s{l}_4");
+        conds.extend((1..=3).map(|p| band(a1, &format!("s{l}_{p}"), &last, a2)));
+        seqs.push(PatternExpr::Seq(leaves));
+    }
+    Pattern::new(PatternExpr::Disj(seqs), conds, WindowSpec::Count(w))
+}
+
+/// Operator selector for `Q_A11`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqOrConj {
+    /// Ordered (SEQ) variant.
+    Seq,
+    /// Unordered (CONJ) variant.
+    Conj,
+}
+
+/// `Q_A11(op, base, step, α, β)`: SEQ or CONJ of 5 events over disjoint
+/// prevalence bands `T_{step·t} / T_{step·(t−1)}`, banded against `S_5`.
+pub fn q_a11(op: SeqOrConj, step: usize, alpha: f64, beta: f64, w: u64) -> Pattern {
+    let leaves: Vec<PatternExpr> = (1..=5)
+        .map(|t| {
+            let types = if t == 1 {
+                top_k_types(step)
+            } else {
+                rank_band_types(step * t, step * (t - 1))
+            };
+            leaf(types, format!("s{t}"))
+        })
+        .collect();
+    let conds = (1..=4).map(|i| band(alpha, &format!("s{i}"), "s5", beta)).collect();
+    let expr = match op {
+        SeqOrConj::Seq => PatternExpr::Seq(leaves),
+        SeqOrConj::Conj => PatternExpr::Conj(leaves),
+    };
+    Pattern::new(expr, conds, WindowSpec::Count(w))
+}
+
+/// `Q_A12(step, α, β, γ, δ)`: disjunction of two `Q_A11`-style sequences
+/// over the same type structure.
+pub fn q_a12(step: usize, alpha: f64, beta: f64, gamma: f64, delta: f64, w: u64) -> Pattern {
+    let mk = |prefix: &str| -> Vec<PatternExpr> {
+        (1..=5)
+            .map(|t| {
+                let types = if t == 1 {
+                    top_k_types(step)
+                } else {
+                    rank_band_types(step * t, step * (t - 1))
+                };
+                leaf(types, format!("{prefix}{t}"))
+            })
+            .collect()
+    };
+    let b1 = mk("s");
+    let b2 = mk("r");
+    let mut conds: Vec<Predicate> =
+        (1..=4).map(|i| band(alpha, &format!("s{i}"), "s5", beta)).collect();
+    conds.extend((1..=4).map(|i| band(gamma, &format!("r{i}"), "r5", delta)));
+    Pattern::new(
+        PatternExpr::Disj(vec![PatternExpr::Seq(b1), PatternExpr::Seq(b2)]),
+        conds,
+        WindowSpec::Count(w),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlacep_cep::plan::Plan;
+
+    #[test]
+    fn all_templates_compile() {
+        let patterns: Vec<Pattern> = vec![
+            q_a1(5, 7, &[1, 2], 0.6, 1.4, 30),
+            q_a2(3, 30),
+            q_a3(5, 7, 3, &[1, 2], 1, 4, 0.6, 1.4, 0.5, 30),
+            q_a4(5, 7, &[1, 2], 1, 4, 0.6, 1.4, 0.7, 1.3, 30),
+            q_a5(2, 8, 2, 0.6, 1.4, 30),
+            q_a6(3, 8, 0.6, 1.4, 30),
+            q_a7(2, 8, 2, 0.6, 1.4, 30),
+            q_a8(2, 8, 2, 0.6, 1.4, 30),
+            q_a9(4, 8, 16, 0.6, 1.4, 0.5, 1.5, 30),
+            q_a10(3, 8, 8, &[(0.6, 1.4), (0.5, 1.5), (0.7, 1.3)], 30),
+            q_a11(SeqOrConj::Seq, 5, 0.6, 1.4, 30),
+            q_a11(SeqOrConj::Conj, 5, 0.6, 1.4, 30),
+            q_a12(5, 0.6, 1.4, 0.5, 1.5, 30),
+        ];
+        for (i, p) in patterns.iter().enumerate() {
+            let plan = Plan::compile(p);
+            assert!(plan.is_ok(), "template {i} failed: {:?}", plan.err());
+        }
+    }
+
+    #[test]
+    fn q_a9_has_two_branches_with_own_conditions() {
+        let p = q_a9(3, 8, 16, 0.6, 1.4, 0.5, 1.5, 30);
+        let plan = Plan::compile(&p).unwrap();
+        assert_eq!(plan.branches.len(), 2);
+        assert_eq!(plan.branches[0].global_conds.len(), 2);
+        assert_eq!(plan.branches[1].global_conds.len(), 2);
+    }
+
+    #[test]
+    fn q_a10_branch_count_matches_j() {
+        let p = q_a10(4, 8, 8, &[(0.6, 1.4); 4], 30);
+        let plan = Plan::compile(&p).unwrap();
+        assert_eq!(plan.branches.len(), 4);
+    }
+
+    #[test]
+    fn q_a7_compiles_with_negs_between_positives() {
+        let p = q_a7(3, 8, 2, 0.6, 1.4, 30);
+        let plan = Plan::compile(&p).unwrap();
+        assert_eq!(plan.branches[0].negs.len(), 3);
+        assert_eq!(plan.branches[0].steps.len(), 5);
+    }
+
+    #[test]
+    fn q_a6_bands_are_iteration_conditions() {
+        let p = q_a6(3, 8, 0.6, 1.4, 30);
+        let plan = Plan::compile(&p).unwrap();
+        match &plan.branches[0].steps[0].kind {
+            dlacep_cep::plan::StepKind::Kleene { inner, iter_conditions } => {
+                assert_eq!(inner.len(), 3);
+                assert_eq!(iter_conditions.len(), 2);
+            }
+            _ => panic!("expected kleene"),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The synthetic-dataset query templates of Table 2 (Q_B1 … Q_B3), over the
+//! 15-type uniform stream of [`dlacep_data::synthetic`]. Type letters map to
+//! ids A=0, B=1, … . The attribute is the standard-normal `vol` (Table 2's
+//! 0.85/1.15 bands are stated directly over those values).
+
+use dlacep_cep::{Expr, Pattern, PatternExpr, Predicate, TypeSet};
+use dlacep_events::{TypeId, WindowSpec};
+
+const VOL: usize = 0;
+
+fn leaf(t: u32, name: &str) -> PatternExpr {
+    PatternExpr::Event { types: TypeSet::single(TypeId(t)), binding: name.to_string() }
+}
+
+fn band(alpha: f64, from: &str, mid: &str, beta: f64) -> Predicate {
+    Predicate::band(alpha, (from, VOL), (mid, VOL), beta, (from, VOL))
+}
+
+/// `Q_B1`: `SEQ(A,B,C,D,E,F)` — length 6, the largest partial-match load.
+/// `∀X ∈ {C,D}: 0.85·X < F < 1.15·X`, `∀X ∈ {A,D}: 0.85·X < E < 1.15·X`,
+/// `0.4·C < F`.
+pub fn q_b1(w: u64) -> Pattern {
+    let leaves = vec![
+        leaf(0, "a"),
+        leaf(1, "b"),
+        leaf(2, "c"),
+        leaf(3, "d"),
+        leaf(4, "e"),
+        leaf(5, "f"),
+    ];
+    let conds = vec![
+        band(0.85, "c", "f", 1.15),
+        band(0.85, "d", "f", 1.15),
+        band(0.85, "a", "e", 1.15),
+        band(0.85, "d", "e", 1.15),
+        Predicate::lt(Expr::scaled(0.4, "c", VOL), Expr::attr("f", VOL)),
+    ];
+    Pattern::new(PatternExpr::Seq(leaves), conds, WindowSpec::Count(w))
+}
+
+/// `Q_B2`: `SEQ(A,B,C,D,E)` — length 5.
+/// `∀X ∈ {A,B}: 0.85·X < D < 1.15·X`, `∀X ∈ {B,C}: 0.85·X < E < 1.15·X`.
+pub fn q_b2(w: u64) -> Pattern {
+    let leaves = vec![leaf(0, "a"), leaf(1, "b"), leaf(2, "c"), leaf(3, "d"), leaf(4, "e")];
+    let conds = vec![
+        band(0.85, "a", "d", 1.15),
+        band(0.85, "b", "d", 1.15),
+        band(0.85, "b", "e", 1.15),
+        band(0.85, "c", "e", 1.15),
+    ];
+    Pattern::new(PatternExpr::Seq(leaves), conds, WindowSpec::Count(w))
+}
+
+/// `Q_B3`: `SEQ(A,B,C,D)` — length 4.
+/// `∀X ∈ {A,B,C}: 0.85·X < D < 1.15·X`.
+pub fn q_b3(w: u64) -> Pattern {
+    let leaves = vec![leaf(0, "a"), leaf(1, "b"), leaf(2, "c"), leaf(3, "d")];
+    let conds = vec![
+        band(0.85, "a", "d", 1.15),
+        band(0.85, "b", "d", 1.15),
+        band(0.85, "c", "d", 1.15),
+    ];
+    Pattern::new(PatternExpr::Seq(leaves), conds, WindowSpec::Count(w))
+}
+
+/// The template of the given pattern length (4, 5, or 6) — the axis Fig. 13
+/// sweeps.
+pub fn by_length(len: usize, w: u64) -> Pattern {
+    match len {
+        4 => q_b3(w),
+        5 => q_b2(w),
+        6 => q_b1(w),
+        other => panic!("Table 2 has lengths 4..=6, not {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlacep_cep::plan::Plan;
+
+    #[test]
+    fn templates_compile() {
+        for p in [q_b1(20), q_b2(20), q_b3(20)] {
+            assert!(Plan::compile(&p).is_ok());
+        }
+    }
+
+    #[test]
+    fn lengths_match_table() {
+        for (len, conds) in [(4usize, 3usize), (5, 4), (6, 5)] {
+            let p = by_length(len, 20);
+            let plan = Plan::compile(&p).unwrap();
+            assert_eq!(plan.branches[0].steps.len(), len);
+            assert_eq!(p.conditions.len(), conds);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths 4..=6")]
+    fn by_length_rejects_other() {
+        let _ = by_length(7, 20);
+    }
+}

@@ -1,0 +1,208 @@
+//! Shared engine-facing types: matches, statistics, the [`CepEngine`] trait,
+//! and the sliding event arena engines use to resolve bound event ids.
+
+use dlacep_events::{EventId, PrimitiveEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A full pattern match: the events (by id) bound to each binding name, plus
+/// the sorted id set that identifies the match.
+///
+/// Matches store event *ids*, not event copies — experiments keep the source
+/// stream around, and id sets are what recall comparisons operate on (§5.1:
+/// the two returned match sets are compared).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Match {
+    /// Sorted ids of every event participating in the match.
+    pub event_ids: Vec<EventId>,
+    /// Per-binding event ids (Kleene bindings may hold several).
+    pub bindings: Vec<(String, Vec<EventId>)>,
+}
+
+impl Match {
+    /// Build a match from bindings; `event_ids` is derived (sorted, deduped).
+    pub fn from_bindings(bindings: Vec<(String, Vec<EventId>)>) -> Self {
+        let mut ids: Vec<EventId> = bindings.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { event_ids: ids, bindings }
+    }
+
+    /// Ids bound to `binding`, if present.
+    pub fn binding(&self, name: &str) -> Option<&[EventId]> {
+        self.bindings.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_slice())
+    }
+
+    /// The match identity used for set comparisons (sorted id vector).
+    pub fn key(&self) -> &[EventId] {
+        &self.event_ids
+    }
+}
+
+/// Counters describing the work an engine performed. The number of partial
+/// matches created is the paper's complexity measure (§3.2): ECEP cost is
+/// dominated by creating and extending partial matches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Events fed into the engine.
+    pub events_processed: u64,
+    /// Partial matches created (including ones later discarded).
+    pub partial_matches_created: u64,
+    /// Largest number of simultaneously stored partial matches.
+    pub peak_partial_matches: u64,
+    /// Full matches emitted.
+    pub matches_emitted: u64,
+    /// Predicate evaluations performed.
+    pub condition_evaluations: u64,
+}
+
+/// A streaming CEP evaluation mechanism.
+pub trait CepEngine {
+    /// Feed one event (ids must be strictly increasing across calls).
+    fn process(&mut self, ev: &PrimitiveEvent);
+
+    /// Take the matches emitted since the last drain.
+    fn drain_matches(&mut self) -> Vec<Match>;
+
+    /// Work counters.
+    fn stats(&self) -> &EngineStats;
+
+    /// Feed a whole slice and collect everything it emits.
+    fn run(&mut self, events: &[PrimitiveEvent]) -> Vec<Match> {
+        let mut out = Vec::new();
+        for ev in events {
+            self.process(ev);
+            out.append(&mut self.drain_matches());
+        }
+        out
+    }
+}
+
+/// A sliding window of recent events, addressable by [`EventId`]. Engines use
+/// it to resolve bound ids to attribute values for condition evaluation and
+/// to scan gaps for negated occurrences.
+#[derive(Debug, Clone, Default)]
+pub struct EventArena {
+    events: VecDeque<PrimitiveEvent>,
+}
+
+impl EventArena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the newest event (ids must increase).
+    pub fn push(&mut self, ev: PrimitiveEvent) {
+        if let Some(last) = self.events.back() {
+            debug_assert!(ev.id > last.id, "arena requires increasing ids");
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Resolve an id to its event, if still retained.
+    pub fn get(&self, id: EventId) -> Option<&PrimitiveEvent> {
+        let front = self.events.front()?.id;
+        if id < front {
+            return None;
+        }
+        // Ids are increasing but not necessarily dense (filtered streams!),
+        // so binary-search by id.
+        let idx = self
+            .events
+            .binary_search_by(|e| e.id.cmp(&id))
+            .ok()?;
+        Some(&self.events[idx])
+    }
+
+    /// Drop events with `ts < horizon` (time-window eviction).
+    pub fn evict_before_ts(&mut self, horizon: u64) {
+        while let Some(front) = self.events.front() {
+            if front.ts.0 < horizon {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drop events with `id < horizon`.
+    pub fn evict_below(&mut self, horizon: EventId) {
+        while let Some(front) = self.events.front() {
+            if front.id < horizon {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Events with ids strictly between `lo` and `hi`, in order.
+    pub fn between(&self, lo: EventId, hi: EventId) -> impl Iterator<Item = &PrimitiveEvent> {
+        self.events.iter().filter(move |e| e.id > lo && e.id < hi)
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlacep_events::TypeId;
+
+    fn ev(id: u64) -> PrimitiveEvent {
+        PrimitiveEvent::new(id, TypeId(0), id, vec![id as f64])
+    }
+
+    #[test]
+    fn match_from_bindings_sorts_ids() {
+        let m = Match::from_bindings(vec![
+            ("b".into(), vec![EventId(5)]),
+            ("a".into(), vec![EventId(2), EventId(9)]),
+        ]);
+        assert_eq!(m.event_ids, vec![EventId(2), EventId(5), EventId(9)]);
+        assert_eq!(m.binding("a"), Some(&[EventId(2), EventId(9)][..]));
+        assert_eq!(m.binding("zzz"), None);
+    }
+
+    #[test]
+    fn arena_get_with_gaps() {
+        let mut a = EventArena::new();
+        for id in [1, 4, 9, 10] {
+            a.push(ev(id));
+        }
+        assert_eq!(a.get(EventId(4)).unwrap().id, EventId(4));
+        assert!(a.get(EventId(5)).is_none());
+        assert!(a.get(EventId(0)).is_none());
+    }
+
+    #[test]
+    fn arena_evicts_below_horizon() {
+        let mut a = EventArena::new();
+        for id in 0..10 {
+            a.push(ev(id));
+        }
+        a.evict_below(EventId(7));
+        assert_eq!(a.len(), 3);
+        assert!(a.get(EventId(6)).is_none());
+        assert!(a.get(EventId(7)).is_some());
+    }
+
+    #[test]
+    fn arena_between_is_exclusive() {
+        let mut a = EventArena::new();
+        for id in 0..6 {
+            a.push(ev(id));
+        }
+        let ids: Vec<u64> = a.between(EventId(1), EventId(4)).map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dlacep-cep
+//!
+//! A complex event processing engine substrate. This is the "exact CEP"
+//! (ECEP) half of DLACEP: the paper filters a stream with a neural network
+//! and hands the survivors to an engine like this one for match grouping.
+//!
+//! Three evaluation mechanisms are provided:
+//! * [`nfa::NfaEngine`] — NFA-style partial-match evaluation under
+//!   skip-till-any-match (the paper's baseline mechanism, §2.1),
+//! * [`tree::TreeEngine`] — ZStream-style binary match trees with a
+//!   DP-optimized join order (baseline of Fig. 12),
+//! * [`lazy::LazyEngine`] — frequency-ascending lazy evaluation
+//!   (baseline of Fig. 12).
+//!
+//! Patterns combine SEQ, CONJ, DISJ, Kleene closure and negation with an
+//! arithmetic predicate DSL and count- or time-based windows; see
+//! [`pattern`] and [`plan`].
+pub mod engine;
+pub mod lazy;
+pub mod nfa;
+pub mod pattern;
+pub mod plan;
+pub mod stats;
+pub mod tree;
+
+pub use engine::{CepEngine, EngineStats, EventArena, Match};
+pub use lazy::LazyEngine;
+pub use nfa::{NfaConfig, NfaEngine};
+pub use pattern::ast::{Pattern, PatternExpr, TypeSet};
+pub use pattern::condition::{CmpOp, Expr, Predicate};
+pub use plan::{CompileError, Plan};
+pub use tree::{CostModel, TreeEngine};

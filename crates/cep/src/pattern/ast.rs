@@ -1,0 +1,324 @@
+//! Pattern abstract syntax: the operators SEQ, CONJ, DISJ, KC (Kleene
+//! closure) and NEG (negation) over typed event leaves (paper §2.1).
+
+use crate::pattern::condition::Predicate;
+use dlacep_events::{Schema, TypeId, WindowSpec};
+use serde::{Deserialize, Serialize};
+
+/// A set of event types a leaf may match (e.g. the paper's `T_k` top-k stock
+/// sets, or a set difference `T_110 / T_100`).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TypeSet(Vec<TypeId>);
+
+impl TypeSet {
+    /// Set containing the given types (deduplicated, sorted).
+    pub fn new(mut types: Vec<TypeId>) -> Self {
+        types.sort_unstable();
+        types.dedup();
+        Self(types)
+    }
+
+    /// Singleton set.
+    pub fn single(t: TypeId) -> Self {
+        Self(vec![t])
+    }
+
+    /// Resolve names through a schema.
+    ///
+    /// # Panics
+    /// Panics if a name is unknown — patterns are authored against a schema.
+    pub fn of_names(schema: &Schema, names: &[&str]) -> Self {
+        Self::new(
+            names
+                .iter()
+                .map(|n| schema.type_id(n).unwrap_or_else(|| panic!("unknown event type {n:?}")))
+                .collect(),
+        )
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, t: TypeId) -> bool {
+        self.0.binary_search(&t).is_ok()
+    }
+
+    /// Set difference `self \ other` (the paper's `T_a / T_b`).
+    pub fn difference(&self, other: &TypeSet) -> TypeSet {
+        TypeSet(self.0.iter().copied().filter(|t| !other.contains(*t)).collect())
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &TypeSet) -> TypeSet {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        TypeSet::new(v)
+    }
+
+    /// Number of types in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The member types, sorted.
+    pub fn types(&self) -> &[TypeId] {
+        &self.0
+    }
+}
+
+/// Pattern expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PatternExpr {
+    /// A single primitive event of one of `types`, bound to `binding` for use
+    /// in conditions.
+    Event {
+        /// Admissible event types.
+        types: TypeSet,
+        /// Binding name referenced by conditions.
+        binding: String,
+    },
+    /// Events/groups in strict arrival order.
+    Seq(Vec<PatternExpr>),
+    /// Events/groups in any arrival order.
+    Conj(Vec<PatternExpr>),
+    /// Any of the alternatives (union of their matches).
+    Disj(Vec<PatternExpr>),
+    /// One or more repetitions of the body (Kleene closure `KC`).
+    Kleene(Box<PatternExpr>),
+    /// The body must *not* occur at this position (negation `NEG`); only
+    /// meaningful inside a [`PatternExpr::Seq`], strictly between positive
+    /// elements or before the first one.
+    Neg(Box<PatternExpr>),
+}
+
+impl PatternExpr {
+    /// Convenience leaf constructor.
+    pub fn event(types: TypeSet, binding: impl Into<String>) -> Self {
+        PatternExpr::Event { types, binding: binding.into() }
+    }
+
+    /// All binding names in the expression, depth-first.
+    pub fn bindings(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_bindings(&mut out);
+        out
+    }
+
+    fn collect_bindings<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            PatternExpr::Event { binding, .. } => out.push(binding),
+            PatternExpr::Seq(xs) | PatternExpr::Conj(xs) | PatternExpr::Disj(xs) => {
+                for x in xs {
+                    x.collect_bindings(out);
+                }
+            }
+            PatternExpr::Kleene(x) | PatternExpr::Neg(x) => x.collect_bindings(out),
+        }
+    }
+}
+
+/// A complete pattern: expression, predicate conditions (the `WHERE` clause)
+/// and a window (`WITHIN`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// Operator tree.
+    pub expr: PatternExpr,
+    /// Conditions over the bound events.
+    pub conditions: Vec<Predicate>,
+    /// Window semantics.
+    pub window: WindowSpec,
+}
+
+impl Pattern {
+    /// Build a pattern.
+    pub fn new(expr: PatternExpr, conditions: Vec<Predicate>, window: WindowSpec) -> Self {
+        Self { expr, conditions, window }
+    }
+
+    /// Window size parameter `W`.
+    pub fn window_size(&self) -> u64 {
+        self.window.size()
+    }
+
+    /// A copy with every binding name prefixed (in the expression and in all
+    /// conditions). Used when combining independently authored patterns into
+    /// one disjunction (paper §5.2 "Separate vs combined pattern
+    /// evaluation") so their binding namespaces cannot collide.
+    pub fn with_prefixed_bindings(&self, prefix: &str) -> Pattern {
+        fn walk(e: &PatternExpr, prefix: &str) -> PatternExpr {
+            match e {
+                PatternExpr::Event { types, binding } => PatternExpr::Event {
+                    types: types.clone(),
+                    binding: format!("{prefix}{binding}"),
+                },
+                PatternExpr::Seq(xs) => {
+                    PatternExpr::Seq(xs.iter().map(|x| walk(x, prefix)).collect())
+                }
+                PatternExpr::Conj(xs) => {
+                    PatternExpr::Conj(xs.iter().map(|x| walk(x, prefix)).collect())
+                }
+                PatternExpr::Disj(xs) => {
+                    PatternExpr::Disj(xs.iter().map(|x| walk(x, prefix)).collect())
+                }
+                PatternExpr::Kleene(x) => PatternExpr::Kleene(Box::new(walk(x, prefix))),
+                PatternExpr::Neg(x) => PatternExpr::Neg(Box::new(walk(x, prefix))),
+            }
+        }
+        fn walk_expr(e: &crate::pattern::condition::Expr, prefix: &str) -> crate::pattern::condition::Expr {
+            use crate::pattern::condition::Expr as E;
+            match e {
+                E::Const(c) => E::Const(*c),
+                E::Attr { binding, attr } => {
+                    E::Attr { binding: format!("{prefix}{binding}"), attr: *attr }
+                }
+                E::Mul(a, b) => E::Mul(Box::new(walk_expr(a, prefix)), Box::new(walk_expr(b, prefix))),
+                E::Add(a, b) => E::Add(Box::new(walk_expr(a, prefix)), Box::new(walk_expr(b, prefix))),
+                E::Sub(a, b) => E::Sub(Box::new(walk_expr(a, prefix)), Box::new(walk_expr(b, prefix))),
+            }
+        }
+        fn walk_pred(p: &Predicate, prefix: &str) -> Predicate {
+            match p {
+                Predicate::Cmp { lhs, op, rhs } => Predicate::Cmp {
+                    lhs: walk_expr(lhs, prefix),
+                    op: *op,
+                    rhs: walk_expr(rhs, prefix),
+                },
+                Predicate::And(ps) => {
+                    Predicate::And(ps.iter().map(|q| walk_pred(q, prefix)).collect())
+                }
+                Predicate::Or(ps) => {
+                    Predicate::Or(ps.iter().map(|q| walk_pred(q, prefix)).collect())
+                }
+                Predicate::Not(q) => Predicate::Not(Box::new(walk_pred(q, prefix))),
+                Predicate::True => Predicate::True,
+            }
+        }
+        Pattern {
+            expr: walk(&self.expr, prefix),
+            conditions: self.conditions.iter().map(|c| walk_pred(c, prefix)).collect(),
+            window: self.window,
+        }
+    }
+
+    /// Combine several patterns into one disjunction (their matches' union),
+    /// prefixing each pattern's bindings with `p<i>_` to keep namespaces
+    /// disjoint. All patterns must share the same window.
+    ///
+    /// # Panics
+    /// Panics when `patterns` is empty or the windows differ.
+    pub fn disjunction_of(patterns: &[Pattern]) -> Pattern {
+        assert!(!patterns.is_empty(), "need at least one pattern");
+        let window = patterns[0].window;
+        assert!(
+            patterns.iter().all(|p| p.window == window),
+            "disjunction requires one shared window"
+        );
+        let mut exprs = Vec::with_capacity(patterns.len());
+        let mut conds = Vec::new();
+        for (i, p) in patterns.iter().enumerate() {
+            let renamed = p.with_prefixed_bindings(&format!("p{i}_"));
+            exprs.push(renamed.expr);
+            conds.extend(renamed.conditions);
+        }
+        Pattern::new(PatternExpr::Disj(exprs), conds, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typeset_dedups_and_sorts() {
+        let s = TypeSet::new(vec![TypeId(3), TypeId(1), TypeId(3)]);
+        assert_eq!(s.types(), &[TypeId(1), TypeId(3)]);
+        assert!(s.contains(TypeId(1)));
+        assert!(!s.contains(TypeId(2)));
+    }
+
+    #[test]
+    fn typeset_difference_and_union() {
+        let a = TypeSet::new(vec![TypeId(1), TypeId(2), TypeId(3)]);
+        let b = TypeSet::new(vec![TypeId(2)]);
+        assert_eq!(a.difference(&b).types(), &[TypeId(1), TypeId(3)]);
+        assert_eq!(b.union(&a).types(), &[TypeId(1), TypeId(2), TypeId(3)]);
+    }
+
+    #[test]
+    fn typeset_of_names_resolves() {
+        let schema =
+            Schema::builder().event_types(["A", "B", "C"]).attribute("v").build().unwrap();
+        let s = TypeSet::of_names(&schema, &["C", "A"]);
+        assert_eq!(s.types(), &[TypeId(0), TypeId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown event type")]
+    fn typeset_unknown_name_panics() {
+        let schema = Schema::builder().event_type("A").build().unwrap();
+        let _ = TypeSet::of_names(&schema, &["Z"]);
+    }
+
+    #[test]
+    fn prefixing_renames_expr_and_conditions() {
+        use crate::pattern::condition::{Expr, Predicate};
+        let p = Pattern::new(
+            PatternExpr::Seq(vec![
+                PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
+                PatternExpr::event(TypeSet::single(TypeId(1)), "b"),
+            ]),
+            vec![Predicate::lt(Expr::attr("a", 0), Expr::attr("b", 0))],
+            dlacep_events::WindowSpec::Count(5),
+        );
+        let q = p.with_prefixed_bindings("x_");
+        assert_eq!(q.expr.bindings(), vec!["x_a", "x_b"]);
+        assert_eq!(q.conditions[0].referenced_bindings(), vec!["x_a", "x_b"]);
+    }
+
+    #[test]
+    fn disjunction_of_merges_with_disjoint_namespaces() {
+        let mk = |t: u32| {
+            Pattern::new(
+                PatternExpr::Seq(vec![
+                    PatternExpr::event(TypeSet::single(TypeId(t)), "a"),
+                    PatternExpr::event(TypeSet::single(TypeId(t + 1)), "b"),
+                ]),
+                vec![],
+                dlacep_events::WindowSpec::Count(5),
+            )
+        };
+        let d = Pattern::disjunction_of(&[mk(0), mk(2)]);
+        assert_eq!(d.expr.bindings(), vec!["p0_a", "p0_b", "p1_a", "p1_b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared window")]
+    fn disjunction_of_rejects_mixed_windows() {
+        let a = Pattern::new(
+            PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
+            vec![],
+            dlacep_events::WindowSpec::Count(5),
+        );
+        let b = Pattern::new(
+            PatternExpr::event(TypeSet::single(TypeId(1)), "b"),
+            vec![],
+            dlacep_events::WindowSpec::Count(6),
+        );
+        let _ = Pattern::disjunction_of(&[a, b]);
+    }
+
+    #[test]
+    fn bindings_depth_first() {
+        let e = PatternExpr::Seq(vec![
+            PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
+            PatternExpr::Kleene(Box::new(PatternExpr::event(TypeSet::single(TypeId(1)), "k"))),
+            PatternExpr::Neg(Box::new(PatternExpr::event(TypeSet::single(TypeId(2)), "n"))),
+            PatternExpr::event(TypeSet::single(TypeId(3)), "b"),
+        ]);
+        assert_eq!(e.bindings(), vec!["a", "k", "n", "b"]);
+    }
+}

@@ -1,0 +1,5 @@
+//! Pattern definition: AST, condition DSL, and the textual pattern language.
+
+pub mod ast;
+pub mod condition;
+pub mod parser;

@@ -1,0 +1,467 @@
+//! A small textual pattern language, in the spirit of the paper's examples:
+//!
+//! ```text
+//! SEQ(GOOG a, AAPL b, MSFT c, INTC d, AMZN e)
+//! WHERE 0.55 * a.vol < b.vol AND b.vol < 1.45 * c.vol AND 3 * e.vol < d.vol
+//! WITHIN 150
+//! ```
+//!
+//! Grammar (informal):
+//! * operators: `SEQ(...)`, `CONJ(...)`, `DISJ(...)`, `KC(...)`, `NEG(...)`;
+//! * a leaf is `TYPE binding` where `TYPE` may be a `|`-separated union
+//!   (`GOOG|AAPL x`);
+//! * conditions are comparisons of terms (`[number *] binding.attr` or a
+//!   number), chainable as bands (`0.85 * a.vol < b.vol < 1.15 * a.vol`),
+//!   joined by `AND`;
+//! * `WITHIN n` declares a count window, `WITHIN TIME n` a time window.
+//!
+//! Names resolve against a [`Schema`].
+
+use crate::pattern::ast::{Pattern, PatternExpr, TypeSet};
+use crate::pattern::condition::{CmpOp, Expr, Predicate};
+use dlacep_events::{Schema, WindowSpec};
+
+/// Parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pattern parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    LParen,
+    RParen,
+    Comma,
+    Pipe,
+    Dot,
+    Star,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::RParen);
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            '|' => {
+                chars.next();
+                toks.push(Tok::Pipe);
+            }
+            '.' => {
+                chars.next();
+                toks.push(Tok::Dot);
+            }
+            '*' | '·' => {
+                chars.next();
+                toks.push(Tok::Star);
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    toks.push(Tok::Le);
+                } else {
+                    toks.push(Tok::Lt);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    toks.push(Tok::Ge);
+                } else {
+                    toks.push(Tok::Gt);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' {
+                        // A digit followed by `.` then a non-digit is a
+                        // number followed by Dot (e.g. `1.vol` is invalid
+                        // anyway; attributes follow identifiers).
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 =
+                    s.parse().map_err(|_| ParseError(format!("bad number literal {s:?}")))?;
+                toks.push(Tok::Number(n));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            other => return err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    schema: &'a Schema,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(ref got) if got == t => Ok(()),
+            other => err(format!("expected {t:?}, found {other:?}")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Keyword check without consuming.
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expr(&mut self) -> Result<PatternExpr, ParseError> {
+        let head = self.ident()?;
+        let op = head.to_ascii_uppercase();
+        match op.as_str() {
+            "SEQ" | "CONJ" | "DISJ" | "KC" | "NEG" => {
+                self.expect(&Tok::LParen)?;
+                let mut children = Vec::new();
+                loop {
+                    children.push(self.expr()?);
+                    match self.next() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::RParen) => break,
+                        other => return err(format!("expected ',' or ')', found {other:?}")),
+                    }
+                }
+                match op.as_str() {
+                    "SEQ" => Ok(PatternExpr::Seq(children)),
+                    "CONJ" => Ok(PatternExpr::Conj(children)),
+                    "DISJ" => Ok(PatternExpr::Disj(children)),
+                    "KC" => {
+                        if children.len() != 1 {
+                            return err("KC takes exactly one argument");
+                        }
+                        Ok(PatternExpr::Kleene(Box::new(children.into_iter().next().unwrap())))
+                    }
+                    "NEG" => {
+                        if children.len() != 1 {
+                            return err("NEG takes exactly one argument");
+                        }
+                        Ok(PatternExpr::Neg(Box::new(children.into_iter().next().unwrap())))
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            _ => {
+                // A leaf: TYPE[|TYPE...] binding
+                let mut names = vec![head];
+                while self.peek() == Some(&Tok::Pipe) {
+                    self.next();
+                    names.push(self.ident()?);
+                }
+                for n in &names {
+                    if self.schema.type_id(n).is_none() {
+                        return err(format!("unknown event type {n:?}"));
+                    }
+                }
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                let types = TypeSet::of_names(self.schema, &refs);
+                let binding = self.ident()?;
+                Ok(PatternExpr::Event { types, binding })
+            }
+        }
+    }
+
+    /// `[number *] binding.attr | number`
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Tok::Number(n)) => {
+                if self.peek() == Some(&Tok::Star) {
+                    self.next();
+                    let binding = self.ident()?;
+                    self.expect(&Tok::Dot)?;
+                    let attr_name = self.ident()?;
+                    let attr = self
+                        .schema
+                        .attr_idx(&attr_name)
+                        .ok_or_else(|| ParseError(format!("unknown attribute {attr_name:?}")))?;
+                    Ok(Expr::scaled(n, binding, attr))
+                } else {
+                    Ok(Expr::Const(n))
+                }
+            }
+            Some(Tok::Ident(binding)) => {
+                self.expect(&Tok::Dot)?;
+                let attr_name = self.ident()?;
+                let attr = self
+                    .schema
+                    .attr_idx(&attr_name)
+                    .ok_or_else(|| ParseError(format!("unknown attribute {attr_name:?}")))?;
+                Ok(Expr::attr(binding, attr))
+            }
+            other => err(format!("expected term, found {other:?}")),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek() {
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            _ => return None,
+        };
+        self.next();
+        Some(op)
+    }
+
+    /// One condition, possibly chained (`x < y < z` becomes two comparisons).
+    fn condition(&mut self) -> Result<Predicate, ParseError> {
+        let first = self.term()?;
+        let Some(op) = self.cmp_op() else {
+            return err("expected comparison operator");
+        };
+        let second = self.term()?;
+        let mut cmps =
+            vec![Predicate::Cmp { lhs: first, op, rhs: second.clone() }];
+        let mut prev = second;
+        while let Some(op) = self.cmp_op() {
+            let nxt = self.term()?;
+            cmps.push(Predicate::Cmp { lhs: prev, op, rhs: nxt.clone() });
+            prev = nxt;
+        }
+        Ok(if cmps.len() == 1 { cmps.pop().unwrap() } else { Predicate::And(cmps) })
+    }
+}
+
+/// Parse a pattern against a schema.
+pub fn parse_pattern(schema: &Schema, input: &str) -> Result<Pattern, ParseError> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0, schema };
+    let expr = p.expr()?;
+    let mut conditions = Vec::new();
+    if p.at_keyword("WHERE") {
+        p.next();
+        loop {
+            conditions.push(p.condition()?);
+            if p.at_keyword("AND") {
+                p.next();
+            } else {
+                break;
+            }
+        }
+    }
+    if !p.at_keyword("WITHIN") {
+        return err("expected WITHIN clause");
+    }
+    p.next();
+    let time_based = if p.at_keyword("TIME") {
+        p.next();
+        true
+    } else {
+        false
+    };
+    let w = match p.next() {
+        Some(Tok::Number(n)) if n > 0.0 && n.fract() == 0.0 => n as u64,
+        other => return err(format!("expected positive integer window, found {other:?}")),
+    };
+    if p.peek().is_some() {
+        return err("trailing input after WITHIN clause");
+    }
+    let window = if time_based { WindowSpec::Time(w) } else { WindowSpec::Count(w) };
+    Ok(Pattern::new(expr, conditions, window))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlacep_events::TypeId;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .event_types(["GOOG", "AAPL", "MSFT", "INTC", "AMZN"])
+            .attribute("vol")
+            .attribute("price")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_paper_example_pattern() {
+        let s = schema();
+        let p = parse_pattern(
+            &s,
+            "SEQ(GOOG a, AAPL b, MSFT c, INTC d, AMZN e) \
+             WHERE 0.55 * a.vol < b.vol < 1.45 * c.vol AND 3 * e.vol < d.vol \
+             WITHIN 150",
+        )
+        .unwrap();
+        assert_eq!(p.window, WindowSpec::Count(150));
+        assert_eq!(p.conditions.len(), 2);
+        match &p.expr {
+            PatternExpr::Seq(children) => assert_eq!(children.len(), 5),
+            _ => panic!("expected SEQ"),
+        }
+        // Band condition expanded into an And of two comparisons.
+        match &p.conditions[0] {
+            Predicate::And(cs) => assert_eq!(cs.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_operators() {
+        let s = schema();
+        let p = parse_pattern(
+            &s,
+            "SEQ(GOOG a, KC(AAPL k), NEG(MSFT n), AMZN z) WITHIN 100",
+        )
+        .unwrap();
+        match &p.expr {
+            PatternExpr::Seq(cs) => {
+                assert!(matches!(cs[1], PatternExpr::Kleene(_)));
+                assert!(matches!(cs[2], PatternExpr::Neg(_)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_disj_of_seqs() {
+        let s = schema();
+        let p = parse_pattern(
+            &s,
+            "DISJ(SEQ(GOOG a, AAPL b), SEQ(MSFT c, INTC d)) WITHIN 50",
+        )
+        .unwrap();
+        assert!(matches!(p.expr, PatternExpr::Disj(_)));
+    }
+
+    #[test]
+    fn parses_type_union() {
+        let s = schema();
+        let p = parse_pattern(&s, "SEQ(GOOG|AAPL x, MSFT y) WITHIN 10").unwrap();
+        match &p.expr {
+            PatternExpr::Seq(cs) => match &cs[0] {
+                PatternExpr::Event { types, .. } => {
+                    assert!(types.contains(TypeId(0)));
+                    assert!(types.contains(TypeId(1)));
+                    assert!(!types.contains(TypeId(2)));
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_time_window() {
+        let s = schema();
+        let p = parse_pattern(&s, "SEQ(GOOG a, AAPL b) WITHIN TIME 60").unwrap();
+        assert_eq!(p.window, WindowSpec::Time(60));
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let s = schema();
+        let e = parse_pattern(&s, "SEQ(TSLA a) WITHIN 10").unwrap_err();
+        assert!(e.0.contains("unknown event type"));
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        let s = schema();
+        let e = parse_pattern(&s, "SEQ(GOOG a, AAPL b) WHERE a.volume < b.vol WITHIN 10")
+            .unwrap_err();
+        assert!(e.0.contains("unknown attribute"));
+    }
+
+    #[test]
+    fn rejects_missing_within() {
+        let s = schema();
+        assert!(parse_pattern(&s, "SEQ(GOOG a, AAPL b)").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let s = schema();
+        assert!(parse_pattern(&s, "SEQ(GOOG a) WITHIN 10 nonsense").is_err());
+    }
+
+    #[test]
+    fn parsed_pattern_compiles_and_runs() {
+        use crate::engine::CepEngine;
+        use crate::nfa::NfaEngine;
+        use dlacep_events::EventStream;
+        let s = schema();
+        let p = parse_pattern(
+            &s,
+            "SEQ(GOOG a, AAPL b) WHERE b.vol > a.vol WITHIN 10",
+        )
+        .unwrap();
+        let mut stream = EventStream::new();
+        stream.push(TypeId(0), 0, vec![1.0, 0.0]);
+        stream.push(TypeId(1), 1, vec![2.0, 0.0]);
+        stream.push(TypeId(1), 2, vec![0.5, 0.0]);
+        let mut eng = NfaEngine::new(&p).unwrap();
+        assert_eq!(eng.run(stream.events()).len(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! The DNN input assembler (paper §4.2, Fig. 4–6).
+//!
+//! The trained network evaluates the stream in windows of `MarkSize` events
+//! advancing `StepSize` events at a time. The defaults `MarkSize = 2W`,
+//! `StepSize = W` guarantee every match of window size `W` lies entirely
+//! inside at least one assembler window (Fig. 5's missed-match hazard) while
+//! keeping the per-event inference cost at two passes.
+
+use dlacep_events::{window::CountWindows, PrimitiveEvent};
+use serde::{Deserialize, Serialize};
+
+/// Assembler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssemblerConfig {
+    /// Events marked per evaluation step (`MarkSize ≥ W`).
+    pub mark_size: usize,
+    /// Step between evaluations (`StepSize ≥ max(1, MarkSize − W)`).
+    pub step_size: usize,
+}
+
+/// Why an assembler configuration is invalid for a pattern window `W`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssemblerError {
+    /// `MarkSize < W`: matches could never fit in one marking window.
+    MarkSizeTooSmall,
+    /// `StepSize > MarkSize − W` (and > 1): matches straddling two
+    /// consecutive windows would be missed (Fig. 5).
+    StepSizeTooLarge,
+    /// Zero sizes.
+    Zero,
+}
+
+impl std::fmt::Display for AssemblerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssemblerError::MarkSizeTooSmall => write!(f, "MarkSize must be at least W"),
+            AssemblerError::StepSizeTooLarge =>
+
+                write!(f, "StepSize must not exceed max(1, MarkSize - W)"),
+            AssemblerError::Zero => write!(f, "MarkSize and StepSize must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for AssemblerError {}
+
+impl AssemblerConfig {
+    /// The paper's choice: `MarkSize = 2W`, `StepSize = W` (§5.1 preliminary
+    /// experiments found this the best recall/throughput balance).
+    pub fn paper_default(w: u64) -> Self {
+        let w = w as usize;
+        Self { mark_size: 2 * w, step_size: w.max(1) }
+    }
+
+    /// Validate against the pattern's window size `W` (the constraints of
+    /// §4.2).
+    pub fn validate(&self, w: u64) -> Result<(), AssemblerError> {
+        let w = w as usize;
+        if self.mark_size == 0 || self.step_size == 0 {
+            return Err(AssemblerError::Zero);
+        }
+        if self.mark_size < w {
+            return Err(AssemblerError::MarkSizeTooSmall);
+        }
+        let max_step = (self.mark_size - w).max(1);
+        if self.step_size > max_step {
+            return Err(AssemblerError::StepSizeTooLarge);
+        }
+        Ok(())
+    }
+
+    /// Iterate assembler windows over a stream prefix.
+    pub fn windows<'a>(&self, events: &'a [PrimitiveEvent]) -> CountWindows<'a> {
+        CountWindows::new(events, self.mark_size, self.step_size)
+    }
+
+    /// Number of network evaluations over a stream of `n` events.
+    pub fn num_steps(&self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else if n <= self.mark_size {
+            1
+        } else {
+            1 + (n - self.mark_size).div_ceil(self.step_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlacep_events::{EventStream, TypeId};
+
+    fn stream(n: usize) -> EventStream {
+        let mut s = EventStream::new();
+        for i in 0..n {
+            s.push(TypeId(0), i as u64, vec![]);
+        }
+        s
+    }
+
+    #[test]
+    fn paper_default_is_2w_w() {
+        let c = AssemblerConfig::paper_default(150);
+        assert_eq!(c.mark_size, 300);
+        assert_eq!(c.step_size, 150);
+        assert!(c.validate(150).is_ok());
+    }
+
+    #[test]
+    fn every_w_window_is_covered_by_default() {
+        // Matches within any W consecutive events must fit in one assembler
+        // window: every aligned range [i, i+W) lies in some [kW, kW+2W).
+        let w = 5usize;
+        let c = AssemblerConfig::paper_default(w as u64);
+        let s = stream(37);
+        let wins: Vec<_> = c.windows(s.events()).collect();
+        for start in 0..=(37 - w) {
+            let covered = wins.iter().any(|win| {
+                let lo = win[0].id.0 as usize;
+                let hi = lo + win.len();
+                lo <= start && start + w <= hi
+            });
+            assert!(covered, "match window at {start} not covered");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert_eq!(
+            AssemblerConfig { mark_size: 4, step_size: 1 }.validate(5),
+            Err(AssemblerError::MarkSizeTooSmall)
+        );
+        assert_eq!(
+            AssemblerConfig { mark_size: 10, step_size: 7 }.validate(5),
+            Err(AssemblerError::StepSizeTooLarge)
+        );
+        assert_eq!(
+            AssemblerConfig { mark_size: 0, step_size: 1 }.validate(5),
+            Err(AssemblerError::Zero)
+        );
+        // MarkSize == W forces StepSize == 1 (the slow ECEP-like mode, §4.2).
+        assert!(AssemblerConfig { mark_size: 5, step_size: 1 }.validate(5).is_ok());
+        assert_eq!(
+            AssemblerConfig { mark_size: 5, step_size: 2 }.validate(5),
+            Err(AssemblerError::StepSizeTooLarge)
+        );
+    }
+
+    #[test]
+    fn num_steps_counts_evaluations() {
+        let c = AssemblerConfig { mark_size: 10, step_size: 5 };
+        assert_eq!(c.num_steps(0), 0);
+        assert_eq!(c.num_steps(10), 1);
+        assert_eq!(c.num_steps(11), 2);
+        assert_eq!(c.num_steps(20), 3);
+        let wins = c.windows(stream(20).events()).count();
+        assert_eq!(wins, 3);
+    }
+}

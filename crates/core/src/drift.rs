@@ -1,0 +1,195 @@
+//! Concept-drift handling (paper §4.3, "Model retraining").
+//!
+//! The paper notes that a trained filter degrades when the live stream no
+//! longer matches the training distribution, and names periodic/triggered
+//! retraining as the primary mitigation. This module implements the
+//! detection half: a [`DriftMonitor`] tracks the filter's *marking rate*
+//! (fraction of events marked per window) against its training-time
+//! baseline with an exponential moving average, and raises a retraining
+//! signal when the rate drifts outside a tolerance band for a sustained
+//! number of windows.
+//!
+//! The marking rate is a deliberately cheap, label-free proxy: under drift,
+//! a filter either over-marks (losing throughput silently) or under-marks
+//! (losing matches silently) — both move this statistic.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the drift detector.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Expected marking rate (measured on the training/test split).
+    pub baseline_rate: f64,
+    /// Relative deviation tolerated before a window counts as drifted
+    /// (e.g. 0.5 = ±50%).
+    pub tolerance: f64,
+    /// EMA smoothing factor in `(0, 1]`; smaller = smoother.
+    pub alpha: f64,
+    /// Consecutive drifted windows before signaling.
+    pub patience: usize,
+}
+
+impl DriftConfig {
+    /// A permissive default: ±50% band, EMA α = 0.05, 20-window patience.
+    pub fn with_baseline(baseline_rate: f64) -> Self {
+        Self { baseline_rate, tolerance: 0.5, alpha: 0.05, patience: 20 }
+    }
+}
+
+/// Current drift verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftState {
+    /// Marking rate within the tolerance band.
+    Stable,
+    /// Out of band, but not yet for `patience` consecutive windows.
+    Suspect,
+    /// Sustained deviation: retraining recommended.
+    Drifted,
+}
+
+/// Streaming drift monitor over per-window marking rates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftMonitor {
+    config: DriftConfig,
+    ema: Option<f64>,
+    consecutive_out: usize,
+    windows_seen: u64,
+}
+
+impl DriftMonitor {
+    /// Build from a configuration.
+    pub fn new(config: DriftConfig) -> Self {
+        assert!(config.alpha > 0.0 && config.alpha <= 1.0, "alpha in (0, 1]");
+        assert!(config.tolerance >= 0.0, "tolerance must be non-negative");
+        Self { config, ema: None, consecutive_out: 0, windows_seen: 0 }
+    }
+
+    /// Feed the marks of one assembler window; returns the updated state.
+    pub fn observe_marks(&mut self, marks: &[bool]) -> DriftState {
+        if marks.is_empty() {
+            return self.state();
+        }
+        let rate = marks.iter().filter(|&&m| m).count() as f64 / marks.len() as f64;
+        self.observe_rate(rate)
+    }
+
+    /// Feed a precomputed marking rate.
+    pub fn observe_rate(&mut self, rate: f64) -> DriftState {
+        self.windows_seen += 1;
+        let a = self.config.alpha;
+        let ema = match self.ema {
+            None => rate,
+            Some(prev) => prev * (1.0 - a) + rate * a,
+        };
+        self.ema = Some(ema);
+        let lo = self.config.baseline_rate * (1.0 - self.config.tolerance);
+        let hi = self.config.baseline_rate * (1.0 + self.config.tolerance);
+        if ema < lo || ema > hi {
+            self.consecutive_out += 1;
+        } else {
+            self.consecutive_out = 0;
+        }
+        self.state()
+    }
+
+    /// Current verdict.
+    pub fn state(&self) -> DriftState {
+        if self.consecutive_out >= self.config.patience {
+            DriftState::Drifted
+        } else if self.consecutive_out > 0 {
+            DriftState::Suspect
+        } else {
+            DriftState::Stable
+        }
+    }
+
+    /// Smoothed marking rate, if any windows were observed.
+    pub fn smoothed_rate(&self) -> Option<f64> {
+        self.ema
+    }
+
+    /// Reset after retraining with a fresh baseline.
+    pub fn rebaseline(&mut self, baseline_rate: f64) {
+        self.config.baseline_rate = baseline_rate;
+        self.ema = None;
+        self.consecutive_out = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(baseline: f64) -> DriftMonitor {
+        DriftMonitor::new(DriftConfig {
+            baseline_rate: baseline,
+            tolerance: 0.5,
+            alpha: 0.5,
+            patience: 3,
+        })
+    }
+
+    #[test]
+    fn stable_under_baseline_rates() {
+        let mut m = monitor(0.2);
+        for _ in 0..50 {
+            assert_eq!(m.observe_rate(0.22), DriftState::Stable);
+        }
+    }
+
+    #[test]
+    fn sustained_overmarking_signals_drift() {
+        let mut m = monitor(0.2);
+        let mut last = DriftState::Stable;
+        for _ in 0..20 {
+            last = m.observe_rate(0.9);
+        }
+        assert_eq!(last, DriftState::Drifted);
+        assert!(m.smoothed_rate().unwrap() > 0.8);
+    }
+
+    #[test]
+    fn sustained_undermarking_signals_drift() {
+        let mut m = monitor(0.4);
+        let mut last = DriftState::Stable;
+        for _ in 0..20 {
+            last = m.observe_rate(0.01);
+        }
+        assert_eq!(last, DriftState::Drifted);
+    }
+
+    #[test]
+    fn transient_spike_only_suspect() {
+        let mut m = monitor(0.2);
+        assert_eq!(m.observe_rate(0.95), DriftState::Suspect);
+        // Recovery resets the counter.
+        for _ in 0..5 {
+            m.observe_rate(0.2);
+        }
+        assert_eq!(m.state(), DriftState::Stable);
+    }
+
+    #[test]
+    fn observe_marks_counts_rate() {
+        let mut m = monitor(0.5);
+        let state = m.observe_marks(&[true, false, true, false]);
+        assert_eq!(state, DriftState::Stable);
+        assert!((m.smoothed_rate().unwrap() - 0.5).abs() < 1e-12);
+        // Empty window is a no-op.
+        let before = m.smoothed_rate();
+        m.observe_marks(&[]);
+        assert_eq!(m.smoothed_rate(), before);
+    }
+
+    #[test]
+    fn rebaseline_resets_state() {
+        let mut m = monitor(0.2);
+        for _ in 0..10 {
+            m.observe_rate(0.9);
+        }
+        assert_eq!(m.state(), DriftState::Drifted);
+        m.rebaseline(0.9);
+        assert_eq!(m.state(), DriftState::Stable);
+        assert_eq!(m.observe_rate(0.9), DriftState::Stable);
+    }
+}

@@ -1,0 +1,195 @@
+//! Head-to-head evaluation of DLACEP against exact CEP (paper §5.1):
+//! throughput gain, recall, precision/F1 over the emitted match sets, FN%.
+
+use crate::filter::Filter;
+use crate::pipeline::{Dlacep, DlacepReport};
+use dlacep_cep::engine::CepEngine;
+use dlacep_cep::{EngineStats, Match, NfaEngine, Pattern};
+use dlacep_events::{EventId, PrimitiveEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Result of comparing one ACEP run against the ECEP reference on the same
+/// stream prefix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    /// Exact match count.
+    pub ecep_matches: usize,
+    /// ACEP match count.
+    pub acep_matches: usize,
+    /// Matches found by both (set intersection on event-id sets).
+    pub common_matches: usize,
+    /// ECEP wall time in seconds.
+    pub ecep_secs: f64,
+    /// ACEP wall time (filter + extraction) in seconds.
+    pub acep_secs: f64,
+    /// Events per second, exact engine.
+    pub ecep_throughput: f64,
+    /// Events per second, DLACEP.
+    pub acep_throughput: f64,
+    /// `acep_throughput / ecep_throughput` (the paper's headline metric).
+    pub throughput_gain: f64,
+    /// |common| / |ecep| — fraction of true matches recovered.
+    pub recall: f64,
+    /// |common| / |acep| — 1.0 unless the pattern has negation (§4.4).
+    pub precision: f64,
+    /// Harmonic mean of recall and precision.
+    pub f1: f64,
+    /// Missed matches as a percentage of the exact set (Fig. 11).
+    pub fn_percent: f64,
+    /// Fraction of events filtered out before extraction.
+    pub filtering_ratio: f64,
+    /// Partial matches created by the exact engine.
+    pub ecep_partials: u64,
+    /// Partial matches created by DLACEP's extractor.
+    pub acep_partials: u64,
+}
+
+fn keyset(ms: &[Match]) -> BTreeSet<Vec<EventId>> {
+    ms.iter().map(|m| m.event_ids.clone()).collect()
+}
+
+/// Run the exact NFA engine over the events, timing it.
+pub fn run_ecep(pattern: &Pattern, events: &[PrimitiveEvent]) -> (Vec<Match>, Duration, EngineStats) {
+    let start = Instant::now();
+    let mut engine = NfaEngine::new(pattern).expect("pattern compiles");
+    let matches = engine.run(events);
+    (matches, start.elapsed(), *engine.stats())
+}
+
+/// Compare match sets and timings into a [`ComparisonReport`].
+pub fn compare_runs(
+    events_total: usize,
+    ecep_matches: &[Match],
+    ecep_time: Duration,
+    ecep_stats: &EngineStats,
+    acep: &DlacepReport,
+) -> ComparisonReport {
+    let truth = keyset(ecep_matches);
+    let ours = keyset(&acep.matches);
+    let common = truth.intersection(&ours).count();
+    let recall = if truth.is_empty() { 1.0 } else { common as f64 / truth.len() as f64 };
+    let precision = if ours.is_empty() { 1.0 } else { common as f64 / ours.len() as f64 };
+    let f1 = if recall + precision == 0.0 {
+        0.0
+    } else {
+        2.0 * recall * precision / (recall + precision)
+    };
+    let ecep_secs = ecep_time.as_secs_f64();
+    let acep_secs = acep.total_time().as_secs_f64();
+    let ecep_throughput =
+        if ecep_secs > 0.0 { events_total as f64 / ecep_secs } else { f64::INFINITY };
+    let acep_throughput = acep.throughput();
+    ComparisonReport {
+        ecep_matches: truth.len(),
+        acep_matches: ours.len(),
+        common_matches: common,
+        ecep_secs,
+        acep_secs,
+        ecep_throughput,
+        acep_throughput,
+        throughput_gain: if ecep_throughput > 0.0 && acep_throughput.is_finite() {
+            acep_throughput / ecep_throughput
+        } else {
+            f64::NAN
+        },
+        recall,
+        precision,
+        f1,
+        fn_percent: if truth.is_empty() {
+            0.0
+        } else {
+            100.0 * (truth.len() - common) as f64 / truth.len() as f64
+        },
+        filtering_ratio: acep.filtering_ratio,
+        ecep_partials: ecep_stats.partial_matches_created,
+        acep_partials: acep.extractor_stats.partial_matches_created,
+    }
+}
+
+/// End-to-end comparison: run ECEP and a DLACEP pipeline on the same prefix.
+pub fn compare<F: Filter>(
+    pattern: &Pattern,
+    events: &[PrimitiveEvent],
+    dlacep: &Dlacep<F>,
+) -> ComparisonReport {
+    let (ecep_matches, ecep_time, ecep_stats) = run_ecep(pattern, events);
+    let report = dlacep.run(events);
+    compare_runs(events.len(), &ecep_matches, ecep_time, &ecep_stats, &report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::OracleFilter;
+    use dlacep_cep::{PatternExpr, TypeSet};
+    use dlacep_events::{EventStream, TypeId, WindowSpec};
+
+    const A: TypeId = TypeId(0);
+    const B: TypeId = TypeId(1);
+    const C: TypeId = TypeId(2);
+
+    fn pattern(w: u64) -> Pattern {
+        Pattern::new(
+            PatternExpr::Seq(vec![
+                PatternExpr::event(TypeSet::single(A), "a"),
+                PatternExpr::event(TypeSet::single(B), "b"),
+            ]),
+            vec![],
+            WindowSpec::Count(w),
+        )
+    }
+
+    fn stream(n: usize) -> EventStream {
+        let mut s = EventStream::new();
+        for i in 0..n {
+            let t = match i % 11 {
+                2 => A,
+                7 => B,
+                _ => C,
+            };
+            s.push(t, i as u64, vec![0.0]);
+        }
+        s
+    }
+
+    #[test]
+    fn oracle_comparison_has_perfect_quality() {
+        let p = pattern(8);
+        let s = stream(300);
+        let dl = Dlacep::new(p.clone(), OracleFilter::new(p.clone())).unwrap();
+        let r = compare(&p, s.events(), &dl);
+        assert!(r.ecep_matches > 0);
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.precision, 1.0);
+        assert_eq!(r.f1, 1.0);
+        assert_eq!(r.fn_percent, 0.0);
+        assert_eq!(r.common_matches, r.ecep_matches);
+    }
+
+    #[test]
+    fn report_counts_partials_on_both_sides() {
+        let p = pattern(8);
+        let s = stream(300);
+        let dl = Dlacep::new(p.clone(), OracleFilter::new(p.clone())).unwrap();
+        let r = compare(&p, s.events(), &dl);
+        // The filtered stream is much smaller; so is the partial count.
+        assert!(r.acep_partials <= r.ecep_partials);
+        assert!(r.filtering_ratio > 0.5);
+    }
+
+    #[test]
+    fn empty_truth_gives_perfect_recall() {
+        let p = pattern(2); // adjacent A,B never happen in this stream
+        let mut s = EventStream::new();
+        for i in 0..50 {
+            s.push(C, i, vec![0.0]);
+        }
+        let dl = Dlacep::new(p.clone(), OracleFilter::new(p.clone())).unwrap();
+        let r = compare(&p, s.events(), &dl);
+        assert_eq!(r.ecep_matches, 0);
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.fn_percent, 0.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! The paper's two DL models (§4.3, Fig. 7):
+//!
+//! * **event-network** — stacked BiLSTM encoder + linear emission layer +
+//!   BI-CRF head, labeling every event in the input window as match
+//!   participant or not;
+//! * **window-network** — the same encoder, mean-pooled over time into a
+//!   single linear classification head labeling the whole window.
+
+use dlacep_nn::graph::{Graph, Var};
+use dlacep_nn::matrix::Matrix;
+use dlacep_nn::optim::Optimizer;
+use dlacep_nn::{BiCrf, Initializer, Linear, ParamStore, StackedBiLstm};
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Embedding width (from [`crate::embed::EventEmbedder::dim`]).
+    pub input_dim: usize,
+    /// BiLSTM hidden width per direction (paper: 75).
+    pub hidden: usize,
+    /// Number of stacked BiLSTM layers (paper: 3; Fig. 13c–d sweeps 3–5).
+    pub layers: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// The paper's architecture: 3 stacked BiLSTM layers, hidden 75.
+    pub fn paper_default(input_dim: usize) -> Self {
+        Self { input_dim, hidden: 75, layers: 3, seed: 42 }
+    }
+
+    /// A scaled-down architecture for CPU-budget experiments and tests.
+    pub fn small(input_dim: usize) -> Self {
+        Self { input_dim, hidden: 16, layers: 1, seed: 42 }
+    }
+}
+
+fn window_inputs(g: &mut Graph, batch: &[&[Vec<f32>]]) -> Vec<Var> {
+    let t_len = batch[0].len();
+    debug_assert!(batch.iter().all(|w| w.len() == t_len), "uniform sequence length");
+    let dim = batch[0][0].len();
+    (0..t_len)
+        .map(|t| {
+            let mut m = Matrix::zeros(batch.len(), dim);
+            for (b, w) in batch.iter().enumerate() {
+                m.row_mut(b).copy_from_slice(&w[t]);
+            }
+            g.input(m)
+        })
+        .collect()
+}
+
+/// The event-network: per-event labeling via BI-CRF.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventNetwork {
+    /// Architecture.
+    pub config: NetworkConfig,
+    store: ParamStore,
+    encoder: StackedBiLstm,
+    emit: Linear,
+    crf: BiCrf,
+}
+
+impl EventNetwork {
+    /// Allocate a fresh network.
+    pub fn new(config: NetworkConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(config.seed);
+        let encoder =
+            StackedBiLstm::new(&mut store, &mut init, config.input_dim, config.hidden, config.layers);
+        let emit = Linear::new(&mut store, &mut init, encoder.out_dim(), 2);
+        let crf = BiCrf::new(&mut store, &mut init, 2);
+        Self { config, store, encoder, emit, crf }
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    fn emissions(&self, g: &mut Graph, xs: &[Var]) -> Vec<Var> {
+        let hs = self.encoder.forward(g, &self.store, xs);
+        hs.into_iter().map(|h| self.emit.forward(g, &self.store, h)).collect()
+    }
+
+    fn infer_emissions(&self, window: &[Vec<f32>]) -> Matrix {
+        let mut xs = Matrix::zeros(window.len(), self.config.input_dim);
+        for (t, row) in window.iter().enumerate() {
+            xs.row_mut(t).copy_from_slice(row);
+        }
+        let hs = self.encoder.infer(&self.store, &xs);
+        self.emit.infer(&self.store, &hs)
+    }
+
+    /// Label one window (inference): `true` = event participates in a match.
+    /// Uses the tape-free fast path — this is the per-window cost `C_filter`
+    /// of the paper's §3.2 analysis.
+    pub fn mark(&self, window: &[Vec<f32>]) -> Vec<bool> {
+        if window.is_empty() {
+            return Vec::new();
+        }
+        let emissions = self.infer_emissions(window);
+        self.crf.decode(&self.store, &emissions).into_iter().map(|l| l == 1).collect()
+    }
+
+    /// Posterior probability of the positive label per event.
+    pub fn marginals(&self, window: &[Vec<f32>]) -> Vec<f32> {
+        if window.is_empty() {
+            return Vec::new();
+        }
+        let emissions = self.infer_emissions(window);
+        let m = self.crf.marginals(&self.store, &emissions);
+        (0..window.len()).map(|t| m.get(t, 1)).collect()
+    }
+
+    /// One optimizer step over a mini-batch of `(window, gold labels)`;
+    /// returns the mean BI-CRF negative log-likelihood. All windows in the
+    /// batch must share the same length.
+    pub fn train_batch(
+        &mut self,
+        batch: &[(&[Vec<f32>], &[bool])],
+        opt: &mut dyn Optimizer,
+        grad_clip: f32,
+    ) -> f32 {
+        assert!(!batch.is_empty());
+        let t_len = batch[0].0.len();
+        let b_len = batch.len();
+        self.store.zero_grads();
+        let mut g = Graph::with_capacity(t_len * 24 * self.config.layers * 2);
+        let windows: Vec<&[Vec<f32>]> = batch.iter().map(|(w, _)| *w).collect();
+        let xs = window_inputs(&mut g, &windows);
+        let em_vars = self.emissions(&mut g, &xs);
+        // Per-sequence CRF loss + analytic emission gradients.
+        let scale = 1.0 / b_len as f32;
+        let mut seeds: Vec<Matrix> = (0..t_len).map(|_| Matrix::zeros(b_len, 2)).collect();
+        let mut total_nll = 0.0;
+        for (b, (_, labels)) in batch.iter().enumerate() {
+            assert_eq!(labels.len(), t_len, "labels match window length");
+            let emissions = Matrix::from_fn(t_len, 2, |t, l| g.value(em_vars[t]).get(b, l));
+            let gold: Vec<usize> = labels.iter().map(|&x| usize::from(x)).collect();
+            let (nll, de) = self.crf.nll_backward(&mut self.store, &emissions, &gold, scale);
+            total_nll += nll;
+            for t in 0..t_len {
+                for l in 0..2 {
+                    *seeds[t].get_mut(b, l) += de.get(t, l);
+                }
+            }
+        }
+        let seed_pairs: Vec<(Var, Matrix)> = em_vars.into_iter().zip(seeds).collect();
+        g.backward_seeded(&seed_pairs, &mut self.store);
+        self.store.clip_grad_norm(grad_clip);
+        opt.step(&mut self.store);
+        total_nll / b_len as f32
+    }
+}
+
+/// The window-network: whole-window applicability classification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowNetwork {
+    /// Architecture.
+    pub config: NetworkConfig,
+    store: ParamStore,
+    encoder: StackedBiLstm,
+    head: Linear,
+}
+
+impl WindowNetwork {
+    /// Allocate a fresh network.
+    pub fn new(config: NetworkConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(config.seed);
+        let encoder =
+            StackedBiLstm::new(&mut store, &mut init, config.input_dim, config.hidden, config.layers);
+        let head = Linear::new(&mut store, &mut init, encoder.out_dim(), 1);
+        Self { config, store, encoder, head }
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    fn logits(&self, g: &mut Graph, xs: &[Var]) -> Var {
+        let hs = self.encoder.forward(g, &self.store, xs);
+        // Mean-pool the per-timestep encodings.
+        let mut acc = hs[0];
+        for h in &hs[1..] {
+            acc = g.add(acc, *h);
+        }
+        let pooled = g.scale(acc, 1.0 / hs.len() as f32);
+        self.head.forward(g, &self.store, pooled)
+    }
+
+    /// Probability the window contains at least one full match (tape-free
+    /// fast path).
+    pub fn probability(&self, window: &[Vec<f32>]) -> f32 {
+        if window.is_empty() {
+            return 0.0;
+        }
+        let mut xs = Matrix::zeros(window.len(), self.config.input_dim);
+        for (t, row) in window.iter().enumerate() {
+            xs.row_mut(t).copy_from_slice(row);
+        }
+        let hs = self.encoder.infer(&self.store, &xs);
+        // Mean-pool rows into 1×2H.
+        let mut pooled = hs.sum_rows();
+        pooled.map_inplace(|v| v / hs.rows() as f32);
+        let logit = self.head.infer(&self.store, &pooled).get(0, 0);
+        1.0 / (1.0 + (-logit).exp())
+    }
+
+    /// Binary applicability decision (threshold 0.5).
+    pub fn applicable(&self, window: &[Vec<f32>]) -> bool {
+        self.probability(window) > 0.5
+    }
+
+    /// One optimizer step over a mini-batch of `(window, label)`; returns the
+    /// mean binary cross-entropy.
+    pub fn train_batch(
+        &mut self,
+        batch: &[(&[Vec<f32>], bool)],
+        opt: &mut dyn Optimizer,
+        grad_clip: f32,
+    ) -> f32 {
+        assert!(!batch.is_empty());
+        self.store.zero_grads();
+        let mut g = Graph::new();
+        let windows: Vec<&[Vec<f32>]> = batch.iter().map(|(w, _)| *w).collect();
+        let xs = window_inputs(&mut g, &windows);
+        let logits = self.logits(&mut g, &xs);
+        let targets =
+            Matrix::from_fn(batch.len(), 1, |b, _| if batch[b].1 { 1.0 } else { 0.0 });
+        let loss = g.bce_with_logits(logits, targets);
+        let out = g.value(loss).get(0, 0);
+        g.backward(loss, &mut self.store);
+        self.store.clip_grad_norm(grad_clip);
+        opt.step(&mut self.store);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlacep_nn::Adam;
+
+    /// A window where events of "type slot 0" should be positive.
+    fn toy_window(pattern: &[bool]) -> (Vec<Vec<f32>>, Vec<bool>) {
+        let w: Vec<Vec<f32>> = pattern
+            .iter()
+            .map(|&p| if p { vec![1.0, 0.0, 0.3] } else { vec![0.0, 1.0, -0.3] })
+            .collect();
+        (w, pattern.to_vec())
+    }
+
+    #[test]
+    fn event_network_shapes() {
+        let net = EventNetwork::new(NetworkConfig::small(3));
+        let (w, _) = toy_window(&[true, false, true, false]);
+        assert_eq!(net.mark(&w).len(), 4);
+        assert_eq!(net.marginals(&w).len(), 4);
+        assert!(net.num_parameters() > 0);
+        assert!(net.mark(&[]).is_empty());
+    }
+
+    #[test]
+    fn event_network_learns_identity_labeling() {
+        // Labels equal the one-hot slot: a trivially learnable mapping.
+        let mut net = EventNetwork::new(NetworkConfig::small(3));
+        let mut opt = Adam::new(0.02);
+        let data: Vec<(Vec<Vec<f32>>, Vec<bool>)> = vec![
+            toy_window(&[true, false, true, false]),
+            toy_window(&[false, false, true, true]),
+            toy_window(&[true, true, false, false]),
+            toy_window(&[false, true, false, true]),
+        ];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..60 {
+            let batch: Vec<(&[Vec<f32>], &[bool])> =
+                data.iter().map(|(w, l)| (w.as_slice(), l.as_slice())).collect();
+            let loss = net.train_batch(&batch, &mut opt, 5.0);
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+        let (w, labels) = toy_window(&[true, false, false, true]);
+        assert_eq!(net.mark(&w), labels);
+    }
+
+    #[test]
+    fn window_network_learns_any_positive() {
+        // Window label = any event has slot-0 type.
+        let mut net = WindowNetwork::new(NetworkConfig::small(3));
+        let mut opt = Adam::new(0.02);
+        let data: Vec<(Vec<Vec<f32>>, bool)> = vec![
+            (toy_window(&[false, false, false, false]).0, false),
+            (toy_window(&[false, true, false, false]).0, true),
+            (toy_window(&[true, false, false, false]).0, true),
+            (toy_window(&[false, false, false, false]).0, false),
+        ];
+        for _ in 0..80 {
+            let batch: Vec<(&[Vec<f32>], bool)> =
+                data.iter().map(|(w, l)| (w.as_slice(), *l)).collect();
+            net.train_batch(&batch, &mut opt, 5.0);
+        }
+        assert!(net.applicable(&toy_window(&[false, true, true, false]).0));
+        assert!(!net.applicable(&toy_window(&[false, false, false, false]).0));
+    }
+
+    #[test]
+    fn window_network_probability_bounds() {
+        let net = WindowNetwork::new(NetworkConfig::small(3));
+        let (w, _) = toy_window(&[true, false]);
+        let p = net.probability(&w);
+        assert!((0.0..=1.0).contains(&p));
+        assert_eq!(net.probability(&[]), 0.0);
+    }
+
+    #[test]
+    fn networks_serialize_roundtrip() {
+        let net = EventNetwork::new(NetworkConfig::small(3));
+        let json = serde_json::to_string(&net).unwrap();
+        let back: EventNetwork = serde_json::from_str(&json).unwrap();
+        let (w, _) = toy_window(&[true, false, true]);
+        assert_eq!(net.mark(&w), back.mark(&w));
+    }
+}

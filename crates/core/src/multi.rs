@@ -1,0 +1,277 @@
+//! Multi-pattern monitoring (paper §4.3).
+//!
+//! When several patterns are monitored at once, DLACEP trains a *single*
+//! network on labels OR-ed across patterns ("semantically unifying the
+//! patterns into one"): an event is positive if it participates in a full
+//! match of *either* pattern. At evaluation time the shared filter runs once
+//! per window; the surviving events feed one CEP extractor per pattern, and
+//! each pattern's matches are reported separately.
+//!
+//! This differs from [`dlacep_cep::Pattern::disjunction_of`], which fuses
+//! the patterns into one composite DISJ query with one merged match set.
+
+use crate::embed::EventEmbedder;
+use crate::filter::{EventNetFilter, Filter};
+use crate::model::{EventNetwork, NetworkConfig};
+use crate::trainer::TrainConfig;
+use dlacep_cep::engine::CepEngine;
+use dlacep_cep::plan::Plan;
+use dlacep_cep::{Match, NfaEngine, Pattern, TypeSet};
+use dlacep_data::label::{label_stream_multi, relevant_types};
+use dlacep_data::train_test_split;
+use dlacep_events::{EventStream, PrimitiveEvent};
+use dlacep_nn::optim::Optimizer;
+use dlacep_nn::{Adam, BatchSampler, Confusion, ConvergenceDetector, TrainReport};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// A DLACEP instance monitoring several patterns with one shared filter.
+pub struct MultiPatternDlacep {
+    patterns: Vec<Pattern>,
+    filter: EventNetFilter,
+    /// Shared count-window size `W` (all patterns must agree — the paper's
+    /// unification trains on samples of one fixed `2W`).
+    w: u64,
+}
+
+/// Outcome of a multi-pattern run.
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// Matches per pattern, in input order.
+    pub matches: Vec<Vec<Match>>,
+    /// Distinct events relayed to the extractors.
+    pub events_relayed: usize,
+    /// Events fed to the pipeline.
+    pub events_total: usize,
+}
+
+/// Outcome of multi-pattern training.
+pub struct MultiTraining {
+    /// The ready system.
+    pub system: MultiPatternDlacep,
+    /// Loss trajectory.
+    pub report: TrainReport,
+    /// Event-level confusion on the held-out split (union labels).
+    pub test: Confusion,
+}
+
+/// Train one event-network for a set of patterns (labels OR-ed, §4.3).
+///
+/// # Panics
+/// Panics when `patterns` is empty, the windows disagree, or any pattern
+/// fails to compile.
+pub fn train_multi_pattern(
+    patterns: &[Pattern],
+    stream: &EventStream,
+    cfg: &TrainConfig,
+) -> MultiTraining {
+    assert!(!patterns.is_empty(), "need at least one pattern");
+    let w = patterns[0].window_size();
+    assert!(
+        patterns.iter().all(|p| p.window_size() == w),
+        "multi-pattern unification requires one shared window size"
+    );
+    let plans: Vec<Plan> =
+        patterns.iter().map(|p| Plan::compile(p).expect("pattern compiles")).collect();
+    // Relevant types = union over patterns, so one embedding serves all.
+    let mut relevant = TypeSet::new(vec![]);
+    for plan in &plans {
+        relevant = relevant.union(&relevant_types(plan));
+    }
+    let num_attrs = stream.events().first().map_or(0, |e| e.attrs.len());
+    let embedder = EventEmbedder::new(&relevant, num_attrs);
+
+    let sample_len = (2 * w) as usize;
+    let samples = label_stream_multi(patterns, stream, sample_len);
+    let mut embedded: Vec<(Vec<Vec<f32>>, Vec<bool>, bool)> = samples
+        .iter()
+        .filter(|s| s.len == sample_len)
+        .map(|s| {
+            let evs = &stream.events()[s.start..s.start + s.len];
+            (embedder.embed_window(evs, s.len), s.event_labels.clone(), s.window_label)
+        })
+        .collect();
+    let (mut train, test) = {
+        let all = std::mem::take(&mut embedded);
+        train_test_split(all, cfg.train_fraction, cfg.seed)
+    };
+    if cfg.oversample_positives {
+        let pos: Vec<usize> = (0..train.len()).filter(|&i| train[i].2).collect();
+        let neg = train.len() - pos.len();
+        if !pos.is_empty() && neg > pos.len() {
+            let copies = (neg / pos.len()).saturating_sub(1).min(15);
+            for &i in pos.iter().collect::<Vec<_>>() {
+                for _ in 0..copies {
+                    train.push(train[i].clone());
+                }
+            }
+            train.shuffle(&mut StdRng::seed_from_u64(cfg.seed ^ 0x77));
+        }
+    }
+
+    let mut net = EventNetwork::new(NetworkConfig {
+        input_dim: embedder.dim(),
+        hidden: cfg.hidden,
+        layers: cfg.layers,
+        seed: cfg.seed,
+    });
+    let mut opt = Adam::new(cfg.lr.lr_at(0));
+    let mut sampler = BatchSampler::new(train.len(), cfg.seed);
+    let mut detector = ConvergenceDetector::new(cfg.convergence_threshold, cfg.convergence_patience);
+    let mut losses = Vec::new();
+    let mut converged = false;
+    for epoch in 0..cfg.max_epochs {
+        if train.is_empty() {
+            break;
+        }
+        opt.set_lr(cfg.lr.lr_at(epoch));
+        let mut loss = 0.0;
+        let mut batches = 0;
+        for idx in sampler.epoch(cfg.batch.at(epoch)) {
+            let batch: Vec<(&[Vec<f32>], &[bool])> =
+                idx.iter().map(|&i| (train[i].0.as_slice(), train[i].1.as_slice())).collect();
+            loss += net.train_batch(&batch, &mut opt, cfg.grad_clip);
+            batches += 1;
+        }
+        let loss = loss / batches.max(1) as f32;
+        losses.push(loss);
+        if detector.observe(loss) {
+            converged = true;
+            break;
+        }
+    }
+    let mut test_conf = Confusion::new();
+    for (wnd, labels, _) in &test {
+        let pred: Vec<bool> = match cfg.mark_threshold {
+            None => net.mark(wnd),
+            Some(t) => net.marginals(wnd).into_iter().map(|p| p > t).collect(),
+        };
+        test_conf.record_all(&pred, labels);
+    }
+    MultiTraining {
+        system: MultiPatternDlacep {
+            patterns: patterns.to_vec(),
+            filter: EventNetFilter { network: net, embedder, threshold: cfg.mark_threshold },
+            w,
+        },
+        report: TrainReport { epochs_run: losses.len(), epoch_losses: losses, converged },
+        test: test_conf,
+    }
+}
+
+impl MultiPatternDlacep {
+    /// The monitored patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// The shared trained filter.
+    pub fn filter(&self) -> &EventNetFilter {
+        &self.filter
+    }
+
+    /// Run: filter the stream once, then extract each pattern's matches from
+    /// the shared filtered stream.
+    pub fn run(&self, events: &[PrimitiveEvent]) -> MultiReport {
+        let assembler = crate::assembler::AssemblerConfig::paper_default(self.w);
+        let mut relayed: BTreeMap<u64, PrimitiveEvent> = BTreeMap::new();
+        for window in assembler.windows(events) {
+            let marks = self.filter.mark(window);
+            for (ev, keep) in window.iter().zip(marks) {
+                if keep {
+                    relayed.entry(ev.id.0).or_insert_with(|| ev.clone());
+                }
+            }
+        }
+        let filtered: Vec<PrimitiveEvent> = relayed.into_values().collect();
+        let matches = self
+            .patterns
+            .iter()
+            .map(|p| {
+                let mut engine = NfaEngine::new(p).expect("pattern compiles");
+                engine.run(&filtered)
+            })
+            .collect();
+        MultiReport { matches, events_relayed: filtered.len(), events_total: events.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlacep_cep::PatternExpr;
+    use dlacep_data::label::ground_truth_matches;
+    use dlacep_events::{TypeId, WindowSpec};
+    use rand::Rng;
+
+    fn seq2(a: u32, b: u32) -> Pattern {
+        Pattern::new(
+            PatternExpr::Seq(vec![
+                PatternExpr::event(TypeSet::single(TypeId(a)), "x"),
+                PatternExpr::event(TypeSet::single(TypeId(b)), "y"),
+            ]),
+            vec![],
+            WindowSpec::Count(6),
+        )
+    }
+
+    fn stream(n: usize, seed: u64) -> EventStream {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = EventStream::new();
+        for i in 0..n {
+            s.push(TypeId(rng.gen_range(0..6u32)), i as u64, vec![rng.gen_range(0.0..1.0)]);
+        }
+        s
+    }
+
+    #[test]
+    fn one_network_serves_two_patterns() {
+        let p1 = seq2(0, 1);
+        let p2 = seq2(2, 3);
+        let history = stream(2_400, 1);
+        let mut cfg = TrainConfig::quick();
+        cfg.max_epochs = 14;
+        let trained = train_multi_pattern(&[p1.clone(), p2.clone()], &history, &cfg);
+        assert!(trained.report.epochs_run > 0);
+
+        let live = stream(1_200, 2);
+        let report = trained.system.run(live.events());
+        assert_eq!(report.matches.len(), 2);
+        let t1 = ground_truth_matches(&p1, live.events());
+        let t2 = ground_truth_matches(&p2, live.events());
+        assert!(!t1.is_empty() && !t2.is_empty());
+        let recall = |found: &Vec<Match>, truth: &Vec<Match>| {
+            let tk: std::collections::BTreeSet<_> =
+                truth.iter().map(|m| m.event_ids.clone()).collect();
+            let c = found.iter().filter(|m| tk.contains(&m.event_ids)).count();
+            c as f64 / truth.len() as f64
+        };
+        assert!(recall(&report.matches[0], &t1) > 0.4, "p1 recall");
+        assert!(recall(&report.matches[1], &t2) > 0.4, "p2 recall");
+        // No false positives per pattern (id-distance constraint).
+        for (found, truth) in report.matches.iter().zip([&t1, &t2]) {
+            let tk: std::collections::BTreeSet<_> =
+                truth.iter().map(|m| m.event_ids.clone()).collect();
+            for m in found {
+                assert!(tk.contains(&m.event_ids));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shared window")]
+    fn mismatched_windows_rejected() {
+        let p1 = seq2(0, 1);
+        let mut p2 = seq2(2, 3);
+        p2.window = WindowSpec::Count(9);
+        let _ = train_multi_pattern(&[p1, p2], &stream(200, 0), &TrainConfig::quick());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pattern")]
+    fn empty_pattern_set_rejected() {
+        let _ = train_multi_pattern(&[], &stream(100, 0), &TrainConfig::quick());
+    }
+}

@@ -1,0 +1,84 @@
+//! The ACEP objective function (paper §3.1, Definition 3).
+//!
+//! `F(M', {t, t'}) = −w₁ · Jaccard(M, M') − w₂ · (t' / t)` scores an ACEP
+//! mechanism against an ECEP reference: lower is better, rewarding both
+//! match-set similarity and throughput gain. In practice the value is used
+//! as a relative score between mechanisms, not minimized in ℝ.
+
+use crate::metrics::ComparisonReport;
+use serde::{Deserialize, Serialize};
+
+/// Weights of the two objective terms (`w₁ + w₂ = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcepObjective {
+    /// Weight of the match-similarity term.
+    pub w1: f64,
+    /// Weight of the throughput term.
+    pub w2: f64,
+}
+
+impl AcepObjective {
+    /// Build; weights must be in `[0, 1]` and sum to 1.
+    pub fn new(w1: f64, w2: f64) -> Self {
+        assert!((0.0..=1.0).contains(&w1) && (0.0..=1.0).contains(&w2), "weights in [0,1]");
+        assert!((w1 + w2 - 1.0).abs() < 1e-9, "weights must sum to 1");
+        Self { w1, w2 }
+    }
+
+    /// Equal weighting.
+    pub fn balanced() -> Self {
+        Self::new(0.5, 0.5)
+    }
+
+    /// Score from raw quantities: Jaccard similarity of the match sets and
+    /// the ACEP/ECEP throughput ratio.
+    pub fn score_raw(&self, jaccard: f64, throughput_ratio: f64) -> f64 {
+        -self.w1 * jaccard - self.w2 * throughput_ratio
+    }
+
+    /// Score a [`ComparisonReport`]. The Jaccard similarity is derived from
+    /// the match counts: `|M ∩ M'| / |M ∪ M'|`.
+    pub fn score(&self, r: &ComparisonReport) -> f64 {
+        let union = r.ecep_matches + r.acep_matches - r.common_matches;
+        let jaccard = if union == 0 { 1.0 } else { r.common_matches as f64 / union as f64 };
+        self.score_raw(jaccard, r.throughput_gain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_is_better() {
+        let o = AcepObjective::balanced();
+        let slow_exact = o.score_raw(1.0, 1.0);
+        let fast_exact = o.score_raw(1.0, 100.0);
+        let fast_lossy = o.score_raw(0.5, 100.0);
+        assert!(fast_exact < slow_exact);
+        assert!(fast_exact < fast_lossy);
+    }
+
+    #[test]
+    fn weights_trade_off() {
+        let quality_heavy = AcepObjective::new(0.99, 0.01);
+        let speed_heavy = AcepObjective::new(0.01, 0.99);
+        // A lossy-but-fast run wins under speed weighting only.
+        let lossy_fast = (0.2, 50.0);
+        let exact_slow = (1.0, 1.0);
+        assert!(
+            speed_heavy.score_raw(lossy_fast.0, lossy_fast.1)
+                < speed_heavy.score_raw(exact_slow.0, exact_slow.1)
+        );
+        assert!(
+            quality_heavy.score_raw(exact_slow.0, exact_slow.1)
+                < quality_heavy.score_raw(lossy_fast.0, lossy_fast.1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn weights_must_sum_to_one() {
+        let _ = AcepObjective::new(0.5, 0.6);
+    }
+}

@@ -1,0 +1,168 @@
+//! Model persistence: save and load trained filters as JSON.
+//!
+//! Training to convergence is the expensive phase of DLACEP (hours to days
+//! in the paper); a deployment trains once per pattern and reloads the
+//! weights at startup. The serialized bundle carries the network, the
+//! embedder (type-slot mapping), and the marking threshold, so a reloaded
+//! filter behaves identically.
+
+use crate::embed::EventEmbedder;
+use crate::filter::{EventNetFilter, WindowNetFilter};
+use crate::model::{EventNetwork, WindowNetwork};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Serialized form of an event-network filter.
+#[derive(Serialize, Deserialize)]
+struct EventNetBundle {
+    network: EventNetwork,
+    embedder: EventEmbedder,
+    threshold: Option<f32>,
+}
+
+/// Serialized form of a window-network filter.
+#[derive(Serialize, Deserialize)]
+struct WindowNetBundle {
+    network: WindowNetwork,
+    embedder: EventEmbedder,
+}
+
+/// Persistence error.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Malformed bundle.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Format(e) => write!(f, "bundle format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Save an event-network filter.
+pub fn save_event_filter(filter: &EventNetFilter, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let bundle = EventNetBundle {
+        network: filter.network.clone(),
+        embedder: filter.embedder.clone(),
+        threshold: filter.threshold,
+    };
+    let json = serde_json::to_string(&bundle)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Load an event-network filter.
+pub fn load_event_filter(path: impl AsRef<Path>) -> Result<EventNetFilter, PersistError> {
+    let json = std::fs::read_to_string(path)?;
+    let bundle: EventNetBundle = serde_json::from_str(&json)?;
+    Ok(EventNetFilter {
+        network: bundle.network,
+        embedder: bundle.embedder,
+        threshold: bundle.threshold,
+    })
+}
+
+/// Save a window-network filter.
+pub fn save_window_filter(
+    filter: &WindowNetFilter,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
+    let bundle =
+        WindowNetBundle { network: filter.network.clone(), embedder: filter.embedder.clone() };
+    let json = serde_json::to_string(&bundle)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Load a window-network filter.
+pub fn load_window_filter(path: impl AsRef<Path>) -> Result<WindowNetFilter, PersistError> {
+    let json = std::fs::read_to_string(path)?;
+    let bundle: WindowNetBundle = serde_json::from_str(&json)?;
+    Ok(WindowNetFilter { network: bundle.network, embedder: bundle.embedder })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Filter;
+    use crate::model::NetworkConfig;
+    use dlacep_cep::TypeSet;
+    use dlacep_events::{PrimitiveEvent, TypeId};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dlacep_persist_{name}_{}.json", std::process::id()))
+    }
+
+    fn events() -> Vec<PrimitiveEvent> {
+        (0..6).map(|i| PrimitiveEvent::new(i, TypeId((i % 3) as u32), i, vec![0.5])).collect()
+    }
+
+    #[test]
+    fn event_filter_roundtrip_preserves_marks() {
+        let embedder = EventEmbedder::new(&TypeSet::new(vec![TypeId(0), TypeId(1)]), 1);
+        let filter = EventNetFilter {
+            network: EventNetwork::new(NetworkConfig::small(embedder.dim())),
+            embedder,
+            threshold: Some(0.3),
+        };
+        let path = tmp("event");
+        save_event_filter(&filter, &path).unwrap();
+        let loaded = load_event_filter(&path).unwrap();
+        let evs = events();
+        assert_eq!(filter.mark(&evs), loaded.mark(&evs));
+        assert_eq!(loaded.threshold, Some(0.3));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn window_filter_roundtrip_preserves_decision() {
+        let embedder = EventEmbedder::new(&TypeSet::new(vec![TypeId(0)]), 1);
+        let filter = WindowNetFilter {
+            network: WindowNetwork::new(NetworkConfig::small(embedder.dim())),
+            embedder,
+        };
+        let path = tmp("window");
+        save_window_filter(&filter, &path).unwrap();
+        let loaded = load_window_filter(&path).unwrap();
+        let evs = events();
+        assert_eq!(filter.mark(&evs), loaded.mark(&evs));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(matches!(
+            load_event_filter("/definitely/not/a/path.json"),
+            Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(matches!(load_event_filter(&path), Err(PersistError::Format(_))));
+        let _ = std::fs::remove_file(path);
+    }
+}

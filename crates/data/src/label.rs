@@ -1,0 +1,261 @@
+//! Ground-truth labeling of training samples (paper §4.3, §4.4).
+//!
+//! The historical stream is divided into continuous, even-sized samples of
+//! `2W` events each. Per sample, the exact CEP engine is run; every event
+//! participating in a full match is labeled 1 (event-network targets), and a
+//! sample containing at least one match is labeled 1 (window-network
+//! target). With negation patterns, events admissible to a negated element
+//! are also labeled 1 — the §4.4 fix that lets the CEP extractor reject
+//! false positives on filtered streams.
+//!
+//! Multi-pattern monitoring (§4.3) is supported by labeling against several
+//! patterns and OR-ing the labels ("semantically unifying the patterns").
+
+use dlacep_cep::engine::CepEngine;
+use dlacep_cep::plan::{Plan, StepKind};
+use dlacep_cep::{Match, NfaEngine, Pattern};
+use dlacep_events::{EventStream, PrimitiveEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One labeled training sample of `2W` consecutive events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledSample {
+    /// Offset of the first event within the source stream.
+    pub start: usize,
+    /// Number of events in the sample.
+    pub len: usize,
+    /// Per-event labels: does the event participate in a full match (or, for
+    /// negation patterns, is it admissible to a negated element)?
+    pub event_labels: Vec<bool>,
+    /// Whether the sample contains at least one full match.
+    pub window_label: bool,
+    /// Number of full matches found in the sample.
+    pub match_count: usize,
+}
+
+/// Label a stream against one pattern. `sample_len` is normally `2W`.
+pub fn label_stream(pattern: &Pattern, stream: &EventStream, sample_len: usize) -> Vec<LabeledSample> {
+    label_stream_multi(std::slice::from_ref(pattern), stream, sample_len)
+}
+
+/// Label a stream against several patterns at once: an event/window is
+/// positive if it is positive for *any* pattern (§4.3 multi-pattern case).
+pub fn label_stream_multi(
+    patterns: &[Pattern],
+    stream: &EventStream,
+    sample_len: usize,
+) -> Vec<LabeledSample> {
+    assert!(sample_len > 0, "sample length must be positive");
+    let plans: Vec<Plan> =
+        patterns.iter().map(|p| Plan::compile(p).expect("pattern compiles")).collect();
+    let events = stream.events();
+    let mut out = Vec::with_capacity(events.len() / sample_len + 1);
+    let mut start = 0;
+    while start < events.len() {
+        let len = sample_len.min(events.len() - start);
+        let sample = &events[start..start + len];
+        let mut labels = vec![false; len];
+        let mut match_count = 0usize;
+        for (pattern, plan) in patterns.iter().zip(&plans) {
+            let matches = matches_in_sample(pattern, sample);
+            match_count += matches.len();
+            let positive: HashSet<u64> =
+                matches.iter().flat_map(|m| m.event_ids.iter().map(|id| id.0)).collect();
+            for (i, ev) in sample.iter().enumerate() {
+                if positive.contains(&ev.id.0) {
+                    labels[i] = true;
+                }
+            }
+            // §4.4: with negation, also mark events admissible to a negated
+            // element so the filtered stream carries the evidence the CEP
+            // extractor needs to reject false positives.
+            for branch in &plan.branches {
+                for neg in &branch.negs {
+                    for elem in &neg.inner {
+                        for (i, ev) in sample.iter().enumerate() {
+                            if elem.types.contains(ev.type_id) {
+                                labels[i] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.push(LabeledSample {
+            start,
+            len,
+            window_label: match_count > 0,
+            event_labels: labels,
+            match_count,
+        });
+        start += sample_len;
+    }
+    out
+}
+
+/// Exact matches within a single sample (fresh engine per sample — samples
+/// are independent contexts, like the paper's chunked preprocessing).
+pub fn matches_in_sample(pattern: &Pattern, sample: &[PrimitiveEvent]) -> Vec<Match> {
+    let mut engine = NfaEngine::new(pattern).expect("pattern compiles");
+    engine.run(sample)
+}
+
+/// Ground truth over a full test stream: every match the exact engine emits.
+/// This is the reference set for recall/F1 of a DLACEP run (§5.1).
+pub fn ground_truth_matches(pattern: &Pattern, events: &[PrimitiveEvent]) -> Vec<Match> {
+    let mut engine = NfaEngine::new(pattern).expect("pattern compiles");
+    engine.run(events)
+}
+
+/// Positive-type mask helper: which steps' admissible types a labeling pass
+/// should consider "pattern relevant" — used by the embedding to compact
+/// one-hot type encodings (paper §4.3).
+pub fn relevant_types(plan: &Plan) -> dlacep_cep::TypeSet {
+    let mut set = dlacep_cep::TypeSet::new(vec![]);
+    for branch in &plan.branches {
+        for step in &branch.steps {
+            match &step.kind {
+                StepKind::Single { types, .. } => set = set.union(types),
+                StepKind::Kleene { inner, .. } => {
+                    for e in inner {
+                        set = set.union(&e.types);
+                    }
+                }
+            }
+        }
+        for neg in &branch.negs {
+            for e in &neg.inner {
+                set = set.union(&e.types);
+            }
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlacep_cep::{PatternExpr, TypeSet};
+    use dlacep_events::{TypeId, WindowSpec};
+
+    const A: TypeId = TypeId(0);
+    const B: TypeId = TypeId(1);
+    const C: TypeId = TypeId(2);
+
+    fn leaf(t: TypeId, b: &str) -> PatternExpr {
+        PatternExpr::event(TypeSet::single(t), b)
+    }
+
+    fn seq_ab() -> Pattern {
+        Pattern::new(
+            PatternExpr::Seq(vec![leaf(A, "a"), leaf(B, "b")]),
+            vec![],
+            WindowSpec::Count(4),
+        )
+    }
+
+    fn stream(types: &[TypeId]) -> EventStream {
+        let mut s = EventStream::new();
+        for (i, &t) in types.iter().enumerate() {
+            s.push(t, i as u64, vec![0.0]);
+        }
+        s
+    }
+
+    #[test]
+    fn labels_match_participants() {
+        // Sample 1: A B C C -> a,b positive; sample 2: C C C C -> negative.
+        let s = stream(&[A, B, C, C, C, C, C, C]);
+        let samples = label_stream(&seq_ab(), &s, 4);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].event_labels, vec![true, true, false, false]);
+        assert!(samples[0].window_label);
+        assert_eq!(samples[0].match_count, 1);
+        assert!(!samples[1].window_label);
+        assert!(samples[1].event_labels.iter().all(|&l| !l));
+    }
+
+    #[test]
+    fn trailing_partial_sample_is_labeled() {
+        let s = stream(&[C, C, C, C, A, B]);
+        let samples = label_stream(&seq_ab(), &s, 4);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].len, 2);
+        assert!(samples[1].window_label);
+    }
+
+    #[test]
+    fn matches_cannot_cross_sample_boundary() {
+        // A at end of sample 1, B at start of sample 2: windows are evaluated
+        // per sample (the assembler's 2W overlap is what recovers these).
+        let s = stream(&[C, C, C, A, B, C, C, C]);
+        let samples = label_stream(&seq_ab(), &s, 4);
+        assert!(!samples[0].window_label);
+        assert!(!samples[1].window_label);
+    }
+
+    #[test]
+    fn negation_types_are_labeled_positive() {
+        let p = Pattern::new(
+            PatternExpr::Seq(vec![
+                leaf(A, "a"),
+                PatternExpr::Neg(Box::new(leaf(C, "n"))),
+                leaf(B, "b"),
+            ]),
+            vec![],
+            WindowSpec::Count(4),
+        );
+        // A C B: the C suppresses the match, yet all three should be labeled
+        // (C because it is negation-admissible).
+        let s = stream(&[A, C, B, C]);
+        let samples = label_stream(&p, &s, 4);
+        assert_eq!(samples[0].match_count, 0);
+        // No match, so A,B unlabeled; the two Cs labeled via the §4.4 rule.
+        assert_eq!(samples[0].event_labels, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn multi_pattern_labels_are_union() {
+        let p1 = seq_ab();
+        let p2 = Pattern::new(
+            PatternExpr::Seq(vec![leaf(B, "x"), leaf(C, "y")]),
+            vec![],
+            WindowSpec::Count(4),
+        );
+        let s = stream(&[A, B, C, C]);
+        let samples = label_stream_multi(&[p1, p2], &s, 4);
+        // A,B from p1; B,C from p2 -> A,B,C(first) positive.
+        assert_eq!(samples[0].event_labels, vec![true, true, true, true]);
+        assert_eq!(samples[0].match_count, 1 + 2);
+    }
+
+    #[test]
+    fn relevant_types_collects_all_leaves() {
+        let p = Pattern::new(
+            PatternExpr::Seq(vec![
+                leaf(A, "a"),
+                PatternExpr::Kleene(Box::new(leaf(B, "k"))),
+                PatternExpr::Neg(Box::new(leaf(C, "n"))),
+                leaf(A, "z"),
+            ]),
+            vec![],
+            WindowSpec::Count(4),
+        );
+        // "z" duplicates type A — allowed, bindings differ.
+        let plan = Plan::compile(&Pattern {
+            expr: match p.expr.clone() {
+                PatternExpr::Seq(mut v) => {
+                    // Rebind to keep names unique (a, k, n, z already are).
+                    PatternExpr::Seq(std::mem::take(&mut v))
+                }
+                other => other,
+            },
+            ..p.clone()
+        })
+        .unwrap();
+        let types = relevant_types(&plan);
+        assert!(types.contains(A) && types.contains(B) && types.contains(C));
+        assert_eq!(types.len(), 3);
+    }
+}

@@ -1,0 +1,70 @@
+//! Train/test splitting of labeled samples (paper §5.1: 70/30 at random).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split items into `(train, test)` with `train_fraction` of them (rounded
+/// down, at least one per side when `items.len() >= 2`) going to train, using
+/// a seeded shuffle.
+pub fn train_test_split<T>(items: Vec<T>, train_fraction: f64, seed: u64) -> (Vec<T>, Vec<T>) {
+    assert!((0.0..=1.0).contains(&train_fraction), "fraction in [0,1]");
+    let n = items.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut cut = (n as f64 * train_fraction).floor() as usize;
+    if n >= 2 {
+        cut = cut.clamp(1, n - 1);
+    }
+    let train_set: std::collections::HashSet<usize> = idx[..cut].iter().copied().collect();
+    let mut train = Vec::with_capacity(cut);
+    let mut test = Vec::with_capacity(n - cut);
+    for (i, item) in items.into_iter().enumerate() {
+        if train_set.contains(&i) {
+            train.push(item);
+        } else {
+            test.push(item);
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_sizes_follow_fraction() {
+        let (tr, te) = train_test_split((0..100).collect(), 0.7, 1);
+        assert_eq!(tr.len(), 70);
+        assert_eq!(te.len(), 30);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let (a, _) = train_test_split((0..50).collect::<Vec<_>>(), 0.7, 9);
+        let (b, _) = train_test_split((0..50).collect::<Vec<_>>(), 0.7, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let (mut tr, te) = train_test_split((0..31).collect::<Vec<_>>(), 0.5, 3);
+        tr.extend(te);
+        tr.sort_unstable();
+        assert_eq!(tr, (0..31).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn both_sides_nonempty_for_small_inputs() {
+        let (tr, te) = train_test_split(vec![1, 2], 0.99, 0);
+        assert_eq!(tr.len(), 1);
+        assert_eq!(te.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (tr, te) = train_test_split(Vec::<i32>::new(), 0.7, 0);
+        assert!(tr.is_empty() && te.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Attribute standardization (z-scoring), as applied to the stock volume
+//! attribute during preprocessing (paper §5.1).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted z-score transform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    /// Fitted mean.
+    pub mean: f64,
+    /// Fitted standard deviation (1.0 when degenerate).
+    pub std: f64,
+}
+
+impl Standardizer {
+    /// Fit to a sample. A constant (or empty) sample yields `std = 1` so the
+    /// transform stays well-defined.
+    pub fn fit(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self { mean: 0.0, std: 1.0 };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let std = if var > 0.0 { var.sqrt() } else { 1.0 };
+        Self { mean, std }
+    }
+
+    /// Transform one value.
+    #[inline]
+    pub fn apply(&self, v: f64) -> f64 {
+        (v - self.mean) / self.std
+    }
+
+    /// Invert the transform.
+    #[inline]
+    pub fn invert(&self, z: f64) -> f64 {
+        z * self.std + self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_and_apply() {
+        let s = Standardizer::fit(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(s.apply(2.0).abs() < 1e-12);
+        assert!(s.apply(3.0) > 0.0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = Standardizer::fit(&[5.0, 9.0, 13.0, 2.0]);
+        for v in [0.0, 7.5, -3.0] {
+            assert!((s.invert(s.apply(v)) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        let empty = Standardizer::fit(&[]);
+        assert_eq!(empty.apply(5.0), 5.0);
+        let constant = Standardizer::fit(&[4.0, 4.0]);
+        assert_eq!(constant.apply(4.0), 0.0);
+        assert_eq!(constant.std, 1.0);
+    }
+}

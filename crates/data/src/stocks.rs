@@ -1,0 +1,194 @@
+//! Synthetic NASDAQ-like stock stream (substitute for the paper's purchased
+//! dataset; see DESIGN.md).
+//!
+//! Tickers are drawn from a Zipf distribution, so "top-k most prevalent
+//! identifiers" (`T_k` in Table 1) is a meaningful, strongly skewed notion,
+//! like in real market data. Each event carries a single standardized
+//! `vol` attribute (the paper removes all attributes except volume and
+//! z-scores it, §5.1). Timestamps advance by one per event — the paper's
+//! constant-sampling-rate argument for count windows (§4).
+
+use dlacep_cep::TypeSet;
+use dlacep_events::{EventStream, Schema, TypeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the stock stream generator.
+#[derive(Debug, Clone)]
+pub struct StockConfig {
+    /// Number of distinct stock identifiers.
+    pub num_tickers: usize,
+    /// Zipf exponent for ticker prevalence (1.0 ≈ natural market skew).
+    pub zipf_exponent: f64,
+    /// Number of events to generate.
+    pub num_events: usize,
+    /// Log-volume standard deviation (controls band-condition selectivity:
+    /// smaller σ ⇒ volumes cluster ⇒ `α·a.vol < b.vol < β·a.vol` passes more
+    /// often).
+    pub volume_sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StockConfig {
+    fn default() -> Self {
+        Self { num_tickers: 128, zipf_exponent: 1.0, num_events: 20_000, volume_sigma: 0.35, seed: 7 }
+    }
+}
+
+/// Standard-normal sample via Box–Muller (keeps us on the approved crate
+/// list; `rand` alone has no normal distribution).
+pub(crate) fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl StockConfig {
+    /// Generate the schema (ticker names `S000`, `S001`, … and a `vol`
+    /// attribute) and the stream. Volumes are raw log-normal values
+    /// (positive, centered near 1). The paper z-scores volumes during
+    /// preprocessing; here the *embedding* layer consumes them directly
+    /// (they are already O(1)-scaled), while the CEP band conditions
+    /// `α·a.vol < b.vol < β·a.vol` of Table 1 need positive values to keep
+    /// their selectivity monotone in `β − α` — the property Fig. 8 sweeps.
+    pub fn generate(&self) -> (Schema, EventStream) {
+        assert!(self.num_tickers > 0 && self.num_events > 0);
+        let schema = Schema::builder()
+            .event_types((0..self.num_tickers).map(|i| format!("S{i:03}")))
+            .attribute("vol")
+            .build()
+            .expect("generated names are unique");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Zipf CDF over ranks 1..=num_tickers; ticker i has rank i+1, so
+        // lower type ids are the most prevalent (top-k = first k ids).
+        let weights: Vec<f64> =
+            (1..=self.num_tickers).map(|r| 1.0 / (r as f64).powf(self.zipf_exponent)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(self.num_tickers);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+
+        // Per-ticker base log-volume so different stocks live on different
+        // scales, like real volumes.
+        let base: Vec<f64> = (0..self.num_tickers).map(|_| normal(&mut rng) * 0.5).collect();
+
+        let mut raw = Vec::with_capacity(self.num_events);
+        let mut types = Vec::with_capacity(self.num_events);
+        for _ in 0..self.num_events {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let t = cdf.partition_point(|&c| c < u).min(self.num_tickers - 1);
+            types.push(t);
+            raw.push((base[t] + normal(&mut rng) * self.volume_sigma).exp());
+        }
+        let mut stream = EventStream::with_capacity(self.num_events);
+        for (i, (&t, &v)) in types.iter().zip(&raw).enumerate() {
+            stream.push(TypeId(t as u32), i as u64, vec![v]);
+        }
+        (schema, stream)
+    }
+}
+
+/// The paper's `T_k`: the set of the top-`k` most prevalent identifiers. With
+/// the Zipf generator those are type ids `0..k` by construction.
+pub fn top_k_types(k: usize) -> TypeSet {
+    TypeSet::new((0..k as u32).map(TypeId).collect())
+}
+
+/// `T_a / T_b` for `a > b`: identifiers ranked `b..a` (the paper's set
+/// differences in Q_A5, Q_A7, Q_A8, Q_A10).
+pub fn rank_band_types(hi: usize, lo: usize) -> TypeSet {
+    assert!(hi > lo, "rank band must be non-empty");
+    TypeSet::new((lo as u32..hi as u32).map(TypeId).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_counts() {
+        let cfg = StockConfig { num_events: 1000, num_tickers: 20, ..Default::default() };
+        let (schema, stream) = cfg.generate();
+        assert_eq!(schema.num_types(), 20);
+        assert_eq!(stream.len(), 1000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = StockConfig { num_events: 500, ..Default::default() };
+        let (_, a) = cfg.generate();
+        let (_, b) = cfg.generate();
+        assert_eq!(a, b);
+        let (_, c) = StockConfig { seed: 8, ..cfg }.generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_skew_makes_low_ids_prevalent() {
+        let cfg = StockConfig {
+            num_events: 20_000,
+            num_tickers: 100,
+            zipf_exponent: 1.0,
+            ..Default::default()
+        };
+        let (_, stream) = cfg.generate();
+        let count = |t: u32| stream.iter().filter(|e| e.type_id == TypeId(t)).count();
+        assert!(count(0) > 4 * count(50).max(1), "rank 0 should dwarf rank 50");
+    }
+
+    #[test]
+    fn volumes_are_positive_and_log_normal_scale() {
+        let cfg = StockConfig { num_events: 5000, ..Default::default() };
+        let (_, stream) = cfg.generate();
+        let vals: Vec<f64> = stream.iter().map(|e| e.attrs[0]).collect();
+        assert!(vals.iter().all(|&v| v > 0.0), "volumes must stay positive");
+        let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((0.3..3.0).contains(&mean), "mean {mean} should be O(1)");
+    }
+
+    #[test]
+    fn band_selectivity_monotone_in_width() {
+        // The Fig. 8c mechanism: widening (α, β) admits more pairs.
+        let cfg = StockConfig { num_events: 4000, ..Default::default() };
+        let (_, stream) = cfg.generate();
+        let vals: Vec<f64> = stream.iter().take(200).map(|e| e.attrs[0]).collect();
+        let passes = |a: f64, b: f64| -> usize {
+            let mut c = 0;
+            for x in &vals {
+                for y in &vals {
+                    if a * x < *y && *y < b * x {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        let narrow = passes(0.9, 1.1);
+        let wide = passes(0.5, 2.0);
+        assert!(narrow > 0);
+        assert!(wide > 2 * narrow, "wide {wide} vs narrow {narrow}");
+    }
+
+    #[test]
+    fn top_k_and_rank_bands() {
+        let t = top_k_types(3);
+        assert!(t.contains(TypeId(0)) && t.contains(TypeId(2)) && !t.contains(TypeId(3)));
+        let band = rank_band_types(5, 3);
+        assert!(!band.contains(TypeId(2)) && band.contains(TypeId(3)) && band.contains(TypeId(4)));
+        assert!(!band.contains(TypeId(5)));
+    }
+
+    #[test]
+    fn timestamps_advance_by_one() {
+        let cfg = StockConfig { num_events: 10, ..Default::default() };
+        let (_, stream) = cfg.generate();
+        for (i, e) in stream.iter().enumerate() {
+            assert_eq!(e.ts.0, i as u64);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Stream (de)serialization: a simple line-oriented CSV codec so streams can
+//! be exported for inspection or replayed from disk, plus JSON via serde on
+//! [`EventStream`] itself.
+//!
+//! Format (one event per line): `id,type_id,ts,attr0,attr1,...`
+//! A header line `id,type,ts,attrs...` is written and tolerated on read.
+
+use crate::event::{PrimitiveEvent, TypeId};
+use crate::stream::EventStream;
+use std::io::{BufRead, Write};
+
+/// Errors while decoding a CSV stream.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number, description).
+    Parse(usize, String),
+    /// Ids or timestamps violate stream ordering.
+    Order(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "io error: {e}"),
+            CodecError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            CodecError::Order(line) => {
+                write!(f, "line {line}: ids/timestamps out of stream order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// Write a stream as CSV.
+pub fn write_csv<W: Write>(stream: &EventStream, mut out: W) -> Result<(), CodecError> {
+    writeln!(out, "id,type,ts,attrs...")?;
+    for e in stream {
+        write!(out, "{},{},{}", e.id.0, e.type_id.0, e.ts.0)?;
+        for a in &e.attrs {
+            write!(out, ",{a}")?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Read a stream from CSV (accepts output of [`write_csv`]).
+pub fn read_csv<R: BufRead>(input: R) -> Result<EventStream, CodecError> {
+    let mut events = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || (i == 0 && line.starts_with("id,")) {
+            continue;
+        }
+        let lineno = i + 1;
+        let mut parts = line.split(',');
+        let mut field = |name: &str| -> Result<&str, CodecError> {
+            parts
+                .next()
+                .ok_or_else(|| CodecError::Parse(lineno, format!("missing field {name}")))
+        };
+        let id: u64 = field("id")?
+            .parse()
+            .map_err(|e| CodecError::Parse(lineno, format!("bad id: {e}")))?;
+        let type_id: u32 = field("type")?
+            .parse()
+            .map_err(|e| CodecError::Parse(lineno, format!("bad type: {e}")))?;
+        let ts: u64 = field("ts")?
+            .parse()
+            .map_err(|e| CodecError::Parse(lineno, format!("bad ts: {e}")))?;
+        let attrs: Vec<f64> = parts
+            .map(|p| p.parse().map_err(|e| CodecError::Parse(lineno, format!("bad attr: {e}"))))
+            .collect::<Result<_, _>>()?;
+        events.push(PrimitiveEvent::new(id, TypeId(type_id), ts, attrs));
+    }
+    let n = events.len();
+    EventStream::from_events(events).ok_or(CodecError::Order(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EventStream {
+        let mut s = EventStream::new();
+        s.push(TypeId(2), 10, vec![1.5, -0.25]);
+        s.push(TypeId(0), 11, vec![0.0, 3.0]);
+        s.push(TypeId(7), 11, vec![2.25, 1.0]);
+        s
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let s = sample();
+        let mut buf = Vec::new();
+        write_csv(&s, &mut buf).unwrap();
+        let back = read_csv(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn read_rejects_malformed_line() {
+        let input = "id,type,ts,attrs...\n0,1,notanumber,1.0\n";
+        let err = read_csv(std::io::Cursor::new(input)).unwrap_err();
+        assert!(matches!(err, CodecError::Parse(2, _)), "{err}");
+    }
+
+    #[test]
+    fn read_rejects_out_of_order_ids() {
+        let input = "5,0,1,0.5\n3,0,2,0.5\n";
+        let err = read_csv(std::io::Cursor::new(input)).unwrap_err();
+        assert!(matches!(err, CodecError::Order(_)));
+    }
+
+    #[test]
+    fn read_skips_blank_lines() {
+        let input = "0,1,0,1.0\n\n1,2,1,2.0\n";
+        let s = read_csv(std::io::Cursor::new(input)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events()[1].attrs, vec![2.0]);
+    }
+
+    #[test]
+    fn json_roundtrip_via_serde() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: EventStream = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

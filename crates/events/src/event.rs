@@ -1,0 +1,102 @@
+//! Primitive events and the newtypes identifying them.
+
+use serde::{Deserialize, Serialize};
+
+/// Unique, strictly increasing identifier stamped on each event when it
+/// arrives at the system (paper §4.4).
+///
+/// In a count-based window of size `W`, two events belong to the same window
+/// iff their id distance is at most `W - 1`; DLACEP's CEP extractor enforces
+/// this on filtered streams, where positional adjacency is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId(pub u64);
+
+impl EventId {
+    /// Absolute distance between two ids.
+    #[inline]
+    pub fn distance(self, other: EventId) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+/// Interned event type (e.g. a stock ticker). Resolved via [`crate::Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TypeId(pub u32);
+
+/// Event occurrence time in abstract time units.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Absolute distance between two timestamps.
+    #[inline]
+    pub fn distance(self, other: Timestamp) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+/// Numeric attribute value. The paper's datasets carry standardized `f64`
+/// attributes (e.g. the stock volume after z-scoring).
+pub type AttrValue = f64;
+
+/// A primitive event `(N, F, t)` plus its arrival id.
+///
+/// Attribute count is fixed per [`crate::Schema`]; attributes are accessed by
+/// index, names being resolved through the schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrimitiveEvent {
+    /// Arrival id, unique and strictly increasing within a stream.
+    pub id: EventId,
+    /// Interned event type.
+    pub type_id: TypeId,
+    /// Occurrence timestamp.
+    pub ts: Timestamp,
+    /// Fixed-size numeric attribute vector.
+    pub attrs: Vec<AttrValue>,
+}
+
+impl PrimitiveEvent {
+    /// Create an event. `id` is normally assigned by [`crate::EventStream`].
+    pub fn new(id: u64, type_id: TypeId, ts: u64, attrs: Vec<AttrValue>) -> Self {
+        Self { id: EventId(id), type_id, ts: Timestamp(ts), attrs }
+    }
+
+    /// Attribute by index; `None` when out of range.
+    #[inline]
+    pub fn attr(&self, idx: usize) -> Option<AttrValue> {
+        self.attrs.get(idx).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_distance_is_symmetric() {
+        assert_eq!(EventId(3).distance(EventId(10)), 7);
+        assert_eq!(EventId(10).distance(EventId(3)), 7);
+        assert_eq!(EventId(5).distance(EventId(5)), 0);
+    }
+
+    #[test]
+    fn timestamp_distance() {
+        assert_eq!(Timestamp(100).distance(Timestamp(85)), 15);
+    }
+
+    #[test]
+    fn attr_access_in_and_out_of_range() {
+        let e = PrimitiveEvent::new(0, TypeId(1), 7, vec![1.5, -2.0]);
+        assert_eq!(e.attr(0), Some(1.5));
+        assert_eq!(e.attr(1), Some(-2.0));
+        assert_eq!(e.attr(2), None);
+    }
+
+    #[test]
+    fn ids_order_like_integers() {
+        assert!(EventId(1) < EventId(2));
+        assert!(Timestamp(1) < Timestamp(2));
+    }
+}

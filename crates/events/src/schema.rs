@@ -1,0 +1,182 @@
+//! Schemas: interning of event-type names and attribute names.
+
+use crate::event::TypeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A stream schema: the set of event types that may occur and the named
+/// numeric attributes every event carries.
+///
+/// Pattern compilation ([`dlacep-cep`]) and event embedding
+/// ([`dlacep-core`]) both resolve names through the schema, so streams stay
+/// compact (`u32` type ids, attribute indices) on the hot path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    type_names: Vec<String>,
+    type_index: HashMap<String, TypeId>,
+    attr_names: Vec<String>,
+    attr_index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Start building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Number of distinct event types.
+    pub fn num_types(&self) -> usize {
+        self.type_names.len()
+    }
+
+    /// Number of attributes each event carries.
+    pub fn num_attrs(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Resolve a type name to its id.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.type_index.get(name).copied()
+    }
+
+    /// Name of a type id; `None` if out of range.
+    pub fn type_name(&self, id: TypeId) -> Option<&str> {
+        self.type_names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Resolve an attribute name to its index.
+    pub fn attr_idx(&self, name: &str) -> Option<usize> {
+        self.attr_index.get(name).copied()
+    }
+
+    /// Name of an attribute index.
+    pub fn attr_name(&self, idx: usize) -> Option<&str> {
+        self.attr_names.get(idx).map(String::as_str)
+    }
+
+    /// All type ids in the schema, in interning order.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (0..self.type_names.len() as u32).map(TypeId)
+    }
+}
+
+/// Builder for [`Schema`]. Duplicate names are rejected at `build` time.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    types: Vec<String>,
+    attrs: Vec<String>,
+}
+
+/// Error returned when a schema declares a duplicate type or attribute name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two event types share the same name.
+    DuplicateType(String),
+    /// Two attributes share the same name.
+    DuplicateAttr(String),
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::DuplicateType(n) => write!(f, "duplicate event type name {n:?}"),
+            SchemaError::DuplicateAttr(n) => write!(f, "duplicate attribute name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl SchemaBuilder {
+    /// Declare an event type.
+    pub fn event_type(mut self, name: impl Into<String>) -> Self {
+        self.types.push(name.into());
+        self
+    }
+
+    /// Declare several event types at once.
+    pub fn event_types<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.types.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declare a numeric attribute carried by every event.
+    pub fn attribute(mut self, name: impl Into<String>) -> Self {
+        self.attrs.push(name.into());
+        self
+    }
+
+    /// Finish the schema.
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        let mut type_index = HashMap::with_capacity(self.types.len());
+        for (i, name) in self.types.iter().enumerate() {
+            if type_index.insert(name.clone(), TypeId(i as u32)).is_some() {
+                return Err(SchemaError::DuplicateType(name.clone()));
+            }
+        }
+        let mut attr_index = HashMap::with_capacity(self.attrs.len());
+        for (i, name) in self.attrs.iter().enumerate() {
+            if attr_index.insert(name.clone(), i).is_some() {
+                return Err(SchemaError::DuplicateAttr(name.clone()));
+            }
+        }
+        Ok(Schema { type_names: self.types, type_index, attr_names: self.attrs, attr_index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::builder()
+            .event_types(["GOOG", "AAPL", "MSFT"])
+            .attribute("vol")
+            .attribute("price")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn resolves_types_and_attrs() {
+        let s = sample();
+        assert_eq!(s.num_types(), 3);
+        assert_eq!(s.num_attrs(), 2);
+        assert_eq!(s.type_id("AAPL"), Some(TypeId(1)));
+        assert_eq!(s.type_name(TypeId(2)), Some("MSFT"));
+        assert_eq!(s.attr_idx("price"), Some(1));
+        assert_eq!(s.attr_name(0), Some("vol"));
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_none() {
+        let s = sample();
+        assert_eq!(s.type_id("TSLA"), None);
+        assert_eq!(s.type_name(TypeId(99)), None);
+        assert_eq!(s.attr_idx("volume"), None);
+    }
+
+    #[test]
+    fn duplicate_type_rejected() {
+        let err = Schema::builder().event_types(["A", "A"]).build().unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateType("A".into()));
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        let err =
+            Schema::builder().event_type("A").attribute("v").attribute("v").build().unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateAttr("v".into()));
+    }
+
+    #[test]
+    fn type_ids_iterates_all() {
+        let s = sample();
+        let ids: Vec<_> = s.type_ids().collect();
+        assert_eq!(ids, vec![TypeId(0), TypeId(1), TypeId(2)]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Owned event streams.
+
+use crate::event::{AttrValue, EventId, PrimitiveEvent, Timestamp, TypeId};
+use serde::{Deserialize, Serialize};
+
+/// An owned, finite prefix of an event stream.
+///
+/// The paper assumes a single merged, in-order input (§4 "System settings");
+/// `EventStream` enforces the invariants the rest of the system relies on:
+/// ids are strictly increasing and timestamps non-decreasing. Events pushed
+/// through [`EventStream::push`] are stamped automatically.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventStream {
+    events: Vec<PrimitiveEvent>,
+    next_id: u64,
+}
+
+impl EventStream {
+    /// Empty stream whose first event will get id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty stream with space for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { events: Vec::with_capacity(cap), next_id: 0 }
+    }
+
+    /// Append an event, stamping the next id. Timestamps must be
+    /// non-decreasing; out-of-order input is a caller bug (merging
+    /// out-of-order sources is out of the paper's scope).
+    ///
+    /// # Panics
+    /// Panics if `ts` is smaller than the last event's timestamp.
+    pub fn push(&mut self, type_id: TypeId, ts: u64, attrs: Vec<AttrValue>) -> EventId {
+        if let Some(last) = self.events.last() {
+            assert!(
+                ts >= last.ts.0,
+                "out-of-order timestamp: {} after {}",
+                ts,
+                last.ts.0
+            );
+        }
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.events.push(PrimitiveEvent { id, type_id, ts: Timestamp(ts), attrs });
+        id
+    }
+
+    /// Build a stream from pre-stamped events, validating the invariants.
+    ///
+    /// Returns `None` if ids are not strictly increasing or timestamps
+    /// decrease.
+    pub fn from_events(events: Vec<PrimitiveEvent>) -> Option<Self> {
+        for pair in events.windows(2) {
+            if pair[1].id <= pair[0].id || pair[1].ts < pair[0].ts {
+                return None;
+            }
+        }
+        let next_id = events.last().map_or(0, |e| e.id.0 + 1);
+        Some(Self { events, next_id })
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the stream holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events as a slice.
+    pub fn events(&self) -> &[PrimitiveEvent] {
+        &self.events
+    }
+
+    /// Iterate over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, PrimitiveEvent> {
+        self.events.iter()
+    }
+
+    /// A sub-stream covering `range` positions (not ids). Useful for taking
+    /// fixed-size evaluation prefixes in experiments.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> &[PrimitiveEvent] {
+        &self.events[range]
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_events(self) -> Vec<PrimitiveEvent> {
+        self.events
+    }
+}
+
+impl<'a> IntoIterator for &'a EventStream {
+    type Item = &'a PrimitiveEvent;
+    type IntoIter = std::slice::Iter<'a, PrimitiveEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for EventStream {
+    type Item = PrimitiveEvent;
+    type IntoIter = std::vec::IntoIter<PrimitiveEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_stamps_increasing_ids() {
+        let mut s = EventStream::new();
+        let a = s.push(TypeId(0), 1, vec![]);
+        let b = s.push(TypeId(1), 1, vec![]);
+        let c = s.push(TypeId(0), 2, vec![]);
+        assert_eq!((a, b, c), (EventId(0), EventId(1), EventId(2)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn push_rejects_time_regression() {
+        let mut s = EventStream::new();
+        s.push(TypeId(0), 5, vec![]);
+        s.push(TypeId(0), 4, vec![]);
+    }
+
+    #[test]
+    fn from_events_validates() {
+        let good = vec![
+            PrimitiveEvent::new(0, TypeId(0), 1, vec![]),
+            PrimitiveEvent::new(1, TypeId(0), 1, vec![]),
+        ];
+        assert!(EventStream::from_events(good).is_some());
+
+        let dup_id = vec![
+            PrimitiveEvent::new(1, TypeId(0), 1, vec![]),
+            PrimitiveEvent::new(1, TypeId(0), 2, vec![]),
+        ];
+        assert!(EventStream::from_events(dup_id).is_none());
+
+        let ts_back = vec![
+            PrimitiveEvent::new(0, TypeId(0), 2, vec![]),
+            PrimitiveEvent::new(1, TypeId(0), 1, vec![]),
+        ];
+        assert!(EventStream::from_events(ts_back).is_none());
+    }
+
+    #[test]
+    fn from_events_resumes_id_stamping() {
+        let ev = vec![PrimitiveEvent::new(7, TypeId(0), 1, vec![])];
+        let mut s = EventStream::from_events(ev).unwrap();
+        let id = s.push(TypeId(0), 2, vec![]);
+        assert_eq!(id, EventId(8));
+    }
+
+    #[test]
+    fn slice_returns_positions() {
+        let mut s = EventStream::new();
+        for i in 0..10 {
+            s.push(TypeId(0), i, vec![i as f64]);
+        }
+        let sl = s.slice(2..5);
+        assert_eq!(sl.len(), 3);
+        assert_eq!(sl[0].id, EventId(2));
+    }
+}

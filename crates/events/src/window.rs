@@ -1,0 +1,200 @@
+//! Count-based and time-based windowing (paper §2.1, Fig. 3).
+//!
+//! A *count-based* window of size `W` holds exactly `W` consecutive events; a
+//! *time-based* window of size `W` holds all events within `W` time units.
+//! Adjacent windows may overlap. The DNN input assembler (paper §4.2) slides
+//! windows of `MarkSize` events in steps of `StepSize`, both expressed here
+//! through [`CountWindows`].
+
+use crate::event::PrimitiveEvent;
+use serde::{Deserialize, Serialize};
+
+/// Window semantics of a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowSpec {
+    /// `Count(W)`: a match's events must lie within `W` consecutive arrivals,
+    /// i.e. pairwise id distance at most `W - 1`.
+    Count(u64),
+    /// `Time(W)`: a match's events must lie within `W` time units, i.e.
+    /// pairwise timestamp distance at most `W`.
+    Time(u64),
+}
+
+impl WindowSpec {
+    /// Whether two events can co-occur in one window under these semantics.
+    #[inline]
+    pub fn within(self, a: &PrimitiveEvent, b: &PrimitiveEvent) -> bool {
+        match self {
+            WindowSpec::Count(w) => a.id.distance(b.id) <= w.saturating_sub(1),
+            WindowSpec::Time(w) => a.ts.distance(b.ts) <= w,
+        }
+    }
+
+    /// The nominal size parameter `W`.
+    #[inline]
+    pub fn size(self) -> u64 {
+        match self {
+            WindowSpec::Count(w) | WindowSpec::Time(w) => w,
+        }
+    }
+}
+
+/// Iterator over overlapping count-based windows: `width` events advancing by
+/// `step` positions. The trailing partial window (fewer than `width` events)
+/// is yielded as well so no suffix of the stream is dropped.
+#[derive(Debug, Clone)]
+pub struct CountWindows<'a> {
+    events: &'a [PrimitiveEvent],
+    width: usize,
+    step: usize,
+    pos: usize,
+    done: bool,
+}
+
+impl<'a> CountWindows<'a> {
+    /// Create the iterator.
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `step == 0`.
+    pub fn new(events: &'a [PrimitiveEvent], width: usize, step: usize) -> Self {
+        assert!(width > 0, "window width must be positive");
+        assert!(step > 0, "window step must be positive");
+        Self { events, width, step, pos: 0, done: events.is_empty() }
+    }
+}
+
+impl<'a> Iterator for CountWindows<'a> {
+    type Item = &'a [PrimitiveEvent];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let start = self.pos;
+        if start >= self.events.len() {
+            // Reachable when step > width: the next start jumped past the
+            // end even though the previous window did not touch it.
+            self.done = true;
+            return None;
+        }
+        let end = (start + self.width).min(self.events.len());
+        let out = &self.events[start..end];
+        if end == self.events.len() {
+            self.done = true;
+        } else {
+            self.pos += self.step;
+        }
+        Some(out)
+    }
+}
+
+/// Iterator over time-based windows anchored at each event: for each anchor
+/// event `e`, yields the maximal slice of events whose timestamps are within
+/// `span` of `e.ts` and that begins at `e`.
+#[derive(Debug, Clone)]
+pub struct TimeWindows<'a> {
+    events: &'a [PrimitiveEvent],
+    span: u64,
+    pos: usize,
+}
+
+impl<'a> TimeWindows<'a> {
+    /// Create the iterator over windows of `span` time units.
+    pub fn new(events: &'a [PrimitiveEvent], span: u64) -> Self {
+        Self { events, span, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for TimeWindows<'a> {
+    type Item = &'a [PrimitiveEvent];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.events.len() {
+            return None;
+        }
+        let start = self.pos;
+        let anchor = self.events[start].ts;
+        let mut end = start + 1;
+        while end < self.events.len() && self.events[end].ts.distance(anchor) <= self.span {
+            end += 1;
+        }
+        self.pos += 1;
+        Some(&self.events[start..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TypeId;
+
+    fn mk(n: usize) -> Vec<PrimitiveEvent> {
+        (0..n).map(|i| PrimitiveEvent::new(i as u64, TypeId(0), i as u64 * 10, vec![])).collect()
+    }
+
+    #[test]
+    fn window_spec_count_within() {
+        let ev = mk(5);
+        let w = WindowSpec::Count(3);
+        assert!(w.within(&ev[0], &ev[2]));
+        assert!(!w.within(&ev[0], &ev[3]));
+    }
+
+    #[test]
+    fn window_spec_time_within() {
+        let ev = mk(5); // timestamps 0,10,20,30,40
+        let w = WindowSpec::Time(15);
+        assert!(w.within(&ev[0], &ev[1]));
+        assert!(!w.within(&ev[0], &ev[2]));
+    }
+
+    #[test]
+    fn count_windows_cover_whole_stream() {
+        let ev = mk(10);
+        let wins: Vec<_> = CountWindows::new(&ev, 4, 2).collect();
+        // starts at 0,2,4,6 -> last window [6..10] reaches the end
+        assert_eq!(wins.len(), 4);
+        assert_eq!(wins[0][0].id.0, 0);
+        assert_eq!(wins.last().unwrap().last().unwrap().id.0, 9);
+    }
+
+    #[test]
+    fn count_windows_trailing_partial() {
+        let ev = mk(5);
+        let wins: Vec<_> = CountWindows::new(&ev, 4, 4).collect();
+        assert_eq!(wins.len(), 2);
+        assert_eq!(wins[1].len(), 1); // the trailing partial window
+    }
+
+    #[test]
+    fn count_windows_empty_stream() {
+        let ev: Vec<PrimitiveEvent> = vec![];
+        assert_eq!(CountWindows::new(&ev, 3, 1).count(), 0);
+    }
+
+    #[test]
+    fn assembler_shape_2w_step_w() {
+        // The DLACEP assembler: MarkSize = 2W, StepSize = W (paper §4.2).
+        let ev = mk(12);
+        let w = 4;
+        let wins: Vec<_> = CountWindows::new(&ev, 2 * w, w).collect();
+        assert_eq!(wins[0].len(), 8);
+        assert_eq!(wins[1][0].id.0, 4); // step of W
+    }
+
+    #[test]
+    fn time_windows_anchor_each_event() {
+        let ev = mk(4); // ts 0,10,20,30
+        let wins: Vec<_> = TimeWindows::new(&ev, 15).collect();
+        assert_eq!(wins.len(), 4);
+        assert_eq!(wins[0].len(), 2); // ts 0,10
+        assert_eq!(wins[3].len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_panics() {
+        let ev = mk(1);
+        let _ = CountWindows::new(&ev, 0, 1);
+    }
+}

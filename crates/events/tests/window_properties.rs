@@ -1,0 +1,82 @@
+//! Property-based tests of the windowing substrate.
+
+use dlacep_events::{CountWindows, EventStream, PrimitiveEvent, TimeWindows, TypeId, WindowSpec};
+use proptest::prelude::*;
+
+fn stream(n: usize, gaps: &[u64]) -> EventStream {
+    let mut s = EventStream::new();
+    let mut ts = 0;
+    for i in 0..n {
+        ts += gaps.get(i % gaps.len().max(1)).copied().unwrap_or(1);
+        s.push(TypeId((i % 3) as u32), ts, vec![i as f64]);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn count_windows_cover_every_event(n in 1usize..50, width in 1usize..12, step in 1usize..12) {
+        let s = stream(n, &[1]);
+        let mut covered = vec![false; n];
+        for w in CountWindows::new(s.events(), width, step) {
+            for e in w {
+                covered[e.id.0 as usize] = true;
+            }
+        }
+        // With step <= width every event is covered; otherwise gaps can exist
+        // only between windows.
+        if step <= width {
+            prop_assert!(covered.iter().all(|&c| c), "step<=width must cover all");
+        }
+        prop_assert!(covered[0], "first event always covered");
+    }
+
+    #[test]
+    fn count_windows_have_bounded_width(n in 1usize..60, width in 1usize..15, step in 1usize..15) {
+        let s = stream(n, &[1]);
+        for w in CountWindows::new(s.events(), width, step) {
+            prop_assert!(w.len() <= width);
+            prop_assert!(!w.is_empty());
+        }
+    }
+
+    #[test]
+    fn assembler_invariant_every_w_range_fits_in_some_2w_window(
+        n in 10usize..80,
+        w in 1usize..10,
+    ) {
+        // The paper's §4.2 guarantee for MarkSize=2W, StepSize=W.
+        let s = stream(n, &[1]);
+        let wins: Vec<(usize, usize)> = CountWindows::new(s.events(), 2 * w, w)
+            .map(|win| (win[0].id.0 as usize, win[0].id.0 as usize + win.len()))
+            .collect();
+        for start in 0..=(n.saturating_sub(w)) {
+            let fits = wins.iter().any(|&(lo, hi)| lo <= start && start + w <= hi);
+            prop_assert!(fits, "range [{start}, {}) not covered", start + w);
+        }
+    }
+
+    #[test]
+    fn time_windows_respect_span(n in 1usize..40, span in 0u64..20, g1 in 1u64..5, g2 in 1u64..7) {
+        let s = stream(n, &[g1, g2]);
+        for w in TimeWindows::new(s.events(), span) {
+            let lo = w.first().unwrap().ts.0;
+            let hi = w.last().unwrap().ts.0;
+            prop_assert!(hi - lo <= span);
+        }
+    }
+
+    #[test]
+    fn window_spec_within_is_symmetric(
+        ids in prop::collection::vec(0u64..100, 2..2+1),
+        w in 1u64..20,
+    ) {
+        let a = PrimitiveEvent::new(ids[0].min(ids[1]), TypeId(0), ids[0].min(ids[1]), vec![]);
+        let b = PrimitiveEvent::new(ids[0].max(ids[1]) + 1, TypeId(0), ids[0].max(ids[1]) + 1, vec![]);
+        for spec in [WindowSpec::Count(w), WindowSpec::Time(w)] {
+            prop_assert_eq!(spec.within(&a, &b), spec.within(&b, &a));
+        }
+    }
+}

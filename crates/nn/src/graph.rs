@@ -1,0 +1,539 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every forward operation on a tape; [`Graph::backward`]
+//! (or [`Graph::backward_seeded`] for heads with analytic gradients, like the
+//! CRF in [`crate::crf`]) replays it in reverse, accumulating parameter
+//! gradients into a [`ParamStore`].
+//!
+//! The tape is rebuilt per training step — natural for recurrent models where
+//! the unrolled graph depends on the sequence length.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// External input; no gradient propagation.
+    Input,
+    /// Read of a trainable parameter; gradient accumulates into the store.
+    Param(ParamId),
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Hadamard(Var, Var),
+    Scale(Var, f32),
+    AddRowBroadcast(Var, Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    ConcatCols(Var, Var),
+    SliceCols(Var, usize, usize),
+    SliceRows(Var, usize, usize),
+    MeanAll(Var),
+    /// Binary cross-entropy with logits against fixed targets; produces the
+    /// mean loss as a 1×1 matrix.
+    BceWithLogits(Var, Matrix),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+    grad: Option<Matrix>,
+}
+
+/// The autodiff tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tape with node capacity reserved (`3 layers × T timesteps × ~20 ops`).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { nodes: Vec::with_capacity(cap) }
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        self.nodes.push(Node { op, value, grad: None });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Current value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node after a backward pass, if any reached it.
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Number of tape nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Record an external input.
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.push(Op::Input, value)
+    }
+
+    /// Record a parameter read. The value is copied onto the tape once; reuse
+    /// the returned `Var` for all uses within this graph.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let value = store.value(id).clone();
+        self.push(Op::Param(id), value)
+    }
+
+    /// `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), value)
+    }
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(Op::Add(a, b), value)
+    }
+
+    /// `a - b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = {
+            let (va, vb) = (self.value(a), self.value(b));
+            let mut out = va.clone();
+            out.axpy(-1.0, vb);
+            out
+        };
+        self.push(Op::Sub(a, b), value)
+    }
+
+    /// Elementwise product.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).hadamard(self.value(b));
+        self.push(Op::Hadamard(a, b), value)
+    }
+
+    /// `c * a`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|v| c * v);
+        self.push(Op::Scale(a, c), value)
+    }
+
+    /// Add a 1×n bias row to each row of `a`.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let value = self.value(a).add_row_broadcast(self.value(bias));
+        self.push(Op::AddRowBroadcast(a, bias), value)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(Op::Sigmoid(a), value)
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), value)
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.max(0.0));
+        self.push(Op::Relu(a), value)
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).concat_cols(self.value(b));
+        self.push(Op::ConcatCols(a, b), value)
+    }
+
+    /// Copy of columns `[start, start+len)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let value = self.value(a).slice_cols(start, len);
+        self.push(Op::SliceCols(a, start, len), value)
+    }
+
+    /// Copy of rows `[start, start+len)`.
+    pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let value = self.value(a).slice_rows(start, len);
+        self.push(Op::SliceRows(a, start, len), value)
+    }
+
+    /// Mean of all elements as a 1×1 matrix.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
+        self.push(Op::MeanAll(a), value)
+    }
+
+    /// Mean binary cross-entropy between `sigmoid(logits)` and fixed
+    /// `targets` (same shape), computed in a numerically stable form.
+    /// Returns a 1×1 loss node.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Matrix) -> Var {
+        let x = self.value(logits);
+        assert_eq!(x.shape(), targets.shape(), "bce target shape mismatch");
+        let n = x.len().max(1) as f32;
+        let mut loss = 0.0_f64;
+        for (&xi, &ti) in x.as_slice().iter().zip(targets.as_slice()) {
+            // max(x,0) - x*t + ln(1 + e^{-|x|})
+            let l = xi.max(0.0) - xi * ti + (1.0 + (-xi.abs()).exp()).ln();
+            loss += l as f64;
+        }
+        let value = Matrix::from_vec(1, 1, vec![(loss / n as f64) as f32]);
+        self.push(Op::BceWithLogits(logits, targets), value)
+    }
+
+    fn accumulate(&mut self, v: Var, delta: &Matrix) {
+        let node = &mut self.nodes[v.0];
+        match &mut node.grad {
+            Some(g) => g.axpy(1.0, delta),
+            None => node.grad = Some(delta.clone()),
+        }
+    }
+
+    /// Backward pass from a scalar (1×1) loss node. Parameter gradients are
+    /// accumulated into `store` (they are *not* zeroed first — call
+    /// [`ParamStore::zero_grads`] between steps).
+    ///
+    /// # Panics
+    /// Panics if `loss` is not 1×1.
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        let seed = Matrix::from_vec(1, 1, vec![1.0]);
+        self.backward_seeded(&[(loss, seed)], store);
+    }
+
+    /// Backward pass from explicit gradient seeds. Used by heads whose
+    /// gradient is computed analytically outside the tape (the CRF layer
+    /// seeds the emission nodes directly).
+    pub fn backward_seeded(&mut self, seeds: &[(Var, Matrix)], store: &mut ParamStore) {
+        for (v, g) in seeds {
+            assert_eq!(
+                self.value(*v).shape(),
+                g.shape(),
+                "seed gradient shape mismatch"
+            );
+            self.accumulate(*v, g);
+        }
+        for idx in (0..self.nodes.len()).rev() {
+            let Some(g) = self.nodes[idx].grad.take() else { continue };
+            let op = self.nodes[idx].op.clone();
+            // Put the gradient back so callers can inspect it afterwards.
+            self.nodes[idx].grad = Some(g.clone());
+            match op {
+                Op::Input => {}
+                Op::Param(id) => store.grad_mut(id).axpy(1.0, &g),
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul_transpose_rhs(self.value(b));
+                    let gb = self.value(a).transpose_matmul(&g);
+                    self.accumulate(a, &ga);
+                    self.accumulate(b, &gb);
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, &g);
+                    self.accumulate(b, &g);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, &g);
+                    let neg = g.map(|v| -v);
+                    self.accumulate(b, &neg);
+                }
+                Op::Hadamard(a, b) => {
+                    let ga = g.hadamard(self.value(b));
+                    let gb = g.hadamard(self.value(a));
+                    self.accumulate(a, &ga);
+                    self.accumulate(b, &gb);
+                }
+                Op::Scale(a, c) => {
+                    let ga = g.map(|v| c * v);
+                    self.accumulate(a, &ga);
+                }
+                Op::AddRowBroadcast(a, bias) => {
+                    self.accumulate(a, &g);
+                    let gb = g.sum_rows();
+                    self.accumulate(bias, &gb);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[idx].value;
+                    let ga = Matrix::from_vec(
+                        y.rows(),
+                        y.cols(),
+                        y.as_slice()
+                            .iter()
+                            .zip(g.as_slice())
+                            .map(|(&y, &g)| g * y * (1.0 - y))
+                            .collect(),
+                    );
+                    self.accumulate(a, &ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[idx].value;
+                    let ga = Matrix::from_vec(
+                        y.rows(),
+                        y.cols(),
+                        y.as_slice()
+                            .iter()
+                            .zip(g.as_slice())
+                            .map(|(&y, &g)| g * (1.0 - y * y))
+                            .collect(),
+                    );
+                    self.accumulate(a, &ga);
+                }
+                Op::Relu(a) => {
+                    let x = self.value(a);
+                    let ga = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.as_slice()
+                            .iter()
+                            .zip(g.as_slice())
+                            .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+                            .collect(),
+                    );
+                    self.accumulate(a, &ga);
+                }
+                Op::ConcatCols(a, b) => {
+                    let ac = self.value(a).cols();
+                    let bc = self.value(b).cols();
+                    let ga = g.slice_cols(0, ac);
+                    let gb = g.slice_cols(ac, bc);
+                    self.accumulate(a, &ga);
+                    self.accumulate(b, &gb);
+                }
+                Op::SliceCols(a, start, len) => {
+                    let src = self.value(a);
+                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    for r in 0..g.rows() {
+                        let dst = &mut ga.row_mut(r)[start..start + len];
+                        for (d, &s) in dst.iter_mut().zip(g.row(r)) {
+                            *d += s;
+                        }
+                    }
+                    self.accumulate(a, &ga);
+                }
+                Op::SliceRows(a, start, len) => {
+                    let src = self.value(a);
+                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    for r in 0..len {
+                        let dst = ga.row_mut(start + r);
+                        for (d, &s) in dst.iter_mut().zip(g.row(r)) {
+                            *d += s;
+                        }
+                    }
+                    self.accumulate(a, &ga);
+                }
+                Op::MeanAll(a) => {
+                    let src = self.value(a);
+                    let scale = g.get(0, 0) / src.len().max(1) as f32;
+                    let ga = Matrix::full(src.rows(), src.cols(), scale);
+                    self.accumulate(a, &ga);
+                }
+                Op::BceWithLogits(a, ref targets) => {
+                    let x = self.value(a);
+                    let n = x.len().max(1) as f32;
+                    let scale = g.get(0, 0) / n;
+                    let ga = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.as_slice()
+                            .iter()
+                            .zip(targets.as_slice())
+                            .map(|(&xi, &ti)| {
+                                let y = 1.0 / (1.0 + (-xi).exp());
+                                scale * (y - ti)
+                            })
+                            .collect(),
+                    );
+                    self.accumulate(a, &ga);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of d loss / d param for a tiny composite graph.
+    fn numeric_grad(
+        build: &dyn Fn(&mut Graph, &ParamStore, ParamId) -> Var,
+        store: &mut ParamStore,
+        id: ParamId,
+        r: usize,
+        c: usize,
+    ) -> f32 {
+        let eps = 1e-3;
+        let orig = store.value(id).get(r, c);
+        store.value_mut(id).set(r, c, orig + eps);
+        let mut g = Graph::new();
+        let v = build(&mut g, store, id);
+        let hi = g.value(v).get(0, 0);
+        store.value_mut(id).set(r, c, orig - eps);
+        let mut g = Graph::new();
+        let v = build(&mut g, store, id);
+        let lo = g.value(v).get(0, 0);
+        store.value_mut(id).set(r, c, orig);
+        (hi - lo) / (2.0 * eps)
+    }
+
+    fn check_all(build: &dyn Fn(&mut Graph, &ParamStore, ParamId) -> Var, init: Matrix) {
+        let mut store = ParamStore::new();
+        let id = store.register(init);
+        let mut g = Graph::new();
+        let loss = build(&mut g, &store, id);
+        g.backward(loss, &mut store);
+        let (rows, cols) = store.value(id).shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let num = numeric_grad(build, &mut store, id, r, c);
+                let ana = store.grad(id).get(r, c);
+                assert!(
+                    (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                    "grad mismatch at ({r},{c}): numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_matmul_sigmoid_mean() {
+        let x = Matrix::from_vec(2, 2, vec![0.5, -1.0, 2.0, 0.3]);
+        check_all(
+            &move |g, store, id| {
+                let p = g.param(store, id);
+                let xin = g.input(x.clone());
+                let y = g.matmul(xin, p);
+                let s = g.sigmoid(y);
+                g.mean_all(s)
+            },
+            Matrix::from_vec(2, 2, vec![0.1, -0.2, 0.4, 0.7]),
+        );
+    }
+
+    #[test]
+    fn grad_tanh_hadamard() {
+        let x = Matrix::from_vec(1, 3, vec![0.5, -1.0, 2.0]);
+        check_all(
+            &move |g, store, id| {
+                let p = g.param(store, id);
+                let xin = g.input(x.clone());
+                let t = g.tanh(p);
+                let h = g.hadamard(t, xin);
+                g.mean_all(h)
+            },
+            Matrix::from_vec(1, 3, vec![0.3, 0.6, -0.9]),
+        );
+    }
+
+    #[test]
+    fn grad_concat_slice() {
+        let x = Matrix::from_vec(1, 2, vec![1.0, -2.0]);
+        check_all(
+            &move |g, store, id| {
+                let p = g.param(store, id);
+                let xin = g.input(x.clone());
+                let cat = g.concat_cols(p, xin);
+                let sl = g.slice_cols(cat, 1, 2);
+                let t = g.tanh(sl);
+                g.mean_all(t)
+            },
+            Matrix::from_vec(1, 2, vec![0.2, 0.4]),
+        );
+    }
+
+    #[test]
+    fn grad_bias_broadcast() {
+        let x = Matrix::from_vec(3, 2, vec![0.1, 0.2, -0.3, 0.4, 0.5, -0.6]);
+        check_all(
+            &move |g, store, id| {
+                let p = g.param(store, id);
+                let xin = g.input(x.clone());
+                let y = g.add_row_broadcast(xin, p);
+                let s = g.sigmoid(y);
+                g.mean_all(s)
+            },
+            Matrix::from_vec(1, 2, vec![0.05, -0.15]),
+        );
+    }
+
+    #[test]
+    fn grad_bce_with_logits() {
+        let targets = Matrix::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        check_all(
+            &move |g, store, id| {
+                let p = g.param(store, id);
+                g.bce_with_logits(p, targets.clone())
+            },
+            Matrix::from_vec(1, 3, vec![0.5, -0.8, 0.1]),
+        );
+    }
+
+    #[test]
+    fn grad_sub_scale_relu() {
+        let x = Matrix::from_vec(1, 3, vec![0.5, 1.0, -0.2]);
+        check_all(
+            &move |g, store, id| {
+                let p = g.param(store, id);
+                let xin = g.input(x.clone());
+                let d = g.sub(p, xin);
+                let r = g.relu(d);
+                let s = g.scale(r, 2.0);
+                g.mean_all(s)
+            },
+            Matrix::from_vec(1, 3, vec![1.0, 0.5, -0.5]),
+        );
+    }
+
+    #[test]
+    fn grad_slice_rows() {
+        check_all(
+            &move |g, store, id| {
+                let p = g.param(store, id);
+                let top = g.slice_rows(p, 0, 1);
+                let s = g.sigmoid(top);
+                g.mean_all(s)
+            },
+            Matrix::from_vec(2, 2, vec![0.1, 0.2, 0.3, 0.4]),
+        );
+    }
+
+    #[test]
+    fn param_reused_accumulates_grads() {
+        // loss = mean(p + p) => dloss/dp = 2/len
+        let mut store = ParamStore::new();
+        let id = store.register(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let mut g = Graph::new();
+        let p = g.param(&store, id);
+        let s = g.add(p, p);
+        let loss = g.mean_all(s);
+        g.backward(loss, &mut store);
+        assert!((store.grad(id).get(0, 0) - 1.0).abs() < 1e-6);
+        assert!((store.grad(id).get(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_matches_closed_form() {
+        let mut g = Graph::new();
+        let logits = g.input(Matrix::from_vec(1, 1, vec![0.0]));
+        let loss = g.bce_with_logits(logits, Matrix::from_vec(1, 1, vec![1.0]));
+        // -ln(sigmoid(0)) = ln 2
+        assert!((g.value(loss).get(0, 0) - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+}

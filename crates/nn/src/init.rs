@@ -1,0 +1,80 @@
+//! Weight initialization.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic weight initializer (Xavier/Glorot uniform and friends).
+///
+/// All experiments seed this explicitly so runs are reproducible.
+#[derive(Debug)]
+pub struct Initializer {
+    rng: StdRng,
+}
+
+impl Initializer {
+    /// Initializer seeded with `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    pub fn xavier(&mut self, rows: usize, cols: usize) -> Matrix {
+        let a = (6.0 / (rows + cols) as f32).sqrt();
+        self.uniform(rows, cols, -a, a)
+    }
+
+    /// Uniform `U(lo, hi)`.
+    pub fn uniform(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| self.rng.gen_range(lo..hi))
+    }
+
+    /// Zeros (for biases).
+    pub fn zeros(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::zeros(rows, cols)
+    }
+
+    /// LSTM gate bias: zero everywhere but the forget-gate block, which is
+    /// set to 1 — the standard trick letting gradients flow early in
+    /// training. Layout must be `[i | f | g | o]`, each block `hidden` wide.
+    pub fn lstm_bias(&mut self, hidden: usize) -> Matrix {
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            b.set(0, c, 1.0);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a = Initializer::seeded(7).xavier(4, 4);
+        let b = Initializer::seeded(7).xavier(4, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Initializer::seeded(1).xavier(4, 4);
+        let b = Initializer::seeded(2).xavier(4, 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let m = Initializer::seeded(3).xavier(10, 10);
+        let a = (6.0_f32 / 20.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= a));
+    }
+
+    #[test]
+    fn lstm_bias_forget_block_is_one() {
+        let b = Initializer::seeded(0).lstm_bias(3);
+        assert_eq!(b.shape(), (1, 12));
+        assert_eq!(b.row(0), &[0., 0., 0., 1., 1., 1., 0., 0., 0., 0., 0., 0.]);
+    }
+}

@@ -1,0 +1,429 @@
+//! LSTM, BiLSTM and stacked-BiLSTM layers (paper §2.2, Fig. 7).
+//!
+//! Sequences are presented as one `Var` per timestep, each a `batch × dim`
+//! matrix; the recurrence is unrolled onto the autodiff tape so BPTT is just
+//! [`crate::graph::Graph::backward`].
+
+use crate::graph::{Graph, Var};
+use crate::init::Initializer;
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+use serde::{Deserialize, Serialize};
+
+/// A single-direction LSTM layer with gate layout `[i | f | g | o]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmLayer {
+    /// Input width.
+    pub input_dim: usize,
+    /// Hidden-state width.
+    pub hidden: usize,
+    wx: ParamId,
+    wh: ParamId,
+    b: ParamId,
+}
+
+impl LstmLayer {
+    /// Allocate weights: `Wx: input×4H` and `Wh: H×4H` Xavier, bias with the
+    /// forget gate at 1.
+    pub fn new(
+        store: &mut ParamStore,
+        init: &mut Initializer,
+        input_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let wx = store.register(init.xavier(input_dim, 4 * hidden));
+        let wh = store.register(init.xavier(hidden, 4 * hidden));
+        let b = store.register(init.lstm_bias(hidden));
+        Self { input_dim, hidden, wx, wh, b }
+    }
+
+    /// Run over the sequence; `reverse` scans right-to-left but returns the
+    /// hidden states re-aligned to input order (so `out[t]` always describes
+    /// timestep `t`).
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, xs: &[Var], reverse: bool) -> Vec<Var> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let batch = g.value(xs[0]).rows();
+        let wx = g.param(store, self.wx);
+        let wh = g.param(store, self.wh);
+        let b = g.param(store, self.b);
+        let mut h = g.input(Matrix::zeros(batch, self.hidden));
+        let mut c = g.input(Matrix::zeros(batch, self.hidden));
+
+        let order: Vec<usize> = if reverse {
+            (0..xs.len()).rev().collect()
+        } else {
+            (0..xs.len()).collect()
+        };
+        let mut out = vec![h; xs.len()];
+        for &t in &order {
+            let xz = g.matmul(xs[t], wx);
+            let hz = g.matmul(h, wh);
+            let zsum = g.add(xz, hz);
+            let z = g.add_row_broadcast(zsum, b);
+            let hsz = self.hidden;
+            let zi = g.slice_cols(z, 0, hsz);
+            let zf = g.slice_cols(z, hsz, hsz);
+            let zg = g.slice_cols(z, 2 * hsz, hsz);
+            let zo = g.slice_cols(z, 3 * hsz, hsz);
+            let i = g.sigmoid(zi);
+            let f = g.sigmoid(zf);
+            let gt = g.tanh(zg);
+            let o = g.sigmoid(zo);
+            let fc = g.hadamard(f, c);
+            let ig = g.hadamard(i, gt);
+            c = g.add(fc, ig);
+            let ct = g.tanh(c);
+            h = g.hadamard(o, ct);
+            out[t] = h;
+        }
+        out
+    }
+
+    /// Parameter handles `(Wx, Wh, b)`.
+    pub fn params(&self) -> (ParamId, ParamId, ParamId) {
+        (self.wx, self.wh, self.b)
+    }
+}
+
+/// Bidirectional LSTM: a forward and a backward [`LstmLayer`] whose hidden
+/// states are concatenated per timestep, giving width `2 × hidden` (paper
+/// §2.2: past *and* future context, which CEP event labeling needs because an
+/// event's match membership often depends on later events).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BiLstmLayer {
+    /// Forward-direction LSTM.
+    pub fwd: LstmLayer,
+    /// Backward-direction LSTM.
+    pub bwd: LstmLayer,
+}
+
+impl BiLstmLayer {
+    /// Allocate both directions.
+    pub fn new(
+        store: &mut ParamStore,
+        init: &mut Initializer,
+        input_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        Self {
+            fwd: LstmLayer::new(store, init, input_dim, hidden),
+            bwd: LstmLayer::new(store, init, input_dim, hidden),
+        }
+    }
+
+    /// Output width per timestep.
+    pub fn out_dim(&self) -> usize {
+        2 * self.fwd.hidden
+    }
+
+    /// Run both directions and concatenate per timestep.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, xs: &[Var]) -> Vec<Var> {
+        let f = self.fwd.forward(g, store, xs, false);
+        let b = self.bwd.forward(g, store, xs, true);
+        f.into_iter().zip(b).map(|(hf, hb)| g.concat_cols(hf, hb)).collect()
+    }
+}
+
+/// A stack of BiLSTM layers; layer `k+1` consumes layer `k`'s per-timestep
+/// outputs. The paper's models use 3 stacked layers with hidden width 75.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StackedBiLstm {
+    layers: Vec<BiLstmLayer>,
+}
+
+impl StackedBiLstm {
+    /// Build `num_layers` BiLSTM layers on top of `input_dim`-wide inputs.
+    ///
+    /// # Panics
+    /// Panics if `num_layers == 0`.
+    pub fn new(
+        store: &mut ParamStore,
+        init: &mut Initializer,
+        input_dim: usize,
+        hidden: usize,
+        num_layers: usize,
+    ) -> Self {
+        assert!(num_layers > 0, "need at least one BiLSTM layer");
+        let mut layers = Vec::with_capacity(num_layers);
+        let mut dim = input_dim;
+        for _ in 0..num_layers {
+            let layer = BiLstmLayer::new(store, init, dim, hidden);
+            dim = layer.out_dim();
+            layers.push(layer);
+        }
+        Self { layers }
+    }
+
+    /// Number of stacked layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Output width per timestep (`2 × hidden`).
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Run the full stack.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, xs: &[Var]) -> Vec<Var> {
+        let mut cur: Vec<Var> = xs.to_vec();
+        for layer in &self.layers {
+            cur = layer.forward(g, store, &cur);
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+
+    fn seq_inputs(g: &mut Graph, data: &[Vec<f32>]) -> Vec<Var> {
+        data.iter().map(|row| g.input(Matrix::from_vec(1, row.len(), row.clone()))).collect()
+    }
+
+    #[test]
+    fn lstm_output_shapes() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(0);
+        let lstm = LstmLayer::new(&mut store, &mut init, 3, 5);
+        let mut g = Graph::new();
+        let xs = seq_inputs(&mut g, &[vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]]);
+        let hs = lstm.forward(&mut g, &store, &xs, false);
+        assert_eq!(hs.len(), 2);
+        assert_eq!(g.value(hs[0]).shape(), (1, 5));
+    }
+
+    #[test]
+    fn empty_sequence_yields_empty() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(0);
+        let lstm = LstmLayer::new(&mut store, &mut init, 3, 5);
+        let mut g = Graph::new();
+        assert!(lstm.forward(&mut g, &store, &[], false).is_empty());
+    }
+
+    #[test]
+    fn reverse_aligns_to_input_order() {
+        // A reversed scan over a palindromic sequence must equal the forward
+        // scan read backwards.
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(3);
+        let lstm = LstmLayer::new(&mut store, &mut init, 2, 4);
+        let data = vec![vec![0.5, -0.5], vec![1.0, 0.0], vec![0.5, -0.5]];
+        let mut g = Graph::new();
+        let xs = seq_inputs(&mut g, &data);
+        let fwd = lstm.forward(&mut g, &store, &xs, false);
+        let mut g2 = Graph::new();
+        let rev_data: Vec<_> = data.iter().rev().cloned().collect();
+        let xs2 = seq_inputs(&mut g2, &rev_data);
+        let bwd = lstm.forward(&mut g2, &store, &xs2, true);
+        // bwd on reversed input, re-aligned, equals fwd on original, reversed.
+        for (t, v) in fwd.iter().enumerate() {
+            let expect = g.value(*v);
+            let got = g2.value(bwd[bwd.len() - 1 - t]);
+            for (a, b) in expect.as_slice().iter().zip(got.as_slice()) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn bilstm_concats_directions() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(0);
+        let bi = BiLstmLayer::new(&mut store, &mut init, 3, 4);
+        assert_eq!(bi.out_dim(), 8);
+        let mut g = Graph::new();
+        let xs = seq_inputs(&mut g, &vec![vec![0.1, 0.2, 0.3]; 4]);
+        let hs = bi.forward(&mut g, &store, &xs);
+        assert_eq!(hs.len(), 4);
+        assert_eq!(g.value(hs[0]).shape(), (1, 8));
+    }
+
+    #[test]
+    fn stacked_shapes() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(0);
+        let stack = StackedBiLstm::new(&mut store, &mut init, 3, 4, 3);
+        assert_eq!(stack.num_layers(), 3);
+        assert_eq!(stack.out_dim(), 8);
+        let mut g = Graph::new();
+        let xs = seq_inputs(&mut g, &vec![vec![0.1, 0.2, 0.3]; 5]);
+        let hs = stack.forward(&mut g, &store, &xs);
+        assert_eq!(hs.len(), 5);
+        assert_eq!(g.value(hs[4]).shape(), (1, 8));
+    }
+
+    #[test]
+    fn lstm_learns_last_element_sign() {
+        // Tiny sanity task: classify by the sign of the last input. An LSTM
+        // must keep (at minimum) recent information, so loss should drop
+        // substantially within a few hundred steps.
+        use crate::linear::Linear;
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(11);
+        let lstm = LstmLayer::new(&mut store, &mut init, 1, 6);
+        let head = Linear::new(&mut store, &mut init, 6, 1);
+        let mut opt = Adam::new(0.02);
+        let seqs: Vec<(Vec<f32>, f32)> = vec![
+            (vec![0.3, -0.2, 0.8], 1.0),
+            (vec![-0.5, 0.4, -0.9], 0.0),
+            (vec![0.9, 0.1, -0.4], 0.0),
+            (vec![-0.1, -0.7, 0.6], 1.0),
+        ];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..300 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let mut total = None;
+            for (xs, t) in &seqs {
+                let vars: Vec<Var> = xs
+                    .iter()
+                    .map(|&v| g.input(Matrix::from_vec(1, 1, vec![v])))
+                    .collect();
+                let hs = lstm.forward(&mut g, &store, &vars, false);
+                let logit = head.forward(&mut g, &store, *hs.last().unwrap());
+                let loss = g.bce_with_logits(logit, Matrix::from_vec(1, 1, vec![*t]));
+                total = Some(match total {
+                    None => loss,
+                    Some(acc) => g.add(acc, loss),
+                });
+            }
+            let total = total.unwrap();
+            let loss_val = g.value(total).get(0, 0) / seqs.len() as f32;
+            if step == 0 {
+                first = loss_val;
+            }
+            last = loss_val;
+            g.backward(total, &mut store);
+            store.clip_grad_norm(5.0);
+            opt.step(&mut store);
+        }
+        assert!(last < first * 0.2, "loss {first} -> {last} did not drop enough");
+    }
+}
+
+impl LstmLayer {
+    /// Tape-free inference over a sequence laid out as a `T×input` matrix
+    /// (row per timestep). Returns `T×hidden`. This is the hot path of the
+    /// DLACEP filter: it avoids all autograd bookkeeping and performs one
+    /// `T×input · input×4H` GEMM per call plus `T` small recurrences.
+    pub fn infer(&self, store: &ParamStore, xs: &Matrix, reverse: bool) -> Matrix {
+        let t_len = xs.rows();
+        let h = self.hidden;
+        let mut out = Matrix::zeros(t_len, h);
+        if t_len == 0 {
+            return out;
+        }
+        let wx = store.value(self.wx);
+        let wh = store.value(self.wh);
+        let bias = store.value(self.b);
+        let xw = xs.matmul(wx); // T×4H, one big GEMM
+        let mut hv = vec![0.0_f32; h];
+        let mut cv = vec![0.0_f32; h];
+        let mut z = vec![0.0_f32; 4 * h];
+        let steps: Vec<usize> = if reverse {
+            (0..t_len).rev().collect()
+        } else {
+            (0..t_len).collect()
+        };
+        for &t in &steps {
+            // z = xw[t] + h · Wh + b
+            z.copy_from_slice(xw.row(t));
+            for (zi, &bi) in z.iter_mut().zip(bias.row(0)) {
+                *zi += bi;
+            }
+            for (k, &hk) in hv.iter().enumerate() {
+                if hk == 0.0 {
+                    continue;
+                }
+                let wrow = wh.row(k);
+                for (zi, &wkj) in z.iter_mut().zip(wrow) {
+                    *zi += hk * wkj;
+                }
+            }
+            for j in 0..h {
+                let i = 1.0 / (1.0 + (-z[j]).exp());
+                let f = 1.0 / (1.0 + (-z[h + j]).exp());
+                let g = z[2 * h + j].tanh();
+                let o = 1.0 / (1.0 + (-z[3 * h + j]).exp());
+                cv[j] = f * cv[j] + i * g;
+                hv[j] = o * cv[j].tanh();
+            }
+            out.row_mut(t).copy_from_slice(&hv);
+        }
+        out
+    }
+}
+
+impl BiLstmLayer {
+    /// Tape-free inference: `T×input` → `T×2H` (forward ‖ backward).
+    pub fn infer(&self, store: &ParamStore, xs: &Matrix) -> Matrix {
+        let f = self.fwd.infer(store, xs, false);
+        let b = self.bwd.infer(store, xs, true);
+        f.concat_cols(&b)
+    }
+}
+
+impl StackedBiLstm {
+    /// Tape-free inference through the whole stack: `T×input` → `T×2H`.
+    pub fn infer(&self, store: &ParamStore, xs: &Matrix) -> Matrix {
+        let mut cur = xs.clone();
+        for layer in &self.layers {
+            cur = layer.infer(store, &cur);
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod infer_tests {
+    use super::*;
+
+    fn to_matrix(data: &[Vec<f32>]) -> Matrix {
+        let cols = data[0].len();
+        let mut m = Matrix::zeros(data.len(), cols);
+        for (r, row) in data.iter().enumerate() {
+            m.row_mut(r).copy_from_slice(row);
+        }
+        m
+    }
+
+    #[test]
+    fn infer_matches_graph_forward() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(17);
+        let stack = StackedBiLstm::new(&mut store, &mut init, 3, 5, 2);
+        let data: Vec<Vec<f32>> =
+            (0..7).map(|t| (0..3).map(|d| ((t * 3 + d) as f32 * 0.31).sin()).collect()).collect();
+        // Graph path (batch = 1).
+        let mut g = Graph::new();
+        let xs: Vec<Var> = data
+            .iter()
+            .map(|row| g.input(Matrix::from_vec(1, 3, row.clone())))
+            .collect();
+        let hs = stack.forward(&mut g, &store, &xs);
+        // Fast path.
+        let fast = stack.infer(&store, &to_matrix(&data));
+        assert_eq!(fast.shape(), (7, 10));
+        for (t, h) in hs.iter().enumerate() {
+            for (a, b) in g.value(*h).row(0).iter().zip(fast.row(t)) {
+                assert!((a - b).abs() < 1e-5, "t={t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn infer_empty_sequence() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(1);
+        let lstm = LstmLayer::new(&mut store, &mut init, 2, 3);
+        let out = lstm.infer(&store, &Matrix::zeros(0, 2), false);
+        assert_eq!(out.shape(), (0, 3));
+    }
+}

@@ -1,0 +1,165 @@
+//! Classification metrics: precision, recall, F1 (paper §4.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts for binary classification, accumulated incrementally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Empty counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one `(predicted, actual)` pair.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Record paired label slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn record_all(&mut self, predicted: &[bool], actual: &[bool]) {
+        assert_eq!(predicted.len(), actual.len(), "label length mismatch");
+        for (&p, &a) in predicted.iter().zip(actual) {
+            self.record(p, a);
+        }
+    }
+
+    /// Merge another confusion into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// `tp / (tp + fp)`; 1.0 when nothing was predicted positive (vacuously
+    /// precise).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; 1.0 when there were no actual positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// False-negative percentage out of all actual positives (paper Fig. 11).
+    pub fn fn_percent(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            100.0 * self.fn_ as f64 / denom as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let mut c = Confusion::new();
+        c.record_all(&[true, false, true], &[true, false, true]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.fn_percent(), 0.0);
+    }
+
+    #[test]
+    fn mixed_prediction() {
+        let mut c = Confusion::new();
+        // tp=1, fp=1, fn=1, tn=1
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+        assert!((c.fn_percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let c = Confusion::new();
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+
+        let mut all_neg = Confusion::new();
+        all_neg.record(false, false);
+        assert_eq!(all_neg.f1(), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Confusion::new();
+        a.record(true, true);
+        let mut b = Confusion::new();
+        b.record(false, true);
+        a.merge(&b);
+        assert_eq!(a.tp, 1);
+        assert_eq!(a.fn_, 1);
+        assert!((a.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn record_all_checks_lengths() {
+        let mut c = Confusion::new();
+        c.record_all(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Optimizers and learning-rate schedules.
+
+use crate::matrix::Matrix;
+use crate::params::ParamStore;
+use serde::{Deserialize, Serialize};
+
+/// A gradient-descent optimizer stepping a [`ParamStore`].
+pub trait Optimizer {
+    /// Apply one update using the currently accumulated gradients.
+    fn step(&mut self, params: &mut ParamStore);
+    /// Change the learning rate (used by [`LrSchedule`]).
+    fn set_lr(&mut self, lr: f32);
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// SGD without momentum.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum `mu`.
+    pub fn with_momentum(lr: f32, mu: f32) -> Self {
+        Self { lr, momentum: mu, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamStore) {
+        let (lr, mu) = (self.lr, self.momentum);
+        if mu == 0.0 {
+            params.update_each(|_, v, g| v.axpy(-lr, g));
+            return;
+        }
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|(_, v, _)| Matrix::zeros(v.rows(), v.cols())).collect();
+        }
+        let vel = &mut self.velocity;
+        params.update_each(|i, v, g| {
+            let vi = &mut vel[i];
+            vi.map_inplace(|x| x * mu);
+            vi.axpy(1.0, g);
+            v.axpy(-lr, vi);
+        });
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with default betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamStore) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|(_, v, _)| Matrix::zeros(v.rows(), v.cols())).collect();
+            self.v = params.iter().map(|(_, v, _)| Matrix::zeros(v.rows(), v.cols())).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let (m, v) = (&mut self.m, &mut self.v);
+        params.update_each(|i, val, g| {
+            let mi = &mut m[i];
+            let vi = &mut v[i];
+            for ((mm, vv), (&gg, x)) in mi
+                .as_mut_slice()
+                .iter_mut()
+                .zip(vi.as_mut_slice())
+                .zip(g.as_slice().iter().zip(val.as_mut_slice()))
+            {
+                *mm = b1 * *mm + (1.0 - b1) * gg;
+                *vv = b2 * *vv + (1.0 - b2) * gg * gg;
+                let mhat = *mm / bc1;
+                let vhat = *vv / bc2;
+                *x -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        });
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Piecewise-constant learning-rate schedule over epochs.
+///
+/// The paper trains with a *dynamic* learning rate moving from `1e-3` to
+/// `1e-4` (§5.1); [`LrSchedule::paper_default`] encodes that as a halving
+/// decay clamped at `1e-4`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LrSchedule {
+    initial: f32,
+    floor: f32,
+    decay: f32,
+    every: usize,
+}
+
+impl LrSchedule {
+    /// Decay `initial` by `decay` every `every` epochs, never below `floor`.
+    pub fn new(initial: f32, floor: f32, decay: f32, every: usize) -> Self {
+        assert!(every > 0, "decay interval must be positive");
+        Self { initial, floor, decay, every }
+    }
+
+    /// The paper's 1e-3 → 1e-4 schedule.
+    pub fn paper_default() -> Self {
+        Self::new(1e-3, 1e-4, 0.5, 5)
+    }
+
+    /// Learning rate at a given (0-based) epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        let steps = (epoch / self.every) as i32;
+        (self.initial * self.decay.powi(steps)).max(self.floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+
+    fn quadratic_step(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        // minimize f(x) = (x - 3)^2 elementwise
+        let mut ps = ParamStore::new();
+        let id = ps.register(Matrix::zeros(1, 1));
+        for _ in 0..steps {
+            ps.zero_grads();
+            let x = ps.value(id).get(0, 0);
+            ps.grad_mut(id).set(0, 0, 2.0 * (x - 3.0));
+            opt.step(&mut ps);
+        }
+        ps.value(id).get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = quadratic_step(&mut opt, 100);
+        assert!((x - 3.0).abs() < 1e-3, "got {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let x = quadratic_step(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-2, "got {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        let x = quadratic_step(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-2, "got {x}");
+    }
+
+    #[test]
+    fn lr_schedule_decays_to_floor() {
+        let s = LrSchedule::paper_default();
+        assert!((s.lr_at(0) - 1e-3).abs() < 1e-9);
+        assert!(s.lr_at(5) < s.lr_at(0));
+        assert!((s.lr_at(1000) - 1e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lr_schedule_piecewise_boundaries() {
+        let s = LrSchedule::new(1.0, 0.1, 0.5, 2);
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(1), 1.0);
+        assert_eq!(s.lr_at(2), 0.5);
+        assert_eq!(s.lr_at(4), 0.25);
+    }
+}

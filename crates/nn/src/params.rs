@@ -1,0 +1,155 @@
+//! Trainable parameter storage shared between graphs, layers, and optimizers.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Handle to one trainable tensor inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// Values and accumulated gradients of every trainable tensor in a model.
+///
+/// Layers allocate their weights here at construction; computation graphs
+/// read values via [`ParamStore::value`] and accumulate gradients via
+/// [`ParamStore::grad_mut`]; optimizers consume the gradients in
+/// [`crate::optim`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    values: Vec<Matrix>,
+    grads: Vec<Matrix>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new parameter with the given initial value.
+    pub fn register(&mut self, value: Matrix) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.grads.push(Matrix::zeros(value.rows(), value.cols()));
+        self.values.push(value);
+        id
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable value (used by optimizers and initialization).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    /// Mutable accumulated gradient.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.grads[id.0]
+    }
+
+    /// Zero all gradients, keeping allocations.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.grads.iter().map(|g| g.frobenius_norm().powi(2)).sum::<f32>().sqrt()
+    }
+
+    /// Scale all gradients so the global norm does not exceed `max_norm`.
+    /// Returns the pre-clipping norm. Essential for stable LSTM training
+    /// (exploding gradients, paper §2.2).
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for g in &mut self.grads {
+                g.map_inplace(|v| v * scale);
+            }
+        }
+        norm
+    }
+
+    /// Iterate over `(id, value, grad)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix, &Matrix)> {
+        self.values
+            .iter()
+            .zip(&self.grads)
+            .enumerate()
+            .map(|(i, (v, g))| (ParamId(i), v, g))
+    }
+
+    /// Apply `f(value, grad)` to every parameter (optimizer update hook).
+    pub fn update_each(&mut self, mut f: impl FnMut(usize, &mut Matrix, &Matrix)) {
+        for (i, (v, g)) in self.values.iter_mut().zip(&self.grads).enumerate() {
+            f(i, v, g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_access() {
+        let mut ps = ParamStore::new();
+        let id = ps.register(Matrix::full(2, 2, 1.0));
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.num_scalars(), 4);
+        assert_eq!(ps.value(id).get(0, 0), 1.0);
+        assert_eq!(ps.grad(id).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut ps = ParamStore::new();
+        let id = ps.register(Matrix::zeros(1, 2));
+        ps.grad_mut(id).set(0, 0, 5.0);
+        ps.zero_grads();
+        assert_eq!(ps.grad(id).sum(), 0.0);
+    }
+
+    #[test]
+    fn clip_reduces_norm() {
+        let mut ps = ParamStore::new();
+        let id = ps.register(Matrix::zeros(1, 2));
+        ps.grad_mut(id).as_mut_slice().copy_from_slice(&[3.0, 4.0]);
+        let pre = ps.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((ps.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_noop_below_threshold() {
+        let mut ps = ParamStore::new();
+        let id = ps.register(Matrix::zeros(1, 2));
+        ps.grad_mut(id).as_mut_slice().copy_from_slice(&[0.3, 0.4]);
+        ps.clip_grad_norm(1.0);
+        assert!((ps.grad_norm() - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,22 @@
+//! # dlacep
+//!
+//! Umbrella crate for the DLACEP reproduction (Amir, Kolchinsky & Schuster,
+//! *DLACEP: A Deep-Learning Based Framework for Approximate Complex Event
+//! Processing*, SIGMOD 2022): re-exports the workspace crates under one
+//! namespace.
+//!
+//! * [`events`] — primitive events, schemas, streams, windows;
+//! * [`cep`] — the exact CEP engine substrate (NFA, ZStream tree, lazy) and
+//!   the pattern language;
+//! * [`nn`] — the from-scratch neural-network substrate (BiLSTM, CRF, Adam);
+//! * [`data`] — synthetic datasets and exact-CEP labeling;
+//! * [`core`] — the DLACEP framework: assembler, filters, pipeline, trainer.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `dlacep-bench` crate for the paper's experiments.
+
+pub use dlacep_cep as cep;
+pub use dlacep_core as core;
+pub use dlacep_data as data;
+pub use dlacep_events as events;
+pub use dlacep_nn as nn;
