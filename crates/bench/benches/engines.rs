@@ -10,7 +10,11 @@ use dlacep_cep::{LazyEngine, NfaEngine, TreeEngine};
 use dlacep_data::StockConfig;
 
 fn exact_engines(c: &mut Criterion) {
-    let (_, stream) = StockConfig { num_events: 3_000, ..Default::default() }.generate();
+    let (_, stream) = StockConfig {
+        num_events: 3_000,
+        ..Default::default()
+    }
+    .generate();
     let pattern = q_a11(SeqOrConj::Seq, 8, 0.5, 2.0, 40);
     let plan = Plan::compile(&pattern).unwrap();
     let model = estimate_cost_model(&plan.branches[0], &stream.events()[..2_000]);

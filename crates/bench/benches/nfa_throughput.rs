@@ -9,7 +9,11 @@ use dlacep_cep::NfaEngine;
 use dlacep_data::SyntheticConfig;
 
 fn nfa_window_scaling(c: &mut Criterion) {
-    let (_, stream) = SyntheticConfig { num_events: 2_000, ..Default::default() }.generate();
+    let (_, stream) = SyntheticConfig {
+        num_events: 2_000,
+        ..Default::default()
+    }
+    .generate();
     let mut group = c.benchmark_group("nfa_throughput_vs_window");
     group.sample_size(10);
     for w in [20u64, 40, 80] {
@@ -25,7 +29,11 @@ fn nfa_window_scaling(c: &mut Criterion) {
 }
 
 fn nfa_pattern_length_scaling(c: &mut Criterion) {
-    let (_, stream) = SyntheticConfig { num_events: 2_000, ..Default::default() }.generate();
+    let (_, stream) = SyntheticConfig {
+        num_events: 2_000,
+        ..Default::default()
+    }
+    .generate();
     let mut group = c.benchmark_group("nfa_throughput_vs_length");
     group.sample_size(10);
     for len in [4usize, 5, 6] {

@@ -6,13 +6,24 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlacep_core::model::{EventNetwork, NetworkConfig, WindowNetwork};
 
 fn window(t: usize, dim: usize) -> Vec<Vec<f32>> {
-    (0..t).map(|i| (0..dim).map(|d| ((i * dim + d) as f32 * 0.13).sin()).collect()).collect()
+    (0..t)
+        .map(|i| {
+            (0..dim)
+                .map(|d| ((i * dim + d) as f32 * 0.13).sin())
+                .collect()
+        })
+        .collect()
 }
 
 fn event_net_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_net_mark");
     for t in [64usize, 128, 256] {
-        let net = EventNetwork::new(NetworkConfig { input_dim: 8, hidden: 32, layers: 3, seed: 1 });
+        let net = EventNetwork::new(NetworkConfig {
+            input_dim: 8,
+            hidden: 32,
+            layers: 3,
+            seed: 1,
+        });
         let w = window(t, 8);
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
             b.iter(|| net.mark(&w).len());
@@ -24,7 +35,12 @@ fn event_net_inference(c: &mut Criterion) {
 fn window_net_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("window_net_probability");
     for t in [64usize, 128, 256] {
-        let net = WindowNetwork::new(NetworkConfig { input_dim: 8, hidden: 32, layers: 3, seed: 1 });
+        let net = WindowNetwork::new(NetworkConfig {
+            input_dim: 8,
+            hidden: 32,
+            layers: 3,
+            seed: 1,
+        });
         let w = window(t, 8);
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
             b.iter(|| net.probability(&w));
@@ -37,8 +53,12 @@ fn layer_scaling(c: &mut Criterion) {
     // Fig 13c–d's mechanism: deeper stacks cost proportionally more.
     let mut group = c.benchmark_group("event_net_mark_vs_layers");
     for layers in [1usize, 3, 5] {
-        let net =
-            EventNetwork::new(NetworkConfig { input_dim: 8, hidden: 32, layers, seed: 1 });
+        let net = EventNetwork::new(NetworkConfig {
+            input_dim: 8,
+            hidden: 32,
+            layers,
+            seed: 1,
+        });
         let w = window(128, 8);
         group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, _| {
             b.iter(|| net.mark(&w).len());
@@ -47,5 +67,10 @@ fn layer_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, event_net_inference, window_net_inference, layer_scaling);
+criterion_group!(
+    benches,
+    event_net_inference,
+    window_net_inference,
+    layer_scaling
+);
 criterion_main!(benches);

@@ -4,13 +4,17 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dlacep_bench::queries::real::q_a3;
-use dlacep_core::prelude::*;
 use dlacep_cep::engine::CepEngine;
 use dlacep_cep::NfaEngine;
+use dlacep_core::prelude::*;
 use dlacep_data::StockConfig;
 
 fn pipeline_vs_ecep(c: &mut Criterion) {
-    let (_, stream) = StockConfig { num_events: 3_000, ..Default::default() }.generate();
+    let (_, stream) = StockConfig {
+        num_events: 3_000,
+        ..Default::default()
+    }
+    .generate();
     let pattern = q_a3(5, 6, 5, &[1, 2, 3], 1, 4, 0.8, 1.2, 2.2, 24);
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
@@ -30,21 +34,26 @@ fn pipeline_vs_ecep(c: &mut Criterion) {
 fn assembler_ablation(c: &mut Criterion) {
     // §4.2: StepSize = 1 is the "ECEP-like" marking mode with massive
     // filtering overhead; the paper's 2W/W choice amortizes it.
-    let (_, stream) = StockConfig { num_events: 2_000, ..Default::default() }.generate();
+    let (_, stream) = StockConfig {
+        num_events: 2_000,
+        ..Default::default()
+    }
+    .generate();
     let pattern = q_a3(5, 6, 5, &[1, 2, 3], 1, 4, 0.8, 1.2, 2.2, 16);
     let w = pattern.window_size() as usize;
     let mut group = c.benchmark_group("assembler_ablation");
     group.sample_size(10);
-    for (name, mark, step) in
-        [("2W_stepW", 2 * w, w), ("2W_stepHalfW", 2 * w, w / 2), ("W_step1", w, 1)]
-    {
-        let cfg = AssemblerConfig { mark_size: mark, step_size: step };
-        let dl = Dlacep::with_assembler(
-            pattern.clone(),
-            OracleFilter::new(pattern.clone()),
-            cfg,
-        )
-        .unwrap();
+    for (name, mark, step) in [
+        ("2W_stepW", 2 * w, w),
+        ("2W_stepHalfW", 2 * w, w / 2),
+        ("W_step1", w, 1),
+    ] {
+        let cfg = AssemblerConfig {
+            mark_size: mark,
+            step_size: step,
+        };
+        let dl = Dlacep::with_assembler(pattern.clone(), OracleFilter::new(pattern.clone()), cfg)
+            .unwrap();
         group.bench_function(name, |b| b.iter(|| dl.run(stream.events()).matches.len()));
     }
     group.finish();

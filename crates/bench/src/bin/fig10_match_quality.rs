@@ -20,8 +20,10 @@ use std::collections::{BTreeSet, HashMap};
 use std::io::Write as _;
 
 fn volume_variance(ids: &[EventId], by_id: &HashMap<u64, &PrimitiveEvent>) -> f64 {
-    let vols: Vec<f64> =
-        ids.iter().filter_map(|id| by_id.get(&id.0).and_then(|e| e.attr(0))).collect();
+    let vols: Vec<f64> = ids
+        .iter()
+        .filter_map(|id| by_id.get(&id.0).and_then(|e| e.attr(0)))
+        .collect();
     if vols.len() < 2 {
         return 0.0;
     }
@@ -64,10 +66,24 @@ fn main() {
             undetected.push(var);
         }
     }
-    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     println!("\n== Fig 10: volume-variance distribution of detected vs missed matches ==");
-    println!("detected matches:   {:>7}  mean variance {:.4}", detected.len(), mean(&detected));
-    println!("undetected matches: {:>7}  mean variance {:.4}", undetected.len(), mean(&undetected));
+    println!(
+        "detected matches:   {:>7}  mean variance {:.4}",
+        detected.len(),
+        mean(&detected)
+    );
+    println!(
+        "undetected matches: {:>7}  mean variance {:.4}",
+        undetected.len(),
+        mean(&undetected)
+    );
 
     // Histogram over shared buckets.
     let max_var = detected
@@ -84,7 +100,10 @@ fn main() {
     for &v in &undetected {
         hist_u[(((v / max_var) * BUCKETS as f64) as usize).min(BUCKETS - 1)] += 1;
     }
-    println!("{:>18} {:>10} {:>10}", "variance bucket", "detected", "missed");
+    println!(
+        "{:>18} {:>10} {:>10}",
+        "variance bucket", "detected", "missed"
+    );
     for b in 0..BUCKETS {
         println!(
             "[{:6.4}, {:6.4}) {:>10} {:>10}",

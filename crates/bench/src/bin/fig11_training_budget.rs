@@ -42,7 +42,10 @@ fn main() {
     // ---- (a)/(b): epochs sweep (full data, convergence disabled) --------
     let mut epoch_points = Vec::new();
     println!("\n== Fig 11(a,b): epochs -> TP gain and FN% ==");
-    println!("{:>7} {:>9} {:>7} {:>8} {:>9}", "epochs", "gain", "FN%", "recall", "model-F1");
+    println!(
+        "{:>7} {:>9} {:>7} {:>8} {:>9}",
+        "epochs", "gain", "FN%", "recall", "model-F1"
+    );
     for epochs in [2usize, 4, 8, 16, 24] {
         let mut tc = cfg.train.clone();
         tc.max_epochs = epochs;
@@ -53,7 +56,11 @@ fn main() {
         let cmp = compare_runs(eval.len(), &ecep_matches, ecep_time, &ecep_stats, &run);
         println!(
             "{:>7} {:>9.2} {:>6.1}% {:>8.3} {:>9.3}",
-            epochs, cmp.throughput_gain, cmp.fn_percent, cmp.recall, out.test.f1()
+            epochs,
+            cmp.throughput_gain,
+            cmp.fn_percent,
+            cmp.recall,
+            out.test.f1()
         );
         epoch_points.push(Point {
             x: epochs as f64,
@@ -67,7 +74,10 @@ fn main() {
     // ---- (c)/(d): data% sweep (fixed epochs) -----------------------------
     let mut data_points = Vec::new();
     println!("\n== Fig 11(c,d): data% -> TP gain and FN% ==");
-    println!("{:>7} {:>9} {:>7} {:>8} {:>9}", "data%", "gain", "FN%", "recall", "model-F1");
+    println!(
+        "{:>7} {:>9} {:>7} {:>8} {:>9}",
+        "data%", "gain", "FN%", "recall", "model-F1"
+    );
     for frac in [0.1, 0.25, 0.5, 0.75, 1.0] {
         let mut tc = cfg.train.clone();
         tc.data_fraction = frac;

@@ -47,8 +47,16 @@ fn run_alternative(
     let found: std::collections::BTreeSet<_> =
         matches.iter().map(|m| m.event_ids.clone()).collect();
     let common = truth.intersection(&found).count();
-    let recall = if truth.is_empty() { 1.0 } else { common as f64 / truth.len() as f64 };
-    let gain = if secs > 0.0 { ecep_secs / secs } else { f64::INFINITY };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        common as f64 / truth.len() as f64
+    };
+    let gain = if secs > 0.0 {
+        ecep_secs / secs
+    } else {
+        f64::INFINITY
+    };
     (gain, recall, engine.stats().partial_matches_created)
 }
 
@@ -177,8 +185,7 @@ fn main() {
 
     let _ = std::fs::create_dir_all("results");
     if let Ok(mut f) = std::fs::File::create("results/fig12_ecep_optimizations.json") {
-        let _ =
-            f.write_all(serde_json::to_string_pretty(&entries).unwrap().as_bytes());
+        let _ = f.write_all(serde_json::to_string_pretty(&entries).unwrap().as_bytes());
         println!("\n[saved results/fig12_ecep_optimizations.json]");
     }
 }

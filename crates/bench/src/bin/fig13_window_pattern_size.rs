@@ -54,8 +54,7 @@ fn run_point(len: usize, w: u64, layers: usize, cfg: &ExpConfig, seed: u64) -> P
     let cmp = compare_runs(eval.len(), &ecep_matches, ecep_time, &ecep_stats, &run);
     // Perfect marks at neural-inference cost: the converged-model bound.
     let assembler = AssemblerConfig::paper_default(pattern.window_size());
-    let perfect =
-        ReplayFilter::precompute(&pattern, &eval, &assembler, tc.hidden, tc.layers);
+    let perfect = ReplayFilter::precompute(&pattern, &eval, &assembler, tc.hidden, tc.layers);
     let oracle = Dlacep::with_assembler(pattern.clone(), perfect, assembler)
         .expect("valid assembler")
         .run(&eval);
@@ -81,8 +80,16 @@ fn main() {
     cfg.train_events = cfg.train_events.min(12_000);
     cfg.eval_events = cfg.eval_events.min(4_000);
     cfg.train.max_epochs = cfg.train.max_epochs.min(10);
-    let windows: Vec<u64> = if full { vec![60, 100, 140, 180, 220] } else { vec![60, 100, 140] };
-    let layer_sweep: Vec<usize> = if full { vec![1, 2, 3, 4, 5] } else { vec![1, 2, 3] };
+    let windows: Vec<u64> = if full {
+        vec![60, 100, 140, 180, 220]
+    } else {
+        vec![60, 100, 140]
+    };
+    let layer_sweep: Vec<usize> = if full {
+        vec![1, 2, 3, 4, 5]
+    } else {
+        vec![1, 2, 3]
+    };
 
     // ---- (a)/(b): W × pattern length ------------------------------------
     let mut points = Vec::new();
@@ -106,10 +113,16 @@ fn main() {
     let w_big = *windows.last().expect("non-empty");
     let mut layer_points = Vec::new();
     println!("\n== Fig 13(c,d): gain and recall vs number of BiLSTM layers (len 6, W={w_big}) ==");
-    println!("{:>7} {:>9} {:>8} {:>9}", "layers", "gain", "recall", "model-F1");
+    println!(
+        "{:>7} {:>9} {:>8} {:>9}",
+        "layers", "gain", "recall", "model-F1"
+    );
     for &layers in &layer_sweep {
         let p = run_point(6, w_big, layers, &cfg, 777);
-        println!("{:>7} {:>9.2} {:>8.3} {:>9.3}", layers, p.gain, p.recall, p.model_f1);
+        println!(
+            "{:>7} {:>9.2} {:>8.3} {:>9.3}",
+            layers, p.gain, p.recall, p.model_f1
+        );
         layer_points.push(p);
     }
 

@@ -13,11 +13,11 @@
 
 use dlacep_bench::queries::real::q_a5;
 use dlacep_bench::ExpConfig;
-use dlacep_core::model::{EventNetwork, NetworkConfig};
-use dlacep_core::EventEmbedder;
 use dlacep_cep::engine::CepEngine;
 use dlacep_cep::plan::Plan;
 use dlacep_cep::NfaEngine;
+use dlacep_core::model::{EventNetwork, NetworkConfig};
+use dlacep_core::EventEmbedder;
 use dlacep_data::label::matches_in_sample;
 use dlacep_data::StockConfig;
 use dlacep_events::{EventId, PrimitiveEvent};
@@ -63,16 +63,18 @@ fn run_mw(mw: usize, cfg: &ExpConfig, stream_events: &[PrimitiveEvent]) -> Point
     let mut samples: Vec<(Vec<Vec<f32>>, Vec<bool>)> = Vec::with_capacity(train_chunks.len());
     for chunk in &train_chunks {
         let matches = matches_in_sample(&pattern, chunk);
-        let positive: BTreeSet<u64> =
-            matches.iter().flat_map(|m| m.event_ids.iter().map(|id| id.0)).collect();
-        let mut labels: Vec<bool> =
-            chunk.iter().map(|e| positive.contains(&e.id.0)).collect();
+        let positive: BTreeSet<u64> = matches
+            .iter()
+            .flat_map(|m| m.event_ids.iter().map(|id| id.0))
+            .collect();
+        let mut labels: Vec<bool> = chunk.iter().map(|e| positive.contains(&e.id.0)).collect();
         labels.resize(mw, false); // padding labels
         samples.push((embedder.embed_window(chunk, mw), labels));
     }
     // Balance: duplicate windows that contain matches.
-    let pos_idx: Vec<usize> =
-        (0..samples.len()).filter(|&i| samples[i].1.iter().any(|&l| l)).collect();
+    let pos_idx: Vec<usize> = (0..samples.len())
+        .filter(|&i| samples[i].1.iter().any(|&l| l))
+        .collect();
     let neg = samples.len() - pos_idx.len();
     if !pos_idx.is_empty() && neg > pos_idx.len() {
         let copies = (neg / pos_idx.len()).saturating_sub(1).min(15);
@@ -95,8 +97,10 @@ fn run_mw(mw: usize, cfg: &ExpConfig, stream_events: &[PrimitiveEvent]) -> Point
         let mut loss = 0.0;
         let mut batches = 0;
         for batch_idx in sampler.epoch(32) {
-            let batch: Vec<(&[Vec<f32>], &[bool])> =
-                batch_idx.iter().map(|&i| (samples[i].0.as_slice(), samples[i].1.as_slice())).collect();
+            let batch: Vec<(&[Vec<f32>], &[bool])> = batch_idx
+                .iter()
+                .map(|&i| (samples[i].0.as_slice(), samples[i].1.as_slice()))
+                .collect();
             loss += net.train_batch(&batch, &mut opt, cfg.train.grad_clip);
             batches += 1;
         }
@@ -148,9 +152,22 @@ fn run_mw(mw: usize, cfg: &ExpConfig, stream_events: &[PrimitiveEvent]) -> Point
     let acep_secs = acep_start.elapsed().as_secs_f64();
 
     let common = truth.intersection(&found).count();
-    let recall = if truth.is_empty() { 1.0 } else { common as f64 / truth.len() as f64 };
-    let gain = if acep_secs > 0.0 { ecep_secs / acep_secs } else { f64::INFINITY };
-    eprintln!("  [mw={mw}] truth {} found {} common {}", truth.len(), found.len(), common);
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        common as f64 / truth.len() as f64
+    };
+    let gain = if acep_secs > 0.0 {
+        ecep_secs / acep_secs
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "  [mw={mw}] truth {} found {} common {}",
+        truth.len(),
+        found.len(),
+        common
+    );
     Point { mw, gain, recall }
 }
 

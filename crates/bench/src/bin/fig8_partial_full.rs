@@ -91,7 +91,11 @@ fn main() {
 
     // ---- Part (c): amount of full matches at fixed partial count --------
     let mut rows_c: Vec<Row> = Vec::new();
-    for (label, alpha) in [("alpha=0.24", 0.24), ("alpha=0.50", 0.50), ("alpha=0.76", 0.76)] {
+    for (label, alpha) in [
+        ("alpha=0.24", 0.24),
+        ("alpha=0.50", 0.50),
+        ("alpha=0.76", 0.76),
+    ] {
         let beta = 2.0 - alpha; // symmetric band; width shrinks as α grows
         rows_c.extend(run_experiment(
             &format!("Q_A1({label})"),

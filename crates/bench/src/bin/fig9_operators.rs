@@ -118,9 +118,27 @@ fn main() {
     let p2 = q_a5(1, base, step, 0.8, 1.2, w);
     let combined = Pattern::disjunction_of(&[p1.clone(), p2.clone()]);
     let mut rows_g: Vec<Row> = Vec::new();
-    rows_g.extend(run_experiment("Q_A9(j=4) alone", &p1, &stream, &cfg, &event_only));
-    rows_g.extend(run_experiment("Q_A5(j=1) alone", &p2, &stream, &cfg, &event_only));
-    rows_g.extend(run_experiment("DISJ(Q_A9, Q_A5)", &combined, &stream, &cfg, &event_only));
+    rows_g.extend(run_experiment(
+        "Q_A9(j=4) alone",
+        &p1,
+        &stream,
+        &cfg,
+        &event_only,
+    ));
+    rows_g.extend(run_experiment(
+        "Q_A5(j=1) alone",
+        &p2,
+        &stream,
+        &cfg,
+        &event_only,
+    ));
+    rows_g.extend(run_experiment(
+        "DISJ(Q_A9, Q_A5)",
+        &combined,
+        &stream,
+        &cfg,
+        &event_only,
+    ));
     print_rows("Fig 9(g): separate vs combined (DISJ) evaluation", &rows_g);
     save_rows("fig9g_separate_vs_disj", &rows_g);
 }

@@ -29,23 +29,71 @@ fn describe(name: &str, text: &str, p: &Pattern) {
 fn main() {
     let w = 30;
     println!("== Table 1: real-world (stock) query templates ==");
-    describe("Q_A1(j=5,k=7)", "SEQ(S1..S5 in T_k), bands vs S_j", &q_a1(5, 7, &[1, 2], 0.6, 1.4, w));
-    describe("Q_A2(k=3)", "SEQ(S1..S5 in T_k), no conditions", &q_a2(3, w));
-    describe("Q_A3(j=5,r=3)", "bands vs S_r + one-sided cond", &q_a3(5, 7, 3, &[1, 2], 1, 4, 0.6, 1.4, 0.5, w));
-    describe("Q_A4(j=5)", "two band families", &q_a4(5, 7, &[1, 2], 1, 4, 0.6, 1.4, 0.7, 1.3, w));
-    describe("Q_A5(j=2)", "SEQ(S1..S5, KC(S'1), KC(S'2))", &q_a5(2, 8, 2, 0.6, 1.4, w));
-    describe("Q_A6(j=3)", "KC(SEQ(S1..S3)), per-iteration bands", &q_a6(3, 8, 0.6, 1.4, w));
-    describe("Q_A7(j=2)", "SEQ(S1..S4, NEG(S'1), NEG(S'2), S5)", &q_a7(2, 8, 2, 0.6, 1.4, w));
-    describe("Q_A8(j=2)", "SEQ(S1..S4, NEG(SEQ(S'1, S'2)), S5)", &q_a8(2, 8, 2, 0.6, 1.4, w));
-    describe("Q_A9(j=4)", "DISJ of two length-j sequences", &q_a9(4, 8, 16, 0.6, 1.4, 0.5, 1.5, w));
+    describe(
+        "Q_A1(j=5,k=7)",
+        "SEQ(S1..S5 in T_k), bands vs S_j",
+        &q_a1(5, 7, &[1, 2], 0.6, 1.4, w),
+    );
+    describe(
+        "Q_A2(k=3)",
+        "SEQ(S1..S5 in T_k), no conditions",
+        &q_a2(3, w),
+    );
+    describe(
+        "Q_A3(j=5,r=3)",
+        "bands vs S_r + one-sided cond",
+        &q_a3(5, 7, 3, &[1, 2], 1, 4, 0.6, 1.4, 0.5, w),
+    );
+    describe(
+        "Q_A4(j=5)",
+        "two band families",
+        &q_a4(5, 7, &[1, 2], 1, 4, 0.6, 1.4, 0.7, 1.3, w),
+    );
+    describe(
+        "Q_A5(j=2)",
+        "SEQ(S1..S5, KC(S'1), KC(S'2))",
+        &q_a5(2, 8, 2, 0.6, 1.4, w),
+    );
+    describe(
+        "Q_A6(j=3)",
+        "KC(SEQ(S1..S3)), per-iteration bands",
+        &q_a6(3, 8, 0.6, 1.4, w),
+    );
+    describe(
+        "Q_A7(j=2)",
+        "SEQ(S1..S4, NEG(S'1), NEG(S'2), S5)",
+        &q_a7(2, 8, 2, 0.6, 1.4, w),
+    );
+    describe(
+        "Q_A8(j=2)",
+        "SEQ(S1..S4, NEG(SEQ(S'1, S'2)), S5)",
+        &q_a8(2, 8, 2, 0.6, 1.4, w),
+    );
+    describe(
+        "Q_A9(j=4)",
+        "DISJ of two length-j sequences",
+        &q_a9(4, 8, 16, 0.6, 1.4, 0.5, 1.5, w),
+    );
     describe(
         "Q_A10(j=3)",
         "DISJ of j length-4 sequences, own bands",
         &q_a10(3, 8, 8, &[(0.6, 1.4), (0.5, 1.5), (0.7, 1.3)], w),
     );
-    describe("Q_A11(SEQ)", "SEQ over 5 disjoint rank bands", &q_a11(SeqOrConj::Seq, 5, 0.6, 1.4, w));
-    describe("Q_A11(CONJ)", "CONJ over 5 disjoint rank bands", &q_a11(SeqOrConj::Conj, 5, 0.6, 1.4, w));
-    describe("Q_A12", "DISJ of two Q_A11-style sequences", &q_a12(5, 0.6, 1.4, 0.5, 1.5, w));
+    describe(
+        "Q_A11(SEQ)",
+        "SEQ over 5 disjoint rank bands",
+        &q_a11(SeqOrConj::Seq, 5, 0.6, 1.4, w),
+    );
+    describe(
+        "Q_A11(CONJ)",
+        "CONJ over 5 disjoint rank bands",
+        &q_a11(SeqOrConj::Conj, 5, 0.6, 1.4, w),
+    );
+    describe(
+        "Q_A12",
+        "DISJ of two Q_A11-style sequences",
+        &q_a12(5, 0.6, 1.4, 0.5, 1.5, w),
+    );
 
     println!("\n== Table 2: synthetic query templates ==");
     describe("Q_B1", "SEQ(A..F), 5 conditions (most partials)", &q_b1(w));

@@ -2,13 +2,13 @@
 //! evaluate DLACEP vs exact CEP on a held-out continuation, print the same
 //! series the paper plots, and dump machine-readable JSON under `results/`.
 
+use dlacep_cep::plan::Plan;
+use dlacep_cep::Pattern;
+use dlacep_core::metrics::{compare_runs, run_ecep};
 use dlacep_core::model::{EventNetwork, NetworkConfig};
 use dlacep_core::prelude::*;
 use dlacep_core::trainer::{train_event_filter, train_window_filter};
-use dlacep_core::metrics::{compare_runs, run_ecep};
 use dlacep_core::{EventEmbedder, Filter};
-use dlacep_cep::plan::Plan;
-use dlacep_cep::Pattern;
 use dlacep_events::{EventStream, PrimitiveEvent};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
@@ -65,8 +65,7 @@ impl ReplayFilter {
         layers: usize,
     ) -> Self {
         let oracle = OracleFilter::new(pattern.clone());
-        let marks: Vec<Vec<bool>> =
-            assembler.windows(events).map(|w| oracle.mark(w)).collect();
+        let marks: Vec<Vec<bool>> = assembler.windows(events).map(|w| oracle.mark(w)).collect();
         let plan = Plan::compile(pattern).expect("compiles");
         let num_attrs = events.first().map_or(0, |e| e.attrs.len());
         let embedder = EventEmbedder::for_plan(&plan, num_attrs);
@@ -76,7 +75,12 @@ impl ReplayFilter {
             layers,
             seed: 0,
         });
-        Self { marks, pos: Cell::new(0), net, embedder }
+        Self {
+            marks,
+            pos: Cell::new(0),
+            net,
+            embedder,
+        }
     }
 }
 
@@ -87,7 +91,10 @@ impl Filter for ReplayFilter {
         let _ = self.net.marginals(&embeds);
         let i = self.pos.get();
         self.pos.set(i + 1);
-        self.marks.get(i).cloned().unwrap_or_else(|| vec![true; window.len()])
+        self.marks
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| vec![true; window.len()])
     }
 
     fn name(&self) -> &'static str {
@@ -159,7 +166,11 @@ pub struct Row {
 }
 
 /// Split a stream into a training prefix and an evaluation continuation.
-pub fn split_stream(stream: &EventStream, train_events: usize, eval_events: usize) -> (EventStream, Vec<dlacep_events::PrimitiveEvent>) {
+pub fn split_stream(
+    stream: &EventStream,
+    train_events: usize,
+    eval_events: usize,
+) -> (EventStream, Vec<dlacep_events::PrimitiveEvent>) {
     let events = stream.events();
     let train_end = train_events.min(events.len());
     let eval_end = (train_end + eval_events).min(events.len());
@@ -240,7 +251,15 @@ pub fn print_rows(title: &str, rows: &[Row]) {
     println!("\n== {title} ==");
     println!(
         "{:<28} {:<11} {:>9} {:>7} {:>7} {:>6} {:>8} {:>12} {:>12}",
-        "pattern", "system", "gain", "recall", "prec", "F1", "filter%", "ecep-partials", "acep-partials"
+        "pattern",
+        "system",
+        "gain",
+        "recall",
+        "prec",
+        "F1",
+        "filter%",
+        "ecep-partials",
+        "acep-partials"
     );
     for r in rows {
         println!(
@@ -283,7 +302,11 @@ mod tests {
 
     #[test]
     fn split_respects_bounds() {
-        let (_, stream) = StockConfig { num_events: 1000, ..Default::default() }.generate();
+        let (_, stream) = StockConfig {
+            num_events: 1000,
+            ..Default::default()
+        }
+        .generate();
         let (train, eval) = split_stream(&stream, 600, 900);
         assert_eq!(train.len(), 600);
         assert_eq!(eval.len(), 400);
@@ -292,7 +315,11 @@ mod tests {
 
     #[test]
     fn oracle_experiment_produces_sane_row() {
-        let (_, stream) = StockConfig { num_events: 4000, ..Default::default() }.generate();
+        let (_, stream) = StockConfig {
+            num_events: 4000,
+            ..Default::default()
+        }
+        .generate();
         let cfg = ExpConfig {
             train_events: 2000,
             eval_events: 2000,

@@ -19,7 +19,10 @@ use dlacep_events::WindowSpec;
 const VOL: usize = 0;
 
 fn leaf(types: TypeSet, name: String) -> PatternExpr {
-    PatternExpr::Event { types, binding: name }
+    PatternExpr::Event {
+        types,
+        binding: name,
+    }
 }
 
 fn band(alpha: f64, from: &str, mid: &str, beta: f64) -> Predicate {
@@ -30,8 +33,9 @@ fn band(alpha: f64, from: &str, mid: &str, beta: f64) -> Predicate {
 /// `∀i ∈ p: α·S_i.vol < S_j.vol < β·S_i.vol`.
 pub fn q_a1(j: usize, k: usize, p: &[usize], alpha: f64, beta: f64, w: u64) -> Pattern {
     assert!(j >= 2);
-    let leaves =
-        (1..=j).map(|t| leaf(top_k_types(k), format!("s{t}"))).collect();
+    let leaves = (1..=j)
+        .map(|t| leaf(top_k_types(k), format!("s{t}")))
+        .collect();
     let last = format!("s{j}");
     let conds = p
         .iter()
@@ -46,7 +50,9 @@ pub fn q_a1(j: usize, k: usize, p: &[usize], alpha: f64, beta: f64, w: u64) -> P
 /// `Q_A2(k)`: `SEQ(S_1..S_5)` in `T_k`, no conditions — almost every partial
 /// match completes, the regime where filtration cannot help (§3.2).
 pub fn q_a2(k: usize, w: u64) -> Pattern {
-    let leaves = (1..=5).map(|t| leaf(top_k_types(k), format!("s{t}"))).collect();
+    let leaves = (1..=5)
+        .map(|t| leaf(top_k_types(k), format!("s{t}")))
+        .collect();
     Pattern::new(PatternExpr::Seq(leaves), vec![], WindowSpec::Count(w))
 }
 
@@ -66,9 +72,13 @@ pub fn q_a3(
     w: u64,
 ) -> Pattern {
     assert!(r >= 1 && r <= j && l >= 1 && l <= j && m >= 1 && m <= j);
-    let leaves = (1..=j).map(|t| leaf(top_k_types(k), format!("s{t}"))).collect();
-    let mut conds: Vec<Predicate> =
-        p.iter().map(|&i| band(alpha, &format!("s{i}"), &format!("s{r}"), beta)).collect();
+    let leaves = (1..=j)
+        .map(|t| leaf(top_k_types(k), format!("s{t}")))
+        .collect();
+    let mut conds: Vec<Predicate> = p
+        .iter()
+        .map(|&i| band(alpha, &format!("s{i}"), &format!("s{r}"), beta))
+        .collect();
     conds.push(Predicate::lt(
         Expr::scaled(gamma, format!("s{l}"), VOL),
         Expr::attr(format!("s{m}"), VOL),
@@ -92,7 +102,8 @@ pub fn q_a4(
     w: u64,
 ) -> Pattern {
     let mut pat = q_a1(j, k, p, alpha, beta, w);
-    pat.conditions.push(band(gamma, &format!("s{l}"), &format!("s{m}"), delta));
+    pat.conditions
+        .push(band(gamma, &format!("s{l}"), &format!("s{m}"), delta));
     pat
 }
 
@@ -100,13 +111,16 @@ pub fn q_a4(
 /// KC(S'_j))` where `S'_l ∈ T_{base+l·step} / T_{base+(l−1)·step}`, with the
 /// usual band on `S_1..S_5` vs `S_5`.
 pub fn q_a5(j: usize, base: usize, step: usize, alpha: f64, beta: f64, w: u64) -> Pattern {
-    let mut children: Vec<PatternExpr> =
-        (1..=5).map(|t| leaf(top_k_types(base), format!("s{t}"))).collect();
+    let mut children: Vec<PatternExpr> = (1..=5)
+        .map(|t| leaf(top_k_types(base), format!("s{t}")))
+        .collect();
     for l in 1..=j {
         let types = rank_band_types(base + l * step, base + (l - 1) * step);
         children.push(PatternExpr::Kleene(Box::new(leaf(types, format!("k{l}")))));
     }
-    let conds = (1..=4).map(|i| band(alpha, &format!("s{i}"), "s5", beta)).collect();
+    let conds = (1..=4)
+        .map(|i| band(alpha, &format!("s{i}"), "s5", beta))
+        .collect();
     Pattern::new(PatternExpr::Seq(children), conds, WindowSpec::Count(w))
 }
 
@@ -114,10 +128,13 @@ pub fn q_a5(j: usize, base: usize, step: usize, alpha: f64, beta: f64, w: u64) -
 /// `∀i ∈ [j−1]: α·S_i.vol < S_j.vol < β·S_i.vol`.
 pub fn q_a6(j: usize, k: usize, alpha: f64, beta: f64, w: u64) -> Pattern {
     assert!(j >= 2);
-    let inner: Vec<PatternExpr> =
-        (1..=j).map(|t| leaf(top_k_types(k), format!("s{t}"))).collect();
+    let inner: Vec<PatternExpr> = (1..=j)
+        .map(|t| leaf(top_k_types(k), format!("s{t}")))
+        .collect();
     let last = format!("s{j}");
-    let conds = (1..j).map(|i| band(alpha, &format!("s{i}"), &last, beta)).collect();
+    let conds = (1..j)
+        .map(|i| band(alpha, &format!("s{i}"), &last, beta))
+        .collect();
     Pattern::new(
         PatternExpr::Kleene(Box::new(PatternExpr::Seq(inner))),
         conds,
@@ -128,22 +145,26 @@ pub fn q_a6(j: usize, k: usize, alpha: f64, beta: f64, w: u64) -> Pattern {
 /// `Q_A7(j, base, step, α, β)`: `SEQ(S_1..S_4, NEG(S'_1), …, NEG(S'_j),
 /// S_5)` — `j` independent negated events in the gap before `S_5`.
 pub fn q_a7(j: usize, base: usize, step: usize, alpha: f64, beta: f64, w: u64) -> Pattern {
-    let mut children: Vec<PatternExpr> =
-        (1..=4).map(|t| leaf(top_k_types(base), format!("s{t}"))).collect();
+    let mut children: Vec<PatternExpr> = (1..=4)
+        .map(|t| leaf(top_k_types(base), format!("s{t}")))
+        .collect();
     for l in 1..=j {
         let types = rank_band_types(base + l * step, base + (l - 1) * step);
         children.push(PatternExpr::Neg(Box::new(leaf(types, format!("n{l}")))));
     }
     children.push(leaf(top_k_types(base), "s5".into()));
-    let conds = (1..=4).map(|i| band(alpha, &format!("s{i}"), "s5", beta)).collect();
+    let conds = (1..=4)
+        .map(|i| band(alpha, &format!("s{i}"), "s5", beta))
+        .collect();
     Pattern::new(PatternExpr::Seq(children), conds, WindowSpec::Count(w))
 }
 
 /// `Q_A8(j, base, step, α, β)`: like `Q_A7` but a single negated *sequence*
 /// `NEG(SEQ(S'_1..S'_j))`.
 pub fn q_a8(j: usize, base: usize, step: usize, alpha: f64, beta: f64, w: u64) -> Pattern {
-    let mut children: Vec<PatternExpr> =
-        (1..=4).map(|t| leaf(top_k_types(base), format!("s{t}"))).collect();
+    let mut children: Vec<PatternExpr> = (1..=4)
+        .map(|t| leaf(top_k_types(base), format!("s{t}")))
+        .collect();
     let inner: Vec<PatternExpr> = (1..=j)
         .map(|l| {
             let types = rank_band_types(base + l * step, base + (l - 1) * step);
@@ -152,7 +173,9 @@ pub fn q_a8(j: usize, base: usize, step: usize, alpha: f64, beta: f64, w: u64) -
         .collect();
     children.push(PatternExpr::Neg(Box::new(PatternExpr::Seq(inner))));
     children.push(leaf(top_k_types(base), "s5".into()));
-    let conds = (1..=4).map(|i| band(alpha, &format!("s{i}"), "s5", beta)).collect();
+    let conds = (1..=4)
+        .map(|i| band(alpha, &format!("s{i}"), "s5", beta))
+        .collect();
     Pattern::new(PatternExpr::Seq(children), conds, WindowSpec::Count(w))
 }
 
@@ -170,14 +193,17 @@ pub fn q_a9(
     w: u64,
 ) -> Pattern {
     assert!(j >= 2 && k2 > k1);
-    let b1: Vec<PatternExpr> =
-        (1..=j).map(|t| leaf(top_k_types(k1), format!("s{t}"))).collect();
-    let b2: Vec<PatternExpr> =
-        (1..=j).map(|t| leaf(rank_band_types(k2, k1), format!("r{t}"))).collect();
+    let b1: Vec<PatternExpr> = (1..=j)
+        .map(|t| leaf(top_k_types(k1), format!("s{t}")))
+        .collect();
+    let b2: Vec<PatternExpr> = (1..=j)
+        .map(|t| leaf(rank_band_types(k2, k1), format!("r{t}")))
+        .collect();
     let last1 = format!("s{j}");
     let last2 = format!("r{j}");
-    let mut conds: Vec<Predicate> =
-        (1..j).map(|i| band(alpha, &format!("s{i}"), &last1, beta)).collect();
+    let mut conds: Vec<Predicate> = (1..j)
+        .map(|i| band(alpha, &format!("s{i}"), &last1, beta))
+        .collect();
     conds.extend((1..j).map(|i| band(gamma, &format!("r{i}"), &last2, delta)));
     Pattern::new(
         PatternExpr::Disj(vec![PatternExpr::Seq(b1), PatternExpr::Seq(b2)]),
@@ -200,8 +226,9 @@ pub fn q_a10(j: usize, base: usize, step: usize, bands: &[(f64, f64)], w: u64) -
         } else {
             rank_band_types(base + (l - 1) * step, base + (l - 2) * step)
         };
-        let leaves: Vec<PatternExpr> =
-            (1..=4).map(|m| leaf(types.clone(), format!("s{l}_{m}"))).collect();
+        let leaves: Vec<PatternExpr> = (1..=4)
+            .map(|m| leaf(types.clone(), format!("s{l}_{m}")))
+            .collect();
         let (a1, a2) = bands[l - 1];
         let last = format!("s{l}_4");
         conds.extend((1..=3).map(|p| band(a1, &format!("s{l}_{p}"), &last, a2)));
@@ -232,7 +259,9 @@ pub fn q_a11(op: SeqOrConj, step: usize, alpha: f64, beta: f64, w: u64) -> Patte
             leaf(types, format!("s{t}"))
         })
         .collect();
-    let conds = (1..=4).map(|i| band(alpha, &format!("s{i}"), "s5", beta)).collect();
+    let conds = (1..=4)
+        .map(|i| band(alpha, &format!("s{i}"), "s5", beta))
+        .collect();
     let expr = match op {
         SeqOrConj::Seq => PatternExpr::Seq(leaves),
         SeqOrConj::Conj => PatternExpr::Conj(leaves),
@@ -257,8 +286,9 @@ pub fn q_a12(step: usize, alpha: f64, beta: f64, gamma: f64, delta: f64, w: u64)
     };
     let b1 = mk("s");
     let b2 = mk("r");
-    let mut conds: Vec<Predicate> =
-        (1..=4).map(|i| band(alpha, &format!("s{i}"), "s5", beta)).collect();
+    let mut conds: Vec<Predicate> = (1..=4)
+        .map(|i| band(alpha, &format!("s{i}"), "s5", beta))
+        .collect();
     conds.extend((1..=4).map(|i| band(gamma, &format!("r{i}"), "r5", delta)));
     Pattern::new(
         PatternExpr::Disj(vec![PatternExpr::Seq(b1), PatternExpr::Seq(b2)]),
@@ -324,7 +354,10 @@ mod tests {
         let p = q_a6(3, 8, 0.6, 1.4, 30);
         let plan = Plan::compile(&p).unwrap();
         match &plan.branches[0].steps[0].kind {
-            dlacep_cep::plan::StepKind::Kleene { inner, iter_conditions } => {
+            dlacep_cep::plan::StepKind::Kleene {
+                inner,
+                iter_conditions,
+            } => {
                 assert_eq!(inner.len(), 3);
                 assert_eq!(iter_conditions.len(), 2);
             }

@@ -9,7 +9,10 @@ use dlacep_events::{TypeId, WindowSpec};
 const VOL: usize = 0;
 
 fn leaf(t: u32, name: &str) -> PatternExpr {
-    PatternExpr::Event { types: TypeSet::single(TypeId(t)), binding: name.to_string() }
+    PatternExpr::Event {
+        types: TypeSet::single(TypeId(t)),
+        binding: name.to_string(),
+    }
 }
 
 fn band(alpha: f64, from: &str, mid: &str, beta: f64) -> Predicate {
@@ -41,7 +44,13 @@ pub fn q_b1(w: u64) -> Pattern {
 /// `Q_B2`: `SEQ(A,B,C,D,E)` — length 5.
 /// `∀X ∈ {A,B}: 0.85·X < D < 1.15·X`, `∀X ∈ {B,C}: 0.85·X < E < 1.15·X`.
 pub fn q_b2(w: u64) -> Pattern {
-    let leaves = vec![leaf(0, "a"), leaf(1, "b"), leaf(2, "c"), leaf(3, "d"), leaf(4, "e")];
+    let leaves = vec![
+        leaf(0, "a"),
+        leaf(1, "b"),
+        leaf(2, "c"),
+        leaf(3, "d"),
+        leaf(4, "e"),
+    ];
     let conds = vec![
         band(0.85, "a", "d", 1.15),
         band(0.85, "b", "d", 1.15),

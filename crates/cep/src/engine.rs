@@ -22,15 +22,24 @@ pub struct Match {
 impl Match {
     /// Build a match from bindings; `event_ids` is derived (sorted, deduped).
     pub fn from_bindings(bindings: Vec<(String, Vec<EventId>)>) -> Self {
-        let mut ids: Vec<EventId> = bindings.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        let mut ids: Vec<EventId> = bindings
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
         ids.sort_unstable();
         ids.dedup();
-        Self { event_ids: ids, bindings }
+        Self {
+            event_ids: ids,
+            bindings,
+        }
     }
 
     /// Ids bound to `binding`, if present.
     pub fn binding(&self, name: &str) -> Option<&[EventId]> {
-        self.bindings.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_slice())
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
     }
 
     /// The match identity used for set comparisons (sorted id vector).
@@ -54,6 +63,9 @@ pub struct EngineStats {
     pub matches_emitted: u64,
     /// Predicate evaluations performed.
     pub condition_evaluations: u64,
+    /// Partial matches evicted by the partial-match budget (load shedding).
+    /// Zero unless a budget is configured and was exceeded.
+    pub partials_shed: u64,
 }
 
 /// A streaming CEP evaluation mechanism.
@@ -108,10 +120,7 @@ impl EventArena {
         }
         // Ids are increasing but not necessarily dense (filtered streams!),
         // so binary-search by id.
-        let idx = self
-            .events
-            .binary_search_by(|e| e.id.cmp(&id))
-            .ok()?;
+        let idx = self.events.binary_search_by(|e| e.id.cmp(&id)).ok()?;
         Some(&self.events[idx])
     }
 

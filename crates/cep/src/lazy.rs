@@ -60,7 +60,9 @@ impl LazyEngine {
             .into_iter()
             .map(|b| {
                 if !b.negs.is_empty()
-                    || b.steps.iter().any(|s| matches!(s.kind, StepKind::Kleene { .. }))
+                    || b.steps
+                        .iter()
+                        .any(|s| matches!(s.kind, StepKind::Kleene { .. }))
                 {
                     return Err(TreeError::UnsupportedOperator);
                 }
@@ -191,9 +193,9 @@ impl CepEngine for LazyEngine {
         self.stats.events_processed += 1;
         self.arena.push(ev.clone());
         match self.window {
-            WindowSpec::Count(w) => {
-                self.arena.evict_below(EventId((ev.id.0 + 1).saturating_sub(w)))
-            }
+            WindowSpec::Count(w) => self
+                .arena
+                .evict_below(EventId((ev.id.0 + 1).saturating_sub(w))),
             WindowSpec::Time(w) => self.arena.evict_before_ts(ev.ts.0.saturating_sub(w)),
         }
         let window = self.window;
@@ -383,7 +385,10 @@ mod tests {
         let s = stream(&[A, A, B, A, B, A, B, A, B, C]);
         let mut lazy = LazyEngine::new(&p, Some(&[0.5, 0.4, 0.1])).unwrap();
         let mut nfa = NfaEngine::new(&p).unwrap();
-        assert_eq!(match_keys(&lazy.run(s.events())), match_keys(&nfa.run(s.events())));
+        assert_eq!(
+            match_keys(&lazy.run(s.events())),
+            match_keys(&nfa.run(s.events()))
+        );
     }
 
     #[test]
@@ -396,7 +401,10 @@ mod tests {
         let s = stream(&[A, B, A, B, A, B, A, B]);
         let mut lazy = LazyEngine::new(&p, Some(&[0.9, 0.1])).unwrap();
         let mut nfa = NfaEngine::new(&p).unwrap();
-        assert_eq!(match_keys(&lazy.run(s.events())), match_keys(&nfa.run(s.events())));
+        assert_eq!(
+            match_keys(&lazy.run(s.events())),
+            match_keys(&nfa.run(s.events()))
+        );
     }
 
     #[test]
@@ -409,7 +417,10 @@ mod tests {
         let s = stream(&[C, A, B, B, A, C]);
         let mut lazy = LazyEngine::new(&p, Some(&[0.3, 0.3, 0.4])).unwrap();
         let mut nfa = NfaEngine::new(&p).unwrap();
-        assert_eq!(match_keys(&lazy.run(s.events())), match_keys(&nfa.run(s.events())));
+        assert_eq!(
+            match_keys(&lazy.run(s.events())),
+            match_keys(&nfa.run(s.events()))
+        );
     }
 
     #[test]
@@ -451,13 +462,19 @@ mod tests {
         let s = stream(&types);
         let mut lazy = LazyEngine::with_sample(&p, s.events()).unwrap();
         let mut nfa = NfaEngine::new(&p).unwrap();
-        assert_eq!(match_keys(&lazy.run(s.events())), match_keys(&nfa.run(s.events())));
+        assert_eq!(
+            match_keys(&lazy.run(s.events())),
+            match_keys(&nfa.run(s.events()))
+        );
     }
 
     #[test]
     fn rejects_kleene() {
         let p = Pattern::new(
-            PatternExpr::Seq(vec![leaf(A, "a"), PatternExpr::Kleene(Box::new(leaf(B, "k")))]),
+            PatternExpr::Seq(vec![
+                leaf(A, "a"),
+                PatternExpr::Kleene(Box::new(leaf(B, "k"))),
+            ]),
             vec![],
             WindowSpec::Count(5),
         );

@@ -88,7 +88,10 @@ impl BranchRuntime {
                 }
                 StepKind::Kleene { inner, .. } => {
                     for (j, elem) in inner.iter().enumerate() {
-                        resolver.insert(elem.binding.clone(), RtSlot::KleeneElem { step: i, elem: j });
+                        resolver.insert(
+                            elem.binding.clone(),
+                            RtSlot::KleeneElem { step: i, elem: j },
+                        );
                     }
                     kleene_ord[i] = Some(ord);
                     ord += 1;
@@ -100,9 +103,18 @@ impl BranchRuntime {
                 resolver.insert(elem.binding.clone(), RtSlot::NegElem { neg: n, elem: j });
             }
         }
-        let succ_masks = (0..branch.steps.len()).map(|s| branch.successor_mask(s)).collect();
+        let succ_masks = (0..branch.steps.len())
+            .map(|s| branch.successor_mask(s))
+            .collect();
         let full_mask = branch.full_mask();
-        Self { branch, resolver, kleene_ord, succ_masks, full_mask, partials: Vec::new() }
+        Self {
+            branch,
+            resolver,
+            kleene_ord,
+            succ_masks,
+            full_mask,
+            partials: Vec::new(),
+        }
     }
 
     fn num_kleene(&self) -> usize {
@@ -111,17 +123,18 @@ impl BranchRuntime {
 }
 
 /// Configuration knobs of the NFA engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct NfaConfig {
     /// Upper bound on completed iterations per Kleene closure per partial
     /// match (`None` = window-bounded only). A safety valve for experiments.
     pub max_kleene_iters: Option<usize>,
-}
-
-impl Default for NfaConfig {
-    fn default() -> Self {
-        Self { max_kleene_iters: None }
-    }
+    /// Budget on simultaneously stored partial matches across all branches
+    /// (`None` = unbounded). When an event pushes the store past the budget,
+    /// the oldest partials (smallest `min_id` — the ones closest to expiring
+    /// out of the window anyway) are shed and counted in
+    /// [`EngineStats::partials_shed`]. Shedding can only lose matches, never
+    /// invent them, so budgeted output stays a subset of exact output.
+    pub max_partials: Option<usize>,
 }
 
 /// NFA-style skip-till-any-match evaluation engine.
@@ -162,6 +175,35 @@ impl NfaEngine {
     /// Currently stored partial matches across branches.
     pub fn stored_partials(&self) -> usize {
         self.branches.iter().map(|b| b.partials.len()).sum()
+    }
+
+    /// Enforce the partial-match budget: shed the oldest partials (smallest
+    /// `min_id`) until at most `budget` remain across all branches.
+    fn shed_to_budget(branches: &mut [BranchRuntime], stats: &mut EngineStats, budget: usize) {
+        let stored: usize = branches.iter().map(|b| b.partials.len()).sum();
+        if stored <= budget {
+            return;
+        }
+        let excess = stored - budget;
+        let mut ages: Vec<(u64, usize)> = Vec::with_capacity(stored);
+        for (bi, rt) in branches.iter().enumerate() {
+            for pm in &rt.partials {
+                ages.push((pm.min_id, bi));
+            }
+        }
+        ages.sort_unstable();
+        let mut shed_per_branch = vec![0usize; branches.len()];
+        for &(_, bi) in ages.iter().take(excess) {
+            shed_per_branch[bi] += 1;
+        }
+        for (rt, &k) in branches.iter_mut().zip(&shed_per_branch) {
+            if k > 0 {
+                // Stable sort keeps insertion order among equal-age partials.
+                rt.partials.sort_by_key(|pm| pm.min_id);
+                rt.partials.drain(..k);
+            }
+        }
+        stats.partials_shed += excess as u64;
     }
 
     fn expired(window: WindowSpec, pm: &PartialMatch, ev: &PrimitiveEvent) -> bool {
@@ -231,7 +273,13 @@ impl NfaEngine {
                 continue;
             }
             stats.condition_evaluations += 1;
-            let lk = Lookup { rt, pm, arena, iteration: None, neg: None };
+            let lk = Lookup {
+                rt,
+                pm,
+                arena,
+                iteration: None,
+                neg: None,
+            };
             if cond.pred.eval(&|b, a| lk.get(b, a)) == Some(false) {
                 return false;
             }
@@ -260,7 +308,13 @@ impl NfaEngine {
             let ord = rt.kleene_ord[*step].expect("deferred cond targets kleene");
             for iter in &pm.kleene[ord].iterations {
                 stats.condition_evaluations += 1;
-                let lk = Lookup { rt, pm, arena, iteration: Some((*step, iter)), neg: None };
+                let lk = Lookup {
+                    rt,
+                    pm,
+                    arena,
+                    iteration: Some((*step, iter)),
+                    neg: None,
+                };
                 if pred.eval(&|b, a| lk.get(b, a)) != Some(true) {
                     return;
                 }
@@ -324,9 +378,7 @@ impl NfaEngine {
                 .chain(arena.get(EventId(0)).filter(|e| e.id < hi))
                 .filter(|e| match window {
                     WindowSpec::Count(w) => pm.max_id - e.id.0 <= w.saturating_sub(1),
-                    WindowSpec::Time(w) => {
-                        max_ts.is_none_or(|mt| mt.saturating_sub(e.ts.0) <= w)
-                    }
+                    WindowSpec::Time(w) => max_ts.is_none_or(|mt| mt.saturating_sub(e.ts.0) <= w),
                 })
                 .collect();
             // The id-0 event was appended out of order; the DFS needs the
@@ -347,7 +399,18 @@ impl NfaEngine {
             arena.between(lo, hi).collect()
         };
         let mut assigned: Vec<Option<EventId>> = vec![None; neg.inner.len()];
-        Self::neg_dfs(stats, rt, arena, pm, n, neg, &candidates, 0, 0, &mut assigned)
+        Self::neg_dfs(
+            stats,
+            rt,
+            arena,
+            pm,
+            n,
+            neg,
+            &candidates,
+            0,
+            0,
+            &mut assigned,
+        )
     }
 
     /// Backtracking search for an in-order occurrence of the negated
@@ -369,7 +432,13 @@ impl NfaEngine {
             // Full occurrence assembled; conditions must all hold.
             for cond in &neg.conditions {
                 stats.condition_evaluations += 1;
-                let lk = Lookup { rt, pm, arena, iteration: None, neg: Some((n, assigned)) };
+                let lk = Lookup {
+                    rt,
+                    pm,
+                    arena,
+                    iteration: None,
+                    neg: Some((n, assigned)),
+                };
                 if cond.pred_eval(&lk) != Some(true) {
                     return false;
                 }
@@ -381,7 +450,18 @@ impl NfaEngine {
                 continue;
             }
             assigned[elem] = Some(cand.id);
-            if Self::neg_dfs(stats, rt, arena, pm, n, neg, candidates, elem + 1, i + 1, assigned) {
+            if Self::neg_dfs(
+                stats,
+                rt,
+                arena,
+                pm,
+                n,
+                neg,
+                candidates,
+                elem + 1,
+                i + 1,
+                assigned,
+            ) {
                 return true;
             }
             assigned[elem] = None;
@@ -428,7 +508,8 @@ impl CepEngine for NfaEngine {
         self.arena.push(ev.clone());
         match self.window {
             WindowSpec::Count(w) => {
-                self.arena.evict_below(EventId((ev.id.0 + 1).saturating_sub(w)));
+                self.arena
+                    .evict_below(EventId((ev.id.0 + 1).saturating_sub(w)));
             }
             WindowSpec::Time(w) => {
                 self.arena.evict_before_ts(ev.ts.0.saturating_sub(w));
@@ -484,7 +565,10 @@ impl CepEngine for NfaEngine {
                             NfaEngine::try_emit(window, stats, out, rt, arena, &next);
                             created.push(next);
                         }
-                        StepKind::Kleene { inner, iter_conditions } => {
+                        StepKind::Kleene {
+                            inner,
+                            iter_conditions,
+                        } => {
                             // A Kleene may not absorb once a successor bound.
                             if pm.bound & rt.succ_masks[s] != 0 {
                                 continue;
@@ -505,8 +589,7 @@ impl CepEngine for NfaEngine {
                             next.note_event(ev);
                             if pos + 1 == inner.len() {
                                 // Iteration complete: early condition filter.
-                                let iter =
-                                    std::mem::take(&mut next.kleene[ord].in_progress);
+                                let iter = std::mem::take(&mut next.kleene[ord].in_progress);
                                 let mut ok = true;
                                 for cond in iter_conditions {
                                     stats.condition_evaluations += 1;
@@ -539,6 +622,9 @@ impl CepEngine for NfaEngine {
                 }
             }
             rt.partials.append(&mut created);
+        }
+        if let Some(budget) = config.max_partials {
+            Self::shed_to_budget(&mut self.branches, stats, budget);
         }
         let stored: u64 = self.branches.iter().map(|b| b.partials.len() as u64).sum();
         stats.peak_partial_matches = stats.peak_partial_matches.max(stored);
@@ -696,8 +782,7 @@ mod tests {
         );
         let got = run(&p, &stream(&[A, B, B, C]));
         assert_eq!(got.len(), 3);
-        let sizes: Vec<usize> =
-            got.iter().map(|m| m.binding("k").unwrap().len()).collect();
+        let sizes: Vec<usize> = got.iter().map(|m| m.binding("k").unwrap().len()).collect();
         let mut sorted = sizes.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![1, 1, 2]);
@@ -705,7 +790,7 @@ mod tests {
 
     #[test]
     fn kleene_of_sequence_iterates() {
-        // KC(SEQ(A,B)) on A B A B: iterations {a1b1}, {a2b2}, {a1b1,a2b2}, {a1b2}... 
+        // KC(SEQ(A,B)) on A B A B: iterations {a1b1}, {a2b2}, {a1b1,a2b2}, {a1b2}...
         // valid iteration = an (A,B) in-order pair; pairs: (a1,b1),(a1,b2),(a2,b2);
         // sets of non-overlapping-in-order iterations: each single pair (3),
         // plus {(a1,b1),(a2,b2)} -> 4 total.
@@ -779,7 +864,10 @@ mod tests {
         let p = Pattern::new(
             PatternExpr::Seq(vec![
                 leaf(A, "a"),
-                PatternExpr::Neg(Box::new(PatternExpr::Seq(vec![leaf(B, "n1"), leaf(D, "n2")]))),
+                PatternExpr::Neg(Box::new(PatternExpr::Seq(vec![
+                    leaf(B, "n1"),
+                    leaf(D, "n2"),
+                ]))),
                 leaf(C, "c"),
             ]),
             vec![],
@@ -819,12 +907,109 @@ mod tests {
             vec![],
             WindowSpec::Count(20),
         );
-        let mut capped =
-            NfaEngine::with_config(&p, NfaConfig { max_kleene_iters: Some(1) }).unwrap();
+        let mut capped = NfaEngine::with_config(
+            &p,
+            NfaConfig {
+                max_kleene_iters: Some(1),
+                ..NfaConfig::default()
+            },
+        )
+        .unwrap();
         let s = stream(&[A, B, B, C]);
         let got = capped.run(s.events());
         // Only single-iteration closures survive: {b1}, {b2}.
         assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn partial_budget_caps_live_state() {
+        // Many A's under SEQ(A,B) with a huge window: unbounded state grows
+        // linearly; a budget of 4 must hold stored partials at <= 4 after
+        // every event and count everything it shed.
+        let p = Pattern::new(
+            PatternExpr::Seq(vec![leaf(A, "a"), leaf(B, "b")]),
+            vec![],
+            WindowSpec::Count(1000),
+        );
+        let budget = 4;
+        let mut e = NfaEngine::with_config(
+            &p,
+            NfaConfig {
+                max_partials: Some(budget),
+                ..NfaConfig::default()
+            },
+        )
+        .unwrap();
+        let s = stream(&[A; 50]);
+        for ev in s.events() {
+            e.process(ev);
+            assert!(
+                e.stored_partials() <= budget,
+                "budget violated: {}",
+                e.stored_partials()
+            );
+        }
+        assert_eq!(e.stats().partials_shed, 50 - budget as u64);
+        assert!(e.stats().peak_partial_matches <= budget as u64);
+    }
+
+    #[test]
+    fn partial_budget_sheds_oldest_first() {
+        // With budget 2, the two *newest* A partials survive, so only they
+        // can complete when B arrives.
+        let p = Pattern::new(
+            PatternExpr::Seq(vec![leaf(A, "a"), leaf(B, "b")]),
+            vec![],
+            WindowSpec::Count(1000),
+        );
+        let mut e = NfaEngine::with_config(
+            &p,
+            NfaConfig {
+                max_partials: Some(2),
+                ..NfaConfig::default()
+            },
+        )
+        .unwrap();
+        let s = stream(&[A, A, A, A, B]);
+        let got = e.run(s.events());
+        assert_eq!(got.len(), 2);
+        let mut a_ids: Vec<u64> = got.iter().map(|m| m.binding("a").unwrap()[0].0).collect();
+        a_ids.sort_unstable();
+        assert_eq!(a_ids, vec![2, 3], "oldest partials (a=0, a=1) were shed");
+    }
+
+    #[test]
+    fn budgeted_matches_are_subset_of_exact() {
+        let p = Pattern::new(
+            PatternExpr::Seq(vec![leaf(A, "a"), leaf(B, "b"), leaf(C, "c")]),
+            vec![],
+            WindowSpec::Count(12),
+        );
+        let s = stream(&[A, B, A, C, B, A, C, B, C, A, B, C]);
+        let exact: Vec<Vec<EventId>> = {
+            let mut keys: Vec<_> = run(&p, &s).iter().map(|m| m.event_ids.clone()).collect();
+            keys.sort();
+            keys
+        };
+        let mut budgeted = NfaEngine::with_config(
+            &p,
+            NfaConfig {
+                max_partials: Some(3),
+                ..NfaConfig::default()
+            },
+        )
+        .unwrap();
+        let got = budgeted.run(s.events());
+        assert!(
+            budgeted.stats().partials_shed > 0,
+            "budget should have bound"
+        );
+        for m in &got {
+            assert!(
+                exact.contains(&m.event_ids),
+                "shedding must never invent matches"
+            );
+        }
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl TypeSet {
         Self::new(
             names
                 .iter()
-                .map(|n| schema.type_id(n).unwrap_or_else(|| panic!("unknown event type {n:?}")))
+                .map(|n| {
+                    schema
+                        .type_id(n)
+                        .unwrap_or_else(|| panic!("unknown event type {n:?}"))
+                })
                 .collect(),
         )
     }
@@ -44,7 +48,13 @@ impl TypeSet {
 
     /// Set difference `self \ other` (the paper's `T_a / T_b`).
     pub fn difference(&self, other: &TypeSet) -> TypeSet {
-        TypeSet(self.0.iter().copied().filter(|t| !other.contains(*t)).collect())
+        TypeSet(
+            self.0
+                .iter()
+                .copied()
+                .filter(|t| !other.contains(*t))
+                .collect(),
+        )
     }
 
     /// Set union.
@@ -98,7 +108,10 @@ pub enum PatternExpr {
 impl PatternExpr {
     /// Convenience leaf constructor.
     pub fn event(types: TypeSet, binding: impl Into<String>) -> Self {
-        PatternExpr::Event { types, binding: binding.into() }
+        PatternExpr::Event {
+            types,
+            binding: binding.into(),
+        }
     }
 
     /// All binding names in the expression, depth-first.
@@ -136,7 +149,11 @@ pub struct Pattern {
 impl Pattern {
     /// Build a pattern.
     pub fn new(expr: PatternExpr, conditions: Vec<Predicate>, window: WindowSpec) -> Self {
-        Self { expr, conditions, window }
+        Self {
+            expr,
+            conditions,
+            window,
+        }
     }
 
     /// Window size parameter `W`.
@@ -168,16 +185,29 @@ impl Pattern {
                 PatternExpr::Neg(x) => PatternExpr::Neg(Box::new(walk(x, prefix))),
             }
         }
-        fn walk_expr(e: &crate::pattern::condition::Expr, prefix: &str) -> crate::pattern::condition::Expr {
+        fn walk_expr(
+            e: &crate::pattern::condition::Expr,
+            prefix: &str,
+        ) -> crate::pattern::condition::Expr {
             use crate::pattern::condition::Expr as E;
             match e {
                 E::Const(c) => E::Const(*c),
-                E::Attr { binding, attr } => {
-                    E::Attr { binding: format!("{prefix}{binding}"), attr: *attr }
-                }
-                E::Mul(a, b) => E::Mul(Box::new(walk_expr(a, prefix)), Box::new(walk_expr(b, prefix))),
-                E::Add(a, b) => E::Add(Box::new(walk_expr(a, prefix)), Box::new(walk_expr(b, prefix))),
-                E::Sub(a, b) => E::Sub(Box::new(walk_expr(a, prefix)), Box::new(walk_expr(b, prefix))),
+                E::Attr { binding, attr } => E::Attr {
+                    binding: format!("{prefix}{binding}"),
+                    attr: *attr,
+                },
+                E::Mul(a, b) => E::Mul(
+                    Box::new(walk_expr(a, prefix)),
+                    Box::new(walk_expr(b, prefix)),
+                ),
+                E::Add(a, b) => E::Add(
+                    Box::new(walk_expr(a, prefix)),
+                    Box::new(walk_expr(b, prefix)),
+                ),
+                E::Sub(a, b) => E::Sub(
+                    Box::new(walk_expr(a, prefix)),
+                    Box::new(walk_expr(b, prefix)),
+                ),
             }
         }
         fn walk_pred(p: &Predicate, prefix: &str) -> Predicate {
@@ -199,7 +229,11 @@ impl Pattern {
         }
         Pattern {
             expr: walk(&self.expr, prefix),
-            conditions: self.conditions.iter().map(|c| walk_pred(c, prefix)).collect(),
+            conditions: self
+                .conditions
+                .iter()
+                .map(|c| walk_pred(c, prefix))
+                .collect(),
             window: self.window,
         }
     }
@@ -250,8 +284,11 @@ mod tests {
 
     #[test]
     fn typeset_of_names_resolves() {
-        let schema =
-            Schema::builder().event_types(["A", "B", "C"]).attribute("v").build().unwrap();
+        let schema = Schema::builder()
+            .event_types(["A", "B", "C"])
+            .attribute("v")
+            .build()
+            .unwrap();
         let s = TypeSet::of_names(&schema, &["C", "A"]);
         assert_eq!(s.types(), &[TypeId(0), TypeId(2)]);
     }
@@ -315,8 +352,14 @@ mod tests {
     fn bindings_depth_first() {
         let e = PatternExpr::Seq(vec![
             PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
-            PatternExpr::Kleene(Box::new(PatternExpr::event(TypeSet::single(TypeId(1)), "k"))),
-            PatternExpr::Neg(Box::new(PatternExpr::event(TypeSet::single(TypeId(2)), "n"))),
+            PatternExpr::Kleene(Box::new(PatternExpr::event(
+                TypeSet::single(TypeId(1)),
+                "k",
+            ))),
+            PatternExpr::Neg(Box::new(PatternExpr::event(
+                TypeSet::single(TypeId(2)),
+                "n",
+            ))),
             PatternExpr::event(TypeSet::single(TypeId(3)), "b"),
         ]);
         assert_eq!(e.bindings(), vec!["a", "k", "n", "b"]);

@@ -30,12 +30,18 @@ pub enum Expr {
 impl Expr {
     /// `binding.attr` shorthand.
     pub fn attr(binding: impl Into<String>, attr: usize) -> Self {
-        Expr::Attr { binding: binding.into(), attr }
+        Expr::Attr {
+            binding: binding.into(),
+            attr,
+        }
     }
 
     /// `factor · binding.attr` shorthand (the paper's scaled comparisons).
     pub fn scaled(factor: f64, binding: impl Into<String>, attr: usize) -> Self {
-        Expr::Mul(Box::new(Expr::Const(factor)), Box::new(Expr::attr(binding, attr)))
+        Expr::Mul(
+            Box::new(Expr::Const(factor)),
+            Box::new(Expr::attr(binding, attr)),
+        )
     }
 
     /// Evaluate against a binding resolver; `None` when a referenced binding
@@ -115,12 +121,20 @@ pub enum Predicate {
 impl Predicate {
     /// `lhs < rhs` shorthand.
     pub fn lt(lhs: Expr, rhs: Expr) -> Self {
-        Predicate::Cmp { lhs, op: CmpOp::Lt, rhs }
+        Predicate::Cmp {
+            lhs,
+            op: CmpOp::Lt,
+            rhs,
+        }
     }
 
     /// `lhs > rhs` shorthand.
     pub fn gt(lhs: Expr, rhs: Expr) -> Self {
-        Predicate::Cmp { lhs, op: CmpOp::Gt, rhs }
+        Predicate::Cmp {
+            lhs,
+            op: CmpOp::Gt,
+            rhs,
+        }
     }
 
     /// The paper's band condition `lo_factor·lo.attr < mid.attr < hi_factor·hi.attr`.
@@ -132,8 +146,14 @@ impl Predicate {
         hi: (&str, usize),
     ) -> Self {
         Predicate::And(vec![
-            Predicate::lt(Expr::scaled(lo_factor, lo.0, lo.1), Expr::attr(mid.0, mid.1)),
-            Predicate::lt(Expr::attr(mid.0, mid.1), Expr::scaled(hi_factor, hi.0, hi.1)),
+            Predicate::lt(
+                Expr::scaled(lo_factor, lo.0, lo.1),
+                Expr::attr(mid.0, mid.1),
+            ),
+            Predicate::lt(
+                Expr::attr(mid.0, mid.1),
+                Expr::scaled(hi_factor, hi.0, hi.1),
+            ),
         ])
     }
 
@@ -205,7 +225,10 @@ mod tests {
         vals.insert(("b", 0), 3.0);
         let e = Expr::Add(
             Box::new(Expr::scaled(10.0, "a", 0)),
-            Box::new(Expr::Sub(Box::new(Expr::attr("b", 0)), Box::new(Expr::Const(1.0)))),
+            Box::new(Expr::Sub(
+                Box::new(Expr::attr("b", 0)),
+                Box::new(Expr::Const(1.0)),
+            )),
         );
         assert_eq!(e.eval(&resolver(&vals)), Some(22.0));
     }
@@ -247,8 +270,14 @@ mod tests {
         let t = Predicate::gt(Expr::attr("a", 0), Expr::Const(0.0));
         let f = Predicate::lt(Expr::attr("a", 0), Expr::Const(0.0));
         let r = resolver(&vals);
-        assert_eq!(Predicate::Or(vec![f.clone(), t.clone()]).eval(&r), Some(true));
-        assert_eq!(Predicate::And(vec![t.clone(), f.clone()]).eval(&r), Some(false));
+        assert_eq!(
+            Predicate::Or(vec![f.clone(), t.clone()]).eval(&r),
+            Some(true)
+        );
+        assert_eq!(
+            Predicate::And(vec![t.clone(), f.clone()]).eval(&r),
+            Some(false)
+        );
         assert_eq!(Predicate::Not(Box::new(f)).eval(&r), Some(true));
         assert_eq!(Predicate::True.eval(&r), Some(true));
     }

@@ -116,8 +116,9 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, ParseError> {
                         break;
                     }
                 }
-                let n: f64 =
-                    s.parse().map_err(|_| ParseError(format!("bad number literal {s:?}")))?;
+                let n: f64 = s
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad number literal {s:?}")))?;
                 toks.push(Tok::Number(n));
             }
             c if c.is_alphanumeric() || c == '_' => {
@@ -199,13 +200,17 @@ impl<'a> Parser<'a> {
                         if children.len() != 1 {
                             return err("KC takes exactly one argument");
                         }
-                        Ok(PatternExpr::Kleene(Box::new(children.into_iter().next().unwrap())))
+                        Ok(PatternExpr::Kleene(Box::new(
+                            children.into_iter().next().unwrap(),
+                        )))
                     }
                     "NEG" => {
                         if children.len() != 1 {
                             return err("NEG takes exactly one argument");
                         }
-                        Ok(PatternExpr::Neg(Box::new(children.into_iter().next().unwrap())))
+                        Ok(PatternExpr::Neg(Box::new(
+                            children.into_iter().next().unwrap(),
+                        )))
                     }
                     _ => unreachable!(),
                 }
@@ -280,22 +285,37 @@ impl<'a> Parser<'a> {
             return err("expected comparison operator");
         };
         let second = self.term()?;
-        let mut cmps =
-            vec![Predicate::Cmp { lhs: first, op, rhs: second.clone() }];
+        let mut cmps = vec![Predicate::Cmp {
+            lhs: first,
+            op,
+            rhs: second.clone(),
+        }];
         let mut prev = second;
         while let Some(op) = self.cmp_op() {
             let nxt = self.term()?;
-            cmps.push(Predicate::Cmp { lhs: prev, op, rhs: nxt.clone() });
+            cmps.push(Predicate::Cmp {
+                lhs: prev,
+                op,
+                rhs: nxt.clone(),
+            });
             prev = nxt;
         }
-        Ok(if cmps.len() == 1 { cmps.pop().unwrap() } else { Predicate::And(cmps) })
+        Ok(if cmps.len() == 1 {
+            cmps.pop().unwrap()
+        } else {
+            Predicate::And(cmps)
+        })
     }
 }
 
 /// Parse a pattern against a schema.
 pub fn parse_pattern(schema: &Schema, input: &str) -> Result<Pattern, ParseError> {
     let toks = tokenize(input)?;
-    let mut p = Parser { toks, pos: 0, schema };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        schema,
+    };
     let expr = p.expr()?;
     let mut conditions = Vec::new();
     if p.at_keyword("WHERE") {
@@ -326,7 +346,11 @@ pub fn parse_pattern(schema: &Schema, input: &str) -> Result<Pattern, ParseError
     if p.peek().is_some() {
         return err("trailing input after WITHIN clause");
     }
-    let window = if time_based { WindowSpec::Time(w) } else { WindowSpec::Count(w) };
+    let window = if time_based {
+        WindowSpec::Time(w)
+    } else {
+        WindowSpec::Count(w)
+    };
     Ok(Pattern::new(expr, conditions, window))
 }
 
@@ -429,8 +453,8 @@ mod tests {
     #[test]
     fn rejects_unknown_attribute() {
         let s = schema();
-        let e = parse_pattern(&s, "SEQ(GOOG a, AAPL b) WHERE a.volume < b.vol WITHIN 10")
-            .unwrap_err();
+        let e =
+            parse_pattern(&s, "SEQ(GOOG a, AAPL b) WHERE a.volume < b.vol WITHIN 10").unwrap_err();
         assert!(e.0.contains("unknown attribute"));
     }
 
@@ -452,11 +476,7 @@ mod tests {
         use crate::nfa::NfaEngine;
         use dlacep_events::EventStream;
         let s = schema();
-        let p = parse_pattern(
-            &s,
-            "SEQ(GOOG a, AAPL b) WHERE b.vol > a.vol WITHIN 10",
-        )
-        .unwrap();
+        let p = parse_pattern(&s, "SEQ(GOOG a, AAPL b) WHERE b.vol > a.vol WITHIN 10").unwrap();
         let mut stream = EventStream::new();
         stream.push(TypeId(0), 0, vec![1.0, 0.0]);
         stream.push(TypeId(1), 1, vec![2.0, 0.0]);

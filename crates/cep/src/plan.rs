@@ -63,7 +63,9 @@ impl std::fmt::Display for CompileError {
             CompileError::DisjUnderKleeneOrNeg => {
                 write!(f, "DISJ nested under KC/NEG is not supported")
             }
-            CompileError::UnknownBinding(b) => write!(f, "condition references unknown binding {b:?}"),
+            CompileError::UnknownBinding(b) => {
+                write!(f, "condition references unknown binding {b:?}")
+            }
             CompileError::ConditionSpansKleenes => {
                 write!(f, "condition references two different Kleene closures")
             }
@@ -229,7 +231,9 @@ impl Plan {
                     || b.deferred_conds.iter().any(|(_, p)| p == cond)
                     || b.negs.iter().any(|n| n.conditions.contains(cond))
                     || b.steps.iter().any(|s| match &s.kind {
-                        StepKind::Kleene { iter_conditions, .. } => iter_conditions.contains(cond),
+                        StepKind::Kleene {
+                            iter_conditions, ..
+                        } => iter_conditions.contains(cond),
                         StepKind::Single { .. } => false,
                     })
             });
@@ -242,13 +246,20 @@ impl Plan {
                 return Err(CompileError::UnknownBinding(missing));
             }
         }
-        Ok(Plan { branches, window: pattern.window })
+        Ok(Plan {
+            branches,
+            window: pattern.window,
+        })
     }
 
     /// Total positive single-event pattern length of the longest branch
     /// (used by cost estimators).
     pub fn max_branch_len(&self) -> usize {
-        self.branches.iter().map(|b| b.steps.len()).max().unwrap_or(0)
+        self.branches
+            .iter()
+            .map(|b| b.steps.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -280,7 +291,13 @@ fn hoist_disj(expr: &PatternExpr) -> Result<Vec<PatternExpr>, CompileError> {
             }
             Ok(combos
                 .into_iter()
-                .map(|v| if is_seq { PatternExpr::Seq(v) } else { PatternExpr::Conj(v) })
+                .map(|v| {
+                    if is_seq {
+                        PatternExpr::Seq(v)
+                    } else {
+                        PatternExpr::Conj(v)
+                    }
+                })
                 .collect())
         }
         PatternExpr::Kleene(body) => {
@@ -288,14 +305,18 @@ fn hoist_disj(expr: &PatternExpr) -> Result<Vec<PatternExpr>, CompileError> {
             if alts.len() != 1 {
                 return Err(CompileError::DisjUnderKleeneOrNeg);
             }
-            Ok(vec![PatternExpr::Kleene(Box::new(alts.into_iter().next().expect("len 1")))])
+            Ok(vec![PatternExpr::Kleene(Box::new(
+                alts.into_iter().next().expect("len 1"),
+            ))])
         }
         PatternExpr::Neg(body) => {
             let alts = hoist_disj(body)?;
             if alts.len() != 1 {
                 return Err(CompileError::DisjUnderKleeneOrNeg);
             }
-            Ok(vec![PatternExpr::Neg(Box::new(alts.into_iter().next().expect("len 1")))])
+            Ok(vec![PatternExpr::Neg(Box::new(
+                alts.into_iter().next().expect("len 1"),
+            ))])
         }
     }
 }
@@ -327,16 +348,18 @@ impl BranchBuilder {
 /// Flatten a Kleene/NEG body into a leaf sequence.
 fn flatten_leaf_seq(expr: &PatternExpr) -> Result<Vec<GroupElem>, CompileError> {
     match expr {
-        PatternExpr::Event { types, binding } => {
-            Ok(vec![GroupElem { types: types.clone(), binding: binding.clone() }])
-        }
+        PatternExpr::Event { types, binding } => Ok(vec![GroupElem {
+            types: types.clone(),
+            binding: binding.clone(),
+        }]),
         PatternExpr::Seq(children) => {
             let mut out = Vec::with_capacity(children.len());
             for c in children {
                 match c {
-                    PatternExpr::Event { types, binding } => {
-                        out.push(GroupElem { types: types.clone(), binding: binding.clone() })
-                    }
+                    PatternExpr::Event { types, binding } => out.push(GroupElem {
+                        types: types.clone(),
+                        binding: binding.clone(),
+                    }),
                     _ => return Err(CompileError::UnsupportedKleeneBody),
                 }
             }
@@ -368,7 +391,10 @@ fn walk(
             }
             b.declare(binding, SlotRef::Step(idx))?;
             b.steps.push(PlanStep {
-                kind: StepKind::Single { types: types.clone(), binding: binding.clone() },
+                kind: StepKind::Single {
+                    types: types.clone(),
+                    binding: binding.clone(),
+                },
                 preds: mask_of(preds),
             });
             Ok((vec![idx], vec![idx]))
@@ -383,7 +409,10 @@ fn walk(
                 b.declare(&elem.binding, SlotRef::KleeneElem(idx))?;
             }
             b.steps.push(PlanStep {
-                kind: StepKind::Kleene { inner, iter_conditions: Vec::new() },
+                kind: StepKind::Kleene {
+                    inner,
+                    iter_conditions: Vec::new(),
+                },
                 preds: mask_of(preds),
             });
             Ok((vec![idx], vec![idx]))
@@ -446,16 +475,18 @@ fn walk(
     }
 }
 
-fn compile_branch(
-    expr: &PatternExpr,
-    conditions: &[Predicate],
-) -> Result<Branch, CompileError> {
+fn compile_branch(expr: &PatternExpr, conditions: &[Predicate]) -> Result<Branch, CompileError> {
     let mut b = BranchBuilder::default();
     let _ = walk(expr, &[], &mut b)?;
     if b.steps.is_empty() {
         return Err(CompileError::EmptyPattern);
     }
-    let BranchBuilder { mut steps, mut negs, names, .. } = b;
+    let BranchBuilder {
+        mut steps,
+        mut negs,
+        names,
+        ..
+    } = b;
     let mut global_conds = Vec::new();
     let mut deferred_conds = Vec::new();
 
@@ -477,7 +508,10 @@ fn compile_branch(
         if !known || refs.is_empty() {
             if refs.is_empty() {
                 // Constant predicates are eagerly evaluable with no steps.
-                global_conds.push(GlobalCond { pred: cond.clone(), step_mask: 0 });
+                global_conds.push(GlobalCond {
+                    pred: cond.clone(),
+                    step_mask: 0,
+                });
             }
             continue;
         }
@@ -511,7 +545,10 @@ fn compile_branch(
             if kleenes.iter().any(|&k| k != first) {
                 return Err(CompileError::ConditionSpansKleenes);
             }
-            if let StepKind::Kleene { iter_conditions, .. } = &mut steps[first].kind {
+            if let StepKind::Kleene {
+                iter_conditions, ..
+            } = &mut steps[first].kind
+            {
                 iter_conditions.push(cond.clone());
             }
             deferred_conds.push((first, cond.clone()));
@@ -522,10 +559,18 @@ fn compile_branch(
             SlotRef::Step(i) => m | (1 << i),
             _ => unreachable!("filtered above"),
         });
-        global_conds.push(GlobalCond { pred: cond.clone(), step_mask: mask });
+        global_conds.push(GlobalCond {
+            pred: cond.clone(),
+            step_mask: mask,
+        });
     }
 
-    Ok(Branch { steps, negs, global_conds, deferred_conds })
+    Ok(Branch {
+        steps,
+        negs,
+        global_conds,
+        deferred_conds,
+    })
 }
 
 #[cfg(test)]
@@ -544,8 +589,11 @@ mod tests {
 
     #[test]
     fn seq_chains_preds() {
-        let p = compile(PatternExpr::Seq(vec![leaf(0, "a"), leaf(1, "b"), leaf(2, "c")]), vec![])
-            .unwrap();
+        let p = compile(
+            PatternExpr::Seq(vec![leaf(0, "a"), leaf(1, "b"), leaf(2, "c")]),
+            vec![],
+        )
+        .unwrap();
         assert_eq!(p.branches.len(), 1);
         let b = &p.branches[0];
         assert_eq!(b.steps[0].preds, 0);
@@ -555,8 +603,7 @@ mod tests {
 
     #[test]
     fn conj_has_no_preds() {
-        let p =
-            compile(PatternExpr::Conj(vec![leaf(0, "a"), leaf(1, "b")]), vec![]).unwrap();
+        let p = compile(PatternExpr::Conj(vec![leaf(0, "a"), leaf(1, "b")]), vec![]).unwrap();
         let b = &p.branches[0];
         assert_eq!(b.steps[0].preds, 0);
         assert_eq!(b.steps[1].preds, 0);
@@ -662,8 +709,7 @@ mod tests {
 
     #[test]
     fn duplicate_binding_rejected() {
-        let err =
-            compile(PatternExpr::Seq(vec![leaf(0, "a"), leaf(1, "a")]), vec![]).unwrap_err();
+        let err = compile(PatternExpr::Seq(vec![leaf(0, "a"), leaf(1, "a")]), vec![]).unwrap_err();
         assert_eq!(err, CompileError::DuplicateBinding("a".into()));
     }
 
@@ -710,7 +756,9 @@ mod tests {
         .unwrap();
         let b = &p.branches[0];
         match &b.steps[1].kind {
-            StepKind::Kleene { iter_conditions, .. } => {
+            StepKind::Kleene {
+                iter_conditions, ..
+            } => {
                 assert_eq!(iter_conditions, &vec![cond.clone()])
             }
             StepKind::Single { .. } => panic!(),
@@ -735,8 +783,11 @@ mod tests {
 
     #[test]
     fn successor_mask_reports_direct_successors() {
-        let p = compile(PatternExpr::Seq(vec![leaf(0, "a"), leaf(1, "b"), leaf(2, "c")]), vec![])
-            .unwrap();
+        let p = compile(
+            PatternExpr::Seq(vec![leaf(0, "a"), leaf(1, "b"), leaf(2, "c")]),
+            vec![],
+        )
+        .unwrap();
         let b = &p.branches[0];
         assert_eq!(b.successor_mask(0), 0b010);
         assert_eq!(b.successor_mask(1), 0b100);
@@ -746,7 +797,10 @@ mod tests {
     #[test]
     fn kleene_body_with_nesting_rejected() {
         let err = compile(
-            PatternExpr::Kleene(Box::new(PatternExpr::Conj(vec![leaf(0, "x"), leaf(1, "y")]))),
+            PatternExpr::Kleene(Box::new(PatternExpr::Conj(vec![
+                leaf(0, "x"),
+                leaf(1, "y"),
+            ]))),
             vec![],
         )
         .unwrap_err();

@@ -28,13 +28,20 @@ impl PhiModel {
     /// Model with no predicates (all selectivities 1).
     pub fn unconstrained(window: f64, rates: Vec<f64>) -> Self {
         let n = rates.len();
-        Self { window, rates, sel: vec![vec![1.0; n]; n] }
+        Self {
+            window,
+            rates,
+            sel: vec![vec![1.0; n]; n],
+        }
     }
 
     /// Expected number of partial matches of exactly `i` steps (1-based;
     /// `i = n` are full matches).
     pub fn partials_of_len(&self, i: usize) -> f64 {
-        assert!(i >= 1 && i <= self.rates.len(), "prefix length out of range");
+        assert!(
+            i >= 1 && i <= self.rates.len(),
+            "prefix length out of range"
+        );
         let mut v = 1.0;
         for k in 0..i {
             v *= self.window * self.rates[k];
@@ -49,7 +56,9 @@ impl PhiModel {
 
     /// `Φ(W, R, SEL)`: total expected partial + full matches per window.
     pub fn phi(&self) -> f64 {
-        (1..=self.rates.len()).map(|i| self.partials_of_len(i)).sum()
+        (1..=self.rates.len())
+            .map(|i| self.partials_of_len(i))
+            .sum()
     }
 
     /// Expected full matches per window (the last term of Φ).
@@ -67,7 +76,11 @@ impl PhiModel {
             .zip(psi)
             .map(|(&r, &p)| r * (1.0 - p).clamp(0.0, 1.0))
             .collect();
-        PhiModel { window: self.window, rates, sel: self.sel.clone() }
+        PhiModel {
+            window: self.window,
+            rates,
+            sel: self.sel.clone(),
+        }
     }
 
     /// `C_ACEP = Φ(W, R_Ψ, SEL) + C_filter`.
@@ -147,14 +160,18 @@ pub fn estimate_phi(
     sample: &[dlacep_events::PrimitiveEvent],
 ) -> PhiModel {
     let model = crate::tree::estimate_cost_model(branch, sample);
-    PhiModel { window, rates: model.rates, sel: model.sel }
+    PhiModel {
+        window,
+        rates: model.rates,
+        sel: model.sel,
+    }
 }
 
 #[cfg(test)]
 mod estimate_tests {
     use super::*;
-    use crate::nfa::NfaEngine;
     use crate::engine::CepEngine;
+    use crate::nfa::NfaEngine;
     use crate::pattern::ast::{Pattern, PatternExpr, TypeSet};
     use crate::plan::Plan;
     use dlacep_events::{EventStream, TypeId, WindowSpec};
@@ -181,8 +198,7 @@ mod estimate_tests {
         // Measured: creations per event position ≈ Φ / W.
         let mut engine = NfaEngine::new(&pattern).unwrap();
         engine.run(s.events());
-        let measured_per_pos =
-            engine.stats().partial_matches_created as f64 / s.len() as f64;
+        let measured_per_pos = engine.stats().partial_matches_created as f64 / s.len() as f64;
         let predicted_per_pos = phi.phi() / w as f64;
         let ratio = measured_per_pos / predicted_per_pos;
         assert!(

@@ -30,7 +30,10 @@ impl std::fmt::Display for TreeError {
         match self {
             TreeError::Compile(e) => write!(f, "compile error: {e}"),
             TreeError::UnsupportedOperator => {
-                write!(f, "tree engine supports only SEQ/CONJ/DISJ of single events")
+                write!(
+                    f,
+                    "tree engine supports only SEQ/CONJ/DISJ of single events"
+                )
             }
         }
     }
@@ -58,7 +61,10 @@ pub struct CostModel {
 impl CostModel {
     /// Uniform model (rates 1, selectivities 1): yields a balanced tree.
     pub fn uniform(n: usize) -> Self {
-        Self { rates: vec![1.0; n], sel: vec![vec![1.0; n]; n] }
+        Self {
+            rates: vec![1.0; n],
+            sel: vec![vec![1.0; n]; n],
+        }
     }
 
     /// Expected cardinality of a sub-match over the step range `[i, j)`
@@ -95,6 +101,7 @@ fn optimize_shape(model: &CostModel, n: usize, w: f64) -> Shape {
             let j = i + len;
             let mut best = f64::INFINITY;
             let mut arg = i + 1;
+            #[allow(clippy::needless_range_loop)]
             for k in (i + 1)..j {
                 // Joining [i,k) with [k,j) materializes card(i,k)+card(k,j)
                 // intermediate tuples on top of the children's own cost.
@@ -153,7 +160,10 @@ struct BranchTree {
 impl BranchTree {
     fn new(branch: Branch, model: &CostModel, w: f64) -> Result<Self, TreeError> {
         if !branch.negs.is_empty()
-            || branch.steps.iter().any(|s| matches!(s.kind, StepKind::Kleene { .. }))
+            || branch
+                .steps
+                .iter()
+                .any(|s| matches!(s.kind, StepKind::Kleene { .. }))
         {
             return Err(TreeError::UnsupportedOperator);
         }
@@ -164,7 +174,11 @@ impl BranchTree {
         fn add(nodes: &mut Vec<TreeNode>, leaf_of: &mut [usize], shape: &Shape) -> usize {
             match shape {
                 Shape::Leaf(s) => {
-                    nodes.push(TreeNode { parent: None, children: None, buffer: Vec::new() });
+                    nodes.push(TreeNode {
+                        parent: None,
+                        children: None,
+                        buffer: Vec::new(),
+                    });
                     leaf_of[*s] = nodes.len() - 1;
                     nodes.len() - 1
                 }
@@ -192,7 +206,13 @@ impl BranchTree {
                 StepKind::Kleene { .. } => unreachable!("rejected above"),
             })
             .collect();
-        Ok(Self { branch, nodes, root, leaf_of, binding_of })
+        Ok(Self {
+            branch,
+            nodes,
+            root,
+            leaf_of,
+            binding_of,
+        })
     }
 }
 
@@ -203,12 +223,61 @@ pub struct TreeEngine {
     arena: EventArena,
     out: Vec<Match>,
     stats: EngineStats,
+    max_partials: Option<usize>,
 }
 
 impl TreeEngine {
     /// Instantiate with a uniform cost model (balanced trees).
     pub fn new(pattern: &Pattern) -> Result<Self, TreeError> {
         Self::with_cost_model(pattern, None)
+    }
+
+    /// Budget on buffered sub-matches across all tree nodes (`None` =
+    /// unbounded). Exceeding entries are shed oldest-first (smallest
+    /// `min_id`) and counted in [`EngineStats::partials_shed`]; shedding can
+    /// lose matches but never invents them.
+    pub fn set_partial_budget(&mut self, budget: Option<usize>) {
+        self.max_partials = budget;
+    }
+
+    /// Currently buffered sub-matches across all nodes of all trees.
+    pub fn stored_partials(&self) -> usize {
+        self.trees
+            .iter()
+            .map(|t| t.nodes.iter().map(|nd| nd.buffer.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Enforce the budget by dropping the oldest buffered entries.
+    fn shed_to_budget(trees: &mut [BranchTree], stats: &mut EngineStats, budget: usize) {
+        let stored: usize = trees
+            .iter()
+            .map(|t| t.nodes.iter().map(|nd| nd.buffer.len()).sum::<usize>())
+            .sum();
+        if stored <= budget {
+            return;
+        }
+        let excess = stored - budget;
+        let mut ages: Vec<(u64, usize, usize)> = Vec::with_capacity(stored);
+        for (ti, t) in trees.iter().enumerate() {
+            for (ni, nd) in t.nodes.iter().enumerate() {
+                for e in &nd.buffer {
+                    ages.push((e.min_id, ti, ni));
+                }
+            }
+        }
+        ages.sort_unstable();
+        let mut shed_per_node: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for &(_, ti, ni) in ages.iter().take(excess) {
+            *shed_per_node.entry((ti, ni)).or_insert(0) += 1;
+        }
+        for ((ti, ni), k) in shed_per_node {
+            let buffer = &mut trees[ti].nodes[ni].buffer;
+            buffer.sort_by_key(|e| e.min_id);
+            buffer.drain(..k);
+        }
+        stats.partials_shed += excess as u64;
     }
 
     /// Instantiate with a cost model (`None` = uniform). The model applies to
@@ -234,6 +303,7 @@ impl TreeEngine {
             arena: EventArena::new(),
             out: Vec::new(),
             stats: EngineStats::default(),
+            max_partials: None,
         })
     }
 
@@ -307,7 +377,7 @@ impl TreeEngine {
             if m & combined_mask != m {
                 continue;
             }
-            if (m & x.mask == m && m != 0) || (m & y.mask == m && m != 0) {
+            if m != 0 && (m & x.mask == m || m & y.mask == m) {
                 continue; // already validated below this node
             }
             stats.condition_evaluations += 1;
@@ -320,7 +390,14 @@ impl TreeEngine {
                 return None;
             }
         }
-        Some(Entry { ids, mask: combined_mask, min_id, max_id, min_ts, max_ts })
+        Some(Entry {
+            ids,
+            mask: combined_mask,
+            min_id,
+            max_id,
+            min_ts,
+            max_ts,
+        })
     }
 }
 
@@ -329,9 +406,9 @@ impl CepEngine for TreeEngine {
         self.stats.events_processed += 1;
         self.arena.push(ev.clone());
         match self.window {
-            WindowSpec::Count(w) => {
-                self.arena.evict_below(EventId((ev.id.0 + 1).saturating_sub(w)))
-            }
+            WindowSpec::Count(w) => self
+                .arena
+                .evict_below(EventId((ev.id.0 + 1).saturating_sub(w))),
             WindowSpec::Time(w) => self.arena.evict_before_ts(ev.ts.0.saturating_sub(w)),
         }
         let window = self.window;
@@ -348,7 +425,9 @@ impl CepEngine for TreeEngine {
             let n = tree.branch.steps.len();
             let mut queue: Vec<(usize, Entry)> = Vec::new();
             for (s, step) in tree.branch.steps.iter().enumerate() {
-                let StepKind::Single { types, .. } = &step.kind else { unreachable!() };
+                let StepKind::Single { types, .. } = &step.kind else {
+                    unreachable!()
+                };
                 if !types.contains(ev.type_id) {
                     continue;
                 }
@@ -415,9 +494,16 @@ impl CepEngine for TreeEngine {
                     queue.push((parent, j));
                 }
             }
-            let stored: u64 = tree.nodes.iter().map(|nd| nd.buffer.len() as u64).sum();
-            stats.peak_partial_matches = stats.peak_partial_matches.max(stored);
         }
+        if let Some(budget) = self.max_partials {
+            Self::shed_to_budget(&mut self.trees, stats, budget);
+        }
+        let stored: u64 = self
+            .trees
+            .iter()
+            .map(|t| t.nodes.iter().map(|nd| nd.buffer.len() as u64).sum::<u64>())
+            .sum();
+        stats.peak_partial_matches = stats.peak_partial_matches.max(stored);
     }
 
     fn drain_matches(&mut self) -> Vec<Match> {
@@ -540,7 +626,10 @@ mod tests {
         assert_eq!(
             shape,
             Shape::Node(
-                Box::new(Shape::Node(Box::new(Shape::Leaf(0)), Box::new(Shape::Leaf(1)))),
+                Box::new(Shape::Node(
+                    Box::new(Shape::Leaf(0)),
+                    Box::new(Shape::Leaf(1))
+                )),
                 Box::new(Shape::Leaf(2))
             )
         );
@@ -571,7 +660,10 @@ mod tests {
         let s = stream(&[C, A, B, B, A, C]);
         let mut tree = TreeEngine::new(&p).unwrap();
         let mut nfa = NfaEngine::new(&p).unwrap();
-        assert_eq!(match_keys(&tree.run(s.events())), match_keys(&nfa.run(s.events())));
+        assert_eq!(
+            match_keys(&tree.run(s.events())),
+            match_keys(&nfa.run(s.events()))
+        );
     }
 
     #[test]
@@ -602,17 +694,26 @@ mod tests {
         let s = stream(&[A, C, B, D, A, B]);
         let mut tree = TreeEngine::new(&p).unwrap();
         let mut nfa = NfaEngine::new(&p).unwrap();
-        assert_eq!(match_keys(&tree.run(s.events())), match_keys(&nfa.run(s.events())));
+        assert_eq!(
+            match_keys(&tree.run(s.events())),
+            match_keys(&nfa.run(s.events()))
+        );
     }
 
     #[test]
     fn rejects_kleene_and_neg() {
         let kc = Pattern::new(
-            PatternExpr::Seq(vec![leaf(A, "a"), PatternExpr::Kleene(Box::new(leaf(B, "k")))]),
+            PatternExpr::Seq(vec![
+                leaf(A, "a"),
+                PatternExpr::Kleene(Box::new(leaf(B, "k"))),
+            ]),
             vec![],
             WindowSpec::Count(5),
         );
-        assert!(matches!(TreeEngine::new(&kc).err(), Some(TreeError::UnsupportedOperator)));
+        assert!(matches!(
+            TreeEngine::new(&kc).err(),
+            Some(TreeError::UnsupportedOperator)
+        ));
         let ng = Pattern::new(
             PatternExpr::Seq(vec![
                 leaf(A, "a"),
@@ -622,7 +723,10 @@ mod tests {
             vec![],
             WindowSpec::Count(5),
         );
-        assert!(matches!(TreeEngine::new(&ng).err(), Some(TreeError::UnsupportedOperator)));
+        assert!(matches!(
+            TreeEngine::new(&ng).err(),
+            Some(TreeError::UnsupportedOperator)
+        ));
     }
 
     #[test]
@@ -635,6 +739,46 @@ mod tests {
         let s = stream(&[A, C, C, C, B]);
         let mut tree = TreeEngine::new(&p).unwrap();
         assert!(tree.run(s.events()).is_empty());
+    }
+
+    #[test]
+    fn partial_budget_caps_tree_buffers() {
+        let p = Pattern::new(
+            PatternExpr::Seq(vec![leaf(A, "a"), leaf(B, "b")]),
+            vec![],
+            WindowSpec::Count(1000),
+        );
+        let budget = 5;
+        let mut tree = TreeEngine::new(&p).unwrap();
+        tree.set_partial_budget(Some(budget));
+        let s = stream(&[A; 40]);
+        for ev in s.events() {
+            tree.process(ev);
+            assert!(tree.stored_partials() <= budget, "budget violated");
+        }
+        assert_eq!(tree.stats().partials_shed, 40 - budget as u64);
+    }
+
+    #[test]
+    fn budgeted_tree_matches_are_subset_of_exact() {
+        let p = Pattern::new(
+            PatternExpr::Seq(vec![leaf(A, "a"), leaf(B, "b"), leaf(C, "c")]),
+            vec![],
+            WindowSpec::Count(12),
+        );
+        let s = stream(&[A, B, A, C, B, A, C, B, C, A, B, C]);
+        let mut exact_engine = TreeEngine::new(&p).unwrap();
+        let exact = match_keys(&exact_engine.run(s.events()));
+        let mut budgeted = TreeEngine::new(&p).unwrap();
+        budgeted.set_partial_budget(Some(3));
+        let got = budgeted.run(s.events());
+        assert!(budgeted.stats().partials_shed > 0);
+        for m in &got {
+            assert!(
+                exact.contains(&m.event_ids),
+                "shedding must never invent matches"
+            );
+        }
     }
 
     #[test]
@@ -665,7 +809,11 @@ mod tests {
             s.push(if i % 2 == 0 { A } else { B }, i, vec![i as f64]);
         }
         let m = estimate_cost_model(&plan.branches[0], s.events());
-        assert!(m.sel[0][1] > 0.3 && m.sel[0][1] < 0.7, "sel {}", m.sel[0][1]);
+        assert!(
+            m.sel[0][1] > 0.3 && m.sel[0][1] < 0.7,
+            "sel {}",
+            m.sel[0][1]
+        );
     }
 
     #[test]
@@ -683,6 +831,9 @@ mod tests {
         model.sel[2][1] = 0.01;
         let mut t1 = TreeEngine::with_cost_model(&p, Some(model)).unwrap();
         let mut t2 = TreeEngine::new(&p).unwrap();
-        assert_eq!(match_keys(&t1.run(s.events())), match_keys(&t2.run(s.events())));
+        assert_eq!(
+            match_keys(&t1.run(s.events())),
+            match_keys(&t2.run(s.events()))
+        );
     }
 }

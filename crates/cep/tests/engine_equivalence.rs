@@ -40,9 +40,7 @@ fn enumerate(
         let ids: Vec<u64> = assignment.iter().map(|&i| events[i].id.0).collect();
         let tss: Vec<u64> = assignment.iter().map(|&i| events[i].ts.0).collect();
         let ok = match plan.window {
-            WindowSpec::Count(w) => {
-                ids.iter().max().unwrap() - ids.iter().min().unwrap() <= w - 1
-            }
+            WindowSpec::Count(w) => ids.iter().max().unwrap() - ids.iter().min().unwrap() < w,
             WindowSpec::Time(w) => tss.iter().max().unwrap() - tss.iter().min().unwrap() <= w,
         };
         if !ok {

@@ -4,8 +4,8 @@
 //! inputs.
 
 use dlacep_cep::engine::CepEngine;
-use dlacep_cep::{LazyEngine, NfaEngine, Pattern, PatternExpr, Predicate, TreeEngine, TypeSet};
 use dlacep_cep::pattern::condition::Expr;
+use dlacep_cep::{LazyEngine, NfaEngine, Pattern, PatternExpr, Predicate, TreeEngine, TypeSet};
 use dlacep_events::{EventStream, TypeId, WindowSpec};
 
 const A: TypeId = TypeId(0);
@@ -55,7 +55,10 @@ fn disjunction_of_kleene_and_negation_branches() {
     // DISJ(SEQ(A, KC(B)), SEQ(C, NEG(B), D)) — heterogeneous branches.
     let p = Pattern::new(
         PatternExpr::Disj(vec![
-            PatternExpr::Seq(vec![leaf(A, "a"), PatternExpr::Kleene(Box::new(leaf(B, "k")))]),
+            PatternExpr::Seq(vec![
+                leaf(A, "a"),
+                PatternExpr::Kleene(Box::new(leaf(B, "k"))),
+            ]),
             PatternExpr::Seq(vec![
                 leaf(C, "c"),
                 PatternExpr::Neg(Box::new(leaf(B, "n"))),
@@ -81,7 +84,10 @@ fn lazy_engine_time_windows_agree_with_nfa() {
         WindowSpec::Time(5),
     );
     let mut s = EventStream::new();
-    for (i, (t, ts)) in [(A, 0u64), (B, 3), (A, 9), (B, 11), (B, 20)].iter().enumerate() {
+    for (i, (t, ts)) in [(A, 0u64), (B, 3), (A, 9), (B, 11), (B, 20)]
+        .iter()
+        .enumerate()
+    {
         s.push(*t, *ts, vec![i as f64]);
     }
     let mut nfa = NfaEngine::new(&p).unwrap();

@@ -34,9 +34,9 @@ impl std::fmt::Display for AssemblerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AssemblerError::MarkSizeTooSmall => write!(f, "MarkSize must be at least W"),
-            AssemblerError::StepSizeTooLarge =>
-
-                write!(f, "StepSize must not exceed max(1, MarkSize - W)"),
+            AssemblerError::StepSizeTooLarge => {
+                write!(f, "StepSize must not exceed max(1, MarkSize - W)")
+            }
             AssemblerError::Zero => write!(f, "MarkSize and StepSize must be positive"),
         }
     }
@@ -49,7 +49,10 @@ impl AssemblerConfig {
     /// experiments found this the best recall/throughput balance).
     pub fn paper_default(w: u64) -> Self {
         let w = w as usize;
-        Self { mark_size: 2 * w, step_size: w.max(1) }
+        Self {
+            mark_size: 2 * w,
+            step_size: w.max(1),
+        }
     }
 
     /// Validate against the pattern's window size `W` (the constraints of
@@ -128,28 +131,52 @@ mod tests {
     #[test]
     fn validation_rejects_bad_configs() {
         assert_eq!(
-            AssemblerConfig { mark_size: 4, step_size: 1 }.validate(5),
+            AssemblerConfig {
+                mark_size: 4,
+                step_size: 1
+            }
+            .validate(5),
             Err(AssemblerError::MarkSizeTooSmall)
         );
         assert_eq!(
-            AssemblerConfig { mark_size: 10, step_size: 7 }.validate(5),
+            AssemblerConfig {
+                mark_size: 10,
+                step_size: 7
+            }
+            .validate(5),
             Err(AssemblerError::StepSizeTooLarge)
         );
         assert_eq!(
-            AssemblerConfig { mark_size: 0, step_size: 1 }.validate(5),
+            AssemblerConfig {
+                mark_size: 0,
+                step_size: 1
+            }
+            .validate(5),
             Err(AssemblerError::Zero)
         );
         // MarkSize == W forces StepSize == 1 (the slow ECEP-like mode, §4.2).
-        assert!(AssemblerConfig { mark_size: 5, step_size: 1 }.validate(5).is_ok());
+        assert!(AssemblerConfig {
+            mark_size: 5,
+            step_size: 1
+        }
+        .validate(5)
+        .is_ok());
         assert_eq!(
-            AssemblerConfig { mark_size: 5, step_size: 2 }.validate(5),
+            AssemblerConfig {
+                mark_size: 5,
+                step_size: 2
+            }
+            .validate(5),
             Err(AssemblerError::StepSizeTooLarge)
         );
     }
 
     #[test]
     fn num_steps_counts_evaluations() {
-        let c = AssemblerConfig { mark_size: 10, step_size: 5 };
+        let c = AssemblerConfig {
+            mark_size: 10,
+            step_size: 5,
+        };
         assert_eq!(c.num_steps(0), 0);
         assert_eq!(c.num_steps(10), 1);
         assert_eq!(c.num_steps(11), 2);

@@ -1,0 +1,238 @@
+//! Fault injection for exercising the degradation machinery.
+//!
+//! [`ChaosFilter`] wraps any [`Filter`] and injects a scheduled fault class
+//! on selected invocations: panics, wrong-length mark vectors, non-finite
+//! scores, or silent all-false marks (the one failure a guard cannot see —
+//! that is the drift monitor's job). [`out_of_order_timestamps`] generates
+//! deterministic disordered arrival sequences for testing the stream
+//! admission policies.
+
+use crate::filter::Filter;
+use dlacep_events::PrimitiveEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::Cell;
+
+/// The injectable fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// `mark` panics.
+    Panic,
+    /// `mark` returns one mark too many.
+    WrongLength,
+    /// `mark` is well-formed but `scores` returns NaNs — only a guard with
+    /// score validation enabled catches this.
+    NonFiniteScores,
+    /// `mark` returns all-false: well-formed, silently losing every match in
+    /// the window. Undetectable by shape checks; surfaces as a collapsed
+    /// marking rate (drift).
+    Silent,
+}
+
+/// When a rule applies, by 0-based `mark` call index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum When {
+    At(usize),
+    From(usize),
+    Every(usize),
+}
+
+/// A [`Filter`] wrapper that injects faults on schedule.
+///
+/// Rules are checked in the order they were added; the first match wins.
+/// Calls matching no rule are forwarded to the inner filter untouched.
+pub struct ChaosFilter<F> {
+    inner: F,
+    rules: Vec<(When, ChaosFault)>,
+    calls: Cell<usize>,
+    last_call: Cell<usize>,
+}
+
+impl<F: Filter> ChaosFilter<F> {
+    /// Wrap `inner` with no faults scheduled.
+    pub fn new(inner: F) -> Self {
+        Self {
+            inner,
+            rules: Vec::new(),
+            calls: Cell::new(0),
+            last_call: Cell::new(0),
+        }
+    }
+
+    /// Inject `fault` on the `call`-th invocation (0-based).
+    pub fn fault_at(mut self, call: usize, fault: ChaosFault) -> Self {
+        self.rules.push((When::At(call), fault));
+        self
+    }
+
+    /// Inject `fault` on every invocation from `call` (0-based) onward.
+    pub fn fault_from(mut self, call: usize, fault: ChaosFault) -> Self {
+        self.rules.push((When::From(call), fault));
+        self
+    }
+
+    /// Inject `fault` on every `period`-th invocation (indices 0, period,
+    /// 2·period, …).
+    ///
+    /// # Panics
+    /// Panics if `period == 0`.
+    pub fn fault_every(mut self, period: usize, fault: ChaosFault) -> Self {
+        assert!(period > 0, "period must be positive");
+        self.rules.push((When::Every(period), fault));
+        self
+    }
+
+    /// Number of `mark` invocations so far.
+    pub fn calls(&self) -> usize {
+        self.calls.get()
+    }
+
+    fn fault_for(&self, idx: usize) -> Option<ChaosFault> {
+        self.rules
+            .iter()
+            .find(|(when, _)| match *when {
+                When::At(c) => idx == c,
+                When::From(c) => idx >= c,
+                When::Every(p) => idx.is_multiple_of(p),
+            })
+            .map(|&(_, fault)| fault)
+    }
+}
+
+impl<F: Filter> Filter for ChaosFilter<F> {
+    fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
+        let idx = self.calls.get();
+        self.calls.set(idx + 1);
+        self.last_call.set(idx);
+        match self.fault_for(idx) {
+            Some(ChaosFault::Panic) => panic!("chaos: injected filter panic at call {idx}"),
+            Some(ChaosFault::WrongLength) => {
+                let mut marks = self.inner.mark(window);
+                marks.push(true);
+                marks
+            }
+            Some(ChaosFault::Silent) => vec![false; window.len()],
+            Some(ChaosFault::NonFiniteScores) | None => self.inner.mark(window),
+        }
+    }
+
+    fn scores(&self, window: &[PrimitiveEvent]) -> Option<Vec<f32>> {
+        // Guards call `scores` right after `mark` on the same window; key the
+        // fault off the call `mark` just served.
+        match self.fault_for(self.last_call.get()) {
+            Some(ChaosFault::NonFiniteScores) => Some(vec![f32::NAN; window.len()]),
+            _ => self.inner.scores(window),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+}
+
+/// Deterministic out-of-order arrival sequence: timestamp `i` for event `i`,
+/// except a `disorder` fraction of events arrive late with their timestamp
+/// lagging by `1..=max_lag`. Use with [`OutOfOrderPolicy`] tests.
+///
+/// [`OutOfOrderPolicy`]: dlacep_events::OutOfOrderPolicy
+pub fn out_of_order_timestamps(n: usize, disorder: f64, max_lag: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_lag = max_lag.max(1);
+    (0..n as u64)
+        .map(|i| {
+            if i > 0 && rng.gen_range(0.0..1.0) < disorder {
+                i.saturating_sub(rng.gen_range(1..=max_lag))
+            } else {
+                i
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::PassthroughFilter;
+    use dlacep_events::{EventStream, TypeId};
+
+    fn window(n: usize) -> EventStream {
+        let mut s = EventStream::new();
+        for i in 0..n {
+            s.push(TypeId(0), i as u64, vec![]);
+        }
+        s
+    }
+
+    #[test]
+    fn no_rules_is_transparent() {
+        let f = ChaosFilter::new(PassthroughFilter);
+        let w = window(4);
+        assert_eq!(f.mark(w.events()), vec![true; 4]);
+        assert_eq!(f.calls(), 1);
+    }
+
+    #[test]
+    fn fault_at_hits_exactly_one_call() {
+        let f = ChaosFilter::new(PassthroughFilter).fault_at(1, ChaosFault::Silent);
+        let w = window(3);
+        assert_eq!(f.mark(w.events()), vec![true; 3]);
+        assert_eq!(f.mark(w.events()), vec![false; 3]);
+        assert_eq!(f.mark(w.events()), vec![true; 3]);
+    }
+
+    #[test]
+    fn fault_from_is_permanent() {
+        let f = ChaosFilter::new(PassthroughFilter).fault_from(2, ChaosFault::WrongLength);
+        let w = window(3);
+        assert_eq!(f.mark(w.events()).len(), 3);
+        assert_eq!(f.mark(w.events()).len(), 3);
+        assert_eq!(f.mark(w.events()).len(), 4);
+        assert_eq!(f.mark(w.events()).len(), 4);
+    }
+
+    #[test]
+    fn fault_every_is_periodic() {
+        let f = ChaosFilter::new(PassthroughFilter).fault_every(3, ChaosFault::Silent);
+        let w = window(2);
+        let silent: Vec<bool> = (0..7)
+            .map(|_| f.mark(w.events()).iter().all(|&m| !m))
+            .collect();
+        assert_eq!(silent, vec![true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn injected_panic_panics() {
+        let f = ChaosFilter::new(PassthroughFilter).fault_at(0, ChaosFault::Panic);
+        let w = window(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.mark(w.events())));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn nan_scores_on_schedule_only() {
+        let f = ChaosFilter::new(PassthroughFilter).fault_at(0, ChaosFault::NonFiniteScores);
+        let w = window(2);
+        assert_eq!(f.mark(w.events()), vec![true; 2], "marks stay well-formed");
+        let scores = f.scores(w.events()).unwrap();
+        assert!(scores.iter().all(|s| s.is_nan()));
+        f.mark(w.events());
+        assert!(f.scores(w.events()).is_none(), "inner has no scores");
+    }
+
+    #[test]
+    fn ooo_generator_is_deterministic_and_bounded() {
+        let a = out_of_order_timestamps(100, 0.3, 5, 42);
+        let b = out_of_order_timestamps(100, 0.3, 5, 42);
+        assert_eq!(a, b);
+        let disordered = a.windows(2).filter(|p| p[1] < p[0]).count();
+        assert!(disordered > 0, "some regressions expected at 30% disorder");
+        for (i, &ts) in a.iter().enumerate() {
+            assert!(ts <= i as u64 && ts + 5 >= i as u64, "lag bounded");
+        }
+        let sorted = out_of_order_timestamps(50, 0.0, 5, 7);
+        assert!(
+            sorted.windows(2).all(|p| p[0] <= p[1]),
+            "zero disorder is in order"
+        );
+    }
+}

@@ -32,7 +32,12 @@ pub struct DriftConfig {
 impl DriftConfig {
     /// A permissive default: ±50% band, EMA α = 0.05, 20-window patience.
     pub fn with_baseline(baseline_rate: f64) -> Self {
-        Self { baseline_rate, tolerance: 0.5, alpha: 0.05, patience: 20 }
+        Self {
+            baseline_rate,
+            tolerance: 0.5,
+            alpha: 0.05,
+            patience: 20,
+        }
     }
 }
 
@@ -61,7 +66,12 @@ impl DriftMonitor {
     pub fn new(config: DriftConfig) -> Self {
         assert!(config.alpha > 0.0 && config.alpha <= 1.0, "alpha in (0, 1]");
         assert!(config.tolerance >= 0.0, "tolerance must be non-negative");
-        Self { config, ema: None, consecutive_out: 0, windows_seen: 0 }
+        Self {
+            config,
+            ema: None,
+            consecutive_out: 0,
+            windows_seen: 0,
+        }
     }
 
     /// Feed the marks of one assembler window; returns the updated state.

@@ -26,9 +26,17 @@ pub struct EventEmbedder {
 impl EventEmbedder {
     /// Build from the set of pattern-relevant types.
     pub fn new(relevant: &TypeSet, num_attrs: usize) -> Self {
-        let slots: HashMap<TypeId, usize> =
-            relevant.types().iter().enumerate().map(|(i, &t)| (t, i)).collect();
-        Self { type_slots: slots.len() + 1, slots, num_attrs }
+        let slots: HashMap<TypeId, usize> = relevant
+            .types()
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i))
+            .collect();
+        Self {
+            type_slots: slots.len() + 1,
+            slots,
+            num_attrs,
+        }
     }
 
     /// Build from a compiled plan (relevant types = all leaf types, including
@@ -45,7 +53,11 @@ impl EventEmbedder {
     /// Embed one event.
     pub fn embed(&self, ev: &PrimitiveEvent) -> Vec<f32> {
         let mut v = vec![0.0_f32; self.dim()];
-        let slot = self.slots.get(&ev.type_id).copied().unwrap_or(self.type_slots - 1);
+        let slot = self
+            .slots
+            .get(&ev.type_id)
+            .copied()
+            .unwrap_or(self.type_slots - 1);
         v[slot] = 1.0;
         for (i, a) in ev.attrs.iter().take(self.num_attrs).enumerate() {
             v[self.type_slots + i] = *a as f32;

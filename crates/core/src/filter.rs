@@ -18,6 +18,15 @@ pub trait Filter {
     /// One mark per event; `true` = relay to the CEP extractor.
     fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool>;
 
+    /// Raw per-event scores behind the marks (e.g. BI-CRF posterior
+    /// marginals), when the filter has any. Guards use these to detect
+    /// numerically poisoned models: a NaN score means the marks cannot be
+    /// trusted even when the mark vector itself is well-formed. Rule-based
+    /// filters return `None` (the default).
+    fn scores(&self, _window: &[PrimitiveEvent]) -> Option<Vec<f32>> {
+        None
+    }
+
     /// Short name for reports.
     fn name(&self) -> &'static str;
 }
@@ -40,7 +49,11 @@ pub struct EventNetFilter {
 impl EventNetFilter {
     /// Build with Viterbi-decode marking.
     pub fn new(network: EventNetwork, embedder: EventEmbedder) -> Self {
-        Self { network, embedder, threshold: None }
+        Self {
+            network,
+            embedder,
+            threshold: None,
+        }
     }
 }
 
@@ -49,8 +62,18 @@ impl Filter for EventNetFilter {
         let embeds = self.embedder.embed_window(window, window.len());
         match self.threshold {
             None => self.network.mark(&embeds),
-            Some(t) => self.network.marginals(&embeds).into_iter().map(|p| p > t).collect(),
+            Some(t) => self
+                .network
+                .marginals(&embeds)
+                .into_iter()
+                .map(|p| p > t)
+                .collect(),
         }
+    }
+
+    fn scores(&self, window: &[PrimitiveEvent]) -> Option<Vec<f32>> {
+        let embeds = self.embedder.embed_window(window, window.len());
+        Some(self.network.marginals(&embeds))
     }
 
     fn name(&self) -> &'static str {
@@ -101,10 +124,11 @@ impl OracleFilter {
 impl Filter for OracleFilter {
     fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
         let matches = dlacep_data::label::matches_in_sample(&self.pattern, window);
-        let positive: std::collections::HashSet<u64> =
-            matches.iter().flat_map(|m| m.event_ids.iter().map(|id| id.0)).collect();
-        let mut marks: Vec<bool> =
-            window.iter().map(|e| positive.contains(&e.id.0)).collect();
+        let positive: std::collections::HashSet<u64> = matches
+            .iter()
+            .flat_map(|m| m.event_ids.iter().map(|id| id.0))
+            .collect();
+        let mut marks: Vec<bool> = window.iter().map(|e| positive.contains(&e.id.0)).collect();
         for branch in &self.plan.branches {
             for neg in &branch.negs {
                 for elem in &neg.inner {

@@ -1,0 +1,473 @@
+//! Fault-tolerant filter guard: a circuit breaker around any [`Filter`].
+//!
+//! The paper assumes the neural filter is a well-behaved function; in a
+//! deployed system it is a model artifact that can be corrupted, poisoned by
+//! NaNs from a bad training run, or simply buggy. A [`FilterGuard`] wraps a
+//! filter so that none of those faults can take the pipeline down:
+//!
+//! * every invocation runs under [`std::panic::catch_unwind`];
+//! * mark vectors are validated against the window length;
+//! * optionally, the filter's raw scores are checked for non-finite values
+//!   (a NaN score means the marks cannot be trusted even when the mark
+//!   vector itself is well-formed).
+//!
+//! Every fault **fails open**: the faulty window is relayed in full
+//! (passthrough), trading throughput for recall — the same asymmetry that
+//! motivates recall-biased thresholds (§4.3). After
+//! [`GuardConfig::fault_threshold`] *consecutive* faults the breaker trips
+//! to [`BreakerState::Open`]: the filter is not invoked at all and the
+//! pipeline degrades to exact-CEP behaviour. After
+//! [`GuardConfig::cooldown_windows`] bypassed windows the breaker goes
+//! [`BreakerState::HalfOpen`] and probes the filter on one window: success
+//! re-closes the breaker, another fault re-opens it.
+
+use crate::filter::Filter;
+use dlacep_events::PrimitiveEvent;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// What went wrong in one guarded filter invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The filter panicked; the unwind was caught.
+    Panicked,
+    /// The mark vector length does not match the window length.
+    WrongLength {
+        /// Marks returned.
+        got: usize,
+        /// Window length expected.
+        want: usize,
+    },
+    /// A raw score was NaN or infinite.
+    NonFiniteScore,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Panicked => write!(f, "filter panicked"),
+            FaultKind::WrongLength { got, want } => {
+                write!(f, "mark vector length {got}, window length {want}")
+            }
+            FaultKind::NonFiniteScore => write!(f, "non-finite filter score"),
+        }
+    }
+}
+
+/// Circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: the filter is invoked on every window.
+    #[default]
+    Closed,
+    /// Tripped: the filter is bypassed, windows pass through unfiltered.
+    Open,
+    /// Cooling down: the next window probes the filter once.
+    HalfOpen,
+}
+
+/// Guard configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Consecutive faults that trip the breaker (≥ 1).
+    pub fault_threshold: usize,
+    /// Windows served in passthrough while [`BreakerState::Open`] before a
+    /// half-open probe.
+    pub cooldown_windows: usize,
+    /// Validate [`Filter::scores`] for non-finite values. Costs one extra
+    /// score pass per window on filters that implement it.
+    pub validate_scores: bool,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            fault_threshold: 3,
+            cooldown_windows: 16,
+            validate_scores: false,
+        }
+    }
+}
+
+/// Fault and breaker counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardStats {
+    /// Total faulty invocations (all kinds).
+    pub faults_total: u64,
+    /// Caught panics.
+    pub panics: u64,
+    /// Wrong-length mark vectors.
+    pub wrong_length: u64,
+    /// Non-finite score vectors.
+    pub non_finite: u64,
+    /// Closed → Open and HalfOpen → Open transitions.
+    pub breaker_trips: u64,
+    /// HalfOpen → Closed transitions (successful probes).
+    pub recoveries: u64,
+    /// Windows served while Open without invoking the filter.
+    pub windows_bypassed: u64,
+}
+
+/// Result of one guarded marking call.
+#[derive(Debug, Clone)]
+pub struct GuardOutcome {
+    /// Marks to apply — the filter's on success, all-true on any fault or
+    /// bypass (fail open).
+    pub marks: Vec<bool>,
+    /// The fault, if the invocation was faulty.
+    pub fault: Option<FaultKind>,
+    /// Whether the underlying filter was actually invoked (false while the
+    /// breaker is open).
+    pub filter_invoked: bool,
+    /// Breaker transitions triggered by this call, in order.
+    pub transitions: Vec<(BreakerState, BreakerState)>,
+}
+
+/// A circuit breaker wrapped around a [`Filter`].
+pub struct FilterGuard<F> {
+    filter: F,
+    config: GuardConfig,
+    state: BreakerState,
+    consecutive_faults: usize,
+    open_windows: usize,
+    stats: GuardStats,
+}
+
+impl<F: Filter> FilterGuard<F> {
+    /// Wrap `filter` under `config`.
+    pub fn new(filter: F, config: GuardConfig) -> Self {
+        assert!(
+            config.fault_threshold >= 1,
+            "fault_threshold must be at least 1"
+        );
+        Self {
+            filter,
+            config,
+            state: BreakerState::Closed,
+            consecutive_faults: 0,
+            open_windows: 0,
+            stats: GuardStats::default(),
+        }
+    }
+
+    /// The wrapped filter.
+    pub fn filter(&self) -> &F {
+        &self.filter
+    }
+
+    /// Current breaker state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Fault and breaker counters.
+    pub fn stats(&self) -> &GuardStats {
+        &self.stats
+    }
+
+    /// Guarded marking of one assembler window. Never panics; always returns
+    /// a mark vector of `window.len()`.
+    pub fn mark(&mut self, window: &[PrimitiveEvent]) -> GuardOutcome {
+        let mut transitions = Vec::new();
+        if self.state == BreakerState::Open {
+            if self.open_windows < self.config.cooldown_windows {
+                self.open_windows += 1;
+                self.stats.windows_bypassed += 1;
+                return GuardOutcome {
+                    marks: vec![true; window.len()],
+                    fault: None,
+                    filter_invoked: false,
+                    transitions,
+                };
+            }
+            self.transition(BreakerState::HalfOpen, &mut transitions);
+        }
+
+        let fault = match self.invoke(window) {
+            Ok(marks) => {
+                // Healthy invocation.
+                self.consecutive_faults = 0;
+                if self.state == BreakerState::HalfOpen {
+                    self.stats.recoveries += 1;
+                    self.transition(BreakerState::Closed, &mut transitions);
+                }
+                return GuardOutcome {
+                    marks,
+                    fault: None,
+                    filter_invoked: true,
+                    transitions,
+                };
+            }
+            Err(kind) => kind,
+        };
+
+        self.stats.faults_total += 1;
+        match fault {
+            FaultKind::Panicked => self.stats.panics += 1,
+            FaultKind::WrongLength { .. } => self.stats.wrong_length += 1,
+            FaultKind::NonFiniteScore => self.stats.non_finite += 1,
+        }
+        self.consecutive_faults += 1;
+        if self.state == BreakerState::HalfOpen {
+            // Failed probe: straight back to Open for another cooldown.
+            self.stats.breaker_trips += 1;
+            self.open_windows = 0;
+            self.transition(BreakerState::Open, &mut transitions);
+        } else if self.consecutive_faults >= self.config.fault_threshold {
+            self.stats.breaker_trips += 1;
+            self.open_windows = 0;
+            self.transition(BreakerState::Open, &mut transitions);
+        }
+        GuardOutcome {
+            marks: vec![true; window.len()],
+            fault: Some(fault),
+            filter_invoked: true,
+            transitions,
+        }
+    }
+
+    fn transition(&mut self, to: BreakerState, log: &mut Vec<(BreakerState, BreakerState)>) {
+        log.push((self.state, to));
+        self.state = to;
+    }
+
+    /// One validated filter invocation under `catch_unwind`.
+    fn invoke(&self, window: &[PrimitiveEvent]) -> Result<Vec<bool>, FaultKind> {
+        let validate = self.config.validate_scores;
+        let filter = &self.filter;
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            let marks = filter.mark(window);
+            let scores = if validate {
+                filter.scores(window)
+            } else {
+                None
+            };
+            (marks, scores)
+        }));
+        let (marks, scores) = out.map_err(|_| FaultKind::Panicked)?;
+        if marks.len() != window.len() {
+            return Err(FaultKind::WrongLength {
+                got: marks.len(),
+                want: window.len(),
+            });
+        }
+        if let Some(scores) = scores {
+            if scores.iter().any(|s| !s.is_finite()) {
+                return Err(FaultKind::NonFiniteScore);
+            }
+        }
+        Ok(marks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::PassthroughFilter;
+    use dlacep_events::{EventStream, TypeId};
+
+    fn window(n: usize) -> EventStream {
+        let mut s = EventStream::new();
+        for i in 0..n {
+            s.push(TypeId(0), i as u64, vec![]);
+        }
+        s
+    }
+
+    /// Fails in a configurable way for the first `faulty_calls` invocations.
+    struct Flaky {
+        faulty_calls: std::cell::Cell<usize>,
+        kind: &'static str,
+    }
+
+    impl Filter for Flaky {
+        fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
+            let left = self.faulty_calls.get();
+            if left == 0 {
+                return vec![false; window.len()];
+            }
+            self.faulty_calls.set(left - 1);
+            match self.kind {
+                "panic" => panic!("injected"),
+                "short" => vec![true; window.len() / 2],
+                _ => vec![false; window.len()],
+            }
+        }
+
+        fn scores(&self, window: &[PrimitiveEvent]) -> Option<Vec<f32>> {
+            if self.kind == "nan" && self.faulty_calls.get() > 0 {
+                // Note: mark() already decremented; emulate via fresh count.
+                return Some(vec![f32::NAN; window.len()]);
+            }
+            None
+        }
+
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+    }
+
+    fn cfg(threshold: usize, cooldown: usize) -> GuardConfig {
+        GuardConfig {
+            fault_threshold: threshold,
+            cooldown_windows: cooldown,
+            validate_scores: true,
+        }
+    }
+
+    #[test]
+    fn healthy_filter_passes_through_marks() {
+        let mut g = FilterGuard::new(PassthroughFilter, GuardConfig::default());
+        let w = window(6);
+        let out = g.mark(w.events());
+        assert_eq!(out.marks, vec![true; 6]);
+        assert!(out.fault.is_none());
+        assert!(out.filter_invoked);
+        assert_eq!(g.state(), BreakerState::Closed);
+        assert_eq!(g.stats().faults_total, 0);
+    }
+
+    #[test]
+    fn panic_is_caught_and_fails_open() {
+        let flaky = Flaky {
+            faulty_calls: 1.into(),
+            kind: "panic",
+        };
+        let mut g = FilterGuard::new(flaky, cfg(3, 4));
+        let w = window(5);
+        let out = g.mark(w.events());
+        assert_eq!(out.fault, Some(FaultKind::Panicked));
+        assert_eq!(out.marks, vec![true; 5], "fault fails open");
+        assert_eq!(g.stats().panics, 1);
+        assert_eq!(g.state(), BreakerState::Closed, "below threshold");
+    }
+
+    #[test]
+    fn wrong_length_detected() {
+        let flaky = Flaky {
+            faulty_calls: 1.into(),
+            kind: "short",
+        };
+        let mut g = FilterGuard::new(flaky, cfg(3, 4));
+        let w = window(8);
+        let out = g.mark(w.events());
+        assert_eq!(out.fault, Some(FaultKind::WrongLength { got: 4, want: 8 }));
+        assert_eq!(g.stats().wrong_length, 1);
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_faults_then_recovers() {
+        let flaky = Flaky {
+            faulty_calls: 2.into(),
+            kind: "panic",
+        };
+        let mut g = FilterGuard::new(flaky, cfg(2, 3));
+        let w = window(4);
+
+        // Two faults trip the breaker.
+        g.mark(w.events());
+        let out = g.mark(w.events());
+        assert!(out
+            .transitions
+            .contains(&(BreakerState::Closed, BreakerState::Open)));
+        assert_eq!(g.state(), BreakerState::Open);
+        assert_eq!(g.stats().breaker_trips, 1);
+
+        // Cooldown: three bypassed windows, filter untouched.
+        for _ in 0..3 {
+            let out = g.mark(w.events());
+            assert!(!out.filter_invoked);
+            assert_eq!(out.marks, vec![true; 4]);
+        }
+        assert_eq!(g.stats().windows_bypassed, 3);
+
+        // Probe window: filter is healthy again -> Closed.
+        let out = g.mark(w.events());
+        assert!(out.filter_invoked);
+        assert!(out.fault.is_none());
+        assert!(out
+            .transitions
+            .contains(&(BreakerState::HalfOpen, BreakerState::Closed)));
+        assert_eq!(g.state(), BreakerState::Closed);
+        assert_eq!(g.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let flaky = Flaky {
+            faulty_calls: 5.into(),
+            kind: "panic",
+        };
+        let mut g = FilterGuard::new(flaky, cfg(1, 2));
+        let w = window(4);
+        g.mark(w.events()); // trip on first fault
+        assert_eq!(g.state(), BreakerState::Open);
+        g.mark(w.events());
+        g.mark(w.events()); // cooldown served
+        let out = g.mark(w.events()); // probe -> still faulty
+        assert!(out
+            .transitions
+            .contains(&(BreakerState::Open, BreakerState::HalfOpen)));
+        assert!(out
+            .transitions
+            .contains(&(BreakerState::HalfOpen, BreakerState::Open)));
+        assert_eq!(g.state(), BreakerState::Open);
+        assert_eq!(g.stats().breaker_trips, 2);
+    }
+
+    #[test]
+    fn consecutive_counter_resets_on_success() {
+        // Alternate fault/success below the threshold: never trips.
+        struct Alternating(std::cell::Cell<bool>);
+        impl Filter for Alternating {
+            fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
+                let bad = self.0.get();
+                self.0.set(!bad);
+                if bad {
+                    panic!("every other call");
+                }
+                vec![true; window.len()]
+            }
+            fn name(&self) -> &'static str {
+                "alternating"
+            }
+        }
+        let mut g = FilterGuard::new(Alternating(true.into()), cfg(2, 2));
+        let w = window(3);
+        for _ in 0..10 {
+            g.mark(w.events());
+        }
+        assert_eq!(g.state(), BreakerState::Closed);
+        assert_eq!(g.stats().breaker_trips, 0);
+        assert_eq!(g.stats().panics, 5);
+    }
+
+    #[test]
+    fn non_finite_scores_detected_when_enabled() {
+        struct NanScores;
+        impl Filter for NanScores {
+            fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
+                vec![true; window.len()]
+            }
+            fn scores(&self, window: &[PrimitiveEvent]) -> Option<Vec<f32>> {
+                Some(vec![f32::NAN; window.len()])
+            }
+            fn name(&self) -> &'static str {
+                "nan-scores"
+            }
+        }
+        let w = window(4);
+        let mut strict = FilterGuard::new(NanScores, cfg(3, 2));
+        let out = strict.mark(w.events());
+        assert_eq!(out.fault, Some(FaultKind::NonFiniteScore));
+
+        let mut lax = FilterGuard::new(
+            NanScores,
+            GuardConfig {
+                validate_scores: false,
+                ..GuardConfig::default()
+            },
+        );
+        assert!(lax.mark(w.events()).fault.is_none());
+    }
+}

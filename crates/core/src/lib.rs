@@ -48,27 +48,36 @@
 //! ```
 
 pub mod assembler;
+pub mod chaos;
 pub mod drift;
 pub mod embed;
 pub mod filter;
+pub mod guard;
 pub mod metrics;
 pub mod model;
 pub mod multi;
 pub mod objective;
 pub mod persist;
 pub mod pipeline;
+pub mod runtime;
 pub mod trainer;
 
 pub use assembler::{AssemblerConfig, AssemblerError};
+pub use chaos::{out_of_order_timestamps, ChaosFault, ChaosFilter};
 pub use drift::{DriftConfig, DriftMonitor, DriftState};
 pub use embed::EventEmbedder;
-pub use multi::{train_multi_pattern, MultiPatternDlacep, MultiReport, MultiTraining};
-pub use persist::{load_event_filter, load_window_filter, save_event_filter, save_window_filter};
 pub use filter::{EventNetFilter, Filter, OracleFilter, PassthroughFilter, WindowNetFilter};
+pub use guard::{BreakerState, FaultKind, FilterGuard, GuardConfig, GuardStats};
 pub use metrics::{compare, compare_runs, run_ecep, ComparisonReport};
 pub use model::{EventNetwork, NetworkConfig, WindowNetwork};
+pub use multi::{train_multi_pattern, MultiPatternDlacep, MultiReport, MultiTraining};
 pub use objective::AcepObjective;
-pub use pipeline::{Dlacep, DlacepReport};
+pub use persist::{load_event_filter, load_window_filter, save_event_filter, save_window_filter};
+pub use pipeline::{Dlacep, DlacepError, DlacepReport};
+pub use runtime::{
+    ModeCause, ModeTransition, RuntimeConfig, RuntimeError, RuntimeMode, RuntimeReport,
+    StreamingDlacep,
+};
 pub use trainer::{
     train_event_filter, train_window_filter, EventNetTraining, TrainConfig, WindowNetTraining,
 };
@@ -76,9 +85,14 @@ pub use trainer::{
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::assembler::AssemblerConfig;
-    pub use crate::filter::{EventNetFilter, Filter, OracleFilter, PassthroughFilter, WindowNetFilter};
+    pub use crate::filter::{
+        EventNetFilter, Filter, OracleFilter, PassthroughFilter, WindowNetFilter,
+    };
     pub use crate::metrics::{compare, ComparisonReport};
     pub use crate::objective::AcepObjective;
-    pub use crate::pipeline::{Dlacep, DlacepReport};
+    pub use crate::pipeline::{Dlacep, DlacepError, DlacepReport};
+    pub use crate::runtime::{
+        RuntimeConfig, RuntimeError, RuntimeMode, RuntimeReport, StreamingDlacep,
+    };
     pub use crate::trainer::{train_event_filter, train_window_filter, TrainConfig};
 }

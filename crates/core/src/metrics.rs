@@ -51,7 +51,10 @@ fn keyset(ms: &[Match]) -> BTreeSet<Vec<EventId>> {
 }
 
 /// Run the exact NFA engine over the events, timing it.
-pub fn run_ecep(pattern: &Pattern, events: &[PrimitiveEvent]) -> (Vec<Match>, Duration, EngineStats) {
+pub fn run_ecep(
+    pattern: &Pattern,
+    events: &[PrimitiveEvent],
+) -> (Vec<Match>, Duration, EngineStats) {
     let start = Instant::now();
     let mut engine = NfaEngine::new(pattern).expect("pattern compiles");
     let matches = engine.run(events);
@@ -69,8 +72,16 @@ pub fn compare_runs(
     let truth = keyset(ecep_matches);
     let ours = keyset(&acep.matches);
     let common = truth.intersection(&ours).count();
-    let recall = if truth.is_empty() { 1.0 } else { common as f64 / truth.len() as f64 };
-    let precision = if ours.is_empty() { 1.0 } else { common as f64 / ours.len() as f64 };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        common as f64 / truth.len() as f64
+    };
+    let precision = if ours.is_empty() {
+        1.0
+    } else {
+        common as f64 / ours.len() as f64
+    };
     let f1 = if recall + precision == 0.0 {
         0.0
     } else {
@@ -78,8 +89,11 @@ pub fn compare_runs(
     };
     let ecep_secs = ecep_time.as_secs_f64();
     let acep_secs = acep.total_time().as_secs_f64();
-    let ecep_throughput =
-        if ecep_secs > 0.0 { events_total as f64 / ecep_secs } else { f64::INFINITY };
+    let ecep_throughput = if ecep_secs > 0.0 {
+        events_total as f64 / ecep_secs
+    } else {
+        f64::INFINITY
+    };
     let acep_throughput = acep.throughput();
     ComparisonReport {
         ecep_matches: truth.len(),

@@ -28,18 +28,31 @@ pub struct NetworkConfig {
 impl NetworkConfig {
     /// The paper's architecture: 3 stacked BiLSTM layers, hidden 75.
     pub fn paper_default(input_dim: usize) -> Self {
-        Self { input_dim, hidden: 75, layers: 3, seed: 42 }
+        Self {
+            input_dim,
+            hidden: 75,
+            layers: 3,
+            seed: 42,
+        }
     }
 
     /// A scaled-down architecture for CPU-budget experiments and tests.
     pub fn small(input_dim: usize) -> Self {
-        Self { input_dim, hidden: 16, layers: 1, seed: 42 }
+        Self {
+            input_dim,
+            hidden: 16,
+            layers: 1,
+            seed: 42,
+        }
     }
 }
 
 fn window_inputs(g: &mut Graph, batch: &[&[Vec<f32>]]) -> Vec<Var> {
     let t_len = batch[0].len();
-    debug_assert!(batch.iter().all(|w| w.len() == t_len), "uniform sequence length");
+    debug_assert!(
+        batch.iter().all(|w| w.len() == t_len),
+        "uniform sequence length"
+    );
     let dim = batch[0][0].len();
     (0..t_len)
         .map(|t| {
@@ -68,11 +81,22 @@ impl EventNetwork {
     pub fn new(config: NetworkConfig) -> Self {
         let mut store = ParamStore::new();
         let mut init = Initializer::seeded(config.seed);
-        let encoder =
-            StackedBiLstm::new(&mut store, &mut init, config.input_dim, config.hidden, config.layers);
+        let encoder = StackedBiLstm::new(
+            &mut store,
+            &mut init,
+            config.input_dim,
+            config.hidden,
+            config.layers,
+        );
         let emit = Linear::new(&mut store, &mut init, encoder.out_dim(), 2);
         let crf = BiCrf::new(&mut store, &mut init, 2);
-        Self { config, store, encoder, emit, crf }
+        Self {
+            config,
+            store,
+            encoder,
+            emit,
+            crf,
+        }
     }
 
     /// Number of trainable scalars.
@@ -82,7 +106,9 @@ impl EventNetwork {
 
     fn emissions(&self, g: &mut Graph, xs: &[Var]) -> Vec<Var> {
         let hs = self.encoder.forward(g, &self.store, xs);
-        hs.into_iter().map(|h| self.emit.forward(g, &self.store, h)).collect()
+        hs.into_iter()
+            .map(|h| self.emit.forward(g, &self.store, h))
+            .collect()
     }
 
     fn infer_emissions(&self, window: &[Vec<f32>]) -> Matrix {
@@ -102,7 +128,11 @@ impl EventNetwork {
             return Vec::new();
         }
         let emissions = self.infer_emissions(window);
-        self.crf.decode(&self.store, &emissions).into_iter().map(|l| l == 1).collect()
+        self.crf
+            .decode(&self.store, &emissions)
+            .into_iter()
+            .map(|l| l == 1)
+            .collect()
     }
 
     /// Posterior probability of the positive label per event.
@@ -140,11 +170,13 @@ impl EventNetwork {
             assert_eq!(labels.len(), t_len, "labels match window length");
             let emissions = Matrix::from_fn(t_len, 2, |t, l| g.value(em_vars[t]).get(b, l));
             let gold: Vec<usize> = labels.iter().map(|&x| usize::from(x)).collect();
-            let (nll, de) = self.crf.nll_backward(&mut self.store, &emissions, &gold, scale);
+            let (nll, de) = self
+                .crf
+                .nll_backward(&mut self.store, &emissions, &gold, scale);
             total_nll += nll;
-            for t in 0..t_len {
+            for (t, seed) in seeds.iter_mut().enumerate().take(t_len) {
                 for l in 0..2 {
-                    *seeds[t].get_mut(b, l) += de.get(t, l);
+                    *seed.get_mut(b, l) += de.get(t, l);
                 }
             }
         }
@@ -171,10 +203,20 @@ impl WindowNetwork {
     pub fn new(config: NetworkConfig) -> Self {
         let mut store = ParamStore::new();
         let mut init = Initializer::seeded(config.seed);
-        let encoder =
-            StackedBiLstm::new(&mut store, &mut init, config.input_dim, config.hidden, config.layers);
+        let encoder = StackedBiLstm::new(
+            &mut store,
+            &mut init,
+            config.input_dim,
+            config.hidden,
+            config.layers,
+        );
         let head = Linear::new(&mut store, &mut init, encoder.out_dim(), 1);
-        Self { config, store, encoder, head }
+        Self {
+            config,
+            store,
+            encoder,
+            head,
+        }
     }
 
     /// Number of trainable scalars.
@@ -230,8 +272,7 @@ impl WindowNetwork {
         let windows: Vec<&[Vec<f32>]> = batch.iter().map(|(w, _)| *w).collect();
         let xs = window_inputs(&mut g, &windows);
         let logits = self.logits(&mut g, &xs);
-        let targets =
-            Matrix::from_fn(batch.len(), 1, |b, _| if batch[b].1 { 1.0 } else { 0.0 });
+        let targets = Matrix::from_fn(batch.len(), 1, |b, _| if batch[b].1 { 1.0 } else { 0.0 });
         let loss = g.bce_with_logits(logits, targets);
         let out = g.value(loss).get(0, 0);
         g.backward(loss, &mut self.store);
@@ -250,7 +291,13 @@ mod tests {
     fn toy_window(pattern: &[bool]) -> (Vec<Vec<f32>>, Vec<bool>) {
         let w: Vec<Vec<f32>> = pattern
             .iter()
-            .map(|&p| if p { vec![1.0, 0.0, 0.3] } else { vec![0.0, 1.0, -0.3] })
+            .map(|&p| {
+                if p {
+                    vec![1.0, 0.0, 0.3]
+                } else {
+                    vec![0.0, 1.0, -0.3]
+                }
+            })
             .collect();
         (w, pattern.to_vec())
     }
@@ -279,8 +326,10 @@ mod tests {
         let mut first = 0.0;
         let mut last = 0.0;
         for step in 0..60 {
-            let batch: Vec<(&[Vec<f32>], &[bool])> =
-                data.iter().map(|(w, l)| (w.as_slice(), l.as_slice())).collect();
+            let batch: Vec<(&[Vec<f32>], &[bool])> = data
+                .iter()
+                .map(|(w, l)| (w.as_slice(), l.as_slice()))
+                .collect();
             let loss = net.train_batch(&batch, &mut opt, 5.0);
             if step == 0 {
                 first = loss;

@@ -73,8 +73,10 @@ pub fn train_multi_pattern(
         patterns.iter().all(|p| p.window_size() == w),
         "multi-pattern unification requires one shared window size"
     );
-    let plans: Vec<Plan> =
-        patterns.iter().map(|p| Plan::compile(p).expect("pattern compiles")).collect();
+    let plans: Vec<Plan> = patterns
+        .iter()
+        .map(|p| Plan::compile(p).expect("pattern compiles"))
+        .collect();
     // Relevant types = union over patterns, so one embedding serves all.
     let mut relevant = TypeSet::new(vec![]);
     for plan in &plans {
@@ -90,7 +92,11 @@ pub fn train_multi_pattern(
         .filter(|s| s.len == sample_len)
         .map(|s| {
             let evs = &stream.events()[s.start..s.start + s.len];
-            (embedder.embed_window(evs, s.len), s.event_labels.clone(), s.window_label)
+            (
+                embedder.embed_window(evs, s.len),
+                s.event_labels.clone(),
+                s.window_label,
+            )
         })
         .collect();
     let (mut train, test) = {
@@ -119,7 +125,8 @@ pub fn train_multi_pattern(
     });
     let mut opt = Adam::new(cfg.lr.lr_at(0));
     let mut sampler = BatchSampler::new(train.len(), cfg.seed);
-    let mut detector = ConvergenceDetector::new(cfg.convergence_threshold, cfg.convergence_patience);
+    let mut detector =
+        ConvergenceDetector::new(cfg.convergence_threshold, cfg.convergence_patience);
     let mut losses = Vec::new();
     let mut converged = false;
     for epoch in 0..cfg.max_epochs {
@@ -130,8 +137,10 @@ pub fn train_multi_pattern(
         let mut loss = 0.0;
         let mut batches = 0;
         for idx in sampler.epoch(cfg.batch.at(epoch)) {
-            let batch: Vec<(&[Vec<f32>], &[bool])> =
-                idx.iter().map(|&i| (train[i].0.as_slice(), train[i].1.as_slice())).collect();
+            let batch: Vec<(&[Vec<f32>], &[bool])> = idx
+                .iter()
+                .map(|&i| (train[i].0.as_slice(), train[i].1.as_slice()))
+                .collect();
             loss += net.train_batch(&batch, &mut opt, cfg.grad_clip);
             batches += 1;
         }
@@ -153,10 +162,18 @@ pub fn train_multi_pattern(
     MultiTraining {
         system: MultiPatternDlacep {
             patterns: patterns.to_vec(),
-            filter: EventNetFilter { network: net, embedder, threshold: cfg.mark_threshold },
+            filter: EventNetFilter {
+                network: net,
+                embedder,
+                threshold: cfg.mark_threshold,
+            },
             w,
         },
-        report: TrainReport { epochs_run: losses.len(), epoch_losses: losses, converged },
+        report: TrainReport {
+            epochs_run: losses.len(),
+            epoch_losses: losses,
+            converged,
+        },
         test: test_conf,
     }
 }
@@ -194,7 +211,11 @@ impl MultiPatternDlacep {
                 engine.run(&filtered)
             })
             .collect();
-        MultiReport { matches, events_relayed: filtered.len(), events_total: events.len() }
+        MultiReport {
+            matches,
+            events_relayed: filtered.len(),
+            events_total: events.len(),
+        }
     }
 }
 
@@ -221,7 +242,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut s = EventStream::new();
         for i in 0..n {
-            s.push(TypeId(rng.gen_range(0..6u32)), i as u64, vec![rng.gen_range(0.0..1.0)]);
+            s.push(
+                TypeId(rng.gen_range(0..6u32)),
+                i as u64,
+                vec![rng.gen_range(0.0..1.0)],
+            );
         }
         s
     }

@@ -20,7 +20,10 @@ pub struct AcepObjective {
 impl AcepObjective {
     /// Build; weights must be in `[0, 1]` and sum to 1.
     pub fn new(w1: f64, w2: f64) -> Self {
-        assert!((0.0..=1.0).contains(&w1) && (0.0..=1.0).contains(&w2), "weights in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&w1) && (0.0..=1.0).contains(&w2),
+            "weights in [0,1]"
+        );
         assert!((w1 + w2 - 1.0).abs() < 1e-9, "weights must sum to 1");
         Self { w1, w2 }
     }
@@ -40,7 +43,11 @@ impl AcepObjective {
     /// the match counts: `|M ∩ M'| / |M ∪ M'|`.
     pub fn score(&self, r: &ComparisonReport) -> f64 {
         let union = r.ecep_matches + r.acep_matches - r.common_matches;
-        let jaccard = if union == 0 { 1.0 } else { r.common_matches as f64 / union as f64 };
+        let jaccard = if union == 0 {
+            1.0
+        } else {
+            r.common_matches as f64 / union as f64
+        };
         self.score_raw(jaccard, r.throughput_gain)
     }
 }

@@ -61,7 +61,10 @@ impl From<serde_json::Error> for PersistError {
 }
 
 /// Save an event-network filter.
-pub fn save_event_filter(filter: &EventNetFilter, path: impl AsRef<Path>) -> Result<(), PersistError> {
+pub fn save_event_filter(
+    filter: &EventNetFilter,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
     let bundle = EventNetBundle {
         network: filter.network.clone(),
         embedder: filter.embedder.clone(),
@@ -88,8 +91,10 @@ pub fn save_window_filter(
     filter: &WindowNetFilter,
     path: impl AsRef<Path>,
 ) -> Result<(), PersistError> {
-    let bundle =
-        WindowNetBundle { network: filter.network.clone(), embedder: filter.embedder.clone() };
+    let bundle = WindowNetBundle {
+        network: filter.network.clone(),
+        embedder: filter.embedder.clone(),
+    };
     let json = serde_json::to_string(&bundle)?;
     std::fs::write(path, json)?;
     Ok(())
@@ -99,7 +104,10 @@ pub fn save_window_filter(
 pub fn load_window_filter(path: impl AsRef<Path>) -> Result<WindowNetFilter, PersistError> {
     let json = std::fs::read_to_string(path)?;
     let bundle: WindowNetBundle = serde_json::from_str(&json)?;
-    Ok(WindowNetFilter { network: bundle.network, embedder: bundle.embedder })
+    Ok(WindowNetFilter {
+        network: bundle.network,
+        embedder: bundle.embedder,
+    })
 }
 
 #[cfg(test)]
@@ -115,7 +123,9 @@ mod tests {
     }
 
     fn events() -> Vec<PrimitiveEvent> {
-        (0..6).map(|i| PrimitiveEvent::new(i, TypeId((i % 3) as u32), i, vec![0.5])).collect()
+        (0..6)
+            .map(|i| PrimitiveEvent::new(i, TypeId((i % 3) as u32), i, vec![0.5]))
+            .collect()
     }
 
     #[test]
@@ -162,7 +172,10 @@ mod tests {
     fn load_garbage_errors() {
         let path = tmp("garbage");
         std::fs::write(&path, "not json at all").unwrap();
-        assert!(matches!(load_event_filter(&path), Err(PersistError::Format(_))));
+        assert!(matches!(
+            load_event_filter(&path),
+            Err(PersistError::Format(_))
+        ));
         let _ = std::fs::remove_file(path);
     }
 }

@@ -4,10 +4,43 @@
 use crate::assembler::{AssemblerConfig, AssemblerError};
 use crate::filter::Filter;
 use dlacep_cep::engine::CepEngine;
-use dlacep_cep::{EngineStats, Match, NfaEngine, Pattern};
+use dlacep_cep::plan::{CompileError, Plan};
+use dlacep_cep::{EngineStats, Match, NfaConfig, NfaEngine, Pattern};
 use dlacep_events::PrimitiveEvent;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+
+/// Errors raised when constructing a [`Dlacep`] pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DlacepError {
+    /// Assembler configuration is invalid for the pattern's window.
+    Assembler(AssemblerError),
+    /// The pattern failed to compile into an extractor plan.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for DlacepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DlacepError::Assembler(e) => write!(f, "assembler: {e}"),
+            DlacepError::Compile(e) => write!(f, "pattern compile: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DlacepError {}
+
+impl From<AssemblerError> for DlacepError {
+    fn from(e: AssemblerError) -> Self {
+        DlacepError::Assembler(e)
+    }
+}
+
+impl From<CompileError> for DlacepError {
+    fn from(e: CompileError) -> Self {
+        DlacepError::Compile(e)
+    }
+}
 
 /// Outcome of one DLACEP run over a stream prefix.
 #[derive(Debug, Clone)]
@@ -26,6 +59,10 @@ pub struct DlacepReport {
     pub filtering_ratio: f64,
     /// Extractor work counters.
     pub extractor_stats: EngineStats,
+    /// Windows whose filter output was invalid (wrong mark-vector length).
+    /// Each such window fails open: all of its events are relayed, trading
+    /// throughput for recall.
+    pub filter_faults: usize,
 }
 
 impl DlacepReport {
@@ -48,6 +85,7 @@ impl DlacepReport {
 /// The DLACEP system: an input assembler, a filter, and a CEP extractor.
 pub struct Dlacep<F: Filter> {
     pattern: Pattern,
+    plan: Plan,
     assembler: AssemblerConfig,
     filter: F,
 }
@@ -55,25 +93,47 @@ pub struct Dlacep<F: Filter> {
 impl<F: Filter> Dlacep<F> {
     /// Build with the paper-default assembler (`MarkSize = 2W`,
     /// `StepSize = W`).
-    pub fn new(pattern: Pattern, filter: F) -> Result<Self, AssemblerError> {
+    pub fn new(pattern: Pattern, filter: F) -> Result<Self, DlacepError> {
         let assembler = AssemblerConfig::paper_default(pattern.window_size());
         Self::with_assembler(pattern, filter, assembler)
     }
 
     /// Build with an explicit assembler configuration (validated against the
-    /// pattern's `W`).
+    /// pattern's `W`). The pattern is compiled once here; per-run extractors
+    /// are instantiated from the stored plan, so `run` cannot fail.
     pub fn with_assembler(
         pattern: Pattern,
         filter: F,
         assembler: AssemblerConfig,
-    ) -> Result<Self, AssemblerError> {
+    ) -> Result<Self, DlacepError> {
         assembler.validate(pattern.window_size())?;
-        Ok(Self { pattern, assembler, filter })
+        let plan = Plan::compile(&pattern)?;
+        Ok(Self {
+            pattern,
+            plan,
+            assembler,
+            filter,
+        })
     }
 
     /// The wrapped filter.
     pub fn filter(&self) -> &F {
         &self.filter
+    }
+
+    /// The pattern this pipeline extracts.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The compiled extractor plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The assembler configuration.
+    pub fn assembler(&self) -> &AssemblerConfig {
+        &self.assembler
     }
 
     /// Run over a stream prefix.
@@ -85,10 +145,19 @@ impl<F: Filter> Dlacep<F> {
     /// relaying (§4.2).
     pub fn run(&self, events: &[PrimitiveEvent]) -> DlacepReport {
         let filter_start = Instant::now();
+        let mut filter_faults = 0usize;
         let mut relayed: BTreeMap<u64, PrimitiveEvent> = BTreeMap::new();
         for window in self.assembler.windows(events) {
             let marks = self.filter.mark(window);
-            debug_assert_eq!(marks.len(), window.len());
+            // A mark vector of the wrong length is a filter defect, not a
+            // caller bug: fail open on this window (relay everything) so a
+            // broken filter degrades throughput, never recall.
+            let marks = if marks.len() == window.len() {
+                marks
+            } else {
+                filter_faults += 1;
+                vec![true; window.len()]
+            };
             for (ev, keep) in window.iter().zip(marks) {
                 if keep {
                     relayed.entry(ev.id.0).or_insert_with(|| ev.clone());
@@ -99,7 +168,7 @@ impl<F: Filter> Dlacep<F> {
         let filter_time = filter_start.elapsed();
 
         let cep_start = Instant::now();
-        let mut extractor = NfaEngine::new(&self.pattern).expect("pattern compiles");
+        let mut extractor = NfaEngine::from_plan(self.plan.clone(), NfaConfig::default());
         let matches = extractor.run(&filtered);
         let cep_time = cep_start.elapsed();
 
@@ -117,6 +186,7 @@ impl<F: Filter> Dlacep<F> {
                 1.0 - events_relayed as f64 / events_total as f64
             },
             extractor_stats: *extractor.stats(),
+            filter_faults,
         }
     }
 }
@@ -171,7 +241,11 @@ mod tests {
         let dl = Dlacep::new(p.clone(), OracleFilter::new(p)).unwrap();
         let report = dl.run(s.events());
         assert_eq!(keys(&report.matches), keys(&truth));
-        assert!(report.filtering_ratio > 0.5, "ratio {}", report.filtering_ratio);
+        assert!(
+            report.filtering_ratio > 0.5,
+            "ratio {}",
+            report.filtering_ratio
+        );
     }
 
     #[test]
@@ -181,7 +255,9 @@ mod tests {
         let p = seq_ab(5);
         let s = noisy_stream(150);
         let truth = keys(&ground_truth_matches(&p, s.events()));
-        let pass = Dlacep::new(p.clone(), PassthroughFilter).unwrap().run(s.events());
+        let pass = Dlacep::new(p.clone(), PassthroughFilter)
+            .unwrap()
+            .run(s.events());
         assert!(keys(&pass.matches).is_subset(&truth));
         assert_eq!(keys(&pass.matches), truth, "passthrough loses nothing");
     }
@@ -203,23 +279,75 @@ mod tests {
     fn report_times_and_throughput_populate() {
         let p = seq_ab(4);
         let s = noisy_stream(64);
-        let report = Dlacep::new(p.clone(), OracleFilter::new(p)).unwrap().run(s.events());
+        let report = Dlacep::new(p.clone(), OracleFilter::new(p))
+            .unwrap()
+            .run(s.events());
         assert!(report.throughput() > 0.0);
         assert!(report.total_time() >= report.cep_time);
-        assert_eq!(report.extractor_stats.events_processed, report.events_relayed as u64);
+        assert_eq!(
+            report.extractor_stats.events_processed,
+            report.events_relayed as u64
+        );
     }
 
     #[test]
     fn invalid_assembler_rejected() {
         let p = seq_ab(10);
-        let bad = AssemblerConfig { mark_size: 4, step_size: 1 };
-        assert!(Dlacep::with_assembler(p, PassthroughFilter, bad).is_err());
+        let bad = AssemblerConfig {
+            mark_size: 4,
+            step_size: 1,
+        };
+        assert!(matches!(
+            Dlacep::with_assembler(p, PassthroughFilter, bad),
+            Err(DlacepError::Assembler(_))
+        ));
+    }
+
+    #[test]
+    fn uncompilable_pattern_rejected_at_construction() {
+        // An empty SEQ has no positive leaves; the constructor must surface
+        // the compile error instead of `run` panicking later.
+        let p = Pattern::new(PatternExpr::Seq(vec![]), vec![], WindowSpec::Count(4));
+        assert!(matches!(
+            Dlacep::new(p, PassthroughFilter),
+            Err(DlacepError::Compile(_))
+        ));
+    }
+
+    /// A filter returning mark vectors of the wrong length.
+    struct WrongLengthFilter;
+
+    impl Filter for WrongLengthFilter {
+        fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
+            vec![false; window.len() / 2]
+        }
+
+        fn name(&self) -> &'static str {
+            "wrong-length"
+        }
+    }
+
+    #[test]
+    fn wrong_length_marks_fail_open() {
+        let p = seq_ab(8);
+        let s = noisy_stream(200);
+        let truth = ground_truth_matches(&p, s.events());
+        assert!(!truth.is_empty());
+        let dl = Dlacep::new(p, WrongLengthFilter).unwrap();
+        let report = dl.run(s.events());
+        // Every window was faulty, every event relayed: full recall, faults
+        // counted, no panic.
+        assert!(report.filter_faults > 0);
+        assert_eq!(report.events_relayed, report.events_total);
+        assert_eq!(keys(&report.matches), keys(&truth));
     }
 
     #[test]
     fn empty_stream_is_fine() {
         let p = seq_ab(4);
-        let report = Dlacep::new(p.clone(), OracleFilter::new(p)).unwrap().run(&[]);
+        let report = Dlacep::new(p.clone(), OracleFilter::new(p))
+            .unwrap()
+            .run(&[]);
         assert!(report.matches.is_empty());
         assert_eq!(report.filtering_ratio, 0.0);
     }

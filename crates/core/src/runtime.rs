@@ -1,0 +1,694 @@
+//! Supervised streaming DLACEP runtime with graceful degradation.
+//!
+//! [`Dlacep`](crate::pipeline::Dlacep) is a batch harness: it assumes an
+//! in-order, fully materialized stream and a well-behaved filter. This module
+//! is the deployable counterpart — a [`StreamingDlacep`] ingests events one
+//! at a time and survives every fault class the batch path would panic or
+//! silently lose data on:
+//!
+//! * **Filter faults** — every filter invocation goes through a
+//!   [`FilterGuard`]: panics are caught, mark vectors validated, scores
+//!   optionally checked for NaNs. Faulty windows fail open (relay
+//!   everything); sustained faults trip a circuit breaker into passthrough
+//!   (exact-CEP) mode with half-open probing to re-admit a recovered filter.
+//! * **Partial-match explosions** — the extractor runs under an optional
+//!   partial-match budget ([`RuntimeConfig::max_partials`]); excess state is
+//!   shed oldest-first, which can lose matches but never invents them.
+//! * **Concept drift** — a [`DriftMonitor`] watches the marking rate; a
+//!   `Drifted` verdict routes all subsequent windows to exact CEP and raises
+//!   a retrain signal until [`StreamingDlacep::rebaseline`] is called.
+//! * **Out-of-order input** — arrival-time regressions are handled by an
+//!   explicit [`OutOfOrderPolicy`] instead of the batch path's panic.
+//!
+//! Degradation is **supervised**: every mode change is recorded in a
+//! [`ModeTransition`] timeline, and the final [`RuntimeReport`] extends the
+//! batch report with fault counters, shed counts and degraded-window totals.
+//!
+//! On a healthy filter and in-order input the runtime is match-for-match
+//! equivalent to the batch pipeline over the same events; degraded modes only
+//! ever widen the relayed set, so the ID-distance guarantee (§4.4) keeps the
+//! output a subset of the exact ECEP match set throughout.
+
+use crate::assembler::AssemblerConfig;
+use crate::drift::{DriftConfig, DriftMonitor, DriftState};
+use crate::filter::Filter;
+use crate::guard::{BreakerState, FilterGuard, GuardConfig, GuardStats};
+use crate::pipeline::DlacepError;
+use dlacep_cep::engine::CepEngine;
+use dlacep_cep::plan::Plan;
+use dlacep_cep::{EngineStats, Match, NfaConfig, NfaEngine, Pattern};
+use dlacep_events::{AttrValue, EventId, OutOfOrderPolicy, PrimitiveEvent, StreamError, TypeId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Errors surfaced by the streaming runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// An ingested event violated stream ordering under
+    /// [`OutOfOrderPolicy::Reject`].
+    Stream(StreamError),
+    /// The pattern or assembler configuration was rejected at construction.
+    Pipeline(DlacepError),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Stream(e) => write!(f, "stream: {e}"),
+            RuntimeError::Pipeline(e) => write!(f, "pipeline: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<StreamError> for RuntimeError {
+    fn from(e: StreamError) -> Self {
+        RuntimeError::Stream(e)
+    }
+}
+
+impl From<DlacepError> for RuntimeError {
+    fn from(e: DlacepError) -> Self {
+        RuntimeError::Pipeline(e)
+    }
+}
+
+/// Streaming runtime configuration.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Assembler geometry; `None` = the paper default (`MarkSize = 2W`,
+    /// `StepSize = W`).
+    pub assembler: Option<AssemblerConfig>,
+    /// What to do with timestamp regressions (default: reject with an
+    /// error).
+    pub ooo_policy: OutOfOrderPolicy,
+    /// Filter-guard / circuit-breaker tuning.
+    pub guard: GuardConfig,
+    /// Partial-match budget for the extractor; `None` = unbounded (the
+    /// batch behaviour).
+    pub max_partials: Option<usize>,
+    /// Drift detection; `None` disables the drift-triggered fallback.
+    pub drift: Option<DriftConfig>,
+}
+
+/// The runtime's effective operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuntimeMode {
+    /// The neural filter is trusted and applied.
+    Filtering,
+    /// Windows pass through unfiltered — exact-CEP behaviour (full recall,
+    /// no throughput gain).
+    DegradedExact,
+}
+
+/// Why the runtime changed mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModeCause {
+    /// Initial state.
+    Start,
+    /// The breaker tripped after consecutive filter faults.
+    FaultThreshold,
+    /// A half-open probe found the filter still faulty.
+    ProbeFailed,
+    /// A half-open probe succeeded; the filter is re-admitted.
+    Recovered,
+    /// The drift monitor signalled a sustained marking-rate deviation.
+    Drift,
+    /// [`StreamingDlacep::rebaseline`] acknowledged a retrain.
+    Rebaselined,
+}
+
+/// One entry of the degradation timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModeTransition {
+    /// Index of the assembler window at which the mode took effect.
+    pub window: u64,
+    /// The mode entered.
+    pub mode: RuntimeMode,
+    /// What triggered it.
+    pub cause: ModeCause,
+}
+
+/// Outcome of a streaming run, extending the batch report with degradation
+/// telemetry.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Matches emitted by the extractor.
+    pub matches: Vec<Match>,
+    /// Events offered to [`StreamingDlacep::ingest`].
+    pub events_offered: usize,
+    /// Events admitted into the stream (offered − dropped/rejected).
+    pub events_admitted: usize,
+    /// Events discarded by [`OutOfOrderPolicy::Drop`].
+    pub events_dropped: usize,
+    /// Events admitted with a clamped timestamp
+    /// ([`OutOfOrderPolicy::ClampToLastTs`]).
+    pub events_clamped: usize,
+    /// Distinct events relayed to the extractor.
+    pub events_relayed: usize,
+    /// Assembler windows evaluated.
+    pub windows_evaluated: usize,
+    /// Windows served in a degraded (passthrough) mode.
+    pub windows_degraded: usize,
+    /// Filter-guard fault and breaker counters.
+    pub guard: GuardStats,
+    /// Mode-change timeline, starting with the initial mode.
+    pub timeline: Vec<ModeTransition>,
+    /// Whether drift raised a retrain signal that was never acknowledged.
+    pub retrain_signaled: bool,
+    /// Mode at the end of the run.
+    pub final_mode: RuntimeMode,
+    /// Final drift verdict, if drift detection was enabled.
+    pub drift_state: Option<DriftState>,
+    /// Extractor work counters (includes `partials_shed` under a budget).
+    pub extractor_stats: EngineStats,
+}
+
+impl RuntimeReport {
+    /// Fraction of windows served degraded.
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.windows_evaluated == 0 {
+            0.0
+        } else {
+            self.windows_degraded as f64 / self.windows_evaluated as f64
+        }
+    }
+}
+
+/// The streaming DLACEP runtime. See the [module docs](self).
+pub struct StreamingDlacep<F: Filter> {
+    pattern: Pattern,
+    assembler: AssemblerConfig,
+    ooo_policy: OutOfOrderPolicy,
+    guard: FilterGuard<F>,
+    engine: NfaEngine,
+    drift: Option<DriftMonitor>,
+    drift_fallback: bool,
+    retrain_signaled: bool,
+    /// Admitted events not yet relayed/discarded, starting at position
+    /// `base`; `marks` is position-aligned with `buf`.
+    buf: VecDeque<PrimitiveEvent>,
+    marks: VecDeque<bool>,
+    base: usize,
+    admitted: usize,
+    next_window_start: usize,
+    last_window_end: usize,
+    relayed_upto: usize,
+    last_ts: Option<u64>,
+    next_id: u64,
+    events_offered: usize,
+    events_dropped: usize,
+    events_clamped: usize,
+    events_relayed: usize,
+    windows_evaluated: usize,
+    windows_degraded: usize,
+    timeline: Vec<ModeTransition>,
+    matches: Vec<Match>,
+}
+
+impl<F: Filter> StreamingDlacep<F> {
+    /// Build with the default [`RuntimeConfig`].
+    pub fn new(pattern: Pattern, filter: F) -> Result<Self, RuntimeError> {
+        Self::with_config(pattern, filter, RuntimeConfig::default())
+    }
+
+    /// Build with an explicit configuration. The pattern is compiled once
+    /// here; ingestion cannot fail on it later.
+    pub fn with_config(
+        pattern: Pattern,
+        filter: F,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        let assembler = config
+            .assembler
+            .unwrap_or_else(|| AssemblerConfig::paper_default(pattern.window_size()));
+        assembler
+            .validate(pattern.window_size())
+            .map_err(DlacepError::from)?;
+        let plan = Plan::compile(&pattern).map_err(DlacepError::from)?;
+        let engine = NfaEngine::from_plan(
+            plan,
+            NfaConfig {
+                max_partials: config.max_partials,
+                ..NfaConfig::default()
+            },
+        );
+        Ok(Self {
+            pattern,
+            assembler,
+            ooo_policy: config.ooo_policy,
+            guard: FilterGuard::new(filter, config.guard),
+            engine,
+            drift: config.drift.map(DriftMonitor::new),
+            drift_fallback: false,
+            retrain_signaled: false,
+            buf: VecDeque::new(),
+            marks: VecDeque::new(),
+            base: 0,
+            admitted: 0,
+            next_window_start: 0,
+            last_window_end: 0,
+            relayed_upto: 0,
+            last_ts: None,
+            next_id: 0,
+            events_offered: 0,
+            events_dropped: 0,
+            events_clamped: 0,
+            events_relayed: 0,
+            windows_evaluated: 0,
+            windows_degraded: 0,
+            timeline: vec![ModeTransition {
+                window: 0,
+                mode: RuntimeMode::Filtering,
+                cause: ModeCause::Start,
+            }],
+            matches: Vec::new(),
+        })
+    }
+
+    /// The pattern being extracted.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The assembler geometry in use.
+    pub fn assembler(&self) -> &AssemblerConfig {
+        &self.assembler
+    }
+
+    /// The wrapped filter.
+    pub fn filter(&self) -> &F {
+        self.guard.filter()
+    }
+
+    /// Current effective mode.
+    pub fn mode(&self) -> RuntimeMode {
+        if self.drift_fallback || self.guard.state() != BreakerState::Closed {
+            RuntimeMode::DegradedExact
+        } else {
+            RuntimeMode::Filtering
+        }
+    }
+
+    /// Current breaker state of the filter guard.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.guard.state()
+    }
+
+    /// Current drift verdict, if drift detection is enabled.
+    pub fn drift_state(&self) -> Option<DriftState> {
+        self.drift.as_ref().map(|m| m.state())
+    }
+
+    /// Whether drift has raised an unacknowledged retrain signal.
+    pub fn retrain_signaled(&self) -> bool {
+        self.retrain_signaled
+    }
+
+    /// Partial matches currently stored by the extractor (bounded by
+    /// [`RuntimeConfig::max_partials`] when set).
+    pub fn stored_partials(&self) -> usize {
+        self.engine.stored_partials()
+    }
+
+    /// Matches emitted so far.
+    pub fn matches_so_far(&self) -> &[Match] {
+        &self.matches
+    }
+
+    /// Acknowledge a retrain: reset the drift monitor to `baseline_rate` and
+    /// leave the drift fallback. (Swap in the retrained model by building a
+    /// fresh runtime; the monitor reset covers in-place fine-tuning.)
+    pub fn rebaseline(&mut self, baseline_rate: f64) {
+        if let Some(m) = &mut self.drift {
+            m.rebaseline(baseline_rate);
+        }
+        if self.drift_fallback {
+            self.drift_fallback = false;
+            self.retrain_signaled = false;
+            self.timeline.push(ModeTransition {
+                window: self.windows_evaluated as u64,
+                mode: self.mode(),
+                cause: ModeCause::Rebaselined,
+            });
+        }
+    }
+
+    /// Ingest one event. Returns the stamped id, `Ok(None)` when the event
+    /// was dropped by the out-of-order policy, or an error under
+    /// [`OutOfOrderPolicy::Reject`] (the runtime stays usable afterwards).
+    pub fn ingest(
+        &mut self,
+        type_id: TypeId,
+        ts: u64,
+        attrs: Vec<AttrValue>,
+    ) -> Result<Option<EventId>, RuntimeError> {
+        self.events_offered += 1;
+        let ts = match self.last_ts {
+            Some(last) if ts < last => match self.ooo_policy {
+                OutOfOrderPolicy::Drop => {
+                    self.events_dropped += 1;
+                    return Ok(None);
+                }
+                OutOfOrderPolicy::ClampToLastTs => {
+                    self.events_clamped += 1;
+                    last
+                }
+                OutOfOrderPolicy::Reject => {
+                    return Err(RuntimeError::Stream(StreamError::OutOfOrder {
+                        ts,
+                        last_ts: last,
+                    }));
+                }
+            },
+            _ => ts,
+        };
+        self.last_ts = Some(ts);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.buf
+            .push_back(PrimitiveEvent::new(id.0, type_id, ts, attrs));
+        self.marks.push_back(false);
+        self.admitted += 1;
+
+        while self.admitted >= self.next_window_start + self.assembler.mark_size {
+            let start = self.next_window_start;
+            self.evaluate_window(start, start + self.assembler.mark_size);
+            self.next_window_start = start + self.assembler.step_size;
+        }
+        self.relay_finalized(self.next_window_start.min(self.admitted));
+        Ok(Some(id))
+    }
+
+    /// Ingest a slice of pre-stamped events by their `(type, ts, attrs)`
+    /// payloads. Ids are re-stamped by arrival; events dropped by the
+    /// out-of-order policy consume no id.
+    pub fn ingest_all<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a PrimitiveEvent>,
+    ) -> Result<(), RuntimeError> {
+        for ev in events {
+            self.ingest(ev.type_id, ev.ts.0, ev.attrs.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Flush the trailing partial window, relay the remaining marked events
+    /// and produce the final report.
+    pub fn finish(mut self) -> RuntimeReport {
+        // Evaluate trailing windows exactly as the batch assembler iterator
+        // would: stop after the first window touching the end of the stream.
+        // `last_window_end == admitted` means ingestion already evaluated it.
+        if self.admitted > 0 && self.last_window_end != self.admitted {
+            while self.next_window_start < self.admitted {
+                let start = self.next_window_start;
+                let end = (start + self.assembler.mark_size).min(self.admitted);
+                self.evaluate_window(start, end);
+                self.next_window_start = start + self.assembler.step_size;
+                if end == self.admitted {
+                    break;
+                }
+            }
+        }
+        self.relay_finalized(self.admitted);
+        let final_mode = self.mode();
+        RuntimeReport {
+            matches: self.matches,
+            events_offered: self.events_offered,
+            events_admitted: self.admitted,
+            events_dropped: self.events_dropped,
+            events_clamped: self.events_clamped,
+            events_relayed: self.events_relayed,
+            windows_evaluated: self.windows_evaluated,
+            windows_degraded: self.windows_degraded,
+            guard: *self.guard.stats(),
+            timeline: self.timeline,
+            retrain_signaled: self.retrain_signaled,
+            final_mode,
+            drift_state: self.drift.as_ref().map(|m| m.state()),
+            extractor_stats: *self.engine.stats(),
+        }
+    }
+
+    /// Evaluate the assembler window covering positions `[start, end)`.
+    fn evaluate_window(&mut self, start: usize, end: usize) {
+        let widx = self.windows_evaluated as u64;
+        self.windows_evaluated += 1;
+        self.last_window_end = end;
+        let lo = start - self.base;
+        let hi = end - self.base;
+        self.buf.make_contiguous();
+        let (head, _) = self.buf.as_slices();
+        let window = &head[lo..hi];
+
+        let marks = if self.drift_fallback {
+            self.windows_degraded += 1;
+            vec![true; window.len()]
+        } else {
+            let outcome = self.guard.mark(window);
+            for &(from, to) in &outcome.transitions {
+                let entry = match (from, to) {
+                    (BreakerState::Closed, BreakerState::Open) => {
+                        Some((RuntimeMode::DegradedExact, ModeCause::FaultThreshold))
+                    }
+                    (BreakerState::HalfOpen, BreakerState::Open) => {
+                        Some((RuntimeMode::DegradedExact, ModeCause::ProbeFailed))
+                    }
+                    (BreakerState::HalfOpen, BreakerState::Closed) => {
+                        Some((RuntimeMode::Filtering, ModeCause::Recovered))
+                    }
+                    _ => None,
+                };
+                if let Some((mode, cause)) = entry {
+                    self.timeline.push(ModeTransition {
+                        window: widx,
+                        mode,
+                        cause,
+                    });
+                }
+            }
+            let mut marks = outcome.marks;
+            if outcome.filter_invoked && outcome.fault.is_none() {
+                if let Some(monitor) = &mut self.drift {
+                    if monitor.observe_marks(&marks) == DriftState::Drifted {
+                        // The verdict covers this window too: fail open now.
+                        self.drift_fallback = true;
+                        self.retrain_signaled = true;
+                        self.timeline.push(ModeTransition {
+                            window: widx,
+                            mode: RuntimeMode::DegradedExact,
+                            cause: ModeCause::Drift,
+                        });
+                        marks = vec![true; marks.len()];
+                    }
+                }
+            }
+            if !outcome.filter_invoked || outcome.fault.is_some() || self.drift_fallback {
+                self.windows_degraded += 1;
+            }
+            marks
+        };
+
+        for (i, mark) in marks.into_iter().enumerate() {
+            if mark {
+                self.marks[lo + i] = true;
+            }
+        }
+    }
+
+    /// Relay every finalized position below `upto` (no future window can
+    /// cover them) and drop it from the buffer.
+    fn relay_finalized(&mut self, upto: usize) {
+        while self.relayed_upto < upto {
+            let ev = self.buf.pop_front().expect("buffer aligned with positions");
+            let marked = self.marks.pop_front().expect("marks aligned with buffer");
+            self.relayed_upto += 1;
+            self.base += 1;
+            if marked {
+                self.engine.process(&ev);
+                self.events_relayed += 1;
+                self.matches.append(&mut self.engine.drain_matches());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{OracleFilter, PassthroughFilter};
+    use crate::pipeline::Dlacep;
+    use dlacep_cep::{PatternExpr, TypeSet};
+    use dlacep_data::label::ground_truth_matches;
+    use dlacep_events::{EventStream, WindowSpec};
+    use std::collections::BTreeSet;
+
+    const A: TypeId = TypeId(0);
+    const B: TypeId = TypeId(1);
+    const C: TypeId = TypeId(2);
+
+    fn seq_ab(w: u64) -> Pattern {
+        Pattern::new(
+            PatternExpr::Seq(vec![
+                PatternExpr::event(TypeSet::single(A), "a"),
+                PatternExpr::event(TypeSet::single(B), "b"),
+            ]),
+            vec![],
+            WindowSpec::Count(w),
+        )
+    }
+
+    fn noisy_stream(n: usize) -> EventStream {
+        let mut s = EventStream::new();
+        for i in 0..n {
+            let t = match i % 17 {
+                3 => A,
+                6 => B,
+                _ => C,
+            };
+            s.push(t, i as u64, vec![0.0]);
+        }
+        s
+    }
+
+    fn keys(ms: &[Match]) -> BTreeSet<Vec<EventId>> {
+        ms.iter().map(|m| m.event_ids.clone()).collect()
+    }
+
+    #[test]
+    fn streaming_equals_batch_on_healthy_filter() {
+        for n in [0usize, 3, 16, 50, 137, 200] {
+            let p = seq_ab(8);
+            let s = noisy_stream(n);
+            let batch = Dlacep::new(p.clone(), OracleFilter::new(p.clone()))
+                .unwrap()
+                .run(s.events());
+            let mut rt = StreamingDlacep::new(p, OracleFilter::new(seq_ab(8))).unwrap();
+            rt.ingest_all(s.events()).unwrap();
+            let report = rt.finish();
+            assert_eq!(keys(&report.matches), keys(&batch.matches), "n = {n}");
+            assert_eq!(report.events_relayed, batch.events_relayed, "n = {n}");
+            assert_eq!(report.final_mode, RuntimeMode::Filtering);
+            assert_eq!(report.windows_degraded, 0);
+        }
+    }
+
+    #[test]
+    fn trailing_partial_window_is_flushed() {
+        // 10 events, MarkSize 8, StepSize 4: ingestion evaluates [0, 8),
+        // finish must cover [4, 10) or the tail A/B pair is lost.
+        let p = seq_ab(4);
+        let mut s = EventStream::new();
+        for i in 0..8 {
+            s.push(C, i, vec![]);
+        }
+        s.push(A, 8, vec![]);
+        s.push(B, 9, vec![]);
+        let truth = ground_truth_matches(&p, s.events());
+        assert_eq!(truth.len(), 1);
+        let mut rt = StreamingDlacep::new(p.clone(), OracleFilter::new(p)).unwrap();
+        rt.ingest_all(s.events()).unwrap();
+        let report = rt.finish();
+        assert_eq!(keys(&report.matches), keys(&truth));
+    }
+
+    #[test]
+    fn reject_policy_surfaces_error_and_stays_usable() {
+        let p = seq_ab(4);
+        let mut rt = StreamingDlacep::new(p, PassthroughFilter).unwrap();
+        rt.ingest(A, 5, vec![]).unwrap();
+        let err = rt.ingest(B, 3, vec![]).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::Stream(StreamError::OutOfOrder { ts: 3, last_ts: 5 })
+        );
+        // In-order ingestion keeps working; the rejected event left no trace.
+        assert_eq!(rt.ingest(B, 5, vec![]).unwrap(), Some(EventId(1)));
+    }
+
+    #[test]
+    fn drop_policy_counts_and_stamps_densely() {
+        let p = seq_ab(4);
+        let cfg = RuntimeConfig {
+            ooo_policy: OutOfOrderPolicy::Drop,
+            ..Default::default()
+        };
+        let mut rt = StreamingDlacep::with_config(p, PassthroughFilter, cfg).unwrap();
+        rt.ingest(A, 5, vec![]).unwrap();
+        assert_eq!(rt.ingest(B, 3, vec![]).unwrap(), None);
+        assert_eq!(rt.ingest(B, 6, vec![]).unwrap(), Some(EventId(1)));
+        let report = rt.finish();
+        assert_eq!(report.events_offered, 3);
+        assert_eq!(report.events_admitted, 2);
+        assert_eq!(report.events_dropped, 1);
+    }
+
+    #[test]
+    fn clamp_policy_admits_with_clamped_ts() {
+        let p = seq_ab(4);
+        let cfg = RuntimeConfig {
+            ooo_policy: OutOfOrderPolicy::ClampToLastTs,
+            ..Default::default()
+        };
+        let mut rt = StreamingDlacep::with_config(p, PassthroughFilter, cfg).unwrap();
+        rt.ingest(A, 5, vec![]).unwrap();
+        rt.ingest(B, 3, vec![]).unwrap();
+        let report = rt.finish();
+        assert_eq!(report.events_clamped, 1);
+        assert_eq!(report.events_admitted, 2);
+        assert_eq!(
+            keys(&report.matches).len(),
+            1,
+            "clamped event still matches"
+        );
+    }
+
+    #[test]
+    fn uncompilable_pattern_rejected() {
+        let p = Pattern::new(PatternExpr::Seq(vec![]), vec![], WindowSpec::Count(4));
+        assert!(matches!(
+            StreamingDlacep::new(p, PassthroughFilter),
+            Err(RuntimeError::Pipeline(DlacepError::Compile(_)))
+        ));
+    }
+
+    #[test]
+    fn partial_budget_is_plumbed_through() {
+        // All-A stream with SEQ(A, B): every A opens a partial that never
+        // completes — unbounded in batch, capped here.
+        let p = seq_ab(64);
+        let budget = 5;
+        let cfg = RuntimeConfig {
+            max_partials: Some(budget),
+            ..Default::default()
+        };
+        let mut rt = StreamingDlacep::with_config(p, PassthroughFilter, cfg).unwrap();
+        for i in 0..200u64 {
+            rt.ingest(A, i, vec![]).unwrap();
+            assert!(
+                rt.stored_partials() <= budget,
+                "budget exceeded at event {i}"
+            );
+        }
+        let report = rt.finish();
+        assert!(report.extractor_stats.partials_shed > 0);
+        assert!(report.extractor_stats.peak_partial_matches <= budget as u64);
+    }
+
+    #[test]
+    fn timeline_starts_with_initial_mode() {
+        let p = seq_ab(4);
+        let rt = StreamingDlacep::new(p, PassthroughFilter).unwrap();
+        let report = rt.finish();
+        assert_eq!(
+            report.timeline,
+            vec![ModeTransition {
+                window: 0,
+                mode: RuntimeMode::Filtering,
+                cause: ModeCause::Start
+            }]
+        );
+        assert_eq!(report.degraded_fraction(), 0.0);
+    }
+}

@@ -11,7 +11,9 @@ use dlacep_cep::Pattern;
 use dlacep_data::{label_stream, train_test_split, LabeledSample};
 use dlacep_events::EventStream;
 use dlacep_nn::optim::Optimizer;
-use dlacep_nn::{Adam, BatchSampler, BatchSchedule, Confusion, ConvergenceDetector, LrSchedule, TrainReport};
+use dlacep_nn::{
+    Adam, BatchSampler, BatchSchedule, Confusion, ConvergenceDetector, LrSchedule, TrainReport,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -115,7 +117,11 @@ fn prepare(pattern: &Pattern, stream: &EventStream, cfg: &TrainConfig) -> Prepar
         .iter()
         .map(|s| {
             let evs = &stream.events()[s.start..s.start + s.len];
-            (embedder.embed_window(evs, s.len), s.event_labels.clone(), s.window_label)
+            (
+                embedder.embed_window(evs, s.len),
+                s.event_labels.clone(),
+                s.window_label,
+            )
         })
         .collect();
     let (mut train, test) = train_test_split(embedded, cfg.train_fraction, cfg.seed);
@@ -126,8 +132,7 @@ fn prepare(pattern: &Pattern, stream: &EventStream, cfg: &TrainConfig) -> Prepar
         train.truncate(keep.min(train.len()));
     }
     if cfg.oversample_positives {
-        let pos: Vec<usize> =
-            (0..train.len()).filter(|&i| train[i].2).collect();
+        let pos: Vec<usize> = (0..train.len()).filter(|&i| train[i].2).collect();
         let neg = train.len() - pos.len();
         if !pos.is_empty() && neg > pos.len() {
             let copies = ((neg / pos.len()).saturating_sub(1)).min(15);
@@ -143,7 +148,12 @@ fn prepare(pattern: &Pattern, stream: &EventStream, cfg: &TrainConfig) -> Prepar
             train.shuffle(&mut rng);
         }
     }
-    Prepared { embedder, train, test, dropped_short }
+    Prepared {
+        embedder,
+        train,
+        test,
+        dropped_short,
+    }
 }
 
 /// Outcome of training the event-network.
@@ -174,7 +184,8 @@ pub fn train_event_filter(
     let mut net = EventNetwork::new(net_cfg);
     let mut opt = Adam::new(cfg.lr.lr_at(0));
     let mut sampler = BatchSampler::new(prepared.train.len(), cfg.seed);
-    let mut detector = ConvergenceDetector::new(cfg.convergence_threshold, cfg.convergence_patience);
+    let mut detector =
+        ConvergenceDetector::new(cfg.convergence_threshold, cfg.convergence_patience);
     let mut losses = Vec::new();
     let mut converged = false;
     for epoch in 0..cfg.max_epochs {
@@ -216,7 +227,11 @@ pub fn train_event_filter(
             embedder: prepared.embedder,
             threshold: cfg.mark_threshold,
         },
-        report: TrainReport { epochs_run: losses.len(), epoch_losses: losses, converged },
+        report: TrainReport {
+            epochs_run: losses.len(),
+            epoch_losses: losses,
+            converged,
+        },
         test,
         dropped_short: prepared.dropped_short,
     }
@@ -250,7 +265,8 @@ pub fn train_window_filter(
     let mut net = WindowNetwork::new(net_cfg);
     let mut opt = Adam::new(cfg.lr.lr_at(0));
     let mut sampler = BatchSampler::new(prepared.train.len(), cfg.seed);
-    let mut detector = ConvergenceDetector::new(cfg.convergence_threshold, cfg.convergence_patience);
+    let mut detector =
+        ConvergenceDetector::new(cfg.convergence_threshold, cfg.convergence_patience);
     let mut losses = Vec::new();
     let mut converged = false;
     for epoch in 0..cfg.max_epochs {
@@ -283,8 +299,15 @@ pub fn train_window_filter(
         test.record(net.applicable(w), *label);
     }
     WindowNetTraining {
-        filter: WindowNetFilter { network: net, embedder: prepared.embedder },
-        report: TrainReport { epochs_run: losses.len(), epoch_losses: losses, converged },
+        filter: WindowNetFilter {
+            network: net,
+            embedder: prepared.embedder,
+        },
+        report: TrainReport {
+            epochs_run: losses.len(),
+            epoch_losses: losses,
+            converged,
+        },
         test,
         dropped_short: prepared.dropped_short,
     }
@@ -345,7 +368,11 @@ mod tests {
         assert!(r.ecep_matches > 0);
         assert!(r.recall > 0.6, "recall {}", r.recall);
         assert_eq!(r.precision, 1.0, "id constraint forbids false positives");
-        assert!(r.filtering_ratio > 0.2, "filtering ratio {}", r.filtering_ratio);
+        assert!(
+            r.filtering_ratio > 0.2,
+            "filtering ratio {}",
+            r.filtering_ratio
+        );
     }
 
     #[test]
@@ -353,7 +380,11 @@ mod tests {
         let p = pattern();
         let train_stream = stream(1600, 3);
         let out = train_window_filter(&p, &train_stream, &TrainConfig::quick());
-        assert!(out.test.accuracy() > 0.6, "accuracy {}", out.test.accuracy());
+        assert!(
+            out.test.accuracy() > 0.6,
+            "accuracy {}",
+            out.test.accuracy()
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub struct LabeledSample {
 }
 
 /// Label a stream against one pattern. `sample_len` is normally `2W`.
-pub fn label_stream(pattern: &Pattern, stream: &EventStream, sample_len: usize) -> Vec<LabeledSample> {
+pub fn label_stream(
+    pattern: &Pattern,
+    stream: &EventStream,
+    sample_len: usize,
+) -> Vec<LabeledSample> {
     label_stream_multi(std::slice::from_ref(pattern), stream, sample_len)
 }
 
@@ -47,8 +51,10 @@ pub fn label_stream_multi(
     sample_len: usize,
 ) -> Vec<LabeledSample> {
     assert!(sample_len > 0, "sample length must be positive");
-    let plans: Vec<Plan> =
-        patterns.iter().map(|p| Plan::compile(p).expect("pattern compiles")).collect();
+    let plans: Vec<Plan> = patterns
+        .iter()
+        .map(|p| Plan::compile(p).expect("pattern compiles"))
+        .collect();
     let events = stream.events();
     let mut out = Vec::with_capacity(events.len() / sample_len + 1);
     let mut start = 0;
@@ -60,8 +66,10 @@ pub fn label_stream_multi(
         for (pattern, plan) in patterns.iter().zip(&plans) {
             let matches = matches_in_sample(pattern, sample);
             match_count += matches.len();
-            let positive: HashSet<u64> =
-                matches.iter().flat_map(|m| m.event_ids.iter().map(|id| id.0)).collect();
+            let positive: HashSet<u64> = matches
+                .iter()
+                .flat_map(|m| m.event_ids.iter().map(|id| id.0))
+                .collect();
             for (i, ev) in sample.iter().enumerate() {
                 if positive.contains(&ev.id.0) {
                     labels[i] = true;

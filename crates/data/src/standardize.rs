@@ -17,7 +17,10 @@ impl Standardizer {
     /// transform stays well-defined.
     pub fn fit(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self { mean: 0.0, std: 1.0 };
+            return Self {
+                mean: 0.0,
+                std: 1.0,
+            };
         }
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;

@@ -32,7 +32,13 @@ pub struct StockConfig {
 
 impl Default for StockConfig {
     fn default() -> Self {
-        Self { num_tickers: 128, zipf_exponent: 1.0, num_events: 20_000, volume_sigma: 0.35, seed: 7 }
+        Self {
+            num_tickers: 128,
+            zipf_exponent: 1.0,
+            num_events: 20_000,
+            volume_sigma: 0.35,
+            seed: 7,
+        }
     }
 }
 
@@ -63,8 +69,9 @@ impl StockConfig {
 
         // Zipf CDF over ranks 1..=num_tickers; ticker i has rank i+1, so
         // lower type ids are the most prevalent (top-k = first k ids).
-        let weights: Vec<f64> =
-            (1..=self.num_tickers).map(|r| 1.0 / (r as f64).powf(self.zipf_exponent)).collect();
+        let weights: Vec<f64> = (1..=self.num_tickers)
+            .map(|r| 1.0 / (r as f64).powf(self.zipf_exponent))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut cdf = Vec::with_capacity(self.num_tickers);
         let mut acc = 0.0;
@@ -75,7 +82,9 @@ impl StockConfig {
 
         // Per-ticker base log-volume so different stocks live on different
         // scales, like real volumes.
-        let base: Vec<f64> = (0..self.num_tickers).map(|_| normal(&mut rng) * 0.5).collect();
+        let base: Vec<f64> = (0..self.num_tickers)
+            .map(|_| normal(&mut rng) * 0.5)
+            .collect();
 
         let mut raw = Vec::with_capacity(self.num_events);
         let mut types = Vec::with_capacity(self.num_events);
@@ -112,7 +121,11 @@ mod tests {
 
     #[test]
     fn generates_requested_counts() {
-        let cfg = StockConfig { num_events: 1000, num_tickers: 20, ..Default::default() };
+        let cfg = StockConfig {
+            num_events: 1000,
+            num_tickers: 20,
+            ..Default::default()
+        };
         let (schema, stream) = cfg.generate();
         assert_eq!(schema.num_types(), 20);
         assert_eq!(stream.len(), 1000);
@@ -120,7 +133,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = StockConfig { num_events: 500, ..Default::default() };
+        let cfg = StockConfig {
+            num_events: 500,
+            ..Default::default()
+        };
         let (_, a) = cfg.generate();
         let (_, b) = cfg.generate();
         assert_eq!(a, b);
@@ -138,12 +154,18 @@ mod tests {
         };
         let (_, stream) = cfg.generate();
         let count = |t: u32| stream.iter().filter(|e| e.type_id == TypeId(t)).count();
-        assert!(count(0) > 4 * count(50).max(1), "rank 0 should dwarf rank 50");
+        assert!(
+            count(0) > 4 * count(50).max(1),
+            "rank 0 should dwarf rank 50"
+        );
     }
 
     #[test]
     fn volumes_are_positive_and_log_normal_scale() {
-        let cfg = StockConfig { num_events: 5000, ..Default::default() };
+        let cfg = StockConfig {
+            num_events: 5000,
+            ..Default::default()
+        };
         let (_, stream) = cfg.generate();
         let vals: Vec<f64> = stream.iter().map(|e| e.attrs[0]).collect();
         assert!(vals.iter().all(|&v| v > 0.0), "volumes must stay positive");
@@ -154,7 +176,10 @@ mod tests {
     #[test]
     fn band_selectivity_monotone_in_width() {
         // The Fig. 8c mechanism: widening (α, β) admits more pairs.
-        let cfg = StockConfig { num_events: 4000, ..Default::default() };
+        let cfg = StockConfig {
+            num_events: 4000,
+            ..Default::default()
+        };
         let (_, stream) = cfg.generate();
         let vals: Vec<f64> = stream.iter().take(200).map(|e| e.attrs[0]).collect();
         let passes = |a: f64, b: f64| -> usize {
@@ -185,7 +210,10 @@ mod tests {
 
     #[test]
     fn timestamps_advance_by_one() {
-        let cfg = StockConfig { num_events: 10, ..Default::default() };
+        let cfg = StockConfig {
+            num_events: 10,
+            ..Default::default()
+        };
         let (_, stream) = cfg.generate();
         for (i, e) in stream.iter().enumerate() {
             assert_eq!(e.ts.0, i as u64);

@@ -21,14 +21,21 @@ pub struct SyntheticConfig {
 
 impl Default for SyntheticConfig {
     fn default() -> Self {
-        Self { num_types: 15, num_events: 20_000, seed: 11 }
+        Self {
+            num_types: 15,
+            num_events: 20_000,
+            seed: 11,
+        }
     }
 }
 
 impl SyntheticConfig {
     /// Generate schema (types `A`, `B`, …) and stream.
     pub fn generate(&self) -> (Schema, EventStream) {
-        assert!(self.num_types > 0 && self.num_types <= 26, "types are named A..Z");
+        assert!(
+            self.num_types > 0 && self.num_types <= 26,
+            "types are named A..Z"
+        );
         let schema = Schema::builder()
             .event_types((0..self.num_types).map(|i| ((b'A' + i as u8) as char).to_string()))
             .attribute("vol")
@@ -50,7 +57,11 @@ mod tests {
 
     #[test]
     fn uniform_types_roughly_balanced() {
-        let (_, s) = SyntheticConfig { num_events: 15_000, ..Default::default() }.generate();
+        let (_, s) = SyntheticConfig {
+            num_events: 15_000,
+            ..Default::default()
+        }
+        .generate();
         for t in 0..15u32 {
             let c = s.iter().filter(|e| e.type_id == TypeId(t)).count();
             assert!((700..1300).contains(&c), "type {t} count {c}");
@@ -59,7 +70,11 @@ mod tests {
 
     #[test]
     fn attribute_is_standard_normal() {
-        let (_, s) = SyntheticConfig { num_events: 10_000, ..Default::default() }.generate();
+        let (_, s) = SyntheticConfig {
+            num_events: 10_000,
+            ..Default::default()
+        }
+        .generate();
         let vals: Vec<f64> = s.iter().map(|e| e.attrs[0]).collect();
         let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
         let var: f64 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
@@ -76,8 +91,18 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = SyntheticConfig { num_events: 100, ..Default::default() }.generate().1;
-        let b = SyntheticConfig { num_events: 100, ..Default::default() }.generate().1;
+        let a = SyntheticConfig {
+            num_events: 100,
+            ..Default::default()
+        }
+        .generate()
+        .1;
+        let b = SyntheticConfig {
+            num_events: 100,
+            ..Default::default()
+        }
+        .generate()
+        .1;
         assert_eq!(a, b);
     }
 }

@@ -79,7 +79,10 @@ pub fn read_csv<R: BufRead>(input: R) -> Result<EventStream, CodecError> {
             .parse()
             .map_err(|e| CodecError::Parse(lineno, format!("bad ts: {e}")))?;
         let attrs: Vec<f64> = parts
-            .map(|p| p.parse().map_err(|e| CodecError::Parse(lineno, format!("bad attr: {e}"))))
+            .map(|p| {
+                p.parse()
+                    .map_err(|e| CodecError::Parse(lineno, format!("bad attr: {e}")))
+            })
             .collect::<Result<_, _>>()?;
         events.push(PrimitiveEvent::new(id, TypeId(type_id), ts, attrs));
     }

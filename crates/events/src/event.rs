@@ -60,7 +60,12 @@ pub struct PrimitiveEvent {
 impl PrimitiveEvent {
     /// Create an event. `id` is normally assigned by [`crate::EventStream`].
     pub fn new(id: u64, type_id: TypeId, ts: u64, attrs: Vec<AttrValue>) -> Self {
-        Self { id: EventId(id), type_id, ts: Timestamp(ts), attrs }
+        Self {
+            id: EventId(id),
+            type_id,
+            ts: Timestamp(ts),
+            attrs,
+        }
     }
 
     /// Attribute by index; `None` when out of range.

@@ -24,5 +24,5 @@ pub mod window;
 
 pub use event::{AttrValue, EventId, PrimitiveEvent, Timestamp, TypeId};
 pub use schema::{Schema, SchemaBuilder};
-pub use stream::EventStream;
+pub use stream::{EventStream, OutOfOrderPolicy, StreamError};
 pub use window::{CountWindows, TimeWindows, WindowSpec};

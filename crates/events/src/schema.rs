@@ -124,7 +124,12 @@ impl SchemaBuilder {
                 return Err(SchemaError::DuplicateAttr(name.clone()));
             }
         }
-        Ok(Schema { type_names: self.types, type_index, attr_names: self.attrs, attr_index })
+        Ok(Schema {
+            type_names: self.types,
+            type_index,
+            attr_names: self.attrs,
+            attr_index,
+        })
     }
 }
 
@@ -162,14 +167,21 @@ mod tests {
 
     #[test]
     fn duplicate_type_rejected() {
-        let err = Schema::builder().event_types(["A", "A"]).build().unwrap_err();
+        let err = Schema::builder()
+            .event_types(["A", "A"])
+            .build()
+            .unwrap_err();
         assert_eq!(err, SchemaError::DuplicateType("A".into()));
     }
 
     #[test]
     fn duplicate_attr_rejected() {
-        let err =
-            Schema::builder().event_type("A").attribute("v").attribute("v").build().unwrap_err();
+        let err = Schema::builder()
+            .event_type("A")
+            .attribute("v")
+            .attribute("v")
+            .build()
+            .unwrap_err();
         assert_eq!(err, SchemaError::DuplicateAttr("v".into()));
     }
 

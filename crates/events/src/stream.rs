@@ -3,6 +3,46 @@
 use crate::event::{AttrValue, EventId, PrimitiveEvent, Timestamp, TypeId};
 use serde::{Deserialize, Serialize};
 
+/// Errors raised by fallible stream mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The pushed timestamp is smaller than the last event's.
+    OutOfOrder {
+        /// Timestamp of the rejected event.
+        ts: u64,
+        /// Timestamp of the last accepted event.
+        last_ts: u64,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::OutOfOrder { ts, last_ts } => {
+                write!(f, "out-of-order timestamp: {ts} after {last_ts}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// What to do with an event whose timestamp regresses.
+///
+/// The paper assumes an in-order merged input; real feeds violate that. The
+/// streaming runtime picks a policy instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OutOfOrderPolicy {
+    /// Silently discard the event (count it upstream if you care).
+    Drop,
+    /// Admit the event with its timestamp clamped to the last seen one,
+    /// preserving arrival order. Window semantics treat it as on-time.
+    ClampToLastTs,
+    /// Refuse the event, surfacing [`StreamError::OutOfOrder`] to the caller.
+    #[default]
+    Reject,
+}
+
 /// An owned, finite prefix of an event stream.
 ///
 /// The paper assumes a single merged, in-order input (§4 "System settings");
@@ -23,28 +63,73 @@ impl EventStream {
 
     /// Empty stream with space for `cap` events.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { events: Vec::with_capacity(cap), next_id: 0 }
+        Self {
+            events: Vec::with_capacity(cap),
+            next_id: 0,
+        }
     }
 
     /// Append an event, stamping the next id. Timestamps must be
     /// non-decreasing; out-of-order input is a caller bug (merging
-    /// out-of-order sources is out of the paper's scope).
+    /// out-of-order sources is out of the paper's scope). Fallible callers
+    /// should use [`EventStream::try_push`] instead.
     ///
     /// # Panics
     /// Panics if `ts` is smaller than the last event's timestamp.
     pub fn push(&mut self, type_id: TypeId, ts: u64, attrs: Vec<AttrValue>) -> EventId {
+        match self.try_push(type_id, ts, attrs) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Append an event, stamping the next id; rejects timestamp regressions
+    /// with an error instead of panicking.
+    pub fn try_push(
+        &mut self,
+        type_id: TypeId,
+        ts: u64,
+        attrs: Vec<AttrValue>,
+    ) -> Result<EventId, StreamError> {
         if let Some(last) = self.events.last() {
-            assert!(
-                ts >= last.ts.0,
-                "out-of-order timestamp: {} after {}",
-                ts,
-                last.ts.0
-            );
+            if ts < last.ts.0 {
+                return Err(StreamError::OutOfOrder {
+                    ts,
+                    last_ts: last.ts.0,
+                });
+            }
         }
         let id = EventId(self.next_id);
         self.next_id += 1;
-        self.events.push(PrimitiveEvent { id, type_id, ts: Timestamp(ts), attrs });
-        id
+        self.events.push(PrimitiveEvent {
+            id,
+            type_id,
+            ts: Timestamp(ts),
+            attrs,
+        });
+        Ok(id)
+    }
+
+    /// Append an event under an explicit out-of-order policy. Returns the
+    /// stamped id, `Ok(None)` when the event was dropped by policy, or the
+    /// error under [`OutOfOrderPolicy::Reject`]. In-order input is unaffected
+    /// by the policy.
+    pub fn push_with_policy(
+        &mut self,
+        type_id: TypeId,
+        ts: u64,
+        attrs: Vec<AttrValue>,
+        policy: OutOfOrderPolicy,
+    ) -> Result<Option<EventId>, StreamError> {
+        let last_ts = self.events.last().map(|e| e.ts.0);
+        match last_ts {
+            Some(last) if ts < last => match policy {
+                OutOfOrderPolicy::Drop => Ok(None),
+                OutOfOrderPolicy::ClampToLastTs => Ok(Some(self.try_push(type_id, last, attrs)?)),
+                OutOfOrderPolicy::Reject => Err(StreamError::OutOfOrder { ts, last_ts: last }),
+            },
+            _ => Ok(Some(self.try_push(type_id, ts, attrs)?)),
+        }
     }
 
     /// Build a stream from pre-stamped events, validating the invariants.
@@ -129,6 +214,71 @@ mod tests {
         let mut s = EventStream::new();
         s.push(TypeId(0), 5, vec![]);
         s.push(TypeId(0), 4, vec![]);
+    }
+
+    #[test]
+    fn try_push_surfaces_regression_as_error() {
+        let mut s = EventStream::new();
+        s.try_push(TypeId(0), 5, vec![]).unwrap();
+        let err = s.try_push(TypeId(0), 4, vec![]).unwrap_err();
+        assert_eq!(err, StreamError::OutOfOrder { ts: 4, last_ts: 5 });
+        assert_eq!(s.len(), 1, "rejected event must not be stored");
+        // Recovery: in-order pushes keep working after a rejection.
+        assert_eq!(s.try_push(TypeId(0), 5, vec![]).unwrap(), EventId(1));
+    }
+
+    #[test]
+    fn policy_drop_discards_silently() {
+        let mut s = EventStream::new();
+        s.push(TypeId(0), 5, vec![]);
+        let got = s
+            .push_with_policy(TypeId(0), 3, vec![], OutOfOrderPolicy::Drop)
+            .unwrap();
+        assert_eq!(got, None);
+        assert_eq!(s.len(), 1);
+        // Ids stay dense: the dropped event consumed no id.
+        assert_eq!(s.push(TypeId(0), 6, vec![]), EventId(1));
+    }
+
+    #[test]
+    fn policy_clamp_preserves_arrival_order() {
+        let mut s = EventStream::new();
+        s.push(TypeId(0), 5, vec![]);
+        let got = s
+            .push_with_policy(TypeId(1), 3, vec![1.0], OutOfOrderPolicy::ClampToLastTs)
+            .unwrap();
+        assert_eq!(got, Some(EventId(1)));
+        assert_eq!(
+            s.events()[1].ts,
+            Timestamp(5),
+            "timestamp clamped to last seen"
+        );
+        assert_eq!(s.events()[1].type_id, TypeId(1), "payload preserved");
+    }
+
+    #[test]
+    fn policy_reject_matches_try_push() {
+        let mut s = EventStream::new();
+        s.push(TypeId(0), 5, vec![]);
+        let err = s
+            .push_with_policy(TypeId(0), 3, vec![], OutOfOrderPolicy::Reject)
+            .unwrap_err();
+        assert_eq!(err, StreamError::OutOfOrder { ts: 3, last_ts: 5 });
+    }
+
+    #[test]
+    fn policies_agree_on_in_order_input() {
+        for policy in [
+            OutOfOrderPolicy::Drop,
+            OutOfOrderPolicy::ClampToLastTs,
+            OutOfOrderPolicy::Reject,
+        ] {
+            let mut s = EventStream::new();
+            for ts in [1u64, 1, 3, 7] {
+                s.push_with_policy(TypeId(0), ts, vec![], policy).unwrap();
+            }
+            assert_eq!(s.len(), 4);
+        }
     }
 
     #[test]

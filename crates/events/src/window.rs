@@ -59,7 +59,13 @@ impl<'a> CountWindows<'a> {
     pub fn new(events: &'a [PrimitiveEvent], width: usize, step: usize) -> Self {
         assert!(width > 0, "window width must be positive");
         assert!(step > 0, "window step must be positive");
-        Self { events, width, step, pos: 0, done: events.is_empty() }
+        Self {
+            events,
+            width,
+            step,
+            pos: 0,
+            done: events.is_empty(),
+        }
     }
 }
 
@@ -101,7 +107,11 @@ pub struct TimeWindows<'a> {
 impl<'a> TimeWindows<'a> {
     /// Create the iterator over windows of `span` time units.
     pub fn new(events: &'a [PrimitiveEvent], span: u64) -> Self {
-        Self { events, span, pos: 0 }
+        Self {
+            events,
+            span,
+            pos: 0,
+        }
     }
 }
 
@@ -129,7 +139,9 @@ mod tests {
     use crate::event::TypeId;
 
     fn mk(n: usize) -> Vec<PrimitiveEvent> {
-        (0..n).map(|i| PrimitiveEvent::new(i as u64, TypeId(0), i as u64 * 10, vec![])).collect()
+        (0..n)
+            .map(|i| PrimitiveEvent::new(i as u64, TypeId(0), i as u64 * 10, vec![]))
+            .collect()
     }
 
     #[test]

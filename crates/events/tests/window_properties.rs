@@ -1,6 +1,10 @@
-//! Property-based tests of the windowing substrate.
+//! Property-based tests of the windowing substrate and the stream's
+//! out-of-order admission policies.
 
-use dlacep_events::{CountWindows, EventStream, PrimitiveEvent, TimeWindows, TypeId, WindowSpec};
+use dlacep_events::{
+    CountWindows, EventStream, OutOfOrderPolicy, PrimitiveEvent, StreamError, TimeWindows, TypeId,
+    WindowSpec,
+};
 use proptest::prelude::*;
 
 fn stream(n: usize, gaps: &[u64]) -> EventStream {
@@ -65,6 +69,89 @@ proptest! {
             let lo = w.first().unwrap().ts.0;
             let hi = w.last().unwrap().ts.0;
             prop_assert!(hi - lo <= span);
+        }
+    }
+
+    #[test]
+    fn ooo_policies_always_leave_a_valid_stream(
+        raw_ts in prop::collection::vec(0u64..40, 1..60),
+    ) {
+        // Whatever order timestamps arrive in, every policy must leave the
+        // stream satisfying the invariants `from_events` checks: strictly
+        // increasing ids and non-decreasing timestamps.
+        for policy in
+            [OutOfOrderPolicy::Drop, OutOfOrderPolicy::ClampToLastTs, OutOfOrderPolicy::Reject]
+        {
+            let mut s = EventStream::new();
+            for &ts in &raw_ts {
+                let _ = s.push_with_policy(TypeId(0), ts, vec![], policy);
+            }
+            let events = s.events().to_vec();
+            prop_assert!(
+                EventStream::from_events(events).is_some(),
+                "policy {policy:?} broke stream invariants"
+            );
+        }
+    }
+
+    #[test]
+    fn ooo_drop_keeps_exactly_the_in_order_subsequence(
+        raw_ts in prop::collection::vec(0u64..40, 1..60),
+    ) {
+        let mut s = EventStream::new();
+        let mut expected: Vec<u64> = Vec::new();
+        for &ts in &raw_ts {
+            let admitted =
+                s.push_with_policy(TypeId(0), ts, vec![], OutOfOrderPolicy::Drop).unwrap();
+            let in_order = expected.last().is_none_or(|&last| ts >= last);
+            prop_assert_eq!(admitted.is_some(), in_order);
+            if in_order {
+                expected.push(ts);
+            }
+        }
+        let got: Vec<u64> = s.events().iter().map(|e| e.ts.0).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn ooo_clamp_admits_everything_in_arrival_order(
+        raw_ts in prop::collection::vec(0u64..40, 1..60),
+    ) {
+        let mut s = EventStream::new();
+        for (i, &ts) in raw_ts.iter().enumerate() {
+            let got = s
+                .push_with_policy(TypeId(i as u32), ts, vec![], OutOfOrderPolicy::ClampToLastTs)
+                .unwrap();
+            prop_assert!(got.is_some(), "clamp admits every event");
+        }
+        prop_assert_eq!(s.len(), raw_ts.len());
+        // Arrival order and payloads survive; clamped ts never exceeds the
+        // running maximum of the raw timestamps.
+        let mut running_max = 0u64;
+        for (i, e) in s.events().iter().enumerate() {
+            prop_assert_eq!(e.type_id, TypeId(i as u32));
+            running_max = running_max.max(raw_ts[i]);
+            prop_assert_eq!(e.ts.0, running_max);
+        }
+    }
+
+    #[test]
+    fn ooo_reject_errors_exactly_on_regressions(
+        raw_ts in prop::collection::vec(0u64..40, 1..60),
+    ) {
+        let mut s = EventStream::new();
+        let mut last: Option<u64> = None;
+        for &ts in &raw_ts {
+            let r = s.push_with_policy(TypeId(0), ts, vec![], OutOfOrderPolicy::Reject);
+            match last {
+                Some(l) if ts < l => {
+                    prop_assert_eq!(r, Err(StreamError::OutOfOrder { ts, last_ts: l }));
+                }
+                _ => {
+                    prop_assert!(r.is_ok());
+                    last = Some(ts);
+                }
+            }
         }
     }
 

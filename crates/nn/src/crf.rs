@@ -38,7 +38,12 @@ impl Crf {
         let trans = store.register(init.uniform(num_labels, num_labels, -0.1, 0.1));
         let start = store.register(init.uniform(1, num_labels, -0.1, 0.1));
         let end = store.register(init.uniform(1, num_labels, -0.1, 0.1));
-        Self { num_labels, trans, start, end }
+        Self {
+            num_labels,
+            trans,
+            start,
+            end,
+        }
     }
 
     /// Unnormalized score of a label path.
@@ -99,8 +104,9 @@ impl Crf {
         let alpha = self.forward_alphas(store, emissions);
         let end = store.value(self.end);
         let t_last = emissions.rows() - 1;
-        let finals: Vec<f32> =
-            (0..self.num_labels).map(|l| alpha.get(t_last, l) + end.get(0, l)).collect();
+        let finals: Vec<f32> = (0..self.num_labels)
+            .map(|l| alpha.get(t_last, l) + end.get(0, l))
+            .collect();
         log_sum_exp(&finals)
     }
 
@@ -116,12 +122,15 @@ impl Crf {
         let logz = {
             let end = store.value(self.end);
             let t_last = emissions.rows() - 1;
-            let finals: Vec<f32> =
-                (0..self.num_labels).map(|l| alpha.get(t_last, l) + end.get(0, l)).collect();
+            let finals: Vec<f32> = (0..self.num_labels)
+                .map(|l| alpha.get(t_last, l) + end.get(0, l))
+                .collect();
             log_sum_exp(&finals)
         };
         let (t_len, l) = emissions.shape();
-        Matrix::from_fn(t_len, l, |t, j| (alpha.get(t, j) + beta.get(t, j) - logz).exp())
+        Matrix::from_fn(t_len, l, |t, j| {
+            (alpha.get(t, j) + beta.get(t, j) - logz).exp()
+        })
     }
 
     /// NLL plus its gradients: returns `(nll, d nll / d emissions)` and
@@ -143,7 +152,9 @@ impl Crf {
         let end_v = store.value(self.end).clone();
         let trans_v = store.value(self.trans).clone();
         let t_last = t_len - 1;
-        let finals: Vec<f32> = (0..l).map(|j| alpha.get(t_last, j) + end_v.get(0, j)).collect();
+        let finals: Vec<f32> = (0..l)
+            .map(|j| alpha.get(t_last, j) + end_v.get(0, j))
+            .collect();
         let logz = log_sum_exp(&finals);
         let nll = logz - self.path_score(store, emissions, gold);
 
@@ -188,7 +199,11 @@ impl Crf {
         {
             let mut dend = Matrix::zeros(1, l);
             for j in 0..l {
-                dend.set(0, j, (alpha.get(t_last, j) + beta.get(t_last, j) - logz).exp());
+                dend.set(
+                    0,
+                    j,
+                    (alpha.get(t_last, j) + beta.get(t_last, j) - logz).exp(),
+                );
             }
             *dend.get_mut(0, gold[t_last]) -= 1.0;
             store.grad_mut(self.end).axpy(scale, &dend);
@@ -261,7 +276,10 @@ fn reverse_rows(m: &Matrix) -> Matrix {
 impl BiCrf {
     /// Allocate both directional CRFs.
     pub fn new(store: &mut ParamStore, init: &mut Initializer, num_labels: usize) -> Self {
-        Self { fwd: Crf::new(store, init, num_labels), bwd: Crf::new(store, init, num_labels) }
+        Self {
+            fwd: Crf::new(store, init, num_labels),
+            bwd: Crf::new(store, init, num_labels),
+        }
     }
 
     /// Number of labels.

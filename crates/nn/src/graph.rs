@@ -59,11 +59,17 @@ impl Graph {
 
     /// Tape with node capacity reserved (`3 layers × T timesteps × ~20 ops`).
     pub fn with_capacity(cap: usize) -> Self {
-        Self { nodes: Vec::with_capacity(cap) }
+        Self {
+            nodes: Vec::with_capacity(cap),
+        }
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> Var {
-        self.nodes.push(Node { op, value, grad: None });
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -232,7 +238,9 @@ impl Graph {
             self.accumulate(*v, g);
         }
         for idx in (0..self.nodes.len()).rev() {
-            let Some(g) = self.nodes[idx].grad.take() else { continue };
+            let Some(g) = self.nodes[idx].grad.take() else {
+                continue;
+            };
             let op = self.nodes[idx].op.clone();
             // Put the gradient back so callers can inspect it afterwards.
             self.nodes[idx].grad = Some(g.clone());

@@ -15,7 +15,9 @@ pub struct Initializer {
 impl Initializer {
     /// Initializer seeded with `seed`.
     pub fn seeded(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.

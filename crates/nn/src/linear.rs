@@ -18,10 +18,20 @@ pub struct Linear {
 
 impl Linear {
     /// Allocate weights in `store` (Xavier) and biases (zero).
-    pub fn new(store: &mut ParamStore, init: &mut Initializer, in_dim: usize, out_dim: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        init: &mut Initializer,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
         let w = store.register(init.xavier(in_dim, out_dim));
         let b = store.register(init.zeros(1, out_dim));
-        Self { in_dim, out_dim, w, b }
+        Self {
+            in_dim,
+            out_dim,
+            w,
+            b,
+        }
     }
 
     /// Forward pass for a batch `x` (rows = batch).
@@ -78,15 +88,24 @@ mod tests {
             g.backward(loss, &mut store);
             opt.step(&mut store);
         }
-        assert!(losses.last().unwrap() < &0.1, "final loss {}", losses.last().unwrap());
+        assert!(
+            losses.last().unwrap() < &0.1,
+            "final loss {}",
+            losses.last().unwrap()
+        );
         assert!(losses.last().unwrap() < &losses[0]);
     }
 }
 
 impl Linear {
     /// Tape-free inference: `x · W + b` for a `rows×in` input.
-    pub fn infer(&self, store: &crate::params::ParamStore, x: &crate::matrix::Matrix) -> crate::matrix::Matrix {
-        x.matmul(store.value(self.w)).add_row_broadcast(store.value(self.b))
+    pub fn infer(
+        &self,
+        store: &crate::params::ParamStore,
+        x: &crate::matrix::Matrix,
+    ) -> crate::matrix::Matrix {
+        x.matmul(store.value(self.w))
+            .add_row_broadcast(store.value(self.b))
     }
 }
 

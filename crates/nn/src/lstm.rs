@@ -34,13 +34,25 @@ impl LstmLayer {
         let wx = store.register(init.xavier(input_dim, 4 * hidden));
         let wh = store.register(init.xavier(hidden, 4 * hidden));
         let b = store.register(init.lstm_bias(hidden));
-        Self { input_dim, hidden, wx, wh, b }
+        Self {
+            input_dim,
+            hidden,
+            wx,
+            wh,
+            b,
+        }
     }
 
     /// Run over the sequence; `reverse` scans right-to-left but returns the
     /// hidden states re-aligned to input order (so `out[t]` always describes
     /// timestep `t`).
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, xs: &[Var], reverse: bool) -> Vec<Var> {
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        xs: &[Var],
+        reverse: bool,
+    ) -> Vec<Var> {
         if xs.is_empty() {
             return Vec::new();
         }
@@ -122,7 +134,10 @@ impl BiLstmLayer {
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, xs: &[Var]) -> Vec<Var> {
         let f = self.fwd.forward(g, store, xs, false);
         let b = self.bwd.forward(g, store, xs, true);
-        f.into_iter().zip(b).map(|(hf, hb)| g.concat_cols(hf, hb)).collect()
+        f.into_iter()
+            .zip(b)
+            .map(|(hf, hb)| g.concat_cols(hf, hb))
+            .collect()
     }
 }
 
@@ -182,7 +197,9 @@ mod tests {
     use crate::optim::{Adam, Optimizer};
 
     fn seq_inputs(g: &mut Graph, data: &[Vec<f32>]) -> Vec<Var> {
-        data.iter().map(|row| g.input(Matrix::from_vec(1, row.len(), row.clone()))).collect()
+        data.iter()
+            .map(|row| g.input(Matrix::from_vec(1, row.len(), row.clone())))
+            .collect()
     }
 
     #[test]
@@ -304,7 +321,10 @@ mod tests {
             store.clip_grad_norm(5.0);
             opt.step(&mut store);
         }
-        assert!(last < first * 0.2, "loss {first} -> {last} did not drop enough");
+        assert!(
+            last < first * 0.2,
+            "loss {first} -> {last} did not drop enough"
+        );
     }
 }
 
@@ -399,8 +419,9 @@ mod infer_tests {
         let mut store = ParamStore::new();
         let mut init = Initializer::seeded(17);
         let stack = StackedBiLstm::new(&mut store, &mut init, 3, 5, 2);
-        let data: Vec<Vec<f32>> =
-            (0..7).map(|t| (0..3).map(|d| ((t * 3 + d) as f32 * 0.31).sin()).collect()).collect();
+        let data: Vec<Vec<f32>> = (0..7)
+            .map(|t| (0..3).map(|d| ((t * 3 + d) as f32 * 0.31).sin()).collect())
+            .collect();
         // Graph path (batch = 1).
         let mut g = Graph::new();
         let xs: Vec<Var> = data

@@ -17,12 +17,20 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Self { rows, cols, data: vec![v; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Build from a row-major data vector.
@@ -47,7 +55,11 @@ impl Matrix {
 
     /// A 1×n row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
-        Self { rows: 1, cols: data.len(), data }
+        Self {
+            rows: 1,
+            cols: data.len(),
+            data,
+        }
     }
 
     /// Number of rows.
@@ -152,7 +164,10 @@ impl Matrix {
 
     /// `self · rhsᵀ` without materializing the transpose.
     pub fn matmul_transpose_rhs(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.cols, "matmul_transpose_rhs dimension mismatch");
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_transpose_rhs dimension mismatch"
+        );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -208,7 +223,11 @@ impl Matrix {
 
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// `self += alpha * other`.
@@ -225,15 +244,33 @@ impl Matrix {
     /// Elementwise sum.
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise product (Hadamard).
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Add a 1×cols row vector to every row.
@@ -269,7 +306,11 @@ impl Matrix {
             data.extend_from_slice(self.row(r));
             data.extend_from_slice(other.row(r));
         }
-        Matrix { rows: self.rows, cols, data }
+        Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Copy of columns `[start, start + len)`.
@@ -279,14 +320,22 @@ impl Matrix {
         for r in 0..self.rows {
             data.extend_from_slice(&self.row(r)[start..start + len]);
         }
-        Matrix { rows: self.rows, cols: len, data }
+        Matrix {
+            rows: self.rows,
+            cols: len,
+            data,
+        }
     }
 
     /// Copy of rows `[start, start + len)`.
     pub fn slice_rows(&self, start: usize, len: usize) -> Matrix {
         assert!(start + len <= self.rows, "slice_rows out of range");
         let data = self.data[start * self.cols..(start + len) * self.cols].to_vec();
-        Matrix { rows: len, cols: self.cols, data }
+        Matrix {
+            rows: len,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Sum of all elements.

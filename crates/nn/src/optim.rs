@@ -25,12 +25,20 @@ pub struct Sgd {
 impl Sgd {
     /// SGD without momentum.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum `mu`.
     pub fn with_momentum(lr: f32, mu: f32) -> Self {
-        Self { lr, momentum: mu, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: mu,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -42,7 +50,10 @@ impl Optimizer for Sgd {
             return;
         }
         if self.velocity.len() != params.len() {
-            self.velocity = params.iter().map(|(_, v, _)| Matrix::zeros(v.rows(), v.cols())).collect();
+            self.velocity = params
+                .iter()
+                .map(|(_, v, _)| Matrix::zeros(v.rows(), v.cols()))
+                .collect();
         }
         let vel = &mut self.velocity;
         params.update_each(|i, v, g| {
@@ -77,15 +88,29 @@ pub struct Adam {
 impl Adam {
     /// Adam with default betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut ParamStore) {
         if self.m.len() != params.len() {
-            self.m = params.iter().map(|(_, v, _)| Matrix::zeros(v.rows(), v.cols())).collect();
-            self.v = params.iter().map(|(_, v, _)| Matrix::zeros(v.rows(), v.cols())).collect();
+            self.m = params
+                .iter()
+                .map(|(_, v, _)| Matrix::zeros(v.rows(), v.cols()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|(_, v, _)| Matrix::zeros(v.rows(), v.cols()))
+                .collect();
             self.t = 0;
         }
         self.t += 1;
@@ -137,7 +162,12 @@ impl LrSchedule {
     /// Decay `initial` by `decay` every `every` epochs, never below `floor`.
     pub fn new(initial: f32, floor: f32, decay: f32, every: usize) -> Self {
         assert!(every > 0, "decay interval must be positive");
-        Self { initial, floor, decay, every }
+        Self {
+            initial,
+            floor,
+            decay,
+            every,
+        }
     }
 
     /// The paper's 1e-3 → 1e-4 schedule.

@@ -77,7 +77,11 @@ impl ParamStore {
 
     /// Global L2 norm of all gradients.
     pub fn grad_norm(&self) -> f32 {
-        self.grads.iter().map(|g| g.frobenius_norm().powi(2)).sum::<f32>().sqrt()
+        self.grads
+            .iter()
+            .map(|g| g.frobenius_norm().powi(2))
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Scale all gradients so the global norm does not exceed `max_norm`.

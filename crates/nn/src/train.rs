@@ -20,7 +20,12 @@ pub struct ConvergenceDetector {
 impl ConvergenceDetector {
     /// Custom threshold/patience.
     pub fn new(threshold: f32, patience: usize) -> Self {
-        Self { threshold, patience, reference: None, stable: 0 }
+        Self {
+            threshold,
+            patience,
+            reference: None,
+            stable: 0,
+        }
     }
 
     /// The paper's values: 0.01 band, 5 epochs.
@@ -64,12 +69,20 @@ pub struct BatchSchedule {
 impl BatchSchedule {
     /// Constant batch size.
     pub fn constant(size: usize) -> Self {
-        Self { initial: size, later: size, switch_epoch: usize::MAX }
+        Self {
+            initial: size,
+            later: size,
+            switch_epoch: usize::MAX,
+        }
     }
 
     /// The paper's 512 → 256 schedule, switching at `switch_epoch`.
     pub fn paper_default(switch_epoch: usize) -> Self {
-        Self { initial: 512, later: 256, switch_epoch }
+        Self {
+            initial: 512,
+            later: 256,
+            switch_epoch,
+        }
     }
 
     /// Batch size at a (0-based) epoch.
@@ -93,7 +106,10 @@ pub struct BatchSampler {
 impl BatchSampler {
     /// Sampler over `n` examples with a fixed seed.
     pub fn new(n: usize, seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), n }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            n,
+        }
     }
 
     /// Shuffled batches for one epoch.

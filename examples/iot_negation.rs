@@ -78,6 +78,9 @@ fn main() {
     println!("  DLACEP alerts  : {}", report.acep_matches);
     println!("  recall         : {:.3}", report.recall);
     println!("  precision      : {:.3}", report.precision);
-    println!("  F1             : {:.3} (the paper reports F1 for negation patterns)", report.f1);
+    println!(
+        "  F1             : {:.3} (the paper reports F1 for negation patterns)",
+        report.f1
+    );
     println!("  throughput gain: {:.2}x", report.throughput_gain);
 }

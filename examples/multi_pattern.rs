@@ -19,7 +19,11 @@ fn stream(n: usize, seed: u64) -> EventStream {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut s = EventStream::new();
     for i in 0..n {
-        s.push(TypeId(rng.gen_range(0..8u32)), i as u64, vec![rng.gen_range(0.5..1.5)]);
+        s.push(
+            TypeId(rng.gen_range(0..8u32)),
+            i as u64,
+            vec![rng.gen_range(0.5..1.5)],
+        );
     }
     s
 }

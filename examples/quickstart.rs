@@ -58,15 +58,26 @@ fn main() {
     println!("  exact matches      : {}", report.ecep_matches);
     println!("  DLACEP matches     : {}", report.acep_matches);
     println!("  recall             : {:.3}", report.recall);
-    println!("  precision          : {:.3} (1.0 guaranteed: no false positives)", report.precision);
-    println!("  events filtered out: {:.1}%", 100.0 * report.filtering_ratio);
+    println!(
+        "  precision          : {:.3} (1.0 guaranteed: no false positives)",
+        report.precision
+    );
+    println!(
+        "  events filtered out: {:.1}%",
+        100.0 * report.filtering_ratio
+    );
     println!("  throughput gain    : {:.2}x", report.throughput_gain);
 
     // 3. The ACEP objective (paper §3.1) scores the trade-off.
     let objective = AcepObjective::balanced();
-    println!("  ACEP objective     : {:.3} (lower is better)", objective.score(&report));
-    println!("
-(at this toy scale exact CEP is cheap, so the gain may be < 1;");
+    println!(
+        "  ACEP objective     : {:.3} (lower is better)",
+        objective.score(&report)
+    );
+    println!(
+        "
+(at this toy scale exact CEP is cheap, so the gain may be < 1;"
+    );
     println!(" the partial-match blow-up DLACEP exploits needs heavier patterns)");
 
     // 4. A heavier pattern: four events drawn from overlapping types with a
@@ -84,16 +95,12 @@ fn main() {
     );
     let oracle = Dlacep::new(heavy.clone(), OracleFilter::new(heavy.clone())).unwrap();
     let heavy_report = compare(&heavy, live.events(), &oracle);
-    println!("
-heavy pattern (4 overlapping-type events, tight band, W=24), oracle filter:");
     println!(
-        "  exact partial matches   : {}",
-        heavy_report.ecep_partials
+        "
+heavy pattern (4 overlapping-type events, tight band, W=24), oracle filter:"
     );
-    println!(
-        "  filtered partial matches: {}",
-        heavy_report.acep_partials
-    );
+    println!("  exact partial matches   : {}", heavy_report.ecep_partials);
+    println!("  filtered partial matches: {}", heavy_report.acep_partials);
     println!("  recall                  : {:.3}", heavy_report.recall);
     println!("(the oracle filter itself runs exact CEP to find its marks, so its");
     println!(" wall-clock is not meaningful — the partial-match reduction above is");

@@ -55,7 +55,10 @@ fn main() {
     let report = compare(&pattern, live, &dlacep);
     println!("\nlive monitoring over {} events:", live.len());
     println!("  exact matches    : {}", report.ecep_matches);
-    println!("  DLACEP matches   : {} (recall {:.3})", report.acep_matches, report.recall);
+    println!(
+        "  DLACEP matches   : {} (recall {:.3})",
+        report.acep_matches, report.recall
+    );
     println!("  throughput gain  : {:.2}x", report.throughput_gain);
     println!("  ECEP partials    : {}", report.ecep_partials);
     println!("  DLACEP partials  : {}", report.acep_partials);

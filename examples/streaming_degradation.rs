@@ -1,0 +1,174 @@
+//! Streaming runtime under fire: feed `StreamingDlacep` event-by-event,
+//! inject filter faults and out-of-order arrivals, and watch the runtime
+//! degrade gracefully to exact CEP instead of crashing.
+//!
+//! ```bash
+//! cargo run --release --example streaming_degradation
+//! ```
+
+use dlacep::cep::{Pattern, PatternExpr, TypeSet};
+use dlacep::core::prelude::*;
+use dlacep::core::{ChaosFault, ChaosFilter, GuardConfig};
+use dlacep::events::{EventStream, OutOfOrderPolicy, TypeId, WindowSpec};
+
+/// SEQ(A, B) WITHIN 4 over types 0/1 with a filler type 2.
+fn seq_ab() -> Pattern {
+    Pattern::new(
+        PatternExpr::Seq(vec![
+            PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
+            PatternExpr::event(TypeSet::single(TypeId(1)), "b"),
+        ]),
+        vec![],
+        WindowSpec::Count(4),
+    )
+}
+
+fn stream(n: usize) -> EventStream {
+    let mut s = EventStream::new();
+    for i in 0..n {
+        let t = match i % 7 {
+            2 => 0,
+            5 => 1,
+            _ => 2,
+        };
+        s.push(TypeId(t), i as u64, vec![i as f64]);
+    }
+    s
+}
+
+fn main() {
+    let pattern = seq_ab();
+    let live = stream(400);
+
+    // Ground truth: the batch pipeline with an oracle filter.
+    let batch = Dlacep::new(pattern.clone(), OracleFilter::new(pattern.clone()))
+        .expect("paper-default assembler config is valid")
+        .run(live.events());
+    println!("batch oracle matches          : {}", batch.matches.len());
+
+    // 1. Healthy streaming run — must agree with the batch pipeline.
+    let mut rt = StreamingDlacep::new(pattern.clone(), OracleFilter::new(pattern.clone()))
+        .expect("pattern compiles");
+    for ev in live.events() {
+        rt.ingest(ev.type_id, ev.ts.0, ev.attrs.clone())
+            .expect("monotone feed never errors");
+    }
+    let healthy = rt.finish();
+    println!(
+        "streaming healthy matches     : {} (mode {:?}, {} windows)",
+        healthy.matches.len(),
+        healthy.final_mode,
+        healthy.windows_evaluated
+    );
+
+    // 2. Chaos storm: the filter panics on every third window and returns
+    // wrong-length marks on every fifth. The guard trips the breaker and the
+    // runtime fails open to exact CEP — recall survives.
+    let chaotic = ChaosFilter::new(OracleFilter::new(pattern.clone()))
+        .fault_every(3, ChaosFault::Panic)
+        .fault_every(5, ChaosFault::WrongLength);
+    let config = RuntimeConfig {
+        guard: GuardConfig {
+            fault_threshold: 2,
+            cooldown_windows: 4,
+            ..GuardConfig::default()
+        },
+        ..RuntimeConfig::default()
+    };
+    let mut rt =
+        StreamingDlacep::with_config(pattern.clone(), chaotic, config).expect("pattern compiles");
+    for ev in live.events() {
+        rt.ingest(ev.type_id, ev.ts.0, ev.attrs.clone()).unwrap();
+    }
+    let stormy = rt.finish();
+    println!(
+        "streaming under chaos matches : {} (mode {:?})",
+        stormy.matches.len(),
+        stormy.final_mode
+    );
+    println!(
+        "  faults caught: {} ({} panics, {} wrong-length); breaker trips: {}; degraded windows: {}/{}",
+        stormy.guard.faults_total,
+        stormy.guard.panics,
+        stormy.guard.wrong_length,
+        stormy.guard.breaker_trips,
+        stormy.windows_degraded,
+        stormy.windows_evaluated
+    );
+    println!("  mode timeline:");
+    for t in &stormy.timeline {
+        println!("    window {:>3}  {:?} ({:?})", t.window, t.mode, t.cause);
+    }
+    assert_eq!(stormy.matches.len(), batch.matches.len());
+
+    // 3. Out-of-order feed under the Drop policy: timestamp regressions are
+    // shed instead of panicking the stream.
+    let mut rt = StreamingDlacep::with_config(
+        pattern.clone(),
+        OracleFilter::new(pattern.clone()),
+        RuntimeConfig {
+            ooo_policy: OutOfOrderPolicy::Drop,
+            ..RuntimeConfig::default()
+        },
+    )
+    .expect("pattern compiles");
+    for ev in live.events() {
+        let ts = if ev.id.0 % 11 == 7 {
+            ev.ts.0.saturating_sub(3)
+        } else {
+            ev.ts.0
+        };
+        rt.ingest(ev.type_id, ts, ev.attrs.clone()).unwrap();
+    }
+    let ooo = rt.finish();
+    println!(
+        "out-of-order feed             : {} offered, {} admitted, {} dropped, {} matches",
+        ooo.events_offered,
+        ooo.events_admitted,
+        ooo.events_dropped,
+        ooo.matches.len()
+    );
+
+    // 4. Reject policy: a timestamp regression surfaces as a typed error,
+    // and the runtime stays usable afterwards.
+    let mut rt = StreamingDlacep::new(pattern.clone(), OracleFilter::new(pattern.clone()))
+        .expect("pattern compiles");
+    rt.ingest(TypeId(0), 10, vec![0.0]).unwrap();
+    match rt.ingest(TypeId(1), 3, vec![0.0]) {
+        Err(e) => println!("reject policy                 : {e}"),
+        Ok(_) => unreachable!("regression must be rejected"),
+    }
+    rt.ingest(TypeId(1), 11, vec![0.0])
+        .expect("still usable after a rejected event");
+
+    // 5. Partial-match budget: an A-burst opens far more partial sequences
+    // than the cap; the extractor sheds the oldest and stays bounded.
+    let burst = Pattern::new(
+        PatternExpr::Seq(vec![
+            PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
+            PatternExpr::event(TypeSet::single(TypeId(1)), "b"),
+        ]),
+        vec![],
+        WindowSpec::Count(64),
+    );
+    let mut rt = StreamingDlacep::with_config(
+        burst.clone(),
+        OracleFilter::new(burst),
+        RuntimeConfig {
+            max_partials: Some(4),
+            ..RuntimeConfig::default()
+        },
+    )
+    .expect("pattern compiles");
+    for i in 0..200u64 {
+        let t = if i % 10 == 9 { TypeId(1) } else { TypeId(0) };
+        rt.ingest(t, i, vec![0.0]).unwrap();
+        assert!(rt.stored_partials() <= 4);
+    }
+    let budgeted = rt.finish();
+    println!(
+        "budgeted run                  : {} matches, {} partials shed (cap 4)",
+        budgeted.matches.len(),
+        budgeted.extractor_stats.partials_shed
+    );
+}

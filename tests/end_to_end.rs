@@ -22,7 +22,11 @@ fn seq_pattern(types: &[u32], w: u64) -> Pattern {
 
 #[test]
 fn oracle_pipeline_is_lossless_on_stock_data() {
-    let (_, stream) = StockConfig { num_events: 3_000, ..Default::default() }.generate();
+    let (_, stream) = StockConfig {
+        num_events: 3_000,
+        ..Default::default()
+    }
+    .generate();
     let pattern = seq_pattern(&[0, 1, 2], 12);
     let truth = ground_truth_matches(&pattern, stream.events());
     assert!(!truth.is_empty(), "pattern should match the stock stream");
@@ -37,7 +41,11 @@ fn oracle_pipeline_is_lossless_on_stock_data() {
 
 #[test]
 fn trained_event_filter_end_to_end_on_synthetic_data() {
-    let (_, stream) = SyntheticConfig { num_events: 10_000, ..Default::default() }.generate();
+    let (_, stream) = SyntheticConfig {
+        num_events: 10_000,
+        ..Default::default()
+    }
+    .generate();
     let pattern = seq_pattern(&[0, 1], 8);
     let events = stream.events();
     let train = EventStream::from_events(events[..7_000].to_vec()).unwrap();
@@ -56,7 +64,11 @@ fn trained_event_filter_end_to_end_on_synthetic_data() {
 
 #[test]
 fn window_filter_end_to_end() {
-    let (_, stream) = SyntheticConfig { num_events: 8_000, ..Default::default() }.generate();
+    let (_, stream) = SyntheticConfig {
+        num_events: 8_000,
+        ..Default::default()
+    }
+    .generate();
     let pattern = seq_pattern(&[2, 3], 8);
     let events = stream.events();
     let train = EventStream::from_events(events[..6_000].to_vec()).unwrap();
@@ -72,8 +84,12 @@ fn window_filter_end_to_end() {
 
 #[test]
 fn parsed_pattern_flows_through_whole_stack() {
-    let (schema, stream) = StockConfig { num_events: 4_000, num_tickers: 16, ..Default::default() }
-        .generate();
+    let (schema, stream) = StockConfig {
+        num_events: 4_000,
+        num_tickers: 16,
+        ..Default::default()
+    }
+    .generate();
     let pattern = parse_pattern(
         &schema,
         "SEQ(S000 a, S001 b) WHERE 0.5 * a.vol < b.vol < 2.0 * a.vol WITHIN 10",
@@ -90,11 +106,18 @@ fn parsed_pattern_flows_through_whole_stack() {
 fn negation_pattern_pipeline_has_no_spurious_matches_when_negator_kept() {
     // With the oracle filter the negation-admissible events are relayed, so
     // the extractor sees them and rejects gap-violating matches.
-    let (_, stream) = SyntheticConfig { num_events: 5_000, ..Default::default() }.generate();
+    let (_, stream) = SyntheticConfig {
+        num_events: 5_000,
+        ..Default::default()
+    }
+    .generate();
     let pattern = Pattern::new(
         PatternExpr::Seq(vec![
             PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
-            PatternExpr::Neg(Box::new(PatternExpr::event(TypeSet::single(TypeId(1)), "n"))),
+            PatternExpr::Neg(Box::new(PatternExpr::event(
+                TypeSet::single(TypeId(1)),
+                "n",
+            ))),
             PatternExpr::event(TypeSet::single(TypeId(2)), "b"),
         ]),
         vec![],
@@ -106,9 +129,17 @@ fn negation_pattern_pipeline_has_no_spurious_matches_when_negator_kept() {
     let truth_keys: std::collections::BTreeSet<_> =
         truth.iter().map(|m| m.event_ids.clone()).collect();
     for m in &report.matches {
-        assert!(truth_keys.contains(&m.event_ids), "spurious match {:?}", m.event_ids);
+        assert!(
+            truth_keys.contains(&m.event_ids),
+            "spurious match {:?}",
+            m.event_ids
+        );
     }
-    assert_eq!(report.matches.len(), truth.len(), "oracle negation pipeline is lossless");
+    assert_eq!(
+        report.matches.len(),
+        truth.len(),
+        "oracle negation pipeline is lossless"
+    );
 }
 
 #[test]
@@ -116,7 +147,11 @@ fn engines_agree_across_crates_on_generated_data() {
     use dlacep::cep::plan::Plan;
     use dlacep::cep::tree::estimate_cost_model;
     use dlacep::cep::{LazyEngine, TreeEngine};
-    let (_, stream) = StockConfig { num_events: 2_000, ..Default::default() }.generate();
+    let (_, stream) = StockConfig {
+        num_events: 2_000,
+        ..Default::default()
+    }
+    .generate();
     let pattern = seq_pattern(&[0, 1, 2], 10);
     let plan = Plan::compile(&pattern).unwrap();
     let model = estimate_cost_model(&plan.branches[0], stream.events());
@@ -137,11 +172,13 @@ fn throughput_gain_reflects_partial_match_reduction() {
     // The §3.2 story end-to-end: a selective pattern on a heavy stream; the
     // oracle-filtered extractor must create far fewer partial matches.
     use dlacep::cep::Predicate;
-    let (_, stream) = StockConfig { num_events: 4_000, ..Default::default() }.generate();
+    let (_, stream) = StockConfig {
+        num_events: 4_000,
+        ..Default::default()
+    }
+    .generate();
     let leaves: Vec<PatternExpr> = (0..4)
-        .map(|i| {
-            PatternExpr::event(TypeSet::new((0..6).map(TypeId).collect()), format!("s{i}"))
-        })
+        .map(|i| PatternExpr::event(TypeSet::new((0..6).map(TypeId).collect()), format!("s{i}")))
         .collect();
     let pattern = Pattern::new(
         PatternExpr::Seq(leaves),
@@ -152,8 +189,7 @@ fn throughput_gain_reflects_partial_match_reduction() {
     let dl = Dlacep::new(pattern.clone(), OracleFilter::new(pattern)).unwrap();
     let report = dl.run(stream.events());
     assert!(
-        report.extractor_stats.partial_matches_created * 2
-            < ecep_stats.partial_matches_created,
+        report.extractor_stats.partial_matches_created * 2 < ecep_stats.partial_matches_created,
         "filtered {} vs exact {}",
         report.extractor_stats.partial_matches_created,
         ecep_stats.partial_matches_created

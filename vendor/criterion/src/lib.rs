@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements just enough of the criterion 0.5 API for the workspace's bench
+//! targets to compile and run: [`Criterion`], benchmark groups,
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of statistical
+//! sampling it times a fixed, small number of iterations per benchmark and
+//! prints mean wall-clock time — enough for `cargo bench` to produce
+//! comparable numbers and for `cargo test` to type-check the benches.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Default number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let n = self.sample_size;
+        run_benchmark(&id.into().0, n, f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Time `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(&label, self.sample_size, f);
+    }
+
+    /// Time `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+    }
+
+    /// End the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Parameter-only form, used when the group name already names the axis.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` for the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // One untimed warm-up iteration, then `sample_size` timed iterations.
+    let mut warmup = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warmup);
+    let mut b = Bencher {
+        iters: sample_size.max(1) as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    println!(
+        "bench {label:<48} {:>12.3} us/iter ({} iters)",
+        per_iter * 1e6,
+        b.iters
+    );
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more `criterion_group!` bundles.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sums");
+        group.sample_size(3);
+        group.bench_function("small", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(1000u64), &1000u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sum_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+    }
+}

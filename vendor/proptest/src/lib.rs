@@ -1,0 +1,304 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset the workspace's property tests use: the [`proptest!`]
+//! macro (with an optional `#![proptest_config(...)]` header), range and
+//! collection strategies, and `prop_assert!`/`prop_assert_eq!`. Cases are
+//! generated from a deterministic per-test RNG (seeded from the test name),
+//! so failures reproduce across runs. No shrinking: a failing case reports
+//! its case index and message and panics immediately.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Per-run configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed property-test assertion.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Deterministic case RNG, seeded from the test name.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed from an arbitrary string (the macro passes the test name).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.rng().gen_range(self.start..self.end)
+    }
+}
+
+/// A constant strategy (always yields clones of its value).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Element counts accepted by [`collection::vec`]: an exact length or a
+/// half-open range of lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use rand::Rng;
+
+        /// A `Vec` whose elements come from `element` and whose length is
+        /// drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = if self.size.lo + 1 >= self.size.hi {
+                    self.size.lo
+                } else {
+                    rng.rng().gen_range(self.size.lo..self.size.hi)
+                };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Define property tests. Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..10, v in prop::collection::vec(0u8..4, 1..14)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[test] fn $name:ident ($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property body; failure aborts only the current case path
+/// (here: reports and panics, since the stand-in does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in -1.0f32..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u8..4, 1..14), w in prop::collection::vec(0u64..5, 6)) {
+            prop_assert!((1..14).contains(&v.len()));
+            prop_assert_eq!(w.len(), 6);
+        }
+    }
+
+    #[test]
+    fn prop_assert_produces_err() {
+        let r: Result<(), TestCaseError> = (|| {
+            let x = 3u32;
+            prop_assert!(x > 100, "x was {x}");
+            Ok(())
+        })();
+        assert!(r.unwrap_err().0.contains("x was 3"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! small API subset it actually uses: [`Rng::gen_range`] over half-open
+//! ranges, [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256++ seeded via
+//! splitmix64 — deterministic across platforms, which the experiment harness
+//! relies on for reproducible streams.
+
+/// Types that can be sampled uniformly from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi)` from the next RNG output(s).
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform sample in `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires a non-empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift bounded sampling; bias is < 2^-64, far below
+                // anything the tests can observe.
+                let r = rng.next_u64() as u128;
+                let v = (r * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range requires a non-empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = rng.next_u64() as u128;
+                let v = (r * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range requires a non-empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range requires a non-empty range");
+        if lo == hi {
+            lo
+        } else {
+            // The right endpoint has measure zero; half-open is equivalent.
+            Self::sample_half_open(rng, lo, hi)
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_half_open(rng, lo as f64, hi as f64) as f32
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// Range shapes accepted by [`Rng::gen_range`]: `lo..hi` and `lo..=hi`.
+pub trait SampleRange<T: SampleUniform> {
+    /// Draw one uniform sample from this range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Core entropy source: 64 random bits per call.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (blanket-implemented over [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Uniform sample from `lo..hi` or `lo..=hi`.
+    fn gen_range<T: SampleUniform, Sr: SampleRange<T>>(&mut self, range: Sr) -> T {
+        range.sample_from(self)
+    }
+
+    /// A uniform float in `[0, 1)`.
+    fn gen<T: FromUnit>(&mut self) -> T {
+        T::from_unit(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_half_open(self, 0.0, 1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Helper for `gen::<f32/f64>()` (unit-interval sampling).
+pub trait FromUnit: Sized {
+    /// Sample from `[0, 1)`.
+    fn from_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromUnit for f64 {
+    fn from_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        f64::sample_half_open(rng, 0.0, 1.0)
+    }
+}
+
+impl FromUnit for f32 {
+    fn from_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        f32::sample_half_open(rng, 0.0, 1.0)
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically build from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Named RNG implementations.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    /// Alias — the workspace only needs one generator quality tier.
+    pub type SmallRng = StdRng;
+}
+
+/// Sequence-related sampling.
+pub mod seq {
+    use super::RngCore;
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` when empty.
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = ((rng.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                let j = ((rng.next_u64() as u128 * self.len() as u128) >> 64) as usize;
+                self.get(j)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i8..5);
+            assert!((-5..5).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

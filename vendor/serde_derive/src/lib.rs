@@ -1,0 +1,428 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Parses the deriving item with hand-rolled token inspection (the container
+//! has no crates.io access, so `syn`/`quote` are unavailable) and emits
+//! `to_value` / `from_value` impls against `serde::Value`. Supports the
+//! shapes this workspace serializes: plain structs with named fields, tuple
+//! structs (single-field newtypes serialize transparently, like serde),
+//! unit structs, and enums with unit / tuple / struct variants under
+//! external tagging. Generics and `#[serde(...)]` attributes are
+//! intentionally unsupported and panic at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Self {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip any number of outer attributes (`#[...]`), including doc
+    /// comments, which reach the macro in attribute form.
+    fn skip_attrs(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            self.pos += 1;
+                        }
+                        _ => panic!("serde stand-in derive: stray `#`"),
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde stand-in derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consume tokens of one type expression, stopping at a comma that is
+    /// outside every `<...>` nesting level.
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Count the comma-separated fields of a tuple-struct/-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut n = 0;
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        c.skip_type();
+        n += 1;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+            None => break,
+            other => panic!("serde stand-in derive: unexpected token in tuple body: {other:?}"),
+        }
+    }
+    n
+}
+
+/// Collect the field names of a named-struct/-variant body.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(body);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        names.push(c.expect_ident());
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stand-in derive: expected `:` after field, got {other:?}"),
+        }
+        c.skip_type();
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+            None => break,
+            other => panic!("serde stand-in derive: unexpected token after field: {other:?}"),
+        }
+    }
+    names
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream());
+                c.pos += 1;
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde stand-in derive: explicit discriminants are unsupported")
+            }
+            other => panic!("serde stand-in derive: unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, ItemKind) {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let keyword = c.expect_ident();
+    let name = c.expect_ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stand-in derive: generic types are unsupported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, ItemKind::NamedStruct(named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, ItemKind::TupleStruct(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, ItemKind::UnitStruct),
+            other => panic!("serde stand-in derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, ItemKind::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("serde stand-in derive: unexpected enum body: {other:?}"),
+        },
+        kw => panic!("serde stand-in derive: unsupported item kind `{kw}`"),
+    }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_item(input);
+    let body = match &kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Map(vec![{entries}])")
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let entries = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Seq(vec![{entries}])")
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(x0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let pats = (0..*n)
+                                .map(|i| format!("x{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let vals = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn}({pats}) => ::serde::Value::Map(vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Seq(vec![{vals}]))])"
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let pats = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn} {{ {pats} }} => ::serde::Value::Map(vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Map(vec![{entries}]))])"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_item(input);
+    let body = match &kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(m, \"{f}\")?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let m = v.as_map().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let inits = (0..*n)
+                .map(|i| format!("::serde::elem(s, {i})?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let s = v.as_seq().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected sequence for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let tagged_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(val)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits = (0..*n)
+                                .map(|i| format!("::serde::elem(s, {i})?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            Some(format!(
+                                "\"{vn}\" => {{ let s = val.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected sequence for {name}::{vn}\"))?; \
+                                 ::std::result::Result::Ok({name}::{vn}({inits})) }},"
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(m, \"{f}\")?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            Some(format!(
+                                "\"{vn}\" => {{ let m = val.as_map().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected map for {name}::{vn}\"))?; \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) }},"
+                            ))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         #[allow(unreachable_patterns)]\n\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\
+                             format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (tag, val) = &m[0];\n\
+                         let _ = val;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             #[allow(unreachable_patterns)]\n\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::new(\
+                         \"expected externally-tagged enum for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
