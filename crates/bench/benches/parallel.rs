@@ -1,0 +1,98 @@
+//! Benchmarks of the `dlacep-par` execution layer: matrix kernels serial vs
+//! pooled, and the batch pipeline serial vs a 4-thread `Parallelism` config.
+//! The determinism contract means the parallel rows here must produce the
+//! same numbers as the serial ones — only the wall-clock should move.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlacep_cep::{Pattern, PatternExpr, TypeSet};
+use dlacep_core::prelude::*;
+use dlacep_core::Parallelism;
+use dlacep_data::StockConfig;
+use dlacep_events::{TypeId, WindowSpec};
+use dlacep_nn::Matrix;
+use dlacep_par::ThreadPool;
+
+fn seq_pattern(types: &[u32], w: u64) -> Pattern {
+    let leaves = types
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| PatternExpr::event(TypeSet::single(TypeId(t)), format!("s{i}")))
+        .collect();
+    Pattern::new(PatternExpr::Seq(leaves), vec![], WindowSpec::Count(w))
+}
+
+fn mat(rows: usize, cols: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let h = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(j as u64 + salt)
+            .wrapping_mul(1442695040888963407);
+        ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.4
+    })
+}
+
+fn matmul_kernels(c: &mut Criterion) {
+    // The matrix kernels dispatch through the process-wide ambient pool,
+    // which is initialized exactly once from `DLACEP_THREADS` — so the
+    // serial/pooled comparison is two bench invocations, not two groups:
+    // `cargo bench --bench parallel` vs `DLACEP_THREADS=4 cargo bench
+    // --bench parallel`. The group label records which one this run was.
+    let threads = dlacep_par::ambient().map_or(1, |p| p.threads());
+    let mut group = c.benchmark_group(format!("matmul_threads{threads}"));
+    group.sample_size(20);
+    for n in [64usize, 128, 256] {
+        let a = mat(n, n, 1);
+        let b = mat(n, n, 2);
+        group.bench_function(format!("{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn pool_overhead(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group("pool");
+    group.sample_size(20);
+    group.bench_function("parallel_map_4k", |b| {
+        let items: Vec<u64> = (0..4096).collect();
+        b.iter(|| {
+            let out = pool.parallel_map(&items, 64, |_, &x| x.wrapping_mul(2654435761) >> 7);
+            black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+fn pipeline_parallelism(c: &mut Criterion) {
+    let (_, stream) = StockConfig {
+        num_events: 6_000,
+        ..Default::default()
+    }
+    .generate();
+    let pattern = seq_pattern(&[0, 1, 2], 12);
+    let mut group = c.benchmark_group("pipeline_par");
+    group.sample_size(10);
+
+    let serial = Dlacep::new(pattern.clone(), OracleFilter::new(pattern.clone())).unwrap();
+    group.bench_function("serial", |b| {
+        b.iter(|| serial.run(stream.events()).matches.len())
+    });
+
+    for threads in [2usize, 4] {
+        let par = Parallelism {
+            threads,
+            min_batch_windows: 1,
+            shard_events: 256,
+        };
+        let dl = Dlacep::with_parallelism(pattern.clone(), OracleFilter::new(pattern.clone()), par)
+            .unwrap();
+        group.bench_function(format!("threads{threads}"), |b| {
+            b.iter(|| dl.run(stream.events()).matches.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, matmul_kernels, pool_overhead, pipeline_parallelism);
+criterion_main!(benches);

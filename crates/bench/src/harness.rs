@@ -11,8 +11,8 @@ use dlacep_core::trainer::{train_event_filter, train_window_filter};
 use dlacep_core::{EventEmbedder, Filter};
 use dlacep_events::{EventStream, PrimitiveEvent};
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
 use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which filter variant to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +50,7 @@ impl FilterKind {
 /// requested in assembler order.
 pub struct ReplayFilter {
     marks: Vec<Vec<bool>>,
-    pos: Cell<usize>,
+    pos: AtomicUsize,
     net: EventNetwork,
     embedder: EventEmbedder,
 }
@@ -77,7 +77,7 @@ impl ReplayFilter {
         });
         Self {
             marks,
-            pos: Cell::new(0),
+            pos: AtomicUsize::new(0),
             net,
             embedder,
         }
@@ -89,8 +89,7 @@ impl Filter for ReplayFilter {
         // Pay the neural marking cost (result intentionally unused).
         let embeds = self.embedder.embed_window(window, window.len());
         let _ = self.net.marginals(&embeds);
-        let i = self.pos.get();
-        self.pos.set(i + 1);
+        let i = self.pos.fetch_add(1, Ordering::Relaxed);
         self.marks
             .get(i)
             .cloned()

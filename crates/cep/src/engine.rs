@@ -68,6 +68,24 @@ pub struct EngineStats {
     pub partials_shed: u64,
 }
 
+impl EngineStats {
+    /// Fold another engine's counters into this one: additive counters are
+    /// summed, `peak_partial_matches` takes the max (shards hold their
+    /// partial sets concurrently, but the per-shard peak is the meaningful
+    /// memory bound since each shard owns its budget).
+    ///
+    /// Sharded runs call this in shard-index order, so merged stats are
+    /// deterministic and independent of thread count.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.events_processed += other.events_processed;
+        self.partial_matches_created += other.partial_matches_created;
+        self.peak_partial_matches = self.peak_partial_matches.max(other.peak_partial_matches);
+        self.matches_emitted += other.matches_emitted;
+        self.condition_evaluations += other.condition_evaluations;
+        self.partials_shed += other.partials_shed;
+    }
+}
+
 /// A streaming CEP evaluation mechanism.
 pub trait CepEngine {
     /// Feed one event (ids must be strictly increasing across calls).

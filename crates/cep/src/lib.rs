@@ -20,6 +20,7 @@ pub mod lazy;
 pub mod nfa;
 pub mod pattern;
 pub mod plan;
+pub mod sharded;
 pub mod stats;
 pub mod tree;
 
@@ -29,4 +30,5 @@ pub use nfa::{NfaConfig, NfaEngine};
 pub use pattern::ast::{Pattern, PatternExpr, TypeSet};
 pub use pattern::condition::{CmpOp, Expr, Predicate};
 pub use plan::{CompileError, Plan};
+pub use sharded::{run_sharded, shard_layout, Shard};
 pub use tree::{CostModel, TreeEngine};

@@ -11,7 +11,7 @@ use crate::filter::Filter;
 use dlacep_events::PrimitiveEvent;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The injectable fault classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,11 +41,16 @@ enum When {
 ///
 /// Rules are checked in the order they were added; the first match wins.
 /// Calls matching no rule are forwarded to the inner filter untouched.
+///
+/// Faults are keyed off the `mark` **call index**, so schedules are only
+/// meaningful under serial evaluation: a batched runtime that marks windows
+/// speculatively in parallel scrambles the call order. Keep chaos tests on
+/// the serial ingest path.
 pub struct ChaosFilter<F> {
     inner: F,
     rules: Vec<(When, ChaosFault)>,
-    calls: Cell<usize>,
-    last_call: Cell<usize>,
+    calls: AtomicUsize,
+    last_call: AtomicUsize,
 }
 
 impl<F: Filter> ChaosFilter<F> {
@@ -54,8 +59,8 @@ impl<F: Filter> ChaosFilter<F> {
         Self {
             inner,
             rules: Vec::new(),
-            calls: Cell::new(0),
-            last_call: Cell::new(0),
+            calls: AtomicUsize::new(0),
+            last_call: AtomicUsize::new(0),
         }
     }
 
@@ -84,7 +89,7 @@ impl<F: Filter> ChaosFilter<F> {
 
     /// Number of `mark` invocations so far.
     pub fn calls(&self) -> usize {
-        self.calls.get()
+        self.calls.load(Ordering::Relaxed)
     }
 
     fn fault_for(&self, idx: usize) -> Option<ChaosFault> {
@@ -101,9 +106,8 @@ impl<F: Filter> ChaosFilter<F> {
 
 impl<F: Filter> Filter for ChaosFilter<F> {
     fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
-        let idx = self.calls.get();
-        self.calls.set(idx + 1);
-        self.last_call.set(idx);
+        let idx = self.calls.fetch_add(1, Ordering::Relaxed);
+        self.last_call.store(idx, Ordering::Relaxed);
         match self.fault_for(idx) {
             Some(ChaosFault::Panic) => panic!("chaos: injected filter panic at call {idx}"),
             Some(ChaosFault::WrongLength) => {
@@ -119,7 +123,7 @@ impl<F: Filter> Filter for ChaosFilter<F> {
     fn scores(&self, window: &[PrimitiveEvent]) -> Option<Vec<f32>> {
         // Guards call `scores` right after `mark` on the same window; key the
         // fault off the call `mark` just served.
-        match self.fault_for(self.last_call.get()) {
+        match self.fault_for(self.last_call.load(Ordering::Relaxed)) {
             Some(ChaosFault::NonFiniteScores) => Some(vec![f32::NAN; window.len()]),
             _ => self.inner.scores(window),
         }

@@ -14,7 +14,11 @@ use dlacep_cep::Pattern;
 use dlacep_events::PrimitiveEvent;
 
 /// Marks the events of one assembler window that should survive filtration.
-pub trait Filter {
+///
+/// `Send + Sync` is a supertrait so the runtime can evaluate independent
+/// windows on a `dlacep-par` pool; filters needing interior mutability must
+/// use atomics or locks rather than `Cell`/`RefCell`.
+pub trait Filter: Send + Sync {
     /// One mark per event; `true` = relay to the CEP extractor.
     fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool>;
 

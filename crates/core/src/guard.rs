@@ -108,6 +108,13 @@ pub struct GuardStats {
     pub windows_bypassed: u64,
 }
 
+/// Raw result of one filter invocation computed speculatively (off the
+/// guard, e.g. on a worker thread): `None` when the filter panicked,
+/// otherwise the marks plus the scores when score validation is enabled.
+/// Produced by callers under their own `catch_unwind`, consumed by
+/// [`FilterGuard::mark_speculative`].
+pub type SpeculativeInvocation = Option<(Vec<bool>, Option<Vec<f32>>)>;
+
 /// Result of one guarded marking call.
 #[derive(Debug, Clone)]
 pub struct GuardOutcome {
@@ -160,6 +167,12 @@ impl<F: Filter> FilterGuard<F> {
         self.state
     }
 
+    /// The guard's configuration (speculative executors read
+    /// `validate_scores` to know whether to compute scores).
+    pub fn config(&self) -> &GuardConfig {
+        &self.config
+    }
+
     /// Fault and breaker counters.
     pub fn stats(&self) -> &GuardStats {
         &self.stats
@@ -183,7 +196,42 @@ impl<F: Filter> FilterGuard<F> {
             self.transition(BreakerState::HalfOpen, &mut transitions);
         }
 
-        let fault = match self.invoke(window) {
+        let result = self.invoke(window);
+        self.settle(window.len(), result, transitions)
+    }
+
+    /// Like [`FilterGuard::mark`], but consuming a filter invocation that
+    /// was already computed speculatively (on a worker thread, under the
+    /// caller's own `catch_unwind`). Validation, fault accounting and
+    /// breaker transitions are identical to a live `mark` call.
+    ///
+    /// Speculation is only meaningful while the breaker is
+    /// [`BreakerState::Closed`] — in any other state the guard itself
+    /// decides whether the filter runs at all, so this falls back to a
+    /// live [`FilterGuard::mark`] call and the precomputed result is
+    /// discarded.
+    pub fn mark_speculative(
+        &mut self,
+        window: &[PrimitiveEvent],
+        raw: SpeculativeInvocation,
+    ) -> GuardOutcome {
+        if self.state != BreakerState::Closed {
+            return self.mark(window);
+        }
+        let result = self.validate(window.len(), raw);
+        self.settle(window.len(), result, Vec::new())
+    }
+
+    /// Shared post-invocation bookkeeping for live and speculative marks:
+    /// fault counters, consecutive-fault tracking, breaker transitions,
+    /// fail-open mark substitution.
+    fn settle(
+        &mut self,
+        window_len: usize,
+        result: Result<Vec<bool>, FaultKind>,
+        mut transitions: Vec<(BreakerState, BreakerState)>,
+    ) -> GuardOutcome {
+        let fault = match result {
             Ok(marks) => {
                 // Healthy invocation.
                 self.consecutive_faults = 0;
@@ -219,7 +267,7 @@ impl<F: Filter> FilterGuard<F> {
             self.transition(BreakerState::Open, &mut transitions);
         }
         GuardOutcome {
-            marks: vec![true; window.len()],
+            marks: vec![true; window_len],
             fault: Some(fault),
             filter_invoked: true,
             transitions,
@@ -235,7 +283,7 @@ impl<F: Filter> FilterGuard<F> {
     fn invoke(&self, window: &[PrimitiveEvent]) -> Result<Vec<bool>, FaultKind> {
         let validate = self.config.validate_scores;
         let filter = &self.filter;
-        let out = catch_unwind(AssertUnwindSafe(|| {
+        let raw = catch_unwind(AssertUnwindSafe(|| {
             let marks = filter.mark(window);
             let scores = if validate {
                 filter.scores(window)
@@ -243,12 +291,19 @@ impl<F: Filter> FilterGuard<F> {
                 None
             };
             (marks, scores)
-        }));
-        let (marks, scores) = out.map_err(|_| FaultKind::Panicked)?;
-        if marks.len() != window.len() {
+        }))
+        .ok();
+        self.validate(window.len(), raw)
+    }
+
+    /// Validate a raw invocation result exactly as a live call would:
+    /// length first, then score finiteness.
+    fn validate(&self, want: usize, raw: SpeculativeInvocation) -> Result<Vec<bool>, FaultKind> {
+        let (marks, scores) = raw.ok_or(FaultKind::Panicked)?;
+        if marks.len() != want {
             return Err(FaultKind::WrongLength {
                 got: marks.len(),
-                want: window.len(),
+                want,
             });
         }
         if let Some(scores) = scores {
@@ -275,18 +330,20 @@ mod tests {
     }
 
     /// Fails in a configurable way for the first `faulty_calls` invocations.
+    /// Atomic state because [`Filter`] is `Sync`.
     struct Flaky {
-        faulty_calls: std::cell::Cell<usize>,
+        faulty_calls: std::sync::atomic::AtomicUsize,
         kind: &'static str,
     }
 
     impl Filter for Flaky {
         fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
-            let left = self.faulty_calls.get();
+            use std::sync::atomic::Ordering;
+            let left = self.faulty_calls.load(Ordering::Relaxed);
             if left == 0 {
                 return vec![false; window.len()];
             }
-            self.faulty_calls.set(left - 1);
+            self.faulty_calls.store(left - 1, Ordering::Relaxed);
             match self.kind {
                 "panic" => panic!("injected"),
                 "short" => vec![true; window.len() / 2],
@@ -295,7 +352,9 @@ mod tests {
         }
 
         fn scores(&self, window: &[PrimitiveEvent]) -> Option<Vec<f32>> {
-            if self.kind == "nan" && self.faulty_calls.get() > 0 {
+            if self.kind == "nan"
+                && self.faulty_calls.load(std::sync::atomic::Ordering::Relaxed) > 0
+            {
                 // Note: mark() already decremented; emulate via fresh count.
                 return Some(vec![f32::NAN; window.len()]);
             }
@@ -418,11 +477,12 @@ mod tests {
     #[test]
     fn consecutive_counter_resets_on_success() {
         // Alternate fault/success below the threshold: never trips.
-        struct Alternating(std::cell::Cell<bool>);
+        struct Alternating(std::sync::atomic::AtomicBool);
         impl Filter for Alternating {
             fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
-                let bad = self.0.get();
-                self.0.set(!bad);
+                use std::sync::atomic::Ordering;
+                let bad = self.0.load(Ordering::Relaxed);
+                self.0.store(!bad, Ordering::Relaxed);
                 if bad {
                     panic!("every other call");
                 }
@@ -469,5 +529,55 @@ mod tests {
             },
         );
         assert!(lax.mark(w.events()).fault.is_none());
+    }
+
+    #[test]
+    fn speculative_mark_matches_live_semantics() {
+        let w = window(6);
+        // Healthy precomputed result: marks accepted verbatim.
+        let mut g = FilterGuard::new(PassthroughFilter, cfg(2, 3));
+        let out = g.mark_speculative(w.events(), Some((vec![false; 6], None)));
+        assert_eq!(out.marks, vec![false; 6]);
+        assert!(out.fault.is_none());
+        assert!(out.filter_invoked);
+
+        // Faults count and trip exactly like live calls.
+        let mut g = FilterGuard::new(PassthroughFilter, cfg(2, 3));
+        let out = g.mark_speculative(w.events(), None);
+        assert_eq!(out.fault, Some(FaultKind::Panicked));
+        assert_eq!(out.marks, vec![true; 6], "fault fails open");
+        let out = g.mark_speculative(w.events(), Some((vec![true; 2], None)));
+        assert_eq!(out.fault, Some(FaultKind::WrongLength { got: 2, want: 6 }));
+        assert_eq!(g.state(), BreakerState::Open, "two faults trip cfg(2, _)");
+        assert_eq!(g.stats().breaker_trips, 1);
+        assert_eq!(g.stats().panics, 1);
+        assert_eq!(g.stats().wrong_length, 1);
+    }
+
+    #[test]
+    fn speculative_mark_validates_scores() {
+        let w = window(4);
+        let mut g = FilterGuard::new(PassthroughFilter, cfg(3, 2));
+        let raw = Some((vec![true; 4], Some(vec![0.5, f32::NAN, 0.5, 0.5])));
+        let out = g.mark_speculative(w.events(), raw);
+        assert_eq!(out.fault, Some(FaultKind::NonFiniteScore));
+    }
+
+    #[test]
+    fn speculative_mark_falls_back_to_live_when_not_closed() {
+        let flaky = Flaky {
+            faulty_calls: 1.into(),
+            kind: "panic",
+        };
+        let mut g = FilterGuard::new(flaky, cfg(1, 2));
+        let w = window(4);
+        g.mark(w.events()); // trip
+        assert_eq!(g.state(), BreakerState::Open);
+        // The stale precomputed result must be discarded: the guard is Open,
+        // so this is a bypass window, not an accepted speculative mark.
+        let out = g.mark_speculative(w.events(), Some((vec![false; 4], None)));
+        assert!(!out.filter_invoked);
+        assert_eq!(out.marks, vec![true; 4]);
+        assert_eq!(g.stats().windows_bypassed, 1);
     }
 }

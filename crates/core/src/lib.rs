@@ -64,6 +64,7 @@ pub mod trainer;
 
 pub use assembler::{AssemblerConfig, AssemblerError};
 pub use chaos::{out_of_order_timestamps, ChaosFault, ChaosFilter};
+pub use dlacep_par::{Parallelism, PoolStats};
 pub use drift::{DriftConfig, DriftMonitor, DriftState};
 pub use embed::EventEmbedder;
 pub use filter::{EventNetFilter, Filter, OracleFilter, PassthroughFilter, WindowNetFilter};

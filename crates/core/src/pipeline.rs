@@ -5,9 +5,12 @@ use crate::assembler::{AssemblerConfig, AssemblerError};
 use crate::filter::Filter;
 use dlacep_cep::engine::CepEngine;
 use dlacep_cep::plan::{CompileError, Plan};
+use dlacep_cep::sharded::run_sharded;
 use dlacep_cep::{EngineStats, Match, NfaConfig, NfaEngine, Pattern};
 use dlacep_events::PrimitiveEvent;
+use dlacep_par::{Parallelism, PoolStats, ThreadPool};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors raised when constructing a [`Dlacep`] pipeline.
@@ -63,6 +66,9 @@ pub struct DlacepReport {
     /// Each such window fails open: all of its events are relayed, trading
     /// throughput for recall.
     pub filter_faults: usize,
+    /// Cumulative scheduling counters of the pipeline's pool; `None` on the
+    /// serial path.
+    pub pool: Option<PoolStats>,
 }
 
 impl DlacepReport {
@@ -88,6 +94,8 @@ pub struct Dlacep<F: Filter> {
     plan: Plan,
     assembler: AssemblerConfig,
     filter: F,
+    par: Parallelism,
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl<F: Filter> Dlacep<F> {
@@ -113,7 +121,34 @@ impl<F: Filter> Dlacep<F> {
             plan,
             assembler,
             filter,
+            par: Parallelism::default(),
+            pool: None,
         })
+    }
+
+    /// Build with the paper-default assembler and an explicit parallel
+    /// execution config.
+    pub fn with_parallelism(
+        pattern: Pattern,
+        filter: F,
+        par: Parallelism,
+    ) -> Result<Self, DlacepError> {
+        let mut dl = Self::new(pattern, filter)?;
+        dl.set_parallelism(par);
+        Ok(dl)
+    }
+
+    /// Replace the parallel execution config, (re)building the pool. A
+    /// config resolving to one thread drops the pool and restores the
+    /// serial path.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+        self.pool = par.build_pool();
+    }
+
+    /// The active parallel execution config.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
     }
 
     /// The wrapped filter.
@@ -143,26 +178,29 @@ impl<F: Filter> Dlacep<F> {
     /// exact ECEP match set (no false positives, negation patterns aside).
     /// Duplicate marks from overlapping assembler windows are erased before
     /// relaying (§4.2).
+    ///
+    /// With a multi-thread [`Parallelism`] config, window marking is batched
+    /// onto the pool and large filtered streams are evaluated as CEP shards;
+    /// matches and marks are identical to the serial path (see
+    /// `dlacep_par`'s determinism contract), and `extractor_stats` is
+    /// identical whenever the filtered stream is below the sharding
+    /// threshold (sharded runs re-process window-overlap events once per
+    /// shard, so work counters legitimately differ there — deterministically
+    /// so for a fixed `shard_events`).
     pub fn run(&self, events: &[PrimitiveEvent]) -> DlacepReport {
+        match &self.pool {
+            Some(pool) => self.run_with_pool(pool, events),
+            None => self.run_serial(events),
+        }
+    }
+
+    fn run_serial(&self, events: &[PrimitiveEvent]) -> DlacepReport {
         let filter_start = Instant::now();
         let mut filter_faults = 0usize;
         let mut relayed: BTreeMap<u64, PrimitiveEvent> = BTreeMap::new();
         for window in self.assembler.windows(events) {
             let marks = self.filter.mark(window);
-            // A mark vector of the wrong length is a filter defect, not a
-            // caller bug: fail open on this window (relay everything) so a
-            // broken filter degrades throughput, never recall.
-            let marks = if marks.len() == window.len() {
-                marks
-            } else {
-                filter_faults += 1;
-                vec![true; window.len()]
-            };
-            for (ev, keep) in window.iter().zip(marks) {
-                if keep {
-                    relayed.entry(ev.id.0).or_insert_with(|| ev.clone());
-                }
-            }
+            apply_marks(window, marks, &mut filter_faults, &mut relayed);
         }
         let filtered: Vec<PrimitiveEvent> = relayed.into_values().collect();
         let filter_time = filter_start.elapsed();
@@ -172,8 +210,77 @@ impl<F: Filter> Dlacep<F> {
         let matches = extractor.run(&filtered);
         let cep_time = cep_start.elapsed();
 
-        let events_total = events.len();
-        let events_relayed = filtered.len();
+        self.report(
+            events.len(),
+            filtered.len(),
+            matches,
+            *extractor.stats(),
+            filter_time,
+            cep_time,
+            filter_faults,
+            None,
+        )
+    }
+
+    fn run_with_pool(&self, pool: &Arc<ThreadPool>, events: &[PrimitiveEvent]) -> DlacepReport {
+        let filter_start = Instant::now();
+        let mut filter_faults = 0usize;
+        let mut relayed: BTreeMap<u64, PrimitiveEvent> = BTreeMap::new();
+        // Windows are independent reads of the stream: mark them on the
+        // pool, then merge in window order so dedupe insertion order — and
+        // therefore the relayed stream — matches the serial path exactly.
+        let windows: Vec<&[PrimitiveEvent]> = self.assembler.windows(events).collect();
+        let marks_per_window: Vec<Vec<bool>> = if windows.len() >= self.par.min_batch_windows {
+            pool.parallel_map(&windows, 1, |_, w| self.filter.mark(w))
+        } else {
+            windows.iter().map(|w| self.filter.mark(w)).collect()
+        };
+        for (window, marks) in windows.iter().zip(marks_per_window) {
+            apply_marks(window, marks, &mut filter_faults, &mut relayed);
+        }
+        let filtered: Vec<PrimitiveEvent> = relayed.into_values().collect();
+        let filter_time = filter_start.elapsed();
+
+        let cep_start = Instant::now();
+        let (matches, stats) = if filtered.len() >= 2 * self.par.shard_events {
+            run_sharded(
+                || NfaEngine::from_plan(self.plan.clone(), NfaConfig::default()),
+                self.plan.window,
+                &filtered,
+                self.par.shard_events,
+                pool.as_ref(),
+            )
+        } else {
+            let mut extractor = NfaEngine::from_plan(self.plan.clone(), NfaConfig::default());
+            let matches = extractor.run(&filtered);
+            (matches, *extractor.stats())
+        };
+        let cep_time = cep_start.elapsed();
+
+        self.report(
+            events.len(),
+            filtered.len(),
+            matches,
+            stats,
+            filter_time,
+            cep_time,
+            filter_faults,
+            Some(pool.stats()),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &self,
+        events_total: usize,
+        events_relayed: usize,
+        matches: Vec<Match>,
+        extractor_stats: EngineStats,
+        filter_time: Duration,
+        cep_time: Duration,
+        filter_faults: usize,
+        pool: Option<PoolStats>,
+    ) -> DlacepReport {
         DlacepReport {
             matches,
             events_total,
@@ -185,8 +292,34 @@ impl<F: Filter> Dlacep<F> {
             } else {
                 1.0 - events_relayed as f64 / events_total as f64
             },
-            extractor_stats: *extractor.stats(),
+            extractor_stats,
             filter_faults,
+            pool,
+        }
+    }
+}
+
+/// Merge one window's marks into the relayed-event map, failing open on a
+/// wrong-length mark vector. Shared by the serial and pooled paths so both
+/// apply identical semantics.
+fn apply_marks(
+    window: &[PrimitiveEvent],
+    marks: Vec<bool>,
+    filter_faults: &mut usize,
+    relayed: &mut BTreeMap<u64, PrimitiveEvent>,
+) {
+    // A mark vector of the wrong length is a filter defect, not a caller
+    // bug: fail open on this window (relay everything) so a broken filter
+    // degrades throughput, never recall.
+    let marks = if marks.len() == window.len() {
+        marks
+    } else {
+        *filter_faults += 1;
+        vec![true; window.len()]
+    };
+    for (ev, keep) in window.iter().zip(marks) {
+        if keep {
+            relayed.entry(ev.id.0).or_insert_with(|| ev.clone());
         }
     }
 }
@@ -350,5 +483,42 @@ mod tests {
             .run(&[]);
         assert!(report.matches.is_empty());
         assert_eq!(report.filtering_ratio, 0.0);
+    }
+
+    #[test]
+    fn pooled_run_is_identical_to_serial() {
+        let p = seq_ab(8);
+        let s = noisy_stream(400);
+        let serial = Dlacep::new(p.clone(), OracleFilter::new(p.clone()))
+            .unwrap()
+            .run(s.events());
+
+        // Below the shard threshold the full report matches, extractor
+        // stats included.
+        let par = Parallelism {
+            threads: 4,
+            min_batch_windows: 1,
+            shard_events: 10_000,
+        };
+        let pooled = Dlacep::with_parallelism(p.clone(), OracleFilter::new(p.clone()), par)
+            .unwrap()
+            .run(s.events());
+        assert_eq!(pooled.matches, serial.matches);
+        assert_eq!(pooled.events_relayed, serial.events_relayed);
+        assert_eq!(pooled.filter_faults, serial.filter_faults);
+        assert_eq!(pooled.extractor_stats, serial.extractor_stats);
+        assert!(pooled.pool.is_some(), "pooled run reports pool stats");
+
+        // With sharded CEP the match set and marks are still identical.
+        let par = Parallelism {
+            threads: 4,
+            min_batch_windows: 1,
+            shard_events: 8,
+        };
+        let sharded = Dlacep::with_parallelism(p.clone(), OracleFilter::new(p), par)
+            .unwrap()
+            .run(s.events());
+        assert_eq!(sharded.matches, serial.matches);
+        assert_eq!(sharded.events_relayed, serial.events_relayed);
     }
 }

@@ -32,14 +32,17 @@
 use crate::assembler::AssemblerConfig;
 use crate::drift::{DriftConfig, DriftMonitor, DriftState};
 use crate::filter::Filter;
-use crate::guard::{BreakerState, FilterGuard, GuardConfig, GuardStats};
+use crate::guard::{BreakerState, FilterGuard, GuardConfig, GuardStats, SpeculativeInvocation};
 use crate::pipeline::DlacepError;
 use dlacep_cep::engine::CepEngine;
 use dlacep_cep::plan::Plan;
 use dlacep_cep::{EngineStats, Match, NfaConfig, NfaEngine, Pattern};
 use dlacep_events::{AttrValue, EventId, OutOfOrderPolicy, PrimitiveEvent, StreamError, TypeId};
+use dlacep_par::{Parallelism, PoolStats, ThreadPool};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Errors surfaced by the streaming runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +93,10 @@ pub struct RuntimeConfig {
     pub max_partials: Option<usize>,
     /// Drift detection; `None` disables the drift-triggered fallback.
     pub drift: Option<DriftConfig>,
+    /// Parallel execution of batched window marking
+    /// ([`StreamingDlacep::ingest_batch`]); the default is serial, which is
+    /// byte-identical to the pre-parallel runtime.
+    pub parallelism: Parallelism,
 }
 
 /// The runtime's effective operating mode.
@@ -163,6 +170,9 @@ pub struct RuntimeReport {
     pub drift_state: Option<DriftState>,
     /// Extractor work counters (includes `partials_shed` under a budget).
     pub extractor_stats: EngineStats,
+    /// Cumulative scheduling counters of the runtime's pool; `None` under a
+    /// serial [`Parallelism`] config.
+    pub pool: Option<PoolStats>,
 }
 
 impl RuntimeReport {
@@ -183,6 +193,8 @@ pub struct StreamingDlacep<F: Filter> {
     ooo_policy: OutOfOrderPolicy,
     guard: FilterGuard<F>,
     engine: NfaEngine,
+    par: Parallelism,
+    pool: Option<Arc<ThreadPool>>,
     drift: Option<DriftMonitor>,
     drift_fallback: bool,
     retrain_signaled: bool,
@@ -240,6 +252,8 @@ impl<F: Filter> StreamingDlacep<F> {
             ooo_policy: config.ooo_policy,
             guard: FilterGuard::new(filter, config.guard),
             engine,
+            par: config.parallelism,
+            pool: config.parallelism.build_pool(),
             drift: config.drift.map(DriftMonitor::new),
             drift_fallback: false,
             retrain_signaled: false,
@@ -344,6 +358,23 @@ impl<F: Filter> StreamingDlacep<F> {
         ts: u64,
         attrs: Vec<AttrValue>,
     ) -> Result<Option<EventId>, RuntimeError> {
+        let id = self.admit(type_id, ts, attrs)?;
+        for (start, end) in self.take_ready_windows() {
+            self.evaluate_window(start, end);
+        }
+        self.relay_finalized(self.next_window_start.min(self.admitted));
+        Ok(id)
+    }
+
+    /// Apply the out-of-order policy, stamp and buffer one event — without
+    /// evaluating any window. Shared by [`StreamingDlacep::ingest`] and
+    /// [`StreamingDlacep::ingest_batch`].
+    fn admit(
+        &mut self,
+        type_id: TypeId,
+        ts: u64,
+        attrs: Vec<AttrValue>,
+    ) -> Result<Option<EventId>, RuntimeError> {
         self.events_offered += 1;
         let ts = match self.last_ts {
             Some(last) if ts < last => match self.ooo_policy {
@@ -371,14 +402,22 @@ impl<F: Filter> StreamingDlacep<F> {
             .push_back(PrimitiveEvent::new(id.0, type_id, ts, attrs));
         self.marks.push_back(false);
         self.admitted += 1;
+        Ok(Some(id))
+    }
 
+    /// Claim every full window that admitted events currently cover,
+    /// advancing `next_window_start` past them. The window sequence is a
+    /// pure function of the admitted positions and the assembler geometry —
+    /// identical whether windows are then evaluated one by one or as a
+    /// batch.
+    fn take_ready_windows(&mut self) -> Vec<(usize, usize)> {
+        let mut ready = Vec::new();
         while self.admitted >= self.next_window_start + self.assembler.mark_size {
             let start = self.next_window_start;
-            self.evaluate_window(start, start + self.assembler.mark_size);
+            ready.push((start, start + self.assembler.mark_size));
             self.next_window_start = start + self.assembler.step_size;
         }
-        self.relay_finalized(self.next_window_start.min(self.admitted));
-        Ok(Some(id))
+        ready
     }
 
     /// Ingest a slice of pre-stamped events by their `(type, ts, attrs)`
@@ -392,6 +431,74 @@ impl<F: Filter> StreamingDlacep<F> {
             self.ingest(ev.type_id, ev.ts.0, ev.attrs.clone())?;
         }
         Ok(())
+    }
+
+    /// Ingest a slice of events as one batch. Admission (ids, out-of-order
+    /// policy, counters) is identical to event-by-event
+    /// [`StreamingDlacep::ingest_all`]; the windows the batch completes are
+    /// then marked on the pool when the [`Parallelism`] config is
+    /// multi-threaded and the runtime is healthy.
+    ///
+    /// Pooled marking is **speculative**: filter invocations run in
+    /// parallel under `catch_unwind`, then replay through the guard and
+    /// drift monitor serially, in window order. Guard state, drift
+    /// verdicts, the mode timeline and all report counters are therefore
+    /// identical to the serial path for any filter whose output depends
+    /// only on the window (the raw filter may observe extra speculative
+    /// calls after a mid-batch trip — schedule-keyed test filters like
+    /// `ChaosFilter` belong on the serial path). With a serial config this
+    /// is exactly `ingest_all`.
+    pub fn ingest_batch(&mut self, events: &[PrimitiveEvent]) -> Result<(), RuntimeError> {
+        let Some(pool) = self.pool.clone() else {
+            return self.ingest_all(events);
+        };
+        // Admit everything first; on a rejection, still evaluate the
+        // windows completed by the previously admitted events (matching
+        // what per-event ingestion would have done before the error).
+        let mut admit_err = None;
+        for ev in events {
+            if let Err(e) = self.admit(ev.type_id, ev.ts.0, ev.attrs.clone()) {
+                admit_err = Some(e);
+                break;
+            }
+        }
+        let ready = self.take_ready_windows();
+        if ready.len() < self.par.min_batch_windows || self.mode() != RuntimeMode::Filtering {
+            for &(start, end) in &ready {
+                self.evaluate_window(start, end);
+            }
+        } else {
+            // Speculative parallel marking: compute raw filter results on
+            // the pool, then replay them through the guard serially.
+            let raws: Vec<SpeculativeInvocation> = {
+                self.buf.make_contiguous();
+                let base = self.base;
+                let (head, _) = self.buf.as_slices();
+                let filter = self.guard.filter();
+                let validate = self.guard.config().validate_scores;
+                pool.parallel_map(&ready, 1, |_, &(start, end)| {
+                    let window = &head[start - base..end - base];
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let marks = filter.mark(window);
+                        let scores = if validate {
+                            filter.scores(window)
+                        } else {
+                            None
+                        };
+                        (marks, scores)
+                    }))
+                    .ok()
+                })
+            };
+            for (&(start, end), raw) in ready.iter().zip(raws) {
+                self.evaluate_window_inner(start, end, Some(raw));
+            }
+        }
+        self.relay_finalized(self.next_window_start.min(self.admitted));
+        match admit_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Flush the trailing partial window, relay the remaining marked events
@@ -428,11 +535,26 @@ impl<F: Filter> StreamingDlacep<F> {
             final_mode,
             drift_state: self.drift.as_ref().map(|m| m.state()),
             extractor_stats: *self.engine.stats(),
+            pool: self.pool.as_ref().map(|p| p.stats()),
         }
     }
 
     /// Evaluate the assembler window covering positions `[start, end)`.
     fn evaluate_window(&mut self, start: usize, end: usize) {
+        self.evaluate_window_inner(start, end, None);
+    }
+
+    /// Evaluate one window, optionally consuming a speculative filter
+    /// invocation precomputed by [`StreamingDlacep::ingest_batch`]. The
+    /// guard discards stale speculation whenever its breaker is not Closed,
+    /// and the drift-fallback passthrough ignores it entirely, so state
+    /// transitions happen exactly as on the live path.
+    fn evaluate_window_inner(
+        &mut self,
+        start: usize,
+        end: usize,
+        pre: Option<SpeculativeInvocation>,
+    ) {
         let widx = self.windows_evaluated as u64;
         self.windows_evaluated += 1;
         self.last_window_end = end;
@@ -446,7 +568,10 @@ impl<F: Filter> StreamingDlacep<F> {
             self.windows_degraded += 1;
             vec![true; window.len()]
         } else {
-            let outcome = self.guard.mark(window);
+            let outcome = match pre {
+                Some(raw) => self.guard.mark_speculative(window, raw),
+                None => self.guard.mark(window),
+            };
             for &(from, to) in &outcome.transitions {
                 let entry = match (from, to) {
                     (BreakerState::Closed, BreakerState::Open) => {
@@ -674,6 +799,143 @@ mod tests {
         let report = rt.finish();
         assert!(report.extractor_stats.partials_shed > 0);
         assert!(report.extractor_stats.peak_partial_matches <= budget as u64);
+    }
+
+    /// Everything except `pool` (which legitimately differs between a
+    /// serial and a pooled run) must match field-for-field.
+    fn assert_reports_equal(a: &RuntimeReport, b: &RuntimeReport, ctx: &str) {
+        assert_eq!(a.matches, b.matches, "{ctx}: matches");
+        assert_eq!(a.events_offered, b.events_offered, "{ctx}: offered");
+        assert_eq!(a.events_admitted, b.events_admitted, "{ctx}: admitted");
+        assert_eq!(a.events_dropped, b.events_dropped, "{ctx}: dropped");
+        assert_eq!(a.events_clamped, b.events_clamped, "{ctx}: clamped");
+        assert_eq!(a.events_relayed, b.events_relayed, "{ctx}: relayed");
+        assert_eq!(a.windows_evaluated, b.windows_evaluated, "{ctx}: windows");
+        assert_eq!(a.windows_degraded, b.windows_degraded, "{ctx}: degraded");
+        assert_eq!(a.guard, b.guard, "{ctx}: guard stats");
+        assert_eq!(a.timeline, b.timeline, "{ctx}: timeline");
+        assert_eq!(a.retrain_signaled, b.retrain_signaled, "{ctx}: retrain");
+        assert_eq!(a.final_mode, b.final_mode, "{ctx}: final mode");
+        assert_eq!(a.drift_state, b.drift_state, "{ctx}: drift");
+        assert_eq!(
+            a.extractor_stats, b.extractor_stats,
+            "{ctx}: extractor stats"
+        );
+    }
+
+    #[test]
+    fn batched_ingest_equals_serial_on_healthy_filter() {
+        for n in [0usize, 16, 50, 137, 200] {
+            let p = seq_ab(8);
+            let s = noisy_stream(n);
+
+            let mut serial = StreamingDlacep::new(p.clone(), OracleFilter::new(p.clone())).unwrap();
+            serial.ingest_all(s.events()).unwrap();
+            let serial_report = serial.finish();
+
+            let cfg = RuntimeConfig {
+                parallelism: Parallelism::with_threads(4),
+                ..Default::default()
+            };
+            let mut pooled =
+                StreamingDlacep::with_config(p.clone(), OracleFilter::new(p), cfg).unwrap();
+            // Feed in uneven chunks so batches end mid-window.
+            for chunk in s.events().chunks(37) {
+                pooled.ingest_batch(chunk).unwrap();
+            }
+            let pooled_report = pooled.finish();
+
+            assert_reports_equal(&pooled_report, &serial_report, &format!("n = {n}"));
+            assert!(pooled_report.pool.is_some(), "pooled run reports its pool");
+            assert!(serial_report.pool.is_none());
+        }
+    }
+
+    #[test]
+    fn batched_ingest_with_serial_config_is_ingest_all() {
+        let p = seq_ab(8);
+        let s = noisy_stream(80);
+        let mut a = StreamingDlacep::new(p.clone(), OracleFilter::new(p.clone())).unwrap();
+        a.ingest_all(s.events()).unwrap();
+        let mut b = StreamingDlacep::with_config(
+            p.clone(),
+            OracleFilter::new(p),
+            RuntimeConfig {
+                parallelism: Parallelism::serial(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        b.ingest_batch(s.events()).unwrap();
+        let (ra, rb) = (a.finish(), b.finish());
+        assert_reports_equal(&ra, &rb, "serial-config batch");
+        assert!(rb.pool.is_none(), "serial config never builds a pool");
+    }
+
+    #[test]
+    fn batched_ingest_replays_faults_through_guard() {
+        // A filter that always panics: every speculative invocation fails,
+        // so the replay must walk the guard through exactly the same
+        // fault-count / trip / half-open-probe trajectory as serial
+        // ingestion, ending degraded with identical timelines.
+        struct AlwaysPanics;
+        impl Filter for AlwaysPanics {
+            fn mark(&self, _window: &[PrimitiveEvent]) -> Vec<bool> {
+                panic!("broken filter");
+            }
+            fn name(&self) -> &'static str {
+                "always-panics"
+            }
+        }
+
+        let p = seq_ab(8);
+        let s = noisy_stream(200);
+
+        let mut serial = StreamingDlacep::new(p.clone(), AlwaysPanics).unwrap();
+        serial.ingest_all(s.events()).unwrap();
+        let serial_report = serial.finish();
+
+        let cfg = RuntimeConfig {
+            parallelism: Parallelism::with_threads(4),
+            ..Default::default()
+        };
+        let mut pooled = StreamingDlacep::with_config(p, AlwaysPanics, cfg).unwrap();
+        for chunk in s.events().chunks(53) {
+            pooled.ingest_batch(chunk).unwrap();
+        }
+        let pooled_report = pooled.finish();
+
+        assert_reports_equal(&pooled_report, &serial_report, "faulty filter");
+        assert!(
+            serial_report.guard.faults_total > 0,
+            "the broken filter must actually fault"
+        );
+        assert_eq!(serial_report.final_mode, RuntimeMode::DegradedExact);
+    }
+
+    #[test]
+    fn batched_ingest_rejection_matches_serial_state() {
+        // A timestamp regression mid-batch: admission stops there, windows
+        // completed by the earlier events are still evaluated, and the
+        // error surfaces — exactly like per-event ingestion.
+        let p = seq_ab(4);
+        let mut events: Vec<PrimitiveEvent> = noisy_stream(40).events().to_vec();
+        events[25] = PrimitiveEvent::new(25, A, 3, vec![0.0]); // ts regression
+
+        let mut serial = StreamingDlacep::new(p.clone(), PassthroughFilter).unwrap();
+        let serial_err = serial.ingest_all(&events).unwrap_err();
+        let serial_report = serial.finish();
+
+        let cfg = RuntimeConfig {
+            parallelism: Parallelism::with_threads(2),
+            ..Default::default()
+        };
+        let mut pooled = StreamingDlacep::with_config(p, PassthroughFilter, cfg).unwrap();
+        let pooled_err = pooled.ingest_batch(&events).unwrap_err();
+        let pooled_report = pooled.finish();
+
+        assert_eq!(pooled_err, serial_err);
+        assert_reports_equal(&pooled_report, &serial_report, "mid-batch rejection");
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use graph::{Graph, Var};
 pub use init::Initializer;
 pub use linear::Linear;
 pub use lstm::{BiLstmLayer, LstmLayer, StackedBiLstm};
-pub use matrix::Matrix;
+pub use matrix::{Matrix, ShapeError};
 pub use metrics::Confusion;
 pub use optim::{Adam, LrSchedule, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};

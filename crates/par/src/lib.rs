@@ -1,0 +1,178 @@
+//! `dlacep-par` — a from-scratch parallel runtime for the DLACEP
+//! reproduction. No external dependencies: the vendored crates in this
+//! workspace are offline stubs, so everything here is `std::thread`,
+//! mutexes, and condvars.
+//!
+//! Two layers:
+//! - [`ThreadPool`]: a fixed-size work-stealing pool with chunked
+//!   [`ThreadPool::parallel_for`] / [`ThreadPool::parallel_map`] primitives
+//!   and a deterministic index-ordered [`ThreadPool::parallel_map_reduce`].
+//! - [`Parallelism`]: the user-facing knob threaded through
+//!   `Dlacep` / `StreamingDlacep` — thread count plus the minimum work
+//!   sizes below which each hot path stays serial.
+//!
+//! Determinism contract: work decomposition (chunk boundaries, window
+//! batches, CEP shards) is always a pure function of the *config*, never of
+//! the thread count or runtime scheduling. Results are written to per-index
+//! slots and reduced in index order. Consequently the pipeline output is
+//! bitwise identical for any `threads >= 1`, and `threads = 1` takes the
+//! untouched serial code path.
+
+mod pool;
+
+pub use pool::{on_worker_thread, PoolStats, SendPtr, ThreadPool};
+
+use std::sync::{Arc, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+/// Environment variable consulted by [`Parallelism::from_env`] and the
+/// ambient kernel pool: total thread count (`0` = auto-detect, `1` =
+/// serial, absent = serial).
+pub const THREADS_ENV: &str = "DLACEP_THREADS";
+
+/// Parallel execution configuration, threaded through `Dlacep` and
+/// `StreamingDlacep`. The default is fully serial (`threads = 1`), which is
+/// byte-identical to the pre-parallel code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Total threads (the submitting thread counts as one). `1` = serial,
+    /// `0` = auto-detect from `std::thread::available_parallelism`.
+    pub threads: usize,
+    /// Minimum number of assembled windows in a batch before filter
+    /// inference is dispatched to the pool; smaller batches run serially.
+    pub min_batch_windows: usize,
+    /// Target number of filtered events per CEP shard. Sharding only kicks
+    /// in once the filtered stream holds at least two shards' worth of
+    /// events; the shard layout depends only on this value, never on the
+    /// thread count.
+    pub shard_events: usize,
+}
+
+impl Parallelism {
+    /// Fully serial configuration (the default).
+    pub fn serial() -> Self {
+        Parallelism {
+            threads: 1,
+            min_batch_windows: 4,
+            shard_events: 512,
+        }
+    }
+
+    /// Serial thresholds with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Parallelism {
+            threads,
+            ..Self::serial()
+        }
+    }
+
+    /// Auto-detected thread count (`threads = 0`).
+    pub fn auto() -> Self {
+        Self::with_threads(0)
+    }
+
+    /// Read the thread count from `DLACEP_THREADS` (absent, unparsable, or
+    /// `1` → serial; `0` → auto).
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// Resolve `threads = 0` to the machine's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Build a pool for this config, or `None` when it resolves to serial.
+    pub fn build_pool(&self) -> Option<Arc<ThreadPool>> {
+        let threads = self.effective_threads();
+        if threads <= 1 {
+            None
+        } else {
+            Some(Arc::new(ThreadPool::new(threads)))
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+static AMBIENT: OnceLock<Option<ThreadPool>> = OnceLock::new();
+
+/// Process-wide pool used by kernels that have no config plumbing of their
+/// own (the `nn::matrix` fast paths). Initialized lazily from
+/// `DLACEP_THREADS`; `None` when the environment resolves to serial.
+pub fn ambient() -> Option<&'static ThreadPool> {
+    AMBIENT
+        .get_or_init(|| {
+            let threads = Parallelism::from_env().effective_threads();
+            if threads > 1 {
+                Some(ThreadPool::new(threads))
+            } else {
+                None
+            }
+        })
+        .as_ref()
+}
+
+/// Install the ambient pool explicitly (test binaries use this instead of
+/// the environment). Returns `false` if the ambient pool was already
+/// initialized — by a prior call or a prior [`ambient`] lookup — in which
+/// case the existing pool stays in place.
+pub fn install_ambient(threads: usize) -> bool {
+    let pool = if threads > 1 {
+        Some(ThreadPool::new(threads))
+    } else {
+        None
+    };
+    AMBIENT.set(pool).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_parallelism_is_serial() {
+        let p = Parallelism::default();
+        assert_eq!(p.threads, 1);
+        assert_eq!(p.effective_threads(), 1);
+        assert!(p.build_pool().is_none());
+    }
+
+    #[test]
+    fn auto_resolves_to_at_least_one_thread() {
+        assert!(Parallelism::auto().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn build_pool_matches_thread_count() {
+        let p = Parallelism::with_threads(3);
+        let pool = p.build_pool().expect("threads=3 must build a pool");
+        assert_eq!(pool.threads(), 3);
+    }
+
+    #[test]
+    fn parallelism_round_trips_through_serde() {
+        let p = Parallelism {
+            threads: 4,
+            min_batch_windows: 2,
+            shard_events: 128,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Parallelism = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

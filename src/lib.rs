@@ -8,6 +8,7 @@
 //! * [`events`] — primitive events, schemas, streams, windows;
 //! * [`cep`] — the exact CEP engine substrate (NFA, ZStream tree, lazy) and
 //!   the pattern language;
+//! * [`par`] — the work-stealing thread pool and `Parallelism` config;
 //! * [`nn`] — the from-scratch neural-network substrate (BiLSTM, CRF, Adam);
 //! * [`data`] — synthetic datasets and exact-CEP labeling;
 //! * [`core`] — the DLACEP framework: assembler, filters, pipeline, trainer.
@@ -20,3 +21,4 @@ pub use dlacep_core as core;
 pub use dlacep_data as data;
 pub use dlacep_events as events;
 pub use dlacep_nn as nn;
+pub use dlacep_par as par;
