@@ -101,7 +101,7 @@ fn run_mw(mw: usize, cfg: &ExpConfig, stream_events: &[PrimitiveEvent]) -> Point
                 .iter()
                 .map(|&i| (samples[i].0.as_slice(), samples[i].1.as_slice()))
                 .collect();
-            loss += net.train_batch(&batch, &mut opt, cfg.train.grad_clip);
+            loss += net.train_batch(&batch, &mut opt, cfg.train.grad_clip).loss;
             batches += 1;
         }
         last_loss = loss / batches.max(1) as f32;

@@ -1,0 +1,191 @@
+//! Pipeline stage profile: run the batch pipeline with an enabled
+//! `dlacep-obs` registry and dump per-stage latency quantiles plus overall
+//! throughput to `results/BENCH_pipeline.json`.
+//!
+//! Three scenarios are profiled:
+//! * `stock` — the paper's stock stream with a heavy-partials SEQ query,
+//! * `stock_parallel` — the same workload on a 4-thread pool with CEP
+//!   sharding, which exercises `cep.shard_extract_nanos`,
+//! * `synthetic` — a uniform synthetic stream with a 2-step SEQ pattern.
+//!
+//! Both use the oracle filter so the profile isolates pipeline mechanics
+//! (assembly, marking, relay, CEP extraction) from model quality.
+//!
+//! ```bash
+//! cargo run --release -p dlacep-bench --bin pipeline_profile
+//! ```
+
+use dlacep_bench::queries::real::q_a1;
+use dlacep_cep::{Pattern, PatternExpr, TypeSet};
+use dlacep_core::filter::OracleFilter;
+use dlacep_core::pipeline::Dlacep;
+use dlacep_data::StockConfig;
+use dlacep_events::{EventStream, PrimitiveEvent, TypeId, WindowSpec};
+use dlacep_obs::{HistogramSnapshot, Registry};
+use dlacep_par::Parallelism;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Arc;
+
+/// Latency quantiles for one instrumented pipeline stage. Values are the
+/// log2-bucket upper bounds from the obs histogram, in nanoseconds.
+#[derive(Debug, Serialize)]
+struct StageProfile {
+    samples: u64,
+    mean_nanos: f64,
+    p50_nanos: u64,
+    p95_nanos: u64,
+    p99_nanos: u64,
+}
+
+impl StageProfile {
+    fn from_histogram(h: &HistogramSnapshot) -> Self {
+        Self {
+            samples: h.count,
+            mean_nanos: h.mean(),
+            p50_nanos: h.quantile(0.50),
+            p95_nanos: h.quantile(0.95),
+            p99_nanos: h.quantile(0.99),
+        }
+    }
+}
+
+/// Profile of one scenario: throughput plus per-stage quantiles.
+#[derive(Debug, Serialize)]
+struct ScenarioProfile {
+    events: usize,
+    runs: usize,
+    matches: usize,
+    events_relayed: usize,
+    throughput_events_per_sec: f64,
+    stages: BTreeMap<String, StageProfile>,
+}
+
+/// The pipeline-stage histograms worth reporting.
+const STAGES: &[&str] = &[
+    "pipeline.mark_nanos",
+    "pipeline.filter_stage_nanos",
+    "pipeline.cep_stage_nanos",
+    "cep.shard_extract_nanos",
+];
+
+fn profile(
+    pattern: &Pattern,
+    events: &[PrimitiveEvent],
+    runs: usize,
+    par: Option<Parallelism>,
+) -> ScenarioProfile {
+    let mut dl =
+        Dlacep::new(pattern.clone(), OracleFilter::new(pattern.clone())).expect("pattern compiles");
+    if let Some(par) = par {
+        dl.set_parallelism(par);
+    }
+    dl.set_obs(Arc::new(Registry::enabled()));
+    // Warm-up run to populate caches before the measured passes.
+    let _ = dl.run(events);
+    let baseline = dl.run(events).obs.expect("registry is enabled");
+    let mut last = None;
+    for _ in 0..runs {
+        last = Some(dl.run(events));
+    }
+    let report = last.expect("at least one measured run");
+    // Diff against the post-warm-up snapshot so quantiles cover only the
+    // measured passes.
+    let snap = report
+        .obs
+        .as_ref()
+        .expect("registry is enabled")
+        .diff(&baseline);
+    let mut stages = BTreeMap::new();
+    for &name in STAGES {
+        if let Some(h) = snap.histograms.get(name) {
+            if h.count > 0 {
+                stages.insert(name.to_string(), StageProfile::from_histogram(h));
+            }
+        }
+    }
+    ScenarioProfile {
+        events: events.len(),
+        runs,
+        matches: report.matches.len(),
+        events_relayed: report.events_relayed,
+        throughput_events_per_sec: report.throughput(),
+        stages,
+    }
+}
+
+fn synthetic_stream(n: usize) -> EventStream {
+    let mut s = EventStream::new();
+    for i in 0..n {
+        let t = match i % 7 {
+            2 => 0,
+            5 => 1,
+            _ => 2,
+        };
+        s.push(TypeId(t), i as u64, vec![i as f64]);
+    }
+    s
+}
+
+fn seq_ab(window: u64) -> Pattern {
+    Pattern::new(
+        PatternExpr::Seq(vec![
+            PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
+            PatternExpr::event(TypeSet::single(TypeId(1)), "b"),
+        ]),
+        vec![],
+        WindowSpec::Count(window),
+    )
+}
+
+fn main() {
+    let runs = 5;
+
+    let (_, stock) = StockConfig {
+        num_events: 20_000,
+        ..Default::default()
+    }
+    .generate();
+    let stock_pattern = q_a1(4, 2, &[1, 2], 0.8, 1.25, 16);
+    let stock_profile = profile(&stock_pattern, stock.events(), runs, None);
+    let stock_parallel = profile(
+        &stock_pattern,
+        stock.events(),
+        runs,
+        Some(Parallelism {
+            threads: 4,
+            min_batch_windows: 4,
+            shard_events: 512,
+        }),
+    );
+
+    let synth = synthetic_stream(20_000);
+    let synth_profile = profile(&seq_ab(8), synth.events(), runs, None);
+
+    let mut scenarios = BTreeMap::new();
+    scenarios.insert("stock".to_string(), stock_profile);
+    scenarios.insert("stock_parallel".to_string(), stock_parallel);
+    scenarios.insert("synthetic".to_string(), synth_profile);
+
+    for (name, p) in &scenarios {
+        println!(
+            "{name}: {} events x{} runs, {:.0} ev/s, {} matches",
+            p.events, p.runs, p.throughput_events_per_sec, p.matches
+        );
+        for (stage, s) in &p.stages {
+            println!(
+                "  {stage:<28} n={:<8} mean={:>12.0}ns p50<={:<10} p95<={:<10} p99<={}",
+                s.samples, s.mean_nanos, s.p50_nanos, s.p95_nanos, s.p99_nanos
+            );
+        }
+    }
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join("BENCH_pipeline.json");
+    let json = serde_json::to_string_pretty(&scenarios).expect("profile serializes");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_pipeline.json");
+    f.write_all(json.as_bytes()).expect("write profile");
+    println!("[saved {}]", path.display());
+}

@@ -30,5 +30,5 @@ pub use nfa::{NfaConfig, NfaEngine};
 pub use pattern::ast::{Pattern, PatternExpr, TypeSet};
 pub use pattern::condition::{CmpOp, Expr, Predicate};
 pub use plan::{CompileError, Plan};
-pub use sharded::{run_sharded, shard_layout, Shard};
+pub use sharded::{run_sharded, run_sharded_obs, shard_layout, Shard};
 pub use tree::{CostModel, TreeEngine};

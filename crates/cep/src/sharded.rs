@@ -25,6 +25,7 @@
 
 use crate::engine::{CepEngine, EngineStats, Match};
 use dlacep_events::{PrimitiveEvent, WindowSpec};
+use dlacep_obs::Histogram;
 use dlacep_par::ThreadPool;
 
 /// One shard of a sharded run: input is `events[input_start..end]`, and the
@@ -85,14 +86,41 @@ where
     E: CepEngine,
     M: Fn() -> E + Sync,
 {
+    run_sharded_obs(
+        make,
+        window,
+        events,
+        target_shard_events,
+        pool,
+        &Histogram::disabled(),
+    )
+}
+
+/// [`run_sharded`] with per-shard extraction timing: each shard's engine
+/// run is recorded into `shard_nanos` (one sample per shard, including the
+/// single-shard serial fallback). Pass [`Histogram::disabled`] to skip.
+pub fn run_sharded_obs<E, M>(
+    make: M,
+    window: WindowSpec,
+    events: &[PrimitiveEvent],
+    target_shard_events: usize,
+    pool: &ThreadPool,
+    shard_nanos: &Histogram,
+) -> (Vec<Match>, EngineStats)
+where
+    E: CepEngine,
+    M: Fn() -> E + Sync,
+{
     let shards = shard_layout(window, events, target_shard_events);
     if shards.len() <= 1 {
+        let _span = shard_nanos.span();
         let mut engine = make();
         let matches = engine.run(events);
         return (matches, *engine.stats());
     }
     let per_shard: Vec<(Vec<Match>, EngineStats)> = pool.parallel_map(&shards, 1, |_, shard| {
         let mut engine = make();
+        let _span = shard_nanos.span();
         let all = engine.run(&events[shard.input_start..shard.end]);
         let lo = events[shard.owned_start].id;
         // Keep only matches this shard owns: ids are sorted, so the last

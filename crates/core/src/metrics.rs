@@ -95,6 +95,15 @@ pub fn compare_runs(
         f64::INFINITY
     };
     let acep_throughput = acep.throughput();
+    // Gain is the wall-time ratio, which stays finite and meaningful even
+    // when a tiny stream makes one (or both) throughputs infinite.
+    let throughput_gain = if acep_secs > 0.0 {
+        ecep_secs / acep_secs
+    } else if ecep_secs > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
     ComparisonReport {
         ecep_matches: truth.len(),
         acep_matches: ours.len(),
@@ -103,11 +112,7 @@ pub fn compare_runs(
         acep_secs,
         ecep_throughput,
         acep_throughput,
-        throughput_gain: if ecep_throughput > 0.0 && acep_throughput.is_finite() {
-            acep_throughput / ecep_throughput
-        } else {
-            f64::NAN
-        },
+        throughput_gain,
         recall,
         precision,
         f1,
@@ -191,6 +196,86 @@ mod tests {
         // The filtered stream is much smaller; so is the partial count.
         assert!(r.acep_partials <= r.ecep_partials);
         assert!(r.filtering_ratio > 0.5);
+    }
+
+    fn synthetic_acep(
+        matches: Vec<Match>,
+        filter_time: Duration,
+        cep_time: Duration,
+    ) -> DlacepReport {
+        DlacepReport {
+            matches,
+            events_total: 10,
+            events_relayed: 0,
+            filter_time,
+            cep_time,
+            filtering_ratio: 1.0,
+            extractor_stats: EngineStats::default(),
+            filter_faults: 0,
+            pool: None,
+            obs: None,
+        }
+    }
+
+    #[test]
+    fn both_match_sets_empty_is_perfect_not_nan() {
+        let acep = synthetic_acep(Vec::new(), Duration::ZERO, Duration::ZERO);
+        let r = compare_runs(10, &[], Duration::ZERO, &EngineStats::default(), &acep);
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.precision, 1.0);
+        assert_eq!(r.f1, 1.0);
+        assert_eq!(r.fn_percent, 0.0);
+        assert_eq!(r.throughput_gain, 1.0);
+        assert!(!r.throughput_gain.is_nan());
+    }
+
+    #[test]
+    fn disjoint_match_sets_give_zero_f1_not_nan() {
+        let m1 = Match::from_bindings(vec![("a".into(), vec![EventId(1), EventId(2)])]);
+        let m2 = Match::from_bindings(vec![("a".into(), vec![EventId(3), EventId(4)])]);
+        let acep = synthetic_acep(vec![m2], Duration::from_millis(1), Duration::from_millis(1));
+        let r = compare_runs(
+            10,
+            &[m1],
+            Duration::from_millis(1),
+            &EngineStats::default(),
+            &acep,
+        );
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.precision, 0.0);
+        assert_eq!(r.f1, 0.0);
+        assert_eq!(r.fn_percent, 100.0);
+    }
+
+    #[test]
+    fn instantaneous_acep_gives_infinite_gain_not_nan() {
+        let acep = synthetic_acep(Vec::new(), Duration::ZERO, Duration::ZERO);
+        let r = compare_runs(
+            10,
+            &[],
+            Duration::from_millis(5),
+            &EngineStats::default(),
+            &acep,
+        );
+        assert!(r.throughput_gain.is_infinite() && r.throughput_gain > 0.0);
+        assert!(!r.throughput_gain.is_nan());
+    }
+
+    #[test]
+    fn gain_is_wall_time_ratio() {
+        let acep = synthetic_acep(
+            Vec::new(),
+            Duration::from_millis(1),
+            Duration::from_millis(1),
+        );
+        let r = compare_runs(
+            10,
+            &[],
+            Duration::from_millis(6),
+            &EngineStats::default(),
+            &acep,
+        );
+        assert!((r.throughput_gain - 3.0).abs() < 1e-9);
     }
 
     #[test]

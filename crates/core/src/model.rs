@@ -9,7 +9,7 @@
 use dlacep_nn::graph::{Graph, Var};
 use dlacep_nn::matrix::Matrix;
 use dlacep_nn::optim::Optimizer;
-use dlacep_nn::{BiCrf, Initializer, Linear, ParamStore, StackedBiLstm};
+use dlacep_nn::{BiCrf, Initializer, Linear, ParamStore, StackedBiLstm, TrainStep};
 use serde::{Deserialize, Serialize};
 
 /// Architecture hyperparameters.
@@ -146,14 +146,14 @@ impl EventNetwork {
     }
 
     /// One optimizer step over a mini-batch of `(window, gold labels)`;
-    /// returns the mean BI-CRF negative log-likelihood. All windows in the
-    /// batch must share the same length.
+    /// returns the mean BI-CRF negative log-likelihood plus the pre-clip
+    /// gradient norm. All windows in the batch must share the same length.
     pub fn train_batch(
         &mut self,
         batch: &[(&[Vec<f32>], &[bool])],
         opt: &mut dyn Optimizer,
         grad_clip: f32,
-    ) -> f32 {
+    ) -> TrainStep {
         assert!(!batch.is_empty());
         let t_len = batch[0].0.len();
         let b_len = batch.len();
@@ -182,9 +182,12 @@ impl EventNetwork {
         }
         let seed_pairs: Vec<(Var, Matrix)> = em_vars.into_iter().zip(seeds).collect();
         g.backward_seeded(&seed_pairs, &mut self.store);
-        self.store.clip_grad_norm(grad_clip);
+        let grad_norm = self.store.clip_grad_norm(grad_clip);
         opt.step(&mut self.store);
-        total_nll / b_len as f32
+        TrainStep {
+            loss: total_nll / b_len as f32,
+            grad_norm,
+        }
     }
 }
 
@@ -259,13 +262,13 @@ impl WindowNetwork {
     }
 
     /// One optimizer step over a mini-batch of `(window, label)`; returns the
-    /// mean binary cross-entropy.
+    /// mean binary cross-entropy plus the pre-clip gradient norm.
     pub fn train_batch(
         &mut self,
         batch: &[(&[Vec<f32>], bool)],
         opt: &mut dyn Optimizer,
         grad_clip: f32,
-    ) -> f32 {
+    ) -> TrainStep {
         assert!(!batch.is_empty());
         self.store.zero_grads();
         let mut g = Graph::new();
@@ -276,9 +279,12 @@ impl WindowNetwork {
         let loss = g.bce_with_logits(logits, targets);
         let out = g.value(loss).get(0, 0);
         g.backward(loss, &mut self.store);
-        self.store.clip_grad_norm(grad_clip);
+        let grad_norm = self.store.clip_grad_norm(grad_clip);
         opt.step(&mut self.store);
-        out
+        TrainStep {
+            loss: out,
+            grad_norm,
+        }
     }
 }
 
@@ -330,7 +336,7 @@ mod tests {
                 .iter()
                 .map(|(w, l)| (w.as_slice(), l.as_slice()))
                 .collect();
-            let loss = net.train_batch(&batch, &mut opt, 5.0);
+            let loss = net.train_batch(&batch, &mut opt, 5.0).loss;
             if step == 0 {
                 first = loss;
             }

@@ -141,7 +141,7 @@ pub fn train_multi_pattern(
                 .iter()
                 .map(|&i| (train[i].0.as_slice(), train[i].1.as_slice()))
                 .collect();
-            loss += net.train_batch(&batch, &mut opt, cfg.grad_clip);
+            loss += net.train_batch(&batch, &mut opt, cfg.grad_clip).loss;
             batches += 1;
         }
         let loss = loss / batches.max(1) as f32;

@@ -5,9 +5,10 @@ use crate::assembler::{AssemblerConfig, AssemblerError};
 use crate::filter::Filter;
 use dlacep_cep::engine::CepEngine;
 use dlacep_cep::plan::{CompileError, Plan};
-use dlacep_cep::sharded::run_sharded;
+use dlacep_cep::sharded::run_sharded_obs;
 use dlacep_cep::{EngineStats, Match, NfaConfig, NfaEngine, Pattern};
 use dlacep_events::PrimitiveEvent;
+use dlacep_obs::{Counter, Histogram, MetricsSnapshot, Registry};
 use dlacep_par::{Parallelism, PoolStats, ThreadPool};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -69,6 +70,11 @@ pub struct DlacepReport {
     /// Cumulative scheduling counters of the pipeline's pool; `None` on the
     /// serial path.
     pub pool: Option<PoolStats>,
+    /// Snapshot of the pipeline's obs registry taken as the run finished;
+    /// `None` when the registry is disabled. Cumulative across runs of the
+    /// same `Dlacep` instance — diff successive snapshots with
+    /// [`MetricsSnapshot::diff`] for per-run values.
+    pub obs: Option<MetricsSnapshot>,
 }
 
 impl DlacepReport {
@@ -88,6 +94,65 @@ impl DlacepReport {
     }
 }
 
+/// Cached handles into the pipeline's obs registry, resolved once at
+/// construction (or [`Dlacep::set_obs`]) so the hot loops never touch the
+/// registry's name map. Counter values follow the determinism contract;
+/// the histograms are timing and exempt.
+struct PipelineObs {
+    registry: Arc<Registry>,
+    events_total: Counter,
+    events_relayed: Counter,
+    windows_marked: Counter,
+    filter_faults: Counter,
+    mark_nanos: Histogram,
+    filter_stage_nanos: Histogram,
+    cep_stage_nanos: Histogram,
+    shard_nanos: Histogram,
+    cep_events_processed: Counter,
+    cep_partials_created: Counter,
+    cep_partials_shed: Counter,
+    cep_condition_evals: Counter,
+    cep_matches_emitted: Counter,
+}
+
+impl PipelineObs {
+    fn new(registry: Arc<Registry>) -> Self {
+        PipelineObs {
+            events_total: registry.counter("pipeline.events_total"),
+            events_relayed: registry.counter("pipeline.events_relayed"),
+            windows_marked: registry.counter("pipeline.windows_marked"),
+            filter_faults: registry.counter("pipeline.filter_faults"),
+            mark_nanos: registry.histogram("pipeline.mark_nanos"),
+            filter_stage_nanos: registry.histogram("pipeline.filter_stage_nanos"),
+            cep_stage_nanos: registry.histogram("pipeline.cep_stage_nanos"),
+            shard_nanos: registry.histogram("cep.shard_extract_nanos"),
+            cep_events_processed: registry.counter("cep.events_processed"),
+            cep_partials_created: registry.counter("cep.partials_created"),
+            cep_partials_shed: registry.counter("cep.partials_shed"),
+            cep_condition_evals: registry.counter("cep.condition_evals"),
+            cep_matches_emitted: registry.counter("cep.matches_emitted"),
+            registry,
+        }
+    }
+
+    /// Fold one extraction's engine counters into the `cep.*` namespace.
+    fn record_engine_stats(&self, stats: &EngineStats) {
+        self.cep_events_processed.add(stats.events_processed);
+        self.cep_partials_created.add(stats.partial_matches_created);
+        self.cep_partials_shed.add(stats.partials_shed);
+        self.cep_condition_evals.add(stats.condition_evaluations);
+        self.cep_matches_emitted.add(stats.matches_emitted);
+    }
+
+    fn snapshot_if_enabled(&self) -> Option<MetricsSnapshot> {
+        if self.registry.is_enabled() {
+            Some(self.registry.snapshot())
+        } else {
+            None
+        }
+    }
+}
+
 /// The DLACEP system: an input assembler, a filter, and a CEP extractor.
 pub struct Dlacep<F: Filter> {
     pattern: Pattern,
@@ -96,6 +161,7 @@ pub struct Dlacep<F: Filter> {
     filter: F,
     par: Parallelism,
     pool: Option<Arc<ThreadPool>>,
+    obs: PipelineObs,
 }
 
 impl<F: Filter> Dlacep<F> {
@@ -123,6 +189,7 @@ impl<F: Filter> Dlacep<F> {
             filter,
             par: Parallelism::default(),
             pool: None,
+            obs: PipelineObs::new(dlacep_obs::global()),
         })
     }
 
@@ -143,7 +210,16 @@ impl<F: Filter> Dlacep<F> {
     /// serial path.
     pub fn set_parallelism(&mut self, par: Parallelism) {
         self.par = par;
-        self.pool = par.build_pool();
+        self.pool = par.build_pool_with_obs(&self.obs.registry);
+    }
+
+    /// Redirect this pipeline's metrics, spans, and journal into `registry`
+    /// (construction defaults to [`dlacep_obs::global`]). Rebuilds the pool
+    /// so its `pool.*` metrics land in the same registry. Call before
+    /// `run` — counters accumulated in the previous registry stay there.
+    pub fn set_obs(&mut self, registry: Arc<Registry>) {
+        self.obs = PipelineObs::new(registry);
+        self.pool = self.par.build_pool_with_obs(&self.obs.registry);
     }
 
     /// The active parallel execution config.
@@ -195,20 +271,28 @@ impl<F: Filter> Dlacep<F> {
     }
 
     fn run_serial(&self, events: &[PrimitiveEvent]) -> DlacepReport {
+        self.obs.events_total.add(events.len() as u64);
         let filter_start = Instant::now();
         let mut filter_faults = 0usize;
+        let mut windows_marked = 0u64;
         let mut relayed: BTreeMap<u64, PrimitiveEvent> = BTreeMap::new();
         for window in self.assembler.windows(events) {
-            let marks = self.filter.mark(window);
+            let marks = {
+                let _span = self.obs.mark_nanos.span();
+                self.filter.mark(window)
+            };
+            windows_marked += 1;
             apply_marks(window, marks, &mut filter_faults, &mut relayed);
         }
         let filtered: Vec<PrimitiveEvent> = relayed.into_values().collect();
         let filter_time = filter_start.elapsed();
+        self.record_filter_stage(windows_marked, filter_faults, filtered.len(), filter_time);
 
         let cep_start = Instant::now();
         let mut extractor = NfaEngine::from_plan(self.plan.clone(), NfaConfig::default());
         let matches = extractor.run(&filtered);
         let cep_time = cep_start.elapsed();
+        self.record_cep_stage(extractor.stats(), cep_time);
 
         self.report(
             events.len(),
@@ -223,6 +307,7 @@ impl<F: Filter> Dlacep<F> {
     }
 
     fn run_with_pool(&self, pool: &Arc<ThreadPool>, events: &[PrimitiveEvent]) -> DlacepReport {
+        self.obs.events_total.add(events.len() as u64);
         let filter_start = Instant::now();
         let mut filter_faults = 0usize;
         let mut relayed: BTreeMap<u64, PrimitiveEvent> = BTreeMap::new();
@@ -230,25 +315,36 @@ impl<F: Filter> Dlacep<F> {
         // pool, then merge in window order so dedupe insertion order — and
         // therefore the relayed stream — matches the serial path exactly.
         let windows: Vec<&[PrimitiveEvent]> = self.assembler.windows(events).collect();
+        let mark = |w: &&[PrimitiveEvent]| {
+            let _span = self.obs.mark_nanos.span();
+            self.filter.mark(w)
+        };
         let marks_per_window: Vec<Vec<bool>> = if windows.len() >= self.par.min_batch_windows {
-            pool.parallel_map(&windows, 1, |_, w| self.filter.mark(w))
+            pool.parallel_map(&windows, 1, |_, w| mark(w))
         } else {
-            windows.iter().map(|w| self.filter.mark(w)).collect()
+            windows.iter().map(mark).collect()
         };
         for (window, marks) in windows.iter().zip(marks_per_window) {
             apply_marks(window, marks, &mut filter_faults, &mut relayed);
         }
         let filtered: Vec<PrimitiveEvent> = relayed.into_values().collect();
         let filter_time = filter_start.elapsed();
+        self.record_filter_stage(
+            windows.len() as u64,
+            filter_faults,
+            filtered.len(),
+            filter_time,
+        );
 
         let cep_start = Instant::now();
         let (matches, stats) = if filtered.len() >= 2 * self.par.shard_events {
-            run_sharded(
+            run_sharded_obs(
                 || NfaEngine::from_plan(self.plan.clone(), NfaConfig::default()),
                 self.plan.window,
                 &filtered,
                 self.par.shard_events,
                 pool.as_ref(),
+                &self.obs.shard_nanos,
             )
         } else {
             let mut extractor = NfaEngine::from_plan(self.plan.clone(), NfaConfig::default());
@@ -256,6 +352,7 @@ impl<F: Filter> Dlacep<F> {
             (matches, *extractor.stats())
         };
         let cep_time = cep_start.elapsed();
+        self.record_cep_stage(&stats, cep_time);
 
         self.report(
             events.len(),
@@ -267,6 +364,32 @@ impl<F: Filter> Dlacep<F> {
             filter_faults,
             Some(pool.stats()),
         )
+    }
+
+    /// Record the filter stage's counters and wall time (identically on the
+    /// serial and pooled paths, so counter values stay thread-count
+    /// independent).
+    fn record_filter_stage(
+        &self,
+        windows_marked: u64,
+        filter_faults: usize,
+        events_relayed: usize,
+        filter_time: Duration,
+    ) {
+        self.obs.windows_marked.add(windows_marked);
+        self.obs.filter_faults.add(filter_faults as u64);
+        self.obs.events_relayed.add(events_relayed as u64);
+        self.obs
+            .filter_stage_nanos
+            .record(u64::try_from(filter_time.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record the CEP stage's engine counters and wall time.
+    fn record_cep_stage(&self, stats: &EngineStats, cep_time: Duration) {
+        self.obs.record_engine_stats(stats);
+        self.obs
+            .cep_stage_nanos
+            .record(u64::try_from(cep_time.as_nanos()).unwrap_or(u64::MAX));
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -295,6 +418,7 @@ impl<F: Filter> Dlacep<F> {
             extractor_stats,
             filter_faults,
             pool,
+            obs: self.obs.snapshot_if_enabled(),
         }
     }
 }

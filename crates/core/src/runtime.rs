@@ -38,6 +38,7 @@ use dlacep_cep::engine::CepEngine;
 use dlacep_cep::plan::Plan;
 use dlacep_cep::{EngineStats, Match, NfaConfig, NfaEngine, Pattern};
 use dlacep_events::{AttrValue, EventId, OutOfOrderPolicy, PrimitiveEvent, StreamError, TypeId};
+use dlacep_obs::{Counter, Histogram, Journal, MetricsSnapshot, Registry};
 use dlacep_par::{Parallelism, PoolStats, ThreadPool};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -173,6 +174,12 @@ pub struct RuntimeReport {
     /// Cumulative scheduling counters of the runtime's pool; `None` under a
     /// serial [`Parallelism`] config.
     pub pool: Option<PoolStats>,
+    /// Snapshot of the runtime's obs registry taken at
+    /// [`StreamingDlacep::finish`]; `None` when the registry is disabled.
+    /// Its journal subsumes `timeline` (every `ModeTransition` is mirrored
+    /// as a `"mode"` journal entry) and adds breaker, drift, and shed
+    /// events.
+    pub obs: Option<MetricsSnapshot>,
 }
 
 impl RuntimeReport {
@@ -184,6 +191,99 @@ impl RuntimeReport {
             self.windows_degraded as f64 / self.windows_evaluated as f64
         }
     }
+}
+
+/// Cached handles into the runtime's obs registry. Counter values and the
+/// journal's `(kind, fields)` sequence follow the determinism contract;
+/// the histogram and timestamps are timing and exempt.
+struct RuntimeObs {
+    registry: Arc<Registry>,
+    journal: Journal,
+    events_offered: Counter,
+    events_admitted: Counter,
+    events_dropped: Counter,
+    events_clamped: Counter,
+    events_relayed: Counter,
+    windows_evaluated: Counter,
+    windows_degraded: Counter,
+    guard_faults: Counter,
+    breaker_trips: Counter,
+    recoveries: Counter,
+    window_nanos: Histogram,
+    cep_events_processed: Counter,
+    cep_partials_created: Counter,
+    cep_partials_shed: Counter,
+    cep_condition_evals: Counter,
+    cep_matches_emitted: Counter,
+}
+
+impl RuntimeObs {
+    fn new(registry: Arc<Registry>) -> Self {
+        RuntimeObs {
+            journal: registry.journal(),
+            events_offered: registry.counter("runtime.events_offered"),
+            events_admitted: registry.counter("runtime.events_admitted"),
+            events_dropped: registry.counter("runtime.events_dropped"),
+            events_clamped: registry.counter("runtime.events_clamped"),
+            events_relayed: registry.counter("runtime.events_relayed"),
+            windows_evaluated: registry.counter("runtime.windows_evaluated"),
+            windows_degraded: registry.counter("runtime.windows_degraded"),
+            guard_faults: registry.counter("guard.faults"),
+            breaker_trips: registry.counter("guard.breaker_trips"),
+            recoveries: registry.counter("guard.recoveries"),
+            window_nanos: registry.histogram("runtime.window_nanos"),
+            cep_events_processed: registry.counter("cep.events_processed"),
+            cep_partials_created: registry.counter("cep.partials_created"),
+            cep_partials_shed: registry.counter("cep.partials_shed"),
+            cep_condition_evals: registry.counter("cep.condition_evals"),
+            cep_matches_emitted: registry.counter("cep.matches_emitted"),
+            registry,
+        }
+    }
+
+    /// Fold the extractor's final counters into the `cep.*` namespace
+    /// (called once, at `finish`).
+    fn record_engine_stats(&self, stats: &EngineStats) {
+        self.cep_events_processed.add(stats.events_processed);
+        self.cep_partials_created.add(stats.partial_matches_created);
+        self.cep_partials_shed.add(stats.partials_shed);
+        self.cep_condition_evals.add(stats.condition_evaluations);
+        self.cep_matches_emitted.add(stats.matches_emitted);
+    }
+
+    fn snapshot_if_enabled(&self) -> Option<MetricsSnapshot> {
+        if self.registry.is_enabled() {
+            Some(self.registry.snapshot())
+        } else {
+            None
+        }
+    }
+}
+
+/// Append a mode transition to both the timeline and the journal (the
+/// journal's `"mode"` entries subsume the timeline). A free function over
+/// the individual fields so call sites inside window evaluation — where
+/// `self.buf` is borrowed — can still record.
+fn record_mode(
+    timeline: &mut Vec<ModeTransition>,
+    journal: &Journal,
+    window: u64,
+    mode: RuntimeMode,
+    cause: ModeCause,
+) {
+    timeline.push(ModeTransition {
+        window,
+        mode,
+        cause,
+    });
+    journal.record(
+        "mode",
+        &[
+            ("window", window.into()),
+            ("mode", format!("{mode:?}").into()),
+            ("cause", format!("{cause:?}").into()),
+        ],
+    );
 }
 
 /// The streaming DLACEP runtime. See the [module docs](self).
@@ -217,6 +317,9 @@ pub struct StreamingDlacep<F: Filter> {
     windows_degraded: usize,
     timeline: Vec<ModeTransition>,
     matches: Vec<Match>,
+    obs: RuntimeObs,
+    /// Extractor shed count already journaled, for per-event deltas.
+    journaled_sheds: u64,
 }
 
 impl<F: Filter> StreamingDlacep<F> {
@@ -246,6 +349,8 @@ impl<F: Filter> StreamingDlacep<F> {
                 ..NfaConfig::default()
             },
         );
+        let obs = RuntimeObs::new(dlacep_obs::global());
+        let pool = config.parallelism.build_pool_with_obs(&obs.registry);
         Ok(Self {
             pattern,
             assembler,
@@ -253,7 +358,7 @@ impl<F: Filter> StreamingDlacep<F> {
             guard: FilterGuard::new(filter, config.guard),
             engine,
             par: config.parallelism,
-            pool: config.parallelism.build_pool(),
+            pool,
             drift: config.drift.map(DriftMonitor::new),
             drift_fallback: false,
             retrain_signaled: false,
@@ -272,13 +377,42 @@ impl<F: Filter> StreamingDlacep<F> {
             events_relayed: 0,
             windows_evaluated: 0,
             windows_degraded: 0,
-            timeline: vec![ModeTransition {
-                window: 0,
-                mode: RuntimeMode::Filtering,
-                cause: ModeCause::Start,
-            }],
+            timeline: Vec::new(),
             matches: Vec::new(),
-        })
+            obs,
+            journaled_sheds: 0,
+        }
+        .with_initial_mode())
+    }
+
+    fn with_initial_mode(mut self) -> Self {
+        record_mode(
+            &mut self.timeline,
+            &self.obs.journal,
+            0,
+            RuntimeMode::Filtering,
+            ModeCause::Start,
+        );
+        self
+    }
+
+    /// Redirect this runtime's metrics and journal into `registry`
+    /// (construction defaults to [`dlacep_obs::global`]). Rebuilds the pool
+    /// so its `pool.*` metrics land in the same registry, and re-records
+    /// the current mode so the new journal is self-contained. Call before
+    /// ingesting — counters accumulated in the previous registry stay
+    /// there.
+    pub fn set_obs(&mut self, registry: Arc<Registry>) {
+        self.obs = RuntimeObs::new(registry);
+        self.pool = self.par.build_pool_with_obs(&self.obs.registry);
+        self.obs.journal.record(
+            "mode",
+            &[
+                ("window", (self.windows_evaluated as u64).into()),
+                ("mode", format!("{:?}", self.mode()).into()),
+                ("cause", format!("{:?}", ModeCause::Start).into()),
+            ],
+        );
     }
 
     /// The pattern being extracted.
@@ -341,11 +475,14 @@ impl<F: Filter> StreamingDlacep<F> {
         if self.drift_fallback {
             self.drift_fallback = false;
             self.retrain_signaled = false;
-            self.timeline.push(ModeTransition {
-                window: self.windows_evaluated as u64,
-                mode: self.mode(),
-                cause: ModeCause::Rebaselined,
-            });
+            let mode = self.mode();
+            record_mode(
+                &mut self.timeline,
+                &self.obs.journal,
+                self.windows_evaluated as u64,
+                mode,
+                ModeCause::Rebaselined,
+            );
         }
     }
 
@@ -376,14 +513,17 @@ impl<F: Filter> StreamingDlacep<F> {
         attrs: Vec<AttrValue>,
     ) -> Result<Option<EventId>, RuntimeError> {
         self.events_offered += 1;
+        self.obs.events_offered.inc();
         let ts = match self.last_ts {
             Some(last) if ts < last => match self.ooo_policy {
                 OutOfOrderPolicy::Drop => {
                     self.events_dropped += 1;
+                    self.obs.events_dropped.inc();
                     return Ok(None);
                 }
                 OutOfOrderPolicy::ClampToLastTs => {
                     self.events_clamped += 1;
+                    self.obs.events_clamped.inc();
                     last
                 }
                 OutOfOrderPolicy::Reject => {
@@ -402,6 +542,7 @@ impl<F: Filter> StreamingDlacep<F> {
             .push_back(PrimitiveEvent::new(id.0, type_id, ts, attrs));
         self.marks.push_back(false);
         self.admitted += 1;
+        self.obs.events_admitted.inc();
         Ok(Some(id))
     }
 
@@ -520,6 +661,7 @@ impl<F: Filter> StreamingDlacep<F> {
         }
         self.relay_finalized(self.admitted);
         let final_mode = self.mode();
+        self.obs.record_engine_stats(self.engine.stats());
         RuntimeReport {
             matches: self.matches,
             events_offered: self.events_offered,
@@ -536,6 +678,7 @@ impl<F: Filter> StreamingDlacep<F> {
             drift_state: self.drift.as_ref().map(|m| m.state()),
             extractor_stats: *self.engine.stats(),
             pool: self.pool.as_ref().map(|p| p.stats()),
+            obs: self.obs.snapshot_if_enabled(),
         }
     }
 
@@ -555,8 +698,10 @@ impl<F: Filter> StreamingDlacep<F> {
         end: usize,
         pre: Option<SpeculativeInvocation>,
     ) {
+        let _span = self.obs.window_nanos.span();
         let widx = self.windows_evaluated as u64;
         self.windows_evaluated += 1;
+        self.obs.windows_evaluated.inc();
         self.last_window_end = end;
         let lo = start - self.base;
         let hi = end - self.base;
@@ -566,13 +711,31 @@ impl<F: Filter> StreamingDlacep<F> {
 
         let marks = if self.drift_fallback {
             self.windows_degraded += 1;
+            self.obs.windows_degraded.inc();
             vec![true; window.len()]
         } else {
             let outcome = match pre {
                 Some(raw) => self.guard.mark_speculative(window, raw),
                 None => self.guard.mark(window),
             };
+            if outcome.fault.is_some() {
+                self.obs.guard_faults.inc();
+            }
             for &(from, to) in &outcome.transitions {
+                self.obs.journal.record(
+                    "breaker",
+                    &[
+                        ("window", widx.into()),
+                        ("from", format!("{from:?}").into()),
+                        ("to", format!("{to:?}").into()),
+                    ],
+                );
+                if to == BreakerState::Open {
+                    self.obs.breaker_trips.inc();
+                }
+                if (from, to) == (BreakerState::HalfOpen, BreakerState::Closed) {
+                    self.obs.recoveries.inc();
+                }
                 let entry = match (from, to) {
                     (BreakerState::Closed, BreakerState::Open) => {
                         Some((RuntimeMode::DegradedExact, ModeCause::FaultThreshold))
@@ -586,31 +749,38 @@ impl<F: Filter> StreamingDlacep<F> {
                     _ => None,
                 };
                 if let Some((mode, cause)) = entry {
-                    self.timeline.push(ModeTransition {
-                        window: widx,
-                        mode,
-                        cause,
-                    });
+                    record_mode(&mut self.timeline, &self.obs.journal, widx, mode, cause);
                 }
             }
             let mut marks = outcome.marks;
             if outcome.filter_invoked && outcome.fault.is_none() {
                 if let Some(monitor) = &mut self.drift {
-                    if monitor.observe_marks(&marks) == DriftState::Drifted {
+                    let verdict = monitor.observe_marks(&marks);
+                    if verdict == DriftState::Drifted {
                         // The verdict covers this window too: fail open now.
                         self.drift_fallback = true;
                         self.retrain_signaled = true;
-                        self.timeline.push(ModeTransition {
-                            window: widx,
-                            mode: RuntimeMode::DegradedExact,
-                            cause: ModeCause::Drift,
-                        });
+                        self.obs.journal.record(
+                            "drift",
+                            &[
+                                ("window", widx.into()),
+                                ("verdict", format!("{verdict:?}").into()),
+                            ],
+                        );
+                        record_mode(
+                            &mut self.timeline,
+                            &self.obs.journal,
+                            widx,
+                            RuntimeMode::DegradedExact,
+                            ModeCause::Drift,
+                        );
                         marks = vec![true; marks.len()];
                     }
                 }
             }
             if !outcome.filter_invoked || outcome.fault.is_some() || self.drift_fallback {
                 self.windows_degraded += 1;
+                self.obs.windows_degraded.inc();
             }
             marks
         };
@@ -633,6 +803,20 @@ impl<F: Filter> StreamingDlacep<F> {
             if marked {
                 self.engine.process(&ev);
                 self.events_relayed += 1;
+                self.obs.events_relayed.inc();
+                // Journal partial-match sheds at per-event granularity so
+                // the entry sequence is independent of how ingestion was
+                // batched (the `cep.partials_shed` counter itself is folded
+                // in once, at `finish`).
+                let shed = self.engine.stats().partials_shed;
+                if shed > self.journaled_sheds {
+                    let delta = shed - self.journaled_sheds;
+                    self.journaled_sheds = shed;
+                    self.obs.journal.record(
+                        "shed",
+                        &[("event", ev.id.0.into()), ("count", delta.into())],
+                    );
+                }
                 self.matches.append(&mut self.engine.drain_matches());
             }
         }

@@ -12,7 +12,8 @@ use dlacep_data::{label_stream, train_test_split, LabeledSample};
 use dlacep_events::EventStream;
 use dlacep_nn::optim::Optimizer;
 use dlacep_nn::{
-    Adam, BatchSampler, BatchSchedule, Confusion, ConvergenceDetector, LrSchedule, TrainReport,
+    record_epoch, Adam, BatchSampler, BatchSchedule, Confusion, ConvergenceDetector, LrSchedule,
+    TrainReport,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -182,6 +183,7 @@ pub fn train_event_filter(
         seed: cfg.seed,
     };
     let mut net = EventNetwork::new(net_cfg);
+    let obs = dlacep_obs::global();
     let mut opt = Adam::new(cfg.lr.lr_at(0));
     let mut sampler = BatchSampler::new(prepared.train.len(), cfg.seed);
     let mut detector =
@@ -194,6 +196,7 @@ pub fn train_event_filter(
         }
         opt.set_lr(cfg.lr.lr_at(epoch));
         let mut epoch_loss = 0.0;
+        let mut epoch_grad_norm = 0.0;
         let mut batches = 0;
         for batch_idx in sampler.epoch(cfg.batch.at(epoch)) {
             let batch: Vec<(&[Vec<f32>], &[bool])> = batch_idx
@@ -203,10 +206,19 @@ pub fn train_event_filter(
                     (w.as_slice(), l.as_slice())
                 })
                 .collect();
-            epoch_loss += net.train_batch(&batch, &mut opt, cfg.grad_clip);
+            let step = net.train_batch(&batch, &mut opt, cfg.grad_clip);
+            epoch_loss += step.loss;
+            epoch_grad_norm += step.grad_norm;
             batches += 1;
         }
         let loss = epoch_loss / batches.max(1) as f32;
+        record_epoch(
+            &obs,
+            epoch,
+            loss,
+            epoch_grad_norm / batches.max(1) as f32,
+            cfg.lr.lr_at(epoch),
+        );
         losses.push(loss);
         if detector.observe(loss) {
             converged = true;
@@ -263,6 +275,7 @@ pub fn train_window_filter(
         seed: cfg.seed,
     };
     let mut net = WindowNetwork::new(net_cfg);
+    let obs = dlacep_obs::global();
     let mut opt = Adam::new(cfg.lr.lr_at(0));
     let mut sampler = BatchSampler::new(prepared.train.len(), cfg.seed);
     let mut detector =
@@ -275,6 +288,7 @@ pub fn train_window_filter(
         }
         opt.set_lr(cfg.lr.lr_at(epoch));
         let mut epoch_loss = 0.0;
+        let mut epoch_grad_norm = 0.0;
         let mut batches = 0;
         for batch_idx in sampler.epoch(cfg.batch.at(epoch)) {
             let batch: Vec<(&[Vec<f32>], bool)> = batch_idx
@@ -284,10 +298,19 @@ pub fn train_window_filter(
                     (w.as_slice(), *lab)
                 })
                 .collect();
-            epoch_loss += net.train_batch(&batch, &mut opt, cfg.grad_clip);
+            let step = net.train_batch(&batch, &mut opt, cfg.grad_clip);
+            epoch_loss += step.loss;
+            epoch_grad_norm += step.grad_norm;
             batches += 1;
         }
         let loss = epoch_loss / batches.max(1) as f32;
+        record_epoch(
+            &obs,
+            epoch,
+            loss,
+            epoch_grad_norm / batches.max(1) as f32,
+            cfg.lr.lr_at(epoch),
+        );
         losses.push(loss);
         if detector.observe(loss) {
             converged = true;

@@ -42,4 +42,6 @@ pub use matrix::{Matrix, ShapeError};
 pub use metrics::Confusion;
 pub use optim::{Adam, LrSchedule, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
-pub use train::{BatchSampler, BatchSchedule, ConvergenceDetector, TrainReport};
+pub use train::{
+    record_epoch, BatchSampler, BatchSchedule, ConvergenceDetector, TrainReport, TrainStep,
+};

@@ -132,6 +132,41 @@ pub struct TrainReport {
     pub epochs_run: usize,
 }
 
+/// Result of one optimizer step: the batch loss plus the pre-clip global
+/// gradient norm, so training loops can surface both to observability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStep {
+    /// Mean batch loss.
+    pub loss: f32,
+    /// Global gradient norm before clipping.
+    pub grad_norm: f32,
+}
+
+/// Record one training epoch into `registry`: gauges `train.loss`,
+/// `train.grad_norm` and `train.lr` track the latest values, and a
+/// `train.epoch` journal entry captures the full tuple for post-hoc
+/// inspection. A no-op on a disabled registry.
+pub fn record_epoch(
+    registry: &dlacep_obs::Registry,
+    epoch: usize,
+    loss: f32,
+    grad_norm: f32,
+    lr: f32,
+) {
+    registry.gauge("train.loss").set(f64::from(loss));
+    registry.gauge("train.grad_norm").set(f64::from(grad_norm));
+    registry.gauge("train.lr").set(f64::from(lr));
+    registry.record(
+        "train.epoch",
+        &[
+            ("epoch", epoch.into()),
+            ("loss", loss.into()),
+            ("grad_norm", grad_norm.into()),
+            ("lr", lr.into()),
+        ],
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +215,28 @@ mod tests {
         let a: Vec<_> = BatchSampler::new(8, 5).epoch(4);
         let b: Vec<_> = BatchSampler::new(8, 5).epoch(4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn record_epoch_sets_gauges_and_journals() {
+        let reg = dlacep_obs::Registry::enabled();
+        record_epoch(&reg, 3, 0.25, 1.5, 0.01);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges.get("train.loss"), Some(&0.25));
+        assert_eq!(snap.gauges.get("train.grad_norm"), Some(&1.5));
+        assert_eq!(snap.gauges.get("train.lr"), Some(&f64::from(0.01f32)));
+        let entries = &snap.journal.entries;
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].kind, "train.epoch");
+    }
+
+    #[test]
+    fn record_epoch_is_inert_when_disabled() {
+        let reg = dlacep_obs::Registry::disabled();
+        record_epoch(&reg, 0, 1.0, 2.0, 0.1);
+        let snap = reg.snapshot();
+        assert!(snap.gauges.is_empty());
+        assert!(snap.journal.entries.is_empty());
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Lock-free metric primitives: counters, gauges, and log2 histograms.
+//!
+//! Handles returned by the [`Registry`](crate::Registry) are cheap clones of
+//! an `Arc` around atomic storage. Registration (name → handle lookup) takes
+//! a mutex, but every hot-path update — `inc`, `add`, `set`, `record` — is a
+//! single relaxed atomic RMW. A handle issued by a *disabled* registry holds
+//! `None` and every update compiles down to one branch on an `Option`
+//! discriminant: no atomics, no clock reads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of histogram buckets: bucket `i` holds values whose bit length is
+/// `i`, i.e. bucket 0 = `{0}`, bucket `i` = `[2^(i-1), 2^i - 1]` for
+/// `1 <= i <= 64` (bucket 64 tops out at `u64::MAX`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a recorded value (its bit length).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket, used as the Prometheus `le` label and
+/// as the quantile estimate for samples landing in that bucket.
+#[inline]
+pub fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= 64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// Monotonically increasing event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A counter that ignores every update (what disabled registries issue).
+    pub fn disabled() -> Self {
+        Counter(None)
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// Last-value-wins gauge storing an `f64` as its bit pattern.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    pub fn disabled() -> Self {
+        Gauge(None)
+    }
+
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) sum: AtomicU64,
+    pub(crate) count: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed-bucket log2 histogram. Values are `u64` (the span machinery records
+/// elapsed nanoseconds); bucket boundaries are powers of two, so `record` is
+/// a `leading_zeros` plus three relaxed atomic adds.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A histogram that ignores every update (what disabled registries
+    /// issue). [`Histogram::span`] on a disabled histogram never reads the
+    /// clock.
+    pub fn disabled() -> Self {
+        Histogram(None)
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.0 {
+            core.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            core.sum.fetch_add(value, Ordering::Relaxed);
+            core.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Start a wall-time span; elapsed nanoseconds are recorded into this
+    /// histogram when the returned guard drops. Disabled histograms skip the
+    /// clock read entirely.
+    #[inline]
+    pub fn span(&self) -> Span {
+        Span {
+            inner: self
+                .0
+                .as_ref()
+                .map(|core| (Arc::clone(core), Instant::now())),
+        }
+    }
+
+    /// Total recorded samples (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of recorded samples (0 when disabled).
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// RAII wall-time span. Created by [`Histogram::span`] (hot paths, reusing a
+/// held handle) or [`Registry::span`](crate::Registry::span) (one-off);
+/// records elapsed nanoseconds into the backing histogram on drop.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<(Arc<HistogramCore>, Instant)>,
+}
+
+impl Span {
+    /// A span that records nothing (issued by disabled registries).
+    pub fn disabled() -> Self {
+        Span { inner: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((core, start)) = self.inner.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            core.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+            core.sum.fetch_add(nanos, Ordering::Relaxed);
+            core.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_upper_covers_index() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(
+                bucket_index(bucket_upper(i)),
+                i,
+                "upper bound of bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::disabled();
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::disabled();
+        g.set(3.5);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram::disabled();
+        h.record(10);
+        drop(h.span());
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Prometheus text exposition (format version 0.0.4), built from a
+//! [`MetricsSnapshot`] with no external dependencies.
+
+use crate::metrics::bucket_upper;
+use crate::snapshot::MetricsSnapshot;
+
+/// Sanitize a dotted metric name into the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixing the exporter namespace:
+/// `cep.partials_created` → `dlacep_cep_partials_created`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("dlacep_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render the snapshot as Prometheus text format. Counters, gauges, and
+/// histograms are emitted in name order with `# TYPE` headers; histogram
+/// buckets are cumulative with power-of-two `le` bounds (empty buckets are
+/// skipped; `+Inf` always present). The journal is not exposed here — it is
+/// part of the JSON snapshot only.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} counter\n{pname} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} gauge\n{pname} {value}\n"));
+    }
+    for (name, hist) in &snapshot.histograms {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} histogram\n"));
+        let mut cumulative = 0u64;
+        for &(index, count) in &hist.buckets {
+            cumulative += count;
+            let le = bucket_upper(index as usize);
+            out.push_str(&format!("{pname}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "{pname}_bucket{{le=\"+Inf\"}} {count}\n{pname}_sum {sum}\n{pname}_count {count}\n",
+            count = hist.count,
+            sum = hist.sum,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized_into_prometheus_grammar() {
+        assert_eq!(
+            prometheus_name("cep.partials_created"),
+            "dlacep_cep_partials_created"
+        );
+        assert_eq!(
+            prometheus_name("pool.queue-depth"),
+            "dlacep_pool_queue_depth"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Point-in-time JSON-serializable view of a registry, with diffing.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::journal::{FieldValue, JournalSnapshot};
+use crate::metrics::bucket_upper;
+
+/// Frozen histogram contents. Only non-empty buckets are kept, as
+/// `(bucket_index, count)` pairs in ascending index order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0..=1.0`) as the inclusive upper bound
+    /// of the bucket where the cumulative count crosses `q * count`.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for &(index, count) in &self.buckets {
+            cumulative += count;
+            if cumulative >= target {
+                return bucket_upper(index as usize);
+            }
+        }
+        bucket_upper(self.buckets.last().map_or(0, |&(i, _)| i as usize))
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn diff(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let base: BTreeMap<u32, u64> = baseline.buckets.iter().copied().collect();
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|&(i, c)| (i, c.saturating_sub(base.get(&i).copied().unwrap_or(0))))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(baseline.count),
+            sum: self.sum.saturating_sub(baseline.sum),
+            buckets,
+        }
+    }
+}
+
+/// Full registry state at one instant: counters, gauges, histograms, and the
+/// journal ring. Serializable to JSON for `results/` artifacts, renderable
+/// as Prometheus text via [`render_prometheus`](crate::render_prometheus).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    pub journal: JournalSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Delta since `baseline`, taken from the same registry: counter and
+    /// histogram values are subtracted (metrics absent from the baseline
+    /// keep their full value), gauges keep their latest value, and the
+    /// journal retains only entries recorded after the baseline was taken.
+    pub fn diff(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &v)| {
+                let base = baseline.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), v.saturating_sub(base))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let diffed = match baseline.histograms.get(name) {
+                    Some(base) => h.diff(base),
+                    None => h.clone(),
+                };
+                (name.clone(), diffed)
+            })
+            .collect();
+        let entries = self
+            .journal
+            .entries
+            .iter()
+            .filter(|e| e.seq >= baseline.journal.next_seq)
+            .cloned()
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            journal: JournalSnapshot {
+                next_seq: self.journal.next_seq,
+                dropped: self
+                    .journal
+                    .dropped
+                    .saturating_sub(baseline.journal.dropped),
+                entries,
+            },
+        }
+    }
+
+    /// The deterministic subset of this snapshot: counter values plus
+    /// journal `(kind, fields)` pairs in record order, excluding any metric
+    /// or journal kind starting with one of `exclude_prefixes` (used to
+    /// strip the scheduling-dependent `pool.` namespace) and all timing
+    /// data (histograms, gauges, timestamps, sequence numbers).
+    pub fn deterministic_view(&self, exclude_prefixes: &[&str]) -> DeterministicView {
+        let excluded = |name: &str| exclude_prefixes.iter().any(|p| name.starts_with(p));
+        DeterministicView {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(name, _)| !excluded(name))
+                .map(|(name, &v)| (name.clone(), v))
+                .collect(),
+            journal: self
+                .journal
+                .entries
+                .iter()
+                .filter(|e| !excluded(&e.kind))
+                .map(|e| (e.kind.clone(), e.fields.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Scheduling-independent projection of a snapshot; two runs that differ
+/// only in thread count must produce equal views (see the determinism
+/// contract in DESIGN.md).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeterministicView {
+    pub counters: BTreeMap<String, u64>,
+    pub journal: Vec<(String, Vec<(String, FieldValue)>)>,
+}

@@ -1,0 +1,172 @@
+//! Obs primitive coverage: histogram bucket-boundary properties, journal
+//! ring wraparound, Prometheus golden output, and snapshot diff round-trip.
+
+use dlacep_obs::{
+    bucket_index, bucket_upper, render_prometheus, FieldValue, MetricsSnapshot, Registry,
+    HISTOGRAM_BUCKETS,
+};
+use proptest::prelude::*;
+
+proptest! {
+    // Every value lands in exactly the bucket whose range contains it:
+    // bucket 0 = {0}, bucket i = [2^(i-1), 2^i - 1].
+    #[test]
+    fn bucket_index_respects_bounds(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(v <= bucket_upper(i), "value {v} above bucket {i} upper");
+        if i > 0 {
+            prop_assert!(v > bucket_upper(i - 1), "value {v} not above bucket {} upper", i - 1);
+        }
+    }
+
+    // Power-of-two boundaries: 2^k is the first value of its bucket and
+    // 2^k - 1 the last value of the previous one.
+    #[test]
+    fn bucket_index_at_powers_of_two(k in 1usize..64) {
+        let v = 1u64 << k;
+        prop_assert_eq!(bucket_index(v), k + 1);
+        prop_assert_eq!(bucket_index(v - 1), k);
+        prop_assert_eq!(bucket_upper(k), v - 1);
+    }
+
+    // Recorded samples are fully accounted for: bucket counts sum to the
+    // total count, and the quantile of any q is an upper bound consistent
+    // with the max recorded value's bucket.
+    #[test]
+    fn histogram_accounts_for_every_sample(values in prop::collection::vec(0u64..1 << 40, 1..50)) {
+        let reg = Registry::enabled();
+        let h = reg.histogram("h");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = &snap.histograms["h"];
+        prop_assert_eq!(hs.count, values.len() as u64);
+        prop_assert_eq!(hs.sum, values.iter().sum::<u64>());
+        let bucket_total: u64 = hs.buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, hs.count);
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(hs.quantile(1.0), bucket_upper(bucket_index(max)));
+        prop_assert!(hs.quantile(0.5) <= hs.quantile(0.99));
+    }
+
+    // The journal ring never exceeds capacity, never loses count of what it
+    // evicted, and always keeps the most recent entries.
+    #[test]
+    fn journal_wraparound_is_exact(capacity in 1usize..16, total in 0u64..64) {
+        let reg = Registry::with_journal_capacity(capacity);
+        for i in 0..total {
+            reg.record("tick", &[("i", FieldValue::U64(i))]);
+        }
+        let j = reg.snapshot().journal;
+        prop_assert_eq!(j.next_seq, total);
+        prop_assert_eq!(j.entries.len() as u64, total.min(capacity as u64));
+        prop_assert_eq!(j.dropped, total.saturating_sub(capacity as u64));
+        let first_kept = total.saturating_sub(capacity as u64);
+        for (offset, entry) in j.entries.iter().enumerate() {
+            prop_assert_eq!(entry.seq, first_kept + offset as u64);
+        }
+    }
+}
+
+#[test]
+fn prometheus_text_golden() {
+    let reg = Registry::enabled();
+    reg.counter("cep.partials_created").add(42);
+    reg.gauge("train.loss").set(0.5);
+    let h = reg.histogram("pipeline.mark_nanos");
+    h.record(0); // bucket 0
+    h.record(3); // bucket 2
+    h.record(3); // bucket 2
+    h.record(900); // bucket 10
+
+    let expected = "\
+# TYPE dlacep_cep_partials_created counter
+dlacep_cep_partials_created 42
+# TYPE dlacep_train_loss gauge
+dlacep_train_loss 0.5
+# TYPE dlacep_pipeline_mark_nanos histogram
+dlacep_pipeline_mark_nanos_bucket{le=\"0\"} 1
+dlacep_pipeline_mark_nanos_bucket{le=\"3\"} 3
+dlacep_pipeline_mark_nanos_bucket{le=\"1023\"} 4
+dlacep_pipeline_mark_nanos_bucket{le=\"+Inf\"} 4
+dlacep_pipeline_mark_nanos_sum 906
+dlacep_pipeline_mark_nanos_count 4
+";
+    assert_eq!(reg.render_prometheus(), expected);
+    assert_eq!(render_prometheus(&reg.snapshot()), expected);
+}
+
+#[test]
+fn snapshot_diff_round_trip() {
+    let reg = Registry::enabled();
+    let c = reg.counter("runtime.windows_evaluated");
+    let h = reg.histogram("runtime.window_nanos");
+    c.add(5);
+    h.record(100);
+    reg.record("mode", &[("mode", FieldValue::Str("Full".into()))]);
+    let baseline = reg.snapshot();
+
+    c.add(3);
+    h.record(100);
+    h.record(70_000);
+    reg.gauge("train.loss").set(0.25);
+    reg.record("mode", &[("mode", FieldValue::Str("Degraded".into()))]);
+    let after = reg.snapshot();
+
+    let delta = after.diff(&baseline);
+    assert_eq!(delta.counters["runtime.windows_evaluated"], 3);
+    let dh = &delta.histograms["runtime.window_nanos"];
+    assert_eq!(dh.count, 2);
+    assert_eq!(dh.sum, 70_100);
+    assert_eq!(dh.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 2);
+    assert_eq!(delta.gauges["train.loss"], 0.25);
+    assert_eq!(delta.journal.entries.len(), 1);
+    assert_eq!(
+        delta.journal.entries[0].fields,
+        vec![("mode".to_string(), FieldValue::Str("Degraded".into()))]
+    );
+
+    // Diff against an empty baseline is the identity on counters/histograms.
+    let zero = after.diff(&MetricsSnapshot::default());
+    assert_eq!(zero.counters, after.counters);
+    assert_eq!(zero.histograms, after.histograms);
+    assert_eq!(zero.journal.entries, after.journal.entries);
+}
+
+#[test]
+fn snapshot_serializes_to_json_and_back() {
+    let reg = Registry::enabled();
+    reg.counter("pipeline.events_total").add(7);
+    reg.gauge("pool.queue_depth").set(4.0);
+    reg.histogram("pipeline.cep_stage_nanos").record(1234);
+    reg.record(
+        "breaker",
+        &[
+            ("from", FieldValue::Str("Closed".into())),
+            ("to", FieldValue::Str("Open".into())),
+            ("window", FieldValue::U64(12)),
+        ],
+    );
+    let snap = reg.snapshot();
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn deterministic_view_strips_pool_namespace_and_timing() {
+    let reg = Registry::enabled();
+    reg.counter("cep.matches").add(2);
+    reg.counter("pool.tasks_executed").add(9);
+    reg.histogram("pipeline.mark_nanos").record(55);
+    reg.record("mode", &[("window", FieldValue::U64(1))]);
+    reg.record("pool.queue_depth", &[("depth", FieldValue::U64(3))]);
+
+    let view = reg.snapshot().deterministic_view(&["pool."]);
+    assert_eq!(view.counters.len(), 1);
+    assert_eq!(view.counters["cep.matches"], 2);
+    assert_eq!(view.journal.len(), 1);
+    assert_eq!(view.journal[0].0, "mode");
+}

@@ -93,12 +93,20 @@ impl Parallelism {
     }
 
     /// Build a pool for this config, or `None` when it resolves to serial.
+    /// The pool reports into the process-wide obs registry; use
+    /// [`Parallelism::build_pool_with_obs`] to target a specific one.
     pub fn build_pool(&self) -> Option<Arc<ThreadPool>> {
+        self.build_pool_with_obs(&dlacep_obs::global())
+    }
+
+    /// Build a pool reporting its `pool.*` metrics into `registry`, or
+    /// `None` when the config resolves to serial.
+    pub fn build_pool_with_obs(&self, registry: &dlacep_obs::Registry) -> Option<Arc<ThreadPool>> {
         let threads = self.effective_threads();
         if threads <= 1 {
             None
         } else {
-            Some(Arc::new(ThreadPool::new(threads)))
+            Some(Arc::new(ThreadPool::with_obs(threads, registry)))
         }
     }
 }

@@ -28,7 +28,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use dlacep_obs::{Counter, Gauge, Histogram, Journal, Registry};
 use serde::{Deserialize, Serialize};
+
+/// How often a `pool.queue_depth` journal sample is recorded: one entry per
+/// this many forked jobs (the gauge is updated on every job). Keeps kernel
+/// workloads that submit thousands of jobs from flushing runtime events out
+/// of the bounded journal ring.
+const QUEUE_DEPTH_SAMPLE_EVERY: u64 = 64;
 
 thread_local! {
     static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
@@ -71,6 +78,30 @@ struct SleepState {
     shutdown: bool,
 }
 
+/// Obs handles for the `pool.*` metric namespace. All scheduling-dependent:
+/// excluded from the determinism contract (see DESIGN.md).
+struct PoolObs {
+    jobs: Counter,
+    tasks_executed: Counter,
+    tasks_stolen: Counter,
+    task_nanos: Histogram,
+    queue_depth: Gauge,
+    journal: Journal,
+}
+
+impl PoolObs {
+    fn from_registry(registry: &Registry) -> Self {
+        PoolObs {
+            jobs: registry.counter("pool.jobs"),
+            tasks_executed: registry.counter("pool.tasks_executed"),
+            tasks_stolen: registry.counter("pool.tasks_stolen"),
+            task_nanos: registry.histogram("pool.task_nanos"),
+            queue_depth: registry.gauge("pool.queue_depth"),
+            journal: registry.journal(),
+        }
+    }
+}
+
 struct Shared {
     /// One deque per worker plus a final "submitter" deque that only
     /// blocked callers pop as their own.
@@ -81,6 +112,7 @@ struct Shared {
     executed: Vec<AtomicU64>,
     stolen: Vec<AtomicU64>,
     jobs: AtomicU64,
+    obs: PoolObs,
 }
 
 /// Cumulative scheduling counters for a [`ThreadPool`].
@@ -112,8 +144,15 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Create a pool with a total parallelism of `threads` (the submitting
     /// thread counts as one lane). `threads <= 1` spawns no workers and
-    /// every `parallel_for` runs inline on the caller.
+    /// every `parallel_for` runs inline on the caller. Scheduling metrics
+    /// go to the process-wide [`dlacep_obs::global`] registry; use
+    /// [`ThreadPool::with_obs`] to target a specific one.
     pub fn new(threads: usize) -> Self {
+        Self::with_obs(threads, &dlacep_obs::global())
+    }
+
+    /// Create a pool reporting its `pool.*` metrics into `registry`.
+    pub fn with_obs(threads: usize, registry: &Registry) -> Self {
         let workers = threads.saturating_sub(1);
         let shared = Arc::new(Shared {
             deques: (0..workers + 1)
@@ -127,6 +166,7 @@ impl ThreadPool {
             executed: (0..workers + 1).map(|_| AtomicU64::new(0)).collect(),
             stolen: (0..workers + 1).map(|_| AtomicU64::new(0)).collect(),
             jobs: AtomicU64::new(0),
+            obs: PoolObs::from_registry(registry),
         });
         let handles = (0..workers)
             .map(|idx| {
@@ -203,7 +243,15 @@ impl ThreadPool {
             done: Mutex::new(false),
             done_cv: Condvar::new(),
         });
-        self.shared.jobs.fetch_add(1, Ordering::Relaxed);
+        let job_seq = self.shared.jobs.fetch_add(1, Ordering::Relaxed);
+        self.shared.obs.jobs.inc();
+        self.shared.obs.queue_depth.set(nchunks as f64);
+        if job_seq.is_multiple_of(QUEUE_DEPTH_SAMPLE_EVERY) {
+            self.shared.obs.journal.record(
+                "pool.queue_depth",
+                &[("job", job_seq.into()), ("depth", (nchunks as u64).into())],
+            );
+        }
 
         let slots = self.workers + 1;
         for c in 0..nchunks {
@@ -371,12 +419,17 @@ fn run_task(shared: &Shared, slot: usize, stolen: bool, task: Task) {
     let Task { job, range } = task;
     // SAFETY: the submitter blocks until `remaining` drains, so `f` is live.
     let f = unsafe { &*job.f };
-    if catch_unwind(AssertUnwindSafe(|| f(range))).is_err() {
-        job.panicked.store(true, Ordering::Release);
+    {
+        let _span = shared.obs.task_nanos.span();
+        if catch_unwind(AssertUnwindSafe(|| f(range))).is_err() {
+            job.panicked.store(true, Ordering::Release);
+        }
     }
     shared.executed[slot].fetch_add(1, Ordering::Relaxed);
+    shared.obs.tasks_executed.inc();
     if stolen {
         shared.stolen[slot].fetch_add(1, Ordering::Relaxed);
+        shared.obs.tasks_stolen.inc();
     }
     if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
         let mut done = job.done.lock().unwrap();
@@ -512,6 +565,34 @@ mod tests {
         assert_eq!(stats.jobs, 2);
         assert_eq!(stats.tasks_executed, 20);
         assert!(stats.tasks_stolen <= stats.tasks_executed);
+    }
+
+    #[test]
+    fn obs_registry_sees_pool_activity() {
+        let registry = Registry::enabled();
+        let pool = ThreadPool::with_obs(3, &registry);
+        pool.parallel_for(100, 10, |_| {});
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["pool.jobs"], 1);
+        assert_eq!(snap.counters["pool.tasks_executed"], 10);
+        assert_eq!(snap.histograms["pool.task_nanos"].count, 10);
+        assert_eq!(snap.gauges["pool.queue_depth"], 10.0);
+        // Job 0 always leaves a queue-depth journal sample.
+        assert!(snap
+            .journal
+            .entries
+            .iter()
+            .any(|e| e.kind == "pool.queue_depth"));
+    }
+
+    #[test]
+    fn disabled_obs_registry_stays_empty() {
+        let registry = Registry::disabled();
+        let pool = ThreadPool::with_obs(2, &registry);
+        pool.parallel_for(16, 2, |_| {});
+        let snap = registry.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
     }
 
     #[test]

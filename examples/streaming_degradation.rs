@@ -1,6 +1,9 @@
 //! Streaming runtime under fire: feed `StreamingDlacep` event-by-event,
 //! inject filter faults and out-of-order arrivals, and watch the runtime
-//! degrade gracefully to exact CEP instead of crashing.
+//! degrade gracefully to exact CEP instead of crashing. The chaos run is
+//! observed through a dedicated `dlacep-obs` registry: everything printed
+//! about it comes out of the metrics snapshot and the structured journal,
+//! not hand-picked report fields.
 //!
 //! ```bash
 //! cargo run --release --example streaming_degradation
@@ -10,6 +13,8 @@ use dlacep::cep::{Pattern, PatternExpr, TypeSet};
 use dlacep::core::prelude::*;
 use dlacep::core::{ChaosFault, ChaosFilter, GuardConfig};
 use dlacep::events::{EventStream, OutOfOrderPolicy, TypeId, WindowSpec};
+use dlacep::obs::Registry;
+use std::sync::Arc;
 
 /// SEQ(A, B) WITHIN 4 over types 0/1 with a filler type 2.
 fn seq_ab() -> Pattern {
@@ -77,6 +82,9 @@ fn main() {
     };
     let mut rt =
         StreamingDlacep::with_config(pattern.clone(), chaotic, config).expect("pattern compiles");
+    // Observe this runtime through its own registry so the snapshot below
+    // covers exactly this run.
+    rt.set_obs(Arc::new(Registry::enabled()));
     for ev in live.events() {
         rt.ingest(ev.type_id, ev.ts.0, ev.attrs.clone()).unwrap();
     }
@@ -86,18 +94,29 @@ fn main() {
         stormy.matches.len(),
         stormy.final_mode
     );
+    let snap = stormy.obs.as_ref().expect("registry is enabled");
+    println!("  metrics snapshot:");
+    for (name, value) in &snap.counters {
+        println!("    {name:<28} {value}");
+    }
     println!(
-        "  faults caught: {} ({} panics, {} wrong-length); breaker trips: {}; degraded windows: {}/{}",
-        stormy.guard.faults_total,
-        stormy.guard.panics,
-        stormy.guard.wrong_length,
-        stormy.guard.breaker_trips,
-        stormy.windows_degraded,
-        stormy.windows_evaluated
+        "  journal ({} entries, showing mode/breaker):",
+        snap.journal.entries.len()
     );
-    println!("  mode timeline:");
-    for t in &stormy.timeline {
-        println!("    window {:>3}  {:?} ({:?})", t.window, t.mode, t.cause);
+    for entry in &snap.journal.entries {
+        if entry.kind == "mode" || entry.kind == "breaker" {
+            let fields: Vec<String> = entry
+                .fields
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            println!(
+                "    [{:>4}] {:<8} {}",
+                entry.seq,
+                entry.kind,
+                fields.join(" ")
+            );
+        }
     }
     assert_eq!(stormy.matches.len(), batch.matches.len());
 

@@ -11,7 +11,8 @@
 //! * [`par`] — the work-stealing thread pool and `Parallelism` config;
 //! * [`nn`] — the from-scratch neural-network substrate (BiLSTM, CRF, Adam);
 //! * [`data`] — synthetic datasets and exact-CEP labeling;
-//! * [`core`] — the DLACEP framework: assembler, filters, pipeline, trainer.
+//! * [`core`] — the DLACEP framework: assembler, filters, pipeline, trainer;
+//! * [`obs`] — zero-dependency metrics, spans, and the event journal.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `dlacep-bench` crate for the paper's experiments.
@@ -21,4 +22,5 @@ pub use dlacep_core as core;
 pub use dlacep_data as data;
 pub use dlacep_events as events;
 pub use dlacep_nn as nn;
+pub use dlacep_obs as obs;
 pub use dlacep_par as par;

@@ -1,0 +1,219 @@
+//! Determinism harness for the observability layer.
+//!
+//! The `dlacep-obs` contract (DESIGN.md "Observability") is that counter
+//! values and journal `(kind, fields)` sequences outside the `pool.`
+//! namespace are pure functions of the workload and configuration — never
+//! of the thread count. These tests run the batch pipeline and the
+//! streaming runtime (healthy and fault-injected) against fresh registries
+//! under `threads ∈ {1, 4}` and require the deterministic views to be
+//! exactly equal.
+
+use dlacep::cep::{Pattern, PatternExpr, TypeSet};
+use dlacep::core::prelude::*;
+use dlacep::core::{GuardConfig, Parallelism};
+use dlacep::data::StockConfig;
+use dlacep::events::{EventStream, PrimitiveEvent, TypeId, WindowSpec};
+use dlacep::obs::{DeterministicView, Registry};
+use std::sync::Arc;
+
+const THREADS: [usize; 2] = [1, 4];
+
+fn seq_pattern(types: &[u32], w: u64) -> Pattern {
+    let leaves = types
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| PatternExpr::event(TypeSet::single(TypeId(t)), format!("s{i}")))
+        .collect();
+    Pattern::new(PatternExpr::Seq(leaves), vec![], WindowSpec::Count(w))
+}
+
+fn stock_stream(n: usize) -> EventStream {
+    let (_, stream) = StockConfig {
+        num_events: n,
+        ..Default::default()
+    }
+    .generate();
+    stream
+}
+
+/// Keep the CEP stage serial so extractor counters are thread-independent
+/// (sharded CEP deliberately recounts overlap work; it is covered by the
+/// pooled-vs-pooled test below).
+fn serial_cep(threads: usize) -> Parallelism {
+    Parallelism {
+        threads,
+        min_batch_windows: 1,
+        shard_events: usize::MAX / 2,
+    }
+}
+
+/// Faults keyed on window *content* (first event id), so the injection is a
+/// pure function of the workload and identical no matter how many threads
+/// speculatively mark windows.
+struct IdKeyedFaults {
+    inner: OracleFilter,
+}
+
+impl Filter for IdKeyedFaults {
+    fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
+        let first = window.first().map_or(0, |e| e.id.0);
+        if first % 11 == 3 {
+            panic!("injected panic for window at id {first}");
+        }
+        let marks = self.inner.mark(window);
+        if first % 13 == 7 {
+            return marks[..marks.len().saturating_sub(1)].to_vec();
+        }
+        marks
+    }
+
+    fn name(&self) -> &'static str {
+        "id-keyed-faults"
+    }
+}
+
+#[test]
+fn pipeline_obs_deterministic_across_thread_counts() {
+    let pattern = seq_pattern(&[0, 1, 2], 12);
+    let stream = stock_stream(3_000);
+
+    let mut views: Vec<(usize, DeterministicView)> = Vec::new();
+    for t in THREADS {
+        let mut dl = Dlacep::with_parallelism(
+            pattern.clone(),
+            OracleFilter::new(pattern.clone()),
+            serial_cep(t),
+        )
+        .unwrap();
+        dl.set_obs(Arc::new(Registry::enabled()));
+        let report = dl.run(stream.events());
+        let snap = report.obs.expect("registry is enabled");
+        assert!(
+            snap.counters.values().any(|&v| v > 0),
+            "threads = {t}: pipeline counters must be populated"
+        );
+        views.push((t, snap.deterministic_view(&["pool."])));
+    }
+    let (_, baseline) = &views[0];
+    for (t, view) in &views[1..] {
+        assert_eq!(
+            view, baseline,
+            "threads = {t}: pipeline counters/journal must not depend on thread count"
+        );
+    }
+}
+
+#[test]
+fn sharded_pipeline_obs_deterministic_across_pool_sizes() {
+    let pattern = seq_pattern(&[0, 1, 2], 12);
+    let stream = stock_stream(4_000);
+
+    // Sharded CEP counters may legitimately differ from the serial run
+    // (overlap events are reprocessed per shard), but they must be equal
+    // for every pool size since the shard layout ignores the thread count.
+    let mut baseline: Option<DeterministicView> = None;
+    for t in [2, 4, 8] {
+        let par = Parallelism {
+            threads: t,
+            min_batch_windows: 1,
+            shard_events: 64,
+        };
+        let mut dl =
+            Dlacep::with_parallelism(pattern.clone(), OracleFilter::new(pattern.clone()), par)
+                .unwrap();
+        dl.set_obs(Arc::new(Registry::enabled()));
+        let report = dl.run(stream.events());
+        let view = report
+            .obs
+            .expect("registry is enabled")
+            .deterministic_view(&["pool."]);
+        match &baseline {
+            None => baseline = Some(view),
+            Some(b) => assert_eq!(
+                &view, b,
+                "threads = {t}: sharded counters must not depend on pool size"
+            ),
+        }
+    }
+}
+
+#[test]
+fn streaming_runtime_obs_deterministic_across_thread_counts() {
+    let pattern = seq_pattern(&[0, 1, 2], 12);
+    let stream = stock_stream(2_500);
+
+    let mut views: Vec<(usize, DeterministicView)> = Vec::new();
+    for t in THREADS {
+        let cfg = RuntimeConfig {
+            parallelism: serial_cep(t),
+            ..Default::default()
+        };
+        let mut rt =
+            StreamingDlacep::with_config(pattern.clone(), OracleFilter::new(pattern.clone()), cfg)
+                .unwrap();
+        rt.set_obs(Arc::new(Registry::enabled()));
+        // Uneven chunks so batch boundaries fall mid-window.
+        for chunk in stream.events().chunks(97) {
+            rt.ingest_batch(chunk).unwrap();
+        }
+        let report = rt.finish();
+        let snap = report.obs.expect("registry is enabled");
+        views.push((t, snap.deterministic_view(&["pool."])));
+    }
+    let (_, baseline) = &views[0];
+    assert!(
+        baseline.journal.iter().any(|(kind, _)| kind == "mode"),
+        "journal must record the initial mode"
+    );
+    for (t, view) in &views[1..] {
+        assert_eq!(
+            view, baseline,
+            "threads = {t}: runtime counters/journal must not depend on thread count"
+        );
+    }
+}
+
+#[test]
+fn faulting_runtime_obs_deterministic_across_thread_counts() {
+    let pattern = seq_pattern(&[0, 1, 2], 12);
+    let stream = stock_stream(2_500);
+
+    let mut views: Vec<(usize, DeterministicView)> = Vec::new();
+    for t in THREADS {
+        let cfg = RuntimeConfig {
+            parallelism: serial_cep(t),
+            guard: GuardConfig {
+                fault_threshold: 2,
+                cooldown_windows: 4,
+                ..GuardConfig::default()
+            },
+            ..Default::default()
+        };
+        let filter = IdKeyedFaults {
+            inner: OracleFilter::new(pattern.clone()),
+        };
+        let mut rt = StreamingDlacep::with_config(pattern.clone(), filter, cfg).unwrap();
+        rt.set_obs(Arc::new(Registry::enabled()));
+        for chunk in stream.events().chunks(97) {
+            rt.ingest_batch(chunk).unwrap();
+        }
+        let report = rt.finish();
+        assert!(
+            report.guard.faults_total > 0,
+            "threads = {t}: faults must actually fire"
+        );
+        let snap = report.obs.expect("registry is enabled");
+        views.push((t, snap.deterministic_view(&["pool."])));
+    }
+    let (_, baseline) = &views[0];
+    assert!(
+        baseline.journal.iter().any(|(kind, _)| kind == "breaker"),
+        "journal must record breaker transitions"
+    );
+    for (t, view) in &views[1..] {
+        assert_eq!(
+            view, baseline,
+            "threads = {t}: fault/breaker counters and journal must not depend on thread count"
+        );
+    }
+}
