@@ -178,6 +178,23 @@ impl EventArena {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// Retained events in arrival order, for checkpointing.
+    pub fn snapshot(&self) -> Vec<PrimitiveEvent> {
+        self.events.iter().cloned().collect()
+    }
+
+    /// Rebuild an arena from a [`snapshot`](Self::snapshot) (ids must be
+    /// strictly increasing, as they were when captured).
+    pub fn restore(events: Vec<PrimitiveEvent>) -> Self {
+        debug_assert!(
+            events.windows(2).all(|w| w[0].id < w[1].id),
+            "arena snapshot requires increasing ids"
+        );
+        Self {
+            events: events.into(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ pub mod nfa;
 pub mod pattern;
 pub mod plan;
 pub mod sharded;
+pub mod state;
 pub mod stats;
 pub mod tree;
 
@@ -31,4 +32,5 @@ pub use pattern::ast::{Pattern, PatternExpr, TypeSet};
 pub use pattern::condition::{CmpOp, Expr, Predicate};
 pub use plan::{CompileError, Plan};
 pub use sharded::{run_sharded, run_sharded_obs, shard_layout, Shard};
+pub use state::{NfaEngineState, StateError, TreeEngineState};
 pub use tree::{CostModel, TreeEngine};

@@ -9,6 +9,7 @@
 use crate::engine::{CepEngine, EngineStats, EventArena, Match};
 use crate::pattern::ast::Pattern;
 use crate::plan::{Branch, CompileError, NegGroup, Plan, StepKind};
+use crate::state::{KleeneSnapshot, NfaEngineState, PartialSnapshot, StateError};
 use dlacep_events::{EventId, PrimitiveEvent, WindowSpec};
 use std::collections::HashMap;
 
@@ -175,6 +176,103 @@ impl NfaEngine {
     /// Currently stored partial matches across branches.
     pub fn stored_partials(&self) -> usize {
         self.branches.iter().map(|b| b.partials.len()).sum()
+    }
+
+    /// Capture the full mutable state for checkpointing (see [`crate::state`]).
+    pub fn export_state(&self) -> NfaEngineState {
+        NfaEngineState {
+            arena: self.arena.snapshot(),
+            pending: self.out.clone(),
+            stats: self.stats,
+            branches: self
+                .branches
+                .iter()
+                .map(|rt| {
+                    rt.partials
+                        .iter()
+                        .map(|pm| PartialSnapshot {
+                            single: pm.single.clone(),
+                            kleene: pm
+                                .kleene
+                                .iter()
+                                .map(|k| KleeneSnapshot {
+                                    iterations: k.iterations.clone(),
+                                    in_progress: k.in_progress.clone(),
+                                })
+                                .collect(),
+                            bound: pm.bound,
+                            min_id: pm.min_id,
+                            max_id: pm.max_id,
+                            min_ts: pm.min_ts,
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Replace the engine's mutable state with a previously exported snapshot.
+    ///
+    /// The engine must be compiled from the same pattern as the exporter:
+    /// branch, step and Kleene counts and the bound mask are validated, and a
+    /// mismatch leaves the engine untouched.
+    pub fn import_state(&mut self, state: NfaEngineState) -> Result<(), StateError> {
+        if state.branches.len() != self.branches.len() {
+            return Err(StateError(format!(
+                "snapshot has {} branches, engine has {}",
+                state.branches.len(),
+                self.branches.len()
+            )));
+        }
+        let mut restored: Vec<Vec<PartialMatch>> = Vec::with_capacity(state.branches.len());
+        for (bi, (rt, partials)) in self.branches.iter().zip(&state.branches).enumerate() {
+            let num_steps = rt.branch.steps.len();
+            let num_kleene = rt.num_kleene();
+            let mut branch_partials = Vec::with_capacity(partials.len());
+            for pm in partials {
+                if pm.single.len() != num_steps {
+                    return Err(StateError(format!(
+                        "branch {bi}: partial binds {} steps, branch has {num_steps}",
+                        pm.single.len()
+                    )));
+                }
+                if pm.kleene.len() != num_kleene {
+                    return Err(StateError(format!(
+                        "branch {bi}: partial has {} Kleene states, branch has {num_kleene}",
+                        pm.kleene.len()
+                    )));
+                }
+                if pm.bound & !rt.full_mask != 0 {
+                    return Err(StateError(format!(
+                        "branch {bi}: bound mask {:#x} exceeds branch mask {:#x}",
+                        pm.bound, rt.full_mask
+                    )));
+                }
+                branch_partials.push(PartialMatch {
+                    single: pm.single.clone(),
+                    kleene: pm
+                        .kleene
+                        .iter()
+                        .map(|k| KleeneState {
+                            iterations: k.iterations.clone(),
+                            in_progress: k.in_progress.clone(),
+                        })
+                        .collect(),
+                    bound: pm.bound,
+                    min_id: pm.min_id,
+                    max_id: pm.max_id,
+                    min_ts: pm.min_ts,
+                });
+            }
+            restored.push(branch_partials);
+        }
+        self.arena = EventArena::restore(state.arena);
+        self.out = state.pending;
+        self.stats = state.stats;
+        for (rt, partials) in self.branches.iter_mut().zip(restored) {
+            rt.partials = partials;
+        }
+        Ok(())
     }
 
     /// Enforce the partial-match budget: shed the oldest partials (smallest

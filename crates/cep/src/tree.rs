@@ -14,6 +14,7 @@
 use crate::engine::{CepEngine, EngineStats, EventArena, Match};
 use crate::pattern::ast::Pattern;
 use crate::plan::{Branch, CompileError, Plan, StepKind};
+use crate::state::{EntrySnapshot, StateError, TreeEngineState};
 use dlacep_events::{EventId, PrimitiveEvent, WindowSpec};
 
 /// Errors raised when instantiating the tree engine.
@@ -246,6 +247,92 @@ impl TreeEngine {
             .iter()
             .map(|t| t.nodes.iter().map(|nd| nd.buffer.len()).sum::<usize>())
             .sum()
+    }
+
+    /// Capture the full mutable state for checkpointing (see [`crate::state`]).
+    pub fn export_state(&self) -> TreeEngineState {
+        TreeEngineState {
+            arena: self.arena.snapshot(),
+            pending: self.out.clone(),
+            stats: self.stats,
+            trees: self
+                .trees
+                .iter()
+                .map(|t| {
+                    t.nodes
+                        .iter()
+                        .map(|nd| {
+                            nd.buffer
+                                .iter()
+                                .map(|en| EntrySnapshot {
+                                    ids: en.ids.clone(),
+                                    mask: en.mask,
+                                    min_id: en.min_id,
+                                    max_id: en.max_id,
+                                    min_ts: en.min_ts,
+                                    max_ts: en.max_ts,
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Replace the engine's mutable state with a previously exported snapshot.
+    ///
+    /// Node buffers are keyed by the tree's node numbering, which is fixed by
+    /// the pattern *and* the cost model used at construction — the engine must
+    /// be built identically to the exporter. Tree, node and step counts are
+    /// validated and a mismatch leaves the engine untouched.
+    pub fn import_state(&mut self, state: TreeEngineState) -> Result<(), StateError> {
+        if state.trees.len() != self.trees.len() {
+            return Err(StateError(format!(
+                "snapshot has {} trees, engine has {}",
+                state.trees.len(),
+                self.trees.len()
+            )));
+        }
+        for (ti, (tree, nodes)) in self.trees.iter().zip(&state.trees).enumerate() {
+            if nodes.len() != tree.nodes.len() {
+                return Err(StateError(format!(
+                    "tree {ti}: snapshot has {} nodes, tree has {}",
+                    nodes.len(),
+                    tree.nodes.len()
+                )));
+            }
+            let num_steps = tree.branch.steps.len();
+            for buffer in nodes {
+                for en in buffer {
+                    if en.ids.len() != num_steps {
+                        return Err(StateError(format!(
+                            "tree {ti}: entry binds {} steps, branch has {num_steps}",
+                            en.ids.len()
+                        )));
+                    }
+                }
+            }
+        }
+        self.arena = EventArena::restore(state.arena);
+        self.out = state.pending;
+        self.stats = state.stats;
+        for (tree, nodes) in self.trees.iter_mut().zip(state.trees) {
+            for (node, buffer) in tree.nodes.iter_mut().zip(nodes) {
+                node.buffer = buffer
+                    .into_iter()
+                    .map(|en| Entry {
+                        ids: en.ids,
+                        mask: en.mask,
+                        min_id: en.min_id,
+                        max_id: en.max_id,
+                        min_ts: en.min_ts,
+                        max_ts: en.max_ts,
+                    })
+                    .collect();
+            }
+        }
+        Ok(())
     }
 
     /// Enforce the budget by dropping the oldest buffered entries.

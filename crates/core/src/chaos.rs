@@ -1,23 +1,34 @@
 //! Fault injection for exercising the degradation machinery.
 //!
 //! [`ChaosFilter`] wraps any [`Filter`] and injects a scheduled fault class
-//! on selected invocations: panics, wrong-length mark vectors, non-finite
-//! scores, or silent all-false marks (the one failure a guard cannot see —
-//! that is the drift monitor's job). [`out_of_order_timestamps`] generates
-//! deterministic disordered arrival sequences for testing the stream
-//! admission policies.
+//! on selected invocations: panics, injected I/O failures, wrong-length mark
+//! vectors, non-finite scores, or silent all-false marks (the one failure a
+//! guard cannot see — that is the drift monitor's job). Schedules are the
+//! same [`Trigger`]/[`Schedule`] language the torn-write harness
+//! ([`dlacep_dur::FailingStore`]) uses for storage death, so filter-fault
+//! tests and crash-sweep tests compose on one injection API.
+//! [`out_of_order_timestamps`] generates deterministic disordered arrival
+//! sequences for testing the stream admission policies.
 
 use crate::filter::Filter;
+use dlacep_dur::{Schedule, Trigger};
 use dlacep_events::PrimitiveEvent;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The injectable fault classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChaosFault {
     /// `mark` panics.
     Panic,
+    /// `mark` fails as if an I/O-backed filter (e.g. one paging weights from
+    /// disk) hit a read error. Surfaces as a panic carrying the injected
+    /// error — the guard classifies it as a fault exactly like [`Panic`],
+    /// but the message distinguishes the scenarios in test output.
+    ///
+    /// [`Panic`]: ChaosFault::Panic
+    Io,
     /// `mark` returns one mark too many.
     WrongLength,
     /// `mark` is well-formed but `scores` returns NaNs — only a guard with
@@ -29,28 +40,38 @@ pub enum ChaosFault {
     Silent,
 }
 
-/// When a rule applies, by 0-based `mark` call index.
+/// How a [`ChaosFilter`] derives the index it feeds its schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum When {
-    At(usize),
-    From(usize),
-    Every(usize),
+enum Keying {
+    /// 0-based `mark` call index. Simple, but only meaningful under serial
+    /// evaluation, and **not** stable across checkpoint/restore (a recovered
+    /// runtime re-marks replayed windows, shifting every index).
+    CallIndex,
+    /// Id of the window's first event. Stable under parallel speculation
+    /// *and* under crash-recovery replay: the same window always draws the
+    /// same fault, no matter how many times or in which order it is marked.
+    WindowStart,
 }
 
 /// A [`Filter`] wrapper that injects faults on schedule.
 ///
-/// Rules are checked in the order they were added; the first match wins.
-/// Calls matching no rule are forwarded to the inner filter untouched.
+/// Rules are checked in the order they were added; the first trigger that
+/// fires wins. Calls matching no rule are forwarded to the inner filter
+/// untouched.
 ///
-/// Faults are keyed off the `mark` **call index**, so schedules are only
-/// meaningful under serial evaluation: a batched runtime that marks windows
-/// speculatively in parallel scrambles the call order. Keep chaos tests on
-/// the serial ingest path.
+/// By default faults are keyed off the `mark` **call index**, so schedules
+/// are only meaningful under serial evaluation: a batched runtime that marks
+/// windows speculatively in parallel scrambles the call order, and a
+/// recovered runtime re-marks replayed windows. For those cases switch to
+/// [`key_by_window_start`](ChaosFilter::key_by_window_start), which keys
+/// each fault off the window's first event id — a pure function of the
+/// window's content.
 pub struct ChaosFilter<F> {
     inner: F,
-    rules: Vec<(When, ChaosFault)>,
-    calls: AtomicUsize,
-    last_call: AtomicUsize,
+    rules: Vec<(Trigger, ChaosFault)>,
+    keying: Keying,
+    calls: AtomicU64,
+    last_key: AtomicU64,
 }
 
 impl<F: Filter> ChaosFilter<F> {
@@ -59,57 +80,82 @@ impl<F: Filter> ChaosFilter<F> {
         Self {
             inner,
             rules: Vec::new(),
-            calls: AtomicUsize::new(0),
-            last_call: AtomicUsize::new(0),
+            keying: Keying::CallIndex,
+            calls: AtomicU64::new(0),
+            last_key: AtomicU64::new(0),
         }
     }
 
-    /// Inject `fault` on the `call`-th invocation (0-based).
-    pub fn fault_at(mut self, call: usize, fault: ChaosFault) -> Self {
-        self.rules.push((When::At(call), fault));
+    /// Inject `fault` at index `idx` (0-based).
+    pub fn fault_at(mut self, idx: u64, fault: ChaosFault) -> Self {
+        self.rules.push((Trigger::At(idx), fault));
         self
     }
 
-    /// Inject `fault` on every invocation from `call` (0-based) onward.
-    pub fn fault_from(mut self, call: usize, fault: ChaosFault) -> Self {
-        self.rules.push((When::From(call), fault));
+    /// Inject `fault` at every index from `idx` (0-based) onward.
+    pub fn fault_from(mut self, idx: u64, fault: ChaosFault) -> Self {
+        self.rules.push((Trigger::From(idx), fault));
         self
     }
 
-    /// Inject `fault` on every `period`-th invocation (indices 0, period,
-    /// 2·period, …).
+    /// Inject `fault` at every `period`-th index (0, period, 2·period, …).
     ///
     /// # Panics
     /// Panics if `period == 0`.
-    pub fn fault_every(mut self, period: usize, fault: ChaosFault) -> Self {
+    pub fn fault_every(mut self, period: u64, fault: ChaosFault) -> Self {
         assert!(period > 0, "period must be positive");
-        self.rules.push((When::Every(period), fault));
+        self.rules.push((Trigger::Every(period), fault));
+        self
+    }
+
+    /// Inject `fault` on every trigger of `schedule` — the same
+    /// [`Schedule`] value a [`dlacep_dur::FailingStore`] takes, so one
+    /// schedule can drive filter faults and storage crashes in lock-step.
+    pub fn fault_when(mut self, schedule: Schedule, fault: ChaosFault) -> Self {
+        self.rules
+            .extend(schedule.triggers().iter().map(|&t| (t, fault)));
+        self
+    }
+
+    /// Key faults off the window's first event id instead of the call
+    /// index. Deterministic under parallel speculative marking and under
+    /// crash-recovery replay — required for fault-injected crash sweeps.
+    pub fn key_by_window_start(mut self) -> Self {
+        self.keying = Keying::WindowStart;
         self
     }
 
     /// Number of `mark` invocations so far.
-    pub fn calls(&self) -> usize {
+    pub fn calls(&self) -> u64 {
         self.calls.load(Ordering::Relaxed)
     }
 
-    fn fault_for(&self, idx: usize) -> Option<ChaosFault> {
+    fn fault_for(&self, idx: u64) -> Option<ChaosFault> {
         self.rules
             .iter()
-            .find(|(when, _)| match *when {
-                When::At(c) => idx == c,
-                When::From(c) => idx >= c,
-                When::Every(p) => idx.is_multiple_of(p),
-            })
+            .find(|(trigger, _)| trigger.fires(idx))
             .map(|&(_, fault)| fault)
+    }
+
+    fn key_of(&self, call_idx: u64, window: &[PrimitiveEvent]) -> u64 {
+        match self.keying {
+            Keying::CallIndex => call_idx,
+            Keying::WindowStart => window.first().map_or(0, |ev| ev.id.0),
+        }
     }
 }
 
 impl<F: Filter> Filter for ChaosFilter<F> {
     fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
-        let idx = self.calls.fetch_add(1, Ordering::Relaxed);
-        self.last_call.store(idx, Ordering::Relaxed);
-        match self.fault_for(idx) {
-            Some(ChaosFault::Panic) => panic!("chaos: injected filter panic at call {idx}"),
+        let call_idx = self.calls.fetch_add(1, Ordering::Relaxed);
+        let key = self.key_of(call_idx, window);
+        self.last_key.store(key, Ordering::Relaxed);
+        match self.fault_for(key) {
+            Some(ChaosFault::Panic) => panic!("chaos: injected filter panic at index {key}"),
+            Some(ChaosFault::Io) => panic!(
+                "chaos: injected i/o failure at index {key}: \
+                 model read failed (os error 5)"
+            ),
             Some(ChaosFault::WrongLength) => {
                 let mut marks = self.inner.mark(window);
                 marks.push(true);
@@ -122,8 +168,8 @@ impl<F: Filter> Filter for ChaosFilter<F> {
 
     fn scores(&self, window: &[PrimitiveEvent]) -> Option<Vec<f32>> {
         // Guards call `scores` right after `mark` on the same window; key the
-        // fault off the call `mark` just served.
-        match self.fault_for(self.last_call.load(Ordering::Relaxed)) {
+        // fault off the key `mark` just served.
+        match self.fault_for(self.last_key.load(Ordering::Relaxed)) {
             Some(ChaosFault::NonFiniteScores) => Some(vec![f32::NAN; window.len()]),
             _ => self.inner.scores(window),
         }
@@ -213,6 +259,16 @@ mod tests {
     }
 
     #[test]
+    fn injected_io_failure_panics_with_io_message() {
+        let f = ChaosFilter::new(PassthroughFilter).fault_at(0, ChaosFault::Io);
+        let w = window(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.mark(w.events())));
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("i/o failure"), "got: {msg}");
+    }
+
+    #[test]
     fn nan_scores_on_schedule_only() {
         let f = ChaosFilter::new(PassthroughFilter).fault_at(0, ChaosFault::NonFiniteScores);
         let w = window(2);
@@ -221,6 +277,39 @@ mod tests {
         assert!(scores.iter().all(|s| s.is_nan()));
         f.mark(w.events());
         assert!(f.scores(w.events()).is_none(), "inner has no scores");
+    }
+
+    #[test]
+    fn shared_schedule_drives_filter_faults() {
+        let sched = Schedule::never().at(0).from(3);
+        let f = ChaosFilter::new(PassthroughFilter).fault_when(sched, ChaosFault::Silent);
+        let w = window(2);
+        let silent: Vec<bool> = (0..5)
+            .map(|_| f.mark(w.events()).iter().all(|&m| !m))
+            .collect();
+        assert_eq!(silent, vec![true, false, false, true, true]);
+    }
+
+    #[test]
+    fn window_start_keying_is_replay_stable() {
+        // Fault keyed to the window whose first event has id 4 — marking the
+        // same window any number of times, in any order, draws the same
+        // fault; other windows never do.
+        let f = ChaosFilter::new(PassthroughFilter)
+            .fault_at(4, ChaosFault::Silent)
+            .key_by_window_start();
+        let mut s = EventStream::new();
+        for i in 0..8 {
+            s.push(TypeId(0), i as u64, vec![]);
+        }
+        let evs = s.events();
+        for _ in 0..3 {
+            assert_eq!(f.mark(&evs[0..4]), vec![true; 4], "window@0 clean");
+            assert_eq!(f.mark(&evs[4..8]), vec![false; 4], "window@4 faulted");
+        }
+        // Scores follow the last-marked window's key, not the call count.
+        f.mark(&evs[4..8]);
+        assert_eq!(f.scores(&evs[4..8]), None, "no NaN rule on this key");
     }
 
     #[test]

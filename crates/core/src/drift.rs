@@ -39,6 +39,22 @@ impl DriftConfig {
             patience: 20,
         }
     }
+
+    /// Validate the configuration (`alpha` in `(0, 1]`, `tolerance >= 0`).
+    /// The runtime surfaces this as a typed error before any monitor is
+    /// built.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(format!("drift alpha must be in (0, 1], got {}", self.alpha));
+        }
+        if self.tolerance.is_nan() || self.tolerance < 0.0 {
+            return Err(format!(
+                "drift tolerance must be non-negative, got {}",
+                self.tolerance
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Current drift verdict.
@@ -50,6 +66,17 @@ pub enum DriftState {
     Suspect,
     /// Sustained deviation: retraining recommended.
     Drifted,
+}
+
+/// Mutable state of a [`DriftMonitor`], captured for checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftMonitorState {
+    /// Smoothed marking rate, if any windows were observed.
+    pub ema: Option<f64>,
+    /// Consecutive out-of-band windows.
+    pub consecutive_out: u64,
+    /// Total windows observed.
+    pub windows_seen: u64,
 }
 
 /// Streaming drift monitor over per-window marking rates.
@@ -116,6 +143,25 @@ impl DriftMonitor {
     /// Smoothed marking rate, if any windows were observed.
     pub fn smoothed_rate(&self) -> Option<f64> {
         self.ema
+    }
+
+    /// Capture the mutable detector state (EMA, out-of-band streak, window
+    /// count) for checkpointing. The configuration is not part of the
+    /// snapshot — recovery rebuilds the monitor from the runtime config and
+    /// re-injects only the trajectory.
+    pub fn export_state(&self) -> DriftMonitorState {
+        DriftMonitorState {
+            ema: self.ema,
+            consecutive_out: self.consecutive_out as u64,
+            windows_seen: self.windows_seen,
+        }
+    }
+
+    /// Re-inject a previously exported trajectory.
+    pub fn import_state(&mut self, state: DriftMonitorState) {
+        self.ema = state.ema;
+        self.consecutive_out = state.consecutive_out as usize;
+        self.windows_seen = state.windows_seen;
     }
 
     /// Reset after retraining with a fresh baseline.

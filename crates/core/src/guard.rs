@@ -130,6 +130,33 @@ pub struct GuardOutcome {
     pub transitions: Vec<(BreakerState, BreakerState)>,
 }
 
+impl GuardConfig {
+    /// Validate the configuration (`fault_threshold >= 1`). The runtime
+    /// surfaces this as a typed error before any guard is built.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fault_threshold < 1 {
+            return Err("guard fault_threshold must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Full mutable state of a [`FilterGuard`], captured for checkpointing.
+/// The wrapped filter itself is *not* part of the snapshot — recovery
+/// reconstructs it (e.g. by reloading the persisted model) and re-injects
+/// only the breaker trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardState {
+    /// Breaker position.
+    pub state: BreakerState,
+    /// Consecutive faults seen while counting toward a trip.
+    pub consecutive_faults: u64,
+    /// Windows bypassed in the current Open cooldown.
+    pub open_windows: u64,
+    /// Fault and breaker counters.
+    pub stats: GuardStats,
+}
+
 /// A circuit breaker wrapped around a [`Filter`].
 pub struct FilterGuard<F> {
     filter: F,
@@ -176,6 +203,24 @@ impl<F: Filter> FilterGuard<F> {
     /// Fault and breaker counters.
     pub fn stats(&self) -> &GuardStats {
         &self.stats
+    }
+
+    /// Capture the breaker trajectory for checkpointing.
+    pub fn export_state(&self) -> GuardState {
+        GuardState {
+            state: self.state,
+            consecutive_faults: self.consecutive_faults as u64,
+            open_windows: self.open_windows as u64,
+            stats: self.stats,
+        }
+    }
+
+    /// Re-inject a previously exported breaker trajectory.
+    pub fn import_state(&mut self, state: GuardState) {
+        self.state = state.state;
+        self.consecutive_faults = state.consecutive_faults as usize;
+        self.open_windows = state.open_windows as usize;
+        self.stats = state.stats;
     }
 
     /// Guarded marking of one assembler window. Never panics; always returns

@@ -50,6 +50,7 @@
 pub mod assembler;
 pub mod chaos;
 pub mod drift;
+pub mod durable;
 pub mod embed;
 pub mod filter;
 pub mod guard;
@@ -65,19 +66,24 @@ pub mod trainer;
 pub use assembler::{AssemblerConfig, AssemblerError};
 pub use chaos::{out_of_order_timestamps, ChaosFault, ChaosFilter};
 pub use dlacep_par::{Parallelism, PoolStats};
-pub use drift::{DriftConfig, DriftMonitor, DriftState};
+pub use drift::{DriftConfig, DriftMonitor, DriftMonitorState, DriftState};
+pub use durable::{
+    dur_dir_from_env, DurConfig, DurError, DurableDlacep, RecoveryReport, DUR_DIR_ENV,
+};
 pub use embed::EventEmbedder;
 pub use filter::{EventNetFilter, Filter, OracleFilter, PassthroughFilter, WindowNetFilter};
-pub use guard::{BreakerState, FaultKind, FilterGuard, GuardConfig, GuardStats};
+pub use guard::{BreakerState, FaultKind, FilterGuard, GuardConfig, GuardState, GuardStats};
 pub use metrics::{compare, compare_runs, run_ecep, ComparisonReport};
 pub use model::{EventNetwork, NetworkConfig, WindowNetwork};
 pub use multi::{train_multi_pattern, MultiPatternDlacep, MultiReport, MultiTraining};
 pub use objective::AcepObjective;
-pub use persist::{load_event_filter, load_window_filter, save_event_filter, save_window_filter};
+pub use persist::{
+    load_event_filter, load_window_filter, save_event_filter, save_window_filter, PersistError,
+};
 pub use pipeline::{Dlacep, DlacepError, DlacepReport};
 pub use runtime::{
-    ModeCause, ModeTransition, RuntimeConfig, RuntimeError, RuntimeMode, RuntimeReport,
-    StreamingDlacep,
+    ModeCause, ModeTransition, RuntimeCheckpoint, RuntimeConfig, RuntimeError, RuntimeMode,
+    RuntimeReport, StreamingDlacep,
 };
 pub use trainer::{
     train_event_filter, train_window_filter, EventNetTraining, TrainConfig, WindowNetTraining,

@@ -1,17 +1,30 @@
-//! Model persistence: save and load trained filters as JSON.
+//! Model persistence: save and load trained filters.
 //!
 //! Training to convergence is the expensive phase of DLACEP (hours to days
 //! in the paper); a deployment trains once per pattern and reloads the
 //! weights at startup. The serialized bundle carries the network, the
 //! embedder (type-slot mapping), and the marking threshold, so a reloaded
 //! filter behaves identically.
+//!
+//! On disk a bundle is the JSON payload wrapped in a `dlacep-dur` frame —
+//! magic `b"DMDL"`, format version, length, CRC32 — and written atomically
+//! (tmp file + fsync + rename). A crash mid-save leaves the previous bundle
+//! intact, and a truncated or bit-flipped file is detected as
+//! [`PersistError::Corrupt`] instead of being half-parsed: a model that
+//! loads is a model that saved completely.
 
 use crate::embed::EventEmbedder;
 use crate::filter::{EventNetFilter, WindowNetFilter};
 use crate::model::{EventNetwork, WindowNetwork};
+use dlacep_dur::{atomic_write_file, decode_frame, encode_frame, CodecError};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
+
+/// Frame magic of a model bundle file.
+const BUNDLE_MAGIC: [u8; 4] = *b"DMDL";
+/// Current bundle format version.
+const BUNDLE_VERSION: u16 = 1;
 
 /// Serialized form of an event-network filter.
 #[derive(Serialize, Deserialize)]
@@ -33,8 +46,12 @@ struct WindowNetBundle {
 pub enum PersistError {
     /// Filesystem failure.
     Io(io::Error),
-    /// Malformed bundle.
+    /// The frame validated but the JSON payload is malformed — a
+    /// version/logic mismatch, not disk damage.
     Format(serde_json::Error),
+    /// The file is damaged: truncated, bit-flipped, wrong magic, or from a
+    /// future format version. The payload was never parsed.
+    Corrupt(CodecError),
 }
 
 impl std::fmt::Display for PersistError {
@@ -42,6 +59,7 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Format(e) => write!(f, "bundle format error: {e}"),
+            PersistError::Corrupt(e) => write!(f, "bundle corrupt: {e}"),
         }
     }
 }
@@ -60,25 +78,41 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
+fn save_bundle<T: Serialize>(bundle: &T, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let json = serde_json::to_string(bundle)?;
+    let framed = encode_frame(BUNDLE_MAGIC, BUNDLE_VERSION, json.as_bytes());
+    atomic_write_file(path.as_ref(), &framed)?;
+    Ok(())
+}
+
+fn load_bundle<T: Deserialize>(path: impl AsRef<Path>) -> Result<T, PersistError> {
+    let bytes = std::fs::read(path)?;
+    let (_version, payload) =
+        decode_frame(BUNDLE_MAGIC, BUNDLE_VERSION, &bytes).map_err(PersistError::Corrupt)?;
+    let json = std::str::from_utf8(payload).map_err(|_| {
+        PersistError::Corrupt(CodecError::Malformed("bundle payload is not UTF-8".into()))
+    })?;
+    Ok(serde_json::from_str(json)?)
+}
+
 /// Save an event-network filter.
 pub fn save_event_filter(
     filter: &EventNetFilter,
     path: impl AsRef<Path>,
 ) -> Result<(), PersistError> {
-    let bundle = EventNetBundle {
-        network: filter.network.clone(),
-        embedder: filter.embedder.clone(),
-        threshold: filter.threshold,
-    };
-    let json = serde_json::to_string(&bundle)?;
-    std::fs::write(path, json)?;
-    Ok(())
+    save_bundle(
+        &EventNetBundle {
+            network: filter.network.clone(),
+            embedder: filter.embedder.clone(),
+            threshold: filter.threshold,
+        },
+        path,
+    )
 }
 
 /// Load an event-network filter.
 pub fn load_event_filter(path: impl AsRef<Path>) -> Result<EventNetFilter, PersistError> {
-    let json = std::fs::read_to_string(path)?;
-    let bundle: EventNetBundle = serde_json::from_str(&json)?;
+    let bundle: EventNetBundle = load_bundle(path)?;
     Ok(EventNetFilter {
         network: bundle.network,
         embedder: bundle.embedder,
@@ -91,19 +125,18 @@ pub fn save_window_filter(
     filter: &WindowNetFilter,
     path: impl AsRef<Path>,
 ) -> Result<(), PersistError> {
-    let bundle = WindowNetBundle {
-        network: filter.network.clone(),
-        embedder: filter.embedder.clone(),
-    };
-    let json = serde_json::to_string(&bundle)?;
-    std::fs::write(path, json)?;
-    Ok(())
+    save_bundle(
+        &WindowNetBundle {
+            network: filter.network.clone(),
+            embedder: filter.embedder.clone(),
+        },
+        path,
+    )
 }
 
 /// Load a window-network filter.
 pub fn load_window_filter(path: impl AsRef<Path>) -> Result<WindowNetFilter, PersistError> {
-    let json = std::fs::read_to_string(path)?;
-    let bundle: WindowNetBundle = serde_json::from_str(&json)?;
+    let bundle: WindowNetBundle = load_bundle(path)?;
     Ok(WindowNetFilter {
         network: bundle.network,
         embedder: bundle.embedder,
@@ -128,14 +161,18 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn event_filter_roundtrip_preserves_marks() {
+    fn sample_event_filter() -> EventNetFilter {
         let embedder = EventEmbedder::new(&TypeSet::new(vec![TypeId(0), TypeId(1)]), 1);
-        let filter = EventNetFilter {
+        EventNetFilter {
             network: EventNetwork::new(NetworkConfig::small(embedder.dim())),
             embedder,
             threshold: Some(0.3),
-        };
+        }
+    }
+
+    #[test]
+    fn event_filter_roundtrip_preserves_marks() {
+        let filter = sample_event_filter();
         let path = tmp("event");
         save_event_filter(&filter, &path).unwrap();
         let loaded = load_event_filter(&path).unwrap();
@@ -169,13 +206,62 @@ mod tests {
     }
 
     #[test]
-    fn load_garbage_errors() {
+    fn load_unframed_garbage_is_corrupt() {
         let path = tmp("garbage");
-        std::fs::write(&path, "not json at all").unwrap();
+        std::fs::write(&path, "not a bundle at all").unwrap();
         assert!(matches!(
             load_event_filter(&path),
-            Err(PersistError::Format(_))
+            Err(PersistError::Corrupt(_))
         ));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn truncated_bundle_is_corrupt() {
+        let path = tmp("truncated");
+        save_event_filter(&sample_event_filter(), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Every proper prefix must be rejected as corrupt, never half-parsed.
+        for cut in [0, 3, 13, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                matches!(load_event_filter(&path), Err(PersistError::Corrupt(_))),
+                "prefix of {cut} bytes must be corrupt"
+            );
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bit_flipped_bundle_is_corrupt() {
+        let path = tmp("bitflip");
+        save_event_filter(&sample_event_filter(), &path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one bit in the header, the middle, and the last byte.
+        for pos in [5, clean.len() / 2, clean.len() - 1] {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                matches!(load_event_filter(&path), Err(PersistError::Corrupt(_))),
+                "bit flip at {pos} must be corrupt"
+            );
+        }
+        // The untouched bytes still load.
+        std::fs::write(&path, &clean).unwrap();
+        assert!(load_event_filter(&path).is_ok());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_left_behind() {
+        let path = tmp("atomic");
+        save_event_filter(&sample_event_filter(), &path).unwrap();
+        let tmp_path = path.with_file_name(format!(
+            "{}.tmp",
+            path.file_name().unwrap().to_str().unwrap()
+        ));
+        assert!(!tmp_path.exists(), "tmp file must be renamed away");
         let _ = std::fs::remove_file(path);
     }
 }

@@ -30,9 +30,11 @@
 //! output a subset of the exact ECEP match set throughout.
 
 use crate::assembler::AssemblerConfig;
-use crate::drift::{DriftConfig, DriftMonitor, DriftState};
+use crate::drift::{DriftConfig, DriftMonitor, DriftMonitorState, DriftState};
 use crate::filter::Filter;
-use crate::guard::{BreakerState, FilterGuard, GuardConfig, GuardStats, SpeculativeInvocation};
+use crate::guard::{
+    BreakerState, FilterGuard, GuardConfig, GuardState, GuardStats, SpeculativeInvocation,
+};
 use crate::pipeline::DlacepError;
 use dlacep_cep::engine::CepEngine;
 use dlacep_cep::plan::Plan;
@@ -53,6 +55,13 @@ pub enum RuntimeError {
     Stream(StreamError),
     /// The pattern or assembler configuration was rejected at construction.
     Pipeline(DlacepError),
+    /// A guard or drift parameter was out of range. Construction used to
+    /// panic on these deep inside the component constructors; they are
+    /// user-supplied configuration, so they surface as a typed error.
+    Config(String),
+    /// A checkpoint could not be restored into this runtime (shape or
+    /// configuration mismatch).
+    Restore(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -60,6 +69,8 @@ impl std::fmt::Display for RuntimeError {
         match self {
             RuntimeError::Stream(e) => write!(f, "stream: {e}"),
             RuntimeError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            RuntimeError::Config(e) => write!(f, "config: {e}"),
+            RuntimeError::Restore(e) => write!(f, "restore: {e}"),
         }
     }
 }
@@ -136,6 +147,80 @@ pub struct ModeTransition {
     pub mode: RuntimeMode,
     /// What triggered it.
     pub cause: ModeCause,
+}
+
+/// Full mutable state of a [`StreamingDlacep`], captured by
+/// [`StreamingDlacep::checkpoint`] and re-injected by
+/// [`StreamingDlacep::restore`]. Everything derived from the pattern and
+/// configuration (compiled plan, guard wiring, pool) is rebuilt by the
+/// constructors; the checkpoint carries only the trajectory: admission
+/// cursors, the un-relayed buffer, breaker/drift state, the extractor's
+/// partial matches, emitted matches, and the observability watermark.
+///
+/// The binary encoding (see `dlacep-dur`) round-trips floats bit-exactly, so
+/// a restored runtime continues *byte-identically* to the uninterrupted one
+/// on the same suffix of events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeCheckpoint {
+    /// Canonical encoding of the semantic configuration (assembler geometry,
+    /// out-of-order policy, guard, budget, drift). Restore refuses a
+    /// checkpoint whose fingerprint differs from the target runtime's —
+    /// resuming under different semantics would silently diverge.
+    /// Parallelism is deliberately excluded: it never changes output.
+    pub config_fingerprint: Vec<u8>,
+    /// Extractor state (arena, partials, pending matches, counters).
+    pub engine: dlacep_cep::NfaEngineState,
+    /// Breaker trajectory.
+    pub guard: GuardState,
+    /// Drift detector trajectory, present iff drift detection is configured.
+    pub drift: Option<DriftMonitorState>,
+    /// Whether the runtime is in the drift-triggered fallback.
+    pub drift_fallback: bool,
+    /// Whether an unacknowledged retrain signal is pending.
+    pub retrain_signaled: bool,
+    /// Admitted events not yet relayed/discarded.
+    pub buf: Vec<PrimitiveEvent>,
+    /// Marks aligned with `buf`.
+    pub marks: Vec<bool>,
+    /// Stream position of `buf[0]`.
+    pub base: u64,
+    /// Events admitted so far.
+    pub admitted: u64,
+    /// Next assembler window start position.
+    pub next_window_start: u64,
+    /// End position of the last evaluated window.
+    pub last_window_end: u64,
+    /// Positions relayed or discarded so far.
+    pub relayed_upto: u64,
+    /// Last admitted timestamp (out-of-order reference point).
+    pub last_ts: Option<u64>,
+    /// Next event id to stamp.
+    pub next_id: u64,
+    /// Report counter: events offered.
+    pub events_offered: u64,
+    /// Report counter: events dropped by the out-of-order policy.
+    pub events_dropped: u64,
+    /// Report counter: events admitted with a clamped timestamp.
+    pub events_clamped: u64,
+    /// Report counter: events relayed to the extractor.
+    pub events_relayed: u64,
+    /// Report counter: windows evaluated.
+    pub windows_evaluated: u64,
+    /// Report counter: windows served degraded.
+    pub windows_degraded: u64,
+    /// Mode-change timeline up to the checkpoint.
+    pub timeline: Vec<ModeTransition>,
+    /// Matches emitted up to the checkpoint. Their count doubles as the
+    /// emitted-match watermark: a downstream consumer that persisted
+    /// `matches.len()` outputs can dedup replayed emissions exactly.
+    pub matches: Vec<Match>,
+    /// Extractor shed count already journaled (per-event delta bookkeeping).
+    pub journaled_sheds: u64,
+    /// Journal sequence watermark at capture time: the number of journal
+    /// entries this runtime had recorded. Recovery equivalence compares a
+    /// restored run's journal to the uninterrupted run's entries from this
+    /// sequence number on.
+    pub journal_next_seq: u64,
 }
 
 /// Outcome of a streaming run, extending the batch report with degradation
@@ -289,6 +374,8 @@ fn record_mode(
 /// The streaming DLACEP runtime. See the [module docs](self).
 pub struct StreamingDlacep<F: Filter> {
     pattern: Pattern,
+    /// The configuration as passed in, kept for the checkpoint fingerprint.
+    config: RuntimeConfig,
     assembler: AssemblerConfig,
     ooo_policy: OutOfOrderPolicy,
     guard: FilterGuard<F>,
@@ -335,6 +422,18 @@ impl<F: Filter> StreamingDlacep<F> {
         filter: F,
         config: RuntimeConfig,
     ) -> Result<Self, RuntimeError> {
+        Ok(Self::build(pattern, filter, config)?.with_initial_mode())
+    }
+
+    /// Shared construction path of [`StreamingDlacep::with_config`] and
+    /// [`StreamingDlacep::restore`]. Does *not* record the initial mode —
+    /// a restored runtime continues its checkpointed timeline and journal
+    /// sequence instead of starting a fresh one.
+    fn build(pattern: Pattern, filter: F, config: RuntimeConfig) -> Result<Self, RuntimeError> {
+        config.guard.validate().map_err(RuntimeError::Config)?;
+        if let Some(drift) = &config.drift {
+            drift.validate().map_err(RuntimeError::Config)?;
+        }
         let assembler = config
             .assembler
             .unwrap_or_else(|| AssemblerConfig::paper_default(pattern.window_size()));
@@ -353,6 +452,7 @@ impl<F: Filter> StreamingDlacep<F> {
         let pool = config.parallelism.build_pool_with_obs(&obs.registry);
         Ok(Self {
             pattern,
+            config,
             assembler,
             ooo_policy: config.ooo_policy,
             guard: FilterGuard::new(filter, config.guard),
@@ -381,8 +481,7 @@ impl<F: Filter> StreamingDlacep<F> {
             matches: Vec::new(),
             obs,
             journaled_sheds: 0,
-        }
-        .with_initial_mode())
+        })
     }
 
     fn with_initial_mode(mut self) -> Self {
@@ -463,6 +562,156 @@ impl<F: Filter> StreamingDlacep<F> {
     /// Matches emitted so far.
     pub fn matches_so_far(&self) -> &[Match] {
         &self.matches
+    }
+
+    /// Emitted-match watermark: how many matches this runtime has produced.
+    /// Checkpointed, so a consumer that records it can deduplicate output
+    /// across a crash/restore cycle exactly.
+    pub fn match_seq(&self) -> u64 {
+        self.matches.len() as u64
+    }
+
+    /// Canonical encoding of the semantic configuration, used to pair
+    /// checkpoints with compatible runtimes. See
+    /// [`RuntimeCheckpoint::config_fingerprint`].
+    fn config_fingerprint(&self) -> Vec<u8> {
+        let mut e = dlacep_dur::Encoder::new();
+        e.put_u64(self.assembler.mark_size as u64);
+        e.put_u64(self.assembler.step_size as u64);
+        e.put_u8(match self.ooo_policy {
+            OutOfOrderPolicy::Drop => 0,
+            OutOfOrderPolicy::ClampToLastTs => 1,
+            OutOfOrderPolicy::Reject => 2,
+        });
+        let guard = self.guard.config();
+        e.put_u64(guard.fault_threshold as u64);
+        e.put_u64(guard.cooldown_windows as u64);
+        e.put(&guard.validate_scores);
+        e.put(&self.config.max_partials.map(|v| v as u64));
+        match &self.config.drift {
+            None => e.put_u8(0),
+            Some(d) => {
+                e.put_u8(1);
+                e.put(&d.baseline_rate);
+                e.put(&d.tolerance);
+                e.put(&d.alpha);
+                e.put_u64(d.patience as u64);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Capture the full mutable state. Cheap relative to a window
+    /// evaluation: clones the un-relayed buffer, stored partials and emitted
+    /// matches; touches no I/O (the durability layer in
+    /// [`durable`](crate::durable) handles persistence and atomicity).
+    pub fn checkpoint(&self) -> RuntimeCheckpoint {
+        RuntimeCheckpoint {
+            config_fingerprint: self.config_fingerprint(),
+            engine: self.engine.export_state(),
+            guard: self.guard.export_state(),
+            drift: self.drift.as_ref().map(|m| m.export_state()),
+            drift_fallback: self.drift_fallback,
+            retrain_signaled: self.retrain_signaled,
+            buf: self.buf.iter().cloned().collect(),
+            marks: self.marks.iter().copied().collect(),
+            base: self.base as u64,
+            admitted: self.admitted as u64,
+            next_window_start: self.next_window_start as u64,
+            last_window_end: self.last_window_end as u64,
+            relayed_upto: self.relayed_upto as u64,
+            last_ts: self.last_ts,
+            next_id: self.next_id,
+            events_offered: self.events_offered as u64,
+            events_dropped: self.events_dropped as u64,
+            events_clamped: self.events_clamped as u64,
+            events_relayed: self.events_relayed as u64,
+            windows_evaluated: self.windows_evaluated as u64,
+            windows_degraded: self.windows_degraded as u64,
+            timeline: self.timeline.clone(),
+            matches: self.matches.clone(),
+            journaled_sheds: self.journaled_sheds,
+            journal_next_seq: self.obs.journal.next_seq(),
+        }
+    }
+
+    /// Rebuild a runtime from a checkpoint. `pattern`, `filter` and `config`
+    /// must be what the checkpointing runtime was built with (the semantic
+    /// configuration is verified against the checkpoint's fingerprint; the
+    /// pattern is verified structurally by the engine-state import). When
+    /// `registry` is `Some`, metrics and journal go there — without
+    /// recording any entry, so the restored journal sequence lines up with
+    /// the uninterrupted run's from the checkpoint's
+    /// [`journal watermark`](RuntimeCheckpoint::journal_next_seq).
+    ///
+    /// After restore, ingesting the same events the original runtime would
+    /// have seen next produces byte-identical matches, counters, timeline
+    /// and journal entries — the crash-recovery equivalence the
+    /// `dlacep-dur` crash sweep proves.
+    pub fn restore(
+        pattern: Pattern,
+        filter: F,
+        config: RuntimeConfig,
+        registry: Option<Arc<Registry>>,
+        ckpt: RuntimeCheckpoint,
+    ) -> Result<Self, RuntimeError> {
+        let mut rt = Self::build(pattern, filter, config)?;
+        if let Some(reg) = registry {
+            rt.obs = RuntimeObs::new(reg);
+            rt.pool = rt.par.build_pool_with_obs(&rt.obs.registry);
+        }
+        if ckpt.config_fingerprint != rt.config_fingerprint() {
+            return Err(RuntimeError::Restore(
+                "checkpoint was taken under a different runtime configuration".into(),
+            ));
+        }
+        fn us(v: u64, what: &str) -> Result<usize, RuntimeError> {
+            usize::try_from(v)
+                .map_err(|_| RuntimeError::Restore(format!("{what} exceeds usize: {v}")))
+        }
+        rt.engine
+            .import_state(ckpt.engine)
+            .map_err(|e| RuntimeError::Restore(e.to_string()))?;
+        rt.guard.import_state(ckpt.guard);
+        match (rt.drift.as_mut(), ckpt.drift) {
+            (Some(m), Some(st)) => m.import_state(st),
+            (None, None) => {}
+            // Unreachable while the fingerprint covers drift presence, but a
+            // typed error beats trusting that coupling forever.
+            _ => {
+                return Err(RuntimeError::Restore(
+                    "drift state presence disagrees with configuration".into(),
+                ))
+            }
+        }
+        rt.drift_fallback = ckpt.drift_fallback;
+        rt.retrain_signaled = ckpt.retrain_signaled;
+        if ckpt.marks.len() != ckpt.buf.len() {
+            return Err(RuntimeError::Restore(format!(
+                "mark vector length {} disagrees with buffer length {}",
+                ckpt.marks.len(),
+                ckpt.buf.len()
+            )));
+        }
+        rt.buf = ckpt.buf.into();
+        rt.marks = ckpt.marks.into();
+        rt.base = us(ckpt.base, "base")?;
+        rt.admitted = us(ckpt.admitted, "admitted")?;
+        rt.next_window_start = us(ckpt.next_window_start, "next_window_start")?;
+        rt.last_window_end = us(ckpt.last_window_end, "last_window_end")?;
+        rt.relayed_upto = us(ckpt.relayed_upto, "relayed_upto")?;
+        rt.last_ts = ckpt.last_ts;
+        rt.next_id = ckpt.next_id;
+        rt.events_offered = us(ckpt.events_offered, "events_offered")?;
+        rt.events_dropped = us(ckpt.events_dropped, "events_dropped")?;
+        rt.events_clamped = us(ckpt.events_clamped, "events_clamped")?;
+        rt.events_relayed = us(ckpt.events_relayed, "events_relayed")?;
+        rt.windows_evaluated = us(ckpt.windows_evaluated, "windows_evaluated")?;
+        rt.windows_degraded = us(ckpt.windows_degraded, "windows_degraded")?;
+        rt.timeline = ckpt.timeline;
+        rt.matches = ckpt.matches;
+        rt.journaled_sheds = ckpt.journaled_sheds;
+        Ok(rt)
     }
 
     /// Acknowledge a retrain: reset the drift monitor to `baseline_rate` and
@@ -796,6 +1045,10 @@ impl<F: Filter> StreamingDlacep<F> {
     /// cover them) and drop it from the buffer.
     fn relay_finalized(&mut self, upto: usize) {
         while self.relayed_upto < upto {
+            // Invariant, not input-reachable: `buf`/`marks` hold exactly the
+            // positions in `[relayed_upto, admitted)`, `upto <= admitted`,
+            // and restore() re-validates the alignment before accepting a
+            // checkpoint — so both queues are non-empty here.
             let ev = self.buf.pop_front().expect("buffer aligned with positions");
             let marked = self.marks.pop_front().expect("marks aligned with buffer");
             self.relayed_upto += 1;

@@ -1,0 +1,286 @@
+//! The crash-point sweep: the durability layer's equivalence proof.
+//!
+//! One reference run ingests a stream uninterrupted. Then, for **every**
+//! durability tick the workload consumes (each byte an fsync makes durable,
+//! each metadata operation), a fresh run is killed at exactly that tick —
+//! mid-record, mid-checkpoint, mid-rotation, mid-prune — leaving only what
+//! a power cut would leave on disk. Recovery restores the newest valid
+//! checkpoint, replays the WAL suffix, re-feeds the source from
+//! `resume_seq`, and must finish with a match sequence bitwise identical to
+//! the reference and an observability journal equal to the reference's
+//! suffix from the restored checkpoint's watermark.
+//!
+//! The sweep runs on a healthy stream and on a fault-injected degraded one
+//! (filter panics/I-O faults keyed by window content, so replay draws the
+//! same faults), each with out-of-order arrivals under the Drop policy.
+
+use dlacep_cep::{Pattern, PatternExpr, TypeSet};
+use dlacep_core::chaos::{out_of_order_timestamps, ChaosFault, ChaosFilter};
+use dlacep_core::durable::{DurConfig, DurError, DurableDlacep};
+use dlacep_core::filter::{Filter, OracleFilter, PassthroughFilter};
+use dlacep_core::guard::GuardConfig;
+use dlacep_core::runtime::{RuntimeConfig, RuntimeError, RuntimeReport};
+use dlacep_dur::{FailingStore, MemStore, Schedule, Store, WalConfig, WalError};
+use dlacep_events::{AttrValue, OutOfOrderPolicy, TypeId, WindowSpec};
+use dlacep_obs::{FieldValue, Registry};
+use std::sync::Arc;
+
+const A: TypeId = TypeId(0);
+const B: TypeId = TypeId(1);
+
+fn seq_ab(w: u64) -> Pattern {
+    Pattern::new(
+        PatternExpr::Seq(vec![
+            PatternExpr::event(TypeSet::single(A), "a"),
+            PatternExpr::event(TypeSet::single(B), "b"),
+        ]),
+        vec![],
+        WindowSpec::Count(w),
+    )
+}
+
+type Offer = (TypeId, u64, Vec<AttrValue>);
+
+fn offers(n: usize, disorder: f64, seed: u64) -> Vec<Offer> {
+    let ts = out_of_order_timestamps(n, disorder, 3, seed);
+    (0..n)
+        .map(|i| {
+            let t = match i % 4 {
+                1 => A,
+                3 => B,
+                _ => TypeId(2),
+            };
+            (t, ts[i], vec![i as f64])
+        })
+        .collect()
+}
+
+fn dur_config() -> DurConfig {
+    DurConfig {
+        // Small segments and a short sync cadence: the sweep crosses many
+        // rotations, fsync batches, checkpoints, and prunes.
+        wal: WalConfig {
+            segment_max_bytes: 384,
+            sync_every: 4,
+        },
+        checkpoint_every_events: 12,
+        keep_checkpoints: 2,
+    }
+}
+
+fn journal_tail(reg: &Registry, from_seq: u64) -> Vec<(String, Vec<(String, FieldValue)>)> {
+    reg.journal()
+        .snapshot()
+        .entries
+        .into_iter()
+        .filter(|e| e.seq >= from_seq)
+        .map(|e| (e.kind, e.fields))
+        .collect()
+}
+
+fn is_crash(e: &DurError) -> bool {
+    matches!(e, DurError::Io(_) | DurError::Wal(WalError::Io(_)))
+}
+
+/// Drive the full workload on `store` until completion or injected crash;
+/// returns whatever runs to the end, or `None` if the store died.
+fn drive<F: Filter, S: Store>(
+    dur: &mut DurableDlacep<F, S>,
+    input: &[Offer],
+    from: usize,
+) -> Result<(), DurError> {
+    for (t, ts, attrs) in &input[from..] {
+        match dur.ingest(*t, *ts, attrs.clone()) {
+            Ok(_) => {}
+            // Out-of-order rejections are part of the workload under
+            // `Reject`; both the original and the recovered run see them.
+            Err(DurError::Runtime(RuntimeError::Stream(_))) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    dur.checkpoint_now()?;
+    Ok(())
+}
+
+struct Scenario<F: Filter, MkF: Fn() -> F> {
+    pattern: Pattern,
+    config: RuntimeConfig,
+    mk_filter: MkF,
+    input: Vec<Offer>,
+}
+
+impl<F: Filter, MkF: Fn() -> F> Scenario<F, MkF> {
+    /// The uninterrupted run: reference matches, report, and journal.
+    fn reference(&self) -> (RuntimeReport, Arc<Registry>) {
+        let reg = Arc::new(Registry::with_journal_capacity(8192));
+        let mut dur = DurableDlacep::new(
+            self.pattern.clone(),
+            (self.mk_filter)(),
+            self.config,
+            dur_config(),
+            MemStore::new(),
+            Some(reg.clone()),
+        )
+        .unwrap();
+        drive(&mut dur, &self.input, 0).expect("reference run must not fail");
+        (dur.finish(), reg)
+    }
+
+    /// Run the workload on a store that dies at `crash_tick`; return the
+    /// durable disk image (or `None` if the workload outlived the tick).
+    fn crashed_disk_image(&self, crash_tick: u64) -> Option<MemStore> {
+        let store = FailingStore::crash_at(MemStore::new(), crash_tick);
+        let reg = Arc::new(Registry::with_journal_capacity(8192));
+        let mut dur = DurableDlacep::new(
+            self.pattern.clone(),
+            (self.mk_filter)(),
+            self.config,
+            dur_config(),
+            store,
+            Some(reg),
+        )
+        .expect("opening a fresh store consumes no durability ticks");
+        match drive(&mut dur, &self.input, 0) {
+            Ok(()) => None,
+            Err(e) => {
+                assert!(
+                    is_crash(&e),
+                    "only the injected crash may fail the run: {e}"
+                );
+                Some(dur.into_store().into_durable())
+            }
+        }
+    }
+
+    /// Total durability ticks of the uncrashed workload.
+    fn total_ticks(&self) -> u64 {
+        let store = FailingStore::new(MemStore::new(), Schedule::never());
+        let reg = Arc::new(Registry::with_journal_capacity(8192));
+        let mut dur = DurableDlacep::new(
+            self.pattern.clone(),
+            (self.mk_filter)(),
+            self.config,
+            dur_config(),
+            store,
+            Some(reg),
+        )
+        .unwrap();
+        drive(&mut dur, &self.input, 0).unwrap();
+        dur.into_store().ticks()
+    }
+
+    fn sweep(&self) {
+        let (ref_report, ref_reg) = self.reference();
+        assert!(
+            !ref_report.matches.is_empty(),
+            "degenerate scenario: reference found no matches"
+        );
+        let total = self.total_ticks();
+        assert!(total > 100, "workload too small to be a meaningful sweep");
+
+        let mut with_checkpoint = 0u64;
+        let mut cold_starts = 0u64;
+        for tick in 0..total {
+            let Some(disk) = self.crashed_disk_image(tick) else {
+                panic!("crash at tick {tick} < total {total} must fire");
+            };
+            let rec_reg = Arc::new(Registry::with_journal_capacity(8192));
+            let (mut rec, report) = DurableDlacep::recover(
+                self.pattern.clone(),
+                (self.mk_filter)(),
+                self.config,
+                dur_config(),
+                disk,
+                Some(rec_reg.clone()),
+            )
+            .unwrap_or_else(|e| panic!("recovery after crash at tick {tick} failed: {e}"));
+            match report.checkpoint_seq {
+                Some(_) => with_checkpoint += 1,
+                None => cold_starts += 1,
+            }
+            assert!(
+                report.resume_seq as usize <= self.input.len(),
+                "tick {tick}: resume_seq beyond the source"
+            );
+
+            drive(&mut rec, &self.input, report.resume_seq as usize)
+                .unwrap_or_else(|e| panic!("recovered run at tick {tick} failed: {e}"));
+            let rec_report = rec.finish();
+
+            assert_eq!(
+                rec_report.matches, ref_report.matches,
+                "tick {tick}: match sequence diverged"
+            );
+            assert_eq!(
+                rec_report.events_admitted, ref_report.events_admitted,
+                "tick {tick}"
+            );
+            assert_eq!(
+                rec_report.windows_evaluated, ref_report.windows_evaluated,
+                "tick {tick}"
+            );
+            assert_eq!(
+                rec_report.windows_degraded, ref_report.windows_degraded,
+                "tick {tick}"
+            );
+            assert_eq!(rec_report.guard, ref_report.guard, "tick {tick}");
+            assert_eq!(rec_report.timeline, ref_report.timeline, "tick {tick}");
+            assert_eq!(
+                rec_report.extractor_stats, ref_report.extractor_stats,
+                "tick {tick}: engine work counters diverged"
+            );
+            assert_eq!(
+                journal_tail(&rec_reg, 0),
+                journal_tail(&ref_reg, report.journal_watermark),
+                "tick {tick}: journal sequence diverged from the reference suffix"
+            );
+        }
+        assert!(
+            with_checkpoint > 0 && cold_starts > 0,
+            "sweep must exercise both cold starts ({cold_starts}) and \
+             checkpoint restores ({with_checkpoint})"
+        );
+    }
+}
+
+#[test]
+fn crash_sweep_healthy_stream() {
+    Scenario {
+        pattern: seq_ab(6),
+        config: RuntimeConfig::default(),
+        mk_filter: || PassthroughFilter,
+        input: offers(48, 0.0, 5),
+    }
+    .sweep();
+}
+
+#[test]
+fn crash_sweep_degraded_fault_injected_stream() {
+    let pattern = seq_ab(6);
+    let p = pattern.clone();
+    Scenario {
+        pattern,
+        config: RuntimeConfig {
+            ooo_policy: OutOfOrderPolicy::Drop,
+            guard: GuardConfig {
+                fault_threshold: 2,
+                cooldown_windows: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        // Faults keyed by window content: the recovered run re-marks
+        // replayed windows and must draw exactly the faults the original
+        // run drew, breaker trips, degraded windows, recovery probes and
+        // all.
+        mk_filter: move || {
+            ChaosFilter::new(OracleFilter::new(p.clone()))
+                .fault_at(6, ChaosFault::Panic)
+                .fault_at(12, ChaosFault::Io)
+                .fault_every(18, ChaosFault::Panic)
+                .key_by_window_start()
+        },
+        input: offers(48, 0.25, 9),
+    }
+    .sweep();
+}

@@ -266,7 +266,7 @@ fn drift_fallback_restores_recall_on_shifted_stream() {
         .map(|t| t.window)
         .unwrap();
     assert!(
-        (silent_from as u64..silent_from as u64 + 8).contains(&drift_window),
+        (silent_from..silent_from + 8).contains(&drift_window),
         "fallback at window {drift_window}, shift at {silent_from}"
     );
 }

@@ -1,0 +1,42 @@
+//! `dlacep-dur` — zero-dependency durability substrate for the DLACEP
+//! reproduction. Built on `std` only (the workspace is offline), it is the
+//! bottom of the crate stack: `dlacep-events`, `dlacep-cep`, and
+//! `dlacep-core` implement its codec traits for their own state types.
+//!
+//! - **codec** ([`Encoder`]/[`Decoder`], [`Enc`]/[`Dec`]): a versioned
+//!   little-endian binary codec whose frames carry a magic tag, a format
+//!   version, a payload length, and an IEEE CRC32 checksum. A frame cut
+//!   short by a torn write decodes to [`CodecError::Truncated`]; a
+//!   bit-flipped frame decodes to [`CodecError::ChecksumMismatch`] — both
+//!   are recoverable signals, never panics.
+//! - **store** ([`Store`]): a minimal flat-namespace storage abstraction
+//!   (`append`/`sync`/`rename`/`truncate`/…) with a real-filesystem
+//!   implementation ([`DirStore`]), an in-memory one ([`MemStore`]), and an
+//!   atomic-write helper ([`atomic_write_file`]).
+//! - **wal** ([`Wal`]): an append-only segmented write-ahead log with fsync
+//!   batching, size-based rotation, and corrupt-tail truncation on open.
+//! - **checkpoint**: atomically-published checkpoint files
+//!   (tmp + fsync + rename) with newest-valid-wins loading.
+//! - **torn** ([`FailingStore`], [`Schedule`]): deterministic crash
+//!   injection. Appends land in a simulated page cache; `sync` makes bytes
+//!   durable one tick at a time, and the schedule kills the store at an
+//!   exact tick, leaving a torn prefix — exactly what a power cut during
+//!   `fsync` leaves on disk.
+//!
+//! The crash-recovery contract built on top (see `dlacep-core::durable`):
+//! replaying the WAL suffix into a restored checkpoint reproduces the
+//! uninterrupted run's outputs bit for bit, for every crash point.
+
+pub mod checkpoint;
+pub mod codec;
+pub mod store;
+pub mod torn;
+pub mod wal;
+
+pub use checkpoint::{load_latest_checkpoint, prune_checkpoints, write_checkpoint, CheckpointScan};
+pub use codec::{
+    crc32, decode_frame, encode_frame, scan_frame, CodecError, Dec, Decoder, Enc, Encoder,
+};
+pub use store::{atomic_write_file, DirStore, MemStore, Store};
+pub use torn::{FailingStore, Schedule, Trigger};
+pub use wal::{Wal, WalConfig, WalError, WalOpenReport};

@@ -17,6 +17,7 @@
 //!   (paper Fig. 3).
 
 pub mod codec;
+pub mod durcodec;
 pub mod event;
 pub mod schema;
 pub mod stream;

@@ -166,6 +166,17 @@ impl Journal {
         });
     }
 
+    /// Sequence number the next entry will receive (== total entries ever
+    /// recorded). Cheap — no ring copy; `0` when disabled. Checkpoints use
+    /// this as a journal watermark so recovered runs can be compared to
+    /// uninterrupted ones from the same point.
+    pub fn next_seq(&self) -> u64 {
+        match &self.0 {
+            None => 0,
+            Some(core) => core.state.lock().unwrap().next_seq,
+        }
+    }
+
     /// Copy out the current ring contents.
     pub fn snapshot(&self) -> JournalSnapshot {
         match &self.0 {

@@ -12,7 +12,9 @@
 //! * [`nn`] — the from-scratch neural-network substrate (BiLSTM, CRF, Adam);
 //! * [`data`] — synthetic datasets and exact-CEP labeling;
 //! * [`core`] — the DLACEP framework: assembler, filters, pipeline, trainer;
-//! * [`obs`] — zero-dependency metrics, spans, and the event journal.
+//! * [`obs`] — zero-dependency metrics, spans, and the event journal;
+//! * [`dur`] — durability primitives: binary codec, write-ahead log,
+//!   checkpoints, and crash injection.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `dlacep-bench` crate for the paper's experiments.
@@ -20,6 +22,7 @@
 pub use dlacep_cep as cep;
 pub use dlacep_core as core;
 pub use dlacep_data as data;
+pub use dlacep_dur as dur;
 pub use dlacep_events as events;
 pub use dlacep_nn as nn;
 pub use dlacep_obs as obs;
