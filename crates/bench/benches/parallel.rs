@@ -85,7 +85,9 @@ fn pipeline_parallelism(c: &mut Criterion) {
             min_batch_windows: 1,
             shard_events: 256,
         };
-        let dl = Dlacep::with_parallelism(pattern.clone(), OracleFilter::new(pattern.clone()), par)
+        let dl = Dlacep::builder(pattern.clone(), OracleFilter::new(pattern.clone()))
+            .parallelism(par)
+            .build()
             .unwrap();
         group.bench_function(format!("threads{threads}"), |b| {
             b.iter(|| dl.run(stream.events()).matches.len())

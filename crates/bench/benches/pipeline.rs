@@ -52,7 +52,9 @@ fn assembler_ablation(c: &mut Criterion) {
             mark_size: mark,
             step_size: step,
         };
-        let dl = Dlacep::with_assembler(pattern.clone(), OracleFilter::new(pattern.clone()), cfg)
+        let dl = Dlacep::builder(pattern.clone(), OracleFilter::new(pattern.clone()))
+            .assembler(cfg)
+            .build()
             .unwrap();
         group.bench_function(name, |b| b.iter(|| dl.run(stream.events()).matches.len()));
     }

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the int8 marking fast path against the
+//! f32 reference at matched shapes: the per-window marking cost is the
+//! `C_filter` term of paper §3.2, and the quantized kernels are the knob
+//! that shrinks it without retraining.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlacep_core::model::{EventNetwork, NetworkConfig};
+use dlacep_core::quantized::QuantizedEventNetwork;
+use dlacep_nn::quant::{calibrate_input_scale, ScratchArena};
+use dlacep_nn::{Initializer, Linear, ParamStore, QuantizedLinear};
+
+fn window(t: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..t)
+        .map(|i| {
+            (0..dim)
+                .map(|d| ((i * dim + d) as f32 * 0.13).sin())
+                .collect()
+        })
+        .collect()
+}
+
+fn mark_f32_vs_int8(c: &mut Criterion) {
+    for (label, hidden, layers) in [("h64", 64usize, 1usize), ("h150x2", 150, 2)] {
+        let net = EventNetwork::new(NetworkConfig {
+            input_dim: 16,
+            hidden,
+            layers,
+            seed: 1,
+        });
+        let w = window(64, 16);
+        let quant = QuantizedEventNetwork::quantize(&net, [w.as_slice()]).expect("quantizes");
+        let mut arena = ScratchArena::new();
+        let mut out = Vec::new();
+        quant.mark_into(&w, &mut arena, &mut out);
+
+        let mut group = c.benchmark_group(format!("mark_{label}"));
+        group.bench_with_input(BenchmarkId::new("f32", 64), &64, |b, _| {
+            b.iter(|| net.mark(&w).len());
+        });
+        group.bench_with_input(BenchmarkId::new("int8", 64), &64, |b, _| {
+            b.iter(|| {
+                quant.mark_into(&w, &mut arena, &mut out);
+                out.len()
+            });
+        });
+        group.finish();
+    }
+}
+
+fn linear_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linear_t64");
+    for (in_dim, out_dim) in [(128usize, 300usize), (300, 2)] {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(3);
+        let layer = Linear::new(&mut store, &mut init, in_dim, out_dim);
+        let rows: Vec<f32> = (0..64 * in_dim).map(|i| (i as f32 * 0.07).sin()).collect();
+        let scale = calibrate_input_scale(rows.chunks(in_dim)).expect("calibrates");
+        let q = QuantizedLinear::quantize(&store, &layer, scale).expect("quantizes");
+        let x = dlacep_nn::Matrix::from_fn(64, in_dim, |r, c| rows[r * in_dim + c]);
+        let mut xq = Vec::new();
+        let mut out = Vec::new();
+        q.infer_into(64, &rows, &mut xq, &mut out);
+
+        let id = format!("{in_dim}x{out_dim}");
+        group.bench_with_input(BenchmarkId::new("f32", &id), &id, |b, _| {
+            b.iter(|| layer.infer(&store, &x).rows());
+        });
+        group.bench_with_input(BenchmarkId::new("int8", &id), &id, |b, _| {
+            b.iter(|| {
+                q.infer_into(64, &rows, &mut xq, &mut out);
+                out.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mark_f32_vs_int8, linear_kernel);
+criterion_main!(benches);

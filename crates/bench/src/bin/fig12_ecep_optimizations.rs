@@ -141,7 +141,9 @@ fn main() {
                 cfg.train.hidden,
                 cfg.train.layers,
             );
-            let dl = Dlacep::with_assembler(pattern.clone(), filter, assembler)
+            let dl = Dlacep::builder(pattern.clone(), filter)
+                .assembler(assembler)
+                .build()
                 .expect("valid assembler");
             let run = dl.run(&eval);
             let cmp = compare_runs(eval.len(), &ecep_matches, ecep_time, &ecep_stats, &run);

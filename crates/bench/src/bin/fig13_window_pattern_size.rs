@@ -55,7 +55,9 @@ fn run_point(len: usize, w: u64, layers: usize, cfg: &ExpConfig, seed: u64) -> P
     // Perfect marks at neural-inference cost: the converged-model bound.
     let assembler = AssemblerConfig::paper_default(pattern.window_size());
     let perfect = ReplayFilter::precompute(&pattern, &eval, &assembler, tc.hidden, tc.layers);
-    let oracle = Dlacep::with_assembler(pattern.clone(), perfect, assembler)
+    let oracle = Dlacep::builder(pattern.clone(), perfect)
+        .assembler(assembler)
+        .build()
         .expect("valid assembler")
         .run(&eval);
     let oracle_cmp = compare_runs(eval.len(), &ecep_matches, ecep_time, &ecep_stats, &oracle);

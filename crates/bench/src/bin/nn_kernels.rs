@@ -1,0 +1,148 @@
+//! Int8 vs f32 marking kernels: time [`EventNetwork::mark`] against the
+//! fused [`QuantizedEventNetwork`] path on identical windows, single
+//! threaded, across the network shapes the figures use. Dumps
+//! `results/BENCH_nn_kernels.json`; the int8 path is expected to come in
+//! at >= 2x on every shape (the SSE2 `_mm_madd_epi16` kernels plus the
+//! allocation-free scratch arena).
+//!
+//! ```bash
+//! cargo run --release -p dlacep-bench --bin nn_kernels
+//! ```
+
+use dlacep_core::model::{EventNetwork, NetworkConfig};
+use dlacep_core::quantized::QuantizedEventNetwork;
+use dlacep_nn::quant::ScratchArena;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::io::Write;
+use std::time::Instant;
+
+/// One shape's head-to-head numbers.
+#[derive(Debug, Serialize)]
+struct KernelRow {
+    scenario: String,
+    t_len: usize,
+    input_dim: usize,
+    hidden: usize,
+    layers: usize,
+    windows_timed: usize,
+    f32_nanos_per_window: f64,
+    int8_nanos_per_window: f64,
+    speedup: f64,
+    marks_agree: f64,
+}
+
+fn windows(rng: &mut StdRng, count: usize, t_len: usize, dim: usize) -> Vec<Vec<Vec<f32>>> {
+    (0..count)
+        .map(|_| {
+            (0..t_len)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-1.5f32..1.5)).collect())
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_shape(
+    scenario: &str,
+    input_dim: usize,
+    hidden: usize,
+    layers: usize,
+    t_len: usize,
+) -> KernelRow {
+    let net = EventNetwork::new(NetworkConfig {
+        input_dim,
+        hidden,
+        layers,
+        seed: 7,
+    });
+    let mut rng = StdRng::seed_from_u64(11);
+    let calib = windows(&mut rng, 8, t_len, input_dim);
+    let quant =
+        QuantizedEventNetwork::quantize(&net, calib.iter().map(Vec::as_slice)).expect("quantizes");
+
+    let wins = windows(&mut rng, 64, t_len, input_dim);
+    let mut arena = ScratchArena::new();
+    let mut out = Vec::new();
+
+    // Warm-up (also sizes the arena) + agreement count.
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for w in &wins {
+        let a = net.mark(w);
+        quant.mark_into(w, &mut arena, &mut out);
+        agree += a.iter().zip(&out).filter(|(x, y)| x == y).count();
+        total += a.len();
+    }
+
+    let reps = 4;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for w in &wins {
+            std::hint::black_box(net.mark(std::hint::black_box(w)));
+        }
+    }
+    let f32_nanos = start.elapsed().as_nanos() as f64 / (reps * wins.len()) as f64;
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        for w in &wins {
+            quant.mark_into(std::hint::black_box(w), &mut arena, &mut out);
+            std::hint::black_box(&out);
+        }
+    }
+    let int8_nanos = start.elapsed().as_nanos() as f64 / (reps * wins.len()) as f64;
+
+    KernelRow {
+        scenario: scenario.to_string(),
+        t_len,
+        input_dim,
+        hidden,
+        layers,
+        windows_timed: reps * wins.len(),
+        f32_nanos_per_window: f32_nanos,
+        int8_nanos_per_window: int8_nanos,
+        speedup: f32_nanos / int8_nanos,
+        marks_agree: agree as f64 / total as f64,
+    }
+}
+
+fn main() {
+    let rows = vec![
+        // DLACEP_FULL training scale: 48 hidden units, 2 BiLSTM layers.
+        bench_shape("full_train", 16, 48, 2, 32),
+        // Stock-stream scale: the Fig. 8/9 embedder dims with a mid network.
+        bench_shape("stock", 24, 64, 1, 32),
+        // Paper scale: 150 hidden units, 2 BiLSTM layers (Table 3).
+        bench_shape("paper", 30, 150, 2, 32),
+        // Long marking window: assembler MarkSize = 2W for W = 32.
+        bench_shape("long_window", 24, 64, 1, 64),
+    ];
+
+    println!(
+        "{:<14} {:>5} {:>4} {:>7} {:>6} {:>14} {:>14} {:>8} {:>7}",
+        "scenario", "T", "in", "hidden", "layers", "f32 ns/win", "int8 ns/win", "speedup", "agree"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>5} {:>4} {:>7} {:>6} {:>14.0} {:>14.0} {:>7.2}x {:>6.1}%",
+            r.scenario,
+            r.t_len,
+            r.input_dim,
+            r.hidden,
+            r.layers,
+            r.f32_nanos_per_window,
+            r.int8_nanos_per_window,
+            r.speedup,
+            100.0 * r.marks_agree
+        );
+    }
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join("BENCH_nn_kernels.json");
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_nn_kernels.json");
+    f.write_all(json.as_bytes()).expect("write rows");
+    println!("[saved {}]", path.display());
+}

@@ -2,14 +2,17 @@
 //! `dlacep-obs` registry and dump per-stage latency quantiles plus overall
 //! throughput to `results/BENCH_pipeline.json`.
 //!
-//! Three scenarios are profiled:
+//! Five scenarios are profiled:
 //! * `stock` — the paper's stock stream with a heavy-partials SEQ query,
 //! * `stock_parallel` — the same workload on a 4-thread pool with CEP
 //!   sharding, which exercises `cep.shard_extract_nanos`,
-//! * `synthetic` — a uniform synthetic stream with a 2-step SEQ pattern.
+//! * `synthetic` — a uniform synthetic stream with a 2-step SEQ pattern,
+//! * `stock_eventnet` / `stock_eventnet_int8` — the same stock workload
+//!   driven by a trained event-network filter, f32 vs the quantized int8
+//!   fast path, so `pipeline.mark_nanos` shows the marking speedup in situ.
 //!
-//! Both use the oracle filter so the profile isolates pipeline mechanics
-//! (assembly, marking, relay, CEP extraction) from model quality.
+//! The first three use the oracle filter so the profile isolates pipeline
+//! mechanics (assembly, marking, relay, CEP extraction) from model quality.
 //!
 //! ```bash
 //! cargo run --release -p dlacep-bench --bin pipeline_profile
@@ -19,6 +22,8 @@ use dlacep_bench::queries::real::q_a1;
 use dlacep_cep::{Pattern, PatternExpr, TypeSet};
 use dlacep_core::filter::OracleFilter;
 use dlacep_core::pipeline::Dlacep;
+use dlacep_core::trainer::{train_event_filter, TrainConfig};
+use dlacep_core::QuantizedFilter;
 use dlacep_data::StockConfig;
 use dlacep_events::{EventStream, PrimitiveEvent, TypeId, WindowSpec};
 use dlacep_obs::{HistogramSnapshot, Registry};
@@ -70,18 +75,18 @@ const STAGES: &[&str] = &[
     "cep.shard_extract_nanos",
 ];
 
-fn profile(
+fn profile<F: dlacep_core::Filter>(
     pattern: &Pattern,
+    filter: F,
     events: &[PrimitiveEvent],
     runs: usize,
     par: Option<Parallelism>,
 ) -> ScenarioProfile {
-    let mut dl =
-        Dlacep::new(pattern.clone(), OracleFilter::new(pattern.clone())).expect("pattern compiles");
+    let mut builder = Dlacep::builder(pattern.clone(), filter).obs(Arc::new(Registry::enabled()));
     if let Some(par) = par {
-        dl.set_parallelism(par);
+        builder = builder.parallelism(par);
     }
-    dl.set_obs(Arc::new(Registry::enabled()));
+    let dl = builder.build().expect("pattern compiles");
     // Warm-up run to populate caches before the measured passes.
     let _ = dl.run(events);
     let baseline = dl.run(events).obs.expect("registry is enabled");
@@ -148,9 +153,16 @@ fn main() {
     }
     .generate();
     let stock_pattern = q_a1(4, 2, &[1, 2], 0.8, 1.25, 16);
-    let stock_profile = profile(&stock_pattern, stock.events(), runs, None);
+    let stock_profile = profile(
+        &stock_pattern,
+        OracleFilter::new(stock_pattern.clone()),
+        stock.events(),
+        runs,
+        None,
+    );
     let stock_parallel = profile(
         &stock_pattern,
+        OracleFilter::new(stock_pattern.clone()),
         stock.events(),
         runs,
         Some(Parallelism {
@@ -161,12 +173,32 @@ fn main() {
     );
 
     let synth = synthetic_stream(20_000);
-    let synth_profile = profile(&seq_ab(8), synth.events(), runs, None);
+    let synth_profile = profile(
+        &seq_ab(8),
+        OracleFilter::new(seq_ab(8)),
+        synth.events(),
+        runs,
+        None,
+    );
+
+    // Trained-filter scenarios: f32 event-network vs its int8 quantization
+    // on the same eval slice, so `pipeline.mark_nanos` is an apples-to-
+    // apples marking comparison inside the full pipeline.
+    let events = stock.events();
+    let train = EventStream::from_events(events[..12_000].to_vec()).expect("valid prefix");
+    let eval = &events[12_000..];
+    let trained = train_event_filter(&stock_pattern, &train, &TrainConfig::quick());
+    let calib: Vec<&[PrimitiveEvent]> = events[..12_000].chunks(32).take(32).collect();
+    let quant = QuantizedFilter::quantize(&trained.filter, &calib).expect("quantizes");
+    let eventnet_profile = profile(&stock_pattern, trained.filter, eval, runs, None);
+    let int8_profile = profile(&stock_pattern, quant, eval, runs, None);
 
     let mut scenarios = BTreeMap::new();
     scenarios.insert("stock".to_string(), stock_profile);
     scenarios.insert("stock_parallel".to_string(), stock_parallel);
     scenarios.insert("synthetic".to_string(), synth_profile);
+    scenarios.insert("stock_eventnet".to_string(), eventnet_profile);
+    scenarios.insert("stock_eventnet_int8".to_string(), int8_profile);
 
     for (name, p) in &scenarios {
         println!(

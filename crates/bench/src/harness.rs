@@ -205,7 +205,9 @@ pub fn run_experiment(
                     cfg.train.hidden,
                     cfg.train.layers,
                 );
-                let dl = Dlacep::with_assembler(pattern.clone(), filter, assembler)
+                let dl = Dlacep::builder(pattern.clone(), filter)
+                    .assembler(assembler)
+                    .build()
                     .expect("valid assembler");
                 (dl.run(&eval), None, None)
             }

@@ -1,0 +1,87 @@
+//! Accuracy contract for the int8 fast path: on the paper's evaluation
+//! suites (Fig. 8a stock patterns, Fig. 9a sequence patterns) quantizing a
+//! trained event-network filter must move match recall and precision by at
+//! most one percentage point relative to the f32 filter it came from.
+
+use dlacep_bench::harness::split_stream;
+use dlacep_bench::queries::real::{q_a1, q_a5};
+use dlacep_bench::ExpConfig;
+use dlacep_cep::Pattern;
+use dlacep_core::metrics::{compare_runs, run_ecep};
+use dlacep_core::trainer::train_event_filter;
+use dlacep_core::{Dlacep, QuantizedFilter};
+use dlacep_data::StockConfig;
+use dlacep_events::PrimitiveEvent;
+
+const MAX_DELTA: f64 = 0.01;
+
+fn assert_quantization_preserves_quality(label: &str, pattern: &Pattern) {
+    let mut cfg = ExpConfig::scaled();
+    cfg.train_events = 10_000;
+    cfg.eval_events = 5_000;
+    cfg.train.max_epochs = cfg.train.max_epochs.min(10);
+
+    let (_, stream) = StockConfig {
+        num_events: cfg.train_events + cfg.eval_events,
+        ..Default::default()
+    }
+    .generate();
+    let (train_stream, eval) = split_stream(&stream, cfg.train_events, cfg.eval_events);
+
+    let trained = train_event_filter(pattern, &train_stream, &cfg.train);
+    let calib: Vec<&[PrimitiveEvent]> = train_stream.events().chunks(32).take(32).collect();
+    let quant = QuantizedFilter::quantize(&trained.filter, &calib).unwrap();
+
+    let (ecep_matches, ecep_time, ecep_stats) = run_ecep(pattern, &eval);
+    assert!(!ecep_matches.is_empty(), "{label}: pattern must match eval");
+
+    let f32_dl = Dlacep::builder(pattern.clone(), trained.filter)
+        .build()
+        .unwrap();
+    let f32_cmp = compare_runs(
+        eval.len(),
+        &ecep_matches,
+        ecep_time,
+        &ecep_stats,
+        &f32_dl.run(&eval),
+    );
+
+    let q_dl = Dlacep::builder(pattern.clone(), quant).build().unwrap();
+    let q_cmp = compare_runs(
+        eval.len(),
+        &ecep_matches,
+        ecep_time,
+        &ecep_stats,
+        &q_dl.run(&eval),
+    );
+
+    let recall_delta = (f32_cmp.recall - q_cmp.recall).abs();
+    let precision_delta = (f32_cmp.precision - q_cmp.precision).abs();
+    assert!(
+        recall_delta <= MAX_DELTA,
+        "{label}: recall moved {:.4} (f32 {:.4} vs int8 {:.4})",
+        recall_delta,
+        f32_cmp.recall,
+        q_cmp.recall
+    );
+    assert!(
+        precision_delta <= MAX_DELTA,
+        "{label}: precision moved {:.4} (f32 {:.4} vs int8 {:.4})",
+        precision_delta,
+        f32_cmp.precision,
+        q_cmp.precision
+    );
+}
+
+#[test]
+fn fig8a_stock_pattern_recall_delta_within_one_percent() {
+    assert_quantization_preserves_quality(
+        "Q_A1(k=7-analog,low)",
+        &q_a1(4, 2, &[1, 2], 0.8, 1.25, 16),
+    );
+}
+
+#[test]
+fn fig9a_sequence_pattern_recall_delta_within_one_percent() {
+    assert_quantization_preserves_quality("Q_A5(j=1)", &q_a5(1, 8, 2, 0.8, 1.2, 16));
+}

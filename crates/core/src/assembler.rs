@@ -20,6 +20,7 @@ pub struct AssemblerConfig {
 
 /// Why an assembler configuration is invalid for a pattern window `W`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum AssemblerError {
     /// `MarkSize < W`: matches could never fit in one marking window.
     MarkSizeTooSmall,

@@ -80,6 +80,7 @@ impl Default for DurConfig {
 
 /// Errors of the durable runtime.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DurError {
     /// Store I/O failed (or the injected crash fired, in tests).
     Io(io::Error),
@@ -193,9 +194,8 @@ impl<F: Filter, S: Store> DurableDlacep<F, S> {
     /// handles the empty store as a cold start, so it is always safe to call
     /// instead of `new`.
     ///
-    /// When `registry` is `Some`, runtime metrics and journal are redirected
-    /// there (recording the initial mode, exactly like
-    /// [`StreamingDlacep::set_obs`]).
+    /// When `registry` is `Some`, runtime metrics and journal land there
+    /// from the first entry (the initial mode included).
     pub fn new(
         pattern: Pattern,
         filter: F,
@@ -205,14 +205,8 @@ impl<F: Filter, S: Store> DurableDlacep<F, S> {
         registry: Option<Arc<Registry>>,
     ) -> Result<Self, DurError> {
         let (wal, _) = Wal::open(&mut store, dur.wal)?;
-        let mut rt = StreamingDlacep::with_config(pattern, filter, config)?;
-        let reg = match registry {
-            Some(r) => {
-                rt.set_obs(r.clone());
-                r
-            }
-            None => dlacep_obs::global(),
-        };
+        let rt = StreamingDlacep::with_config_obs(pattern, filter, config, registry.clone())?;
+        let reg = registry.unwrap_or_else(dlacep_obs::global);
         Ok(Self::assemble(rt, wal, store, dur, &reg))
     }
 
@@ -269,10 +263,7 @@ impl<F: Filter, S: Store> DurableDlacep<F, S> {
                 (rt, Some(seq), watermark)
             }
             None => {
-                let mut rt = StreamingDlacep::with_config(pattern, filter, config)?;
-                if let Some(r) = registry {
-                    rt.set_obs(r);
-                }
+                let rt = StreamingDlacep::with_config_obs(pattern, filter, config, registry)?;
                 (rt, None, 0)
             }
         };

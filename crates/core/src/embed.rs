@@ -65,6 +65,26 @@ impl EventEmbedder {
         v
     }
 
+    /// Embed one event into a caller-provided buffer of width
+    /// [`EventEmbedder::dim`] without allocating (the quantized fast path
+    /// writes straight into its scratch arena).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.dim()`.
+    pub fn embed_into(&self, ev: &PrimitiveEvent, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim(), "embed_into buffer width mismatch");
+        out.fill(0.0);
+        let slot = self
+            .slots
+            .get(&ev.type_id)
+            .copied()
+            .unwrap_or(self.type_slots - 1);
+        out[slot] = 1.0;
+        for (i, a) in ev.attrs.iter().take(self.num_attrs).enumerate() {
+            out[self.type_slots + i] = *a as f32;
+        }
+    }
+
     /// Embed a window, padding with all-zero "blank event" vectors up to
     /// `pad_to` (used for simulated time-based windows, paper Fig. 14).
     pub fn embed_window(&self, events: &[PrimitiveEvent], pad_to: usize) -> Vec<Vec<f32>> {
@@ -73,6 +93,47 @@ impl EventEmbedder {
             out.push(vec![0.0; self.dim()]);
         }
         out
+    }
+}
+
+// Binary codec (quantized-filter bundles): the slot map is encoded as a
+// slot-sorted entry list so the byte stream is deterministic regardless of
+// hash order.
+impl dlacep_dur::Enc for EventEmbedder {
+    fn enc(&self, e: &mut dlacep_dur::Encoder) {
+        let mut entries: Vec<(TypeId, usize)> = self.slots.iter().map(|(&t, &s)| (t, s)).collect();
+        entries.sort_by_key(|&(_, s)| s);
+        e.put(&(entries.len() as u64));
+        for (t, s) in entries {
+            e.put(&t);
+            e.put(&s);
+        }
+        e.put(&self.type_slots);
+        e.put(&self.num_attrs);
+    }
+}
+
+impl dlacep_dur::Dec for EventEmbedder {
+    fn dec(d: &mut dlacep_dur::Decoder<'_>) -> Result<Self, dlacep_dur::CodecError> {
+        let n: u64 = d.get()?;
+        let mut slots = HashMap::new();
+        for _ in 0..n {
+            let t: TypeId = d.get()?;
+            let s: usize = d.get()?;
+            slots.insert(t, s);
+        }
+        let type_slots: usize = d.get()?;
+        let num_attrs: usize = d.get()?;
+        if type_slots != slots.len() + 1 {
+            return Err(dlacep_dur::CodecError::Malformed(
+                "embedder slot count inconsistent".into(),
+            ));
+        }
+        Ok(Self {
+            slots,
+            type_slots,
+            num_attrs,
+        })
     }
 }
 

@@ -33,9 +33,17 @@ pub trait Filter: Send + Sync {
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
+
+    /// Whether marks come from a quantized (int8) inference path. The
+    /// pipeline splits its marking counters on this so quant-vs-f32 traffic
+    /// is visible in the metrics registry.
+    fn quantized(&self) -> bool {
+        false
+    }
 }
 
 /// Learned per-event filter: stacked BiLSTM + BI-CRF (§4.3 event-network).
+#[derive(Debug, Clone)]
 pub struct EventNetFilter {
     /// The trained model.
     pub network: EventNetwork,
@@ -87,6 +95,7 @@ impl Filter for EventNetFilter {
 
 /// Learned per-window filter: either the whole window survives or none of it
 /// (§4.3 window-network).
+#[derive(Debug, Clone)]
 pub struct WindowNetFilter {
     /// The trained model.
     pub network: WindowNetwork,
@@ -109,6 +118,7 @@ impl Filter for WindowNetFilter {
 /// Ground-truth filter: marks exactly the events an exact engine would put
 /// into a full match within the window (plus negation-admissible events,
 /// mirroring the labeler). Perfect recall and precision by construction.
+#[derive(Debug, Clone)]
 pub struct OracleFilter {
     pattern: Pattern,
     plan: Plan,
@@ -153,6 +163,7 @@ impl Filter for OracleFilter {
 }
 
 /// Marks every event (control: ECEP behaviour + filtering overhead).
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PassthroughFilter;
 
 impl Filter for PassthroughFilter {

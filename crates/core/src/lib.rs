@@ -48,6 +48,7 @@
 //! ```
 
 pub mod assembler;
+pub mod builder;
 pub mod chaos;
 pub mod drift;
 pub mod durable;
@@ -60,10 +61,12 @@ pub mod multi;
 pub mod objective;
 pub mod persist;
 pub mod pipeline;
+pub mod quantized;
 pub mod runtime;
 pub mod trainer;
 
 pub use assembler::{AssemblerConfig, AssemblerError};
+pub use builder::{DlacepBuilder, DurableBuilder, StreamingBuilder};
 pub use chaos::{out_of_order_timestamps, ChaosFault, ChaosFilter};
 pub use dlacep_par::{Parallelism, PoolStats};
 pub use drift::{DriftConfig, DriftMonitor, DriftMonitorState, DriftState};
@@ -78,9 +81,11 @@ pub use model::{EventNetwork, NetworkConfig, WindowNetwork};
 pub use multi::{train_multi_pattern, MultiPatternDlacep, MultiReport, MultiTraining};
 pub use objective::AcepObjective;
 pub use persist::{
-    load_event_filter, load_window_filter, save_event_filter, save_window_filter, PersistError,
+    load_event_filter, load_quantized_filter, load_window_filter, save_event_filter,
+    save_quantized_filter, save_window_filter, PersistError,
 };
 pub use pipeline::{Dlacep, DlacepError, DlacepReport};
+pub use quantized::{QuantizeError, QuantizedEventNetwork, QuantizedFilter};
 pub use runtime::{
     ModeCause, ModeTransition, RuntimeCheckpoint, RuntimeConfig, RuntimeError, RuntimeMode,
     RuntimeReport, StreamingDlacep,
@@ -92,14 +97,20 @@ pub use trainer::{
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::assembler::AssemblerConfig;
+    pub use crate::builder::{DlacepBuilder, DurableBuilder, StreamingBuilder};
+    pub use crate::drift::DriftConfig;
+    pub use crate::durable::{DurConfig, DurableDlacep};
     pub use crate::filter::{
         EventNetFilter, Filter, OracleFilter, PassthroughFilter, WindowNetFilter,
     };
+    pub use crate::guard::GuardConfig;
     pub use crate::metrics::{compare, ComparisonReport};
     pub use crate::objective::AcepObjective;
     pub use crate::pipeline::{Dlacep, DlacepError, DlacepReport};
+    pub use crate::quantized::{QuantizeError, QuantizedEventNetwork, QuantizedFilter};
     pub use crate::runtime::{
         RuntimeConfig, RuntimeError, RuntimeMode, RuntimeReport, StreamingDlacep,
     };
     pub use crate::trainer::{train_event_filter, train_window_filter, TrainConfig};
+    pub use dlacep_par::Parallelism;
 }

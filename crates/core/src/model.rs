@@ -104,6 +104,12 @@ impl EventNetwork {
         self.store.num_scalars()
     }
 
+    /// Internal read access for the quantizer: `(params, encoder, emission
+    /// layer, CRF head)`.
+    pub(crate) fn parts(&self) -> (&ParamStore, &StackedBiLstm, &Linear, &BiCrf) {
+        (&self.store, &self.encoder, &self.emit, &self.crf)
+    }
+
     fn emissions(&self, g: &mut Graph, xs: &[Var]) -> Vec<Var> {
         let hs = self.encoder.forward(g, &self.store, xs);
         hs.into_iter()

@@ -16,7 +16,8 @@
 use crate::embed::EventEmbedder;
 use crate::filter::{EventNetFilter, WindowNetFilter};
 use crate::model::{EventNetwork, WindowNetwork};
-use dlacep_dur::{atomic_write_file, decode_frame, encode_frame, CodecError};
+use crate::quantized::QuantizedFilter;
+use dlacep_dur::{atomic_write_file, decode_frame, encode_frame, CodecError, Decoder, Encoder};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
@@ -25,6 +26,10 @@ use std::path::Path;
 const BUNDLE_MAGIC: [u8; 4] = *b"DMDL";
 /// Current bundle format version.
 const BUNDLE_VERSION: u16 = 1;
+/// Frame magic of a quantized (int8) filter bundle file.
+const QUANT_MAGIC: [u8; 4] = *b"DMQ8";
+/// Current quantized-bundle format version.
+const QUANT_VERSION: u16 = 1;
 
 /// Serialized form of an event-network filter.
 #[derive(Serialize, Deserialize)]
@@ -43,6 +48,7 @@ struct WindowNetBundle {
 
 /// Persistence error.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum PersistError {
     /// Filesystem failure.
     Io(io::Error),
@@ -143,6 +149,33 @@ pub fn load_window_filter(path: impl AsRef<Path>) -> Result<WindowNetFilter, Per
     })
 }
 
+/// Save a quantized filter. Unlike the f32 bundles (JSON payload), the
+/// quantized bundle is fully binary — int8 weight matrices round-trip
+/// through the `dlacep-dur` codec byte-exactly, so a reloaded filter marks
+/// identically to the saved one. Same framing guarantees: atomic write,
+/// CRC32, magic `b"DMQ8"`.
+pub fn save_quantized_filter(
+    filter: &QuantizedFilter,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
+    let mut e = Encoder::new();
+    e.put(filter);
+    let framed = encode_frame(QUANT_MAGIC, QUANT_VERSION, &e.into_bytes());
+    atomic_write_file(path.as_ref(), &framed)?;
+    Ok(())
+}
+
+/// Load a quantized filter saved by [`save_quantized_filter`].
+pub fn load_quantized_filter(path: impl AsRef<Path>) -> Result<QuantizedFilter, PersistError> {
+    let bytes = std::fs::read(path)?;
+    let (_version, payload) =
+        decode_frame(QUANT_MAGIC, QUANT_VERSION, &bytes).map_err(PersistError::Corrupt)?;
+    let mut d = Decoder::new(payload);
+    let filter: QuantizedFilter = d.get().map_err(PersistError::Corrupt)?;
+    d.finish().map_err(PersistError::Corrupt)?;
+    Ok(filter)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +227,54 @@ mod tests {
         let loaded = load_window_filter(&path).unwrap();
         let evs = events();
         assert_eq!(filter.mark(&evs), loaded.mark(&evs));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn quantized_filter_roundtrip_is_byte_exact() {
+        let filter = sample_event_filter();
+        let evs = events();
+        let q = QuantizedFilter::quantize(&filter, &[&evs]).unwrap();
+        let path = tmp("quant");
+        save_quantized_filter(&q, &path).unwrap();
+        let loaded = load_quantized_filter(&path).unwrap();
+        assert_eq!(q, loaded);
+        assert_eq!(q.mark(&evs), loaded.mark(&evs));
+        assert_eq!(loaded.threshold, Some(0.3));
+        // Saving the reloaded filter reproduces the same bytes.
+        let first = std::fs::read(&path).unwrap();
+        save_quantized_filter(&loaded, &path).unwrap();
+        assert_eq!(first, std::fs::read(&path).unwrap());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn quantized_bundle_rejects_f32_magic_and_corruption() {
+        let filter = sample_event_filter();
+        let evs = events();
+        let q = QuantizedFilter::quantize(&filter, &[&evs]).unwrap();
+        let path = tmp("quant_corrupt");
+        // An f32 bundle is not a quantized bundle (wrong magic).
+        save_event_filter(&filter, &path).unwrap();
+        assert!(matches!(
+            load_quantized_filter(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+        // Bit flips and truncation are detected.
+        save_quantized_filter(&q, &path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        let mut flipped = clean.clone();
+        flipped[clean.len() / 2] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            load_quantized_filter(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+        std::fs::write(&path, &clean[..clean.len() - 2]).unwrap();
+        assert!(matches!(
+            load_quantized_filter(&path),
+            Err(PersistError::Corrupt(_))
+        ));
         let _ = std::fs::remove_file(path);
     }
 

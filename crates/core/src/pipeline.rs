@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 /// Errors raised when constructing a [`Dlacep`] pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DlacepError {
     /// Assembler configuration is invalid for the pattern's window.
     Assembler(AssemblerError),
@@ -79,11 +80,13 @@ pub struct DlacepReport {
 
 impl DlacepReport {
     /// Total processing time (filtering + extraction).
+    #[must_use]
     pub fn total_time(&self) -> Duration {
         self.filter_time + self.cep_time
     }
 
     /// Events per second over the whole pipeline.
+    #[must_use]
     pub fn throughput(&self) -> f64 {
         let secs = self.total_time().as_secs_f64();
         if secs == 0.0 {
@@ -103,6 +106,8 @@ struct PipelineObs {
     events_total: Counter,
     events_relayed: Counter,
     windows_marked: Counter,
+    windows_marked_quant: Counter,
+    windows_marked_f32: Counter,
     filter_faults: Counter,
     mark_nanos: Histogram,
     filter_stage_nanos: Histogram,
@@ -121,6 +126,8 @@ impl PipelineObs {
             events_total: registry.counter("pipeline.events_total"),
             events_relayed: registry.counter("pipeline.events_relayed"),
             windows_marked: registry.counter("pipeline.windows_marked"),
+            windows_marked_quant: registry.counter("pipeline.windows_marked_quant"),
+            windows_marked_f32: registry.counter("pipeline.windows_marked_f32"),
             filter_faults: registry.counter("pipeline.filter_faults"),
             mark_nanos: registry.histogram("pipeline.mark_nanos"),
             filter_stage_nanos: registry.histogram("pipeline.filter_stage_nanos"),
@@ -168,46 +175,76 @@ impl<F: Filter> Dlacep<F> {
     /// Build with the paper-default assembler (`MarkSize = 2W`,
     /// `StepSize = W`).
     pub fn new(pattern: Pattern, filter: F) -> Result<Self, DlacepError> {
-        let assembler = AssemblerConfig::paper_default(pattern.window_size());
-        Self::with_assembler(pattern, filter, assembler)
+        Self::builder(pattern, filter).build()
     }
 
-    /// Build with an explicit assembler configuration (validated against the
-    /// pattern's `W`). The pattern is compiled once here; per-run extractors
-    /// are instantiated from the stored plan, so `run` cannot fail.
-    pub fn with_assembler(
+    /// Start a fluent builder — the one construction surface for every
+    /// non-default option (assembler geometry, parallelism, obs registry).
+    pub fn builder(pattern: Pattern, filter: F) -> crate::builder::DlacepBuilder<F> {
+        crate::builder::DlacepBuilder::new(pattern, filter)
+    }
+
+    /// Shared construction path behind [`Dlacep::builder`]: validates the
+    /// assembler against the pattern's `W`, compiles the plan once (per-run
+    /// extractors are instantiated from it, so `run` cannot fail), resolves
+    /// obs handles, and builds the pool so its `pool.*` metrics land in the
+    /// same registry.
+    pub(crate) fn construct(
         pattern: Pattern,
         filter: F,
         assembler: AssemblerConfig,
+        par: Parallelism,
+        registry: Option<Arc<Registry>>,
     ) -> Result<Self, DlacepError> {
         assembler.validate(pattern.window_size())?;
         let plan = Plan::compile(&pattern)?;
+        let obs = PipelineObs::new(registry.unwrap_or_else(dlacep_obs::global));
+        let pool = par.build_pool_with_obs(&obs.registry);
         Ok(Self {
             pattern,
             plan,
             assembler,
             filter,
-            par: Parallelism::default(),
-            pool: None,
-            obs: PipelineObs::new(dlacep_obs::global()),
+            par,
+            pool,
+            obs,
         })
+    }
+
+    /// Build with an explicit assembler configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Dlacep::builder(..).assembler(..).build() instead"
+    )]
+    pub fn with_assembler(
+        pattern: Pattern,
+        filter: F,
+        assembler: AssemblerConfig,
+    ) -> Result<Self, DlacepError> {
+        Self::builder(pattern, filter).assembler(assembler).build()
     }
 
     /// Build with the paper-default assembler and an explicit parallel
     /// execution config.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Dlacep::builder(..).parallelism(..).build() instead"
+    )]
     pub fn with_parallelism(
         pattern: Pattern,
         filter: F,
         par: Parallelism,
     ) -> Result<Self, DlacepError> {
-        let mut dl = Self::new(pattern, filter)?;
-        dl.set_parallelism(par);
-        Ok(dl)
+        Self::builder(pattern, filter).parallelism(par).build()
     }
 
     /// Replace the parallel execution config, (re)building the pool. A
     /// config resolving to one thread drops the pool and restores the
     /// serial path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure parallelism at construction via Dlacep::builder(..).parallelism(..)"
+    )]
     pub fn set_parallelism(&mut self, par: Parallelism) {
         self.par = par;
         self.pool = par.build_pool_with_obs(&self.obs.registry);
@@ -217,6 +254,10 @@ impl<F: Filter> Dlacep<F> {
     /// (construction defaults to [`dlacep_obs::global`]). Rebuilds the pool
     /// so its `pool.*` metrics land in the same registry. Call before
     /// `run` — counters accumulated in the previous registry stay there.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the registry at construction via Dlacep::builder(..).obs(..)"
+    )]
     pub fn set_obs(&mut self, registry: Arc<Registry>) {
         self.obs = PipelineObs::new(registry);
         self.pool = self.par.build_pool_with_obs(&self.obs.registry);
@@ -263,6 +304,7 @@ impl<F: Filter> Dlacep<F> {
     /// threshold (sharded runs re-process window-overlap events once per
     /// shard, so work counters legitimately differ there — deterministically
     /// so for a fixed `shard_events`).
+    #[must_use = "the report carries the emitted matches"]
     pub fn run(&self, events: &[PrimitiveEvent]) -> DlacepReport {
         match &self.pool {
             Some(pool) => self.run_with_pool(pool, events),
@@ -377,6 +419,14 @@ impl<F: Filter> Dlacep<F> {
         filter_time: Duration,
     ) {
         self.obs.windows_marked.add(windows_marked);
+        // Split by inference path so quant-vs-f32 traffic is visible when a
+        // deployment mixes quantized and full-precision filters in one
+        // registry.
+        if self.filter.quantized() {
+            self.obs.windows_marked_quant.add(windows_marked);
+        } else {
+            self.obs.windows_marked_f32.add(windows_marked);
+        }
         self.obs.filter_faults.add(filter_faults as u64);
         self.obs.events_relayed.add(events_relayed as u64);
         self.obs
@@ -555,7 +605,7 @@ mod tests {
             step_size: 1,
         };
         assert!(matches!(
-            Dlacep::with_assembler(p, PassthroughFilter, bad),
+            Dlacep::builder(p, PassthroughFilter).assembler(bad).build(),
             Err(DlacepError::Assembler(_))
         ));
     }
@@ -624,7 +674,9 @@ mod tests {
             min_batch_windows: 1,
             shard_events: 10_000,
         };
-        let pooled = Dlacep::with_parallelism(p.clone(), OracleFilter::new(p.clone()), par)
+        let pooled = Dlacep::builder(p.clone(), OracleFilter::new(p.clone()))
+            .parallelism(par)
+            .build()
             .unwrap()
             .run(s.events());
         assert_eq!(pooled.matches, serial.matches);
@@ -639,7 +691,9 @@ mod tests {
             min_batch_windows: 1,
             shard_events: 8,
         };
-        let sharded = Dlacep::with_parallelism(p.clone(), OracleFilter::new(p), par)
+        let sharded = Dlacep::builder(p.clone(), OracleFilter::new(p))
+            .parallelism(par)
+            .build()
             .unwrap()
             .run(s.events());
         assert_eq!(sharded.matches, serial.matches);

@@ -49,6 +49,7 @@ use std::sync::Arc;
 
 /// Errors surfaced by the streaming runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RuntimeError {
     /// An ingested event violated stream ordering under
     /// [`OutOfOrderPolicy::Reject`].
@@ -291,6 +292,8 @@ struct RuntimeObs {
     events_relayed: Counter,
     windows_evaluated: Counter,
     windows_degraded: Counter,
+    windows_marked_quant: Counter,
+    windows_marked_f32: Counter,
     guard_faults: Counter,
     breaker_trips: Counter,
     recoveries: Counter,
@@ -313,6 +316,8 @@ impl RuntimeObs {
             events_relayed: registry.counter("runtime.events_relayed"),
             windows_evaluated: registry.counter("runtime.windows_evaluated"),
             windows_degraded: registry.counter("runtime.windows_degraded"),
+            windows_marked_quant: registry.counter("runtime.windows_marked_quant"),
+            windows_marked_f32: registry.counter("runtime.windows_marked_f32"),
             guard_faults: registry.counter("guard.faults"),
             breaker_trips: registry.counter("guard.breaker_trips"),
             recoveries: registry.counter("guard.recoveries"),
@@ -412,17 +417,47 @@ pub struct StreamingDlacep<F: Filter> {
 impl<F: Filter> StreamingDlacep<F> {
     /// Build with the default [`RuntimeConfig`].
     pub fn new(pattern: Pattern, filter: F) -> Result<Self, RuntimeError> {
-        Self::with_config(pattern, filter, RuntimeConfig::default())
+        Self::with_config_obs(pattern, filter, RuntimeConfig::default(), None)
+    }
+
+    /// Start a fluent builder — the one construction surface for every
+    /// non-default option (assembler, guard, drift, parallelism, obs,
+    /// durability).
+    pub fn builder(pattern: Pattern, filter: F) -> crate::builder::StreamingBuilder<F> {
+        crate::builder::StreamingBuilder::new(pattern, filter)
+    }
+
+    /// Shared construction path behind [`StreamingDlacep::builder`]: builds
+    /// the runtime, installs the obs registry (when given) *before* the
+    /// initial mode is recorded so the new journal is self-contained from
+    /// entry zero, and rebuilds the pool so its `pool.*` metrics land in the
+    /// same registry.
+    pub(crate) fn with_config_obs(
+        pattern: Pattern,
+        filter: F,
+        config: RuntimeConfig,
+        registry: Option<Arc<Registry>>,
+    ) -> Result<Self, RuntimeError> {
+        let mut rt = Self::build(pattern, filter, config)?;
+        if let Some(reg) = registry {
+            rt.obs = RuntimeObs::new(reg);
+            rt.pool = rt.par.build_pool_with_obs(&rt.obs.registry);
+        }
+        Ok(rt.with_initial_mode())
     }
 
     /// Build with an explicit configuration. The pattern is compiled once
     /// here; ingestion cannot fail on it later.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use StreamingDlacep::builder(..).config(..).build() instead"
+    )]
     pub fn with_config(
         pattern: Pattern,
         filter: F,
         config: RuntimeConfig,
     ) -> Result<Self, RuntimeError> {
-        Ok(Self::build(pattern, filter, config)?.with_initial_mode())
+        Self::with_config_obs(pattern, filter, config, None)
     }
 
     /// Shared construction path of [`StreamingDlacep::with_config`] and
@@ -501,6 +536,10 @@ impl<F: Filter> StreamingDlacep<F> {
     /// the current mode so the new journal is self-contained. Call before
     /// ingesting — counters accumulated in the previous registry stay
     /// there.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the registry at construction via StreamingDlacep::builder(..).obs(..)"
+    )]
     pub fn set_obs(&mut self, registry: Arc<Registry>) {
         self.obs = RuntimeObs::new(registry);
         self.pool = self.par.build_pool_with_obs(&self.obs.registry);
@@ -1003,6 +1042,13 @@ impl<F: Filter> StreamingDlacep<F> {
             }
             let mut marks = outcome.marks;
             if outcome.filter_invoked && outcome.fault.is_none() {
+                // Attribute the marking to its inference path so int8
+                // rollouts are visible next to the f32 baseline.
+                if self.guard.filter().quantized() {
+                    self.obs.windows_marked_quant.inc();
+                } else {
+                    self.obs.windows_marked_f32.inc();
+                }
                 if let Some(monitor) = &mut self.drift {
                     let verdict = monitor.observe_marks(&marks);
                     if verdict == DriftState::Drifted {
@@ -1176,7 +1222,10 @@ mod tests {
             ooo_policy: OutOfOrderPolicy::Drop,
             ..Default::default()
         };
-        let mut rt = StreamingDlacep::with_config(p, PassthroughFilter, cfg).unwrap();
+        let mut rt = StreamingDlacep::builder(p, PassthroughFilter)
+            .config(cfg)
+            .build()
+            .unwrap();
         rt.ingest(A, 5, vec![]).unwrap();
         assert_eq!(rt.ingest(B, 3, vec![]).unwrap(), None);
         assert_eq!(rt.ingest(B, 6, vec![]).unwrap(), Some(EventId(1)));
@@ -1193,7 +1242,10 @@ mod tests {
             ooo_policy: OutOfOrderPolicy::ClampToLastTs,
             ..Default::default()
         };
-        let mut rt = StreamingDlacep::with_config(p, PassthroughFilter, cfg).unwrap();
+        let mut rt = StreamingDlacep::builder(p, PassthroughFilter)
+            .config(cfg)
+            .build()
+            .unwrap();
         rt.ingest(A, 5, vec![]).unwrap();
         rt.ingest(B, 3, vec![]).unwrap();
         let report = rt.finish();
@@ -1225,7 +1277,10 @@ mod tests {
             max_partials: Some(budget),
             ..Default::default()
         };
-        let mut rt = StreamingDlacep::with_config(p, PassthroughFilter, cfg).unwrap();
+        let mut rt = StreamingDlacep::builder(p, PassthroughFilter)
+            .config(cfg)
+            .build()
+            .unwrap();
         for i in 0..200u64 {
             rt.ingest(A, i, vec![]).unwrap();
             assert!(
@@ -1274,8 +1329,10 @@ mod tests {
                 parallelism: Parallelism::with_threads(4),
                 ..Default::default()
             };
-            let mut pooled =
-                StreamingDlacep::with_config(p.clone(), OracleFilter::new(p), cfg).unwrap();
+            let mut pooled = StreamingDlacep::builder(p.clone(), OracleFilter::new(p))
+                .config(cfg)
+                .build()
+                .unwrap();
             // Feed in uneven chunks so batches end mid-window.
             for chunk in s.events().chunks(37) {
                 pooled.ingest_batch(chunk).unwrap();
@@ -1294,15 +1351,10 @@ mod tests {
         let s = noisy_stream(80);
         let mut a = StreamingDlacep::new(p.clone(), OracleFilter::new(p.clone())).unwrap();
         a.ingest_all(s.events()).unwrap();
-        let mut b = StreamingDlacep::with_config(
-            p.clone(),
-            OracleFilter::new(p),
-            RuntimeConfig {
-                parallelism: Parallelism::serial(),
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let mut b = StreamingDlacep::builder(p.clone(), OracleFilter::new(p))
+            .parallelism(Parallelism::serial())
+            .build()
+            .unwrap();
         b.ingest_batch(s.events()).unwrap();
         let (ra, rb) = (a.finish(), b.finish());
         assert_reports_equal(&ra, &rb, "serial-config batch");
@@ -1336,7 +1388,10 @@ mod tests {
             parallelism: Parallelism::with_threads(4),
             ..Default::default()
         };
-        let mut pooled = StreamingDlacep::with_config(p, AlwaysPanics, cfg).unwrap();
+        let mut pooled = StreamingDlacep::builder(p, AlwaysPanics)
+            .config(cfg)
+            .build()
+            .unwrap();
         for chunk in s.events().chunks(53) {
             pooled.ingest_batch(chunk).unwrap();
         }
@@ -1367,7 +1422,10 @@ mod tests {
             parallelism: Parallelism::with_threads(2),
             ..Default::default()
         };
-        let mut pooled = StreamingDlacep::with_config(p, PassthroughFilter, cfg).unwrap();
+        let mut pooled = StreamingDlacep::builder(p, PassthroughFilter)
+            .config(cfg)
+            .build()
+            .unwrap();
         let pooled_err = pooled.ingest_batch(&events).unwrap_err();
         let pooled_report = pooled.finish();
 

@@ -1,0 +1,131 @@
+//! Builder-vs-legacy equivalence: the fluent builders are the blessed
+//! construction path, but until the deprecated constructors are removed
+//! they must keep producing byte-identical behaviour — matches, metric
+//! counters, and the observability journal all agree.
+
+use std::sync::Arc;
+
+use dlacep_cep::{Pattern, PatternExpr, TypeSet};
+use dlacep_core::runtime::{RuntimeConfig, StreamingDlacep};
+use dlacep_core::{AssemblerConfig, Dlacep, OracleFilter, Parallelism, PassthroughFilter};
+use dlacep_events::{EventStream, OutOfOrderPolicy, TypeId, WindowSpec};
+use dlacep_obs::{FieldValue, Registry};
+
+const A: TypeId = TypeId(0);
+const B: TypeId = TypeId(1);
+
+fn seq_ab(w: u64) -> Pattern {
+    Pattern::new(
+        PatternExpr::Seq(vec![
+            PatternExpr::event(TypeSet::single(A), "a"),
+            PatternExpr::event(TypeSet::single(B), "b"),
+        ]),
+        vec![],
+        WindowSpec::Count(w),
+    )
+}
+
+fn stream(n: usize) -> EventStream {
+    let mut s = EventStream::new();
+    for i in 0..n {
+        let t = match i % 4 {
+            0 => A,
+            2 => B,
+            _ => TypeId(2),
+        };
+        s.push(t, i as u64, vec![i as f64]);
+    }
+    s
+}
+
+fn journal_kinds_and_fields(reg: &Registry) -> Vec<(String, Vec<(String, FieldValue)>)> {
+    reg.journal()
+        .snapshot()
+        .entries
+        .into_iter()
+        .map(|e| (e.kind, e.fields))
+        .collect()
+}
+
+#[test]
+fn batch_builder_matches_deprecated_constructors() {
+    let p = seq_ab(6);
+    let s = stream(160);
+    let asm = AssemblerConfig {
+        mark_size: 10,
+        step_size: 3,
+    };
+
+    let built_reg = Arc::new(Registry::enabled());
+    let built = Dlacep::builder(p.clone(), OracleFilter::new(p.clone()))
+        .assembler(asm)
+        .parallelism(Parallelism::serial())
+        .obs(built_reg.clone())
+        .build()
+        .unwrap();
+
+    let legacy_reg = Arc::new(Registry::enabled());
+    #[allow(deprecated)]
+    let legacy = {
+        let mut dl = Dlacep::with_assembler(p.clone(), OracleFilter::new(p), asm).unwrap();
+        dl.set_obs(legacy_reg.clone());
+        dl
+    };
+
+    let built_report = built.run(s.events());
+    let legacy_report = legacy.run(s.events());
+    assert_eq!(built_report.matches, legacy_report.matches);
+    assert_eq!(built_report.events_total, legacy_report.events_total);
+    assert_eq!(built_report.events_relayed, legacy_report.events_relayed);
+
+    // Metric equivalence: identical counter maps in the custom registries.
+    assert_eq!(
+        built_reg.snapshot().counters,
+        legacy_reg.snapshot().counters
+    );
+}
+
+#[test]
+fn streaming_builder_journal_matches_deprecated_path() {
+    let p = seq_ab(6);
+    let s = stream(200);
+    let cfg = RuntimeConfig {
+        ooo_policy: OutOfOrderPolicy::ClampToLastTs,
+        ..Default::default()
+    };
+
+    let built_reg = Arc::new(Registry::with_journal_capacity(2048));
+    let mut built = StreamingDlacep::builder(p.clone(), PassthroughFilter)
+        .config(cfg)
+        .obs(built_reg.clone())
+        .build()
+        .unwrap();
+
+    let legacy_reg = Arc::new(Registry::with_journal_capacity(2048));
+    #[allow(deprecated)]
+    let mut legacy = {
+        let mut rt = StreamingDlacep::with_config(p, PassthroughFilter, cfg).unwrap();
+        rt.set_obs(legacy_reg.clone());
+        rt
+    };
+
+    built.ingest_all(s.events()).unwrap();
+    legacy.ingest_all(s.events()).unwrap();
+    let br = built.finish();
+    let lr = legacy.finish();
+
+    assert_eq!(br.matches, lr.matches);
+    assert_eq!(br.windows_evaluated, lr.windows_evaluated);
+    assert_eq!(br.timeline, lr.timeline);
+    assert_eq!(
+        built_reg.snapshot().counters,
+        legacy_reg.snapshot().counters
+    );
+    // The journals must agree entry-for-entry: the builder installs obs
+    // before the initial mode transition, the legacy path re-records it via
+    // set_obs — both end up with the same (kind, fields) sequence.
+    assert_eq!(
+        journal_kinds_and_fields(&built_reg),
+        journal_kinds_and_fields(&legacy_reg)
+    );
+}

@@ -97,15 +97,21 @@ fn assert_restore_equivalent<F: Filter>(
 ) {
     // Reference: one uninterrupted run.
     let ref_reg = Arc::new(Registry::with_journal_capacity(4096));
-    let mut reference = StreamingDlacep::with_config(pattern.clone(), mk_filter(), cfg).unwrap();
-    reference.set_obs(ref_reg.clone());
+    let mut reference = StreamingDlacep::builder(pattern.clone(), mk_filter())
+        .config(cfg)
+        .obs(ref_reg.clone())
+        .build()
+        .unwrap();
     feed(&mut reference, offers);
     let ref_report = reference.finish();
 
     // Interrupted: run to `split`, checkpoint, restore elsewhere, continue.
     let first_reg = Arc::new(Registry::with_journal_capacity(4096));
-    let mut first = StreamingDlacep::with_config(pattern.clone(), mk_filter(), cfg).unwrap();
-    first.set_obs(first_reg.clone());
+    let mut first = StreamingDlacep::builder(pattern.clone(), mk_filter())
+        .config(cfg)
+        .obs(first_reg.clone())
+        .build()
+        .unwrap();
     feed(&mut first, &offers[..split]);
     let ckpt = first.checkpoint();
     let ckpt = decode_checkpoint(&encode_checkpoint(&ckpt)).expect("checkpoint codec round-trip");
@@ -243,9 +249,9 @@ fn restore_equivalence_with_fault_injected_filter() {
 #[test]
 fn restore_rejects_config_mismatch() {
     let offers = plain_offers(40);
-    let mut rt =
-        StreamingDlacep::with_config(seq_ab(6), PassthroughFilter, RuntimeConfig::default())
-            .unwrap();
+    let mut rt = StreamingDlacep::builder(seq_ab(6), PassthroughFilter)
+        .build()
+        .unwrap();
     feed(&mut rt, &offers);
     let ckpt = rt.checkpoint();
 

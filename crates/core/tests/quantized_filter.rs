@@ -1,0 +1,260 @@
+//! [`QuantizedFilter`] as a drop-in [`Filter`]: agreement with the f32
+//! filter it was quantized from inside the full batch pipeline, zero heap
+//! allocations per window in steady state, compatibility with the filter
+//! guard's score validation, determinism on the parallel batch path, and
+//! checkpoint/restore equivalence under the streaming runtime.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use dlacep_cep::{Pattern, PatternExpr, TypeSet};
+use dlacep_core::durable::{decode_checkpoint, encode_checkpoint};
+use dlacep_core::filter::Filter;
+use dlacep_core::runtime::StreamingDlacep;
+use dlacep_core::trainer::{train_event_filter, TrainConfig};
+use dlacep_core::{
+    Dlacep, EventNetFilter, GuardConfig, Parallelism, QuantizedFilter, RuntimeConfig,
+};
+use dlacep_data::SyntheticConfig;
+use dlacep_events::{EventStream, PrimitiveEvent, TypeId, WindowSpec};
+use dlacep_obs::Registry;
+
+/// Allocation counter gated per-thread so parallel test threads don't
+/// pollute each other's counts. Counting is off unless the current thread
+/// explicitly arms it.
+struct CountingAlloc;
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ARMED.with(|a| {
+            if a.get() {
+                ALLOCS.with(|c| c.set(c.get() + 1));
+            }
+        });
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ARMED.with(|a| {
+            if a.get() {
+                ALLOCS.with(|c| c.set(c.get() + 1));
+            }
+        });
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.with(|c| c.set(0));
+    ARMED.with(|a| a.set(true));
+    f();
+    ARMED.with(|a| a.set(false));
+    ALLOCS.with(|c| c.get())
+}
+
+fn seq_pattern(types: &[u32], w: u64) -> Pattern {
+    let leaves = types
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| PatternExpr::event(TypeSet::single(TypeId(t)), format!("s{i}")))
+        .collect();
+    Pattern::new(PatternExpr::Seq(leaves), vec![], WindowSpec::Count(w))
+}
+
+/// Train a quick event-network filter and quantize it, returning both plus
+/// the held-out evaluation slice.
+fn trained_pair() -> (EventNetFilter, QuantizedFilter, Vec<PrimitiveEvent>) {
+    let (_, stream) = SyntheticConfig {
+        num_events: 8_000,
+        ..Default::default()
+    }
+    .generate();
+    let pattern = seq_pattern(&[0, 1], 8);
+    let events = stream.events();
+    let train = EventStream::from_events(events[..6_000].to_vec()).unwrap();
+    let eval = events[6_000..].to_vec();
+
+    let mut cfg = TrainConfig::quick();
+    cfg.max_epochs = 8;
+    let f32_filter = train_event_filter(&pattern, &train, &cfg).filter;
+
+    let calib: Vec<&[PrimitiveEvent]> = events[..6_000].chunks(16).take(16).collect();
+    let quant = QuantizedFilter::quantize(&f32_filter, &calib).unwrap();
+    (f32_filter, quant, eval)
+}
+
+#[test]
+fn quantized_filter_drops_into_pipeline_and_tracks_f32() {
+    let (f32_filter, quant, eval) = trained_pair();
+    let pattern = seq_pattern(&[0, 1], 8);
+
+    // Window-level mark agreement: int8 arithmetic may flip events whose
+    // marginal sits exactly at the decision boundary, but nothing more.
+    let (mut agree, mut total) = (0usize, 0usize);
+    for w in eval.chunks(16) {
+        let a = f32_filter.mark(w);
+        let b = quant.mark(w);
+        assert_eq!(a.len(), b.len());
+        agree += a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        total += a.len();
+    }
+    let rate = agree as f64 / total as f64;
+    assert!(rate >= 0.95, "mark agreement {rate} below 95%");
+
+    // Drop-in: the quantized filter drives the same pipeline the f32 one
+    // does; §4.4's ID-distance constraint keeps precision at 1.0 either
+    // way, so every quantized match must be a true match.
+    let truth = dlacep_data::label::ground_truth_matches(&pattern, &eval);
+    let dl = Dlacep::builder(pattern.clone(), quant).build().unwrap();
+    let report = dl.run(&eval);
+    let truth_keys: std::collections::BTreeSet<_> =
+        truth.iter().map(|m| m.event_ids.clone()).collect();
+    for m in &report.matches {
+        assert!(truth_keys.contains(&m.event_ids), "spurious match");
+    }
+
+    let dl32 = Dlacep::builder(pattern, f32_filter).build().unwrap();
+    let report32 = dl32.run(&eval);
+    let delta = report.matches.len().abs_diff(report32.matches.len());
+    assert!(
+        delta <= 1 + report32.matches.len() / 10,
+        "quantized found {} matches vs f32 {}",
+        report.matches.len(),
+        report32.matches.len()
+    );
+}
+
+#[test]
+fn steady_state_marking_does_not_allocate() {
+    let (_, quant, eval) = trained_pair();
+    let windows: Vec<&[PrimitiveEvent]> = eval.chunks(16).take(40).collect();
+
+    // Warm-up: grows the arena pool and the output buffer to capacity.
+    let mut out = Vec::new();
+    for w in &windows {
+        quant.mark_into(w, &mut out);
+    }
+
+    let allocs = count_allocs(|| {
+        for w in &windows {
+            quant.mark_into(w, &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state mark_into allocated {allocs} times");
+}
+
+#[test]
+fn guard_validates_quantized_scores_and_obs_counts_quant_windows() {
+    let (_, quant, eval) = trained_pair();
+    let pattern = seq_pattern(&[0, 1], 8);
+
+    let reg = Arc::new(Registry::enabled());
+    let cfg = RuntimeConfig {
+        guard: GuardConfig {
+            validate_scores: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut rt = StreamingDlacep::builder(pattern, quant)
+        .config(cfg)
+        .obs(reg.clone())
+        .build()
+        .unwrap();
+    rt.ingest_all(&eval).unwrap();
+    let report = rt.finish();
+
+    // Finite int8-path scores must not trip the guard.
+    assert!(report.windows_evaluated > 0);
+    assert_eq!(report.windows_degraded, 0, "guard degraded on quant scores");
+
+    // The marking counters attribute every window to the int8 path.
+    let snap = reg.snapshot();
+    let quant_windows = snap.counters.get("runtime.windows_marked_quant");
+    assert!(
+        quant_windows.is_some_and(|&n| n > 0),
+        "no quant windows counted"
+    );
+    assert_eq!(
+        snap.counters.get("runtime.windows_marked_f32"),
+        Some(&0),
+        "f32 counter must stay zero under a quantized filter"
+    );
+}
+
+#[test]
+fn parallel_batch_path_matches_serial() {
+    let (_, quant, eval) = trained_pair();
+    let pattern = seq_pattern(&[0, 1], 8);
+
+    let serial = Dlacep::builder(pattern.clone(), quant.clone())
+        .build()
+        .unwrap();
+    let parallel = Dlacep::builder(pattern, quant)
+        .parallelism(Parallelism::with_threads(2))
+        .build()
+        .unwrap();
+
+    let a = serial.run(&eval);
+    let b = parallel.run(&eval);
+    assert_eq!(
+        a.matches, b.matches,
+        "parallel marking must be deterministic"
+    );
+}
+
+#[test]
+fn checkpoint_restore_equivalence_with_quantized_filter() {
+    let (_, quant, eval) = trained_pair();
+    let pattern = seq_pattern(&[0, 1], 8);
+    let cfg = RuntimeConfig::default();
+    let n = eval.len().min(400);
+    let offers = &eval[..n];
+
+    let feed = |rt: &mut StreamingDlacep<QuantizedFilter>, evs: &[PrimitiveEvent]| {
+        for ev in evs {
+            rt.ingest(ev.type_id, ev.ts.0, ev.attrs.clone()).unwrap();
+        }
+    };
+
+    // Reference: uninterrupted run.
+    let mut reference = StreamingDlacep::builder(pattern.clone(), quant.clone())
+        .config(cfg)
+        .build()
+        .unwrap();
+    feed(&mut reference, offers);
+    let ref_report = reference.finish();
+
+    for split in [0, n / 3, n / 2, n - 1] {
+        let mut first = StreamingDlacep::builder(pattern.clone(), quant.clone())
+            .config(cfg)
+            .build()
+            .unwrap();
+        feed(&mut first, &offers[..split]);
+        let ckpt = first.checkpoint();
+        let ckpt = decode_checkpoint(&encode_checkpoint(&ckpt)).expect("codec round-trip");
+        drop(first);
+
+        let mut recovered =
+            StreamingDlacep::restore(pattern.clone(), quant.clone(), cfg, None, ckpt).unwrap();
+        feed(&mut recovered, &offers[split..]);
+        let rec_report = recovered.finish();
+
+        assert_eq!(rec_report.matches, ref_report.matches, "split at {split}");
+        assert_eq!(rec_report.windows_evaluated, ref_report.windows_evaluated);
+        assert_eq!(rec_report.windows_degraded, ref_report.windows_degraded);
+    }
+}

@@ -53,7 +53,10 @@ fn run_with<F: Filter>(
     cfg: RuntimeConfig,
     s: &EventStream,
 ) -> RuntimeReport {
-    let mut rt = StreamingDlacep::with_config(pattern, filter, cfg).unwrap();
+    let mut rt = StreamingDlacep::builder(pattern, filter)
+        .config(cfg)
+        .build()
+        .unwrap();
     rt.ingest_all(s.events()).unwrap();
     rt.finish()
 }
@@ -182,7 +185,10 @@ fn partial_match_budget_bounds_state_and_reports_shedding() {
         max_partials: Some(budget),
         ..Default::default()
     };
-    let mut rt = StreamingDlacep::with_config(p.clone(), PassthroughFilter, cfg).unwrap();
+    let mut rt = StreamingDlacep::builder(p.clone(), PassthroughFilter)
+        .config(cfg)
+        .build()
+        .unwrap();
     let mut s = EventStream::new();
     for i in 0..300u64 {
         s.push(A, i, vec![]);
@@ -285,7 +291,10 @@ fn rebaseline_acknowledges_retrain_and_resumes_filtering() {
         ..Default::default()
     };
     let chaos = ChaosFilter::new(OracleFilter::new(p.clone())).fault_from(0, ChaosFault::Silent);
-    let mut rt = StreamingDlacep::with_config(p, chaos, cfg).unwrap();
+    let mut rt = StreamingDlacep::builder(p, chaos)
+        .config(cfg)
+        .build()
+        .unwrap();
     let s = noisy_stream(200);
     rt.ingest_all(s.events()).unwrap();
     assert_eq!(rt.mode(), RuntimeMode::DegradedExact);
@@ -325,7 +334,10 @@ fn out_of_order_feed_under_drop_policy_equals_filtered_batch() {
         ooo_policy: OutOfOrderPolicy::Drop,
         ..Default::default()
     };
-    let mut rt = StreamingDlacep::with_config(p, PassthroughFilter, cfg).unwrap();
+    let mut rt = StreamingDlacep::builder(p, PassthroughFilter)
+        .config(cfg)
+        .build()
+        .unwrap();
     for (i, &ts) in raw_ts.iter().enumerate() {
         let t = match i % 17 {
             3 => A,

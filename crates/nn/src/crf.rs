@@ -46,6 +46,12 @@ impl Crf {
         }
     }
 
+    /// Parameter handles `(transition, start, end)` (read access for e.g.
+    /// the quantized-inference head, which keeps the CRF in f32).
+    pub fn params(&self) -> (ParamId, ParamId, ParamId) {
+        (self.trans, self.start, self.end)
+    }
+
     /// Unnormalized score of a label path.
     pub fn path_score(&self, store: &ParamStore, emissions: &Matrix, path: &[usize]) -> f32 {
         debug_assert_eq!(emissions.rows(), path.len());
@@ -285,6 +291,11 @@ impl BiCrf {
     /// Number of labels.
     pub fn num_labels(&self) -> usize {
         self.fwd.num_labels
+    }
+
+    /// The directional CRFs `(forward, backward)`.
+    pub fn directions(&self) -> (&Crf, &Crf) {
+        (&self.fwd, &self.bwd)
     }
 
     /// Summed NLL of both directions.

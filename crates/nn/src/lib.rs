@@ -18,6 +18,7 @@
 //! * [`init`] — deterministic initializers,
 //! * [`linear`], [`lstm`] — layers (Linear, LSTM, BiLSTM, stacked BiLSTM),
 //! * [`crf`] — exact linear-chain CRF and BI-CRF heads,
+//! * [`quant`] — int8 post-training quantization and the inference fast path,
 //! * [`optim`] — SGD/Adam + learning-rate schedules,
 //! * [`train`] — batching, convergence detection,
 //! * [`metrics`] — precision/recall/F1 (paper §4.3).
@@ -31,6 +32,7 @@ pub mod matrix;
 pub mod metrics;
 pub mod optim;
 pub mod params;
+pub mod quant;
 pub mod train;
 
 pub use crf::{BiCrf, Crf};
@@ -42,6 +44,10 @@ pub use matrix::{Matrix, ShapeError};
 pub use metrics::Confusion;
 pub use optim::{Adam, LrSchedule, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
+pub use quant::{
+    calibrate_input_scale, QuantError, QuantizedLinear, QuantizedMatrix, QuantizedStackedBiLstm,
+    ScratchArena,
+};
 pub use train::{
     record_epoch, BatchSampler, BatchSchedule, ConvergenceDetector, TrainReport, TrainStep,
 };

@@ -176,6 +176,12 @@ impl StackedBiLstm {
         self.layers.len()
     }
 
+    /// The stacked layers, bottom first (read-only; used by the int8
+    /// quantizer in [`crate::quant`]).
+    pub fn layers(&self) -> &[BiLstmLayer] {
+        &self.layers
+    }
+
     /// Output width per timestep (`2 × hidden`).
     pub fn out_dim(&self) -> usize {
         self.layers.last().expect("non-empty").out_dim()

@@ -177,6 +177,40 @@ impl Matrix {
         *self.get_mut(r, c) = v;
     }
 
+    /// Bounds-checked element accessor: [`Matrix::get`] only asserts in
+    /// debug builds, so paths fed by external data (e.g. quantization
+    /// calibration) use this to surface malformed shapes as a structured
+    /// [`ShapeError`] instead of an out-of-bounds panic in release builds.
+    #[inline]
+    pub fn try_get(&self, r: usize, c: usize) -> Result<f32, ShapeError> {
+        if r < self.rows && c < self.cols {
+            Ok(self.data[r * self.cols + c])
+        } else {
+            Err(ShapeError {
+                op: "get",
+                lhs: self.shape(),
+                rhs: (r, c),
+                requirement: "index must be within matrix bounds",
+            })
+        }
+    }
+
+    /// Bounds-checked [`Matrix::set`]; see [`Matrix::try_get`].
+    #[inline]
+    pub fn try_set(&mut self, r: usize, c: usize, v: f32) -> Result<(), ShapeError> {
+        if r < self.rows && c < self.cols {
+            self.data[r * self.cols + c] = v;
+            Ok(())
+        } else {
+            Err(ShapeError {
+                op: "set",
+                lhs: self.shape(),
+                rhs: (r, c),
+                requirement: "index must be within matrix bounds",
+            })
+        }
+    }
+
     /// A row as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {

@@ -1,0 +1,444 @@
+//! Integer GEMM kernels and fast activations for the int8 inference path.
+//!
+//! Quantized operands are stored as `i16` holding int8-range values
+//! (±127): `pmaddwd` multiplies `i16` lanes into `i32` pairs, so widening
+//! at pack time instead of per-multiply keeps the inner loop to one
+//! multiply-add per lane. Weights are packed transposed (one row per
+//! output channel) so every dot product walks both operands contiguously,
+//! and the shared dimension is zero-padded to the SIMD lane width so the
+//! hot loop has no scalar tail.
+//!
+//! The SSE2 path and the portable scalar path produce bit-identical
+//! accumulators — integer arithmetic is exact — so quantized inference is
+//! deterministic across both.
+
+/// SIMD lane width in `i16` elements (one 128-bit SSE2 register).
+pub(crate) const LANE: usize = 8;
+
+/// Output-channel block for the cache-blocked GEMM: a block of packed
+/// weight rows (`J_BLOCK × k_pad × 2` bytes, ≈ 19 KiB at the marking-stage
+/// shape) stays L1-resident while every activation row streams over it.
+const J_BLOCK: usize = 32;
+
+/// `k` rounded up to a whole number of lanes.
+#[inline]
+pub(crate) fn pad_to_lane(k: usize) -> usize {
+    k.div_ceil(LANE) * LANE
+}
+
+/// Quantize one f32 row into int8-range `i16` values: `q = round(x / scale)`
+/// clamped to ±127. `dst` may be longer than `src`; the tail is zeroed so
+/// padded lanes contribute nothing to the dot products.
+#[inline]
+pub(crate) fn quantize_row(src: &[f32], inv_scale: f32, dst: &mut [i16]) {
+    debug_assert!(dst.len() >= src.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = (s * inv_scale).round().clamp(-127.0, 127.0) as i16;
+    }
+    for d in dst[src.len()..].iter_mut() {
+        *d = 0;
+    }
+}
+
+/// Exact integer dot product of two lane-padded `i16` rows.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn dot(a: &[i16], b: &[i16]) -> i32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len() % LANE, 0);
+    // SAFETY: SSE2 is part of the x86_64 baseline; loads are unaligned-safe
+    // (`loadu`) and stay within the equal-length, lane-padded slices.
+    unsafe {
+        let mut acc = _mm_setzero_si128();
+        let mut k = 0;
+        while k < a.len() {
+            let av = _mm_loadu_si128(a.as_ptr().add(k) as *const __m128i);
+            let bv = _mm_loadu_si128(b.as_ptr().add(k) as *const __m128i);
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(av, bv));
+            k += LANE;
+        }
+        hsum_epi32(acc)
+    }
+}
+
+/// Dot products of one lane-padded row against two weight rows at once —
+/// the two-column blocking amortizes the activation loads across both
+/// accumulators.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn dot2(a: &[i16], b0: &[i16], b1: &[i16]) -> (i32, i32) {
+    use std::arch::x86_64::*;
+    debug_assert!(a.len() == b0.len() && a.len() == b1.len());
+    debug_assert_eq!(a.len() % LANE, 0);
+    // SAFETY: as in `dot`.
+    unsafe {
+        let mut acc0 = _mm_setzero_si128();
+        let mut acc1 = _mm_setzero_si128();
+        let mut k = 0;
+        while k < a.len() {
+            let av = _mm_loadu_si128(a.as_ptr().add(k) as *const __m128i);
+            let b0v = _mm_loadu_si128(b0.as_ptr().add(k) as *const __m128i);
+            let b1v = _mm_loadu_si128(b1.as_ptr().add(k) as *const __m128i);
+            acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(av, b0v));
+            acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(av, b1v));
+            k += LANE;
+        }
+        (hsum_epi32(acc0), hsum_epi32(acc1))
+    }
+}
+
+/// Dot products of one lane-padded row against four weight rows at once,
+/// reduced to a single `[d0, d1, d2, d3]` vector: the unpack ladder sums
+/// the four accumulators with no scalar extraction, so the caller can run
+/// the scale/bias epilogue in SIMD too.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn dot4(a: &[i16], b0: &[i16], b1: &[i16], b2: &[i16], b3: &[i16]) -> std::arch::x86_64::__m128i {
+    use std::arch::x86_64::*;
+    debug_assert!(a.len() == b0.len() && a.len() == b1.len());
+    debug_assert!(a.len() == b2.len() && a.len() == b3.len());
+    debug_assert_eq!(a.len() % LANE, 0);
+    // SAFETY: as in `dot`.
+    unsafe {
+        let mut acc0 = _mm_setzero_si128();
+        let mut acc1 = _mm_setzero_si128();
+        let mut acc2 = _mm_setzero_si128();
+        let mut acc3 = _mm_setzero_si128();
+        let mut k = 0;
+        while k < a.len() {
+            let av = _mm_loadu_si128(a.as_ptr().add(k) as *const __m128i);
+            acc0 = _mm_add_epi32(
+                acc0,
+                _mm_madd_epi16(av, _mm_loadu_si128(b0.as_ptr().add(k) as *const __m128i)),
+            );
+            acc1 = _mm_add_epi32(
+                acc1,
+                _mm_madd_epi16(av, _mm_loadu_si128(b1.as_ptr().add(k) as *const __m128i)),
+            );
+            acc2 = _mm_add_epi32(
+                acc2,
+                _mm_madd_epi16(av, _mm_loadu_si128(b2.as_ptr().add(k) as *const __m128i)),
+            );
+            acc3 = _mm_add_epi32(
+                acc3,
+                _mm_madd_epi16(av, _mm_loadu_si128(b3.as_ptr().add(k) as *const __m128i)),
+            );
+            k += LANE;
+        }
+        // Transpose-and-add: four 4-lane partial sums collapse to one
+        // vector holding each accumulator's total.
+        let t0 = _mm_unpacklo_epi32(acc0, acc1);
+        let t1 = _mm_unpackhi_epi32(acc0, acc1);
+        let t2 = _mm_unpacklo_epi32(acc2, acc3);
+        let t3 = _mm_unpackhi_epi32(acc2, acc3);
+        let s01 = _mm_add_epi32(t0, t1);
+        let s23 = _mm_add_epi32(t2, t3);
+        _mm_add_epi32(_mm_unpacklo_epi64(s01, s23), _mm_unpackhi_epi64(s01, s23))
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn hsum_epi32(v: std::arch::x86_64::__m128i) -> i32 {
+    use std::arch::x86_64::*;
+    // SAFETY: pure register arithmetic, no memory access.
+    unsafe {
+        let hi = _mm_shuffle_epi32(v, 0b01_00_11_10);
+        let sum2 = _mm_add_epi32(v, hi);
+        let hi2 = _mm_shuffle_epi32(sum2, 0b00_00_00_01);
+        _mm_cvtsi128_si32(_mm_add_epi32(sum2, hi2))
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn dot(a: &[i16], b: &[i16]) -> i32 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| i32::from(x) * i32::from(y))
+        .sum()
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn dot2(a: &[i16], b0: &[i16], b1: &[i16]) -> (i32, i32) {
+    (dot(a, b0), dot(a, b1))
+}
+
+/// Cache-blocked int8 GEMM: `out[i][j] = dot(a[i], bt[j]) * a_scale *
+/// w_scales[j] + bias[j]`, with `a` an `m × k_pad` activation matrix and
+/// `bt` an `n × k_pad` transposed weight matrix (row = output channel).
+/// `out` must hold `m * n` elements and is overwritten.
+// A GEMM signature is its argument list: shapes, operands, and the fused
+// scale/bias epilogue. Bundling them into a struct would only move the
+// nine names one level down.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn qgemm(
+    m: usize,
+    n: usize,
+    k_pad: usize,
+    a: &[i16],
+    bt: &[i16],
+    a_scale: f32,
+    w_scales: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k_pad);
+    debug_assert_eq!(bt.len(), n * k_pad);
+    debug_assert_eq!(w_scales.len(), n);
+    debug_assert!(out.len() >= m * n);
+    let mut jb = 0;
+    while jb < n {
+        let j_end = (jb + J_BLOCK).min(n);
+        for i in 0..m {
+            let a_row = &a[i * k_pad..(i + 1) * k_pad];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            let mut j = jb;
+            #[cfg(target_arch = "x86_64")]
+            {
+                use std::arch::x86_64::*;
+                while j + 3 < j_end {
+                    let d = dot4(
+                        a_row,
+                        &bt[j * k_pad..(j + 1) * k_pad],
+                        &bt[(j + 1) * k_pad..(j + 2) * k_pad],
+                        &bt[(j + 2) * k_pad..(j + 3) * k_pad],
+                        &bt[(j + 3) * k_pad..(j + 4) * k_pad],
+                    );
+                    // SAFETY: `j + 3 < j_end <= n`, so the 4-wide loads and
+                    // store stay inside `w_scales`/`bias`/`out_row` (all
+                    // length `n`). Per-lane ops match the scalar epilogue's
+                    // order, so results are bit-identical to it.
+                    unsafe {
+                        let f = _mm_mul_ps(_mm_cvtepi32_ps(d), _mm_set1_ps(a_scale));
+                        let mut r = _mm_mul_ps(f, _mm_loadu_ps(w_scales.as_ptr().add(j)));
+                        if let Some(b) = bias {
+                            r = _mm_add_ps(r, _mm_loadu_ps(b.as_ptr().add(j)));
+                        }
+                        _mm_storeu_ps(out_row.as_mut_ptr().add(j), r);
+                    }
+                    j += 4;
+                }
+            }
+            while j + 1 < j_end {
+                let (d0, d1) = dot2(
+                    a_row,
+                    &bt[j * k_pad..(j + 1) * k_pad],
+                    &bt[(j + 1) * k_pad..(j + 2) * k_pad],
+                );
+                let base0 = bias.map_or(0.0, |b| b[j]);
+                let base1 = bias.map_or(0.0, |b| b[j + 1]);
+                out_row[j] = d0 as f32 * a_scale * w_scales[j] + base0;
+                out_row[j + 1] = d1 as f32 * a_scale * w_scales[j + 1] + base1;
+                j += 2;
+            }
+            if j < j_end {
+                let d = dot(a_row, &bt[j * k_pad..(j + 1) * k_pad]);
+                out_row[j] = d as f32 * a_scale * w_scales[j] + bias.map_or(0.0, |b| b[j]);
+            }
+        }
+        jb = j_end;
+    }
+}
+
+/// Row-vector GEMM accumulating into `out`: `out[j] += dot(a, bt[j]) *
+/// a_scale * w_scales[j]`. Used by the LSTM recurrence, where the gate
+/// pre-activations already hold `x·Wx + b` and the hidden contribution is
+/// added per step.
+pub(crate) fn qgemv_acc(
+    n: usize,
+    k_pad: usize,
+    a: &[i16],
+    bt: &[i16],
+    a_scale: f32,
+    w_scales: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), k_pad);
+    debug_assert_eq!(bt.len(), n * k_pad);
+    debug_assert!(out.len() >= n && w_scales.len() == n);
+    let mut j = 0;
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::*;
+        while j + 3 < n {
+            let d = dot4(
+                a,
+                &bt[j * k_pad..(j + 1) * k_pad],
+                &bt[(j + 1) * k_pad..(j + 2) * k_pad],
+                &bt[(j + 2) * k_pad..(j + 3) * k_pad],
+                &bt[(j + 3) * k_pad..(j + 4) * k_pad],
+            );
+            // SAFETY: `j + 3 < n`, so the 4-wide loads and the accumulate
+            // store stay inside `w_scales`/`out` (length >= n); per-lane op
+            // order matches the scalar tail below.
+            unsafe {
+                let f = _mm_mul_ps(_mm_cvtepi32_ps(d), _mm_set1_ps(a_scale));
+                let r = _mm_mul_ps(f, _mm_loadu_ps(w_scales.as_ptr().add(j)));
+                let cur = _mm_loadu_ps(out.as_ptr().add(j));
+                _mm_storeu_ps(out.as_mut_ptr().add(j), _mm_add_ps(cur, r));
+            }
+            j += 4;
+        }
+    }
+    while j + 1 < n {
+        let (d0, d1) = dot2(
+            a,
+            &bt[j * k_pad..(j + 1) * k_pad],
+            &bt[(j + 1) * k_pad..(j + 2) * k_pad],
+        );
+        out[j] += d0 as f32 * a_scale * w_scales[j];
+        out[j + 1] += d1 as f32 * a_scale * w_scales[j + 1];
+        j += 2;
+    }
+    if j < n {
+        out[j] += dot(a, &bt[j * k_pad..(j + 1) * k_pad]) as f32 * a_scale * w_scales[j];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fast activations
+// ---------------------------------------------------------------------------
+
+/// Half-width of the tanh interpolation table; `tanh(±8)` differs from ±1
+/// by 2.3e-7, far below the int8 quantization error.
+const TANH_RANGE: f32 = 8.0;
+/// Interpolation intervals across `[-TANH_RANGE, TANH_RANGE]`. At 512
+/// intervals the linear-interpolation error is bounded by
+/// `max|tanh''| · h² / 8 ≈ 1.2e-4`.
+const TANH_INTERVALS: usize = 512;
+
+struct TanhTable {
+    knots: [f32; TANH_INTERVALS + 1],
+}
+
+fn tanh_table() -> &'static TanhTable {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<TanhTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut knots = [0.0_f32; TANH_INTERVALS + 1];
+        for (i, k) in knots.iter_mut().enumerate() {
+            let x = -TANH_RANGE + 2.0 * TANH_RANGE * i as f32 / TANH_INTERVALS as f32;
+            *k = x.tanh();
+        }
+        TanhTable { knots }
+    })
+}
+
+/// Borrow the shared activation table once per window so the hot loop
+/// avoids the `OnceLock` check per element.
+#[derive(Clone, Copy)]
+pub(crate) struct ActTable(&'static TanhTable);
+
+impl ActTable {
+    pub(crate) fn get() -> Self {
+        ActTable(tanh_table())
+    }
+
+    /// `tanh` by table lookup with linear interpolation (|err| ≲ 1.2e-4).
+    #[inline]
+    pub(crate) fn tanh(self, x: f32) -> f32 {
+        let t = (x.clamp(-TANH_RANGE, TANH_RANGE) + TANH_RANGE)
+            * (TANH_INTERVALS as f32 / (2.0 * TANH_RANGE));
+        let i = (t as usize).min(TANH_INTERVALS - 1);
+        let frac = t - i as f32;
+        let lo = self.0.knots[i];
+        lo + (self.0.knots[i + 1] - lo) * frac
+    }
+
+    /// `sigmoid(x) = 0.5 + 0.5·tanh(x/2)` through the same table.
+    #[inline]
+    pub(crate) fn sigmoid(self, x: f32) -> f32 {
+        0.5 + 0.5 * self.tanh(0.5 * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_dot(a: &[i16], b: &[i16]) -> i32 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| i32::from(x) * i32::from(y))
+            .sum()
+    }
+
+    #[test]
+    fn dot_kernels_match_scalar_reference() {
+        for k in [LANE, 2 * LANE, 5 * LANE] {
+            let a: Vec<i16> = (0..k).map(|i| ((i * 37 + 11) % 255) as i16 - 127).collect();
+            let b0: Vec<i16> = (0..k).map(|i| ((i * 53 + 7) % 255) as i16 - 127).collect();
+            let b1: Vec<i16> = (0..k).map(|i| ((i * 29 + 3) % 255) as i16 - 127).collect();
+            assert_eq!(dot(&a, &b0), scalar_dot(&a, &b0));
+            let (d0, d1) = dot2(&a, &b0, &b1);
+            assert_eq!(d0, scalar_dot(&a, &b0));
+            assert_eq!(d1, scalar_dot(&a, &b1));
+        }
+    }
+
+    #[test]
+    fn qgemm_matches_naive_integer_product() {
+        let (m, n, k) = (5, 67, 3 * LANE);
+        let a: Vec<i16> = (0..m * k).map(|i| ((i * 31) % 255) as i16 - 127).collect();
+        let bt: Vec<i16> = (0..n * k).map(|i| ((i * 17) % 255) as i16 - 127).collect();
+        let scales: Vec<f32> = (0..n).map(|j| 0.01 + j as f32 * 1e-4).collect();
+        let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.1).collect();
+        let a_scale = 0.02_f32;
+        let mut out = vec![0.0_f32; m * n];
+        qgemm(m, n, k, &a, &bt, a_scale, &scales, Some(&bias), &mut out);
+        for i in 0..m {
+            for j in 0..n {
+                let acc = scalar_dot(&a[i * k..(i + 1) * k], &bt[j * k..(j + 1) * k]);
+                let want = acc as f32 * a_scale * scales[j] + bias[j];
+                assert_eq!(out[i * n + j], want, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn qgemv_accumulates() {
+        let (n, k) = (9, LANE);
+        let a: Vec<i16> = (0..k).map(|i| i as i16 - 3).collect();
+        let bt: Vec<i16> = (0..n * k).map(|i| (i % 11) as i16 - 5).collect();
+        let scales = vec![0.5_f32; n];
+        let mut out = vec![1.0_f32; n];
+        qgemv_acc(n, k, &a, &bt, 0.25, &scales, &mut out);
+        for j in 0..n {
+            let acc = scalar_dot(&a, &bt[j * k..(j + 1) * k]);
+            assert_eq!(out[j], 1.0 + acc as f32 * 0.25 * 0.5, "{j}");
+        }
+    }
+
+    #[test]
+    fn quantize_row_clamps_and_pads() {
+        let src = [0.0, 1.0, -1.0, 10.0, -10.0];
+        let mut dst = vec![99_i16; pad_to_lane(src.len())];
+        quantize_row(&src, 127.0, &mut dst); // scale = 1/127
+        assert_eq!(&dst[..5], &[0, 127, -127, 127, -127]);
+        assert!(dst[5..].iter().all(|&v| v == 0), "padding must be zeroed");
+    }
+
+    #[test]
+    fn fast_activations_are_accurate() {
+        let t = ActTable::get();
+        let mut x = -12.0_f32;
+        while x <= 12.0 {
+            assert!(
+                (t.tanh(x) - x.tanh()).abs() < 2e-4,
+                "tanh({x}): {} vs {}",
+                t.tanh(x),
+                x.tanh()
+            );
+            let sig = 1.0 / (1.0 + (-x).exp());
+            assert!(
+                (t.sigmoid(x) - sig).abs() < 2e-4,
+                "sigmoid({x}): {} vs {sig}",
+                t.sigmoid(x)
+            );
+            x += 0.013;
+        }
+    }
+}

@@ -1,0 +1,861 @@
+//! Post-training int8 quantization of the inference fast path.
+//!
+//! The marking stage is DLACEP's steady-state hot loop: every assembler
+//! window pays a stacked-BiLSTM forward pass before the CEP engine sees a
+//! single event. The paper runs this on a GPU; on CPU the classic
+//! inference-stack answer is symmetric per-channel int8 post-training
+//! quantization with integer kernels:
+//!
+//! * **Weights** are quantized per *output channel* (`scale_j =
+//!   max|W[·,j]| / 127`), which keeps the quantization grid tight for every
+//!   channel regardless of how the channel magnitudes vary.
+//! * **Activations** use a single static scale per tensor: the stacked
+//!   encoder's hidden states are `tanh`-bounded in (-1, 1) so their scale
+//!   is exactly `1/127`, and only the layer-0 input scale needs
+//!   calibration from sample windows (see
+//!   [`calibrate_input_scale`]).
+//! * **Kernels** accumulate in `i32` over lane-padded `i16` operands (see
+//!   [`kernel`](self)); the float result is recovered with one multiply
+//!   per output element.
+//! * **No allocation in steady state**: every intermediate lives in a
+//!   [`ScratchArena`] that grows to the high-water mark of the windows it
+//!   has seen and is then reused verbatim.
+//!
+//! Quantized layers serialize through both `serde` (model bundles) and the
+//! `dlacep-dur` binary codec (checkpoint-grade round-trips): the canonical
+//! form is the `i8` tensor plus per-channel scales; the packed `i16`
+//! inference layout is rebuilt on load.
+
+mod kernel;
+
+use crate::linear::Linear;
+use crate::lstm::{BiLstmLayer, LstmLayer, StackedBiLstm};
+use crate::matrix::{Matrix, ShapeError};
+use crate::params::ParamStore;
+use dlacep_dur::{CodecError, Dec, Decoder, Enc, Encoder};
+use kernel::{pad_to_lane, qgemm, qgemv_acc, quantize_row, ActTable};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Scale of a tanh-bounded activation tensor: hidden states live in
+/// (-1, 1), so ±127 maps exactly onto the open unit interval.
+pub const UNIT_SCALE: f32 = 1.0 / 127.0;
+
+/// Errors surfaced while quantizing a model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QuantError {
+    /// An operand had an impossible shape (e.g. malformed calibration
+    /// windows); carries the structured kernel error instead of panicking.
+    Shape(ShapeError),
+    /// Calibration needs at least one sample row.
+    EmptyCalibration,
+    /// A weight or calibration value was NaN/infinite; a scale derived
+    /// from it would poison every inference.
+    NonFinite {
+        /// Which tensor carried the non-finite value.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::Shape(e) => write!(f, "quantization shape error: {e}"),
+            QuantError::EmptyCalibration => {
+                write!(f, "activation calibration needs at least one sample row")
+            }
+            QuantError::NonFinite { what } => {
+                write!(f, "non-finite value in {what}; cannot derive a scale")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+impl From<ShapeError> for QuantError {
+    fn from(e: ShapeError) -> Self {
+        QuantError::Shape(e)
+    }
+}
+
+/// Grow-only buffer resize: steady state never reallocates because the
+/// arena converges to the high-water mark of every dimension it has seen.
+pub fn ensure<T: Copy + Default>(buf: &mut Vec<T>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, T::default());
+    }
+}
+
+/// Preallocated scratch buffers for one quantized forward pass.
+///
+/// All fields are plain buffers with unspecified contents between calls;
+/// callers borrow the fields they need (disjoint field borrows keep the
+/// whole pass allocation-free). One arena serves one inference at a time —
+/// concurrent marking uses an arena pool (one arena per in-flight window).
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    /// Quantized activation rows for the current layer (`T × k_pad`).
+    pub xq: Vec<i16>,
+    /// Quantized hidden-state row for the recurrence (`k_pad(H)`).
+    pub hq: Vec<i16>,
+    /// Layer input/output ping-pong buffers (`T × width`).
+    pub io_a: Vec<f32>,
+    /// Second half of the ping-pong pair.
+    pub io_b: Vec<f32>,
+    /// Gate pre-activations (`T × 4H`).
+    pub gates: Vec<f32>,
+    /// LSTM hidden state (`H`).
+    pub h: Vec<f32>,
+    /// LSTM cell state (`H`).
+    pub c: Vec<f32>,
+    /// Emission scores (`T × L`).
+    pub emit: Vec<f32>,
+    /// Per-event positive-label probabilities (`T`).
+    pub probs: Vec<f32>,
+    /// CRF forward trellis (`T × L`).
+    pub crf_alpha: Vec<f32>,
+    /// CRF backward trellis (`T × L`).
+    pub crf_beta: Vec<f32>,
+}
+
+impl ScratchArena {
+    /// Fresh, empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Derive a static activation scale from calibration rows: `max|x| / 127`,
+/// floored so an all-zero calibration set still yields a usable scale.
+pub fn calibrate_input_scale<'a, I>(rows: I) -> Result<f32, QuantError>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    let mut max_abs = 0.0_f32;
+    let mut seen = false;
+    for row in rows {
+        seen = true;
+        for &v in row {
+            if !v.is_finite() {
+                return Err(QuantError::NonFinite {
+                    what: "calibration sample",
+                });
+            }
+            max_abs = max_abs.max(v.abs());
+        }
+    }
+    if !seen {
+        return Err(QuantError::EmptyCalibration);
+    }
+    Ok(max_abs.max(1e-6) / 127.0)
+}
+
+// ---------------------------------------------------------------------------
+// QuantizedMatrix
+// ---------------------------------------------------------------------------
+
+/// A weight matrix quantized symmetrically per output channel.
+///
+/// Canonical storage is transposed relative to the f32 layer layout: row
+/// `j` holds output channel `j`'s weights as `i8`, with `scales[j]`
+/// recovering the float value (`w ≈ q · scale`). A lane-padded `i16` copy
+/// (`packed`) feeds the SIMD kernels; it is derived data, rebuilt on
+/// deserialization and excluded from the serialized form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    out_dim: usize,
+    in_dim: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    packed: Vec<i16>,
+}
+
+impl QuantizedMatrix {
+    /// Quantize `w` (layer layout: `in_dim × out_dim`, one column per
+    /// output channel) with per-channel max-abs scales.
+    pub fn from_weights(w: &Matrix) -> Result<Self, QuantError> {
+        let (in_dim, out_dim) = w.shape();
+        let mut data = vec![0_i8; out_dim * in_dim];
+        let mut scales = vec![0.0_f32; out_dim];
+        for j in 0..out_dim {
+            let mut max_abs = 0.0_f32;
+            for k in 0..in_dim {
+                let v = w.try_get(k, j)?;
+                if !v.is_finite() {
+                    return Err(QuantError::NonFinite { what: "weights" });
+                }
+                max_abs = max_abs.max(v.abs());
+            }
+            // An all-zero channel quantizes to zeros under any scale; 1.0
+            // avoids a 0/0 in the reverse mapping.
+            let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+            scales[j] = scale;
+            let inv = 1.0 / scale;
+            for k in 0..in_dim {
+                data[j * in_dim + k] = (w.try_get(k, j)? * inv).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        Ok(Self::assemble(out_dim, in_dim, data, scales))
+    }
+
+    fn assemble(out_dim: usize, in_dim: usize, data: Vec<i8>, scales: Vec<f32>) -> Self {
+        let k_pad = pad_to_lane(in_dim);
+        let mut packed = vec![0_i16; out_dim * k_pad];
+        for j in 0..out_dim {
+            for k in 0..in_dim {
+                packed[j * k_pad + k] = i16::from(data[j * in_dim + k]);
+            }
+        }
+        Self {
+            out_dim,
+            in_dim,
+            data,
+            scales,
+            packed,
+        }
+    }
+
+    /// Number of output channels.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Lane-padded input width of the packed layout.
+    pub(crate) fn k_pad(&self) -> usize {
+        pad_to_lane(self.in_dim)
+    }
+
+    /// Per-output-channel scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Packed transposed `i16` rows for the kernels.
+    pub(crate) fn packed(&self) -> &[i16] {
+        &self.packed
+    }
+
+    /// Reconstruct the float weights (layer layout `in_dim × out_dim`).
+    /// Per-channel round-trip error is bounded by `scale_j / 2` per
+    /// element.
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_fn(self.in_dim, self.out_dim, |k, j| {
+            f32::from(self.data[j * self.in_dim + k]) * self.scales[j]
+        })
+    }
+}
+
+impl Serialize for QuantizedMatrix {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("out_dim".into(), self.out_dim.to_value()),
+            ("in_dim".into(), self.in_dim.to_value()),
+            ("data".into(), self.data.to_value()),
+            ("scales".into(), self.scales.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for QuantizedMatrix {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::new("QuantizedMatrix: expected map"))?;
+        let out_dim: usize = serde::field(m, "out_dim")?;
+        let in_dim: usize = serde::field(m, "in_dim")?;
+        let data: Vec<i8> = serde::field(m, "data")?;
+        let scales: Vec<f32> = serde::field(m, "scales")?;
+        if data.len() != out_dim * in_dim || scales.len() != out_dim {
+            return Err(DeError::new("QuantizedMatrix: shape/data mismatch"));
+        }
+        Ok(Self::assemble(out_dim, in_dim, data, scales))
+    }
+}
+
+impl Enc for QuantizedMatrix {
+    fn enc(&self, e: &mut Encoder) {
+        e.put(&self.out_dim);
+        e.put(&self.in_dim);
+        for &b in &self.data {
+            e.put_u8(b as u8);
+        }
+        e.put(&self.scales);
+    }
+}
+
+impl Dec for QuantizedMatrix {
+    fn dec(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let out_dim: usize = d.get()?;
+        let in_dim: usize = d.get()?;
+        let n = out_dim
+            .checked_mul(in_dim)
+            .ok_or_else(|| CodecError::Malformed("quantized matrix shape overflow".into()))?;
+        let data: Vec<i8> = d.take_bytes(n)?.iter().map(|&b| b as i8).collect();
+        let scales: Vec<f32> = d.get()?;
+        if scales.len() != out_dim {
+            return Err(CodecError::Malformed(
+                "quantized matrix scale count mismatch".into(),
+            ));
+        }
+        Ok(Self::assemble(out_dim, in_dim, data, scales))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QuantizedLinear
+// ---------------------------------------------------------------------------
+
+/// A dense layer with int8 weights and a static input scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedLinear {
+    w: QuantizedMatrix,
+    bias: Vec<f32>,
+    in_scale: f32,
+}
+
+impl QuantizedLinear {
+    /// Quantize a trained [`Linear`]; `in_scale` is the static scale of the
+    /// activations this layer will see.
+    pub fn quantize(store: &ParamStore, layer: &Linear, in_scale: f32) -> Result<Self, QuantError> {
+        let (w_id, b_id) = layer.params();
+        let w = QuantizedMatrix::from_weights(store.value(w_id))?;
+        let bias = store.value(b_id).as_slice().to_vec();
+        Ok(Self { w, bias, in_scale })
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.w.in_dim()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.w.out_dim()
+    }
+
+    /// The int8 weight matrix (per-channel scales included).
+    pub fn weights(&self) -> &QuantizedMatrix {
+        &self.w
+    }
+
+    /// `x · W + b` over `t_len` rows read from `input` (`t_len × in_dim`),
+    /// written to `out` (`t_len × out_dim`). `xq` is quantization scratch.
+    pub fn infer_into(&self, t_len: usize, input: &[f32], xq: &mut Vec<i16>, out: &mut Vec<f32>) {
+        let (k, n, kp) = (self.w.in_dim(), self.w.out_dim(), self.w.k_pad());
+        ensure(xq, t_len * kp);
+        ensure(out, t_len * n);
+        let inv = 1.0 / self.in_scale;
+        for t in 0..t_len {
+            quantize_row(
+                &input[t * k..(t + 1) * k],
+                inv,
+                &mut xq[t * kp..(t + 1) * kp],
+            );
+        }
+        qgemm(
+            t_len,
+            n,
+            kp,
+            &xq[..t_len * kp],
+            self.w.packed(),
+            self.in_scale,
+            self.w.scales(),
+            Some(&self.bias),
+            out,
+        );
+    }
+}
+
+impl Enc for QuantizedLinear {
+    fn enc(&self, e: &mut Encoder) {
+        e.put(&self.w);
+        e.put(&self.bias);
+        e.put(&self.in_scale);
+    }
+}
+
+impl Dec for QuantizedLinear {
+    fn dec(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            w: d.get()?,
+            bias: d.get()?,
+            in_scale: d.get()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized LSTM stack
+// ---------------------------------------------------------------------------
+
+/// One LSTM direction with int8 `Wx`/`Wh` and fused gate computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedLstmLayer {
+    input_dim: usize,
+    hidden: usize,
+    wx: QuantizedMatrix,
+    wh: QuantizedMatrix,
+    bias: Vec<f32>,
+}
+
+impl QuantizedLstmLayer {
+    /// Quantize a trained [`LstmLayer`].
+    pub fn quantize(store: &ParamStore, layer: &LstmLayer) -> Result<Self, QuantError> {
+        let (wx_id, wh_id, b_id) = layer.params();
+        Ok(Self {
+            input_dim: layer.input_dim,
+            hidden: layer.hidden,
+            wx: QuantizedMatrix::from_weights(store.value(wx_id))?,
+            wh: QuantizedMatrix::from_weights(store.value(wh_id))?,
+            bias: store.value(b_id).as_slice().to_vec(),
+        })
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// One direction over the sequence. `xq` holds the quantized input
+    /// rows (`t_len × k_pad`, scale `x_scale`); hidden states are written
+    /// into `out` at `[t * out_stride + col_off ..][..hidden]`, re-aligned
+    /// to input order when `reverse`. The gate computation is fused: one
+    /// pass over the pre-activation row produces i/f/g/o, the cell update,
+    /// and the output row without intermediate buffers.
+    #[allow(clippy::too_many_arguments)]
+    fn infer_dir(
+        &self,
+        t_len: usize,
+        xq: &[i16],
+        x_scale: f32,
+        reverse: bool,
+        gates: &mut Vec<f32>,
+        hq: &mut Vec<i16>,
+        h_buf: &mut Vec<f32>,
+        c_buf: &mut Vec<f32>,
+        out: &mut [f32],
+        out_stride: usize,
+        col_off: usize,
+        act: ActTable,
+    ) {
+        let hid = self.hidden;
+        let h4 = 4 * hid;
+        let kp_in = self.wx.k_pad();
+        let kp_h = self.wh.k_pad();
+        ensure(gates, t_len * h4);
+        ensure(hq, kp_h);
+        ensure(h_buf, hid);
+        ensure(c_buf, hid);
+        // One big GEMM computes x·Wx + b for every timestep.
+        qgemm(
+            t_len,
+            h4,
+            kp_in,
+            &xq[..t_len * kp_in],
+            self.wx.packed(),
+            x_scale,
+            self.wx.scales(),
+            Some(&self.bias),
+            gates,
+        );
+        let h = &mut h_buf[..hid];
+        let c = &mut c_buf[..hid];
+        h.fill(0.0);
+        c.fill(0.0);
+        for step in 0..t_len {
+            let t = if reverse { t_len - 1 - step } else { step };
+            let z = &mut gates[t * h4..(t + 1) * h4];
+            if step > 0 {
+                // h is tanh-bounded: static 1/127 scale, no calibration.
+                quantize_row(h, 127.0, &mut hq[..kp_h]);
+                qgemv_acc(
+                    h4,
+                    kp_h,
+                    &hq[..kp_h],
+                    self.wh.packed(),
+                    UNIT_SCALE,
+                    self.wh.scales(),
+                    z,
+                );
+            }
+            for j in 0..hid {
+                let i_g = act.sigmoid(z[j]);
+                let f_g = act.sigmoid(z[hid + j]);
+                let g_g = act.tanh(z[2 * hid + j]);
+                let o_g = act.sigmoid(z[3 * hid + j]);
+                c[j] = f_g * c[j] + i_g * g_g;
+                h[j] = o_g * act.tanh(c[j]);
+            }
+            out[t * out_stride + col_off..t * out_stride + col_off + hid].copy_from_slice(h);
+        }
+    }
+}
+
+impl Enc for QuantizedLstmLayer {
+    fn enc(&self, e: &mut Encoder) {
+        e.put(&self.input_dim);
+        e.put(&self.hidden);
+        e.put(&self.wx);
+        e.put(&self.wh);
+        e.put(&self.bias);
+    }
+}
+
+impl Dec for QuantizedLstmLayer {
+    fn dec(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            input_dim: d.get()?,
+            hidden: d.get()?,
+            wx: d.get()?,
+            wh: d.get()?,
+            bias: d.get()?,
+        })
+    }
+}
+
+/// Both directions of one BiLSTM layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedBiLstmLayer {
+    fwd: QuantizedLstmLayer,
+    bwd: QuantizedLstmLayer,
+}
+
+impl QuantizedBiLstmLayer {
+    /// Quantize a trained [`BiLstmLayer`].
+    pub fn quantize(store: &ParamStore, layer: &BiLstmLayer) -> Result<Self, QuantError> {
+        Ok(Self {
+            fwd: QuantizedLstmLayer::quantize(store, &layer.fwd)?,
+            bwd: QuantizedLstmLayer::quantize(store, &layer.bwd)?,
+        })
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.fwd.input_dim
+    }
+
+    /// Output width (`2 × hidden`).
+    pub fn out_dim(&self) -> usize {
+        2 * self.fwd.hidden
+    }
+}
+
+impl Enc for QuantizedBiLstmLayer {
+    fn enc(&self, e: &mut Encoder) {
+        e.put(&self.fwd);
+        e.put(&self.bwd);
+    }
+}
+
+impl Dec for QuantizedBiLstmLayer {
+    fn dec(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            fwd: d.get()?,
+            bwd: d.get()?,
+        })
+    }
+}
+
+/// The quantized stacked-BiLSTM encoder: the int8 counterpart of
+/// [`StackedBiLstm::infer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedStackedBiLstm {
+    layers: Vec<QuantizedBiLstmLayer>,
+    input_scale: f32,
+}
+
+impl QuantizedStackedBiLstm {
+    /// Quantize a trained stack. `input_scale` is the calibrated static
+    /// scale of the layer-0 inputs (see [`calibrate_input_scale`]); every
+    /// deeper layer consumes tanh-bounded activations at [`UNIT_SCALE`].
+    pub fn quantize(
+        store: &ParamStore,
+        stack: &StackedBiLstm,
+        input_scale: f32,
+    ) -> Result<Self, QuantError> {
+        let layers = stack
+            .layers()
+            .iter()
+            .map(|l| QuantizedBiLstmLayer::quantize(store, l))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            layers,
+            input_scale,
+        })
+    }
+
+    /// Input width of the first layer.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.input_dim())
+    }
+
+    /// Output width per timestep (`2 × hidden`).
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.out_dim())
+    }
+
+    /// Number of stacked layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The calibrated layer-0 input scale.
+    pub fn input_scale(&self) -> f32 {
+        self.input_scale
+    }
+
+    /// Run the stack in place: input is read from `arena.io_a`
+    /// (`t_len × input_dim`, row-major) and the final activations are left
+    /// in `arena.io_a` (`t_len × out_dim`). Allocation-free once the arena
+    /// has grown to this shape.
+    pub fn infer_in_place(&self, t_len: usize, arena: &mut ScratchArena) {
+        if t_len == 0 {
+            return;
+        }
+        let act = ActTable::get();
+        let mut x_scale = self.input_scale;
+        for layer in &self.layers {
+            let w_in = layer.input_dim();
+            let w_out = layer.out_dim();
+            let kp = layer.fwd.wx.k_pad();
+            ensure(&mut arena.xq, t_len * kp);
+            ensure(&mut arena.io_b, t_len * w_out);
+            let inv = 1.0 / x_scale;
+            for t in 0..t_len {
+                quantize_row(
+                    &arena.io_a[t * w_in..(t + 1) * w_in],
+                    inv,
+                    &mut arena.xq[t * kp..(t + 1) * kp],
+                );
+            }
+            let hid = layer.fwd.hidden;
+            for (dir, reverse, off) in [(&layer.fwd, false, 0), (&layer.bwd, true, hid)] {
+                dir.infer_dir(
+                    t_len,
+                    &arena.xq,
+                    x_scale,
+                    reverse,
+                    &mut arena.gates,
+                    &mut arena.hq,
+                    &mut arena.h,
+                    &mut arena.c,
+                    &mut arena.io_b,
+                    w_out,
+                    off,
+                    act,
+                );
+            }
+            std::mem::swap(&mut arena.io_a, &mut arena.io_b);
+            x_scale = UNIT_SCALE;
+        }
+    }
+}
+
+impl Enc for QuantizedStackedBiLstm {
+    fn enc(&self, e: &mut Encoder) {
+        e.put(&self.layers);
+        e.put(&self.input_scale);
+    }
+}
+
+impl Dec for QuantizedStackedBiLstm {
+    fn dec(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            layers: d.get()?,
+            input_scale: d.get()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Initializer;
+
+    fn sample_matrix(rows: usize, cols: usize, seed: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r * 31 + c * 7 + seed) as f32 * 0.137).sin() * (1.0 + c as f32 * 0.01)
+        })
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_per_channel() {
+        let w = sample_matrix(23, 17, 3);
+        let q = QuantizedMatrix::from_weights(&w).unwrap();
+        let back = q.dequantize();
+        for j in 0..17 {
+            // Symmetric rounding: error is at most half a quantization step.
+            let bound = q.scales()[j] * 0.5 + 1e-7;
+            for k in 0..23 {
+                let err = (w.get(k, j) - back.get(k, j)).abs();
+                assert!(err <= bound, "channel {j} row {k}: {err} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_channel_quantizes_cleanly() {
+        let mut w = sample_matrix(5, 3, 0);
+        for k in 0..5 {
+            w.set(k, 1, 0.0);
+        }
+        let q = QuantizedMatrix::from_weights(&w).unwrap();
+        let back = q.dequantize();
+        for k in 0..5 {
+            assert_eq!(back.get(k, 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn non_finite_weights_rejected() {
+        let mut w = sample_matrix(4, 4, 0);
+        w.set(2, 2, f32::NAN);
+        assert!(matches!(
+            QuantizedMatrix::from_weights(&w),
+            Err(QuantError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn calibration_scale() {
+        let rows: Vec<Vec<f32>> = vec![vec![0.5, -2.0], vec![1.0, 0.0]];
+        let s = calibrate_input_scale(rows.iter().map(|r| r.as_slice())).unwrap();
+        assert!((s - 2.0 / 127.0).abs() < 1e-9);
+        assert!(matches!(
+            calibrate_input_scale(std::iter::empty()),
+            Err(QuantError::EmptyCalibration)
+        ));
+        let bad = [f32::INFINITY];
+        assert!(matches!(
+            calibrate_input_scale([&bad[..]]),
+            Err(QuantError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn quantized_linear_tracks_f32() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(7);
+        let lin = Linear::new(&mut store, &mut init, 12, 5);
+        let x = sample_matrix(6, 12, 11).map(|v| v * 0.8);
+        let scale = calibrate_input_scale([x.as_slice()]).unwrap();
+        let q = QuantizedLinear::quantize(&store, &lin, scale).unwrap();
+        let f32_out = lin.infer(&store, &x);
+        let mut xq = Vec::new();
+        let mut out = Vec::new();
+        q.infer_into(6, x.as_slice(), &mut xq, &mut out);
+        for (i, (&a, &b)) in f32_out.as_slice().iter().zip(&out).enumerate() {
+            assert!((a - b).abs() < 0.05, "elem {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_stack_tracks_f32_infer() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(17);
+        let stack = StackedBiLstm::new(&mut store, &mut init, 3, 5, 2);
+        let data: Vec<Vec<f32>> = (0..9)
+            .map(|t| (0..3).map(|d| ((t * 3 + d) as f32 * 0.31).sin()).collect())
+            .collect();
+        let mut xs = Matrix::zeros(9, 3);
+        for (t, row) in data.iter().enumerate() {
+            xs.row_mut(t).copy_from_slice(row);
+        }
+        let reference = stack.infer(&store, &xs);
+
+        let scale = calibrate_input_scale(data.iter().map(|r| r.as_slice())).unwrap();
+        let q = QuantizedStackedBiLstm::quantize(&store, &stack, scale).unwrap();
+        assert_eq!(q.out_dim(), 10);
+        let mut arena = ScratchArena::new();
+        ensure(&mut arena.io_a, 9 * 3);
+        arena.io_a[..9 * 3].copy_from_slice(xs.as_slice());
+        q.infer_in_place(9, &mut arena);
+        let mut max_err = 0.0_f32;
+        for (i, &want) in reference.as_slice().iter().enumerate() {
+            max_err = max_err.max((arena.io_a[i] - want).abs());
+        }
+        assert!(max_err < 0.06, "max hidden-state error {max_err}");
+    }
+
+    #[test]
+    fn empty_sequence_is_noop() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(1);
+        let stack = StackedBiLstm::new(&mut store, &mut init, 2, 3, 1);
+        let q = QuantizedStackedBiLstm::quantize(&store, &stack, UNIT_SCALE).unwrap();
+        let mut arena = ScratchArena::new();
+        q.infer_in_place(0, &mut arena);
+        assert!(arena.io_a.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_inference() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(5);
+        let stack = StackedBiLstm::new(&mut store, &mut init, 3, 4, 2);
+        let q = QuantizedStackedBiLstm::quantize(&store, &stack, 0.01).unwrap();
+        let json = serde_json::to_string(&q).unwrap();
+        let back: QuantizedStackedBiLstm = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn codec_roundtrip_is_exact() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(9);
+        let stack = StackedBiLstm::new(&mut store, &mut init, 4, 6, 3);
+        let q = QuantizedStackedBiLstm::quantize(&store, &stack, 0.02).unwrap();
+        let mut e = Encoder::new();
+        e.put(&q);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back: QuantizedStackedBiLstm = d.get().unwrap();
+        d.finish().unwrap();
+        assert_eq!(q, back);
+
+        let lin = Linear::new(&mut store, &mut init, 8, 2);
+        let ql = QuantizedLinear::quantize(&store, &lin, UNIT_SCALE).unwrap();
+        let mut e = Encoder::new();
+        e.put(&ql);
+        let bytes = e.into_bytes();
+        let back: QuantizedLinear = Decoder::new(&bytes).get().unwrap();
+        assert_eq!(ql, back);
+    }
+
+    #[test]
+    fn steady_state_reuses_arena_capacity() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(2);
+        let stack = StackedBiLstm::new(&mut store, &mut init, 3, 4, 2);
+        let q = QuantizedStackedBiLstm::quantize(&store, &stack, 0.05).unwrap();
+        let mut arena = ScratchArena::new();
+        let t_len = 6;
+        ensure(&mut arena.io_a, t_len * 3);
+        q.infer_in_place(t_len, &mut arena);
+        let caps = (
+            arena.xq.capacity(),
+            arena.io_a.capacity(),
+            arena.io_b.capacity(),
+            arena.gates.capacity(),
+        );
+        // A second window of the same shape must not grow anything.
+        for _ in 0..3 {
+            q.infer_in_place(t_len, &mut arena);
+            assert_eq!(
+                caps,
+                (
+                    arena.xq.capacity(),
+                    arena.io_a.capacity(),
+                    arena.io_b.capacity(),
+                    arena.gates.capacity(),
+                )
+            );
+        }
+    }
+}

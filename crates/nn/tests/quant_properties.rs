@@ -1,0 +1,130 @@
+//! Property tests for the int8 quantization path: the per-channel
+//! round-trip error bound and int8-vs-f32 inference equivalence hold for
+//! *arbitrary* weights and inputs, not just the unit-test fixtures.
+
+use dlacep_nn::quant::{calibrate_input_scale, QuantizedMatrix, ScratchArena};
+use dlacep_nn::{
+    Initializer, Linear, Matrix, ParamStore, QuantizedLinear, QuantizedStackedBiLstm, StackedBiLstm,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Symmetric per-channel int8: every dequantized weight is within half a
+    // quantization step of the original, per that channel's scale. Every
+    // 9th weight is forced to zero to keep the zero-channel path covered.
+    #[test]
+    fn roundtrip_error_bounded_per_channel(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        raw in prop::collection::vec(-4.0f32..4.0, 12 * 12),
+    ) {
+        let w = Matrix::from_fn(rows, cols, |i, j| {
+            let k = i * cols + j;
+            if k % 9 == 0 { 0.0 } else { raw[k] }
+        });
+        let q = QuantizedMatrix::from_weights(&w).unwrap();
+        let back = q.dequantize();
+        for j in 0..cols {
+            let half_step = q.scales()[j] * 0.5 + 1e-7;
+            for i in 0..rows {
+                let (orig, deq) = (w.get(i, j), back.get(i, j));
+                prop_assert!(
+                    (orig - deq).abs() <= half_step,
+                    "channel {}: |{} - {}| > {}", j, orig, deq, half_step
+                );
+            }
+        }
+    }
+
+    // The int8 linear kernel tracks the f32 reference within the error the
+    // two quantization grids (input + per-channel weights) can introduce.
+    #[test]
+    fn quantized_linear_tracks_f32(
+        t_len in 1usize..10,
+        in_dim in 1usize..24,
+        out_dim in 1usize..24,
+        ws in prop::collection::vec(-4.0f32..4.0, 24 * 24 + 24),
+        xs in prop::collection::vec(-2.0f32..2.0, 10 * 24),
+    ) {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(7);
+        let layer = Linear::new(&mut store, &mut init, in_dim, out_dim);
+        // Overwrite the Xavier init with the generated weights.
+        let (w_id, b_id) = layer.params();
+        let mut it = ws.iter().copied();
+        for r in 0..in_dim {
+            for c in 0..out_dim {
+                store.value_mut(w_id).set(r, c, it.next().unwrap());
+            }
+        }
+        for c in 0..out_dim {
+            store.value_mut(b_id).set(0, c, it.next().unwrap());
+        }
+
+        let input: Vec<f32> = xs[..t_len * in_dim].to_vec();
+        let in_scale = calibrate_input_scale(input.chunks(in_dim)).unwrap();
+        let q = QuantizedLinear::quantize(&store, &layer, in_scale).unwrap();
+
+        let x = Matrix::from_fn(t_len, in_dim, |r, c| input[r * in_dim + c]);
+        let reference = layer.infer(&store, &x);
+
+        let mut arena = ScratchArena::new();
+        let mut out = Vec::new();
+        q.infer_into(t_len, &input, &mut arena.xq, &mut out);
+
+        // Error budget: input grid (≤ in_scale/2 per element against
+        // weights ≤ 4) + weight grid (≤ scale_j/2 per term against inputs
+        // ≤ 2), summed over in_dim terms.
+        for r in 0..t_len {
+            for c in 0..out_dim {
+                let budget =
+                    in_dim as f32 * (in_scale * 4.0 + q.weights().scales()[c] * 2.0);
+                let (a, b) = (out[r * out_dim + c], reference.get(r, c));
+                prop_assert!(
+                    (a - b).abs() <= budget + 1e-4,
+                    "({},{}): |{} - {}| > {}", r, c, a, b, budget
+                );
+            }
+        }
+    }
+
+    // End-to-end stacked-BiLSTM agreement on random inputs: the quantized
+    // stack's output stays close to the f32 stack (tanh-bounded activations
+    // keep the error from compounding across layers).
+    #[test]
+    fn quantized_stack_tracks_f32(
+        t_len in 1usize..12,
+        seed in 0u64..1_000_000,
+        xs in prop::collection::vec(-1.5f32..1.5, 12 * 6),
+    ) {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::seeded(seed);
+        let stack = StackedBiLstm::new(&mut store, &mut init, 6, 8, 2);
+
+        let input: Vec<f32> = xs[..t_len * 6].to_vec();
+        let in_scale = calibrate_input_scale(input.chunks(6)).unwrap();
+        let q = QuantizedStackedBiLstm::quantize(&store, &stack, in_scale).unwrap();
+
+        let x = Matrix::from_fn(t_len, 6, |r, c| input[r * 6 + c]);
+        let reference = stack.infer(&store, &x);
+
+        let mut arena = ScratchArena::new();
+        dlacep_nn::quant::ensure(&mut arena.io_a, t_len * 6);
+        arena.io_a[..t_len * 6].copy_from_slice(&input);
+        q.infer_in_place(t_len, &mut arena);
+
+        let out_dim = q.out_dim();
+        prop_assert_eq!(out_dim, 16);
+        for r in 0..t_len {
+            for c in 0..out_dim {
+                let (a, b) = (arena.io_a[r * out_dim + c], reference.get(r, c));
+                prop_assert!(
+                    (a - b).abs() < 0.12,
+                    "({},{}): quant {} vs f32 {}", r, c, a, b
+                );
+            }
+        }
+    }
+}

@@ -80,11 +80,13 @@ fn main() {
         },
         ..RuntimeConfig::default()
     };
-    let mut rt =
-        StreamingDlacep::with_config(pattern.clone(), chaotic, config).expect("pattern compiles");
     // Observe this runtime through its own registry so the snapshot below
     // covers exactly this run.
-    rt.set_obs(Arc::new(Registry::enabled()));
+    let mut rt = StreamingDlacep::builder(pattern.clone(), chaotic)
+        .config(config)
+        .obs(Arc::new(Registry::enabled()))
+        .build()
+        .expect("pattern compiles");
     for ev in live.events() {
         rt.ingest(ev.type_id, ev.ts.0, ev.attrs.clone()).unwrap();
     }
@@ -122,15 +124,10 @@ fn main() {
 
     // 3. Out-of-order feed under the Drop policy: timestamp regressions are
     // shed instead of panicking the stream.
-    let mut rt = StreamingDlacep::with_config(
-        pattern.clone(),
-        OracleFilter::new(pattern.clone()),
-        RuntimeConfig {
-            ooo_policy: OutOfOrderPolicy::Drop,
-            ..RuntimeConfig::default()
-        },
-    )
-    .expect("pattern compiles");
+    let mut rt = StreamingDlacep::builder(pattern.clone(), OracleFilter::new(pattern.clone()))
+        .ooo_policy(OutOfOrderPolicy::Drop)
+        .build()
+        .expect("pattern compiles");
     for ev in live.events() {
         let ts = if ev.id.0 % 11 == 7 {
             ev.ts.0.saturating_sub(3)
@@ -170,15 +167,10 @@ fn main() {
         vec![],
         WindowSpec::Count(64),
     );
-    let mut rt = StreamingDlacep::with_config(
-        burst.clone(),
-        OracleFilter::new(burst),
-        RuntimeConfig {
-            max_partials: Some(4),
-            ..RuntimeConfig::default()
-        },
-    )
-    .expect("pattern compiles");
+    let mut rt = StreamingDlacep::builder(burst.clone(), OracleFilter::new(burst))
+        .max_partials(4)
+        .build()
+        .expect("pattern compiles");
     for i in 0..200u64 {
         let t = if i % 10 == 9 { TypeId(1) } else { TypeId(0) };
         rt.ingest(t, i, vec![0.0]).unwrap();

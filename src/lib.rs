@@ -27,3 +27,29 @@ pub use dlacep_events as events;
 pub use dlacep_nn as nn;
 pub use dlacep_obs as obs;
 pub use dlacep_par as par;
+
+/// One-stop glob import for applications: the core prelude (pipeline,
+/// builders, filters, runtime, quantized fast path) plus the pattern
+/// language and stream types needed to drive it.
+///
+/// ```
+/// use dlacep::prelude::*;
+///
+/// let pattern = Pattern::new(
+///     PatternExpr::Seq(vec![
+///         PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
+///         PatternExpr::event(TypeSet::single(TypeId(1)), "b"),
+///     ]),
+///     vec![],
+///     WindowSpec::Count(4),
+/// );
+/// let dlacep = Dlacep::builder(pattern.clone(), OracleFilter::new(pattern))
+///     .build()
+///     .unwrap();
+/// # let _ = dlacep;
+/// ```
+pub mod prelude {
+    pub use dlacep_cep::{Pattern, PatternExpr, TypeSet};
+    pub use dlacep_core::prelude::*;
+    pub use dlacep_events::{EventStream, OutOfOrderPolicy, PrimitiveEvent, TypeId, WindowSpec};
+}

@@ -79,13 +79,11 @@ fn pipeline_obs_deterministic_across_thread_counts() {
 
     let mut views: Vec<(usize, DeterministicView)> = Vec::new();
     for t in THREADS {
-        let mut dl = Dlacep::with_parallelism(
-            pattern.clone(),
-            OracleFilter::new(pattern.clone()),
-            serial_cep(t),
-        )
-        .unwrap();
-        dl.set_obs(Arc::new(Registry::enabled()));
+        let dl = Dlacep::builder(pattern.clone(), OracleFilter::new(pattern.clone()))
+            .parallelism(serial_cep(t))
+            .obs(Arc::new(Registry::enabled()))
+            .build()
+            .unwrap();
         let report = dl.run(stream.events());
         let snap = report.obs.expect("registry is enabled");
         assert!(
@@ -118,10 +116,11 @@ fn sharded_pipeline_obs_deterministic_across_pool_sizes() {
             min_batch_windows: 1,
             shard_events: 64,
         };
-        let mut dl =
-            Dlacep::with_parallelism(pattern.clone(), OracleFilter::new(pattern.clone()), par)
-                .unwrap();
-        dl.set_obs(Arc::new(Registry::enabled()));
+        let dl = Dlacep::builder(pattern.clone(), OracleFilter::new(pattern.clone()))
+            .parallelism(par)
+            .obs(Arc::new(Registry::enabled()))
+            .build()
+            .unwrap();
         let report = dl.run(stream.events());
         let view = report
             .obs
@@ -148,10 +147,11 @@ fn streaming_runtime_obs_deterministic_across_thread_counts() {
             parallelism: serial_cep(t),
             ..Default::default()
         };
-        let mut rt =
-            StreamingDlacep::with_config(pattern.clone(), OracleFilter::new(pattern.clone()), cfg)
-                .unwrap();
-        rt.set_obs(Arc::new(Registry::enabled()));
+        let mut rt = StreamingDlacep::builder(pattern.clone(), OracleFilter::new(pattern.clone()))
+            .config(cfg)
+            .obs(Arc::new(Registry::enabled()))
+            .build()
+            .unwrap();
         // Uneven chunks so batch boundaries fall mid-window.
         for chunk in stream.events().chunks(97) {
             rt.ingest_batch(chunk).unwrap();
@@ -192,8 +192,11 @@ fn faulting_runtime_obs_deterministic_across_thread_counts() {
         let filter = IdKeyedFaults {
             inner: OracleFilter::new(pattern.clone()),
         };
-        let mut rt = StreamingDlacep::with_config(pattern.clone(), filter, cfg).unwrap();
-        rt.set_obs(Arc::new(Registry::enabled()));
+        let mut rt = StreamingDlacep::builder(pattern.clone(), filter)
+            .config(cfg)
+            .obs(Arc::new(Registry::enabled()))
+            .build()
+            .unwrap();
         for chunk in stream.events().chunks(97) {
             rt.ingest_batch(chunk).unwrap();
         }

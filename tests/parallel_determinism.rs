@@ -141,11 +141,12 @@ fn pipeline_marks_and_matches_identical_across_thread_counts() {
                 min_batch_windows: 1,
                 shard_events: usize::MAX / 2,
             };
-            let dl = Dlacep::with_parallelism(
+            let dl = Dlacep::builder(
                 pattern.clone(),
                 MarkRecorder::new(OracleFilter::new(pattern.clone())),
-                par,
             )
+            .parallelism(par)
+            .build()
             .unwrap();
             let report = dl.run(stream.events());
             let ctx = format!("{name}, threads = {t}");
@@ -180,7 +181,9 @@ fn sharded_pipeline_matches_identical_across_thread_counts() {
             min_batch_windows: 1,
             shard_events: 64,
         };
-        let dl = Dlacep::with_parallelism(pattern.clone(), OracleFilter::new(pattern.clone()), par)
+        let dl = Dlacep::builder(pattern.clone(), OracleFilter::new(pattern.clone()))
+            .parallelism(par)
+            .build()
             .unwrap();
         let report = dl.run(stream.events());
         assert_eq!(
@@ -225,12 +228,11 @@ fn streaming_runtime_identical_across_thread_counts() {
                 },
                 ..Default::default()
             };
-            let mut rt = StreamingDlacep::with_config(
-                pattern.clone(),
-                OracleFilter::new(pattern.clone()),
-                cfg,
-            )
-            .unwrap();
+            let mut rt =
+                StreamingDlacep::builder(pattern.clone(), OracleFilter::new(pattern.clone()))
+                    .config(cfg)
+                    .build()
+                    .unwrap();
             // Uneven chunks so batch boundaries fall mid-window.
             for chunk in stream.events().chunks(97) {
                 rt.ingest_batch(chunk).unwrap();
