@@ -1,8 +1,7 @@
 //! Fluent construction for every DLACEP execution surface.
 //!
-//! The pipeline grew construction variants one orthogonal option at a time
-//! (`with_assembler`, `with_parallelism`, `set_obs`, `with_config`, …) until
-//! combining options meant chaining deprecated setters in the right order.
+//! The pipeline once grew construction variants one orthogonal option at a
+//! time until combining options meant chaining setters in the right order.
 //! The builders collapse that into one chain per surface:
 //!
 //! * [`DlacepBuilder`] — the batch pipeline ([`Dlacep`]);
@@ -43,7 +42,8 @@ use crate::durable::{DurConfig, DurError, DurableDlacep, RecoveryReport};
 use crate::filter::Filter;
 use crate::guard::GuardConfig;
 use crate::pipeline::{Dlacep, DlacepError};
-use crate::runtime::{RuntimeConfig, RuntimeError, StreamingDlacep};
+use crate::retrain::{ModelTrainer, RetrainConfig};
+use crate::runtime::{RuntimeCheckpoint, RuntimeConfig, RuntimeError, StreamingDlacep};
 use dlacep_cep::Pattern;
 use dlacep_dur::Store;
 use dlacep_events::OutOfOrderPolicy;
@@ -129,12 +129,27 @@ impl<F: Filter> DlacepBuilder<F> {
 /// setters and [`StreamingBuilder::config`] write to the same underlying
 /// config, last write wins.
 #[must_use = "builders do nothing until .build() is called"]
-#[derive(Debug)]
 pub struct StreamingBuilder<F: Filter> {
     pattern: Pattern,
     filter: F,
     config: RuntimeConfig,
     obs: Option<Arc<Registry>>,
+    trainer: Option<Box<dyn ModelTrainer<F>>>,
+}
+
+impl<F: Filter + std::fmt::Debug> std::fmt::Debug for StreamingBuilder<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingBuilder")
+            .field("pattern", &self.pattern)
+            .field("filter", &self.filter)
+            .field("config", &self.config)
+            .field("obs", &self.obs)
+            .field(
+                "trainer",
+                &self.trainer.as_ref().map(|_| "<dyn ModelTrainer>"),
+            )
+            .finish()
+    }
 }
 
 impl<F: Filter> StreamingBuilder<F> {
@@ -145,6 +160,7 @@ impl<F: Filter> StreamingBuilder<F> {
             filter,
             config: RuntimeConfig::default(),
             obs: None,
+            trainer: None,
         }
     }
 
@@ -185,6 +201,16 @@ impl<F: Filter> StreamingBuilder<F> {
         self
     }
 
+    /// Enable the self-healing retrain supervisor: on a drift signal,
+    /// `trainer` retrains on the replay buffer and a validated candidate is
+    /// hot-swapped in. Requires [`StreamingBuilder::drift`] (the supervisor
+    /// is armed by the drift signal); `build` rejects one without the other.
+    pub fn retrain(mut self, retrain: RetrainConfig, trainer: Box<dyn ModelTrainer<F>>) -> Self {
+        self.config.retrain = Some(retrain);
+        self.trainer = Some(trainer);
+        self
+    }
+
     /// Partial-match budget for the extractor (default: unbounded).
     pub fn max_partials(mut self, max_partials: usize) -> Self {
         self.config.max_partials = Some(max_partials);
@@ -211,18 +237,49 @@ impl<F: Filter> StreamingBuilder<F> {
 
     /// Validate and construct the runtime.
     pub fn build(self) -> Result<StreamingDlacep<F>, RuntimeError> {
-        StreamingDlacep::with_config_obs(self.pattern, self.filter, self.config, self.obs)
+        StreamingDlacep::with_config_obs_trainer(
+            self.pattern,
+            self.filter,
+            self.config,
+            self.obs,
+            self.trainer,
+        )
+    }
+
+    /// Validate and reconstruct the runtime from a checkpoint instead of a
+    /// cold start. Pattern, filter kind, config (and trainer, when retrain
+    /// is enabled) must match what the checkpointed runtime ran with.
+    pub fn restore(self, ckpt: RuntimeCheckpoint) -> Result<StreamingDlacep<F>, RuntimeError> {
+        StreamingDlacep::restore_with_trainer(
+            self.pattern,
+            self.filter,
+            self.config,
+            self.obs,
+            ckpt,
+            self.trainer,
+        )
     }
 }
 
 /// Builder for the crash-recoverable runtime ([`DurableDlacep`]). Created
 /// via [`StreamingBuilder::durable`].
 #[must_use = "builders do nothing until .build()/.recover() is called"]
-#[derive(Debug)]
 pub struct DurableBuilder<F: Filter, S: Store> {
     inner: StreamingBuilder<F>,
     dur: DurConfig,
     store: S,
+}
+
+impl<F: Filter + std::fmt::Debug, S: Store + std::fmt::Debug> std::fmt::Debug
+    for DurableBuilder<F, S>
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableBuilder")
+            .field("inner", &self.inner)
+            .field("dur", &self.dur)
+            .field("store", &self.store)
+            .finish()
+    }
 }
 
 impl<F: Filter, S: Store> DurableBuilder<F, S> {
@@ -231,26 +288,28 @@ impl<F: Filter, S: Store> DurableBuilder<F, S> {
     /// [`DurableBuilder::recover`] — it handles the empty store as a cold
     /// start, so it is always safe to call instead.
     pub fn build(self) -> Result<DurableDlacep<F, S>, DurError> {
-        DurableDlacep::new(
+        DurableDlacep::new_with_trainer(
             self.inner.pattern,
             self.inner.filter,
             self.inner.config,
             self.dur,
             self.store,
             self.inner.obs,
+            self.inner.trainer,
         )
     }
 
     /// Recover from whatever the store holds (latest checkpoint + WAL
     /// replay), or cold-start on an empty store.
     pub fn recover(self) -> Result<(DurableDlacep<F, S>, RecoveryReport), DurError> {
-        DurableDlacep::recover(
+        DurableDlacep::recover_with_trainer(
             self.inner.pattern,
             self.inner.filter,
             self.inner.config,
             self.dur,
             self.store,
             self.inner.obs,
+            self.inner.trainer,
         )
     }
 }

@@ -7,10 +7,15 @@
 //! same [`Trigger`]/[`Schedule`] language the torn-write harness
 //! ([`dlacep_dur::FailingStore`]) uses for storage death, so filter-fault
 //! tests and crash-sweep tests compose on one injection API.
+//! [`ChaosTrainer`] does the same for the retrain supervisor: it injects
+//! training-job panics, failures, and gate-failing candidates keyed by the
+//! retrain attempt number.
 //! [`out_of_order_timestamps`] generates deterministic disordered arrival
 //! sequences for testing the stream admission policies.
 
 use crate::filter::Filter;
+use crate::retrain::ModelTrainer;
+use dlacep_cep::Pattern;
 use dlacep_dur::{Schedule, Trigger};
 use dlacep_events::PrimitiveEvent;
 use rand::rngs::StdRng;
@@ -177,6 +182,98 @@ impl<F: Filter> Filter for ChaosFilter<F> {
 
     fn name(&self) -> &'static str {
         "chaos"
+    }
+}
+
+/// The injectable training-job fault classes (see [`ChaosTrainer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainFault {
+    /// The training job panics mid-run. The retrain supervisor must catch
+    /// it and convert it into a retryable rejection.
+    Panic,
+    /// The training job returns an error (non-convergence, bad data, …).
+    Fail,
+    /// Training "succeeds" but yields the candidate from
+    /// [`ChaosTrainer::flaky_candidates`] — typically a filter built to
+    /// fail the validation gate, for exercising gate flapping.
+    Flaky,
+}
+
+/// A [`ModelTrainer`] wrapper that injects faults on schedule, keyed by the
+/// retrain **attempt** number. Rules are checked in order; the first trigger
+/// that fires wins; attempts matching no rule are forwarded to the inner
+/// trainer untouched. Encode/decode always delegate.
+pub struct ChaosTrainer<F> {
+    inner: Box<dyn ModelTrainer<F>>,
+    rules: Vec<(Trigger, TrainFault)>,
+    flaky: Option<Box<dyn Fn() -> F + Send + Sync>>,
+}
+
+impl<F: Filter> ChaosTrainer<F> {
+    /// Wrap `inner` with no faults scheduled.
+    pub fn new(inner: Box<dyn ModelTrainer<F>>) -> Self {
+        Self {
+            inner,
+            rules: Vec::new(),
+            flaky: None,
+        }
+    }
+
+    /// Inject `fault` on attempt `attempt` (0-based).
+    pub fn fault_at(mut self, attempt: u64, fault: TrainFault) -> Self {
+        self.rules.push((Trigger::At(attempt), fault));
+        self
+    }
+
+    /// Inject `fault` on every attempt from `attempt` (0-based) onward.
+    pub fn fault_from(mut self, attempt: u64, fault: TrainFault) -> Self {
+        self.rules.push((Trigger::From(attempt), fault));
+        self
+    }
+
+    /// Candidate factory for [`TrainFault::Flaky`] attempts.
+    pub fn flaky_candidates(mut self, factory: impl Fn() -> F + Send + Sync + 'static) -> Self {
+        self.flaky = Some(Box::new(factory));
+        self
+    }
+
+    fn fault_for(&self, attempt: u64) -> Option<TrainFault> {
+        self.rules
+            .iter()
+            .find(|(trigger, _)| trigger.fires(attempt))
+            .map(|&(_, fault)| fault)
+    }
+}
+
+impl<F: Filter> ModelTrainer<F> for ChaosTrainer<F> {
+    fn retrain(
+        &self,
+        pattern: &Pattern,
+        windows: &[Vec<PrimitiveEvent>],
+        attempt: u64,
+    ) -> Result<F, String> {
+        match self.fault_for(attempt) {
+            Some(TrainFault::Panic) => {
+                panic!("chaos: injected training panic at attempt {attempt}")
+            }
+            Some(TrainFault::Fail) => Err(format!(
+                "chaos: injected training failure at attempt {attempt}"
+            )),
+            Some(TrainFault::Flaky) => {
+                Ok(self.flaky.as_ref().expect(
+                    "TrainFault::Flaky scheduled without a flaky_candidates factory",
+                )())
+            }
+            None => self.inner.retrain(pattern, windows, attempt),
+        }
+    }
+
+    fn encode(&self, filter: &F) -> Vec<u8> {
+        self.inner.encode(filter)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<F, String> {
+        self.inner.decode(bytes)
     }
 }
 

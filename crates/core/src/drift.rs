@@ -170,6 +170,19 @@ impl DriftMonitor {
         self.ema = None;
         self.consecutive_out = 0;
     }
+
+    /// Override the baseline without touching the trajectory. Restore path
+    /// only: [`DriftMonitorState`] excludes the config, so a monitor that
+    /// was rebaselined mid-run gets its effective baseline re-applied after
+    /// `import_state`.
+    pub fn set_baseline_rate(&mut self, baseline_rate: f64) {
+        self.config.baseline_rate = baseline_rate;
+    }
+
+    /// The effective baseline marking rate (post-rebaseline, if any).
+    pub fn baseline_rate(&self) -> f64 {
+        self.config.baseline_rate
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@
 //! deduplicate on the consumer side.
 
 use crate::filter::Filter;
+use crate::retrain::{ModelTrainer, RetrainCheckpoint, RetrainState};
 use crate::runtime::{
     ModeCause, ModeTransition, RuntimeCheckpoint, RuntimeConfig, RuntimeError, RuntimeMode,
     RuntimeReport, StreamingDlacep,
@@ -38,8 +39,8 @@ use crate::{BreakerState, GuardStats};
 use crate::{DriftMonitorState, GuardState};
 use dlacep_cep::Pattern;
 use dlacep_dur::{
-    load_latest_checkpoint, prune_checkpoints, write_checkpoint, CodecError, Dec, Decoder, Enc,
-    Encoder, Store, Wal, WalConfig, WalError,
+    load_latest_checkpoint, load_latest_model, prune_checkpoints, prune_models, publish_model,
+    write_checkpoint, CodecError, Dec, Decoder, Enc, Encoder, Store, Wal, WalConfig, WalError,
 };
 use dlacep_events::{AttrValue, EventId, TypeId};
 use dlacep_obs::{Counter, Registry};
@@ -66,6 +67,9 @@ pub struct DurConfig {
     /// Checkpoints retained after each new one (≥ 1). Older checkpoints and
     /// the WAL segments below the oldest retained one are pruned.
     pub keep_checkpoints: usize,
+    /// Registry models retained after each publication (≥ 1). Models below
+    /// the newest `keep_models` versions are pruned.
+    pub keep_models: usize,
 }
 
 impl Default for DurConfig {
@@ -74,6 +78,7 @@ impl Default for DurConfig {
             wal: WalConfig::default(),
             checkpoint_every_events: 1024,
             keep_checkpoints: 2,
+            keep_models: 2,
         }
     }
 }
@@ -147,6 +152,13 @@ pub struct RecoveryReport {
     /// uninterrupted-run journal entries from this sequence on must equal
     /// the recovered run's journal.
     pub journal_watermark: u64,
+    /// Active retrained-model version after recovery (checkpoint redeploy
+    /// plus WAL replay); `None` when no validated swap has happened yet or
+    /// retraining is not configured.
+    pub model_version: Option<u64>,
+    /// Torn/corrupt registry files skipped while scanning for the newest
+    /// published model.
+    pub models_skipped: u64,
 }
 
 /// One WAL record: the offered event's payload. The id is *not* logged —
@@ -186,6 +198,7 @@ pub struct DurableDlacep<F: Filter, S: Store> {
     ckpt_bytes: Counter,
     wal_replayed: Counter,
     recovery_truncated: Counter,
+    model_bytes: Counter,
 }
 
 impl<F: Filter, S: Store> DurableDlacep<F, S> {
@@ -201,11 +214,32 @@ impl<F: Filter, S: Store> DurableDlacep<F, S> {
         filter: F,
         config: RuntimeConfig,
         dur: DurConfig,
-        mut store: S,
+        store: S,
         registry: Option<Arc<Registry>>,
     ) -> Result<Self, DurError> {
+        Self::new_with_trainer(pattern, filter, config, dur, store, registry, None)
+    }
+
+    /// [`DurableDlacep::new`] with a retrain trainer attached. Required
+    /// whenever [`RuntimeConfig::retrain`] is set: accepted models are
+    /// published to the store's versioned registry as they are swapped in.
+    pub fn new_with_trainer(
+        pattern: Pattern,
+        filter: F,
+        config: RuntimeConfig,
+        dur: DurConfig,
+        mut store: S,
+        registry: Option<Arc<Registry>>,
+        trainer: Option<Box<dyn ModelTrainer<F>>>,
+    ) -> Result<Self, DurError> {
         let (wal, _) = Wal::open(&mut store, dur.wal)?;
-        let rt = StreamingDlacep::with_config_obs(pattern, filter, config, registry.clone())?;
+        let rt = StreamingDlacep::with_config_obs_trainer(
+            pattern,
+            filter,
+            config,
+            registry.clone(),
+            trainer,
+        )?;
         let reg = registry.unwrap_or_else(dlacep_obs::global);
         Ok(Self::assemble(rt, wal, store, dur, &reg))
     }
@@ -226,6 +260,7 @@ impl<F: Filter, S: Store> DurableDlacep<F, S> {
             ckpt_bytes: registry.counter("dur.checkpoint.bytes"),
             wal_replayed: registry.counter("dur.wal.replayed"),
             recovery_truncated: registry.counter("dur.recovery.truncated_tail"),
+            model_bytes: registry.counter("dur.model.bytes"),
         }
     }
 
@@ -244,8 +279,26 @@ impl<F: Filter, S: Store> DurableDlacep<F, S> {
         filter: F,
         config: RuntimeConfig,
         dur: DurConfig,
+        store: S,
+        registry: Option<Arc<Registry>>,
+    ) -> Result<(Self, RecoveryReport), DurError> {
+        Self::recover_with_trainer(pattern, filter, config, dur, store, registry, None)
+    }
+
+    /// [`DurableDlacep::recover`] with a retrain trainer attached. Required
+    /// whenever [`RuntimeConfig::retrain`] is set: the trainer decodes the
+    /// checkpointed active model (so marking resumes on the same weights)
+    /// and an interrupted in-flight retrain resumes at its checkpointed
+    /// schedule during WAL replay. Models accepted during replay that the
+    /// crashed run had already published are re-published idempotently.
+    pub fn recover_with_trainer(
+        pattern: Pattern,
+        filter: F,
+        config: RuntimeConfig,
+        dur: DurConfig,
         mut store: S,
         registry: Option<Arc<Registry>>,
+        trainer: Option<Box<dyn ModelTrainer<F>>>,
     ) -> Result<(Self, RecoveryReport), DurError> {
         let (wal, wal_report) = Wal::open(&mut store, dur.wal)?;
         let scan = load_latest_checkpoint(&store)?;
@@ -259,11 +312,15 @@ impl<F: Filter, S: Store> DurableDlacep<F, S> {
             Some((seq, payload)) => {
                 let ckpt = decode_checkpoint(&payload).map_err(DurError::Corrupt)?;
                 let watermark = ckpt.journal_next_seq;
-                let rt = StreamingDlacep::restore(pattern, filter, config, registry, ckpt)?;
+                let rt = StreamingDlacep::restore_with_trainer(
+                    pattern, filter, config, registry, ckpt, trainer,
+                )?;
                 (rt, Some(seq), watermark)
             }
             None => {
-                let rt = StreamingDlacep::with_config_obs(pattern, filter, config, registry)?;
+                let rt = StreamingDlacep::with_config_obs_trainer(
+                    pattern, filter, config, registry, trainer,
+                )?;
                 (rt, None, 0)
             }
         };
@@ -287,9 +344,15 @@ impl<F: Filter, S: Store> DurableDlacep<F, S> {
             replayed += 1;
         }
         this.wal_replayed.add(replayed);
+        // Models the checkpoint held as unpublished, plus any accepted
+        // during replay. Publication is idempotent, so a crash between the
+        // original publication and the covering checkpoint only causes a
+        // harmless re-publish here.
+        this.publish_pending_models()?;
         let resume_seq = this.wal.next_seq();
         this.offered_since_ckpt = resume_seq - from_seq;
 
+        let models_skipped = load_latest_model(&this.store)?.skipped;
         let report = RecoveryReport {
             checkpoint_seq,
             checkpoints_skipped,
@@ -298,6 +361,8 @@ impl<F: Filter, S: Store> DurableDlacep<F, S> {
             removed_segments: wal_report.removed_segments,
             resume_seq,
             journal_watermark,
+            model_version: this.rt.active_model_version(),
+            models_skipped,
         };
         Ok((this, report))
     }
@@ -325,12 +390,31 @@ impl<F: Filter, S: Store> DurableDlacep<F, S> {
         self.wal.append(&mut self.store, &payload)?;
         self.offered_since_ckpt += 1;
         let id = self.rt.ingest(type_id, ts, attrs);
+        // Publish freshly accepted models before any covering checkpoint:
+        // once a checkpoint records them as drained, the registry must
+        // already hold them.
+        self.publish_pending_models()?;
         if self.cfg.checkpoint_every_events > 0
             && self.offered_since_ckpt >= self.cfg.checkpoint_every_events
         {
             self.checkpoint_now()?;
         }
         id.map_err(DurError::from)
+    }
+
+    /// Drain models accepted by the retrain supervisor into the versioned
+    /// registry (tmp + fsync + rename per model), then prune old versions.
+    fn publish_pending_models(&mut self) -> Result<(), DurError> {
+        let pending = self.rt.take_pending_models();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        for (version, bytes) in &pending {
+            let n = publish_model(&mut self.store, *version, bytes)?;
+            self.model_bytes.add(n);
+        }
+        prune_models(&mut self.store, self.cfg.keep_models)?;
+        Ok(())
     }
 
     /// Force the WAL to stable storage without checkpointing.
@@ -342,6 +426,7 @@ impl<F: Filter, S: Store> DurableDlacep<F, S> {
     /// and prune old checkpoints plus fully-covered WAL segments. Returns
     /// the checkpoint's sequence number (== offered events logged).
     pub fn checkpoint_now(&mut self) -> Result<u64, DurError> {
+        self.publish_pending_models()?;
         self.wal.sync(&mut self.store)?;
         let seq = self.wal.next_seq();
         let payload = encode_checkpoint(&self.rt.checkpoint());
@@ -498,6 +583,7 @@ impl Enc for ModeCause {
             ModeCause::Recovered => 3,
             ModeCause::Drift => 4,
             ModeCause::Rebaselined => 5,
+            ModeCause::Swapped => 6,
         });
     }
 }
@@ -511,6 +597,7 @@ impl Dec for ModeCause {
             3 => ModeCause::Recovered,
             4 => ModeCause::Drift,
             5 => ModeCause::Rebaselined,
+            6 => ModeCause::Swapped,
             t => return Err(CodecError::Malformed(format!("mode cause tag {t}"))),
         })
     }
@@ -530,6 +617,96 @@ impl Dec for ModeTransition {
             window: d.take_u64()?,
             mode: d.get()?,
             cause: d.get()?,
+        })
+    }
+}
+
+impl Enc for RetrainState {
+    fn enc(&self, e: &mut Encoder) {
+        match self {
+            RetrainState::Idle => e.put_u8(0),
+            RetrainState::Waiting { resume_at, attempt } => {
+                e.put_u8(1);
+                e.put_u64(*resume_at);
+                e.put_u32(*attempt);
+            }
+            RetrainState::Exhausted => e.put_u8(2),
+        }
+    }
+}
+
+impl Dec for RetrainState {
+    fn dec(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(match d.take_u8()? {
+            0 => RetrainState::Idle,
+            1 => RetrainState::Waiting {
+                resume_at: d.take_u64()?,
+                attempt: d.take_u32()?,
+            },
+            2 => RetrainState::Exhausted,
+            t => return Err(CodecError::Malformed(format!("retrain state tag {t}"))),
+        })
+    }
+}
+
+// Model bytes are opaque `Vec<u8>` blobs (the trainer's own wire format),
+// so they are framed manually: u64 length + raw bytes.
+fn enc_model(e: &mut Encoder, (version, bytes): &(u64, Vec<u8>)) {
+    e.put_u64(*version);
+    e.put_u64(bytes.len() as u64);
+    e.put_bytes(bytes);
+}
+
+fn dec_model(d: &mut Decoder<'_>) -> Result<(u64, Vec<u8>), CodecError> {
+    let version = d.take_u64()?;
+    let len = usize::try_from(d.take_u64()?)
+        .map_err(|_| CodecError::Malformed("model length exceeds usize".into()))?;
+    Ok((version, d.take_bytes(len)?.to_vec()))
+}
+
+impl Enc for RetrainCheckpoint {
+    fn enc(&self, e: &mut Encoder) {
+        e.put(&self.state);
+        e.put(&self.replay);
+        e.put_u64(self.next_version);
+        match &self.active_model {
+            Some(m) => {
+                e.put_u8(1);
+                enc_model(e, m);
+            }
+            None => e.put_u8(0),
+        }
+        e.put_u64(self.pending_models.len() as u64);
+        for m in &self.pending_models {
+            enc_model(e, m);
+        }
+        e.put(&self.baseline_override);
+    }
+}
+
+impl Dec for RetrainCheckpoint {
+    fn dec(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let state = d.get()?;
+        let replay = d.get()?;
+        let next_version = d.take_u64()?;
+        let active_model = match d.take_u8()? {
+            0 => None,
+            1 => Some(dec_model(d)?),
+            t => return Err(CodecError::Malformed(format!("active model tag {t}"))),
+        };
+        let n = usize::try_from(d.take_u64()?)
+            .map_err(|_| CodecError::Malformed("pending model count exceeds usize".into()))?;
+        let mut pending_models = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            pending_models.push(dec_model(d)?);
+        }
+        Ok(RetrainCheckpoint {
+            state,
+            replay,
+            next_version,
+            active_model,
+            pending_models,
+            baseline_override: d.get()?,
         })
     }
 }
@@ -561,6 +738,7 @@ impl Enc for RuntimeCheckpoint {
         e.put(&self.matches);
         e.put_u64(self.journaled_sheds);
         e.put_u64(self.journal_next_seq);
+        e.put(&self.retrain);
     }
 }
 
@@ -592,6 +770,9 @@ impl Dec for RuntimeCheckpoint {
             matches: d.get()?,
             journaled_sheds: d.take_u64()?,
             journal_next_seq: d.take_u64()?,
+            // Appended in a later format revision: checkpoints written
+            // before the retrain supervisor existed simply end here.
+            retrain: if d.remaining() == 0 { None } else { d.get()? },
         })
     }
 }

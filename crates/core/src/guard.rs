@@ -215,6 +215,18 @@ impl<F: Filter> FilterGuard<F> {
         }
     }
 
+    /// Atomically replace the wrapped filter, returning the old one. Used
+    /// by the retrain supervisor for a validated hot swap: the new filter
+    /// starts with a clean consecutive-fault count (its faults are not the
+    /// old model's faults), while the breaker state and the cumulative
+    /// stats are deliberately left untouched — a swap performed while the
+    /// breaker is Open still has to pass the half-open probe like any other
+    /// recovery.
+    pub fn swap_filter(&mut self, new: F) -> F {
+        self.consecutive_faults = 0;
+        std::mem::replace(&mut self.filter, new)
+    }
+
     /// Re-inject a previously exported breaker trajectory.
     pub fn import_state(&mut self, state: GuardState) {
         self.state = state.state;
@@ -574,6 +586,42 @@ mod tests {
             },
         );
         assert!(lax.mark(w.events()).fault.is_none());
+    }
+
+    #[test]
+    fn swap_filter_resets_consecutive_faults_but_not_breaker() {
+        let flaky = Flaky {
+            faulty_calls: 1.into(),
+            kind: "panic",
+        };
+        let mut g = FilterGuard::new(flaky, cfg(2, 3));
+        let w = window(4);
+        g.mark(w.events()); // one fault, below the threshold of 2
+        assert_eq!(g.stats().panics, 1);
+        let _old = g.swap_filter(Flaky {
+            faulty_calls: 1.into(),
+            kind: "panic",
+        });
+        // The new filter's first fault starts a fresh consecutive count:
+        // it must NOT trip a threshold-2 breaker.
+        g.mark(w.events());
+        assert_eq!(g.state(), BreakerState::Closed);
+        assert_eq!(g.stats().panics, 2, "cumulative stats survive the swap");
+
+        // Swapping while Open does not silently close the breaker.
+        g.mark(w.events()); // healthy (faulty_calls exhausted)... trip it:
+        let _old = g.swap_filter(Flaky {
+            faulty_calls: 2.into(),
+            kind: "panic",
+        });
+        g.mark(w.events());
+        g.mark(w.events());
+        assert_eq!(g.state(), BreakerState::Open);
+        let _old = g.swap_filter(Flaky {
+            faulty_calls: 0.into(),
+            kind: "panic",
+        });
+        assert_eq!(g.state(), BreakerState::Open, "swap keeps breaker state");
     }
 
     #[test]

@@ -62,12 +62,13 @@ pub mod objective;
 pub mod persist;
 pub mod pipeline;
 pub mod quantized;
+pub mod retrain;
 pub mod runtime;
 pub mod trainer;
 
 pub use assembler::{AssemblerConfig, AssemblerError};
 pub use builder::{DlacepBuilder, DurableBuilder, StreamingBuilder};
-pub use chaos::{out_of_order_timestamps, ChaosFault, ChaosFilter};
+pub use chaos::{out_of_order_timestamps, ChaosFault, ChaosFilter, ChaosTrainer, TrainFault};
 pub use dlacep_par::{Parallelism, PoolStats};
 pub use drift::{DriftConfig, DriftMonitor, DriftMonitorState, DriftState};
 pub use durable::{
@@ -86,9 +87,13 @@ pub use persist::{
 };
 pub use pipeline::{Dlacep, DlacepError, DlacepReport};
 pub use quantized::{QuantizeError, QuantizedEventNetwork, QuantizedFilter};
+pub use retrain::{
+    train_on_windows, EventNetRetrainer, GateReport, ModelTrainer, QuantizedRetrainer,
+    RetrainCheckpoint, RetrainConfig, RetrainState,
+};
 pub use runtime::{
-    ModeCause, ModeTransition, RuntimeCheckpoint, RuntimeConfig, RuntimeError, RuntimeMode,
-    RuntimeReport, StreamingDlacep,
+    ModeCause, ModeTransition, RetrainReport, RuntimeCheckpoint, RuntimeConfig, RuntimeError,
+    RuntimeMode, RuntimeReport, StreamingDlacep,
 };
 pub use trainer::{
     train_event_filter, train_window_filter, EventNetTraining, TrainConfig, WindowNetTraining,
@@ -108,6 +113,9 @@ pub mod prelude {
     pub use crate::objective::AcepObjective;
     pub use crate::pipeline::{Dlacep, DlacepError, DlacepReport};
     pub use crate::quantized::{QuantizeError, QuantizedEventNetwork, QuantizedFilter};
+    pub use crate::retrain::{
+        EventNetRetrainer, ModelTrainer, QuantizedRetrainer, RetrainConfig, RetrainState,
+    };
     pub use crate::runtime::{
         RuntimeConfig, RuntimeError, RuntimeMode, RuntimeReport, StreamingDlacep,
     };

@@ -84,21 +84,68 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
-fn save_bundle<T: Serialize>(bundle: &T, path: impl AsRef<Path>) -> Result<(), PersistError> {
+fn encode_bundle<T: Serialize>(bundle: &T) -> Result<Vec<u8>, PersistError> {
     let json = serde_json::to_string(bundle)?;
-    let framed = encode_frame(BUNDLE_MAGIC, BUNDLE_VERSION, json.as_bytes());
+    Ok(encode_frame(BUNDLE_MAGIC, BUNDLE_VERSION, json.as_bytes()))
+}
+
+fn decode_bundle<T: Deserialize>(bytes: &[u8]) -> Result<T, PersistError> {
+    let (_version, payload) =
+        decode_frame(BUNDLE_MAGIC, BUNDLE_VERSION, bytes).map_err(PersistError::Corrupt)?;
+    let json = std::str::from_utf8(payload).map_err(|_| {
+        PersistError::Corrupt(CodecError::Malformed("bundle payload is not UTF-8".into()))
+    })?;
+    Ok(serde_json::from_str(json)?)
+}
+
+fn save_bundle<T: Serialize>(bundle: &T, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let framed = encode_bundle(bundle)?;
     atomic_write_file(path.as_ref(), &framed)?;
     Ok(())
 }
 
 fn load_bundle<T: Deserialize>(path: impl AsRef<Path>) -> Result<T, PersistError> {
     let bytes = std::fs::read(path)?;
+    decode_bundle(&bytes)
+}
+
+/// Encode an event-network filter into the framed `DMDL` byte form written
+/// by [`save_event_filter`], without touching the filesystem. The model
+/// registry stores these bytes as checkpoint and registry payloads.
+pub fn encode_event_filter(filter: &EventNetFilter) -> Result<Vec<u8>, PersistError> {
+    encode_bundle(&EventNetBundle {
+        network: filter.network.clone(),
+        embedder: filter.embedder.clone(),
+        threshold: filter.threshold,
+    })
+}
+
+/// Decode bytes produced by [`encode_event_filter`].
+pub fn decode_event_filter(bytes: &[u8]) -> Result<EventNetFilter, PersistError> {
+    let bundle: EventNetBundle = decode_bundle(bytes)?;
+    Ok(EventNetFilter {
+        network: bundle.network,
+        embedder: bundle.embedder,
+        threshold: bundle.threshold,
+    })
+}
+
+/// Encode a quantized filter into the framed `DMQ8` byte form written by
+/// [`save_quantized_filter`], without touching the filesystem.
+pub fn encode_quantized_filter(filter: &QuantizedFilter) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put(filter);
+    encode_frame(QUANT_MAGIC, QUANT_VERSION, &e.into_bytes())
+}
+
+/// Decode bytes produced by [`encode_quantized_filter`].
+pub fn decode_quantized_filter(bytes: &[u8]) -> Result<QuantizedFilter, PersistError> {
     let (_version, payload) =
-        decode_frame(BUNDLE_MAGIC, BUNDLE_VERSION, &bytes).map_err(PersistError::Corrupt)?;
-    let json = std::str::from_utf8(payload).map_err(|_| {
-        PersistError::Corrupt(CodecError::Malformed("bundle payload is not UTF-8".into()))
-    })?;
-    Ok(serde_json::from_str(json)?)
+        decode_frame(QUANT_MAGIC, QUANT_VERSION, bytes).map_err(PersistError::Corrupt)?;
+    let mut d = Decoder::new(payload);
+    let filter: QuantizedFilter = d.get().map_err(PersistError::Corrupt)?;
+    d.finish().map_err(PersistError::Corrupt)?;
+    Ok(filter)
 }
 
 /// Save an event-network filter.
@@ -158,22 +205,14 @@ pub fn save_quantized_filter(
     filter: &QuantizedFilter,
     path: impl AsRef<Path>,
 ) -> Result<(), PersistError> {
-    let mut e = Encoder::new();
-    e.put(filter);
-    let framed = encode_frame(QUANT_MAGIC, QUANT_VERSION, &e.into_bytes());
-    atomic_write_file(path.as_ref(), &framed)?;
+    atomic_write_file(path.as_ref(), &encode_quantized_filter(filter))?;
     Ok(())
 }
 
 /// Load a quantized filter saved by [`save_quantized_filter`].
 pub fn load_quantized_filter(path: impl AsRef<Path>) -> Result<QuantizedFilter, PersistError> {
     let bytes = std::fs::read(path)?;
-    let (_version, payload) =
-        decode_frame(QUANT_MAGIC, QUANT_VERSION, &bytes).map_err(PersistError::Corrupt)?;
-    let mut d = Decoder::new(payload);
-    let filter: QuantizedFilter = d.get().map_err(PersistError::Corrupt)?;
-    d.finish().map_err(PersistError::Corrupt)?;
-    Ok(filter)
+    decode_quantized_filter(&bytes)
 }
 
 #[cfg(test)]
@@ -276,6 +315,35 @@ mod tests {
             Err(PersistError::Corrupt(_))
         ));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn byte_level_codec_matches_file_form() {
+        let filter = sample_event_filter();
+        let evs = events();
+        // Event filter: in-memory bytes are exactly what save writes.
+        let bytes = encode_event_filter(&filter).unwrap();
+        let path = tmp("bytes_event");
+        save_event_filter(&filter, &path).unwrap();
+        assert_eq!(bytes, std::fs::read(&path).unwrap());
+        let decoded = decode_event_filter(&bytes).unwrap();
+        assert_eq!(filter.mark(&evs), decoded.mark(&evs));
+        let _ = std::fs::remove_file(path);
+
+        // Quantized filter: byte-exact round trip, corruption detected.
+        let q = QuantizedFilter::quantize(&filter, &[&evs]).unwrap();
+        let qb = encode_quantized_filter(&q);
+        assert_eq!(decode_quantized_filter(&qb).unwrap(), q);
+        let mut flipped = qb.clone();
+        flipped[qb.len() / 2] ^= 0x04;
+        assert!(matches!(
+            decode_quantized_filter(&flipped),
+            Err(PersistError::Corrupt(_))
+        ));
+        assert!(
+            matches!(decode_event_filter(&qb), Err(PersistError::Corrupt(_))),
+            "wrong magic is corrupt, not a parse error"
+        );
     }
 
     #[test]

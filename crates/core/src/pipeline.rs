@@ -98,9 +98,9 @@ impl DlacepReport {
 }
 
 /// Cached handles into the pipeline's obs registry, resolved once at
-/// construction (or [`Dlacep::set_obs`]) so the hot loops never touch the
-/// registry's name map. Counter values follow the determinism contract;
-/// the histograms are timing and exempt.
+/// construction so the hot loops never touch the registry's name map.
+/// Counter values follow the determinism contract; the histograms are
+/// timing and exempt.
 struct PipelineObs {
     registry: Arc<Registry>,
     events_total: Counter,
@@ -209,58 +209,6 @@ impl<F: Filter> Dlacep<F> {
             pool,
             obs,
         })
-    }
-
-    /// Build with an explicit assembler configuration.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Dlacep::builder(..).assembler(..).build() instead"
-    )]
-    pub fn with_assembler(
-        pattern: Pattern,
-        filter: F,
-        assembler: AssemblerConfig,
-    ) -> Result<Self, DlacepError> {
-        Self::builder(pattern, filter).assembler(assembler).build()
-    }
-
-    /// Build with the paper-default assembler and an explicit parallel
-    /// execution config.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Dlacep::builder(..).parallelism(..).build() instead"
-    )]
-    pub fn with_parallelism(
-        pattern: Pattern,
-        filter: F,
-        par: Parallelism,
-    ) -> Result<Self, DlacepError> {
-        Self::builder(pattern, filter).parallelism(par).build()
-    }
-
-    /// Replace the parallel execution config, (re)building the pool. A
-    /// config resolving to one thread drops the pool and restores the
-    /// serial path.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure parallelism at construction via Dlacep::builder(..).parallelism(..)"
-    )]
-    pub fn set_parallelism(&mut self, par: Parallelism) {
-        self.par = par;
-        self.pool = par.build_pool_with_obs(&self.obs.registry);
-    }
-
-    /// Redirect this pipeline's metrics, spans, and journal into `registry`
-    /// (construction defaults to [`dlacep_obs::global`]). Rebuilds the pool
-    /// so its `pool.*` metrics land in the same registry. Call before
-    /// `run` — counters accumulated in the previous registry stay there.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the registry at construction via Dlacep::builder(..).obs(..)"
-    )]
-    pub fn set_obs(&mut self, registry: Arc<Registry>) {
-        self.obs = PipelineObs::new(registry);
-        self.pool = self.par.build_pool_with_obs(&self.obs.registry);
     }
 
     /// The active parallel execution config.

@@ -31,11 +31,15 @@
 
 use crate::assembler::AssemblerConfig;
 use crate::drift::{DriftConfig, DriftMonitor, DriftMonitorState, DriftState};
-use crate::filter::Filter;
+use crate::filter::{Filter, OracleFilter};
 use crate::guard::{
     BreakerState, FilterGuard, GuardConfig, GuardState, GuardStats, SpeculativeInvocation,
 };
 use crate::pipeline::DlacepError;
+use crate::retrain::{
+    validate_candidate, GateReport, ModelTrainer, RetrainCheckpoint, RetrainConfig, RetrainRuntime,
+    RetrainState,
+};
 use dlacep_cep::engine::CepEngine;
 use dlacep_cep::plan::Plan;
 use dlacep_cep::{EngineStats, Match, NfaConfig, NfaEngine, Pattern};
@@ -110,6 +114,10 @@ pub struct RuntimeConfig {
     /// ([`StreamingDlacep::ingest_batch`]); the default is serial, which is
     /// byte-identical to the pre-parallel runtime.
     pub parallelism: Parallelism,
+    /// Self-healing drift recovery; `None` (the default) keeps the manual
+    /// `rebaseline` workflow. Requires a model trainer attached via
+    /// [`crate::builder::StreamingBuilder::retrain`].
+    pub retrain: Option<RetrainConfig>,
 }
 
 /// The runtime's effective operating mode.
@@ -137,6 +145,8 @@ pub enum ModeCause {
     Drift,
     /// [`StreamingDlacep::rebaseline`] acknowledged a retrain.
     Rebaselined,
+    /// The retrain supervisor hot-swapped a validated candidate model in.
+    Swapped,
 }
 
 /// One entry of the degradation timeline.
@@ -222,6 +232,23 @@ pub struct RuntimeCheckpoint {
     /// restored run's journal to the uninterrupted run's entries from this
     /// sequence number on.
     pub journal_next_seq: u64,
+    /// Retrain-supervisor state (state machine, replay buffer, model
+    /// lineage), present iff self-healing is configured. A checkpoint taken
+    /// while a retrain is pending restores with the schedule intact, so an
+    /// in-flight retrain interrupted by a crash is resumed at the same
+    /// window boundary.
+    pub retrain: Option<RetrainCheckpoint>,
+}
+
+/// Retrain-supervisor summary carried by [`RuntimeReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrainReport {
+    /// Final supervisor position.
+    pub state: RetrainState,
+    /// Version of the deployed retrained model, if any swap happened.
+    pub active_version: Option<u64>,
+    /// Candidates accepted (validated and swapped) over the run.
+    pub models_accepted: u64,
 }
 
 /// Outcome of a streaming run, extending the batch report with degradation
@@ -255,6 +282,8 @@ pub struct RuntimeReport {
     pub final_mode: RuntimeMode,
     /// Final drift verdict, if drift detection was enabled.
     pub drift_state: Option<DriftState>,
+    /// Retrain-supervisor summary, if self-healing was configured.
+    pub retrain: Option<RetrainReport>,
     /// Extractor work counters (includes `partials_shed` under a budget).
     pub extractor_stats: EngineStats,
     /// Cumulative scheduling counters of the runtime's pool; `None` under a
@@ -297,7 +326,13 @@ struct RuntimeObs {
     guard_faults: Counter,
     breaker_trips: Counter,
     recoveries: Counter,
+    retrain_started: Counter,
+    retrain_retried: Counter,
+    retrain_validated: Counter,
+    retrain_rejected: Counter,
+    retrain_swapped: Counter,
     window_nanos: Histogram,
+    retrain_gate_nanos: Histogram,
     cep_events_processed: Counter,
     cep_partials_created: Counter,
     cep_partials_shed: Counter,
@@ -321,7 +356,13 @@ impl RuntimeObs {
             guard_faults: registry.counter("guard.faults"),
             breaker_trips: registry.counter("guard.breaker_trips"),
             recoveries: registry.counter("guard.recoveries"),
+            retrain_started: registry.counter("runtime.retrain_started"),
+            retrain_retried: registry.counter("runtime.retrain_retried"),
+            retrain_validated: registry.counter("runtime.retrain_validated"),
+            retrain_rejected: registry.counter("runtime.retrain_rejected"),
+            retrain_swapped: registry.counter("runtime.retrain_swapped"),
             window_nanos: registry.histogram("runtime.window_nanos"),
+            retrain_gate_nanos: registry.histogram("runtime.retrain_gate_nanos"),
             cep_events_processed: registry.counter("cep.events_processed"),
             cep_partials_created: registry.counter("cep.partials_created"),
             cep_partials_shed: registry.counter("cep.partials_shed"),
@@ -390,6 +431,11 @@ pub struct StreamingDlacep<F: Filter> {
     drift: Option<DriftMonitor>,
     drift_fallback: bool,
     retrain_signaled: bool,
+    retrain: Option<RetrainRuntime<F>>,
+    /// Bumped on every hot swap. [`StreamingDlacep::ingest_batch`] uses it
+    /// to discard speculative filter invocations computed against a model
+    /// that was swapped out mid-batch.
+    filter_generation: u64,
     /// Admitted events not yet relayed/discarded, starting at position
     /// `base`; `marks` is position-aligned with `buf`.
     buf: VecDeque<PrimitiveEvent>,
@@ -438,7 +484,21 @@ impl<F: Filter> StreamingDlacep<F> {
         config: RuntimeConfig,
         registry: Option<Arc<Registry>>,
     ) -> Result<Self, RuntimeError> {
+        Self::with_config_obs_trainer(pattern, filter, config, registry, None)
+    }
+
+    /// Construction path behind [`crate::builder::StreamingBuilder::build`]
+    /// when a model trainer may be attached: pairs `config.retrain` with the
+    /// trainer (both or neither) before the usual registry installation.
+    pub(crate) fn with_config_obs_trainer(
+        pattern: Pattern,
+        filter: F,
+        config: RuntimeConfig,
+        registry: Option<Arc<Registry>>,
+        trainer: Option<Box<dyn ModelTrainer<F>>>,
+    ) -> Result<Self, RuntimeError> {
         let mut rt = Self::build(pattern, filter, config)?;
+        rt.attach_trainer(trainer)?;
         if let Some(reg) = registry {
             rt.obs = RuntimeObs::new(reg);
             rt.pool = rt.par.build_pool_with_obs(&rt.obs.registry);
@@ -446,21 +506,31 @@ impl<F: Filter> StreamingDlacep<F> {
         Ok(rt.with_initial_mode())
     }
 
-    /// Build with an explicit configuration. The pattern is compiled once
-    /// here; ingestion cannot fail on it later.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use StreamingDlacep::builder(..).config(..).build() instead"
-    )]
-    pub fn with_config(
-        pattern: Pattern,
-        filter: F,
-        config: RuntimeConfig,
-    ) -> Result<Self, RuntimeError> {
-        Self::with_config_obs(pattern, filter, config, None)
+    /// Pair `config.retrain` with a trainer: self-healing needs both the
+    /// policy and a way to produce candidates, so a lone half is a
+    /// configuration error, not a silent no-op.
+    fn attach_trainer(
+        &mut self,
+        trainer: Option<Box<dyn ModelTrainer<F>>>,
+    ) -> Result<(), RuntimeError> {
+        match (self.config.retrain, trainer) {
+            (Some(cfg), Some(t)) => {
+                self.retrain = Some(RetrainRuntime::new(cfg, t));
+                Ok(())
+            }
+            (Some(_), None) => Err(RuntimeError::Config(
+                "config.retrain is set but no model trainer is attached; \
+                 use StreamingDlacep::builder(..).retrain(cfg, trainer)"
+                    .into(),
+            )),
+            (None, Some(_)) => Err(RuntimeError::Config(
+                "a model trainer is attached but config.retrain is None".into(),
+            )),
+            (None, None) => Ok(()),
+        }
     }
 
-    /// Shared construction path of [`StreamingDlacep::with_config`] and
+    /// Shared construction path of the builder and
     /// [`StreamingDlacep::restore`]. Does *not* record the initial mode —
     /// a restored runtime continues its checkpointed timeline and journal
     /// sequence instead of starting a fresh one.
@@ -468,6 +538,15 @@ impl<F: Filter> StreamingDlacep<F> {
         config.guard.validate().map_err(RuntimeError::Config)?;
         if let Some(drift) = &config.drift {
             drift.validate().map_err(RuntimeError::Config)?;
+        }
+        if let Some(retrain) = &config.retrain {
+            retrain.validate().map_err(RuntimeError::Config)?;
+            if config.drift.is_none() {
+                return Err(RuntimeError::Config(
+                    "config.retrain requires drift detection (config.drift) to raise the signal"
+                        .into(),
+                ));
+            }
         }
         let assembler = config
             .assembler
@@ -497,6 +576,8 @@ impl<F: Filter> StreamingDlacep<F> {
             drift: config.drift.map(DriftMonitor::new),
             drift_fallback: false,
             retrain_signaled: false,
+            retrain: None,
+            filter_generation: 0,
             buf: VecDeque::new(),
             marks: VecDeque::new(),
             base: 0,
@@ -528,29 +609,6 @@ impl<F: Filter> StreamingDlacep<F> {
             ModeCause::Start,
         );
         self
-    }
-
-    /// Redirect this runtime's metrics and journal into `registry`
-    /// (construction defaults to [`dlacep_obs::global`]). Rebuilds the pool
-    /// so its `pool.*` metrics land in the same registry, and re-records
-    /// the current mode so the new journal is self-contained. Call before
-    /// ingesting — counters accumulated in the previous registry stay
-    /// there.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the registry at construction via StreamingDlacep::builder(..).obs(..)"
-    )]
-    pub fn set_obs(&mut self, registry: Arc<Registry>) {
-        self.obs = RuntimeObs::new(registry);
-        self.pool = self.par.build_pool_with_obs(&self.obs.registry);
-        self.obs.journal.record(
-            "mode",
-            &[
-                ("window", (self.windows_evaluated as u64).into()),
-                ("mode", format!("{:?}", self.mode()).into()),
-                ("cause", format!("{:?}", ModeCause::Start).into()),
-            ],
-        );
     }
 
     /// The pattern being extracted.
@@ -590,6 +648,30 @@ impl<F: Filter> StreamingDlacep<F> {
     /// Whether drift has raised an unacknowledged retrain signal.
     pub fn retrain_signaled(&self) -> bool {
         self.retrain_signaled
+    }
+
+    /// Current retrain-supervisor position, if self-healing is configured.
+    pub fn retrain_state(&self) -> Option<RetrainState> {
+        self.retrain.as_ref().map(|r| r.state)
+    }
+
+    /// Version of the currently deployed retrained model (`None` before the
+    /// first swap or without self-healing).
+    pub fn active_model_version(&self) -> Option<u64> {
+        self.retrain
+            .as_ref()
+            .and_then(|r| r.active_model.as_ref().map(|(v, _)| *v))
+    }
+
+    /// Drain accepted models not yet persisted to a durable registry, as
+    /// `(version, encoded bytes)` pairs. The durability layer publishes
+    /// these after each ingestion step; callers without a durability layer
+    /// can ignore them (the active model still rides in the checkpoint).
+    pub fn take_pending_models(&mut self) -> Vec<(u64, Vec<u8>)> {
+        self.retrain
+            .as_mut()
+            .map(|r| std::mem::take(&mut r.pending_models))
+            .unwrap_or_default()
     }
 
     /// Partial matches currently stored by the extractor (bounded by
@@ -637,6 +719,18 @@ impl<F: Filter> StreamingDlacep<F> {
                 e.put_u64(d.patience as u64);
             }
         }
+        // Retrain policy: appended only when configured, so fingerprints of
+        // retrain-free runtimes stay byte-identical to pre-retrain builds
+        // and their old checkpoints remain restorable.
+        if let Some(r) = &self.config.retrain {
+            e.put_u8(2);
+            e.put_u64(r.backoff_base_windows);
+            e.put_u64(u64::from(r.max_retries));
+            e.put_u64(r.replay_windows as u64);
+            e.put_u64(r.holdout_every as u64);
+            e.put(&r.min_recall);
+            e.put(&r.min_precision);
+        }
         e.into_bytes()
     }
 
@@ -671,6 +765,7 @@ impl<F: Filter> StreamingDlacep<F> {
             matches: self.matches.clone(),
             journaled_sheds: self.journaled_sheds,
             journal_next_seq: self.obs.journal.next_seq(),
+            retrain: self.retrain.as_ref().map(|r| r.export()),
         }
     }
 
@@ -694,7 +789,24 @@ impl<F: Filter> StreamingDlacep<F> {
         registry: Option<Arc<Registry>>,
         ckpt: RuntimeCheckpoint,
     ) -> Result<Self, RuntimeError> {
+        Self::restore_with_trainer(pattern, filter, config, registry, ckpt, None)
+    }
+
+    /// [`StreamingDlacep::restore`] for retrain-enabled runtimes: the
+    /// trainer both drives future attempts and decodes the checkpointed
+    /// active model, which is swapped back in so the restored runtime marks
+    /// with the same weights the crashed one did. Reached via
+    /// [`crate::builder::StreamingBuilder::restore`].
+    pub(crate) fn restore_with_trainer(
+        pattern: Pattern,
+        filter: F,
+        config: RuntimeConfig,
+        registry: Option<Arc<Registry>>,
+        ckpt: RuntimeCheckpoint,
+        trainer: Option<Box<dyn ModelTrainer<F>>>,
+    ) -> Result<Self, RuntimeError> {
         let mut rt = Self::build(pattern, filter, config)?;
+        rt.attach_trainer(trainer)?;
         if let Some(reg) = registry {
             rt.obs = RuntimeObs::new(reg);
             rt.pool = rt.par.build_pool_with_obs(&rt.obs.registry);
@@ -707,6 +819,40 @@ impl<F: Filter> StreamingDlacep<F> {
         fn us(v: u64, what: &str) -> Result<usize, RuntimeError> {
             usize::try_from(v)
                 .map_err(|_| RuntimeError::Restore(format!("{what} exceeds usize: {v}")))
+        }
+        match (rt.retrain.as_mut(), ckpt.retrain) {
+            (Some(rr), Some(rck)) => {
+                rr.import(rck);
+                // Redeploy the checkpointed model so marking continues with
+                // the same weights. This runs *before* the guard state
+                // import below: `swap_filter` clears the consecutive-fault
+                // count, and the checkpointed count (which may include
+                // post-swap faults) must win.
+                if let Some((version, bytes)) = rr.active_model.clone() {
+                    let model = rr.trainer.decode(&bytes).map_err(|e| {
+                        RuntimeError::Restore(format!(
+                            "checkpointed model v{version} failed to decode: {e}"
+                        ))
+                    })?;
+                    rt.guard.swap_filter(model);
+                }
+                // Re-apply the effective drift baseline: `import_state`
+                // below only carries the trajectory, not the rebaselined
+                // config.
+                if let Some(baseline) = rt.retrain.as_ref().unwrap().baseline_override {
+                    if let Some(m) = rt.drift.as_mut() {
+                        m.set_baseline_rate(baseline);
+                    }
+                }
+            }
+            (None, None) => {}
+            // Unreachable while the fingerprint covers retrain presence, but
+            // a typed error beats trusting that coupling forever.
+            _ => {
+                return Err(RuntimeError::Restore(
+                    "retrain state presence disagrees with configuration".into(),
+                ))
+            }
         }
         rt.engine
             .import_state(ckpt.engine)
@@ -759,6 +905,12 @@ impl<F: Filter> StreamingDlacep<F> {
     pub fn rebaseline(&mut self, baseline_rate: f64) {
         if let Some(m) = &mut self.drift {
             m.rebaseline(baseline_rate);
+        }
+        if let Some(rr) = &mut self.retrain {
+            // Manual acknowledgement overrides the supervisor: a pending
+            // schedule is cancelled and an Exhausted verdict is cleared —
+            // the operator has intervened.
+            rr.state = RetrainState::Idle;
         }
         if self.drift_fallback {
             self.drift_fallback = false;
@@ -919,8 +1071,14 @@ impl<F: Filter> StreamingDlacep<F> {
                     .ok()
                 })
             };
+            // Speculation was computed against the filter installed when
+            // the batch started; a validated hot swap mid-settle bumps the
+            // generation, and every later window re-marks live against the
+            // new model instead of replaying stale results.
+            let generation = self.filter_generation;
             for (&(start, end), raw) in ready.iter().zip(raws) {
-                self.evaluate_window_inner(start, end, Some(raw));
+                let pre = (self.filter_generation == generation).then_some(raw);
+                self.evaluate_window_inner(start, end, pre);
             }
         }
         self.relay_finalized(self.next_window_start.min(self.admitted));
@@ -964,6 +1122,11 @@ impl<F: Filter> StreamingDlacep<F> {
             retrain_signaled: self.retrain_signaled,
             final_mode,
             drift_state: self.drift.as_ref().map(|m| m.state()),
+            retrain: self.retrain.as_ref().map(|r| RetrainReport {
+                state: r.state,
+                active_version: r.active_model.as_ref().map(|(v, _)| *v),
+                models_accepted: r.next_version - 1,
+            }),
             extractor_stats: *self.engine.stats(),
             pool: self.pool.as_ref().map(|p| p.stats()),
             obs: self.obs.snapshot_if_enabled(),
@@ -996,6 +1159,9 @@ impl<F: Filter> StreamingDlacep<F> {
         self.buf.make_contiguous();
         let (head, _) = self.buf.as_slices();
         let window = &head[lo..hi];
+        if let Some(rr) = &mut self.retrain {
+            rr.observe_window(window);
+        }
 
         let marks = if self.drift_fallback {
             self.windows_degraded += 1;
@@ -1083,6 +1249,185 @@ impl<F: Filter> StreamingDlacep<F> {
         for (i, mark) in marks.into_iter().enumerate() {
             if mark {
                 self.marks[lo + i] = true;
+            }
+        }
+        self.step_retrain();
+    }
+
+    /// Advance the retrain supervisor by one evaluated window. Scheduling
+    /// is keyed to `windows_evaluated`, so the whole degrade → retrain →
+    /// validate → swap cycle is a pure function of the workload and config
+    /// regardless of batching or thread count.
+    fn step_retrain(&mut self) {
+        if self.retrain.is_none() {
+            return;
+        }
+        let we = self.windows_evaluated as u64;
+        if self.retrain_signaled
+            && matches!(self.retrain.as_ref().unwrap().state, RetrainState::Idle)
+        {
+            let rr = self.retrain.as_mut().unwrap();
+            // Defer by one backoff period so the replay ring captures some
+            // post-drift windows before the first attempt trains on them.
+            let resume_at = we + rr.cfg.backoff_base_windows;
+            rr.state = RetrainState::Waiting {
+                resume_at,
+                attempt: 0,
+            };
+            self.obs.retrain_started.inc();
+            self.obs.journal.record(
+                "retrain",
+                &[
+                    ("window", we.into()),
+                    ("phase", "scheduled".into()),
+                    ("attempt", 0u64.into()),
+                    ("resume_at", resume_at.into()),
+                ],
+            );
+        }
+        let (resume_at, attempt) = match self.retrain.as_ref().unwrap().state {
+            RetrainState::Waiting { resume_at, attempt } => (resume_at, attempt),
+            _ => return,
+        };
+        if we < resume_at {
+            return;
+        }
+        let (train_slice, holdout, cfg) = {
+            let rr = self.retrain.as_ref().unwrap();
+            let (t, h) = rr.split_replay();
+            (t, h, rr.cfg)
+        };
+        let candidate: Result<F, String> = if train_slice.is_empty() || holdout.is_empty() {
+            Err(format!(
+                "replay buffer too small to split ({} windows)",
+                train_slice.len() + holdout.len()
+            ))
+        } else {
+            // Dispatch the training job onto the work-stealing pool. The
+            // panic fence sits *inside* the closure: the pool re-raises
+            // task panics on join, and a crashed trainer must surface as a
+            // retryable verdict, not tear down the runtime.
+            let pattern = &self.pattern;
+            let trainer = self.retrain.as_ref().unwrap().trainer.as_ref();
+            let train_ref = &train_slice;
+            let job = move || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    trainer.retrain(pattern, train_ref, u64::from(attempt))
+                }))
+                .map_err(|_| "training job panicked".to_string())
+                .and_then(|r| r)
+            };
+            match &self.pool {
+                Some(pool) => pool
+                    .parallel_map(&[()], 1, move |_, _| job())
+                    .pop()
+                    .expect("one item in, one out"),
+                None => job(),
+            }
+        };
+        let verdict: Result<(F, GateReport), String> = candidate.and_then(|cand| {
+            let _span = self.obs.retrain_gate_nanos.span();
+            let oracle = OracleFilter::new(self.pattern.clone());
+            let gate = validate_candidate(&cand, &oracle, &holdout)?;
+            if gate.recall < cfg.min_recall || gate.precision < cfg.min_precision {
+                return Err(format!(
+                    "gate failed: recall {:.4} (min {:.4}), precision {:.4} (min {:.4})",
+                    gate.recall, cfg.min_recall, gate.precision, cfg.min_precision
+                ));
+            }
+            Ok((cand, gate))
+        });
+        match verdict {
+            Ok((cand, gate)) => {
+                let rr = self.retrain.as_mut().unwrap();
+                let version = rr.next_version;
+                rr.next_version += 1;
+                let bytes = rr.trainer.encode(&cand);
+                rr.active_model = Some((version, bytes.clone()));
+                rr.pending_models.push((version, bytes));
+                rr.state = RetrainState::Idle;
+                // Floor the rebaseline so a sparse holdout cannot produce a
+                // zero baseline (which would make every later rate "in
+                // tolerance" and blind the monitor).
+                let baseline = gate.marked_rate.max(0.01);
+                rr.baseline_override = Some(baseline);
+                self.guard.swap_filter(cand);
+                self.filter_generation += 1;
+                if let Some(m) = &mut self.drift {
+                    m.rebaseline(baseline);
+                }
+                self.drift_fallback = false;
+                self.retrain_signaled = false;
+                self.obs.retrain_validated.inc();
+                self.obs.retrain_swapped.inc();
+                self.obs.journal.record(
+                    "retrain",
+                    &[
+                        ("window", we.into()),
+                        ("phase", "validated".into()),
+                        ("attempt", u64::from(attempt).into()),
+                        ("recall", format!("{:.4}", gate.recall).into()),
+                        ("precision", format!("{:.4}", gate.precision).into()),
+                    ],
+                );
+                self.obs.journal.record(
+                    "retrain",
+                    &[
+                        ("window", we.into()),
+                        ("phase", "swapped".into()),
+                        ("version", version.into()),
+                    ],
+                );
+                let mode = self.mode();
+                record_mode(
+                    &mut self.timeline,
+                    &self.obs.journal,
+                    we,
+                    mode,
+                    ModeCause::Swapped,
+                );
+            }
+            Err(reason) => {
+                self.obs.retrain_rejected.inc();
+                self.obs.journal.record(
+                    "retrain",
+                    &[
+                        ("window", we.into()),
+                        ("phase", "rejected".into()),
+                        ("attempt", u64::from(attempt).into()),
+                        ("reason", reason.into()),
+                    ],
+                );
+                let rr = self.retrain.as_mut().unwrap();
+                let next_attempt = attempt + 1;
+                if next_attempt > rr.cfg.max_retries {
+                    rr.state = RetrainState::Exhausted;
+                    self.obs.journal.record(
+                        "retrain",
+                        &[
+                            ("window", we.into()),
+                            ("phase", "exhausted".into()),
+                            ("verdict", "permanent-degraded".into()),
+                        ],
+                    );
+                } else {
+                    let backoff = rr.cfg.backoff_base_windows << next_attempt.min(16);
+                    let resume_at = we + backoff;
+                    rr.state = RetrainState::Waiting {
+                        resume_at,
+                        attempt: next_attempt,
+                    };
+                    self.obs.retrain_retried.inc();
+                    self.obs.journal.record(
+                        "retrain",
+                        &[
+                            ("window", we.into()),
+                            ("phase", "scheduled".into()),
+                            ("attempt", u64::from(next_attempt).into()),
+                            ("resume_at", resume_at.into()),
+                        ],
+                    );
+                }
             }
         }
     }

@@ -1,13 +1,16 @@
-//! Builder-vs-legacy equivalence: the fluent builders are the blessed
-//! construction path, but until the deprecated constructors are removed
-//! they must keep producing byte-identical behaviour — matches, metric
-//! counters, and the observability journal all agree.
+//! Builder-surface contracts: the fluent builders are the one construction
+//! path for non-default options. Option order must not matter, the builder
+//! must agree byte-for-byte with the direct construction entry points that
+//! remain, and invalid option combinations must be rejected at `build()`.
 
 use std::sync::Arc;
 
 use dlacep_cep::{Pattern, PatternExpr, TypeSet};
 use dlacep_core::runtime::{RuntimeConfig, StreamingDlacep};
-use dlacep_core::{AssemblerConfig, Dlacep, OracleFilter, Parallelism, PassthroughFilter};
+use dlacep_core::{
+    AssemblerConfig, Dlacep, DriftConfig, ModelTrainer, OracleFilter, Parallelism,
+    PassthroughFilter, RetrainConfig, RuntimeError,
+};
 use dlacep_events::{EventStream, OutOfOrderPolicy, TypeId, WindowSpec};
 use dlacep_obs::{FieldValue, Registry};
 
@@ -48,7 +51,7 @@ fn journal_kinds_and_fields(reg: &Registry) -> Vec<(String, Vec<(String, FieldVa
 }
 
 #[test]
-fn batch_builder_matches_deprecated_constructors() {
+fn batch_builder_options_are_order_independent() {
     let p = seq_ab(6);
     let s = stream(160);
     let asm = AssemblerConfig {
@@ -56,37 +59,32 @@ fn batch_builder_matches_deprecated_constructors() {
         step_size: 3,
     };
 
-    let built_reg = Arc::new(Registry::enabled());
-    let built = Dlacep::builder(p.clone(), OracleFilter::new(p.clone()))
+    let reg_a = Arc::new(Registry::enabled());
+    let report_a = Dlacep::builder(p.clone(), OracleFilter::new(p.clone()))
         .assembler(asm)
         .parallelism(Parallelism::serial())
-        .obs(built_reg.clone())
+        .obs(reg_a.clone())
         .build()
-        .unwrap();
+        .unwrap()
+        .run(s.events());
 
-    let legacy_reg = Arc::new(Registry::enabled());
-    #[allow(deprecated)]
-    let legacy = {
-        let mut dl = Dlacep::with_assembler(p.clone(), OracleFilter::new(p), asm).unwrap();
-        dl.set_obs(legacy_reg.clone());
-        dl
-    };
+    let reg_b = Arc::new(Registry::enabled());
+    let report_b = Dlacep::builder(p.clone(), OracleFilter::new(p))
+        .obs(reg_b.clone())
+        .parallelism(Parallelism::serial())
+        .assembler(asm)
+        .build()
+        .unwrap()
+        .run(s.events());
 
-    let built_report = built.run(s.events());
-    let legacy_report = legacy.run(s.events());
-    assert_eq!(built_report.matches, legacy_report.matches);
-    assert_eq!(built_report.events_total, legacy_report.events_total);
-    assert_eq!(built_report.events_relayed, legacy_report.events_relayed);
-
-    // Metric equivalence: identical counter maps in the custom registries.
-    assert_eq!(
-        built_reg.snapshot().counters,
-        legacy_reg.snapshot().counters
-    );
+    assert_eq!(report_a.matches, report_b.matches);
+    assert_eq!(report_a.events_total, report_b.events_total);
+    assert_eq!(report_a.events_relayed, report_b.events_relayed);
+    assert_eq!(reg_a.snapshot().counters, reg_b.snapshot().counters);
 }
 
 #[test]
-fn streaming_builder_journal_matches_deprecated_path() {
+fn streaming_builder_setters_match_whole_config() {
     let p = seq_ab(6);
     let s = stream(200);
     let cfg = RuntimeConfig {
@@ -101,31 +99,84 @@ fn streaming_builder_journal_matches_deprecated_path() {
         .build()
         .unwrap();
 
-    let legacy_reg = Arc::new(Registry::with_journal_capacity(2048));
-    #[allow(deprecated)]
-    let mut legacy = {
-        let mut rt = StreamingDlacep::with_config(p, PassthroughFilter, cfg).unwrap();
-        rt.set_obs(legacy_reg.clone());
-        rt
-    };
+    let setter_reg = Arc::new(Registry::with_journal_capacity(2048));
+    let mut setter = StreamingDlacep::builder(p, PassthroughFilter)
+        .ooo_policy(OutOfOrderPolicy::ClampToLastTs)
+        .obs(setter_reg.clone())
+        .build()
+        .unwrap();
 
     built.ingest_all(s.events()).unwrap();
-    legacy.ingest_all(s.events()).unwrap();
+    setter.ingest_all(s.events()).unwrap();
     let br = built.finish();
-    let lr = legacy.finish();
+    let sr = setter.finish();
 
-    assert_eq!(br.matches, lr.matches);
-    assert_eq!(br.windows_evaluated, lr.windows_evaluated);
-    assert_eq!(br.timeline, lr.timeline);
+    assert_eq!(br.matches, sr.matches);
+    assert_eq!(br.windows_evaluated, sr.windows_evaluated);
+    assert_eq!(br.timeline, sr.timeline);
     assert_eq!(
         built_reg.snapshot().counters,
-        legacy_reg.snapshot().counters
+        setter_reg.snapshot().counters
     );
-    // The journals must agree entry-for-entry: the builder installs obs
-    // before the initial mode transition, the legacy path re-records it via
-    // set_obs — both end up with the same (kind, fields) sequence.
+    // The journals must agree entry-for-entry: both paths install obs before
+    // the initial mode transition, so the (kind, fields) sequences line up
+    // from entry zero.
     assert_eq!(
         journal_kinds_and_fields(&built_reg),
-        journal_kinds_and_fields(&legacy_reg)
+        journal_kinds_and_fields(&setter_reg)
+    );
+}
+
+/// Trainer stub for option-validation tests: never actually called.
+struct NoopTrainer;
+
+impl ModelTrainer<OracleFilter> for NoopTrainer {
+    fn retrain(
+        &self,
+        _pattern: &Pattern,
+        _windows: &[Vec<dlacep_events::PrimitiveEvent>],
+        _attempt: u64,
+    ) -> Result<OracleFilter, String> {
+        Err("noop".into())
+    }
+
+    fn encode(&self, _filter: &OracleFilter) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn decode(&self, _bytes: &[u8]) -> Result<OracleFilter, String> {
+        Err("noop".into())
+    }
+}
+
+#[test]
+fn retrain_without_drift_is_rejected_at_build() {
+    let p = seq_ab(6);
+    let err = StreamingDlacep::builder(p, OracleFilter::new(seq_ab(6)))
+        .retrain(RetrainConfig::default(), Box::new(NoopTrainer))
+        .build()
+        .err()
+        .expect("retrain without drift must be rejected");
+    assert!(
+        matches!(err, RuntimeError::Config(ref m) if m.contains("drift")),
+        "got: {err:?}"
+    );
+}
+
+#[test]
+fn retrain_config_without_trainer_is_rejected_at_build() {
+    let p = seq_ab(6);
+    let err = StreamingDlacep::builder(p, OracleFilter::new(seq_ab(6)))
+        .config(RuntimeConfig {
+            drift: Some(DriftConfig::with_baseline(0.4)),
+            retrain: Some(RetrainConfig::default()),
+            ..Default::default()
+        })
+        .build()
+        .err()
+        .expect("retrain config without trainer must be rejected");
+    assert!(
+        matches!(err, RuntimeError::Config(ref m) if m.contains("trainer")),
+        "got: {err:?}"
     );
 }

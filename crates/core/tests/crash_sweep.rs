@@ -15,12 +15,17 @@
 //! same faults), each with out-of-order arrivals under the Drop policy.
 
 use dlacep_cep::{Pattern, PatternExpr, TypeSet};
-use dlacep_core::chaos::{out_of_order_timestamps, ChaosFault, ChaosFilter};
+use dlacep_core::chaos::{
+    out_of_order_timestamps, ChaosFault, ChaosFilter, ChaosTrainer, TrainFault,
+};
 use dlacep_core::durable::{DurConfig, DurError, DurableDlacep};
 use dlacep_core::filter::{Filter, OracleFilter, PassthroughFilter};
 use dlacep_core::guard::GuardConfig;
+use dlacep_core::retrain::{ModelTrainer, RetrainConfig};
 use dlacep_core::runtime::{RuntimeConfig, RuntimeError, RuntimeReport};
+use dlacep_core::DriftConfig;
 use dlacep_dur::{FailingStore, MemStore, Schedule, Store, WalConfig, WalError};
+use dlacep_events::PrimitiveEvent;
 use dlacep_events::{AttrValue, OutOfOrderPolicy, TypeId, WindowSpec};
 use dlacep_obs::{FieldValue, Registry};
 use std::sync::Arc;
@@ -65,6 +70,7 @@ fn dur_config() -> DurConfig {
         },
         checkpoint_every_events: 12,
         keep_checkpoints: 2,
+        keep_models: 2,
     }
 }
 
@@ -102,24 +108,41 @@ fn drive<F: Filter, S: Store>(
     Ok(())
 }
 
-struct Scenario<F: Filter, MkF: Fn() -> F> {
+/// No retrain supervisor: the scenario runs without a trainer.
+fn no_trainer<F: Filter>() -> Option<Box<dyn ModelTrainer<F>>> {
+    None
+}
+
+struct Scenario<F, MkF, MkT>
+where
+    F: Filter,
+    MkF: Fn() -> F,
+    MkT: Fn() -> Option<Box<dyn ModelTrainer<F>>>,
+{
     pattern: Pattern,
     config: RuntimeConfig,
     mk_filter: MkF,
+    mk_trainer: MkT,
     input: Vec<Offer>,
 }
 
-impl<F: Filter, MkF: Fn() -> F> Scenario<F, MkF> {
+impl<F, MkF, MkT> Scenario<F, MkF, MkT>
+where
+    F: Filter,
+    MkF: Fn() -> F,
+    MkT: Fn() -> Option<Box<dyn ModelTrainer<F>>>,
+{
     /// The uninterrupted run: reference matches, report, and journal.
     fn reference(&self) -> (RuntimeReport, Arc<Registry>) {
         let reg = Arc::new(Registry::with_journal_capacity(8192));
-        let mut dur = DurableDlacep::new(
+        let mut dur = DurableDlacep::new_with_trainer(
             self.pattern.clone(),
             (self.mk_filter)(),
             self.config,
             dur_config(),
             MemStore::new(),
             Some(reg.clone()),
+            (self.mk_trainer)(),
         )
         .unwrap();
         drive(&mut dur, &self.input, 0).expect("reference run must not fail");
@@ -131,13 +154,14 @@ impl<F: Filter, MkF: Fn() -> F> Scenario<F, MkF> {
     fn crashed_disk_image(&self, crash_tick: u64) -> Option<MemStore> {
         let store = FailingStore::crash_at(MemStore::new(), crash_tick);
         let reg = Arc::new(Registry::with_journal_capacity(8192));
-        let mut dur = DurableDlacep::new(
+        let mut dur = DurableDlacep::new_with_trainer(
             self.pattern.clone(),
             (self.mk_filter)(),
             self.config,
             dur_config(),
             store,
             Some(reg),
+            (self.mk_trainer)(),
         )
         .expect("opening a fresh store consumes no durability ticks");
         match drive(&mut dur, &self.input, 0) {
@@ -156,13 +180,14 @@ impl<F: Filter, MkF: Fn() -> F> Scenario<F, MkF> {
     fn total_ticks(&self) -> u64 {
         let store = FailingStore::new(MemStore::new(), Schedule::never());
         let reg = Arc::new(Registry::with_journal_capacity(8192));
-        let mut dur = DurableDlacep::new(
+        let mut dur = DurableDlacep::new_with_trainer(
             self.pattern.clone(),
             (self.mk_filter)(),
             self.config,
             dur_config(),
             store,
             Some(reg),
+            (self.mk_trainer)(),
         )
         .unwrap();
         drive(&mut dur, &self.input, 0).unwrap();
@@ -185,13 +210,14 @@ impl<F: Filter, MkF: Fn() -> F> Scenario<F, MkF> {
                 panic!("crash at tick {tick} < total {total} must fire");
             };
             let rec_reg = Arc::new(Registry::with_journal_capacity(8192));
-            let (mut rec, report) = DurableDlacep::recover(
+            let (mut rec, report) = DurableDlacep::recover_with_trainer(
                 self.pattern.clone(),
                 (self.mk_filter)(),
                 self.config,
                 dur_config(),
                 disk,
                 Some(rec_reg.clone()),
+                (self.mk_trainer)(),
             )
             .unwrap_or_else(|e| panic!("recovery after crash at tick {tick} failed: {e}"));
             match report.checkpoint_seq {
@@ -249,6 +275,7 @@ fn crash_sweep_healthy_stream() {
         pattern: seq_ab(6),
         config: RuntimeConfig::default(),
         mk_filter: || PassthroughFilter,
+        mk_trainer: no_trainer,
         input: offers(48, 0.0, 5),
     }
     .sweep();
@@ -280,7 +307,129 @@ fn crash_sweep_degraded_fault_injected_stream() {
                 .fault_every(18, ChaosFault::Panic)
                 .key_by_window_start()
         },
+        mk_trainer: no_trainer,
         input: offers(48, 0.25, 9),
+    }
+    .sweep();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: crash at every tick of an *active retrain* — drift signal,
+// backoff schedule, panicked attempt, gate-rejected attempt, validated swap,
+// and the registry writes publishing the accepted model. The recovered run
+// must replay the supervisor to the identical trajectory.
+// ---------------------------------------------------------------------------
+
+/// Silently-dying filter keyed by window content (first event id), so a
+/// recovered run re-draws the same drift the original saw.
+enum SweepFilter {
+    Broken {
+        oracle: OracleFilter,
+        silent_from: u64,
+    },
+    Healed(OracleFilter),
+}
+
+impl Filter for SweepFilter {
+    fn mark(&self, window: &[PrimitiveEvent]) -> Vec<bool> {
+        match self {
+            Self::Broken {
+                oracle,
+                silent_from,
+            } => {
+                if window.first().is_some_and(|e| e.id.0 >= *silent_from) {
+                    vec![false; window.len()]
+                } else {
+                    oracle.mark(window)
+                }
+            }
+            Self::Healed(oracle) => oracle.mark(window),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sweep-heal"
+    }
+}
+
+/// Deterministic healer with a one-byte model encoding: the registry and
+/// checkpoint redeploy paths both round-trip through it.
+struct SweepTrainer {
+    pattern: Pattern,
+}
+
+impl ModelTrainer<SweepFilter> for SweepTrainer {
+    fn retrain(
+        &self,
+        pattern: &Pattern,
+        _windows: &[Vec<PrimitiveEvent>],
+        _attempt: u64,
+    ) -> Result<SweepFilter, String> {
+        Ok(SweepFilter::Healed(OracleFilter::new(pattern.clone())))
+    }
+
+    fn encode(&self, filter: &SweepFilter) -> Vec<u8> {
+        match filter {
+            SweepFilter::Broken { .. } => vec![0],
+            SweepFilter::Healed(_) => vec![1],
+        }
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<SweepFilter, String> {
+        match bytes {
+            [1] => Ok(SweepFilter::Healed(OracleFilter::new(self.pattern.clone()))),
+            other => Err(format!("unknown model encoding: {other:?}")),
+        }
+    }
+}
+
+#[test]
+fn crash_sweep_active_retrain_with_registry_writes() {
+    let pattern = seq_ab(6);
+    let p = pattern.clone();
+    let pt = pattern.clone();
+    Scenario {
+        pattern,
+        config: RuntimeConfig {
+            // First silent window trips the signal: drift at window 6,
+            // attempt 0 (panic) at 7, attempt 1 (gate-flaky) at 9, attempt
+            // 2 validates and swaps at 13 — the sweep kills at every
+            // durability tick across that whole trajectory, including the
+            // registry publish of the accepted model.
+            drift: Some(DriftConfig {
+                baseline_rate: 0.5,
+                tolerance: 0.8,
+                alpha: 1.0,
+                patience: 1,
+            }),
+            retrain: Some(RetrainConfig {
+                backoff_base_windows: 1,
+                max_retries: 3,
+                replay_windows: 16,
+                holdout_every: 4,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+        mk_filter: move || SweepFilter::Broken {
+            oracle: OracleFilter::new(p.clone()),
+            silent_from: 36,
+        },
+        mk_trainer: move || {
+            let flaky = pt.clone();
+            Some(Box::new(
+                ChaosTrainer::new(Box::new(SweepTrainer {
+                    pattern: pt.clone(),
+                }))
+                .fault_at(0, TrainFault::Panic)
+                .fault_at(1, TrainFault::Flaky)
+                .flaky_candidates(move || SweepFilter::Broken {
+                    oracle: OracleFilter::new(flaky.clone()),
+                    silent_from: 0,
+                }),
+            ))
+        },
+        input: offers(120, 0.0, 7),
     }
     .sweep();
 }

@@ -17,6 +17,9 @@
 //!   batching, size-based rotation, and corrupt-tail truncation on open.
 //! - **checkpoint**: atomically-published checkpoint files
 //!   (tmp + fsync + rename) with newest-valid-wins loading.
+//! - **registry**: atomically-published versioned model files — the retrain
+//!   supervisor's durable model lineage — with the same torn-write-safe
+//!   protocol and newest-valid-wins loading.
 //! - **torn** ([`FailingStore`], [`Schedule`]): deterministic crash
 //!   injection. Appends land in a simulated page cache; `sync` makes bytes
 //!   durable one tick at a time, and the schedule kills the store at an
@@ -29,6 +32,7 @@
 
 pub mod checkpoint;
 pub mod codec;
+pub mod registry;
 pub mod store;
 pub mod torn;
 pub mod wal;
@@ -37,6 +41,7 @@ pub use checkpoint::{load_latest_checkpoint, prune_checkpoints, write_checkpoint
 pub use codec::{
     crc32, decode_frame, encode_frame, scan_frame, CodecError, Dec, Decoder, Enc, Encoder,
 };
+pub use registry::{list_models, load_latest_model, prune_models, publish_model, ModelScan};
 pub use store::{atomic_write_file, DirStore, MemStore, Store};
 pub use torn::{FailingStore, Schedule, Trigger};
 pub use wal::{Wal, WalConfig, WalError, WalOpenReport};

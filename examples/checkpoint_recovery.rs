@@ -60,6 +60,7 @@ fn main() {
         },
         checkpoint_every_events: 64,
         keep_checkpoints: 2,
+        keep_models: 2,
     };
 
     // Reference: the same stream, never interrupted.
