@@ -9,7 +9,11 @@
 //! * `synthetic` — a uniform synthetic stream with a 2-step SEQ pattern,
 //! * `stock_eventnet` / `stock_eventnet_int8` — the same stock workload
 //!   driven by a trained event-network filter, f32 vs the quantized int8
-//!   fast path, so `pipeline.mark_nanos` shows the marking speedup in situ.
+//!   fast path, so `pipeline.mark_nanos` shows the marking speedup in situ,
+//! * `stock_fleet_shards1` / `stock_fleet_shards4` — the stock workload
+//!   through the `dlacep-serve` sharded fleet (keyed routing + per-shard
+//!   WAL/checkpoints), so the serving-tier overhead is visible next to the
+//!   bare pipeline numbers.
 //!
 //! The first three use the oracle filter so the profile isolates pipeline
 //! mechanics (assembly, marking, relay, CEP extraction) from model quality.
@@ -144,6 +148,66 @@ fn seq_ab(window: u64) -> Pattern {
     )
 }
 
+/// Fleet scenario: the stock stream pushed through a `dlacep-serve`
+/// sharded fleet (durable WAL + checkpoints on in-memory stores, per-key
+/// runtimes). The pipeline-stage histograms don't apply — throughput is
+/// wall-clock over the whole ingest + finish, so the `stock_fleet_*` rows
+/// show what the serving tier costs on top of the bare pipeline.
+fn profile_fleet(shards: u32, events: &[PrimitiveEvent], runs: usize) -> ScenarioProfile {
+    use dlacep_serve::{FleetConfig, ShardedDlacep};
+
+    let pattern = Pattern::new(
+        PatternExpr::Seq(vec![
+            PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
+            PatternExpr::event(TypeSet::single(TypeId(1)), "b"),
+            PatternExpr::event(TypeSet::single(TypeId(2)), "c"),
+        ]),
+        vec![],
+        WindowSpec::Count(12),
+    );
+    let cfg = FleetConfig {
+        shards,
+        key_extractor: dlacep_events::KeyExtractor::ByTypeGroup(4),
+        sync_every_events: 64,
+        checkpoint_every_events: 4_096,
+        ..FleetConfig::default()
+    };
+    let run_once = || {
+        let pat = pattern.clone();
+        let mut fleet = ShardedDlacep::create(
+            pattern.clone(),
+            cfg.clone(),
+            Arc::new(move || OracleFilter::new(pat.clone())),
+            Arc::new(|| None),
+            (0..shards).map(|_| dlacep_dur::MemStore::new()).collect(),
+        )
+        .expect("fresh fleet");
+        let start = std::time::Instant::now();
+        for chunk in events.chunks(256) {
+            fleet.ingest_batch(chunk).expect("ingest");
+        }
+        let report = fleet.finish();
+        (start.elapsed(), report)
+    };
+    run_once(); // warm-up
+    let mut elapsed = std::time::Duration::ZERO;
+    let mut last = None;
+    for _ in 0..runs {
+        let (d, report) = run_once();
+        elapsed += d;
+        last = Some(report);
+    }
+    let report = last.expect("at least one measured run");
+    ScenarioProfile {
+        events: events.len(),
+        runs,
+        matches: report.totals.matches as usize,
+        events_relayed: report.totals.events_relayed as usize,
+        throughput_events_per_sec: (events.len() * runs) as f64 / elapsed.as_secs_f64(),
+        stages: BTreeMap::new(),
+    }
+}
+
 fn main() {
     let runs = 5;
 
@@ -199,6 +263,14 @@ fn main() {
     scenarios.insert("synthetic".to_string(), synth_profile);
     scenarios.insert("stock_eventnet".to_string(), eventnet_profile);
     scenarios.insert("stock_eventnet_int8".to_string(), int8_profile);
+    scenarios.insert(
+        "stock_fleet_shards1".to_string(),
+        profile_fleet(1, stock.events(), runs),
+    );
+    scenarios.insert(
+        "stock_fleet_shards4".to_string(),
+        profile_fleet(4, stock.events(), runs),
+    );
 
     for (name, p) in &scenarios {
         println!(

@@ -163,8 +163,10 @@ pub struct RecoveryReport {
 
 /// One WAL record: the offered event's payload. The id is *not* logged —
 /// admission re-stamps ids deterministically, and the WAL sequence number
-/// already identifies the offer position.
-fn encode_offer(type_id: TypeId, ts: u64, attrs: &[AttrValue]) -> Vec<u8> {
+/// already identifies the offer position. Public so higher serving tiers
+/// (the sharded fleet in `dlacep-serve`) log the exact same offer encoding
+/// after their own routing prefix.
+pub fn encode_offer(type_id: TypeId, ts: u64, attrs: &[AttrValue]) -> Vec<u8> {
     let mut e = Encoder::new();
     e.put_u32(type_id.0);
     e.put_u64(ts);
@@ -175,7 +177,9 @@ fn encode_offer(type_id: TypeId, ts: u64, attrs: &[AttrValue]) -> Vec<u8> {
     e.into_bytes()
 }
 
-fn decode_offer(payload: &[u8]) -> Result<(TypeId, u64, Vec<AttrValue>), CodecError> {
+/// Inverse of [`encode_offer`]. Rejects trailing bytes, so a caller that
+/// wraps the offer in a larger record must slice the exact offer region.
+pub fn decode_offer(payload: &[u8]) -> Result<(TypeId, u64, Vec<AttrValue>), CodecError> {
     let mut d = Decoder::new(payload);
     let type_id = TypeId(d.take_u32()?);
     let ts = d.take_u64()?;

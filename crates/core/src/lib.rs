@@ -72,7 +72,8 @@ pub use chaos::{out_of_order_timestamps, ChaosFault, ChaosFilter, ChaosTrainer, 
 pub use dlacep_par::{Parallelism, PoolStats};
 pub use drift::{DriftConfig, DriftMonitor, DriftMonitorState, DriftState};
 pub use durable::{
-    dur_dir_from_env, DurConfig, DurError, DurableDlacep, RecoveryReport, DUR_DIR_ENV,
+    decode_checkpoint, decode_offer, dur_dir_from_env, encode_checkpoint, encode_offer, DurConfig,
+    DurError, DurableDlacep, RecoveryReport, DUR_DIR_ENV,
 };
 pub use embed::EventEmbedder;
 pub use filter::{EventNetFilter, Filter, OracleFilter, PassthroughFilter, WindowNetFilter};

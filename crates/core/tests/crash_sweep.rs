@@ -378,6 +378,14 @@ impl ModelTrainer<SweepFilter> for SweepTrainer {
     fn decode(&self, bytes: &[u8]) -> Result<SweepFilter, String> {
         match bytes {
             [1] => Ok(SweepFilter::Healed(OracleFilter::new(self.pattern.clone()))),
+            // A Broken candidate can legitimately pass the gate on a key
+            // whose windows hold no matches (nothing to recall, nothing
+            // marked — the fleet sweep's quiet key); it must round-trip so
+            // recovery can redeploy it.
+            [0] => Ok(SweepFilter::Broken {
+                oracle: OracleFilter::new(self.pattern.clone()),
+                silent_from: 0,
+            }),
             other => Err(format!("unknown model encoding: {other:?}")),
         }
     }
@@ -432,4 +440,321 @@ fn crash_sweep_active_retrain_with_registry_writes() {
         input: offers(120, 0.0, 7),
     }
     .sweep();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4: the *fleet* sweep. A two-shard `dlacep-serve` fleet carries
+// the scenario-3 retrain workload on key 0 (shard 0) interleaved with
+// quieter key-1 traffic (shard 1). For every durability tick of every
+// shard, the whole fleet is killed with exactly one shard's disk frozen at
+// that tick — including ticks that land while key 0's supervisor is
+// mid-retrain (drift signalled, attempts panicking/flaky, swap pending) —
+// and the recovered fleet, re-fed from `resume_seq`, must finish bitwise
+// equal to the uninterrupted reference.
+// ---------------------------------------------------------------------------
+
+use dlacep_serve::{
+    shard_of, FleetConfig, FleetError, FleetReport, ShardedDlacep, DEFAULT_HASH_SEED,
+};
+
+const FLEET_SHARDS: u32 = 2;
+
+/// Key-0 traffic is exactly the scenario-3 stream (types 0..3, so key 0
+/// under `ByTypeGroup(4)`), preserving its retrain trajectory event for
+/// event; after every fourth key-0 event one key-1 event (types 4..7)
+/// rides along on its own timeline.
+fn fleet_offers() -> Vec<Offer> {
+    let key0 = offers(120, 0.0, 7);
+    let mut out = Vec::with_capacity(150);
+    let mut j = 0u64;
+    for (i, o) in key0.into_iter().enumerate() {
+        out.push(o);
+        if i % 4 == 3 {
+            let t = match j % 4 {
+                1 => TypeId(4),
+                3 => TypeId(5),
+                _ => TypeId(6),
+            };
+            out.push((t, j, vec![1_000.0 + j as f64]));
+            j += 1;
+        }
+    }
+    out
+}
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        shards: FLEET_SHARDS,
+        key_extractor: dlacep_events::KeyExtractor::ByTypeGroup(4),
+        runtime: RuntimeConfig {
+            drift: Some(DriftConfig {
+                baseline_rate: 0.5,
+                tolerance: 0.8,
+                alpha: 1.0,
+                patience: 1,
+            }),
+            retrain: Some(RetrainConfig {
+                backoff_base_windows: 1,
+                max_retries: 3,
+                // Half the scenario-3 ring: the replay buffer is serialized
+                // into every shard checkpoint, and checkpoint bytes are
+                // durability ticks — i.e. sweep iterations.
+                replay_windows: 8,
+                holdout_every: 4,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+        wal: WalConfig {
+            segment_max_bytes: 384,
+            sync_every: 4,
+        },
+        sync_every_events: 16,
+        // Coarser than scenario 3 (12): every fleet checkpoint writes a
+        // full per-key state image on *each* shard, so the cadence sets the
+        // sweep's tick count (and wall-clock) almost by itself. Four
+        // checkpoints still straddle the whole retrain trajectory.
+        checkpoint_every_events: 36,
+        keep_checkpoints: 2,
+        ..FleetConfig::default()
+    }
+}
+
+type FilterFactory = Arc<dyn Fn() -> SweepFilter + Send + Sync>;
+type TrainerFactory = Arc<dyn Fn() -> Option<Box<dyn ModelTrainer<SweepFilter>>> + Send + Sync>;
+
+fn fleet_factories(pattern: &Pattern) -> (FilterFactory, TrainerFactory) {
+    let p = pattern.clone();
+    let mk_filter: FilterFactory = Arc::new(move || SweepFilter::Broken {
+        oracle: OracleFilter::new(p.clone()),
+        silent_from: 36,
+    });
+    let pt = pattern.clone();
+    let mk_trainer: TrainerFactory = Arc::new(move || {
+        let flaky = pt.clone();
+        Some(Box::new(
+            ChaosTrainer::new(Box::new(SweepTrainer {
+                pattern: pt.clone(),
+            }))
+            .fault_at(0, TrainFault::Panic)
+            .fault_at(1, TrainFault::Flaky)
+            .flaky_candidates(move || SweepFilter::Broken {
+                oracle: OracleFilter::new(flaky.clone()),
+                silent_from: 0,
+            }),
+        ) as Box<dyn ModelTrainer<SweepFilter>>)
+    });
+    (mk_filter, mk_trainer)
+}
+
+fn drive_fleet<S: Store>(
+    fleet: &mut ShardedDlacep<SweepFilter, S>,
+    input: &[Offer],
+    from: usize,
+) -> Result<(), FleetError> {
+    for (t, ts, attrs) in &input[from..] {
+        fleet.ingest(*t, *ts, attrs.clone())?;
+    }
+    fleet.checkpoint_now()?;
+    Ok(())
+}
+
+fn is_fleet_crash(e: &FleetError) -> bool {
+    matches!(e, FleetError::Io(_) | FleetError::Wal(WalError::Io(_)))
+}
+
+fn assert_fleet_equal(rec: &FleetReport, reference: &FleetReport, ctx: &str) {
+    // refeed_skipped legitimately differs: it counts the re-feed itself.
+    let mut tr = rec.totals;
+    let mut tf = reference.totals;
+    tr.refeed_skipped = 0;
+    tf.refeed_skipped = 0;
+    assert_eq!(tr, tf, "{ctx}: fleet totals diverged");
+    assert_eq!(
+        rec.keys
+            .iter()
+            .map(|k| (k.key, k.shard))
+            .collect::<Vec<_>>(),
+        reference
+            .keys
+            .iter()
+            .map(|k| (k.key, k.shard))
+            .collect::<Vec<_>>(),
+        "{ctx}: key placement diverged"
+    );
+    for (kr, kf) in rec.keys.iter().zip(&reference.keys) {
+        let c = format!("{ctx}: key {}", kr.key);
+        assert_eq!(kr.report.matches, kf.report.matches, "{c}: matches");
+        assert_eq!(kr.report.events_admitted, kf.report.events_admitted, "{c}");
+        assert_eq!(
+            kr.report.windows_evaluated, kf.report.windows_evaluated,
+            "{c}"
+        );
+        assert_eq!(
+            kr.report.windows_degraded, kf.report.windows_degraded,
+            "{c}"
+        );
+        assert_eq!(kr.report.guard, kf.report.guard, "{c}: guard");
+        assert_eq!(kr.report.timeline, kf.report.timeline, "{c}: timeline");
+        assert_eq!(kr.report.final_mode, kf.report.final_mode, "{c}: mode");
+        assert_eq!(kr.report.drift_state, kf.report.drift_state, "{c}: drift");
+        assert_eq!(
+            kr.report.retrain, kf.report.retrain,
+            "{c}: retrain trajectory diverged"
+        );
+        assert_eq!(
+            kr.report.extractor_stats, kf.report.extractor_stats,
+            "{c}: engine work counters"
+        );
+    }
+}
+
+#[test]
+fn fleet_crash_sweep_multi_shard_with_mid_retrain_shard() {
+    let pattern = seq_ab(6);
+    let input = fleet_offers();
+    let (mk_filter, mk_trainer) = fleet_factories(&pattern);
+    let hash_seed = FleetConfig::default().hash_seed;
+    assert_eq!(hash_seed, DEFAULT_HASH_SEED);
+    assert_ne!(
+        shard_of(hash_seed, 0, FLEET_SHARDS),
+        shard_of(hash_seed, 1, FLEET_SHARDS),
+        "the two keys must land on different shards for the sweep to be multi-shard"
+    );
+
+    // Uninterrupted reference.
+    let reference = {
+        let mut fleet = ShardedDlacep::create(
+            pattern.clone(),
+            fleet_config(),
+            mk_filter.clone(),
+            mk_trainer.clone(),
+            (0..FLEET_SHARDS).map(|_| MemStore::new()).collect(),
+        )
+        .unwrap();
+        drive_fleet(&mut fleet, &input, 0).expect("reference fleet run must not fail");
+        fleet.finish()
+    };
+    let key0 = reference
+        .keys
+        .iter()
+        .find(|k| k.key == 0)
+        .expect("key 0 present");
+    assert!(
+        !key0.report.matches.is_empty(),
+        "degenerate fleet scenario: key 0 found no matches"
+    );
+    let retrain = key0.report.retrain.expect("key 0 runs a supervisor");
+    assert!(
+        retrain.models_accepted >= 1 && retrain.active_version.is_some(),
+        "key 0's reference run must complete a validated swap so the sweep \
+         provably kills shards mid-retrain: {retrain:?}"
+    );
+    assert_eq!(reference.keys.len(), 2, "both keys must carry traffic");
+
+    // Per-shard tick budgets: (a) ticks consumed by `create` alone (its
+    // manifest publish), (b) ticks of the full uncrashed workload. `create`
+    // consumes its input stores on failure, so the per-tick sweep starts at
+    // the first post-create tick; crash-during-create is covered by the
+    // stale-manifest.tmp recovery path in dlacep-serve itself.
+    let probe = |full: bool| -> Vec<u64> {
+        let stores: Vec<FailingStore<MemStore>> = (0..FLEET_SHARDS)
+            .map(|_| FailingStore::new(MemStore::new(), Schedule::never()))
+            .collect();
+        let mut fleet = ShardedDlacep::create(
+            pattern.clone(),
+            fleet_config(),
+            mk_filter.clone(),
+            mk_trainer.clone(),
+            stores,
+        )
+        .unwrap();
+        if full {
+            drive_fleet(&mut fleet, &input, 0).unwrap();
+        }
+        fleet.into_stores().iter().map(|s| s.ticks()).collect()
+    };
+    let create_ticks = probe(false);
+    let total_ticks = probe(true);
+
+    let mut with_checkpoint = 0u64;
+    let mut replay_only = 0u64;
+    let mut swept = 0u64;
+    for shard in 0..FLEET_SHARDS as usize {
+        assert!(
+            total_ticks[shard] > create_ticks[shard] + 20,
+            "shard {shard}: workload too small to sweep \
+             ({} ticks past create)",
+            total_ticks[shard] - create_ticks[shard]
+        );
+        for tick in create_ticks[shard]..total_ticks[shard] {
+            // Freeze exactly one shard's disk at `tick`; the other shards'
+            // disks stay healthy — a real fleet loses one machine, and
+            // recovery still restarts every shard from durable state.
+            let stores: Vec<FailingStore<MemStore>> = (0..FLEET_SHARDS as usize)
+                .map(|i| {
+                    if i == shard {
+                        FailingStore::crash_at(MemStore::new(), tick)
+                    } else {
+                        FailingStore::new(MemStore::new(), Schedule::never())
+                    }
+                })
+                .collect();
+            let mut fleet = ShardedDlacep::create(
+                pattern.clone(),
+                fleet_config(),
+                mk_filter.clone(),
+                mk_trainer.clone(),
+                stores,
+            )
+            .expect("create consumes only pre-sweep ticks");
+            let err = drive_fleet(&mut fleet, &input, 0)
+                .expect_err("crash tick within the workload must fire");
+            assert!(
+                is_fleet_crash(&err),
+                "shard {shard} tick {tick}: only the injected crash may fail: {err}"
+            );
+            let disks: Vec<MemStore> = fleet
+                .into_stores()
+                .into_iter()
+                .map(FailingStore::into_durable)
+                .collect();
+
+            let (mut rec, report) = ShardedDlacep::recover(
+                pattern.clone(),
+                fleet_config(),
+                mk_filter.clone(),
+                mk_trainer.clone(),
+                disks,
+            )
+            .unwrap_or_else(|e| panic!("shard {shard} tick {tick}: fleet recovery failed: {e}"));
+            assert!(
+                report.resume_seq >= 1 && report.resume_seq as usize <= input.len() + 1,
+                "shard {shard} tick {tick}: resume_seq {} out of range",
+                report.resume_seq
+            );
+            for s in &report.shards {
+                if s.checkpoint_seq.is_some() {
+                    with_checkpoint += 1;
+                } else {
+                    replay_only += 1;
+                }
+            }
+            drive_fleet(&mut rec, &input, (report.resume_seq - 1) as usize).unwrap_or_else(|e| {
+                panic!("shard {shard} tick {tick}: recovered fleet failed: {e}")
+            });
+            assert_fleet_equal(
+                &rec.finish(),
+                &reference,
+                &format!("shard {shard} tick {tick}"),
+            );
+            swept += 1;
+        }
+    }
+    assert!(
+        with_checkpoint > 0 && replay_only > 0,
+        "fleet sweep must exercise both checkpoint restores ({with_checkpoint}) \
+         and WAL-only replays ({replay_only})"
+    );
+    assert!(swept > 40, "sweep covered only {swept} crash points");
 }

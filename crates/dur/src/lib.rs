@@ -20,6 +20,10 @@
 //! - **registry**: atomically-published versioned model files — the retrain
 //!   supervisor's durable model lineage — with the same torn-write-safe
 //!   protocol and newest-valid-wins loading.
+//! - **manifest** ([`FleetManifest`]): the replicated identity card of one
+//!   shard of a sharded fleet (shard count, hash seed/revision, partitioner
+//!   tag). Recovery compares it against the live configuration and refuses
+//!   to replay a shard's history under different routing.
 //! - **torn** ([`FailingStore`], [`Schedule`]): deterministic crash
 //!   injection. Appends land in a simulated page cache; `sync` makes bytes
 //!   durable one tick at a time, and the schedule kills the store at an
@@ -32,6 +36,7 @@
 
 pub mod checkpoint;
 pub mod codec;
+pub mod manifest;
 pub mod registry;
 pub mod store;
 pub mod torn;
@@ -41,6 +46,7 @@ pub use checkpoint::{load_latest_checkpoint, prune_checkpoints, write_checkpoint
 pub use codec::{
     crc32, decode_frame, encode_frame, scan_frame, CodecError, Dec, Decoder, Enc, Encoder,
 };
+pub use manifest::{load_manifest, shard_dir_name, write_manifest, FleetManifest, ManifestError};
 pub use registry::{list_models, load_latest_model, prune_models, publish_model, ModelScan};
 pub use store::{atomic_write_file, DirStore, MemStore, Store};
 pub use torn::{FailingStore, Schedule, Trigger};

@@ -1,0 +1,131 @@
+//! Partition-key extraction for keyed (sharded) stream processing.
+//!
+//! The paper's NASDAQ workload is naturally keyed: every primitive event
+//! carries a stock identifier (its [`TypeId`] here), and queries relate
+//! events of a handful of identifiers inside one count window. A sharded
+//! serving tier routes each event to a shard by `hash(key) % shards`, so
+//! the *key extraction rule* decides which events can ever meet inside one
+//! pattern instance. [`KeyExtractor`] pins that rule down as a small,
+//! serializable enum: the rule's [`tag`](KeyExtractor::tag) is persisted in
+//! the fleet manifest, and recovery refuses stores written under a
+//! different rule.
+//!
+//! All variants are pure functions of the event payload — no state, no
+//! randomness — so routing is deterministic across runs, shard counts, and
+//! crash recovery.
+
+use crate::event::{AttrValue, TypeId};
+
+/// How a partition key is derived from an event. See the [module
+/// docs](self) for why the rule is part of a fleet's durable identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyExtractor {
+    /// `key = type_id`: one key per event type (per ticker, in the stock
+    /// workload). The finest-grained rule — patterns that relate *several*
+    /// types need a coarser one.
+    ByType,
+    /// `key = type_id / group`: consecutive type ids share a key in groups
+    /// of `group` (an "instrument group" / sector rule). A pattern whose
+    /// types all fall inside one group evaluates entirely within one key.
+    /// `group` must be ≥ 1.
+    ByTypeGroup(u32),
+    /// `key = attrs[idx].to_bits()`: key from an attribute's exact bit
+    /// pattern (e.g. a user- or session-id attribute). Events missing the
+    /// attribute map to key 0.
+    ByAttr(usize),
+}
+
+impl KeyExtractor {
+    /// Extract the partition key of an event.
+    pub fn key_of(&self, type_id: TypeId, attrs: &[AttrValue]) -> u64 {
+        match *self {
+            KeyExtractor::ByType => u64::from(type_id.0),
+            KeyExtractor::ByTypeGroup(group) => u64::from(type_id.0 / group.max(1)),
+            KeyExtractor::ByAttr(idx) => attrs.get(idx).map(|a| a.to_bits()).unwrap_or(0),
+        }
+    }
+
+    /// Stable numeric tag of this rule, persisted in the fleet manifest.
+    /// The high byte identifies the variant; the low 24 bits carry its
+    /// parameter. Changing the *meaning* of an existing tag requires a new
+    /// variant (old fleets must refuse, not reinterpret).
+    pub fn tag(&self) -> u32 {
+        match *self {
+            KeyExtractor::ByType => 0,
+            KeyExtractor::ByTypeGroup(group) => 0x0100_0000 | (group & 0x00FF_FFFF),
+            KeyExtractor::ByAttr(idx) => 0x0200_0000 | ((idx as u32) & 0x00FF_FFFF),
+        }
+    }
+
+    /// Inverse of [`KeyExtractor::tag`]; `None` for an unknown tag (a
+    /// store written by a newer build).
+    pub fn from_tag(tag: u32) -> Option<KeyExtractor> {
+        let param = tag & 0x00FF_FFFF;
+        match tag >> 24 {
+            0 if param == 0 => Some(KeyExtractor::ByType),
+            1 => Some(KeyExtractor::ByTypeGroup(param)),
+            2 => Some(KeyExtractor::ByAttr(param as usize)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_type_is_the_type_id() {
+        assert_eq!(KeyExtractor::ByType.key_of(TypeId(17), &[1.0]), 17);
+    }
+
+    #[test]
+    fn by_type_group_buckets_consecutive_types() {
+        let k = KeyExtractor::ByTypeGroup(4);
+        assert_eq!(k.key_of(TypeId(0), &[]), 0);
+        assert_eq!(k.key_of(TypeId(3), &[]), 0);
+        assert_eq!(k.key_of(TypeId(4), &[]), 1);
+        assert_eq!(k.key_of(TypeId(11), &[]), 2);
+        // A zero group size clamps to 1 rather than dividing by zero.
+        assert_eq!(KeyExtractor::ByTypeGroup(0).key_of(TypeId(9), &[]), 9);
+    }
+
+    #[test]
+    fn by_attr_uses_exact_bits_and_defaults_missing_to_zero() {
+        let k = KeyExtractor::ByAttr(1);
+        assert_eq!(k.key_of(TypeId(0), &[0.5, 2.0]), 2.0f64.to_bits());
+        assert_eq!(k.key_of(TypeId(0), &[0.5]), 0);
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for rule in [
+            KeyExtractor::ByType,
+            KeyExtractor::ByTypeGroup(1),
+            KeyExtractor::ByTypeGroup(4),
+            KeyExtractor::ByAttr(0),
+            KeyExtractor::ByAttr(7),
+        ] {
+            assert_eq!(KeyExtractor::from_tag(rule.tag()), Some(rule));
+        }
+        assert_eq!(KeyExtractor::from_tag(0xFF00_0000), None);
+    }
+
+    #[test]
+    fn distinct_rules_have_distinct_tags() {
+        let tags: Vec<u32> = [
+            KeyExtractor::ByType,
+            KeyExtractor::ByTypeGroup(1),
+            KeyExtractor::ByTypeGroup(2),
+            KeyExtractor::ByAttr(0),
+            KeyExtractor::ByAttr(1),
+        ]
+        .iter()
+        .map(KeyExtractor::tag)
+        .collect();
+        let mut dedup = tags.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), tags.len());
+    }
+}

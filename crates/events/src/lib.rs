@@ -19,11 +19,13 @@
 pub mod codec;
 pub mod durcodec;
 pub mod event;
+pub mod key;
 pub mod schema;
 pub mod stream;
 pub mod window;
 
 pub use event::{AttrValue, EventId, PrimitiveEvent, Timestamp, TypeId};
+pub use key::KeyExtractor;
 pub use schema::{Schema, SchemaBuilder};
 pub use stream::{EventStream, OutOfOrderPolicy, StreamError};
 pub use window::{CountWindows, TimeWindows, WindowSpec};

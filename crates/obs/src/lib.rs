@@ -33,7 +33,9 @@ mod snapshot;
 
 pub use journal::{FieldValue, Journal, JournalEntry, JournalSnapshot, DEFAULT_JOURNAL_CAPACITY};
 pub use metrics::{bucket_index, bucket_upper, Counter, Gauge, Histogram, Span, HISTOGRAM_BUCKETS};
-pub use prom::{prometheus_name, render_prometheus};
+pub use prom::{
+    prometheus_name, render_prometheus, render_prometheus_sharded, render_prometheus_with_labels,
+};
 pub use snapshot::{DeterministicView, HistogramSnapshot, MetricsSnapshot};
 
 use std::collections::BTreeMap;

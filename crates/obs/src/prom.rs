@@ -3,6 +3,7 @@
 
 use crate::metrics::bucket_upper;
 use crate::snapshot::MetricsSnapshot;
+use std::collections::BTreeSet;
 
 /// Sanitize a dotted metric name into the Prometheus grammar
 /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixing the exporter namespace:
@@ -20,42 +21,152 @@ pub fn prometheus_name(name: &str) -> String {
     out
 }
 
+/// Escape a label value per the exposition format (`\` → `\\`, `"` → `\"`,
+/// newline → `\n`).
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Render `labels` plus optional extra pairs as a `{k="v",…}` block; empty
+/// input renders as the empty string.
+fn label_block(pairs: &[(&str, &str)]) -> String {
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
 /// Render the snapshot as Prometheus text format. Counters, gauges, and
 /// histograms are emitted in name order with `# TYPE` headers; histogram
 /// buckets are cumulative with power-of-two `le` bounds (empty buckets are
 /// skipped; `+Inf` always present). The journal is not exposed here — it is
 /// part of the JSON snapshot only.
 pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    render_prometheus_with_labels(snapshot, &[])
+}
+
+/// [`render_prometheus`] with a constant label set attached to every
+/// series, e.g. `&[("shard", "3")]` for one shard of a sharded fleet.
+/// Histogram buckets merge the labels with their `le` bound.
+pub fn render_prometheus_with_labels(
+    snapshot: &MetricsSnapshot,
+    labels: &[(&str, &str)],
+) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
         let pname = prometheus_name(name);
-        out.push_str(&format!("# TYPE {pname} counter\n{pname} {value}\n"));
+        let lb = label_block(labels);
+        out.push_str(&format!("# TYPE {pname} counter\n{pname}{lb} {value}\n"));
     }
     for (name, value) in &snapshot.gauges {
         let pname = prometheus_name(name);
-        out.push_str(&format!("# TYPE {pname} gauge\n{pname} {value}\n"));
+        let lb = label_block(labels);
+        out.push_str(&format!("# TYPE {pname} gauge\n{pname}{lb} {value}\n"));
     }
     for (name, hist) in &snapshot.histograms {
         let pname = prometheus_name(name);
         out.push_str(&format!("# TYPE {pname} histogram\n"));
-        let mut cumulative = 0u64;
-        for &(index, count) in &hist.buckets {
-            cumulative += count;
-            let le = bucket_upper(index as usize);
-            out.push_str(&format!("{pname}_bucket{{le=\"{le}\"}} {cumulative}\n"));
-        }
-        out.push_str(&format!(
-            "{pname}_bucket{{le=\"+Inf\"}} {count}\n{pname}_sum {sum}\n{pname}_count {count}\n",
-            count = hist.count,
-            sum = hist.sum,
-        ));
+        push_histogram_series(&mut out, &pname, labels, hist);
     }
     out
+}
+
+/// Render one snapshot per shard as a single merged scrape: each metric
+/// name appears once with its `# TYPE` header, followed by one series per
+/// shard labeled `{label_key="<shard label>"}` — the exposition-format
+/// shape scrapers expect for a partitioned exporter (a repeated `# TYPE`
+/// for the same name, as naive per-shard concatenation would produce, is
+/// malformed).
+pub fn render_prometheus_sharded(label_key: &str, shards: &[(String, MetricsSnapshot)]) -> String {
+    let mut out = String::new();
+
+    let counter_names: BTreeSet<&String> =
+        shards.iter().flat_map(|(_, s)| s.counters.keys()).collect();
+    for name in counter_names {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} counter\n"));
+        for (label, snap) in shards {
+            if let Some(value) = snap.counters.get(name) {
+                let lb = label_block(&[(label_key, label.as_str())]);
+                out.push_str(&format!("{pname}{lb} {value}\n"));
+            }
+        }
+    }
+
+    let gauge_names: BTreeSet<&String> = shards.iter().flat_map(|(_, s)| s.gauges.keys()).collect();
+    for name in gauge_names {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} gauge\n"));
+        for (label, snap) in shards {
+            if let Some(value) = snap.gauges.get(name) {
+                let lb = label_block(&[(label_key, label.as_str())]);
+                out.push_str(&format!("{pname}{lb} {value}\n"));
+            }
+        }
+    }
+
+    let hist_names: BTreeSet<&String> = shards
+        .iter()
+        .flat_map(|(_, s)| s.histograms.keys())
+        .collect();
+    for name in hist_names {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} histogram\n"));
+        for (label, snap) in shards {
+            if let Some(hist) = snap.histograms.get(name) {
+                push_histogram_series(&mut out, &pname, &[(label_key, label.as_str())], hist);
+            }
+        }
+    }
+    out
+}
+
+fn push_histogram_series(
+    out: &mut String,
+    pname: &str,
+    labels: &[(&str, &str)],
+    hist: &crate::snapshot::HistogramSnapshot,
+) {
+    let lb = label_block(labels);
+    let mut cumulative = 0u64;
+    for &(index, count) in &hist.buckets {
+        cumulative += count;
+        let le = bucket_upper(index as usize);
+        let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+        let le_str = le.to_string();
+        pairs.push(("le", le_str.as_str()));
+        out.push_str(&format!(
+            "{pname}_bucket{} {cumulative}\n",
+            label_block(&pairs)
+        ));
+    }
+    let mut inf_pairs: Vec<(&str, &str)> = labels.to_vec();
+    inf_pairs.push(("le", "+Inf"));
+    out.push_str(&format!(
+        "{pname}_bucket{} {count}\n{pname}_sum{lb} {sum}\n{pname}_count{lb} {count}\n",
+        label_block(&inf_pairs),
+        count = hist.count,
+        sum = hist.sum,
+    ));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Registry;
 
     #[test]
     fn names_are_sanitized_into_prometheus_grammar() {
@@ -67,5 +178,52 @@ mod tests {
             prometheus_name("pool.queue-depth"),
             "dlacep_pool_queue_depth"
         );
+    }
+
+    #[test]
+    fn labels_attach_to_every_series() {
+        let reg = Registry::enabled();
+        reg.counter("serve.events_routed").add(7);
+        reg.histogram("serve.batch_nanos").record(100);
+        let text = render_prometheus_with_labels(&reg.snapshot(), &[("shard", "3")]);
+        assert!(text.contains("dlacep_serve_events_routed{shard=\"3\"} 7"));
+        assert!(text.contains("dlacep_serve_batch_nanos_bucket{shard=\"3\",le=\""));
+        assert!(text.contains("dlacep_serve_batch_nanos_count{shard=\"3\"} 1"));
+        // The unlabeled renderer is the empty-label special case.
+        let plain = render_prometheus(&reg.snapshot());
+        assert!(plain.contains("dlacep_serve_events_routed 7"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(
+            label_block(&[("k", "a\"b\\c\nd")]),
+            "{k=\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn sharded_render_emits_one_type_header_per_metric() {
+        let a = Registry::enabled();
+        a.counter("serve.events_routed").add(3);
+        let b = Registry::enabled();
+        b.counter("serve.events_routed").add(5);
+        b.counter("serve.only_on_b").inc();
+        let text = render_prometheus_sharded(
+            "shard",
+            &[
+                ("0".to_string(), a.snapshot()),
+                ("1".to_string(), b.snapshot()),
+            ],
+        );
+        assert_eq!(
+            text.matches("# TYPE dlacep_serve_events_routed counter")
+                .count(),
+            1,
+            "one TYPE header even with two shards:\n{text}"
+        );
+        assert!(text.contains("dlacep_serve_events_routed{shard=\"0\"} 3"));
+        assert!(text.contains("dlacep_serve_events_routed{shard=\"1\"} 5"));
+        assert!(text.contains("dlacep_serve_only_on_b{shard=\"1\"} 1"));
     }
 }

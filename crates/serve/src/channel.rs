@@ -1,0 +1,186 @@
+//! In-process ingest front door: a bounded mpsc command channel feeding a
+//! single pump thread that owns the fleet.
+//!
+//! This is the primary tested path of the serving tier. The channel is
+//! *bounded* ([`std::sync::mpsc::sync_channel`]) so a slow fleet pushes
+//! back on producers instead of buffering without limit — admission
+//! control composes with the runtime-level shed/budget machinery rather
+//! than hiding behind an unbounded queue. A single pump thread applies
+//! commands in channel order, which keeps the fleet's global sequence
+//! numbering deterministic for any one producer.
+
+use crate::fleet::{FleetError, FleetStats, ShardedDlacep};
+use crate::report::FleetReport;
+use dlacep_core::Filter;
+use dlacep_dur::Store;
+use dlacep_events::{AttrValue, TypeId};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+enum Command {
+    Ingest {
+        type_id: TypeId,
+        ts: u64,
+        attrs: Vec<AttrValue>,
+    },
+    Sync {
+        done: SyncSender<Result<(), String>>,
+    },
+    Checkpoint {
+        done: SyncSender<Result<(), String>>,
+    },
+    Stats {
+        reply: SyncSender<FleetStats>,
+    },
+}
+
+/// Serving-tier failures surfaced to front-end callers.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The pump thread is gone (fleet already finished or panicked).
+    Closed,
+    /// The fleet rejected an operation; the message is the rendered
+    /// [`FleetError`] (errors cross the thread as strings).
+    Fleet(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "serve: ingest pump is closed"),
+            ServeError::Fleet(msg) => write!(f, "serve: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Cloneable ingest handle. Sends block when the channel is full
+/// (backpressure) and fail with [`ServeError::Closed`] once the pump is
+/// finished.
+#[derive(Clone)]
+pub struct ServeHandle {
+    tx: SyncSender<Command>,
+}
+
+impl ServeHandle {
+    /// Offer one event to the fleet (asynchronous: durability follows the
+    /// fleet cadence; call [`sync`](Self::sync) for a barrier).
+    pub fn ingest(
+        &self,
+        type_id: TypeId,
+        ts: u64,
+        attrs: Vec<AttrValue>,
+    ) -> Result<(), ServeError> {
+        self.tx
+            .send(Command::Ingest { type_id, ts, attrs })
+            .map_err(|_| ServeError::Closed)
+    }
+
+    /// Block until everything offered so far is fsynced in every shard.
+    pub fn sync(&self) -> Result<(), ServeError> {
+        self.barrier(|done| Command::Sync { done })
+    }
+
+    /// Block until a fleet-wide checkpoint has landed.
+    pub fn checkpoint(&self) -> Result<(), ServeError> {
+        self.barrier(|done| Command::Checkpoint { done })
+    }
+
+    fn barrier(
+        &self,
+        mk: impl FnOnce(SyncSender<Result<(), String>>) -> Command,
+    ) -> Result<(), ServeError> {
+        let (done, wait) = sync_channel(1);
+        self.tx.send(mk(done)).map_err(|_| ServeError::Closed)?;
+        match wait.recv() {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(msg)) => Err(ServeError::Fleet(msg)),
+            Err(_) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Fleet counters after everything sent on this handle so far.
+    pub fn stats(&self) -> Result<FleetStats, ServeError> {
+        let (reply, wait) = sync_channel(1);
+        self.tx
+            .send(Command::Stats { reply })
+            .map_err(|_| ServeError::Closed)?;
+        wait.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+/// Owner side of the pump: join it to obtain the merged fleet report.
+pub struct ServePump<F: Filter, S: Store> {
+    thread: JoinHandle<Result<FleetReport, FleetError>>,
+    tx: SyncSender<Command>,
+    _marker: std::marker::PhantomData<(F, S)>,
+}
+
+/// Start the pump thread over `fleet` with a channel of `capacity`
+/// in-flight commands. Returns the cloneable ingest handle and the pump.
+pub fn spawn<F, S>(fleet: ShardedDlacep<F, S>, capacity: usize) -> (ServeHandle, ServePump<F, S>)
+where
+    F: Filter + Send + 'static,
+    S: Store + Send + 'static,
+{
+    let (tx, rx) = sync_channel(capacity.max(1));
+    let thread = std::thread::spawn(move || pump(fleet, rx));
+    (
+        ServeHandle { tx: tx.clone() },
+        ServePump {
+            thread,
+            tx,
+            _marker: std::marker::PhantomData,
+        },
+    )
+}
+
+fn pump<F: Filter, S: Store>(
+    mut fleet: ShardedDlacep<F, S>,
+    rx: Receiver<Command>,
+) -> Result<FleetReport, FleetError> {
+    let mut first_err: Option<FleetError> = None;
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Ingest { type_id, ts, attrs } => {
+                if first_err.is_none() {
+                    if let Err(e) = fleet.ingest(type_id, ts, attrs) {
+                        first_err = Some(e);
+                    }
+                }
+            }
+            Command::Sync { done } => {
+                let r = fleet.sync().map_err(|e| e.to_string());
+                let _ = done.send(r);
+            }
+            Command::Checkpoint { done } => {
+                let r = fleet.checkpoint_now().map_err(|e| e.to_string());
+                let _ = done.send(r);
+            }
+            Command::Stats { reply } => {
+                let _ = reply.send(fleet.stats());
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(fleet.finish()),
+    }
+}
+
+impl<F: Filter, S: Store> ServePump<F, S> {
+    /// Close this side of the command channel and join the pump, returning
+    /// the merged fleet report (or the first ingest error the pump
+    /// swallowed). The pump drains only once every outstanding
+    /// [`ServeHandle`] clone is dropped too — drop them before calling
+    /// this, or `finish` blocks waiting for them.
+    pub fn finish(self) -> Result<FleetReport, ServeError> {
+        drop(self.tx);
+        match self.thread.join() {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(e)) => Err(ServeError::Fleet(e.to_string())),
+            Err(_) => Err(ServeError::Closed),
+        }
+    }
+}

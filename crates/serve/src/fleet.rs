@@ -1,0 +1,815 @@
+//! [`ShardedDlacep`]: a keyed multi-shard fleet of durable streaming
+//! runtimes behind one ingest front door.
+//!
+//! ## Partitioning model
+//!
+//! Every inbound event is stamped with a fleet-global sequence number `g`
+//! (1-based arrival order), keyed by the configured
+//! [`KeyExtractor`], and routed to shard `shard_of(seed, key, n)`. Within a
+//! shard, each distinct key owns its own [`StreamingDlacep`] — keys never
+//! share assembler windows, so the set of per-key results is independent of
+//! how keys are packed onto shards. That is the invariant the
+//! `shard_determinism` battery pins: the merged fleet output is bitwise
+//! identical across shard counts.
+//!
+//! ## Durability model
+//!
+//! Each shard owns one [`Store`] (directory `shard-{idx:04}/` under the
+//! fleet root when backed by `DirStore`s) holding its own WAL, checkpoint
+//! chain, and fleet manifest. An event is WAL-logged **before** its
+//! runtime sees it, as `g | key | offer` where `offer` is the exact
+//! [`dlacep_core::encode_offer`] encoding of the durable single-runtime
+//! tier. Checkpoints snapshot every key runtime of the shard plus the
+//! shard's fleet *high-water mark* — the last global sequence number whose
+//! effects the shard has durably applied.
+//!
+//! ## Recovery model
+//!
+//! [`ShardedDlacep::recover`] restores every shard independently
+//! (checkpoint, then WAL suffix), then reports
+//! `resume_seq = min(high_water) + 1`: the fleet position from which the
+//! source must re-offer events. Re-offered events that a given shard
+//! already applied (`g <= high_water`) are counted as `refeed_skipped` and
+//! dropped *for that shard only*, so shards that crashed at different
+//! durability horizons converge without double-applying. Recovery refuses
+//! stores whose manifest disagrees with the fleet configuration (shard
+//! count, hash seed, hash revision, partitioner, shard order) — a
+//! mis-assembled fleet would silently misroute keys otherwise.
+//!
+//! ## Model registry
+//!
+//! Retrained models accepted by a key runtime are *drained* (and counted)
+//! at checkpoint time rather than published to the per-shard model
+//! registry: the registry namespace is flat per store, and independent key
+//! runtimes produce colliding version numbers. Lineage survives anyway —
+//! each key's active model travels inside its runtime checkpoint and is
+//! redeployed on restore.
+
+use crate::hash::{shard_of, DEFAULT_HASH_SEED, HASH_REVISION};
+use dlacep_cep::Pattern;
+use dlacep_core::{
+    decode_offer, encode_checkpoint, encode_offer, Filter, ModelTrainer, RuntimeConfig,
+    RuntimeError, StreamingDlacep,
+};
+use dlacep_dur::codec::{CodecError, Decoder, Encoder};
+use dlacep_dur::manifest::{load_manifest, write_manifest, FleetManifest, ManifestError};
+use dlacep_dur::{
+    load_latest_checkpoint, prune_checkpoints, write_checkpoint, Store, Wal, WalConfig, WalError,
+};
+use dlacep_events::{AttrValue, KeyExtractor, PrimitiveEvent, TypeId};
+use dlacep_obs::Registry;
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+
+use crate::report::{FleetReport, KeyReport, ShardSummary};
+
+/// Environment variable read by [`FleetConfig::default`] for the shard
+/// count.
+pub const SHARDS_ENV: &str = "DLACEP_SHARDS";
+
+/// Shard count from `DLACEP_SHARDS`, or `default` when unset/invalid.
+pub fn shards_from_env(default: u32) -> u32 {
+    std::env::var(SHARDS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Fleet-level configuration. Everything that decides *routing* (shard
+/// count, hash seed, key extractor) is fingerprinted into each shard's
+/// manifest; recovery under a different fingerprint is refused.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of shards (≥ 1).
+    pub shards: u32,
+    /// Seed of the partitioning hash ([`crate::hash::fx_hash64`]).
+    pub hash_seed: u64,
+    /// How an event's partition key is derived.
+    pub key_extractor: KeyExtractor,
+    /// Configuration applied to every per-key runtime.
+    pub runtime: RuntimeConfig,
+    /// Per-shard WAL tuning.
+    pub wal: WalConfig,
+    /// Fleet-level durability cadence: sync every N offered events
+    /// (0 = only explicit [`ShardedDlacep::sync`] calls).
+    pub sync_every_events: u64,
+    /// Fleet-level checkpoint cadence in offered events (0 = only explicit
+    /// [`ShardedDlacep::checkpoint_now`] calls).
+    pub checkpoint_every_events: u64,
+    /// Checkpoints retained per shard after a new one lands.
+    pub keep_checkpoints: usize,
+    /// Attach a metrics [`Registry`] to every key runtime.
+    pub obs: bool,
+    /// Journal capacity for per-key registries when `obs` is on.
+    pub journal_capacity: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: shards_from_env(4),
+            hash_seed: DEFAULT_HASH_SEED,
+            key_extractor: KeyExtractor::ByType,
+            runtime: RuntimeConfig::default(),
+            wal: WalConfig {
+                segment_max_bytes: 64 * 1024,
+                // The fleet syncs on its own cadence; per-append fsyncs
+                // inside the WAL would double the fsync rate for nothing.
+                sync_every: 0,
+            },
+            sync_every_events: 32,
+            checkpoint_every_events: 256,
+            keep_checkpoints: 2,
+            obs: false,
+            journal_capacity: 256,
+        }
+    }
+}
+
+/// Builds the filter for a freshly created key runtime. Must be
+/// deterministic: recovery re-creates filters through it.
+pub type FilterFactory<F> = Arc<dyn Fn() -> F + Send + Sync>;
+
+/// Builds the (optional) trainer for a key runtime. Returning `None`
+/// disables retraining even when `runtime.retrain` is configured.
+pub type TrainerFactory<F> = Arc<dyn Fn() -> Option<Box<dyn ModelTrainer<F>>> + Send + Sync>;
+
+/// Fleet failures.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A shard store failed.
+    Io(io::Error),
+    /// A shard WAL failed or is corrupt.
+    Wal(WalError),
+    /// A persisted fleet record did not decode.
+    Corrupt(CodecError),
+    /// A key runtime rejected an event or a checkpoint.
+    Runtime(RuntimeError),
+    /// A shard manifest is unreadable.
+    Manifest(ManifestError),
+    /// The on-disk fleet is incompatible with this configuration
+    /// (shard count / hash seed / hash revision / partitioner / shard
+    /// order mismatch, or data without a manifest).
+    Refused(String),
+    /// The fleet configuration itself is invalid.
+    Config(String),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Io(e) => write!(f, "fleet i/o: {e}"),
+            FleetError::Wal(e) => write!(f, "fleet wal: {e}"),
+            FleetError::Corrupt(e) => write!(f, "fleet record: {e}"),
+            FleetError::Runtime(e) => write!(f, "fleet runtime: {e}"),
+            FleetError::Manifest(e) => write!(f, "fleet manifest: {e}"),
+            FleetError::Refused(msg) => write!(f, "fleet recovery refused: {msg}"),
+            FleetError::Config(msg) => write!(f, "fleet config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<io::Error> for FleetError {
+    fn from(e: io::Error) -> Self {
+        FleetError::Io(e)
+    }
+}
+impl From<WalError> for FleetError {
+    fn from(e: WalError) -> Self {
+        FleetError::Wal(e)
+    }
+}
+impl From<CodecError> for FleetError {
+    fn from(e: CodecError) -> Self {
+        FleetError::Corrupt(e)
+    }
+}
+impl From<RuntimeError> for FleetError {
+    fn from(e: RuntimeError) -> Self {
+        FleetError::Runtime(e)
+    }
+}
+impl From<ManifestError> for FleetError {
+    fn from(e: ManifestError) -> Self {
+        FleetError::Manifest(e)
+    }
+}
+
+/// Per-shard durability/routing counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Events routed to (and applied by) this shard.
+    pub events_routed: u64,
+    /// WAL records appended.
+    pub wal_appends: u64,
+    /// Explicit WAL syncs (fleet cadence + manual).
+    pub wal_syncs: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Re-offered events dropped as already applied.
+    pub refeed_skipped: u64,
+    /// Accepted retrained models drained at checkpoints (see the
+    /// [module docs](self) on the registry decision).
+    pub models_drained: u64,
+}
+
+/// Live fleet counters (also what a wire `Flush` reports back).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Events offered to the fleet (including re-feeds).
+    pub offered: u64,
+    /// Re-offered events dropped as already applied, fleet-wide.
+    pub refeed_skipped: u64,
+    /// Distinct keys with a live runtime.
+    pub keys: u64,
+    /// Matches emitted so far across all keys.
+    pub matches: u64,
+}
+
+/// What recovery found in one shard.
+#[derive(Clone, Debug)]
+pub struct ShardRecovery {
+    /// Shard index.
+    pub index: u32,
+    /// Sequence of the checkpoint restored from, if any.
+    pub checkpoint_seq: Option<u64>,
+    /// Key runtimes restored from the checkpoint.
+    pub keys_restored: u64,
+    /// WAL records replayed after the checkpoint.
+    pub wal_replayed: u64,
+    /// The shard store was empty: initialized fresh.
+    pub fresh: bool,
+    /// Fleet high-water mark after restore + replay.
+    pub high_water: u64,
+}
+
+/// Fleet-level recovery report.
+#[derive(Clone, Debug)]
+pub struct FleetRecoveryReport {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardRecovery>,
+    /// First fleet-global sequence number (1-based) the source must
+    /// re-offer. Events before it are durable in every shard.
+    pub resume_seq: u64,
+}
+
+struct Shard<F: Filter, S: Store> {
+    store: S,
+    wal: Wal,
+    /// Last fleet-global sequence number durably applied by this shard.
+    /// 0 = none; global sequence numbers start at 1.
+    high_water: u64,
+    runtimes: BTreeMap<u64, StreamingDlacep<F>>,
+    stats: ShardStats,
+}
+
+/// A keyed multi-shard fleet of durable DLACEP runtimes. See the
+/// [module docs](self) for the partitioning / durability / recovery model.
+pub struct ShardedDlacep<F: Filter, S: Store> {
+    pattern: Pattern,
+    cfg: FleetConfig,
+    mk_filter: FilterFactory<F>,
+    mk_trainer: TrainerFactory<F>,
+    shards: Vec<Shard<F, S>>,
+    /// Fleet-global sequence number of the last offered event.
+    next_global: u64,
+    since_sync: u64,
+    since_ckpt: u64,
+}
+
+impl<F: Filter, S: Store> ShardedDlacep<F, S> {
+    /// Start a fresh fleet over `stores` (one per shard, all empty).
+    /// Writes each shard's manifest immediately so even a fleet that
+    /// crashes before its first checkpoint recovers with its routing
+    /// fingerprint intact.
+    pub fn create(
+        pattern: Pattern,
+        cfg: FleetConfig,
+        mk_filter: FilterFactory<F>,
+        mk_trainer: TrainerFactory<F>,
+        stores: Vec<S>,
+    ) -> Result<Self, FleetError> {
+        Self::validate(&cfg, &stores)?;
+        for (i, store) in stores.iter().enumerate() {
+            if !store.list()?.is_empty() {
+                return Err(FleetError::Refused(format!(
+                    "shard {i} store is not empty; use recover() for existing fleets"
+                )));
+            }
+        }
+        let mut shards = Vec::with_capacity(stores.len());
+        for (i, mut store) in stores.into_iter().enumerate() {
+            write_manifest(&mut store, &Self::manifest(&cfg, i as u32))?;
+            let (wal, _) = Wal::open(&mut store, cfg.wal)?;
+            shards.push(Shard {
+                store,
+                wal,
+                high_water: 0,
+                runtimes: BTreeMap::new(),
+                stats: ShardStats::default(),
+            });
+        }
+        Ok(ShardedDlacep {
+            pattern,
+            cfg,
+            mk_filter,
+            mk_trainer,
+            shards,
+            next_global: 0,
+            since_sync: 0,
+            since_ckpt: 0,
+        })
+    }
+
+    /// Recover a fleet from `stores`. Every shard is restored from its
+    /// latest checkpoint plus its WAL suffix; empty stores are initialized
+    /// fresh; non-empty stores without a matching manifest are refused.
+    ///
+    /// After recovery the source must re-offer its events starting at
+    /// [`FleetRecoveryReport::resume_seq`] (in the original order) —
+    /// shards individually skip what they already applied.
+    pub fn recover(
+        pattern: Pattern,
+        cfg: FleetConfig,
+        mk_filter: FilterFactory<F>,
+        mk_trainer: TrainerFactory<F>,
+        stores: Vec<S>,
+    ) -> Result<(Self, FleetRecoveryReport), FleetError> {
+        Self::validate(&cfg, &stores)?;
+        let mut fleet = ShardedDlacep {
+            pattern,
+            cfg,
+            mk_filter,
+            mk_trainer,
+            shards: Vec::with_capacity(stores.len()),
+            next_global: 0,
+            since_sync: 0,
+            since_ckpt: 0,
+        };
+        let mut reports = Vec::with_capacity(stores.len());
+        for (i, mut store) in stores.into_iter().enumerate() {
+            let index = i as u32;
+            let expected = Self::manifest(&fleet.cfg, index);
+            let fresh = match load_manifest(&store)? {
+                Some(found) => {
+                    Self::check_manifest(index, &expected, &found)?;
+                    false
+                }
+                None => {
+                    // A crash during the very first manifest publish can
+                    // leave only the synced-but-unrenamed tmp behind; that
+                    // store never held fleet data, so it is still fresh.
+                    let names = store.list()?;
+                    let stale_tmp = format!("{}.tmp", dlacep_dur::manifest::MANIFEST_NAME);
+                    if !names.iter().all(|n| *n == stale_tmp) {
+                        return Err(FleetError::Refused(format!(
+                            "shard {index} store has data but no fleet manifest"
+                        )));
+                    }
+                    if !names.is_empty() {
+                        store.remove(&stale_tmp)?;
+                    }
+                    write_manifest(&mut store, &expected)?;
+                    true
+                }
+            };
+            let (wal, _) = Wal::open(&mut store, fleet.cfg.wal)?;
+            let mut shard = Shard {
+                store,
+                wal,
+                high_water: 0,
+                runtimes: BTreeMap::new(),
+                stats: ShardStats::default(),
+            };
+            let scan = load_latest_checkpoint(&shard.store)?;
+            let mut report = ShardRecovery {
+                index,
+                checkpoint_seq: None,
+                keys_restored: 0,
+                wal_replayed: 0,
+                fresh,
+                high_water: 0,
+            };
+            let mut replay_from = 0;
+            if let Some((seq, payload)) = scan.latest {
+                let ckpt = decode_shard_checkpoint(&payload)?;
+                shard.high_water = ckpt.high_water;
+                for (key, rt_ckpt) in ckpt.keys {
+                    let rt_ckpt = dlacep_core::decode_checkpoint(&rt_ckpt)?;
+                    shard.runtimes.insert(key, fleet.restore_runtime(rt_ckpt)?);
+                    report.keys_restored += 1;
+                }
+                report.checkpoint_seq = Some(seq);
+                replay_from = seq;
+            }
+            for (_, payload) in Wal::replay(&shard.store, replay_from)? {
+                let (g, key, type_id, ts, attrs) = decode_offer_record(&payload)?;
+                if g <= shard.high_water {
+                    continue; // covered by the checkpoint
+                }
+                let rt = match shard.runtimes.entry(key) {
+                    std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(fleet.fresh_runtime()?)
+                    }
+                };
+                match rt.ingest(type_id, ts, attrs) {
+                    Ok(_) | Err(RuntimeError::Stream(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+                shard.high_water = g;
+                shard.stats.events_routed += 1;
+                report.wal_replayed += 1;
+            }
+            report.high_water = shard.high_water;
+            reports.push(report);
+            fleet.shards.push(shard);
+        }
+        // The fleet resumes counting from the slowest shard: every shard
+        // has durably applied everything at or below min(high_water), and
+        // faster shards skip re-fed duplicates individually.
+        let resume_seq = fleet.shards.iter().map(|s| s.high_water).min().unwrap_or(0) + 1;
+        fleet.next_global = resume_seq - 1;
+        Ok((
+            fleet,
+            FleetRecoveryReport {
+                shards: reports,
+                resume_seq,
+            },
+        ))
+    }
+
+    fn validate(cfg: &FleetConfig, stores: &[S]) -> Result<(), FleetError> {
+        if cfg.shards == 0 {
+            return Err(FleetError::Config(
+                "a fleet needs at least one shard".into(),
+            ));
+        }
+        if stores.len() != cfg.shards as usize {
+            return Err(FleetError::Config(format!(
+                "{} stores for {} shards",
+                stores.len(),
+                cfg.shards
+            )));
+        }
+        Ok(())
+    }
+
+    fn manifest(cfg: &FleetConfig, index: u32) -> FleetManifest {
+        FleetManifest {
+            shard_count: cfg.shards,
+            shard_index: index,
+            hash_seed: cfg.hash_seed,
+            hash_revision: HASH_REVISION,
+            partitioner_tag: cfg.key_extractor.tag(),
+        }
+    }
+
+    fn check_manifest(
+        index: u32,
+        expected: &FleetManifest,
+        found: &FleetManifest,
+    ) -> Result<(), FleetError> {
+        let refuse = |what: &str, exp: u64, got: u64| {
+            Err(FleetError::Refused(format!(
+                "shard {index}: manifest {what} mismatch (fleet config {exp:#x}, on disk {got:#x}); \
+                 events would be routed differently than when this store was written"
+            )))
+        };
+        if found.shard_count != expected.shard_count {
+            return refuse(
+                "shard count",
+                expected.shard_count.into(),
+                found.shard_count.into(),
+            );
+        }
+        if found.shard_index != expected.shard_index {
+            return refuse(
+                "shard index",
+                expected.shard_index.into(),
+                found.shard_index.into(),
+            );
+        }
+        if found.hash_seed != expected.hash_seed {
+            return refuse("hash seed", expected.hash_seed, found.hash_seed);
+        }
+        if found.hash_revision != expected.hash_revision {
+            return refuse(
+                "hash revision",
+                expected.hash_revision.into(),
+                found.hash_revision.into(),
+            );
+        }
+        if found.partitioner_tag != expected.partitioner_tag {
+            return refuse(
+                "partitioner",
+                expected.partitioner_tag.into(),
+                found.partitioner_tag.into(),
+            );
+        }
+        Ok(())
+    }
+
+    fn build_runtime_builder(&self) -> dlacep_core::StreamingBuilder<F> {
+        // Retrain config rides inside RuntimeConfig but the trainer itself
+        // comes from the factory; strip the config when no trainer exists
+        // so construction does not reject the combination.
+        let trainer = (self.mk_trainer)();
+        let mut rt_cfg = self.cfg.runtime;
+        let retrain = rt_cfg.retrain.take();
+        let mut b =
+            StreamingDlacep::builder(self.pattern.clone(), (self.mk_filter)()).config(rt_cfg);
+        if let (Some(rc), Some(tr)) = (retrain, trainer) {
+            b = b.retrain(rc, tr);
+        }
+        b
+    }
+
+    fn fresh_runtime(&self) -> Result<StreamingDlacep<F>, FleetError> {
+        Ok(self.obs_builder().build()?)
+    }
+
+    fn restore_runtime(
+        &self,
+        ckpt: dlacep_core::RuntimeCheckpoint,
+    ) -> Result<StreamingDlacep<F>, FleetError> {
+        Ok(self.obs_builder().restore(ckpt)?)
+    }
+
+    fn obs_builder(&self) -> dlacep_core::StreamingBuilder<F> {
+        let mut b = self.build_runtime_builder();
+        if self.cfg.obs {
+            b = b.obs(Arc::new(Registry::with_journal_capacity(
+                self.cfg.journal_capacity,
+            )));
+        }
+        b
+    }
+
+    /// Offer one event to the fleet. Returns the event's fleet-global
+    /// sequence number. During post-recovery re-feed, events a shard
+    /// already applied are skipped (still consuming their sequence
+    /// number, so re-feeds stay aligned).
+    pub fn ingest(
+        &mut self,
+        type_id: TypeId,
+        ts: u64,
+        attrs: Vec<AttrValue>,
+    ) -> Result<u64, FleetError> {
+        let g = self.next_global + 1;
+        self.next_global = g;
+        let key = self.cfg.key_extractor.key_of(type_id, &attrs);
+        let si = shard_of(self.cfg.hash_seed, key, self.cfg.shards) as usize;
+        if g <= self.shards[si].high_water {
+            self.shards[si].stats.refeed_skipped += 1;
+        } else {
+            let record = encode_offer_record(g, key, type_id, ts, &attrs);
+            {
+                let shard = &mut self.shards[si];
+                shard.wal.append(&mut shard.store, &record)?;
+                shard.stats.wal_appends += 1;
+            }
+            if !self.shards[si].runtimes.contains_key(&key) {
+                let rt = self.fresh_runtime()?;
+                self.shards[si].runtimes.insert(key, rt);
+            }
+            let shard = &mut self.shards[si];
+            let rt = shard.runtimes.get_mut(&key).expect("inserted above");
+            match rt.ingest(type_id, ts, attrs) {
+                // Ordering rejections are the runtime's own admission
+                // decision; deterministic, so replay makes the same one.
+                Ok(_) | Err(RuntimeError::Stream(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+            shard.high_water = g;
+            shard.stats.events_routed += 1;
+        }
+        self.tick()?;
+        Ok(g)
+    }
+
+    /// Offer a batch. Routing, logging, and high-water advancement happen
+    /// per event in arrival order; runtime application is batched per key
+    /// (in key order per shard), which admits pooled window marking while
+    /// producing the same per-key event order as serial ingest.
+    pub fn ingest_batch(&mut self, events: &[PrimitiveEvent]) -> Result<(), FleetError> {
+        let mut buckets: BTreeMap<(usize, u64), Vec<PrimitiveEvent>> = BTreeMap::new();
+        for ev in events {
+            let g = self.next_global + 1;
+            self.next_global = g;
+            let key = self.cfg.key_extractor.key_of(ev.type_id, &ev.attrs);
+            let si = shard_of(self.cfg.hash_seed, key, self.cfg.shards) as usize;
+            let shard = &mut self.shards[si];
+            if g <= shard.high_water {
+                shard.stats.refeed_skipped += 1;
+                continue;
+            }
+            let record = encode_offer_record(g, key, ev.type_id, ev.ts.0, &ev.attrs);
+            shard.wal.append(&mut shard.store, &record)?;
+            shard.stats.wal_appends += 1;
+            shard.high_water = g;
+            shard.stats.events_routed += 1;
+            buckets.entry((si, key)).or_default().push(ev.clone());
+        }
+        for ((si, key), batch) in buckets {
+            if !self.shards[si].runtimes.contains_key(&key) {
+                let rt = self.fresh_runtime()?;
+                self.shards[si].runtimes.insert(key, rt);
+            }
+            let rt = self.shards[si]
+                .runtimes
+                .get_mut(&key)
+                .expect("inserted above");
+            match rt.ingest_batch(&batch) {
+                Ok(()) | Err(RuntimeError::Stream(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.since_sync += events.len() as u64;
+        self.since_ckpt += events.len() as u64;
+        self.cadence()
+    }
+
+    fn tick(&mut self) -> Result<(), FleetError> {
+        self.since_sync += 1;
+        self.since_ckpt += 1;
+        self.cadence()
+    }
+
+    fn cadence(&mut self) -> Result<(), FleetError> {
+        if self.cfg.checkpoint_every_events > 0
+            && self.since_ckpt >= self.cfg.checkpoint_every_events
+        {
+            self.checkpoint_now()?;
+        } else if self.cfg.sync_every_events > 0 && self.since_sync >= self.cfg.sync_every_events {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Fsync every shard's WAL.
+    pub fn sync(&mut self) -> Result<(), FleetError> {
+        for shard in &mut self.shards {
+            shard.wal.sync(&mut shard.store)?;
+            shard.stats.wal_syncs += 1;
+        }
+        self.since_sync = 0;
+        Ok(())
+    }
+
+    /// Checkpoint every shard: drain accepted models, sync the WALs, then
+    /// write each shard's checkpoint stamped with the current fleet
+    /// position, prune old checkpoints, and drop covered WAL segments.
+    /// A crash anywhere inside leaves the previous checkpoint + WAL
+    /// suffix fully covering.
+    pub fn checkpoint_now(&mut self) -> Result<(), FleetError> {
+        let g = self.next_global;
+        for shard in &mut self.shards {
+            for rt in shard.runtimes.values_mut() {
+                shard.stats.models_drained += rt.take_pending_models().len() as u64;
+            }
+            shard.wal.sync(&mut shard.store)?;
+            shard.stats.wal_syncs += 1;
+        }
+        for shard in &mut self.shards {
+            let mut keys = Vec::with_capacity(shard.runtimes.len());
+            for (key, rt) in &shard.runtimes {
+                keys.push((*key, encode_checkpoint(&rt.checkpoint())));
+            }
+            let payload = encode_shard_checkpoint(&ShardCheckpoint {
+                high_water: g,
+                keys,
+            });
+            let seq = shard.wal.next_seq();
+            write_checkpoint(&mut shard.store, seq, &payload)?;
+            if let Some(oldest) = prune_checkpoints(&mut shard.store, self.cfg.keep_checkpoints)? {
+                shard.wal.prune_below(&mut shard.store, oldest)?;
+            }
+            shard.high_water = g;
+            shard.stats.checkpoints += 1;
+        }
+        self.since_ckpt = 0;
+        self.since_sync = 0;
+        Ok(())
+    }
+
+    /// Live fleet counters.
+    pub fn stats(&self) -> FleetStats {
+        let mut s = FleetStats {
+            offered: self.next_global,
+            ..FleetStats::default()
+        };
+        for shard in &self.shards {
+            s.refeed_skipped += shard.stats.refeed_skipped;
+            s.keys += shard.runtimes.len() as u64;
+            for rt in shard.runtimes.values() {
+                s.matches += rt.matches_so_far().len() as u64;
+            }
+        }
+        s
+    }
+
+    /// Per-shard counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.stats).collect()
+    }
+
+    /// Last offered fleet-global sequence number.
+    pub fn position(&self) -> u64 {
+        self.next_global
+    }
+
+    /// Finish every key runtime (evaluating trailing windows) and merge
+    /// the fleet report. Consumes the fleet without a final checkpoint —
+    /// call [`checkpoint_now`](Self::checkpoint_now) first to persist.
+    pub fn finish(self) -> FleetReport {
+        let mut keys = Vec::new();
+        let mut shards = Vec::new();
+        for (si, shard) in self.shards.into_iter().enumerate() {
+            let mut summary = ShardSummary {
+                index: si as u32,
+                keys: shard.runtimes.len() as u64,
+                matches: 0,
+                stats: shard.stats,
+            };
+            for (key, rt) in shard.runtimes {
+                let report = rt.finish();
+                summary.matches += report.matches.len() as u64;
+                keys.push(KeyReport {
+                    key,
+                    shard: si as u32,
+                    report,
+                });
+            }
+            shards.push(summary);
+        }
+        keys.sort_by_key(|k| k.key);
+        FleetReport::new(keys, shards, self.next_global)
+    }
+
+    /// Tear down without finishing, returning the shard stores (e.g. the
+    /// crashed disk images in a recovery test).
+    pub fn into_stores(self) -> Vec<S> {
+        self.shards.into_iter().map(|s| s.store).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent record encodings
+// ---------------------------------------------------------------------------
+
+struct ShardCheckpoint {
+    high_water: u64,
+    keys: Vec<(u64, Vec<u8>)>,
+}
+
+fn encode_shard_checkpoint(ckpt: &ShardCheckpoint) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u64(ckpt.high_water);
+    e.put_u64(ckpt.keys.len() as u64);
+    for (key, bytes) in &ckpt.keys {
+        e.put_u64(*key);
+        e.put_u64(bytes.len() as u64);
+        e.put_bytes(bytes);
+    }
+    e.into_bytes()
+}
+
+fn decode_shard_checkpoint(payload: &[u8]) -> Result<ShardCheckpoint, CodecError> {
+    let mut d = Decoder::new(payload);
+    let high_water = d.take_u64()?;
+    let n = d.take_u64()? as usize;
+    let mut keys = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let key = d.take_u64()?;
+        let len = d.take_u64()? as usize;
+        keys.push((key, d.take_bytes(len)?.to_vec()));
+    }
+    d.finish()?;
+    Ok(ShardCheckpoint { high_water, keys })
+}
+
+/// WAL record: `g | key | offer`, where `offer` is the durable tier's
+/// exact offer encoding ([`encode_offer`]).
+fn encode_offer_record(g: u64, key: u64, type_id: TypeId, ts: u64, attrs: &[AttrValue]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u64(g);
+    e.put_u64(key);
+    e.put_bytes(&encode_offer(type_id, ts, attrs));
+    e.into_bytes()
+}
+
+fn decode_offer_record(
+    payload: &[u8],
+) -> Result<(u64, u64, TypeId, u64, Vec<AttrValue>), CodecError> {
+    let mut d = Decoder::new(payload);
+    let g = d.take_u64()?;
+    let key = d.take_u64()?;
+    let rest = d.take_bytes(d.remaining())?;
+    let (type_id, ts, attrs) = decode_offer(rest)?;
+    Ok((g, key, type_id, ts, attrs))
+}

@@ -1,0 +1,75 @@
+//! The fleet's key-partitioning hash: a seedable FxHash-style mixer,
+//! vendored so the routing function is **pinned** — the byte-for-byte
+//! layout of every shard directory depends on it.
+//!
+//! ## Stability contract
+//!
+//! `shard_of(seed, key, n)` decides which shard's WAL an event is logged
+//! to. Recovery replays each shard's log into that shard's runtimes, so the
+//! function must never drift between the build that wrote a fleet and the
+//! build that recovers it. Hence:
+//!
+//! - the math is written out here (no `std::hash` / external crates, whose
+//!   output may change across versions or platforms);
+//! - [`HASH_REVISION`] names the current math. Any change to the mixing —
+//!   however "compatible" it looks — must bump it, and the fleet manifest
+//!   check then refuses to recover stores written under the old revision;
+//! - `tests/key_hash_stability.rs` pins exact output values, so an
+//!   accidental change fails loudly.
+//!
+//! The mixer is FxHash's word round (`h = (h <<< 5 ^ w) * K`, with
+//! Firefox's 64-bit multiplier) seeded with the fleet's hash seed, followed
+//! by one xor-shift-multiply finalizer: a single Fx round leaves the low
+//! bits of small integer keys barely mixed, and `% shards` reads exactly
+//! those bits.
+
+/// Revision of the mixing math below. Bump on ANY change to
+/// [`fx_hash64`] / [`shard_of`]; persisted in every shard's fleet manifest.
+pub const HASH_REVISION: u32 = 1;
+
+/// Default fleet hash seed.
+pub const DEFAULT_HASH_SEED: u64 = 0xD1AC_E75E_ED00_0001;
+
+/// FxHash's 64-bit multiplicative constant (π's fractional bits).
+const FX_MULT: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Seeded FxHash round plus an avalanche finalizer. See the [module
+/// docs](self) for the stability contract.
+#[inline]
+pub fn fx_hash64(seed: u64, key: u64) -> u64 {
+    let h = (seed.rotate_left(5) ^ key).wrapping_mul(FX_MULT);
+    (h ^ (h >> 32)).wrapping_mul(FX_MULT)
+}
+
+/// Shard assignment of `key` in a fleet of `shards` shards.
+#[inline]
+pub fn shard_of(seed: u64, key: u64, shards: u32) -> u32 {
+    debug_assert!(shards > 0, "a fleet has at least one shard");
+    (fx_hash64(seed, key) % u64::from(shards.max(1))) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_changes_routing() {
+        assert_ne!(fx_hash64(DEFAULT_HASH_SEED, 0), fx_hash64(7, 0));
+    }
+
+    #[test]
+    fn small_keys_spread_across_shards() {
+        // 256 consecutive keys over 8 shards: every shard gets some and no
+        // shard hogs the stream (a weak-low-bits mixer fails this).
+        let mut counts = [0u32; 8];
+        for key in 0..256u64 {
+            counts[shard_of(DEFAULT_HASH_SEED, key, 8) as usize] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                (16..=64).contains(&c),
+                "shard {shard} got {c}/256 keys: {counts:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # dlacep-serve
+//!
+//! Keyed multi-shard ingestion tier for DLACEP: one front door, N
+//! independent durable runtime shards.
+//!
+//! Events are stamped with a fleet-global sequence number, keyed by a
+//! [`KeyExtractor`](dlacep_events::KeyExtractor), and hash-partitioned
+//! ([`hash`]) across shards, each of which owns its own WAL + checkpoint
+//! directory and its own per-key [`StreamingDlacep`] runtimes — guard,
+//! drift, and retrain lifecycles included. [`ShardedDlacep::recover`]
+//! restores the whole fleet and tells the source where to resume.
+//!
+//! Front ends, outermost first:
+//! - [`server`]: a TCP accept loop speaking the `DMSV` length-prefixed
+//!   wire protocol ([`wire`]);
+//! - [`channel`]: the in-process bounded-mpsc ingest pump (the primary
+//!   tested path);
+//! - [`ShardedDlacep`] itself, for callers that already own a thread.
+//!
+//! Results merge into a [`FleetReport`]: per-key runtime reports in
+//! canonical key order, per-shard rollups, fleet totals, and one labeled
+//! Prometheus scrape for the whole fleet.
+//!
+//! [`StreamingDlacep`]: dlacep_core::StreamingDlacep
+
+pub mod channel;
+pub mod fleet;
+pub mod hash;
+pub mod report;
+pub mod server;
+pub mod wire;
+
+pub use channel::{spawn, ServeError, ServeHandle, ServePump};
+pub use fleet::{
+    shards_from_env, FilterFactory, FleetConfig, FleetError, FleetRecoveryReport, FleetStats,
+    ShardRecovery, ShardStats, ShardedDlacep, TrainerFactory, SHARDS_ENV,
+};
+pub use hash::{fx_hash64, shard_of, DEFAULT_HASH_SEED, HASH_REVISION};
+pub use report::{FleetReport, FleetTotals, KeyReport, ShardSummary};
+pub use server::{serve_addr_from_env, WireClient, WireServer, SERVE_ADDR_ENV};
+pub use wire::{
+    encode_msg, write_msg, FrameReader, WireError, WireMsg, MAX_WIRE_PAYLOAD, WIRE_MAGIC,
+    WIRE_VERSION,
+};

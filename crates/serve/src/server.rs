@@ -1,0 +1,167 @@
+//! Minimal TCP front door speaking the `DMSV` wire protocol.
+//!
+//! One accept loop, one thread per connection, each connection a FIFO of
+//! frames feeding the shared [`ServeHandle`]. Ordering *across*
+//! connections is whatever the channel interleaving produces — keyed
+//! determinism holds per connection, which is the deployment shape the
+//! tests pin (one producer). A malformed frame gets a best-effort
+//! [`WireMsg::Error`] reply and closes that connection; the fleet and the
+//! other connections are unaffected.
+
+use crate::channel::{ServeError, ServeHandle};
+use crate::wire::{write_msg, FrameReader, WireError, WireMsg};
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::thread::JoinHandle;
+
+/// Environment variable naming the TCP listen address.
+pub const SERVE_ADDR_ENV: &str = "DLACEP_SERVE_ADDR";
+
+/// Listen address from `DLACEP_SERVE_ADDR`, or `default` when unset/empty.
+pub fn serve_addr_from_env(default: &str) -> String {
+    std::env::var(SERVE_ADDR_ENV)
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Accept loop over a bound listener, forwarding frames into a fleet's
+/// [`ServeHandle`].
+pub struct WireServer {
+    listener: TcpListener,
+    handle: ServeHandle,
+}
+
+impl WireServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port).
+    pub fn bind(addr: impl ToSocketAddrs, handle: ServeHandle) -> io::Result<WireServer> {
+        Ok(WireServer {
+            listener: TcpListener::bind(addr)?,
+            handle,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept exactly `n` connections, serving each on its own thread, and
+    /// wait for all of them to finish. A bounded accept count keeps the
+    /// server test-friendly — no shutdown flag or signal plumbing.
+    pub fn serve_connections(self, n: usize) -> io::Result<()> {
+        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (stream, _) = self.listener.accept()?;
+            let handle = self.handle.clone();
+            workers.push(std::thread::spawn(move || {
+                let _ = handle_conn(stream, handle);
+            }));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn serve_err(e: ServeError) -> WireError {
+    WireError::Protocol(e.to_string())
+}
+
+fn handle_conn(stream: TcpStream, handle: ServeHandle) -> Result<(), WireError> {
+    let mut reader = FrameReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match reader.read_msg() {
+            Ok(None) => return Ok(()), // clean close
+            Ok(Some(WireMsg::Ingest { type_id, ts, attrs })) => {
+                handle.ingest(type_id, ts, attrs).map_err(serve_err)?;
+            }
+            Ok(Some(WireMsg::Flush)) => {
+                let reply = match handle.sync().and_then(|()| handle.stats()) {
+                    Ok(stats) => WireMsg::Summary {
+                        offered: stats.offered,
+                        matches: stats.matches,
+                        keys: stats.keys,
+                        refeed_skipped: stats.refeed_skipped,
+                    },
+                    Err(e) => WireMsg::Error {
+                        message: e.to_string(),
+                    },
+                };
+                write_msg(&mut writer, &reply)?;
+                writer.flush()?;
+            }
+            Ok(Some(other)) => {
+                let reply = WireMsg::Error {
+                    message: format!("unexpected client message: {other:?}"),
+                };
+                write_msg(&mut writer, &reply)?;
+                writer.flush()?;
+                return Err(WireError::Protocol("unexpected client message".into()));
+            }
+            Err(e) => {
+                // Best-effort diagnosis to the peer, then drop the
+                // connection: after a framing error the stream position is
+                // unknowable.
+                let _ = write_msg(
+                    &mut writer,
+                    &WireMsg::Error {
+                        message: e.to_string(),
+                    },
+                );
+                let _ = writer.flush();
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Blocking client for the wire protocol.
+pub struct WireClient {
+    reader: FrameReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl WireClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(WireClient {
+            reader: FrameReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Offer one event (buffered; framed on the wire, flushed with
+    /// [`flush`](Self::flush)).
+    pub fn ingest(
+        &mut self,
+        type_id: dlacep_events::TypeId,
+        ts: u64,
+        attrs: Vec<f64>,
+    ) -> Result<(), WireError> {
+        write_msg(&mut self.writer, &WireMsg::Ingest { type_id, ts, attrs })
+    }
+
+    /// Flush buffered ingests, ask the server for a durability barrier,
+    /// and return its [`WireMsg::Summary`] counters as
+    /// `(offered, matches, keys, refeed_skipped)`.
+    pub fn flush(&mut self) -> Result<(u64, u64, u64, u64), WireError> {
+        write_msg(&mut self.writer, &WireMsg::Flush)?;
+        self.writer.flush()?;
+        match self.reader.read_msg()? {
+            Some(WireMsg::Summary {
+                offered,
+                matches,
+                keys,
+                refeed_skipped,
+            }) => Ok((offered, matches, keys, refeed_skipped)),
+            Some(WireMsg::Error { message }) => Err(WireError::Protocol(message)),
+            Some(other) => Err(WireError::Protocol(format!(
+                "expected Summary, got {other:?}"
+            ))),
+            None => Err(WireError::Protocol("server closed before Summary".into())),
+        }
+    }
+}

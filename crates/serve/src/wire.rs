@@ -1,0 +1,317 @@
+//! The `DMSV` wire protocol: length-prefixed binary frames over a byte
+//! stream, reusing the dur codec's CRC framing.
+//!
+//! Every message is one frame: `magic "DMSV" (4) | version (2 LE) |
+//! payload len (4 LE) | crc32 (4 LE) | payload` — exactly the layout of
+//! checkpoint and manifest frames ([`dlacep_dur::codec::encode_frame`]),
+//! so the same failure taxonomy applies on the wire: a connection cut
+//! mid-frame decodes as [`CodecError::Truncated`], a flipped bit as
+//! [`CodecError::ChecksumMismatch`] — always a typed [`WireError`], never
+//! a panic and never a silently skipped message.
+//!
+//! [`FrameReader`] additionally validates the length prefix **before**
+//! allocating or waiting for the body: a frame announcing more than
+//! [`MAX_WIRE_PAYLOAD`] bytes is rejected as [`WireError::Oversized`], so
+//! a corrupt or malicious length field cannot make the server buffer
+//! gigabytes. The reader is incremental and tolerates arbitrarily
+//! fragmented reads (one byte at a time is fine), as sockets deliver.
+
+use dlacep_dur::codec::{self, CodecError, Dec, Decoder, Enc, Encoder, FRAME_HEADER_BYTES};
+use dlacep_events::{AttrValue, TypeId};
+use std::io::{self, Read, Write};
+
+/// Magic tag of wire frames ("DLACEP multi-shard serve").
+pub const WIRE_MAGIC: [u8; 4] = *b"DMSV";
+/// Current wire format version.
+pub const WIRE_VERSION: u16 = 1;
+/// Hard cap on a frame's payload length; larger length prefixes are
+/// rejected before any allocation.
+pub const MAX_WIRE_PAYLOAD: u32 = 1 << 20;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Client → server: offer one event to the fleet.
+    Ingest {
+        type_id: TypeId,
+        ts: u64,
+        attrs: Vec<AttrValue>,
+    },
+    /// Client → server: make everything offered so far durable and reply
+    /// with a [`WireMsg::Summary`].
+    Flush,
+    /// Server → client: fleet counters at the time the flush completed.
+    Summary {
+        /// Events offered to the fleet so far (all connections).
+        offered: u64,
+        /// Matches emitted across all keys so far.
+        matches: u64,
+        /// Distinct keys with a live runtime.
+        keys: u64,
+        /// Events skipped as already-applied during post-recovery re-feed.
+        refeed_skipped: u64,
+    },
+    /// Server → client: the request failed; the connection stays usable.
+    Error { message: String },
+}
+
+const TAG_INGEST: u8 = 0;
+const TAG_FLUSH: u8 = 1;
+const TAG_SUMMARY: u8 = 2;
+const TAG_ERROR: u8 = 3;
+
+impl Enc for WireMsg {
+    fn enc(&self, e: &mut Encoder) {
+        match self {
+            WireMsg::Ingest { type_id, ts, attrs } => {
+                e.put_u8(TAG_INGEST);
+                e.put_u32(type_id.0);
+                e.put_u64(*ts);
+                e.put(attrs);
+            }
+            WireMsg::Flush => e.put_u8(TAG_FLUSH),
+            WireMsg::Summary {
+                offered,
+                matches,
+                keys,
+                refeed_skipped,
+            } => {
+                e.put_u8(TAG_SUMMARY);
+                e.put_u64(*offered);
+                e.put_u64(*matches);
+                e.put_u64(*keys);
+                e.put_u64(*refeed_skipped);
+            }
+            WireMsg::Error { message } => {
+                e.put_u8(TAG_ERROR);
+                e.put(message);
+            }
+        }
+    }
+}
+
+impl Dec for WireMsg {
+    fn dec(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.take_u8()? {
+            TAG_INGEST => Ok(WireMsg::Ingest {
+                type_id: TypeId(d.take_u32()?),
+                ts: d.take_u64()?,
+                attrs: d.get()?,
+            }),
+            TAG_FLUSH => Ok(WireMsg::Flush),
+            TAG_SUMMARY => Ok(WireMsg::Summary {
+                offered: d.take_u64()?,
+                matches: d.take_u64()?,
+                keys: d.take_u64()?,
+                refeed_skipped: d.take_u64()?,
+            }),
+            TAG_ERROR => Ok(WireMsg::Error { message: d.get()? }),
+            other => Err(CodecError::Malformed(format!("wire message tag {other}"))),
+        }
+    }
+}
+
+/// Wire protocol failures. Every decode problem is a value of this type —
+/// the reader never panics on hostile bytes.
+#[derive(Debug)]
+pub enum WireError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The frame or its payload did not validate/decode (torn tail →
+    /// [`CodecError::Truncated`], bit flip → [`CodecError::ChecksumMismatch`],
+    /// wrong magic/version/payload shape → their respective variants).
+    Codec(CodecError),
+    /// The length prefix announced a payload above [`MAX_WIRE_PAYLOAD`];
+    /// rejected before allocation.
+    Oversized { len: u32, max: u32 },
+    /// A structurally valid message arrived where the protocol does not
+    /// allow it (e.g. a client receiving `Ingest`).
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o: {e}"),
+            WireError::Codec(e) => write!(f, "wire frame: {e}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "wire frame announces {len} payload bytes (cap {max})")
+            }
+            WireError::Protocol(msg) => write!(f, "wire protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+/// Encode one message as a complete `DMSV` frame.
+pub fn encode_msg(msg: &WireMsg) -> Vec<u8> {
+    let mut payload = Encoder::new();
+    payload.put(msg);
+    codec::encode_frame(WIRE_MAGIC, WIRE_VERSION, payload.bytes())
+}
+
+/// Write one message to `w` (no flush; the caller owns buffering policy).
+pub fn write_msg<W: Write>(w: &mut W, msg: &WireMsg) -> Result<(), WireError> {
+    w.write_all(&encode_msg(msg))?;
+    Ok(())
+}
+
+/// Incremental frame reader over any [`Read`]. Handles partial reads (a
+/// socket delivering one byte at a time), multiple frames per read, and
+/// leftover bytes between calls.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// The wrapped transport (e.g. to shut a socket down).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Read until at least `target` bytes are buffered or the transport
+    /// reports EOF. Returns the buffered length.
+    fn fill(&mut self, target: usize) -> Result<usize, io::Error> {
+        let mut chunk = [0u8; 4096];
+        while self.buf.len() < target {
+            let got = self.inner.read(&mut chunk)?;
+            if got == 0 {
+                break;
+            }
+            self.buf.extend_from_slice(&chunk[..got]);
+        }
+        Ok(self.buf.len())
+    }
+
+    /// Read the next message. `Ok(None)` is a clean EOF — the transport
+    /// closed exactly on a frame boundary. EOF anywhere *inside* a frame is
+    /// a torn frame: `Err(Codec(Truncated))`.
+    pub fn read_msg(&mut self) -> Result<Option<WireMsg>, WireError> {
+        let have = self.fill(FRAME_HEADER_BYTES)?;
+        if have == 0 {
+            return Ok(None);
+        }
+        if have < FRAME_HEADER_BYTES {
+            return Err(CodecError::Truncated {
+                needed: FRAME_HEADER_BYTES,
+                remaining: have,
+            }
+            .into());
+        }
+        // Pre-validate the prefix before committing to buffer the body:
+        // magic and version identify the stream, the length field bounds
+        // the allocation. CRC validation follows once the body is here.
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&self.buf[0..4]);
+        if magic != WIRE_MAGIC {
+            return Err(CodecError::BadMagic {
+                expected: WIRE_MAGIC,
+                got: magic,
+            }
+            .into());
+        }
+        let version = u16::from_le_bytes(self.buf[4..6].try_into().expect("2 bytes"));
+        if version > WIRE_VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                got: version,
+                max: WIRE_VERSION,
+            }
+            .into());
+        }
+        let len = u32::from_le_bytes(self.buf[6..10].try_into().expect("4 bytes"));
+        if len > MAX_WIRE_PAYLOAD {
+            return Err(WireError::Oversized {
+                len,
+                max: MAX_WIRE_PAYLOAD,
+            });
+        }
+        let total = FRAME_HEADER_BYTES + len as usize;
+        let have = self.fill(total)?;
+        if have < total {
+            return Err(CodecError::Truncated {
+                needed: total,
+                remaining: have,
+            }
+            .into());
+        }
+        let msg = {
+            let (_, payload, consumed) = codec::scan_frame(WIRE_MAGIC, WIRE_VERSION, &self.buf)?;
+            debug_assert_eq!(consumed, total);
+            let mut d = Decoder::new(payload);
+            let msg = d.get::<WireMsg>()?;
+            d.finish()?;
+            msg
+        };
+        self.buf.drain(..total);
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_variants() {
+        let msgs = vec![
+            WireMsg::Ingest {
+                type_id: TypeId(7),
+                ts: 99,
+                attrs: vec![1.5, -0.25],
+            },
+            WireMsg::Flush,
+            WireMsg::Summary {
+                offered: 10,
+                matches: 3,
+                keys: 2,
+                refeed_skipped: 0,
+            },
+            WireMsg::Error {
+                message: "nope".into(),
+            },
+        ];
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            bytes.extend_from_slice(&encode_msg(m));
+        }
+        let mut reader = FrameReader::new(&bytes[..]);
+        for m in &msgs {
+            assert_eq!(reader.read_msg().unwrap().as_ref(), Some(m));
+        }
+        assert!(reader.read_msg().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_buffering() {
+        let mut frame = encode_msg(&WireMsg::Flush);
+        frame[6..10].copy_from_slice(&(MAX_WIRE_PAYLOAD + 1).to_le_bytes());
+        let mut reader = FrameReader::new(&frame[..]);
+        match reader.read_msg() {
+            Err(WireError::Oversized { len, .. }) => {
+                assert_eq!(len, MAX_WIRE_PAYLOAD + 1)
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Pins the partitioning hash and the manifest-based recovery refusal.
+//!
+//! The fleet's shard layout is a persistent artifact: every WAL record and
+//! checkpoint lives in the shard directory the hash routed its key to. The
+//! first half of this battery pins `fx_hash64` / `shard_of` to exact
+//! values — any change to the mixing math (which must come with a
+//! [`HASH_REVISION`] bump) fails here loudly. The second half proves the
+//! manifest check actually refuses the dangerous recoveries: a different
+//! shard count, a different seed, a different partitioner, or shard stores
+//! assembled in the wrong order would all silently misroute keys if
+//! allowed through.
+
+use dlacep_cep::{Pattern, PatternExpr, TypeSet};
+use dlacep_core::OracleFilter;
+use dlacep_dur::{MemStore, Store};
+use dlacep_events::{KeyExtractor, TypeId, WindowSpec};
+use dlacep_serve::{
+    fx_hash64, shard_of, FleetConfig, FleetError, ShardedDlacep, DEFAULT_HASH_SEED, HASH_REVISION,
+};
+use std::sync::Arc;
+
+#[test]
+fn hash_revision_is_one() {
+    // Bumping the revision invalidates every existing fleet layout; it must
+    // be deliberate, not a side effect. Update this pin together with the
+    // value pins below and the manifest migration story.
+    assert_eq!(HASH_REVISION, 1);
+}
+
+#[test]
+fn fx_hash64_values_are_pinned() {
+    // (key, hash under the default seed) — computed once at revision 1.
+    // These must NEVER change without a HASH_REVISION bump.
+    for (key, expect) in [
+        (0u64, 0x898d42f3d07ee356u64),
+        (1, 0x564582fbc9f87b5f),
+        (2, 0x2717956d1187988e),
+        (3, 0x1551a5b7889ee448),
+        (42, 0x596ce10d4333cc60),
+        (0xDEAD_BEEF, 0x69d6ba71d469472b),
+    ] {
+        assert_eq!(
+            fx_hash64(DEFAULT_HASH_SEED, key),
+            expect,
+            "fx_hash64(default, {key}) drifted — this breaks every existing fleet layout"
+        );
+    }
+    assert_eq!(
+        fx_hash64(7, 0),
+        0x9dade2cf70ea51ca,
+        "seeded variant drifted"
+    );
+}
+
+#[test]
+fn shard_assignments_are_pinned() {
+    for (key, at4, at8) in [
+        (0u64, 2u32, 6u32),
+        (1, 3, 7),
+        (2, 2, 6),
+        (3, 0, 0),
+        (42, 0, 0),
+        (0xDEAD_BEEF, 3, 3),
+    ] {
+        assert_eq!(shard_of(DEFAULT_HASH_SEED, key, 4), at4, "key {key} % 4");
+        assert_eq!(shard_of(DEFAULT_HASH_SEED, key, 8), at8, "key {key} % 8");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest refusal
+// ---------------------------------------------------------------------------
+
+fn pattern() -> Pattern {
+    Pattern::new(
+        PatternExpr::Seq(vec![
+            PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
+            PatternExpr::event(TypeSet::single(TypeId(1)), "b"),
+        ]),
+        vec![],
+        WindowSpec::Count(8),
+    )
+}
+
+fn fleet_config(shards: u32) -> FleetConfig {
+    FleetConfig {
+        shards,
+        key_extractor: KeyExtractor::ByTypeGroup(4),
+        sync_every_events: 4,
+        checkpoint_every_events: 16,
+        ..FleetConfig::default()
+    }
+}
+
+/// Run a small 2-shard fleet to a checkpoint and hand back its stores.
+fn written_fleet() -> Vec<MemStore> {
+    let pat = pattern();
+    let mut fleet = ShardedDlacep::create(
+        pat.clone(),
+        fleet_config(2),
+        Arc::new(move || OracleFilter::new(pat.clone())),
+        Arc::new(|| None),
+        vec![MemStore::new(), MemStore::new()],
+    )
+    .unwrap();
+    for i in 0..40u64 {
+        fleet
+            .ingest(TypeId((i % 5) as u32), i, vec![i as f64])
+            .unwrap();
+    }
+    fleet.checkpoint_now().unwrap();
+    fleet.into_stores()
+}
+
+fn recover_with(cfg: FleetConfig, stores: Vec<MemStore>) -> Result<(), FleetError> {
+    let pat = pattern();
+    let pat2 = pat.clone();
+    ShardedDlacep::recover(
+        pat,
+        cfg,
+        Arc::new(move || OracleFilter::new(pat2.clone())),
+        Arc::new(|| None),
+        stores,
+    )
+    .map(|_| ())
+}
+
+fn expect_refused(result: Result<(), FleetError>, ctx: &str) {
+    match result {
+        Err(FleetError::Refused(msg)) => {
+            assert!(!msg.is_empty(), "{ctx}: refusal must explain itself")
+        }
+        other => panic!("{ctx}: expected FleetError::Refused, got {other:?}"),
+    }
+}
+
+#[test]
+fn matching_config_recovers() {
+    let stores = written_fleet();
+    assert!(recover_with(fleet_config(2), stores).is_ok());
+}
+
+#[test]
+fn different_shard_count_is_refused() {
+    let mut stores = written_fleet();
+    stores.push(MemStore::new());
+    expect_refused(recover_with(fleet_config(3), stores), "shard count 2 → 3");
+}
+
+#[test]
+fn different_hash_seed_is_refused() {
+    let stores = written_fleet();
+    let cfg = FleetConfig {
+        hash_seed: 0x1234,
+        ..fleet_config(2)
+    };
+    expect_refused(recover_with(cfg, stores), "different hash seed");
+}
+
+#[test]
+fn different_partitioner_is_refused() {
+    let stores = written_fleet();
+    let cfg = FleetConfig {
+        key_extractor: KeyExtractor::ByType,
+        ..fleet_config(2)
+    };
+    expect_refused(recover_with(cfg, stores), "ByTypeGroup(4) → ByType");
+}
+
+#[test]
+fn swapped_shard_order_is_refused() {
+    let mut stores = written_fleet();
+    stores.swap(0, 1);
+    expect_refused(recover_with(fleet_config(2), stores), "shard order swap");
+}
+
+#[test]
+fn data_without_manifest_is_refused() {
+    let mut stores = written_fleet();
+    // Simulate a store that predates the manifest (or lost it): data
+    // present, fingerprint gone. Recovery must not guess.
+    stores[0].remove("fleet.manifest").unwrap();
+    expect_refused(recover_with(fleet_config(2), stores), "manifest removed");
+}

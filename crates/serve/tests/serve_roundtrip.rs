@@ -1,0 +1,228 @@
+//! End-to-end serving-tier round trips: the in-process channel pump and
+//! the TCP wire front door must both produce exactly the result of driving
+//! the fleet directly, and a recovered fleet resumed from `resume_seq`
+//! must converge to the uninterrupted run.
+
+use dlacep_cep::{Pattern, PatternExpr, TypeSet};
+use dlacep_core::OracleFilter;
+use dlacep_data::StockConfig;
+use dlacep_dur::MemStore;
+use dlacep_events::{EventStream, KeyExtractor, TypeId, WindowSpec};
+use dlacep_serve::{spawn, FleetConfig, FleetReport, ShardedDlacep, WireClient, WireServer};
+use std::sync::Arc;
+
+fn pattern() -> Pattern {
+    Pattern::new(
+        PatternExpr::Seq(vec![
+            PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
+            PatternExpr::event(TypeSet::single(TypeId(1)), "b"),
+            PatternExpr::event(TypeSet::single(TypeId(2)), "c"),
+        ]),
+        vec![],
+        WindowSpec::Count(12),
+    )
+}
+
+fn stream(n: usize) -> EventStream {
+    let (_, stream) = StockConfig {
+        num_events: n,
+        ..Default::default()
+    }
+    .generate();
+    stream
+}
+
+fn fleet_config(shards: u32) -> FleetConfig {
+    FleetConfig {
+        shards,
+        key_extractor: KeyExtractor::ByTypeGroup(4),
+        sync_every_events: 16,
+        checkpoint_every_events: 96,
+        ..FleetConfig::default()
+    }
+}
+
+fn make_fleet(shards: u32) -> ShardedDlacep<OracleFilter, MemStore> {
+    let pat = pattern();
+    ShardedDlacep::create(
+        pattern(),
+        fleet_config(shards),
+        Arc::new(move || OracleFilter::new(pat.clone())),
+        Arc::new(|| None),
+        (0..shards).map(|_| MemStore::new()).collect(),
+    )
+    .unwrap()
+}
+
+fn direct_run(stream: &EventStream) -> FleetReport {
+    let mut fleet = make_fleet(4);
+    for ev in stream.events() {
+        fleet.ingest(ev.type_id, ev.ts.0, ev.attrs.clone()).unwrap();
+    }
+    fleet.finish()
+}
+
+fn assert_reports_match(a: &FleetReport, b: &FleetReport, ctx: &str) {
+    // refeed_skipped is the one counter that legitimately differs between
+    // an uninterrupted run and a recovered one — it *counts* the re-feed.
+    let mut ta = a.totals;
+    let mut tb = b.totals;
+    ta.refeed_skipped = 0;
+    tb.refeed_skipped = 0;
+    assert_eq!(ta, tb, "{ctx}: totals");
+    assert_eq!(
+        a.keys.iter().map(|k| k.key).collect::<Vec<_>>(),
+        b.keys.iter().map(|k| k.key).collect::<Vec<_>>(),
+        "{ctx}: key sets"
+    );
+    for (ka, kb) in a.keys.iter().zip(&b.keys) {
+        assert_eq!(
+            ka.report.matches, kb.report.matches,
+            "{ctx}: key {} matches",
+            ka.key
+        );
+    }
+}
+
+#[test]
+fn channel_front_end_matches_direct_run() {
+    let stream = stream(1_200);
+    let expect = direct_run(&stream);
+
+    let (handle, pump) = spawn(make_fleet(4), 64);
+    for ev in stream.events() {
+        handle
+            .ingest(ev.type_id, ev.ts.0, ev.attrs.clone())
+            .unwrap();
+    }
+    handle.sync().unwrap();
+    let stats = handle.stats().unwrap();
+    assert_eq!(stats.offered, stream.events().len() as u64);
+    assert!(stats.matches > 0, "workload must produce matches");
+    drop(handle);
+    let report = pump.finish().unwrap();
+    assert_reports_match(&expect, &report, "channel pump");
+}
+
+#[test]
+fn tcp_front_end_matches_direct_run() {
+    let stream = stream(800);
+    let expect = direct_run(&stream);
+
+    let (handle, pump) = spawn(make_fleet(4), 64);
+    let server = WireServer::bind("127.0.0.1:0", handle.clone()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.serve_connections(1));
+
+    let mut client = WireClient::connect(addr).unwrap();
+    for ev in stream.events() {
+        client
+            .ingest(ev.type_id, ev.ts.0, ev.attrs.clone())
+            .unwrap();
+    }
+    let (offered, matches, keys, refeed_skipped) = client.flush().unwrap();
+    assert_eq!(offered, stream.events().len() as u64);
+    assert!(matches > 0);
+    assert!(keys > 1);
+    assert_eq!(refeed_skipped, 0);
+    drop(client);
+    server_thread.join().unwrap().unwrap();
+
+    drop(handle);
+    let report = pump.finish().unwrap();
+    assert_reports_match(&expect, &report, "tcp front end");
+    // finish() evaluates trailing windows, so the final count can only grow
+    // past what the mid-stream flush summary saw.
+    assert!(
+        report.totals.matches >= matches,
+        "flush summary ({matches}) vs final report ({})",
+        report.totals.matches
+    );
+}
+
+#[test]
+fn recovered_fleet_resumes_to_uninterrupted_result() {
+    let stream = stream(1_000);
+    let expect = direct_run(&stream);
+    let events = stream.events();
+
+    // Interrupt a run mid-stream after an explicit checkpoint plus a few
+    // more (WAL-only) events, then recover and re-feed from resume_seq.
+    let mut fleet = make_fleet(4);
+    for ev in &events[..600] {
+        fleet.ingest(ev.type_id, ev.ts.0, ev.attrs.clone()).unwrap();
+    }
+    fleet.checkpoint_now().unwrap();
+    for ev in &events[600..730] {
+        fleet.ingest(ev.type_id, ev.ts.0, ev.attrs.clone()).unwrap();
+    }
+    fleet.sync().unwrap();
+    let stores = fleet.into_stores();
+
+    let pat = pattern();
+    let (mut recovered, report) = ShardedDlacep::recover(
+        pattern(),
+        fleet_config(4),
+        Arc::new(move || OracleFilter::new(pat.clone())),
+        Arc::new(|| None),
+        stores,
+    )
+    .unwrap();
+    assert!(
+        report.resume_seq > 600 && report.resume_seq <= 731,
+        "resume_seq {} must cover exactly the durable prefix",
+        report.resume_seq
+    );
+    for ev in &events[(report.resume_seq - 1) as usize..] {
+        recovered
+            .ingest(ev.type_id, ev.ts.0, ev.attrs.clone())
+            .unwrap();
+    }
+    let got = recovered.finish();
+    assert_reports_match(&expect, &got, "recovered fleet");
+}
+
+#[test]
+fn prometheus_scrape_has_one_type_header_per_metric() {
+    let stream = stream(600);
+    let mut fleet = {
+        let pat = pattern();
+        ShardedDlacep::create(
+            pattern(),
+            FleetConfig {
+                obs: true,
+                ..fleet_config(4)
+            },
+            Arc::new(move || OracleFilter::new(pat.clone())),
+            Arc::new(|| None),
+            (0..4).map(|_| MemStore::new()).collect(),
+        )
+        .unwrap()
+    };
+    for ev in stream.events() {
+        fleet.ingest(ev.type_id, ev.ts.0, ev.attrs.clone()).unwrap();
+    }
+    let report = fleet.finish();
+    let scrape = report.render_prometheus();
+    assert!(
+        scrape.contains(r#"serve_events_routed{shard="0"}"#),
+        "scrape must label per-shard series:\n{scrape}"
+    );
+    assert!(
+        scrape.contains(r#"{shard="3"}"#),
+        "every shard appears:\n{scrape}"
+    );
+    // One TYPE header per metric name, not one per shard.
+    let type_lines: Vec<&str> = scrape
+        .lines()
+        .filter(|l| l.starts_with("# TYPE "))
+        .collect();
+    let mut names: Vec<&str> = type_lines
+        .iter()
+        .map(|l| l.split_whitespace().nth(2).unwrap())
+        .collect();
+    names.sort_unstable();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(before, names.len(), "duplicate TYPE headers:\n{scrape}");
+}

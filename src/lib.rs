@@ -14,7 +14,10 @@
 //! * [`core`] — the DLACEP framework: assembler, filters, pipeline, trainer;
 //! * [`obs`] — zero-dependency metrics, spans, and the event journal;
 //! * [`dur`] — durability primitives: binary codec, write-ahead log,
-//!   checkpoints, and crash injection.
+//!   checkpoints, and crash injection;
+//! * [`serve`] — the keyed multi-shard ingestion tier: hash-partitioned
+//!   durable runtime shards, fleet-wide crash recovery, in-process and
+//!   TCP (`DMSV` wire protocol) front ends.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `dlacep-bench` crate for the paper's experiments.
@@ -27,6 +30,7 @@ pub use dlacep_events as events;
 pub use dlacep_nn as nn;
 pub use dlacep_obs as obs;
 pub use dlacep_par as par;
+pub use dlacep_serve as serve;
 
 /// One-stop glob import for applications: the core prelude (pipeline,
 /// builders, filters, runtime, quantized fast path) plus the pattern

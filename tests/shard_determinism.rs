@@ -1,0 +1,195 @@
+//! Shard-determinism battery for the `dlacep-serve` fleet.
+//!
+//! The serving tier's contract is that shard count is a pure *placement*
+//! knob and thread count a pure *throughput* knob: a fleet's merged result
+//! — per-key matches (values and order), every per-key report counter, the
+//! fleet totals, and the per-key deterministic metric views — must be
+//! bitwise identical across `shards ∈ {1, 2, 4, 8}` × `threads ∈ {1, 4}`,
+//! on both the stock and synthetic workloads. Keys never share assembler
+//! windows, so repacking keys onto shards (or onto pool workers) must not
+//! leak into anything a caller can observe.
+
+use dlacep::cep::{Pattern, PatternExpr, TypeSet};
+use dlacep::core::{OracleFilter, Parallelism, RuntimeConfig, RuntimeReport};
+use dlacep::data::{StockConfig, SyntheticConfig};
+use dlacep::dur::MemStore;
+use dlacep::events::{EventStream, KeyExtractor, TypeId, WindowSpec};
+use dlacep::serve::{FleetConfig, FleetReport, ShardedDlacep};
+use std::sync::Arc;
+
+const SHARDS: [u32; 4] = [1, 2, 4, 8];
+const THREADS: [usize; 2] = [1, 4];
+
+fn seq_pattern(types: &[u32], w: u64) -> Pattern {
+    let leaves = types
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| PatternExpr::event(TypeSet::single(TypeId(t)), format!("s{i}")))
+        .collect();
+    Pattern::new(PatternExpr::Seq(leaves), vec![], WindowSpec::Count(w))
+}
+
+fn stock_stream(n: usize) -> EventStream {
+    let (_, stream) = StockConfig {
+        num_events: n,
+        ..Default::default()
+    }
+    .generate();
+    stream
+}
+
+fn synthetic_stream(n: usize) -> EventStream {
+    let (_, stream) = SyntheticConfig {
+        num_events: n,
+        ..Default::default()
+    }
+    .generate();
+    stream
+}
+
+fn run_fleet(shards: u32, threads: usize, pattern: &Pattern, stream: &EventStream) -> FleetReport {
+    let cfg = FleetConfig {
+        shards,
+        // Group consecutive type ids so multi-type SEQ patterns stay
+        // matchable inside one key.
+        key_extractor: KeyExtractor::ByTypeGroup(4),
+        runtime: RuntimeConfig {
+            parallelism: Parallelism {
+                threads,
+                min_batch_windows: 1,
+                shard_events: usize::MAX / 2,
+            },
+            ..RuntimeConfig::default()
+        },
+        obs: true,
+        // Tight cadences so syncs and mid-run checkpoints are exercised on
+        // every configuration — durability ticks must not perturb results.
+        sync_every_events: 16,
+        checkpoint_every_events: 640,
+        ..FleetConfig::default()
+    };
+    let stores: Vec<MemStore> = (0..shards).map(|_| MemStore::new()).collect();
+    let pat = pattern.clone();
+    let mut fleet = ShardedDlacep::create(
+        pattern.clone(),
+        cfg,
+        Arc::new(move || OracleFilter::new(pat.clone())),
+        Arc::new(|| None),
+        stores,
+    )
+    .unwrap();
+    for chunk in stream.events().chunks(97) {
+        fleet.ingest_batch(chunk).unwrap();
+    }
+    fleet.finish()
+}
+
+fn assert_runtime_reports_equal(a: &RuntimeReport, b: &RuntimeReport, ctx: &str) {
+    assert_eq!(a.matches, b.matches, "{ctx}: matches (values and order)");
+    assert_eq!(a.events_offered, b.events_offered, "{ctx}: offered");
+    assert_eq!(a.events_admitted, b.events_admitted, "{ctx}: admitted");
+    assert_eq!(a.events_dropped, b.events_dropped, "{ctx}: dropped");
+    assert_eq!(a.events_clamped, b.events_clamped, "{ctx}: clamped");
+    assert_eq!(a.events_relayed, b.events_relayed, "{ctx}: relayed");
+    assert_eq!(a.windows_evaluated, b.windows_evaluated, "{ctx}: windows");
+    assert_eq!(a.windows_degraded, b.windows_degraded, "{ctx}: degraded");
+    assert_eq!(a.guard, b.guard, "{ctx}: guard stats");
+    assert_eq!(a.timeline, b.timeline, "{ctx}: timeline");
+    assert_eq!(a.final_mode, b.final_mode, "{ctx}: final mode");
+    assert_eq!(a.drift_state, b.drift_state, "{ctx}: drift state");
+    assert_eq!(
+        a.extractor_stats, b.extractor_stats,
+        "{ctx}: extractor stats"
+    );
+}
+
+fn assert_fleet_reports_equal(a: &FleetReport, b: &FleetReport, ctx: &str) {
+    let keys_a: Vec<u64> = a.keys.iter().map(|k| k.key).collect();
+    let keys_b: Vec<u64> = b.keys.iter().map(|k| k.key).collect();
+    assert_eq!(keys_a, keys_b, "{ctx}: key sets");
+    for (ka, kb) in a.keys.iter().zip(&b.keys) {
+        assert_runtime_reports_equal(&ka.report, &kb.report, &format!("{ctx}: key {}", ka.key));
+    }
+    assert_eq!(a.totals, b.totals, "{ctx}: fleet totals");
+    assert_eq!(
+        a.matches()
+            .iter()
+            .map(|(k, m)| (*k, (*m).clone()))
+            .collect::<Vec<_>>(),
+        b.matches()
+            .iter()
+            .map(|(k, m)| (*k, (*m).clone()))
+            .collect::<Vec<_>>(),
+        "{ctx}: merged match stream"
+    );
+    assert_eq!(
+        a.deterministic_views(),
+        b.deterministic_views(),
+        "{ctx}: deterministic metric views"
+    );
+}
+
+#[test]
+fn fleet_results_identical_across_shard_and_thread_counts() {
+    for (name, pattern, stream) in [
+        ("stock", seq_pattern(&[0, 1, 2], 12), stock_stream(2_500)),
+        (
+            "synthetic",
+            seq_pattern(&[0, 1], 8),
+            synthetic_stream(2_500),
+        ),
+    ] {
+        let baseline = run_fleet(1, 1, &pattern, &stream);
+        assert!(
+            baseline.totals.matches > 0,
+            "{name}: pattern must match the keyed stream for the test to mean anything"
+        );
+        assert!(
+            baseline.keys.len() > 1,
+            "{name}: the workload must span several keys"
+        );
+        for shards in SHARDS {
+            for threads in THREADS {
+                if (shards, threads) == (1, 1) {
+                    continue;
+                }
+                let got = run_fleet(shards, threads, &pattern, &stream);
+                assert_fleet_reports_equal(
+                    &baseline,
+                    &got,
+                    &format!("{name}: shards={shards} threads={threads} vs baseline"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_event_and_batch_ingest_agree() {
+    let pattern = seq_pattern(&[0, 1, 2], 12);
+    let stream = stock_stream(1_500);
+    let batch = run_fleet(2, 1, &pattern, &stream);
+
+    let cfg = FleetConfig {
+        shards: 2,
+        key_extractor: KeyExtractor::ByTypeGroup(4),
+        obs: true,
+        sync_every_events: 16,
+        checkpoint_every_events: 640,
+        ..FleetConfig::default()
+    };
+    let pat = pattern.clone();
+    let mut fleet = ShardedDlacep::create(
+        pattern.clone(),
+        cfg,
+        Arc::new(move || OracleFilter::new(pat.clone())),
+        Arc::new(|| None),
+        vec![MemStore::new(), MemStore::new()],
+    )
+    .unwrap();
+    for ev in stream.events() {
+        fleet.ingest(ev.type_id, ev.ts.0, ev.attrs.clone()).unwrap();
+    }
+    let serial = fleet.finish();
+    assert_fleet_reports_equal(&batch, &serial, "batch vs per-event ingest");
+}
