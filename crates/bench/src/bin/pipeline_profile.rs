@@ -148,12 +148,42 @@ fn seq_ab(window: u64) -> Pattern {
     )
 }
 
+/// Serving-tier SLO row: ingest-to-emit latency (event admitted by a key
+/// runtime → its window relayed through CEP) plus throughput.
+#[derive(Debug, Serialize)]
+struct ServeSlo {
+    events: usize,
+    runs: usize,
+    matches: usize,
+    throughput_events_per_sec: f64,
+    /// Quantiles of `runtime.ingest_to_emit_nanos` merged across every
+    /// key runtime of the fleet (last measured run).
+    ingest_to_emit: StageProfile,
+}
+
+/// Sum `src` into `dst` (count, sum, and log2 buckets by index).
+fn merge_hist(dst: &mut HistogramSnapshot, src: &HistogramSnapshot) {
+    dst.count += src.count;
+    dst.sum += src.sum;
+    let mut merged: BTreeMap<u32, u64> = dst.buckets.iter().copied().collect();
+    for (idx, n) in &src.buckets {
+        *merged.entry(*idx).or_insert(0) += n;
+    }
+    dst.buckets = merged.into_iter().collect();
+}
+
 /// Fleet scenario: the stock stream pushed through a `dlacep-serve`
 /// sharded fleet (durable WAL + checkpoints on in-memory stores, per-key
-/// runtimes). The pipeline-stage histograms don't apply — throughput is
-/// wall-clock over the whole ingest + finish, so the `stock_fleet_*` rows
-/// show what the serving tier costs on top of the bare pipeline.
-fn profile_fleet(shards: u32, events: &[PrimitiveEvent], runs: usize) -> ScenarioProfile {
+/// runtimes, obs registries on). The pipeline-stage histograms don't
+/// apply — throughput is wall-clock over the whole ingest + finish, so
+/// the `stock_fleet_*` rows show what the serving tier costs on top of
+/// the bare pipeline. The per-key `runtime.ingest_to_emit_nanos`
+/// histograms additionally merge into the serving-tier SLO row.
+fn profile_fleet(
+    shards: u32,
+    events: &[PrimitiveEvent],
+    runs: usize,
+) -> (ScenarioProfile, ServeSlo) {
     use dlacep_serve::{FleetConfig, ShardedDlacep};
 
     let pattern = Pattern::new(
@@ -170,6 +200,7 @@ fn profile_fleet(shards: u32, events: &[PrimitiveEvent], runs: usize) -> Scenari
         key_extractor: dlacep_events::KeyExtractor::ByTypeGroup(4),
         sync_every_events: 64,
         checkpoint_every_events: 4_096,
+        obs: true,
         ..FleetConfig::default()
     };
     let run_once = || {
@@ -198,14 +229,32 @@ fn profile_fleet(shards: u32, events: &[PrimitiveEvent], runs: usize) -> Scenari
         last = Some(report);
     }
     let report = last.expect("at least one measured run");
-    ScenarioProfile {
-        events: events.len(),
-        runs,
-        matches: report.totals.matches as usize,
-        events_relayed: report.totals.events_relayed as usize,
-        throughput_events_per_sec: (events.len() * runs) as f64 / elapsed.as_secs_f64(),
-        stages: BTreeMap::new(),
+    let mut i2e = HistogramSnapshot::default();
+    for kr in &report.keys {
+        if let Some(obs) = &kr.report.obs {
+            if let Some(h) = obs.histograms.get("runtime.ingest_to_emit_nanos") {
+                merge_hist(&mut i2e, h);
+            }
+        }
     }
+    let throughput = (events.len() * runs) as f64 / elapsed.as_secs_f64();
+    (
+        ScenarioProfile {
+            events: events.len(),
+            runs,
+            matches: report.totals.matches as usize,
+            events_relayed: report.totals.events_relayed as usize,
+            throughput_events_per_sec: throughput,
+            stages: BTreeMap::new(),
+        },
+        ServeSlo {
+            events: events.len(),
+            runs,
+            matches: report.totals.matches as usize,
+            throughput_events_per_sec: throughput,
+            ingest_to_emit: StageProfile::from_histogram(&i2e),
+        },
+    )
 }
 
 fn main() {
@@ -263,14 +312,13 @@ fn main() {
     scenarios.insert("synthetic".to_string(), synth_profile);
     scenarios.insert("stock_eventnet".to_string(), eventnet_profile);
     scenarios.insert("stock_eventnet_int8".to_string(), int8_profile);
-    scenarios.insert(
-        "stock_fleet_shards1".to_string(),
-        profile_fleet(1, stock.events(), runs),
-    );
-    scenarios.insert(
-        "stock_fleet_shards4".to_string(),
-        profile_fleet(4, stock.events(), runs),
-    );
+    let (fleet1, slo1) = profile_fleet(1, stock.events(), runs);
+    let (fleet4, slo4) = profile_fleet(4, stock.events(), runs);
+    scenarios.insert("stock_fleet_shards1".to_string(), fleet1);
+    scenarios.insert("stock_fleet_shards4".to_string(), fleet4);
+    let mut serve_slo = BTreeMap::new();
+    serve_slo.insert("stock_fleet_shards1".to_string(), slo1);
+    serve_slo.insert("stock_fleet_shards4".to_string(), slo4);
 
     for (name, p) in &scenarios {
         println!(
@@ -285,6 +333,14 @@ fn main() {
         }
     }
 
+    for (name, s) in &serve_slo {
+        let q = &s.ingest_to_emit;
+        println!(
+            "{name} ingest→emit: n={} p50<={}ns p95<={}ns p99<={}ns",
+            q.samples, q.p50_nanos, q.p95_nanos, q.p99_nanos
+        );
+    }
+
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).expect("create results/");
     let path = dir.join("BENCH_pipeline.json");
@@ -292,4 +348,10 @@ fn main() {
     let mut f = std::fs::File::create(&path).expect("create BENCH_pipeline.json");
     f.write_all(json.as_bytes()).expect("write profile");
     println!("[saved {}]", path.display());
+
+    let serve_path = dir.join("BENCH_serve.json");
+    let json = serde_json::to_string_pretty(&serve_slo).expect("slo serializes");
+    let mut f = std::fs::File::create(&serve_path).expect("create BENCH_serve.json");
+    f.write_all(json.as_bytes()).expect("write slo");
+    println!("[saved {}]", serve_path.display());
 }

@@ -25,8 +25,9 @@
 
 use crate::engine::{CepEngine, EngineStats, Match};
 use dlacep_events::{PrimitiveEvent, WindowSpec};
-use dlacep_obs::Histogram;
+use dlacep_obs::{Histogram, Tracer};
 use dlacep_par::ThreadPool;
+use std::time::Instant;
 
 /// One shard of a sharded run: input is `events[input_start..end]`, and the
 /// shard owns matches ending at `events[owned_start..end]`.
@@ -111,17 +112,63 @@ where
     E: CepEngine,
     M: Fn() -> E + Sync,
 {
+    run_sharded_traced(
+        make,
+        window,
+        events,
+        target_shard_events,
+        pool,
+        shard_nanos,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_sharded_obs`] with trace-exemplar attachment: each shard's timing
+/// sample carries the trace id of the first sampled event in its owned
+/// range (when `tracer` is enabled), linking the `cep.shard_extract_nanos`
+/// aggregate back to a concrete sampled trace. Pass [`Tracer::disabled`]
+/// to skip.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_traced<E, M>(
+    make: M,
+    window: WindowSpec,
+    events: &[PrimitiveEvent],
+    target_shard_events: usize,
+    pool: &ThreadPool,
+    shard_nanos: &Histogram,
+    tracer: &Tracer,
+) -> (Vec<Match>, EngineStats)
+where
+    E: CepEngine,
+    M: Fn() -> E + Sync,
+{
+    let exemplar = |evs: &[PrimitiveEvent]| -> Option<u64> {
+        if !tracer.is_enabled() {
+            return None;
+        }
+        evs.iter()
+            .find(|ev| tracer.sampled(ev.id.0))
+            .map(|ev| ev.id.0)
+    };
     let shards = shard_layout(window, events, target_shard_events);
     if shards.len() <= 1 {
-        let _span = shard_nanos.span();
+        let t0 = shard_nanos.is_enabled().then(Instant::now);
         let mut engine = make();
         let matches = engine.run(events);
+        if let Some(t0) = t0 {
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            shard_nanos.record_traced(nanos, exemplar(events));
+        }
         return (matches, *engine.stats());
     }
     let per_shard: Vec<(Vec<Match>, EngineStats)> = pool.parallel_map(&shards, 1, |_, shard| {
         let mut engine = make();
-        let _span = shard_nanos.span();
+        let t0 = shard_nanos.is_enabled().then(Instant::now);
         let all = engine.run(&events[shard.input_start..shard.end]);
+        if let Some(t0) = t0 {
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            shard_nanos.record_traced(nanos, exemplar(&events[shard.owned_start..shard.end]));
+        }
         let lo = events[shard.owned_start].id;
         // Keep only matches this shard owns: ids are sorted, so the last
         // one is the match's max-id event.

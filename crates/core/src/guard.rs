@@ -66,6 +66,18 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Short lowercase label for trace-span and journal annotation,
+    /// allocation-free unlike the `Debug` rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
 /// Guard configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GuardConfig {

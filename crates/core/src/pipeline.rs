@@ -5,12 +5,12 @@ use crate::assembler::{AssemblerConfig, AssemblerError};
 use crate::filter::Filter;
 use dlacep_cep::engine::CepEngine;
 use dlacep_cep::plan::{CompileError, Plan};
-use dlacep_cep::sharded::run_sharded_obs;
+use dlacep_cep::sharded::run_sharded_traced;
 use dlacep_cep::{EngineStats, Match, NfaConfig, NfaEngine, Pattern};
 use dlacep_events::PrimitiveEvent;
-use dlacep_obs::{Counter, Histogram, MetricsSnapshot, Registry};
+use dlacep_obs::{Counter, Histogram, MetricsSnapshot, Registry, TraceBuilder, Tracer};
 use dlacep_par::{Parallelism, PoolStats, ThreadPool};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -160,6 +160,74 @@ impl PipelineObs {
     }
 }
 
+/// One sampled batch-pipeline trace: event id, builder, and root span.
+struct PipeTrace {
+    id: u64,
+    builder: TraceBuilder,
+    root: u32,
+}
+
+/// Open a trace per sampled event (1-in-N on the event id). Empty when the
+/// tracer is disabled, so the batch path stays allocation-free by default.
+fn begin_pipeline_traces(tracer: &Tracer, events: &[PrimitiveEvent]) -> Vec<PipeTrace> {
+    let mut out = Vec::new();
+    if !tracer.is_enabled() {
+        return out;
+    }
+    for ev in events {
+        if let Some(mut b) = tracer.begin(ev.id.0) {
+            let root = b.start("ingest", None);
+            b.annotate(root, "event_id", ev.id.0.into());
+            b.annotate(root, "type_id", u64::from(ev.type_id.0).into());
+            b.end(root);
+            out.push(PipeTrace {
+                id: ev.id.0,
+                builder: b,
+                root,
+            });
+        }
+    }
+    out
+}
+
+/// Attach the stage spans (mark → cep → emit/filtered) to every sampled
+/// trace and publish them. The batch pipeline marks whole stages, so all
+/// traces of one run share the stage timestamps; causality per event comes
+/// from the relayed/matched annotations.
+fn finish_pipeline_traces(
+    traces: Vec<PipeTrace>,
+    windows_marked: u64,
+    filtered: &[PrimitiveEvent],
+    matches: &[Match],
+    t_mark: (u64, u64),
+    t_cep: (u64, u64),
+) {
+    if traces.is_empty() {
+        return;
+    }
+    let matched: BTreeSet<u64> = matches
+        .iter()
+        .flat_map(|m| m.event_ids.iter().map(|id| id.0))
+        .collect();
+    for mut t in traces {
+        // `filtered` is ordered by id (dedupe map is keyed on it).
+        let relayed = filtered.binary_search_by_key(&t.id, |ev| ev.id.0).is_ok();
+        let m = t.builder.span_at("mark", Some(t.root), t_mark.0, t_mark.1);
+        t.builder.annotate(m, "windows", windows_marked.into());
+        t.builder.annotate(m, "relayed", u64::from(relayed).into());
+        if relayed {
+            let c = t.builder.span_at("cep", Some(t.root), t_cep.0, t_cep.1);
+            if matched.contains(&t.id) {
+                let e = t.builder.instant("emit", Some(c));
+                t.builder.annotate(e, "matched", 1u64.into());
+            }
+        } else {
+            t.builder.instant("filtered", Some(t.root));
+        }
+        t.builder.finish();
+    }
+}
+
 /// The DLACEP system: an input assembler, a filter, and a CEP extractor.
 pub struct Dlacep<F: Filter> {
     pattern: Pattern,
@@ -262,6 +330,9 @@ impl<F: Filter> Dlacep<F> {
 
     fn run_serial(&self, events: &[PrimitiveEvent]) -> DlacepReport {
         self.obs.events_total.add(events.len() as u64);
+        let tracer = self.obs.registry.tracer();
+        let traces = begin_pipeline_traces(&tracer, events);
+        let t_f0 = tracer.now_nanos();
         let filter_start = Instant::now();
         let mut filter_faults = 0usize;
         let mut windows_marked = 0u64;
@@ -276,13 +347,23 @@ impl<F: Filter> Dlacep<F> {
         }
         let filtered: Vec<PrimitiveEvent> = relayed.into_values().collect();
         let filter_time = filter_start.elapsed();
+        let t_f1 = tracer.now_nanos();
         self.record_filter_stage(windows_marked, filter_faults, filtered.len(), filter_time);
 
         let cep_start = Instant::now();
         let mut extractor = NfaEngine::from_plan(self.plan.clone(), NfaConfig::default());
         let matches = extractor.run(&filtered);
         let cep_time = cep_start.elapsed();
+        let t_c1 = tracer.now_nanos();
         self.record_cep_stage(extractor.stats(), cep_time);
+        finish_pipeline_traces(
+            traces,
+            windows_marked,
+            &filtered,
+            &matches,
+            (t_f0, t_f1),
+            (t_f1, t_c1),
+        );
 
         self.report(
             events.len(),
@@ -298,6 +379,9 @@ impl<F: Filter> Dlacep<F> {
 
     fn run_with_pool(&self, pool: &Arc<ThreadPool>, events: &[PrimitiveEvent]) -> DlacepReport {
         self.obs.events_total.add(events.len() as u64);
+        let tracer = self.obs.registry.tracer();
+        let traces = begin_pipeline_traces(&tracer, events);
+        let t_f0 = tracer.now_nanos();
         let filter_start = Instant::now();
         let mut filter_faults = 0usize;
         let mut relayed: BTreeMap<u64, PrimitiveEvent> = BTreeMap::new();
@@ -319,6 +403,7 @@ impl<F: Filter> Dlacep<F> {
         }
         let filtered: Vec<PrimitiveEvent> = relayed.into_values().collect();
         let filter_time = filter_start.elapsed();
+        let t_f1 = tracer.now_nanos();
         self.record_filter_stage(
             windows.len() as u64,
             filter_faults,
@@ -328,13 +413,14 @@ impl<F: Filter> Dlacep<F> {
 
         let cep_start = Instant::now();
         let (matches, stats) = if filtered.len() >= 2 * self.par.shard_events {
-            run_sharded_obs(
+            run_sharded_traced(
                 || NfaEngine::from_plan(self.plan.clone(), NfaConfig::default()),
                 self.plan.window,
                 &filtered,
                 self.par.shard_events,
                 pool.as_ref(),
                 &self.obs.shard_nanos,
+                &tracer,
             )
         } else {
             let mut extractor = NfaEngine::from_plan(self.plan.clone(), NfaConfig::default());
@@ -342,7 +428,16 @@ impl<F: Filter> Dlacep<F> {
             (matches, *extractor.stats())
         };
         let cep_time = cep_start.elapsed();
+        let t_c1 = tracer.now_nanos();
         self.record_cep_stage(&stats, cep_time);
+        finish_pipeline_traces(
+            traces,
+            windows.len() as u64,
+            &filtered,
+            &matches,
+            (t_f0, t_f1),
+            (t_f1, t_c1),
+        );
 
         self.report(
             events.len(),

@@ -44,12 +44,13 @@ use dlacep_cep::engine::CepEngine;
 use dlacep_cep::plan::Plan;
 use dlacep_cep::{EngineStats, Match, NfaConfig, NfaEngine, Pattern};
 use dlacep_events::{AttrValue, EventId, OutOfOrderPolicy, PrimitiveEvent, StreamError, TypeId};
-use dlacep_obs::{Counter, Histogram, Journal, MetricsSnapshot, Registry};
+use dlacep_obs::{Counter, Histogram, Journal, MetricsSnapshot, Registry, TraceBuilder, Tracer};
 use dlacep_par::{Parallelism, PoolStats, ThreadPool};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Errors surfaced by the streaming runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -333,6 +334,7 @@ struct RuntimeObs {
     retrain_swapped: Counter,
     window_nanos: Histogram,
     retrain_gate_nanos: Histogram,
+    ingest_to_emit_nanos: Histogram,
     cep_events_processed: Counter,
     cep_partials_created: Counter,
     cep_partials_shed: Counter,
@@ -363,6 +365,7 @@ impl RuntimeObs {
             retrain_swapped: registry.counter("runtime.retrain_swapped"),
             window_nanos: registry.histogram("runtime.window_nanos"),
             retrain_gate_nanos: registry.histogram("runtime.retrain_gate_nanos"),
+            ingest_to_emit_nanos: registry.histogram("runtime.ingest_to_emit_nanos"),
             cep_events_processed: registry.counter("cep.events_processed"),
             cep_partials_created: registry.counter("cep.partials_created"),
             cep_partials_shed: registry.counter("cep.partials_shed"),
@@ -417,6 +420,13 @@ fn record_mode(
     );
 }
 
+/// One sampled in-flight trace: the builder plus the index of its root
+/// (`ingest`) span, which later stage spans parent to.
+struct ActiveTrace {
+    builder: TraceBuilder,
+    root: u32,
+}
+
 /// The streaming DLACEP runtime. See the [module docs](self).
 pub struct StreamingDlacep<F: Filter> {
     pattern: Pattern,
@@ -440,6 +450,15 @@ pub struct StreamingDlacep<F: Filter> {
     /// `base`; `marks` is position-aligned with `buf`.
     buf: VecDeque<PrimitiveEvent>,
     marks: VecDeque<bool>,
+    /// Trace plane handle (shared with the obs registry). When enabled,
+    /// `traces` is position-aligned with `buf` (`None` = unsampled event);
+    /// when disabled both stay empty.
+    tracer: Tracer,
+    traces: VecDeque<Option<ActiveTrace>>,
+    /// Admission instants position-aligned with `buf`, feeding the
+    /// ingest-to-emit latency histogram. Empty when that histogram is
+    /// disabled.
+    admit_at: VecDeque<Instant>,
     base: usize,
     admitted: usize,
     next_window_start: usize,
@@ -502,6 +521,7 @@ impl<F: Filter> StreamingDlacep<F> {
         if let Some(reg) = registry {
             rt.obs = RuntimeObs::new(reg);
             rt.pool = rt.par.build_pool_with_obs(&rt.obs.registry);
+            rt.tracer = rt.obs.registry.tracer();
         }
         Ok(rt.with_initial_mode())
     }
@@ -564,6 +584,7 @@ impl<F: Filter> StreamingDlacep<F> {
         );
         let obs = RuntimeObs::new(dlacep_obs::global());
         let pool = config.parallelism.build_pool_with_obs(&obs.registry);
+        let tracer = obs.registry.tracer();
         Ok(Self {
             pattern,
             config,
@@ -580,6 +601,9 @@ impl<F: Filter> StreamingDlacep<F> {
             filter_generation: 0,
             buf: VecDeque::new(),
             marks: VecDeque::new(),
+            tracer,
+            traces: VecDeque::new(),
+            admit_at: VecDeque::new(),
             base: 0,
             admitted: 0,
             next_window_start: 0,
@@ -638,6 +662,21 @@ impl<F: Filter> StreamingDlacep<F> {
     /// Current breaker state of the filter guard.
     pub fn breaker_state(&self) -> BreakerState {
         self.guard.state()
+    }
+
+    /// Live snapshot of this runtime's obs registry (`None` when obs is
+    /// disabled). The scrape surface for serving tiers: unlike the report
+    /// returned by [`StreamingDlacep::finish`], it can be taken while the
+    /// runtime keeps ingesting.
+    pub fn obs_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.obs.snapshot_if_enabled()
+    }
+
+    /// The trace-plane handle this runtime records into (shared with its
+    /// obs registry; disabled unless the registry carries a sampling
+    /// tracer).
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 
     /// Current drift verdict, if drift detection is enabled.
@@ -810,6 +849,7 @@ impl<F: Filter> StreamingDlacep<F> {
         if let Some(reg) = registry {
             rt.obs = RuntimeObs::new(reg);
             rt.pool = rt.par.build_pool_with_obs(&rt.obs.registry);
+            rt.tracer = rt.obs.registry.tracer();
         }
         if ckpt.config_fingerprint != rt.config_fingerprint() {
             return Err(RuntimeError::Restore(
@@ -880,6 +920,17 @@ impl<F: Filter> StreamingDlacep<F> {
         }
         rt.buf = ckpt.buf.into();
         rt.marks = ckpt.marks.into();
+        // In-flight traces and admission instants are timing-only state and
+        // not checkpointed: restored events relay as unsampled and their
+        // latency clock restarts at the restore instant.
+        if rt.tracer.is_enabled() {
+            rt.traces = std::iter::repeat_with(|| None).take(rt.buf.len()).collect();
+        }
+        if rt.obs.ingest_to_emit_nanos.is_enabled() {
+            rt.admit_at = std::iter::repeat_with(Instant::now)
+                .take(rt.buf.len())
+                .collect();
+        }
         rt.base = us(ckpt.base, "base")?;
         rt.admitted = us(ckpt.admitted, "admitted")?;
         rt.next_window_start = us(ckpt.next_window_start, "next_window_start")?;
@@ -935,7 +986,21 @@ impl<F: Filter> StreamingDlacep<F> {
         ts: u64,
         attrs: Vec<AttrValue>,
     ) -> Result<Option<EventId>, RuntimeError> {
-        let id = self.admit(type_id, ts, attrs)?;
+        self.ingest_traced(type_id, ts, attrs, None)
+    }
+
+    /// [`StreamingDlacep::ingest`] with an explicit trace-sampling key.
+    /// Fleet front-ends pass the fleet-global sequence so the 1-in-N trace
+    /// sample is taken over the whole fleet and trace ids stay unique
+    /// across keyed shards; `None` falls back to the stamped event id.
+    pub fn ingest_traced(
+        &mut self,
+        type_id: TypeId,
+        ts: u64,
+        attrs: Vec<AttrValue>,
+        trace_seq: Option<u64>,
+    ) -> Result<Option<EventId>, RuntimeError> {
+        let id = self.admit(type_id, ts, attrs, trace_seq)?;
         for (start, end) in self.take_ready_windows() {
             self.evaluate_window(start, end);
         }
@@ -951,6 +1016,7 @@ impl<F: Filter> StreamingDlacep<F> {
         type_id: TypeId,
         ts: u64,
         attrs: Vec<AttrValue>,
+        trace_seq: Option<u64>,
     ) -> Result<Option<EventId>, RuntimeError> {
         self.events_offered += 1;
         self.obs.events_offered.inc();
@@ -981,9 +1047,31 @@ impl<F: Filter> StreamingDlacep<F> {
         self.buf
             .push_back(PrimitiveEvent::new(id.0, type_id, ts, attrs));
         self.marks.push_back(false);
+        self.push_trace_state(id, type_id, ts, trace_seq);
         self.admitted += 1;
         self.obs.events_admitted.inc();
         Ok(Some(id))
+    }
+
+    /// Seed the per-position trace/latency state for a just-admitted event,
+    /// keeping `traces`/`admit_at` aligned with `buf`. Dropped events never
+    /// reach here, so alignment holds by construction.
+    fn push_trace_state(&mut self, id: EventId, type_id: TypeId, ts: u64, trace_seq: Option<u64>) {
+        if self.obs.ingest_to_emit_nanos.is_enabled() {
+            self.admit_at.push_back(Instant::now());
+        }
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let seq = trace_seq.unwrap_or(id.0);
+        self.traces.push_back(self.tracer.begin(seq).map(|mut b| {
+            let root = b.start("ingest", None);
+            b.annotate(root, "event_id", id.0.into());
+            b.annotate(root, "type_id", u64::from(type_id.0).into());
+            b.annotate(root, "ts", ts.into());
+            b.end(root);
+            ActiveTrace { builder: b, root }
+        }));
     }
 
     /// Claim every full window that admitted events currently cover,
@@ -1030,15 +1118,30 @@ impl<F: Filter> StreamingDlacep<F> {
     /// `ChaosFilter` belong on the serial path). With a serial config this
     /// is exactly `ingest_all`.
     pub fn ingest_batch(&mut self, events: &[PrimitiveEvent]) -> Result<(), RuntimeError> {
+        self.ingest_batch_traced(events, None)
+    }
+
+    /// [`StreamingDlacep::ingest_batch`] with per-event trace-sampling keys
+    /// (position-aligned with `events`; see
+    /// [`StreamingDlacep::ingest_traced`]).
+    pub fn ingest_batch_traced(
+        &mut self,
+        events: &[PrimitiveEvent],
+        trace_seqs: Option<&[u64]>,
+    ) -> Result<(), RuntimeError> {
+        let seq_at = |i: usize| trace_seqs.and_then(|s| s.get(i).copied());
         let Some(pool) = self.pool.clone() else {
-            return self.ingest_all(events);
+            for (i, ev) in events.iter().enumerate() {
+                self.ingest_traced(ev.type_id, ev.ts.0, ev.attrs.clone(), seq_at(i))?;
+            }
+            return Ok(());
         };
         // Admit everything first; on a rejection, still evaluate the
         // windows completed by the previously admitted events (matching
         // what per-event ingestion would have done before the error).
         let mut admit_err = None;
-        for ev in events {
-            if let Err(e) = self.admit(ev.type_id, ev.ts.0, ev.attrs.clone()) {
+        for (i, ev) in events.iter().enumerate() {
+            if let Err(e) = self.admit(ev.type_id, ev.ts.0, ev.attrs.clone(), seq_at(i)) {
                 admit_err = Some(e);
                 break;
             }
@@ -1149,13 +1252,27 @@ impl<F: Filter> StreamingDlacep<F> {
         end: usize,
         pre: Option<SpeculativeInvocation>,
     ) {
-        let _span = self.obs.window_nanos.span();
+        let wall = self.obs.window_nanos.is_enabled().then(Instant::now);
         let widx = self.windows_evaluated as u64;
         self.windows_evaluated += 1;
         self.obs.windows_evaluated.inc();
         self.last_window_end = end;
         let lo = start - self.base;
         let hi = end - self.base;
+        // Trace plane: annotate this window's spans onto every sampled
+        // event it covers. Span *structure* is deterministic (sampling is
+        // keyed on the sequence, path/mode labels on guard state); only
+        // the nanosecond timestamps vary run to run.
+        let traced = self.tracer.is_enabled()
+            && self
+                .traces
+                .iter()
+                .skip(lo)
+                .take(hi - lo)
+                .any(Option::is_some);
+        let mode_before = self.mode();
+        let t_mark0 = if traced { self.tracer.now_nanos() } else { 0 };
+        let mut mark_path = "degraded";
         self.buf.make_contiguous();
         let (head, _) = self.buf.as_slices();
         let window = &head[lo..hi];
@@ -1171,6 +1288,15 @@ impl<F: Filter> StreamingDlacep<F> {
             let outcome = match pre {
                 Some(raw) => self.guard.mark_speculative(window, raw),
                 None => self.guard.mark(window),
+            };
+            mark_path = if outcome.fault.is_some() {
+                "fault"
+            } else if !outcome.filter_invoked {
+                "degraded"
+            } else if self.guard.filter().quantized() {
+                "int8"
+            } else {
+                "f32"
             };
             if outcome.fault.is_some() {
                 self.obs.guard_faults.inc();
@@ -1246,12 +1372,40 @@ impl<F: Filter> StreamingDlacep<F> {
             marks
         };
 
+        let t_mark1 = if traced { self.tracer.now_nanos() } else { 0 };
         for (i, mark) in marks.into_iter().enumerate() {
             if mark {
                 self.marks[lo + i] = true;
             }
         }
         self.step_retrain();
+        let mut exemplar = None;
+        if traced {
+            let mode_after = self.mode();
+            let breaker = self.guard.state().name();
+            for slot in self.traces.iter_mut().skip(lo).take(hi - lo) {
+                let Some(at) = slot else { continue };
+                exemplar.get_or_insert_with(|| at.builder.trace_id());
+                let a = at
+                    .builder
+                    .span_at("assemble", Some(at.root), t_mark0, t_mark0);
+                at.builder.annotate(a, "window", widx.into());
+                let m = at.builder.span_at("mark", Some(a), t_mark0, t_mark1);
+                at.builder.annotate(m, "path", mark_path.into());
+                at.builder.annotate(m, "breaker", breaker.into());
+                if mode_after != mode_before {
+                    let t = at.builder.instant("mode", Some(at.root));
+                    at.builder
+                        .annotate(t, "from", format!("{mode_before:?}").into());
+                    at.builder
+                        .annotate(t, "to", format!("{mode_after:?}").into());
+                }
+            }
+        }
+        if let Some(t0) = wall {
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.obs.window_nanos.record_traced(nanos, exemplar);
+        }
     }
 
     /// Advance the retrain supervisor by one evaluated window. Scheduling
@@ -1442,9 +1596,20 @@ impl<F: Filter> StreamingDlacep<F> {
             // checkpoint — so both queues are non-empty here.
             let ev = self.buf.pop_front().expect("buffer aligned with positions");
             let marked = self.marks.pop_front().expect("marks aligned with buffer");
+            let mut trace = if self.tracer.is_enabled() {
+                self.traces.pop_front().flatten()
+            } else {
+                None
+            };
+            let admitted_at = if self.obs.ingest_to_emit_nanos.is_enabled() {
+                self.admit_at.pop_front()
+            } else {
+                None
+            };
             self.relayed_upto += 1;
             self.base += 1;
             if marked {
+                let t_cep0 = trace.as_ref().map(|at| at.builder.now_nanos());
                 self.engine.process(&ev);
                 self.events_relayed += 1;
                 self.obs.events_relayed.inc();
@@ -1461,7 +1626,31 @@ impl<F: Filter> StreamingDlacep<F> {
                         &[("event", ev.id.0.into()), ("count", delta.into())],
                     );
                 }
-                self.matches.append(&mut self.engine.drain_matches());
+                let mut drained = self.engine.drain_matches();
+                if let Some(at) = trace.as_mut() {
+                    let t1 = at.builder.now_nanos();
+                    let c = at
+                        .builder
+                        .span_at("cep", Some(at.root), t_cep0.unwrap_or(t1), t1);
+                    at.builder.annotate(c, "relayed", 1u64.into());
+                    if !drained.is_empty() {
+                        let e = at.builder.instant("emit", Some(c));
+                        at.builder
+                            .annotate(e, "matches", (drained.len() as u64).into());
+                    }
+                }
+                self.matches.append(&mut drained);
+            } else if let Some(at) = trace.as_mut() {
+                let f = at.builder.instant("filtered", Some(at.root));
+                at.builder.annotate(f, "relayed", 0u64.into());
+            }
+            let trace_id = trace.as_ref().map(|at| at.builder.trace_id());
+            if let Some(at) = trace {
+                at.builder.finish();
+            }
+            if let Some(t0) = admitted_at {
+                let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.obs.ingest_to_emit_nanos.record_traced(nanos, trace_id);
             }
         }
     }

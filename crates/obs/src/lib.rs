@@ -30,13 +30,19 @@ mod journal;
 mod metrics;
 mod prom;
 mod snapshot;
+mod trace;
 
 pub use journal::{FieldValue, Journal, JournalEntry, JournalSnapshot, DEFAULT_JOURNAL_CAPACITY};
 pub use metrics::{bucket_index, bucket_upper, Counter, Gauge, Histogram, Span, HISTOGRAM_BUCKETS};
 pub use prom::{
-    prometheus_name, render_prometheus, render_prometheus_sharded, render_prometheus_with_labels,
+    counter_name, prometheus_name, render_prometheus, render_prometheus_sharded,
+    render_prometheus_with_labels,
 };
 pub use snapshot::{DeterministicView, HistogramSnapshot, MetricsSnapshot};
+pub use trace::{
+    json_field, json_string, Trace, TraceBuilder, TraceSnapshot, TraceSpan, Tracer,
+    DEFAULT_TRACE_CAPACITY, TRACE_SAMPLE_ENV,
+};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
@@ -63,6 +69,7 @@ pub struct Registry {
     enabled: bool,
     maps: Mutex<Maps>,
     journal: Journal,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Registry {
@@ -79,12 +86,22 @@ impl Registry {
         Self::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
     }
 
-    /// An enabled registry with an explicit journal ring capacity.
+    /// An enabled registry with an explicit journal ring capacity. The
+    /// tracer is taken from the environment ([`TRACE_SAMPLE_ENV`]) —
+    /// disabled unless `DLACEP_TRACE_SAMPLE` is a positive integer.
     pub fn with_journal_capacity(capacity: usize) -> Self {
+        Self::with_tracer(capacity, Tracer::from_env(DEFAULT_TRACE_CAPACITY))
+    }
+
+    /// An enabled registry with an explicit tracer. A fleet of per-shard
+    /// registries shares one tracer this way, so traces keyed by the
+    /// fleet-global sequence land in a single ring.
+    pub fn with_tracer(journal_capacity: usize, tracer: Tracer) -> Self {
         Registry {
             enabled: true,
             maps: Mutex::new(Maps::default()),
-            journal: Journal::with_capacity(capacity),
+            journal: Journal::with_capacity(journal_capacity),
+            tracer,
         }
     }
 
@@ -95,6 +112,7 @@ impl Registry {
             enabled: false,
             maps: Mutex::new(Maps::default()),
             journal: Journal::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -153,6 +171,12 @@ impl Registry {
         self.journal.clone()
     }
 
+    /// A cloneable handle on this registry's tracer (disabled unless the
+    /// registry was built with one or `DLACEP_TRACE_SAMPLE` is set).
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
     /// Append a journal event (convenience for [`Journal::record`]).
     pub fn record(&self, kind: &str, fields: &[(&str, FieldValue)]) {
         self.journal.record(kind, fields);
@@ -188,6 +212,7 @@ impl Registry {
                         count: core.count.load(Ordering::Relaxed),
                         sum: core.sum.load(Ordering::Relaxed),
                         buckets,
+                        exemplar: core.exemplar(),
                     },
                 )
             })

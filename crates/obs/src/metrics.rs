@@ -98,6 +98,12 @@ pub(crate) struct HistogramCore {
     pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     pub(crate) sum: AtomicU64,
     pub(crate) count: AtomicU64,
+    /// Trace id of the most recent exemplar-carrying sample, stored as
+    /// `trace_id + 1` so 0 means "no exemplar yet". Advisory: the pair of
+    /// atomics is not read/written atomically together, which is fine for
+    /// a debugging pointer from a histogram to a sampled trace.
+    pub(crate) exemplar_trace: AtomicU64,
+    pub(crate) exemplar_value: AtomicU64,
 }
 
 impl HistogramCore {
@@ -106,6 +112,17 @@ impl HistogramCore {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
+            exemplar_value: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn exemplar(&self) -> Option<(u64, u64)> {
+        let tagged = self.exemplar_trace.load(Ordering::Relaxed);
+        if tagged == 0 {
+            None
+        } else {
+            Some((tagged - 1, self.exemplar_value.load(Ordering::Relaxed)))
         }
     }
 }
@@ -131,6 +148,25 @@ impl Histogram {
             core.sum.fetch_add(value, Ordering::Relaxed);
             core.count.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// [`record`](Self::record), additionally attaching the sample as the
+    /// histogram's exemplar when `trace_id` is `Some` — a live pointer from
+    /// the aggregate to one sampled trace exhibiting it (last write wins).
+    #[inline]
+    pub fn record_traced(&self, value: u64, trace_id: Option<u64>) {
+        self.record(value);
+        if let (Some(core), Some(id)) = (&self.0, trace_id) {
+            core.exemplar_value.store(value, Ordering::Relaxed);
+            core.exemplar_trace
+                .store(id.saturating_add(1), Ordering::Relaxed);
+        }
+    }
+
+    /// The most recent exemplar as `(trace_id, value)`, if any sample was
+    /// recorded via [`record_traced`](Self::record_traced).
+    pub fn exemplar(&self) -> Option<(u64, u64)> {
+        self.0.as_ref().and_then(|c| c.exemplar())
     }
 
     /// Start a wall-time span; elapsed nanoseconds are recorded into this
@@ -212,6 +248,24 @@ mod tests {
                 "upper bound of bucket {i}"
             );
         }
+    }
+
+    #[test]
+    fn exemplar_tracks_last_traced_sample() {
+        let reg = crate::Registry::enabled();
+        let h = reg.histogram("stage.nanos");
+        assert_eq!(h.exemplar(), None);
+        h.record(5);
+        assert_eq!(h.exemplar(), None, "untraced samples leave no exemplar");
+        h.record_traced(7, Some(40));
+        h.record_traced(9, None);
+        assert_eq!(h.exemplar(), Some((40, 7)), "None trace id keeps prior");
+        h.record_traced(11, Some(80));
+        assert_eq!(h.exemplar(), Some((80, 11)), "last traced sample wins");
+        assert_eq!(h.count(), 4);
+        let dis = Histogram::disabled();
+        dis.record_traced(1, Some(1));
+        assert_eq!(dis.exemplar(), None);
     }
 
     #[test]

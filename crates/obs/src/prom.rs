@@ -21,6 +21,53 @@ pub fn prometheus_name(name: &str) -> String {
     out
 }
 
+/// Counter sample name per naming conventions: `_total`-suffixed, unless
+/// the sanitized name already carries the suffix.
+pub fn counter_name(name: &str) -> String {
+    let pname = prometheus_name(name);
+    if pname.ends_with("_total") {
+        pname
+    } else {
+        format!("{pname}_total")
+    }
+}
+
+/// Escape a `# HELP` docstring per the exposition format (`\` → `\\`,
+/// newline → `\n`; quotes are legal in help text).
+fn escape_help(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Emit the `# HELP` + `# TYPE` header pair for one metric family. The
+/// registry keys metrics by dotted name only, so help text is synthesized
+/// from the raw name — enough for scrapers that require the header's
+/// presence, and stable for golden tests.
+fn push_header(out: &mut String, pname: &str, kind: &str, raw_name: &str) {
+    out.push_str(&format!(
+        "# HELP {pname} DLACEP {kind} `{}`.\n# TYPE {pname} {kind}\n",
+        escape_help(raw_name)
+    ));
+}
+
+/// Emit a histogram's exemplar — a pointer from the aggregate to one
+/// sampled trace — as a comment line. Plain `#` comments (not HELP/TYPE)
+/// are ignored by text-format parsers, so this is scrape-safe.
+fn push_exemplar(out: &mut String, pname: &str, lb: &str, exemplar: Option<(u64, u64)>) {
+    if let Some((trace_id, value)) = exemplar {
+        out.push_str(&format!(
+            "# EXEMPLAR {pname}{lb} trace_id={trace_id} value={value}\n"
+        ));
+    }
+}
+
 /// Escape a label value per the exposition format (`\` → `\\`, `"` → `\"`,
 /// newline → `\n`).
 fn escape_label_value(value: &str) -> String {
@@ -50,9 +97,11 @@ fn label_block(pairs: &[(&str, &str)]) -> String {
 }
 
 /// Render the snapshot as Prometheus text format. Counters, gauges, and
-/// histograms are emitted in name order with `# TYPE` headers; histogram
-/// buckets are cumulative with power-of-two `le` bounds (empty buckets are
-/// skipped; `+Inf` always present). The journal is not exposed here — it is
+/// histograms are emitted in name order with `# HELP`/`# TYPE` headers;
+/// counters take the conventional `_total` suffix; histogram buckets are
+/// cumulative with power-of-two `le` bounds (empty buckets are skipped;
+/// `+Inf` always present) and carry their exemplar, when one exists, as a
+/// trailing `# EXEMPLAR` comment. The journal is not exposed here — it is
 /// part of the JSON snapshot only.
 pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
     render_prometheus_with_labels(snapshot, &[])
@@ -67,19 +116,22 @@ pub fn render_prometheus_with_labels(
 ) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
-        let pname = prometheus_name(name);
+        let pname = counter_name(name);
         let lb = label_block(labels);
-        out.push_str(&format!("# TYPE {pname} counter\n{pname}{lb} {value}\n"));
+        push_header(&mut out, &pname, "counter", name);
+        out.push_str(&format!("{pname}{lb} {value}\n"));
     }
     for (name, value) in &snapshot.gauges {
         let pname = prometheus_name(name);
         let lb = label_block(labels);
-        out.push_str(&format!("# TYPE {pname} gauge\n{pname}{lb} {value}\n"));
+        push_header(&mut out, &pname, "gauge", name);
+        out.push_str(&format!("{pname}{lb} {value}\n"));
     }
     for (name, hist) in &snapshot.histograms {
         let pname = prometheus_name(name);
-        out.push_str(&format!("# TYPE {pname} histogram\n"));
+        push_header(&mut out, &pname, "histogram", name);
         push_histogram_series(&mut out, &pname, labels, hist);
+        push_exemplar(&mut out, &pname, &label_block(labels), hist.exemplar);
     }
     out
 }
@@ -96,8 +148,8 @@ pub fn render_prometheus_sharded(label_key: &str, shards: &[(String, MetricsSnap
     let counter_names: BTreeSet<&String> =
         shards.iter().flat_map(|(_, s)| s.counters.keys()).collect();
     for name in counter_names {
-        let pname = prometheus_name(name);
-        out.push_str(&format!("# TYPE {pname} counter\n"));
+        let pname = counter_name(name);
+        push_header(&mut out, &pname, "counter", name);
         for (label, snap) in shards {
             if let Some(value) = snap.counters.get(name) {
                 let lb = label_block(&[(label_key, label.as_str())]);
@@ -109,7 +161,7 @@ pub fn render_prometheus_sharded(label_key: &str, shards: &[(String, MetricsSnap
     let gauge_names: BTreeSet<&String> = shards.iter().flat_map(|(_, s)| s.gauges.keys()).collect();
     for name in gauge_names {
         let pname = prometheus_name(name);
-        out.push_str(&format!("# TYPE {pname} gauge\n"));
+        push_header(&mut out, &pname, "gauge", name);
         for (label, snap) in shards {
             if let Some(value) = snap.gauges.get(name) {
                 let lb = label_block(&[(label_key, label.as_str())]);
@@ -124,10 +176,12 @@ pub fn render_prometheus_sharded(label_key: &str, shards: &[(String, MetricsSnap
         .collect();
     for name in hist_names {
         let pname = prometheus_name(name);
-        out.push_str(&format!("# TYPE {pname} histogram\n"));
+        push_header(&mut out, &pname, "histogram", name);
         for (label, snap) in shards {
             if let Some(hist) = snap.histograms.get(name) {
-                push_histogram_series(&mut out, &pname, &[(label_key, label.as_str())], hist);
+                let labels = [(label_key, label.as_str())];
+                push_histogram_series(&mut out, &pname, &labels, hist);
+                push_exemplar(&mut out, &pname, &label_block(&labels), hist.exemplar);
             }
         }
     }
@@ -186,12 +240,45 @@ mod tests {
         reg.counter("serve.events_routed").add(7);
         reg.histogram("serve.batch_nanos").record(100);
         let text = render_prometheus_with_labels(&reg.snapshot(), &[("shard", "3")]);
-        assert!(text.contains("dlacep_serve_events_routed{shard=\"3\"} 7"));
+        assert!(text.contains("dlacep_serve_events_routed_total{shard=\"3\"} 7"));
         assert!(text.contains("dlacep_serve_batch_nanos_bucket{shard=\"3\",le=\""));
         assert!(text.contains("dlacep_serve_batch_nanos_count{shard=\"3\"} 1"));
         // The unlabeled renderer is the empty-label special case.
         let plain = render_prometheus(&reg.snapshot());
-        assert!(plain.contains("dlacep_serve_events_routed 7"));
+        assert!(plain.contains("dlacep_serve_events_routed_total 7"));
+    }
+
+    #[test]
+    fn counters_take_total_suffix_with_help_and_type_headers() {
+        let reg = Registry::enabled();
+        reg.counter("cep.matches_emitted").add(2);
+        // A name already ending in `_total` is not double-suffixed.
+        reg.counter("pipeline.events_total").add(9);
+        reg.gauge("pool.depth").set(1.5);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains(
+            "# HELP dlacep_cep_matches_emitted_total DLACEP counter `cep.matches_emitted`.\n\
+             # TYPE dlacep_cep_matches_emitted_total counter\n\
+             dlacep_cep_matches_emitted_total 2\n"
+        ));
+        assert!(text.contains("dlacep_pipeline_events_total 9"));
+        assert!(!text.contains("events_total_total"));
+        assert!(text.contains("# HELP dlacep_pool_depth DLACEP gauge `pool.depth`.\n"));
+        // Every sample line is preceded by headers for its family.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+        }
+    }
+
+    #[test]
+    fn histogram_exemplar_renders_as_comment() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("runtime.window_nanos");
+        h.record_traced(100, Some(42));
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# EXEMPLAR dlacep_runtime_window_nanos trace_id=42 value=100\n"));
+        // Exemplar comments never masquerade as HELP/TYPE directives.
+        assert!(!text.contains("# HELP dlacep_runtime_window_nanos trace_id"));
     }
 
     #[test]
@@ -217,13 +304,13 @@ mod tests {
             ],
         );
         assert_eq!(
-            text.matches("# TYPE dlacep_serve_events_routed counter")
+            text.matches("# TYPE dlacep_serve_events_routed_total counter")
                 .count(),
             1,
             "one TYPE header even with two shards:\n{text}"
         );
-        assert!(text.contains("dlacep_serve_events_routed{shard=\"0\"} 3"));
-        assert!(text.contains("dlacep_serve_events_routed{shard=\"1\"} 5"));
-        assert!(text.contains("dlacep_serve_only_on_b{shard=\"1\"} 1"));
+        assert!(text.contains("dlacep_serve_events_routed_total{shard=\"0\"} 3"));
+        assert!(text.contains("dlacep_serve_events_routed_total{shard=\"1\"} 5"));
+        assert!(text.contains("dlacep_serve_only_on_b_total{shard=\"1\"} 1"));
     }
 }

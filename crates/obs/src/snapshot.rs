@@ -14,6 +14,11 @@ pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
     pub buckets: Vec<(u32, u64)>,
+    /// Most recent `(trace_id, value)` exemplar attached via
+    /// [`Histogram::record_traced`](crate::Histogram::record_traced) — a
+    /// pointer from the aggregate into the sampled trace ring. Timing
+    /// data: exempt from the determinism contract.
+    pub exemplar: Option<(u64, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -56,6 +61,7 @@ impl HistogramSnapshot {
             count: self.count.saturating_sub(baseline.count),
             sum: self.sum.saturating_sub(baseline.sum),
             buckets,
+            exemplar: self.exemplar,
         }
     }
 }

@@ -82,10 +82,13 @@ fn prometheus_text_golden() {
     h.record(900); // bucket 10
 
     let expected = "\
-# TYPE dlacep_cep_partials_created counter
-dlacep_cep_partials_created 42
+# HELP dlacep_cep_partials_created_total DLACEP counter `cep.partials_created`.
+# TYPE dlacep_cep_partials_created_total counter
+dlacep_cep_partials_created_total 42
+# HELP dlacep_train_loss DLACEP gauge `train.loss`.
 # TYPE dlacep_train_loss gauge
 dlacep_train_loss 0.5
+# HELP dlacep_pipeline_mark_nanos DLACEP histogram `pipeline.mark_nanos`.
 # TYPE dlacep_pipeline_mark_nanos histogram
 dlacep_pipeline_mark_nanos_bucket{le=\"0\"} 1
 dlacep_pipeline_mark_nanos_bucket{le=\"3\"} 3
@@ -96,6 +99,39 @@ dlacep_pipeline_mark_nanos_count 4
 ";
     assert_eq!(reg.render_prometheus(), expected);
     assert_eq!(render_prometheus(&reg.snapshot()), expected);
+}
+
+#[test]
+fn diff_clamps_counter_resets_to_zero() {
+    // A shard that restarts after recovery re-registers its counters at
+    // zero; diffing its fresh snapshot against a pre-crash baseline must
+    // clamp to 0, not wrap to ~u64::MAX (which renders as a nonsense rate).
+    let pre = Registry::enabled();
+    pre.counter("runtime.events_ingested").add(100);
+    pre.histogram("runtime.window_nanos").record(500);
+    pre.histogram("runtime.window_nanos").record(500);
+    let baseline = pre.snapshot();
+
+    let post = Registry::enabled();
+    post.counter("runtime.events_ingested").add(40);
+    post.histogram("runtime.window_nanos").record(500);
+    let delta = post.snapshot().diff(&baseline);
+    assert_eq!(
+        delta.counters["runtime.events_ingested"], 0,
+        "reset counter clamps to zero"
+    );
+    let dh = &delta.histograms["runtime.window_nanos"];
+    assert_eq!(dh.count, 0);
+    assert_eq!(dh.sum, 0);
+    assert!(
+        dh.buckets.iter().all(|&(_, c)| c > 0),
+        "clamped buckets are dropped, never negative-as-huge"
+    );
+    assert_eq!(delta.journal.dropped, 0);
+    // Sanity: the same-direction diff still reports true deltas.
+    post.counter("runtime.events_ingested").add(5);
+    let grown = post.snapshot().diff(&post.snapshot().diff(&baseline));
+    assert!(grown.counters["runtime.events_ingested"] <= 45);
 }
 
 #[test]

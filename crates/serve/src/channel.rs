@@ -14,8 +14,28 @@ use crate::report::FleetReport;
 use dlacep_core::Filter;
 use dlacep_dur::Store;
 use dlacep_events::{AttrValue, TypeId};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Journal entries per key included in a [`TeleKind::Journal`] reply.
+const JOURNAL_TAIL_PER_KEY: usize = 64;
+
+/// Which live telemetry document a [`ServeHandle::telemetry`] call asks
+/// the pump for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TeleKind {
+    /// Prometheus text scrape: per-shard `serve_*` counters, live key
+    /// runtime metrics, and the ingest queue depth gauge.
+    Metrics,
+    /// JSON liveness document (fleet position, per-shard lag and modes).
+    Healthz,
+    /// Chrome trace-event JSON of the sampled trace ring.
+    Traces,
+    /// JSON tail of every key runtime's journal.
+    Journal,
+}
 
 enum Command {
     Ingest {
@@ -31,6 +51,10 @@ enum Command {
     },
     Stats {
         reply: SyncSender<FleetStats>,
+    },
+    Telemetry {
+        kind: TeleKind,
+        reply: SyncSender<String>,
     },
 }
 
@@ -61,6 +85,9 @@ impl std::error::Error for ServeError {}
 #[derive(Clone)]
 pub struct ServeHandle {
     tx: SyncSender<Command>,
+    /// Ingest commands sent but not yet applied by the pump — the live
+    /// backpressure signal exported as `dlacep_serve_queue_depth`.
+    depth: Arc<AtomicU64>,
 }
 
 impl ServeHandle {
@@ -72,9 +99,29 @@ impl ServeHandle {
         ts: u64,
         attrs: Vec<AttrValue>,
     ) -> Result<(), ServeError> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
         self.tx
             .send(Command::Ingest { type_id, ts, attrs })
-            .map_err(|_| ServeError::Closed)
+            .map_err(|_| {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                ServeError::Closed
+            })
+    }
+
+    /// Ingest commands currently queued ahead of the pump.
+    pub fn queue_depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Ask the pump to render one live telemetry document. Replies come
+    /// from the fleet's current in-memory state — no sync or checkpoint
+    /// is forced.
+    pub fn telemetry(&self, kind: TeleKind) -> Result<String, ServeError> {
+        let (reply, wait) = sync_channel(1);
+        self.tx
+            .send(Command::Telemetry { kind, reply })
+            .map_err(|_| ServeError::Closed)?;
+        wait.recv().map_err(|_| ServeError::Closed)
     }
 
     /// Block until everything offered so far is fsynced in every shard.
@@ -125,9 +172,14 @@ where
     S: Store + Send + 'static,
 {
     let (tx, rx) = sync_channel(capacity.max(1));
-    let thread = std::thread::spawn(move || pump(fleet, rx));
+    let depth = Arc::new(AtomicU64::new(0));
+    let pump_depth = Arc::clone(&depth);
+    let thread = std::thread::spawn(move || pump(fleet, rx, pump_depth));
     (
-        ServeHandle { tx: tx.clone() },
+        ServeHandle {
+            tx: tx.clone(),
+            depth,
+        },
         ServePump {
             thread,
             tx,
@@ -139,11 +191,13 @@ where
 fn pump<F: Filter, S: Store>(
     mut fleet: ShardedDlacep<F, S>,
     rx: Receiver<Command>,
+    depth: Arc<AtomicU64>,
 ) -> Result<FleetReport, FleetError> {
     let mut first_err: Option<FleetError> = None;
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Command::Ingest { type_id, ts, attrs } => {
+                depth.fetch_sub(1, Ordering::Relaxed);
                 if first_err.is_none() {
                     if let Err(e) = fleet.ingest(type_id, ts, attrs) {
                         first_err = Some(e);
@@ -160,6 +214,24 @@ fn pump<F: Filter, S: Store>(
             }
             Command::Stats { reply } => {
                 let _ = reply.send(fleet.stats());
+            }
+            Command::Telemetry { kind, reply } => {
+                let body = match kind {
+                    TeleKind::Metrics => {
+                        let mut scrape = fleet.render_live_prometheus();
+                        let queued = depth.load(Ordering::Relaxed);
+                        scrape.push_str(
+                            "# HELP dlacep_serve_queue_depth Ingest commands queued ahead of the pump.\n\
+                             # TYPE dlacep_serve_queue_depth gauge\n",
+                        );
+                        scrape.push_str(&format!("dlacep_serve_queue_depth {queued}\n"));
+                        scrape
+                    }
+                    TeleKind::Healthz => fleet.healthz_json(),
+                    TeleKind::Traces => fleet.traces_json(),
+                    TeleKind::Journal => fleet.journal_json(JOURNAL_TAIL_PER_KEY),
+                };
+                let _ = reply.send(body);
             }
         }
     }

@@ -57,7 +57,7 @@ use dlacep_dur::{
     load_latest_checkpoint, prune_checkpoints, write_checkpoint, Store, Wal, WalConfig, WalError,
 };
 use dlacep_events::{AttrValue, KeyExtractor, PrimitiveEvent, TypeId};
-use dlacep_obs::Registry;
+use dlacep_obs::{json_field, json_string, Registry, Tracer, DEFAULT_TRACE_CAPACITY};
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::Arc;
@@ -279,6 +279,10 @@ pub struct ShardedDlacep<F: Filter, S: Store> {
     next_global: u64,
     since_sync: u64,
     since_ckpt: u64,
+    /// One trace ring for the whole fleet: every per-key registry shares
+    /// it, and traces are sampled on the fleet-global sequence `g`, so
+    /// trace ids are unique and the 1-in-N sample is fleet-wide.
+    tracer: Tracer,
 }
 
 impl<F: Filter, S: Store> ShardedDlacep<F, S> {
@@ -322,6 +326,7 @@ impl<F: Filter, S: Store> ShardedDlacep<F, S> {
             next_global: 0,
             since_sync: 0,
             since_ckpt: 0,
+            tracer: Tracer::from_env(DEFAULT_TRACE_CAPACITY),
         })
     }
 
@@ -349,6 +354,7 @@ impl<F: Filter, S: Store> ShardedDlacep<F, S> {
             next_global: 0,
             since_sync: 0,
             since_ckpt: 0,
+            tracer: Tracer::from_env(DEFAULT_TRACE_CAPACITY),
         };
         let mut reports = Vec::with_capacity(stores.len());
         for (i, mut store) in stores.into_iter().enumerate() {
@@ -417,7 +423,7 @@ impl<F: Filter, S: Store> ShardedDlacep<F, S> {
                         e.insert(fleet.fresh_runtime()?)
                     }
                 };
-                match rt.ingest(type_id, ts, attrs) {
+                match rt.ingest_traced(type_id, ts, attrs, Some(g)) {
                     Ok(_) | Err(RuntimeError::Stream(_)) => {}
                     Err(e) => return Err(e.into()),
                 }
@@ -543,8 +549,9 @@ impl<F: Filter, S: Store> ShardedDlacep<F, S> {
     fn obs_builder(&self) -> dlacep_core::StreamingBuilder<F> {
         let mut b = self.build_runtime_builder();
         if self.cfg.obs {
-            b = b.obs(Arc::new(Registry::with_journal_capacity(
+            b = b.obs(Arc::new(Registry::with_tracer(
                 self.cfg.journal_capacity,
+                self.tracer.clone(),
             )));
         }
         b
@@ -579,7 +586,7 @@ impl<F: Filter, S: Store> ShardedDlacep<F, S> {
             }
             let shard = &mut self.shards[si];
             let rt = shard.runtimes.get_mut(&key).expect("inserted above");
-            match rt.ingest(type_id, ts, attrs) {
+            match rt.ingest_traced(type_id, ts, attrs, Some(g)) {
                 // Ordering rejections are the runtime's own admission
                 // decision; deterministic, so replay makes the same one.
                 Ok(_) | Err(RuntimeError::Stream(_)) => {}
@@ -597,7 +604,8 @@ impl<F: Filter, S: Store> ShardedDlacep<F, S> {
     /// (in key order per shard), which admits pooled window marking while
     /// producing the same per-key event order as serial ingest.
     pub fn ingest_batch(&mut self, events: &[PrimitiveEvent]) -> Result<(), FleetError> {
-        let mut buckets: BTreeMap<(usize, u64), Vec<PrimitiveEvent>> = BTreeMap::new();
+        type Bucket = (Vec<PrimitiveEvent>, Vec<u64>);
+        let mut buckets: BTreeMap<(usize, u64), Bucket> = BTreeMap::new();
         for ev in events {
             let g = self.next_global + 1;
             self.next_global = g;
@@ -613,9 +621,11 @@ impl<F: Filter, S: Store> ShardedDlacep<F, S> {
             shard.stats.wal_appends += 1;
             shard.high_water = g;
             shard.stats.events_routed += 1;
-            buckets.entry((si, key)).or_default().push(ev.clone());
+            let bucket = buckets.entry((si, key)).or_default();
+            bucket.0.push(ev.clone());
+            bucket.1.push(g);
         }
-        for ((si, key), batch) in buckets {
+        for ((si, key), (batch, seqs)) in buckets {
             if !self.shards[si].runtimes.contains_key(&key) {
                 let rt = self.fresh_runtime()?;
                 self.shards[si].runtimes.insert(key, rt);
@@ -624,7 +634,7 @@ impl<F: Filter, S: Store> ShardedDlacep<F, S> {
                 .runtimes
                 .get_mut(&key)
                 .expect("inserted above");
-            match rt.ingest_batch(&batch) {
+            match rt.ingest_batch_traced(&batch, Some(&seqs)) {
                 Ok(()) | Err(RuntimeError::Stream(_)) => {}
                 Err(e) => return Err(e.into()),
             }
@@ -721,6 +731,146 @@ impl<F: Filter, S: Store> ShardedDlacep<F, S> {
     /// Last offered fleet-global sequence number.
     pub fn position(&self) -> u64 {
         self.next_global
+    }
+
+    /// A cloneable handle on the fleet-wide tracer (disabled unless
+    /// `DLACEP_TRACE_SAMPLE` was set when the fleet was built).
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    /// Replace the fleet-wide tracer. Call right after
+    /// [`create`](Self::create), before any event is offered: key runtimes
+    /// capture the tracer when they are first built, so a later swap only
+    /// reaches keys that have not appeared yet.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// One live Prometheus scrape for the whole fleet, without finishing
+    /// it: each shard's `serve_*` durability counters plus every hosted
+    /// key runtime's live metrics summed into a `{shard="i"}`-labeled
+    /// series (the runtime portion requires `obs: true`).
+    pub fn render_live_prometheus(&self) -> String {
+        let labeled: Vec<(String, dlacep_obs::MetricsSnapshot)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let mut snap = dlacep_obs::MetricsSnapshot::default();
+                let c = &mut snap.counters;
+                c.insert("serve_events_routed".into(), shard.stats.events_routed);
+                c.insert("serve_wal_appends".into(), shard.stats.wal_appends);
+                c.insert("serve_wal_syncs".into(), shard.stats.wal_syncs);
+                c.insert("serve_checkpoints".into(), shard.stats.checkpoints);
+                c.insert("serve_refeed_skipped".into(), shard.stats.refeed_skipped);
+                c.insert("serve_models_drained".into(), shard.stats.models_drained);
+                c.insert("serve_keys".into(), shard.runtimes.len() as u64);
+                for rt in shard.runtimes.values() {
+                    if let Some(obs) = rt.obs_snapshot() {
+                        crate::report::merge_into(&mut snap, &obs);
+                    }
+                }
+                (i.to_string(), snap)
+            })
+            .collect();
+        dlacep_obs::render_prometheus_sharded("shard", &labeled)
+    }
+
+    /// Fleet liveness as one JSON document: the fleet position, trace
+    /// sampling rate, and per-shard key counts, durability counters,
+    /// high-water lag, and runtime-mode census.
+    pub fn healthz_json(&self) -> String {
+        let mut out = format!(
+            "{{\"status\":\"ok\",\"position\":{},\"trace_sample_every\":{},\"shards\":[",
+            self.next_global,
+            self.tracer.sample_every()
+        );
+        for (si, shard) in self.shards.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            let mut modes: BTreeMap<&'static str, u64> = BTreeMap::new();
+            let mut matches = 0u64;
+            for rt in shard.runtimes.values() {
+                let mode = match rt.mode() {
+                    dlacep_core::RuntimeMode::Filtering => "filtering",
+                    dlacep_core::RuntimeMode::DegradedExact => "degraded_exact",
+                };
+                *modes.entry(mode).or_insert(0) += 1;
+                matches += rt.matches_so_far().len() as u64;
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{si},\"keys\":{},\"high_water\":{},\"lag\":{},\"matches\":{matches},\
+                 \"events_routed\":{},\"wal_appends\":{},\"wal_syncs\":{},\"checkpoints\":{},\
+                 \"refeed_skipped\":{},\"models_drained\":{},\"modes\":{{",
+                shard.runtimes.len(),
+                shard.high_water,
+                self.next_global - shard.high_water.min(self.next_global),
+                shard.stats.events_routed,
+                shard.stats.wal_appends,
+                shard.stats.wal_syncs,
+                shard.stats.checkpoints,
+                shard.stats.refeed_skipped,
+                shard.stats.models_drained,
+            ));
+            for (mi, (mode, n)) in modes.iter().enumerate() {
+                if mi > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{mode}\":{n}"));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The fleet's sampled trace ring as Chrome trace-event JSON — load
+    /// the body in `chrome://tracing` or Perfetto.
+    pub fn traces_json(&self) -> String {
+        self.tracer.snapshot().chrome_trace_json()
+    }
+
+    /// The tail of every key runtime's journal as one JSON array, each
+    /// entry stamped with its hosting shard and key. `max_per_key` bounds
+    /// how many of each key's most recent entries are included. Requires
+    /// `obs: true`; an un-instrumented fleet yields `[]`.
+    pub fn journal_json(&self, max_per_key: usize) -> String {
+        let mut out = String::from("[");
+        let mut first = true;
+        for (si, shard) in self.shards.iter().enumerate() {
+            for (key, rt) in &shard.runtimes {
+                let Some(snap) = rt.obs_snapshot() else {
+                    continue;
+                };
+                let entries = &snap.journal.entries;
+                let skip = entries.len().saturating_sub(max_per_key);
+                for e in &entries[skip..] {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&format!(
+                        "{{\"shard\":{si},\"key\":{key},\"seq\":{},\"at_nanos\":{},\"kind\":{},\"fields\":{{",
+                        e.seq,
+                        e.at_nanos,
+                        json_string(&e.kind)
+                    ));
+                    for (fi, (name, value)) in e.fields.iter().enumerate() {
+                        if fi > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&json_string(name));
+                        out.push(':');
+                        out.push_str(&json_field(value));
+                    }
+                    out.push_str("}}");
+                }
+            }
+        }
+        out.push(']');
+        out
     }
 
     /// Finish every key runtime (evaluating trailing windows) and merge

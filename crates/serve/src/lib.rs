@@ -21,6 +21,11 @@
 //! canonical key order, per-shard rollups, fleet totals, and one labeled
 //! Prometheus scrape for the whole fleet.
 //!
+//! Live telemetry rides two transports while the fleet ingests: the
+//! `Tele` verb on the wire protocol, and the [`tele`] HTTP scrape
+//! listener (`DLACEP_TELE_ADDR`) serving `/metrics`, `/healthz`,
+//! `/traces`, and `/journal` off the same pump.
+//!
 //! [`StreamingDlacep`]: dlacep_core::StreamingDlacep
 
 pub mod channel;
@@ -28,9 +33,10 @@ pub mod fleet;
 pub mod hash;
 pub mod report;
 pub mod server;
+pub mod tele;
 pub mod wire;
 
-pub use channel::{spawn, ServeError, ServeHandle, ServePump};
+pub use channel::{spawn, ServeError, ServeHandle, ServePump, TeleKind};
 pub use fleet::{
     shards_from_env, FilterFactory, FleetConfig, FleetError, FleetRecoveryReport, FleetStats,
     ShardRecovery, ShardStats, ShardedDlacep, TrainerFactory, SHARDS_ENV,
@@ -38,6 +44,7 @@ pub use fleet::{
 pub use hash::{fx_hash64, shard_of, DEFAULT_HASH_SEED, HASH_REVISION};
 pub use report::{FleetReport, FleetTotals, KeyReport, ShardSummary};
 pub use server::{serve_addr_from_env, WireClient, WireServer, SERVE_ADDR_ENV};
+pub use tele::{tele_addr_from_env, TeleServer, TELE_ADDR_ENV};
 pub use wire::{
     encode_msg, write_msg, FrameReader, WireError, WireMsg, MAX_WIRE_PAYLOAD, WIRE_MAGIC,
     WIRE_VERSION,

@@ -162,7 +162,7 @@ impl FleetReport {
 /// count/sum/buckets all sum (bucket lists merge by bucket index). The
 /// journal is not merged — it is per-key diagnostic state, exposed through
 /// [`FleetReport::deterministic_views`] instead.
-fn merge_into(dst: &mut MetricsSnapshot, src: &MetricsSnapshot) {
+pub(crate) fn merge_into(dst: &mut MetricsSnapshot, src: &MetricsSnapshot) {
     for (name, v) in &src.counters {
         *dst.counters.entry(name.clone()).or_insert(0) += v;
     }
@@ -196,6 +196,7 @@ mod tests {
                 count: 3,
                 sum: 30,
                 buckets: vec![(0, 1), (2, 2)],
+                exemplar: None,
             },
         );
         let mut b = MetricsSnapshot::default();
@@ -207,6 +208,7 @@ mod tests {
                 count: 1,
                 sum: 7,
                 buckets: vec![(2, 1)],
+                exemplar: None,
             },
         );
         merge_into(&mut a, &b);

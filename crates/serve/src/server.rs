@@ -8,8 +8,8 @@
 //! [`WireMsg::Error`] reply and closes that connection; the fleet and the
 //! other connections are unaffected.
 
-use crate::channel::{ServeError, ServeHandle};
-use crate::wire::{write_msg, FrameReader, WireError, WireMsg};
+use crate::channel::{ServeError, ServeHandle, TeleKind};
+use crate::wire::{write_msg, FrameReader, WireError, WireMsg, MAX_WIRE_PAYLOAD};
 use std::io::{self, BufWriter, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::thread::JoinHandle;
@@ -69,6 +69,32 @@ fn serve_err(e: ServeError) -> WireError {
     WireError::Protocol(e.to_string())
 }
 
+/// Map a wire telemetry endpoint name to its pump-side document kind.
+/// The names mirror the HTTP scrape listener's paths.
+pub(crate) fn tele_kind(endpoint: &str) -> Option<TeleKind> {
+    match endpoint.trim_start_matches('/') {
+        "metrics" => Some(TeleKind::Metrics),
+        "healthz" => Some(TeleKind::Healthz),
+        "traces" => Some(TeleKind::Traces),
+        "journal" => Some(TeleKind::Journal),
+        _ => None,
+    }
+}
+
+/// Truncate `body` so the whole `TeleBody` frame stays under the payload
+/// cap (UTF-8 boundary-safe; headroom covers the endpoint + frame fields).
+fn clamp_tele_body(mut body: String) -> String {
+    let cap = (MAX_WIRE_PAYLOAD as usize).saturating_sub(4096);
+    if body.len() > cap {
+        let mut cut = cap;
+        while cut > 0 && !body.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        body.truncate(cut);
+    }
+    body
+}
+
 fn handle_conn(stream: TcpStream, handle: ServeHandle) -> Result<(), WireError> {
     let mut reader = FrameReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -88,6 +114,24 @@ fn handle_conn(stream: TcpStream, handle: ServeHandle) -> Result<(), WireError> 
                     },
                     Err(e) => WireMsg::Error {
                         message: e.to_string(),
+                    },
+                };
+                write_msg(&mut writer, &reply)?;
+                writer.flush()?;
+            }
+            Ok(Some(WireMsg::Tele { endpoint })) => {
+                let reply = match tele_kind(&endpoint) {
+                    Some(kind) => match handle.telemetry(kind) {
+                        Ok(body) => WireMsg::TeleBody {
+                            endpoint,
+                            body: clamp_tele_body(body),
+                        },
+                        Err(e) => WireMsg::Error {
+                            message: e.to_string(),
+                        },
+                    },
+                    None => WireMsg::Error {
+                        message: format!("unknown telemetry endpoint: {endpoint}"),
                     },
                 };
                 write_msg(&mut writer, &reply)?;
@@ -162,6 +206,26 @@ impl WireClient {
                 "expected Summary, got {other:?}"
             ))),
             None => Err(WireError::Protocol("server closed before Summary".into())),
+        }
+    }
+
+    /// Ask the server for one live telemetry document (`"metrics"`,
+    /// `"healthz"`, `"traces"`, or `"journal"`) and return its body.
+    pub fn telemetry(&mut self, endpoint: &str) -> Result<String, WireError> {
+        write_msg(
+            &mut self.writer,
+            &WireMsg::Tele {
+                endpoint: endpoint.to_string(),
+            },
+        )?;
+        self.writer.flush()?;
+        match self.reader.read_msg()? {
+            Some(WireMsg::TeleBody { body, .. }) => Ok(body),
+            Some(WireMsg::Error { message }) => Err(WireError::Protocol(message)),
+            Some(other) => Err(WireError::Protocol(format!(
+                "expected TeleBody, got {other:?}"
+            ))),
+            None => Err(WireError::Protocol("server closed before TeleBody".into())),
         }
     }
 }

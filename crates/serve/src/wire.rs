@@ -53,12 +53,22 @@ pub enum WireMsg {
     },
     /// Server → client: the request failed; the connection stays usable.
     Error { message: String },
+    /// Client → server: ask for one live telemetry document by endpoint
+    /// name (`"metrics"`, `"healthz"`, `"traces"`, `"journal"` — the same
+    /// names the HTTP scrape listener serves as paths).
+    Tele { endpoint: String },
+    /// Server → client: the requested telemetry document. Bodies are
+    /// truncated to fit [`MAX_WIRE_PAYLOAD`]; scrape the HTTP listener
+    /// for unbounded documents.
+    TeleBody { endpoint: String, body: String },
 }
 
 const TAG_INGEST: u8 = 0;
 const TAG_FLUSH: u8 = 1;
 const TAG_SUMMARY: u8 = 2;
 const TAG_ERROR: u8 = 3;
+const TAG_TELE: u8 = 4;
+const TAG_TELE_BODY: u8 = 5;
 
 impl Enc for WireMsg {
     fn enc(&self, e: &mut Encoder) {
@@ -86,6 +96,15 @@ impl Enc for WireMsg {
                 e.put_u8(TAG_ERROR);
                 e.put(message);
             }
+            WireMsg::Tele { endpoint } => {
+                e.put_u8(TAG_TELE);
+                e.put(endpoint);
+            }
+            WireMsg::TeleBody { endpoint, body } => {
+                e.put_u8(TAG_TELE_BODY);
+                e.put(endpoint);
+                e.put(body);
+            }
         }
     }
 }
@@ -106,6 +125,11 @@ impl Dec for WireMsg {
                 refeed_skipped: d.take_u64()?,
             }),
             TAG_ERROR => Ok(WireMsg::Error { message: d.get()? }),
+            TAG_TELE => Ok(WireMsg::Tele { endpoint: d.get()? }),
+            TAG_TELE_BODY => Ok(WireMsg::TeleBody {
+                endpoint: d.get()?,
+                body: d.get()?,
+            }),
             other => Err(CodecError::Malformed(format!("wire message tag {other}"))),
         }
     }
@@ -289,6 +313,13 @@ mod tests {
             },
             WireMsg::Error {
                 message: "nope".into(),
+            },
+            WireMsg::Tele {
+                endpoint: "metrics".into(),
+            },
+            WireMsg::TeleBody {
+                endpoint: "metrics".into(),
+                body: "# TYPE x counter\nx_total 1\n".into(),
             },
         ];
         let mut bytes = Vec::new();

@@ -205,7 +205,7 @@ fn prometheus_scrape_has_one_type_header_per_metric() {
     let report = fleet.finish();
     let scrape = report.render_prometheus();
     assert!(
-        scrape.contains(r#"serve_events_routed{shard="0"}"#),
+        scrape.contains(r#"serve_events_routed_total{shard="0"}"#),
         "scrape must label per-shard series:\n{scrape}"
     );
     assert!(

@@ -6,23 +6,49 @@
 //! per-key runtimes — while `spawn` puts a bounded-channel pump in front so
 //! producers get backpressure instead of unbounded queueing. The example
 //! drives the stock workload through a `ServeHandle`, takes a mid-stream
-//! durability barrier, then drains the pump and prints the merged fleet
-//! report plus the single Prometheus scrape covering every shard.
+//! durability barrier, scrapes the live HTTP telemetry endpoints
+//! (`/metrics`, `/healthz`, `/traces`) while ingest is still in flight,
+//! then drains the pump and prints the merged fleet report plus the single
+//! Prometheus scrape covering every shard.
 //!
 //! Knobs (see README):
 //!
 //! ```bash
 //! cargo run --release --example sharded_server
 //! DLACEP_SHARDS=8 cargo run --release --example sharded_server
+//! # trace 1 in 10 events, serve live telemetry on a fixed port:
+//! DLACEP_TRACE_SAMPLE=10 DLACEP_TELE_ADDR=127.0.0.1:9900 cargo run ...
 //! ```
+//!
+//! (The example always binds an ephemeral telemetry port and self-scrapes
+//! it, so the endpoints are exercised even with the env knobs unset.)
 
 use dlacep::cep::{Pattern, PatternExpr, TypeSet};
 use dlacep::core::OracleFilter;
 use dlacep::data::StockConfig;
 use dlacep::dur::MemStore;
 use dlacep::events::{KeyExtractor, TypeId, WindowSpec};
-use dlacep::serve::{shards_from_env, spawn, FleetConfig, ShardedDlacep};
+use dlacep::obs::{Tracer, DEFAULT_TRACE_CAPACITY};
+use dlacep::serve::{
+    shards_from_env, spawn, tele_addr_from_env, FleetConfig, ShardedDlacep, TeleServer,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
+
+/// Plain one-shot HTTP GET against the telemetry listener.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("telemetry listener is up");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: dlacep\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or(response)
+}
 
 /// SEQ(A, B, C) WITHIN 12 — matches inside the first type group.
 fn pattern() -> Pattern {
@@ -57,7 +83,7 @@ fn main() {
         ..FleetConfig::default()
     };
     let pat = pattern();
-    let fleet = ShardedDlacep::create(
+    let mut fleet = ShardedDlacep::create(
         pattern(),
         cfg,
         Arc::new(move || OracleFilter::new(pat.clone())),
@@ -65,9 +91,22 @@ fn main() {
         (0..shards).map(|_| MemStore::new()).collect(),
     )
     .expect("fresh fleet");
+    // Trace 1 in 10 events unless DLACEP_TRACE_SAMPLE already says
+    // otherwise, so the /traces endpoint has content to show.
+    if !fleet.tracer().is_enabled() {
+        fleet.set_tracer(Tracer::new(10, DEFAULT_TRACE_CAPACITY));
+    }
 
     // Bounded channel: 256 in-flight commands of backpressure.
     let (handle, pump) = spawn(fleet, 256);
+    // Live telemetry: DLACEP_TELE_ADDR or an ephemeral port.
+    let tele_addr = tele_addr_from_env().unwrap_or_else(|| "127.0.0.1:0".into());
+    let tele = TeleServer::bind(tele_addr.as_str(), handle.clone()).expect("bind telemetry");
+    println!(
+        "telemetry: http://{}/metrics (+ /healthz /traces /journal)",
+        tele.local_addr()
+    );
+
     let mid = events.len() / 2;
     for ev in &events[..mid] {
         handle
@@ -82,11 +121,43 @@ fn main() {
         "mid-stream: {} events across {} keys, {} matches so far",
         stats.offered, stats.keys, stats.matches
     );
+
+    // Scrape the live endpoints while the fleet is mid-stream.
+    let metrics = scrape(tele.local_addr(), "/metrics");
+    let healthz = scrape(tele.local_addr(), "/healthz");
+    let traces = scrape(tele.local_addr(), "/traces");
+    println!("\n== live /metrics (mid-stream, first 12 lines) ==");
+    for line in metrics.lines().take(12) {
+        println!("{line}");
+    }
+    println!("== live /healthz ==\n{healthz}");
+    println!(
+        "== live /traces == {} bytes of Chrome trace JSON",
+        traces.len()
+    );
+    assert!(
+        metrics.contains("serve_events_routed_total"),
+        "live scrape must carry per-shard serve counters"
+    );
+    assert!(
+        metrics.contains("dlacep_serve_queue_depth"),
+        "live scrape must carry the backpressure gauge"
+    );
+    assert!(
+        healthz.contains("\"status\":\"ok\""),
+        "healthz must report the fleet alive"
+    );
+    assert!(
+        traces.contains("\"traceEvents\""),
+        "traces must be Chrome trace JSON"
+    );
+
     for ev in &events[mid..] {
         handle
             .ingest(ev.type_id, ev.ts.0, ev.attrs.clone())
             .expect("pump alive");
     }
+    tele.shutdown();
     drop(handle); // let the pump drain and exit
     let report = pump.finish().expect("fleet finish");
 
