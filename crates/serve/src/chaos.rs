@@ -1,0 +1,443 @@
+//! Wire-level fault injection: a chaos TCP proxy.
+//!
+//! [`ChaosProxy`] sits between a client and a [`WireServer`] and injects
+//! transport faults into the client→server byte stream on a seeded
+//! [`Schedule`] (the same deterministic trigger machinery `dlacep-dur`
+//! uses for torn-write and crash-tick injection):
+//!
+//! - **cut** — forward bytes up to the scheduled offset, then shut both
+//!   sockets down. The cut lands wherever the schedule says, including
+//!   mid-frame, so the server sees a torn tail and the client sees a
+//!   dead connection.
+//! - **delay** — sleep [`ChaosPlan::delay`] before forwarding the chunk
+//!   that covers the scheduled offset; exercises read-timeout and
+//!   idle-reaping paths without killing the connection.
+//! - **duplicate** — re-send a short prefix of the chunk before the
+//!   chunk itself. The duplicated slice is capped at 7 bytes — strictly
+//!   smaller than the 14-byte `DMSV` frame header — so a duplicate can
+//!   *never* form a complete frame and silently double-apply an event;
+//!   it always surfaces as a framing/CRC error that kills the
+//!   connection, which the reconnecting client then repairs.
+//!
+//! Schedules index **cumulative client→server bytes forwarded through
+//! the proxy across all connections**, so a plan like
+//! `Schedule::never().every(4096)` keeps firing as the client reconnects
+//! and re-feeds. Each fault consumes its firing offset (a fault that
+//! fired at byte `f` next fires strictly after `f`), which keeps
+//! `Every`-style triggers from re-killing every successor connection at
+//! the same cumulative offset.
+//!
+//! The upstream address is mutable at runtime ([`ChaosProxy::set_upstream`])
+//! so a test can hard-kill a server, recover the fleet onto a fresh
+//! ephemeral port, and point the proxy there — the client keeps dialing
+//! the one stable address it knows: the proxy's.
+//!
+//! [`WireServer`]: crate::server::WireServer
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use dlacep_dur::Schedule;
+
+/// Largest byte run the duplicate fault will replay. Must stay below the
+/// 14-byte wire frame header so a duplicate can never be a whole frame.
+pub const MAX_DUP_BYTES: usize = 7;
+
+/// Poll tick for the proxy's pump threads; bounds shutdown latency.
+const PUMP_TICK: Duration = Duration::from_millis(20);
+
+/// What to inject and when. Offsets index cumulative client→server
+/// bytes; [`Schedule::never`] disables a fault.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Kill the connection (both directions) at these offsets.
+    pub cut: Schedule,
+    /// Stall forwarding for [`delay`](Self::delay) at these offsets.
+    pub delay_at: Schedule,
+    /// How long a fired delay stalls.
+    pub delay: Duration,
+    /// Duplicate a ≤[`MAX_DUP_BYTES`] prefix at these offsets.
+    pub duplicate: Schedule,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        ChaosPlan {
+            cut: Schedule::never(),
+            delay_at: Schedule::never(),
+            delay: Duration::from_millis(50),
+            duplicate: Schedule::never(),
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// A plan that injects nothing (a transparent proxy).
+    pub fn quiet() -> Self {
+        ChaosPlan::default()
+    }
+}
+
+/// Monotonic counters for what the proxy actually did.
+#[derive(Debug, Default)]
+struct ChaosCounters {
+    conns: AtomicU64,
+    cuts: AtomicU64,
+    delays: AtomicU64,
+    dups: AtomicU64,
+    bytes_up: AtomicU64,
+    bytes_down: AtomicU64,
+}
+
+/// Snapshot of [`ChaosProxy`] activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Client connections accepted (whether or not upstream dial worked).
+    pub conns: u64,
+    /// Connections killed by the cut fault.
+    pub cuts: u64,
+    /// Delay faults fired.
+    pub delays: u64,
+    /// Duplicate faults fired.
+    pub dups: u64,
+    /// Client→server bytes forwarded.
+    pub bytes_up: u64,
+    /// Server→client bytes forwarded.
+    pub bytes_down: u64,
+}
+
+struct ProxyShared {
+    stop: AtomicBool,
+    upstream: Mutex<SocketAddr>,
+    plan: ChaosPlan,
+    /// Cumulative client→server bytes forwarded (the fault index space).
+    fwd: AtomicU64,
+    /// Next offset each fault may fire at (each firing consumes itself).
+    cut_cursor: AtomicU64,
+    delay_cursor: AtomicU64,
+    dup_cursor: AtomicU64,
+    counters: ChaosCounters,
+}
+
+/// A running chaos proxy. Dropping it does *not* stop the threads; call
+/// [`shutdown`](Self::shutdown).
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Bind an ephemeral loopback port and start proxying to `upstream`
+    /// under `plan`.
+    pub fn spawn(upstream: SocketAddr, plan: ChaosPlan) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            stop: AtomicBool::new(false),
+            upstream: Mutex::new(upstream),
+            plan,
+            fwd: AtomicU64::new(0),
+            cut_cursor: AtomicU64::new(0),
+            delay_cursor: AtomicU64::new(0),
+            dup_cursor: AtomicU64::new(0),
+            counters: ChaosCounters::default(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("chaos-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(ChaosProxy {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The stable front address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Repoint the proxy at a new upstream (e.g. a restarted server on a
+    /// fresh ephemeral port). Only affects connections dialed after the
+    /// call; live ones keep their old upstream until they die.
+    pub fn set_upstream(&self, upstream: SocketAddr) {
+        *self.shared.upstream.lock().expect("upstream lock") = upstream;
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> ChaosStats {
+        let c = &self.shared.counters;
+        ChaosStats {
+            conns: c.conns.load(Ordering::Relaxed),
+            cuts: c.cuts.load(Ordering::Relaxed),
+            delays: c.delays.load(Ordering::Relaxed),
+            dups: c.dups.load(Ordering::Relaxed),
+            bytes_up: c.bytes_up.load(Ordering::Relaxed),
+            bytes_down: c.bytes_down.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, wake the accept loop, and join it. Live pump
+    /// threads notice the stop flag within one poll tick and exit.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ProxyShared>) {
+    loop {
+        let (client, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.counters.conns.fetch_add(1, Ordering::Relaxed);
+        let upstream = *shared.upstream.lock().expect("upstream lock");
+        let server = match TcpStream::connect_timeout(&upstream, Duration::from_millis(500)) {
+            Ok(s) => s,
+            Err(_) => {
+                // Upstream down (e.g. restarting): refuse by closing, the
+                // resilient client backs off and retries.
+                let _ = client.shutdown(Shutdown::Both);
+                continue;
+            }
+        };
+        let _ = client.set_read_timeout(Some(PUMP_TICK));
+        let _ = server.set_read_timeout(Some(PUMP_TICK));
+        let up = (client.try_clone(), server.try_clone());
+        if let (Ok(c2), Ok(s2)) = up {
+            let s_up = Arc::clone(&shared);
+            let s_down = Arc::clone(&shared);
+            let _ = thread::Builder::new()
+                .name("chaos-up".into())
+                .spawn(move || pump_up(c2, s2, s_up));
+            let _ = thread::Builder::new()
+                .name("chaos-down".into())
+                .spawn(move || pump_down(server, client, s_down));
+        } else {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = server.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Whether an i/o error is a read-timeout poll tick.
+fn is_tick(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Client→server pump: the faulted direction.
+fn pump_up(mut from: TcpStream, mut to: TcpStream, shared: Arc<ProxyShared>) {
+    let mut buf = [0u8; 4096];
+    'outer: loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if is_tick(&e) => continue,
+            Err(_) => break,
+        };
+        let start = shared.fwd.load(Ordering::SeqCst);
+        let end = start + n as u64;
+
+        // Delay: stall before any bytes of this chunk move.
+        let dcur = shared.delay_cursor.load(Ordering::SeqCst);
+        if let Some(f) = shared.plan.delay_at.first_fire_in(start.max(dcur), end) {
+            shared.delay_cursor.store(f + 1, Ordering::SeqCst);
+            shared.counters.delays.fetch_add(1, Ordering::Relaxed);
+            thread::sleep(shared.plan.delay);
+        }
+
+        // Duplicate: replay a sub-header-sized prefix ahead of the chunk.
+        let pcur = shared.dup_cursor.load(Ordering::SeqCst);
+        if let Some(f) = shared.plan.duplicate.first_fire_in(start.max(pcur), end) {
+            shared.dup_cursor.store(f + 1, Ordering::SeqCst);
+            shared.counters.dups.fetch_add(1, Ordering::Relaxed);
+            let k = n.min(MAX_DUP_BYTES);
+            if to.write_all(&buf[..k]).is_err() {
+                break;
+            }
+        }
+
+        // Cut: forward the prefix up to the fault offset, then die.
+        let ccur = shared.cut_cursor.load(Ordering::SeqCst);
+        if let Some(f) = shared.plan.cut.first_fire_in(start.max(ccur), end) {
+            shared.cut_cursor.store(f + 1, Ordering::SeqCst);
+            shared.counters.cuts.fetch_add(1, Ordering::Relaxed);
+            let keep = (f - start) as usize;
+            if keep > 0 {
+                let _ = to.write_all(&buf[..keep]);
+                shared.fwd.fetch_add(keep as u64, Ordering::SeqCst);
+                shared
+                    .counters
+                    .bytes_up
+                    .fetch_add(keep as u64, Ordering::Relaxed);
+            }
+            break 'outer;
+        }
+
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+        shared.fwd.fetch_add(n as u64, Ordering::SeqCst);
+        shared
+            .counters
+            .bytes_up
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+/// Server→client pump: transparent copy.
+fn pump_down(mut from: TcpStream, mut to: TcpStream, shared: Arc<ProxyShared>) {
+    let mut buf = [0u8; 4096];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+                shared
+                    .counters
+                    .bytes_down
+                    .fetch_add(n as u64, Ordering::Relaxed);
+            }
+            Err(e) if is_tick(&e) => continue,
+            Err(_) => break,
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo server: reads bytes, writes them back.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("echo addr");
+        let t = thread::spawn(move || {
+            // One connection per test is enough.
+            if let Ok((mut s, _)) = listener.accept() {
+                let mut buf = [0u8; 1024];
+                loop {
+                    match s.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            if s.write_all(&buf[..n]).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        (addr, t)
+    }
+
+    #[test]
+    fn quiet_proxy_is_transparent() {
+        let (upstream, echo) = echo_server();
+        let proxy = ChaosProxy::spawn(upstream, ChaosPlan::quiet()).expect("spawn proxy");
+        let mut c = TcpStream::connect(proxy.addr()).expect("dial proxy");
+        c.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        c.write_all(b"ping").unwrap();
+        let mut got = [0u8; 4];
+        c.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"ping");
+        let stats = proxy.stats();
+        assert_eq!(stats.conns, 1);
+        assert_eq!(stats.cuts, 0);
+        assert!(stats.bytes_up >= 4);
+        drop(c);
+        proxy.shutdown();
+        let _ = echo.join();
+    }
+
+    #[test]
+    fn cut_kills_the_connection_at_offset() {
+        let (upstream, echo) = echo_server();
+        let plan = ChaosPlan {
+            cut: Schedule::never().at(2),
+            ..ChaosPlan::quiet()
+        };
+        let proxy = ChaosProxy::spawn(upstream, plan).expect("spawn proxy");
+        let mut c = TcpStream::connect(proxy.addr()).expect("dial proxy");
+        c.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        c.write_all(b"abcdef").unwrap();
+        // At most the 2-byte prefix crosses before the pipe dies; the
+        // echoed reply races the bidirectional shutdown, so only the
+        // upper bound is deterministic.
+        let mut got = Vec::new();
+        let _ = c.read_to_end(&mut got);
+        assert!(got.len() <= 2, "bytes past the cut leaked: {got:?}");
+        assert!(b"ab".starts_with(&got[..]));
+        assert_eq!(proxy.stats().cuts, 1);
+        assert_eq!(proxy.stats().bytes_up, 2, "exactly the prefix forwards");
+        proxy.shutdown();
+        let _ = echo.join();
+    }
+
+    #[test]
+    fn duplicate_replays_a_short_prefix() {
+        let (upstream, echo) = echo_server();
+        let plan = ChaosPlan {
+            duplicate: Schedule::never().at(0),
+            ..ChaosPlan::quiet()
+        };
+        let proxy = ChaosProxy::spawn(upstream, plan).expect("spawn proxy");
+        let mut c = TcpStream::connect(proxy.addr()).expect("dial proxy");
+        c.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        c.write_all(b"0123456789AB").unwrap();
+        // Expect MAX_DUP_BYTES prefix, then the original 12 bytes.
+        let mut got = [0u8; 19];
+        c.read_exact(&mut got).unwrap();
+        assert_eq!(&got[..7], b"0123456");
+        assert_eq!(&got[7..], b"0123456789AB");
+        assert_eq!(proxy.stats().dups, 1);
+        drop(c);
+        proxy.shutdown();
+        let _ = echo.join();
+    }
+
+    #[test]
+    fn upstream_down_refuses_cleanly() {
+        // Dead upstream: use a bound-then-dropped port.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let proxy = ChaosProxy::spawn(dead, ChaosPlan::quiet()).expect("spawn proxy");
+        let mut c = TcpStream::connect(proxy.addr()).expect("dial proxy");
+        c.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut got = Vec::new();
+        let n = c.read_to_end(&mut got).unwrap_or(0);
+        assert_eq!(n, 0, "proxy must close when upstream is down");
+        proxy.shutdown();
+    }
+}

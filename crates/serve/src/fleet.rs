@@ -228,6 +228,12 @@ pub struct FleetStats {
     pub keys: u64,
     /// Matches emitted so far across all keys.
     pub matches: u64,
+    /// `min(high_water)` across shards: the fleet-global sequence number
+    /// at or below which no future recovery will ever ask the source to
+    /// re-offer (a crash resumes from `min(high_water) + 1`, and
+    /// high-water marks only advance). After a sync barrier this is the
+    /// source's safe prune horizon for its send buffer.
+    pub prune_horizon: u64,
 }
 
 /// What recovery found in one shard.
@@ -707,10 +713,16 @@ impl<F: Filter, S: Store> ShardedDlacep<F, S> {
         Ok(())
     }
 
+    /// `min(high_water)` across shards — see [`FleetStats::prune_horizon`].
+    pub fn prune_horizon(&self) -> u64 {
+        self.shards.iter().map(|s| s.high_water).min().unwrap_or(0)
+    }
+
     /// Live fleet counters.
     pub fn stats(&self) -> FleetStats {
         let mut s = FleetStats {
             offered: self.next_global,
+            prune_horizon: self.prune_horizon(),
             ..FleetStats::default()
         };
         for shard in &self.shards {

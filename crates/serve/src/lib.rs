@@ -12,10 +12,21 @@
 //!
 //! Front ends, outermost first:
 //! - [`server`]: a TCP accept loop speaking the `DMSV` length-prefixed
-//!   wire protocol ([`wire`]);
+//!   wire protocol ([`wire`]), hardened for production duty — graceful
+//!   drain-then-barrier shutdown, connection caps with typed refusals,
+//!   idle reaping, and overload shedding (`Overloaded` replies instead
+//!   of blocking);
 //! - [`channel`]: the in-process bounded-mpsc ingest pump (the primary
 //!   tested path);
 //! - [`ShardedDlacep`] itself, for callers that already own a thread.
+//!
+//! On the producer side, [`client::ResilientClient`] wraps the wire
+//! protocol in timeouts, seeded-jitter backoff, and crash-safe resume:
+//! it re-feeds its buffered tail from the server's `resume_seq` after a
+//! reconnect and prunes only below the fleet's prune horizon. The
+//! [`chaos`] module provides a deterministic fault-injecting TCP proxy
+//! (`ChaosProxy`) that the chaos suite drives cuts, delays, and
+//! duplicates through.
 //!
 //! Results merge into a [`FleetReport`]: per-key runtime reports in
 //! canonical key order, per-shard rollups, fleet totals, and one labeled
@@ -29,6 +40,8 @@
 //! [`StreamingDlacep`]: dlacep_core::StreamingDlacep
 
 pub mod channel;
+pub mod chaos;
+pub mod client;
 pub mod fleet;
 pub mod hash;
 pub mod report;
@@ -37,13 +50,23 @@ pub mod tele;
 pub mod wire;
 
 pub use channel::{spawn, ServeError, ServeHandle, ServePump, TeleKind};
+pub use chaos::{ChaosPlan, ChaosProxy, ChaosStats, MAX_DUP_BYTES};
+pub use client::{
+    ClientConfig, ClientError, ClientStats, ResilientClient, CLIENT_BACKOFF_BASE_ENV,
+    CLIENT_BACKOFF_MAX_ENV, CLIENT_CONNECT_TIMEOUT_ENV, CLIENT_IO_TIMEOUT_ENV,
+    CLIENT_MAX_RETRIES_ENV,
+};
 pub use fleet::{
     shards_from_env, FilterFactory, FleetConfig, FleetError, FleetRecoveryReport, FleetStats,
     ShardRecovery, ShardStats, ShardedDlacep, TrainerFactory, SHARDS_ENV,
 };
 pub use hash::{fx_hash64, shard_of, DEFAULT_HASH_SEED, HASH_REVISION};
 pub use report::{FleetReport, FleetTotals, KeyReport, ShardSummary};
-pub use server::{serve_addr_from_env, WireClient, WireServer, SERVE_ADDR_ENV};
+pub use server::{
+    serve_addr_from_env, RunningServer, ServerConfig, ServerReport, ShutdownHandle, WireClient,
+    WireServer, DRAIN_ENV, IDLE_TIMEOUT_ENV, MAX_CONNS_ENV, READ_TIMEOUT_ENV, SERVE_ADDR_ENV,
+    SHED_HIGH_WATER_ENV, SHED_RETRY_AFTER_ENV, TELE_TRUNCATION_MARKER,
+};
 pub use tele::{tele_addr_from_env, TeleServer, TELE_ADDR_ENV};
 pub use wire::{
     encode_msg, write_msg, FrameReader, WireError, WireMsg, MAX_WIRE_PAYLOAD, WIRE_MAGIC,

@@ -27,6 +27,7 @@ use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Environment variable naming the telemetry HTTP listen address.
 pub const TELE_ADDR_ENV: &str = "DLACEP_TELE_ADDR";
@@ -43,6 +44,11 @@ pub fn tele_addr_from_env() -> Option<String> {
 /// Cap on the request head read from a scrape connection; anything
 /// longer is answered 400 without further buffering.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Socket i/o timeout on scrape connections. A probe that connects and
+/// never sends a request (or never drains the response) would otherwise
+/// pin its handler thread forever.
+const SCRAPE_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// The telemetry scrape listener: an accept-loop thread answering HTTP
 /// GETs against a fleet's [`ServeHandle`]. Runs until [`shutdown`]
@@ -114,6 +120,8 @@ impl Drop for TeleServer {
 
 /// Parse one request head and write one response.
 fn serve_one(mut stream: TcpStream, handle: &ServeHandle) -> io::Result<()> {
+    stream.set_read_timeout(Some(SCRAPE_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(SCRAPE_IO_TIMEOUT))?;
     let path = match read_request_path(&mut stream)? {
         Some(path) => path,
         None => return Ok(()), // shutdown poke or empty request

@@ -50,6 +50,12 @@ pub enum WireMsg {
         keys: u64,
         /// Events skipped as already-applied during post-recovery re-feed.
         refeed_skipped: u64,
+        /// `min(high_water)` across shards at the barrier: the source may
+        /// prune its send buffer at or below this sequence number — no
+        /// future recovery can ask for a re-feed from further back, and
+        /// re-feeds must start exactly at `resume_seq` to keep the
+        /// fleet-global numbering positional.
+        prune_to: u64,
     },
     /// Server → client: the request failed; the connection stays usable.
     Error { message: String },
@@ -58,9 +64,25 @@ pub enum WireMsg {
     /// names the HTTP scrape listener serves as paths).
     Tele { endpoint: String },
     /// Server → client: the requested telemetry document. Bodies are
-    /// truncated to fit [`MAX_WIRE_PAYLOAD`]; scrape the HTTP listener
-    /// for unbounded documents.
+    /// truncated to fit [`MAX_WIRE_PAYLOAD`] (a clipped body carries an
+    /// explicit truncation marker); scrape the HTTP listener for
+    /// unbounded documents.
     TeleBody { endpoint: String, body: String },
+    /// Client → server: (re)synchronization handshake. The server replies
+    /// [`WireMsg::Resume`] with the position the client should feed from,
+    /// and clears any overload-shedding state on the connection.
+    Hello,
+    /// Server → client: reply to [`WireMsg::Hello`]. `resume_seq` is the
+    /// first fleet-global sequence number (1-based) the server has *not*
+    /// durably applied — a single producer re-feeds its send buffer from
+    /// here; events a shard already applied are deduplicated as
+    /// `refeed_skipped`.
+    Resume { resume_seq: u64 },
+    /// Server → client: the ingest queue crossed its high-water mark and
+    /// this request was shed instead of applied. The connection is in
+    /// shedding state until the client re-syncs with [`WireMsg::Hello`];
+    /// back off at least `retry_after_ms` before doing so.
+    Overloaded { retry_after_ms: u64 },
 }
 
 const TAG_INGEST: u8 = 0;
@@ -69,6 +91,9 @@ const TAG_SUMMARY: u8 = 2;
 const TAG_ERROR: u8 = 3;
 const TAG_TELE: u8 = 4;
 const TAG_TELE_BODY: u8 = 5;
+const TAG_HELLO: u8 = 6;
+const TAG_RESUME: u8 = 7;
+const TAG_OVERLOADED: u8 = 8;
 
 impl Enc for WireMsg {
     fn enc(&self, e: &mut Encoder) {
@@ -85,12 +110,14 @@ impl Enc for WireMsg {
                 matches,
                 keys,
                 refeed_skipped,
+                prune_to,
             } => {
                 e.put_u8(TAG_SUMMARY);
                 e.put_u64(*offered);
                 e.put_u64(*matches);
                 e.put_u64(*keys);
                 e.put_u64(*refeed_skipped);
+                e.put_u64(*prune_to);
             }
             WireMsg::Error { message } => {
                 e.put_u8(TAG_ERROR);
@@ -104,6 +131,15 @@ impl Enc for WireMsg {
                 e.put_u8(TAG_TELE_BODY);
                 e.put(endpoint);
                 e.put(body);
+            }
+            WireMsg::Hello => e.put_u8(TAG_HELLO),
+            WireMsg::Resume { resume_seq } => {
+                e.put_u8(TAG_RESUME);
+                e.put_u64(*resume_seq);
+            }
+            WireMsg::Overloaded { retry_after_ms } => {
+                e.put_u8(TAG_OVERLOADED);
+                e.put_u64(*retry_after_ms);
             }
         }
     }
@@ -123,12 +159,20 @@ impl Dec for WireMsg {
                 matches: d.take_u64()?,
                 keys: d.take_u64()?,
                 refeed_skipped: d.take_u64()?,
+                prune_to: d.take_u64()?,
             }),
             TAG_ERROR => Ok(WireMsg::Error { message: d.get()? }),
             TAG_TELE => Ok(WireMsg::Tele { endpoint: d.get()? }),
             TAG_TELE_BODY => Ok(WireMsg::TeleBody {
                 endpoint: d.get()?,
                 body: d.get()?,
+            }),
+            TAG_HELLO => Ok(WireMsg::Hello),
+            TAG_RESUME => Ok(WireMsg::Resume {
+                resume_seq: d.take_u64()?,
+            }),
+            TAG_OVERLOADED => Ok(WireMsg::Overloaded {
+                retry_after_ms: d.take_u64()?,
             }),
             other => Err(CodecError::Malformed(format!("wire message tag {other}"))),
         }
@@ -212,6 +256,14 @@ impl<R: Read> FrameReader<R> {
     /// The wrapped transport (e.g. to shut a socket down).
     pub fn get_ref(&self) -> &R {
         &self.inner
+    }
+
+    /// Bytes buffered but not yet consumed as a complete frame. Non-zero
+    /// after a timed-out read means the peer stopped mid-frame — the
+    /// server's drain logic uses this to tell an idle connection from one
+    /// that still owes bytes.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
     }
 
     /// Read until at least `target` bytes are buffered or the transport
@@ -310,6 +362,7 @@ mod tests {
                 matches: 3,
                 keys: 2,
                 refeed_skipped: 0,
+                prune_to: 8,
             },
             WireMsg::Error {
                 message: "nope".into(),
@@ -320,6 +373,11 @@ mod tests {
             WireMsg::TeleBody {
                 endpoint: "metrics".into(),
                 body: "# TYPE x counter\nx_total 1\n".into(),
+            },
+            WireMsg::Hello,
+            WireMsg::Resume { resume_seq: 4242 },
+            WireMsg::Overloaded {
+                retry_after_ms: 250,
             },
         ];
         let mut bytes = Vec::new();

@@ -1,0 +1,208 @@
+//! Concurrency at the front door: many clients interleaving over one
+//! fleet must conserve totals and keep per-key determinism, and a client
+//! that vanishes mid-stream must be replaceable by a fresh resilient
+//! client that adopts the fleet position.
+
+use dlacep_cep::{Pattern, PatternExpr, TypeSet};
+use dlacep_core::OracleFilter;
+use dlacep_data::StockConfig;
+use dlacep_dur::MemStore;
+use dlacep_events::{EventStream, KeyExtractor, TypeId, WindowSpec};
+use dlacep_serve::{
+    spawn, ClientConfig, FleetConfig, FleetReport, ResilientClient, ServerConfig, ShardedDlacep,
+    WireClient, WireServer,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const KEY_EXTRACTOR: KeyExtractor = KeyExtractor::ByTypeGroup(4);
+
+fn pattern() -> Pattern {
+    Pattern::new(
+        PatternExpr::Seq(vec![
+            PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
+            PatternExpr::event(TypeSet::single(TypeId(1)), "b"),
+            PatternExpr::event(TypeSet::single(TypeId(2)), "c"),
+        ]),
+        vec![],
+        WindowSpec::Count(12),
+    )
+}
+
+fn stream(n: usize) -> EventStream {
+    let (_, stream) = StockConfig {
+        num_events: n,
+        ..Default::default()
+    }
+    .generate();
+    stream
+}
+
+fn fleet_config(shards: u32) -> FleetConfig {
+    FleetConfig {
+        shards,
+        key_extractor: KEY_EXTRACTOR,
+        sync_every_events: 16,
+        checkpoint_every_events: 96,
+        ..FleetConfig::default()
+    }
+}
+
+fn make_fleet(shards: u32) -> ShardedDlacep<OracleFilter, MemStore> {
+    let pat = pattern();
+    ShardedDlacep::create(
+        pattern(),
+        fleet_config(shards),
+        Arc::new(move || OracleFilter::new(pat.clone())),
+        Arc::new(|| None),
+        (0..shards).map(|_| MemStore::new()).collect(),
+    )
+    .unwrap()
+}
+
+fn direct_run(stream: &EventStream, shards: u32) -> FleetReport {
+    let mut fleet = make_fleet(shards);
+    for ev in stream.events() {
+        fleet.ingest(ev.type_id, ev.ts.0, ev.attrs.clone()).unwrap();
+    }
+    fleet.finish()
+}
+
+fn assert_reports_match(a: &FleetReport, b: &FleetReport, ctx: &str) {
+    let mut ta = a.totals;
+    let mut tb = b.totals;
+    ta.refeed_skipped = 0;
+    tb.refeed_skipped = 0;
+    assert_eq!(ta, tb, "{ctx}: totals");
+    assert_eq!(
+        a.keys.iter().map(|k| k.key).collect::<Vec<_>>(),
+        b.keys.iter().map(|k| k.key).collect::<Vec<_>>(),
+        "{ctx}: key sets"
+    );
+    for (ka, kb) in a.keys.iter().zip(&b.keys) {
+        assert_eq!(
+            ka.report.matches, kb.report.matches,
+            "{ctx}: key {} matches",
+            ka.key
+        );
+    }
+}
+
+/// N clients, events partitioned *by key* so each key's order is owned by
+/// exactly one connection: arbitrary interleaving across clients must
+/// still conserve totals and reproduce per-key matches bitwise.
+#[test]
+fn concurrent_clients_conserve_totals_and_per_key_determinism() {
+    const CLIENTS: usize = 4;
+    let stream = stream(1_600);
+    let expect = direct_run(&stream, 4);
+
+    let (handle, pump) = spawn(make_fleet(4), 256);
+    let cfg = ServerConfig {
+        read_timeout: Duration::from_millis(25),
+        ..ServerConfig::default()
+    };
+    let server = WireServer::bind_with("127.0.0.1:0", handle.clone(), cfg)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = server.addr();
+
+    // Partition by key, not by stream slice: per-key order is a promise
+    // the caller must keep, and one owner per key keeps it under any
+    // cross-client interleaving.
+    let mut parts: Vec<Vec<_>> = (0..CLIENTS).map(|_| Vec::new()).collect();
+    for ev in stream.events() {
+        let key = KEY_EXTRACTOR.key_of(ev.type_id, &ev.attrs);
+        parts[(key % CLIENTS as u64) as usize].push(ev.clone());
+    }
+    let total: usize = parts.iter().map(Vec::len).sum();
+    assert_eq!(total, stream.events().len());
+
+    let threads: Vec<_> = parts
+        .into_iter()
+        .map(|part| {
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(addr).unwrap();
+                client
+                    .set_io_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                for ev in &part {
+                    client
+                        .ingest(ev.type_id, ev.ts.0, ev.attrs.clone())
+                        .unwrap();
+                }
+                let (offered, _, _, _) = client.flush().unwrap();
+                offered
+            })
+        })
+        .collect();
+    let mut max_offered = 0;
+    for t in threads {
+        max_offered = max_offered.max(t.join().unwrap());
+    }
+    // The last client to flush has seen every event land.
+    assert_eq!(max_offered, stream.events().len() as u64);
+
+    let report = server.stop().unwrap();
+    assert_eq!(report.conns_accepted, CLIENTS as u64);
+    assert!(report.drained, "all clients closed; drain must be clean");
+    drop(handle);
+    let got = pump.finish().unwrap();
+    assert_eq!(got.totals.offered, stream.events().len() as u64);
+    assert_reports_match(&expect, &got, "4 concurrent clients");
+}
+
+/// A producer that vanishes mid-stream (after acking its prefix) can be
+/// replaced: a fresh `ResilientClient` adopts the fleet position from the
+/// Hello/Resume handshake and carries the stream to convergence.
+#[test]
+fn fresh_client_adopts_position_after_disconnect() {
+    let stream = stream(1_000);
+    let expect = direct_run(&stream, 4);
+
+    let (handle, pump) = spawn(make_fleet(4), 256);
+    let server = WireServer::bind("127.0.0.1:0", handle.clone())
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    // First producer: 400 events, acked, then gone.
+    let mut first = WireClient::connect(server.addr()).unwrap();
+    first.set_io_timeout(Some(Duration::from_secs(10))).unwrap();
+    for ev in &stream.events()[..400] {
+        first.ingest(ev.type_id, ev.ts.0, ev.attrs.clone()).unwrap();
+    }
+    let (offered, _, _, _) = first.flush().unwrap();
+    assert_eq!(offered, 400);
+    drop(first);
+
+    // Replacement producer: empty buffer, no acks — the handshake must
+    // move its position forward to resume_seq instead of re-offering.
+    let cfg = ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Duration::from_secs(10),
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(40),
+        max_retries: 20,
+        jitter_seed: 11,
+    };
+    let mut second = ResilientClient::connect(server.addr().to_string(), cfg).unwrap();
+    assert_eq!(
+        second.position(),
+        401,
+        "the fresh client must adopt the fleet position"
+    );
+    for ev in &stream.events()[400..] {
+        second.ingest(ev.type_id, ev.ts.0, ev.attrs.clone());
+    }
+    let (offered, _, _, _) = second.flush().unwrap();
+    assert_eq!(offered, stream.events().len() as u64);
+    drop(second);
+
+    let report = server.stop().unwrap();
+    assert_eq!(report.conns_accepted, 2);
+    drop(handle);
+    let got = pump.finish().unwrap();
+    assert_reports_match(&expect, &got, "handover across producers");
+}

@@ -110,9 +110,11 @@ fn tcp_front_end_matches_direct_run() {
     let expect = direct_run(&stream);
 
     let (handle, pump) = spawn(make_fleet(4), 64);
-    let server = WireServer::bind("127.0.0.1:0", handle.clone()).unwrap();
-    let addr = server.local_addr().unwrap();
-    let server_thread = std::thread::spawn(move || server.serve_connections(1));
+    let server = WireServer::bind("127.0.0.1:0", handle.clone())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = server.addr();
 
     let mut client = WireClient::connect(addr).unwrap();
     for ev in stream.events() {
@@ -126,7 +128,9 @@ fn tcp_front_end_matches_direct_run() {
     assert!(keys > 1);
     assert_eq!(refeed_skipped, 0);
     drop(client);
-    server_thread.join().unwrap().unwrap();
+    let report = server.stop().unwrap();
+    assert_eq!(report.conns_accepted, 1);
+    assert!(report.drained, "one closed client must drain cleanly");
 
     drop(handle);
     let report = pump.finish().unwrap();

@@ -59,6 +59,7 @@ fn build_msg(words: &[u64]) -> WireMsg {
             matches: w(2),
             keys: w(3),
             refeed_skipped: w(4),
+            prune_to: w(5),
         },
         _ => WireMsg::Error {
             message: words

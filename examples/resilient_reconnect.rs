@@ -1,0 +1,193 @@
+//! A producer that survives a server crash.
+//!
+//! A `ResilientClient` streams the stock workload through a TCP proxy at
+//! a stable address. Two thirds of the way in, the wire server is
+//! hard-killed (crash-only: no drain, no goodbye), the fleet is recovered
+//! from its durable stores exactly as an operator restart would, and a
+//! fresh server comes up on a new port behind the same proxy address.
+//! The client notices the dead connection, backs off, reconnects, and the
+//! `Hello`/`Resume` handshake tells it where the recovered fleet stands:
+//! it re-feeds its buffered tail from `resume_seq` and the fleet's
+//! positional dedup (`refeed_skipped`) swallows anything that already
+//! landed. The run converges to exactly the totals of an uninterrupted
+//! direct drive of the same stream.
+//!
+//! ```bash
+//! cargo run --release --example resilient_reconnect
+//! ```
+
+use dlacep::cep::{Pattern, PatternExpr, TypeSet};
+use dlacep::core::OracleFilter;
+use dlacep::data::StockConfig;
+use dlacep::dur::MemStore;
+use dlacep::events::{KeyExtractor, TypeId, WindowSpec};
+use dlacep::serve::{
+    spawn, ChaosPlan, ChaosProxy, ClientConfig, FleetConfig, ResilientClient, ServerConfig,
+    ShardedDlacep, WireServer,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// SEQ(A, B, C) WITHIN 12 — matches inside the first type group.
+fn pattern() -> Pattern {
+    Pattern::new(
+        PatternExpr::Seq(vec![
+            PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
+            PatternExpr::event(TypeSet::single(TypeId(1)), "b"),
+            PatternExpr::event(TypeSet::single(TypeId(2)), "c"),
+        ]),
+        vec![],
+        WindowSpec::Count(12),
+    )
+}
+
+fn fleet_config(shards: u32) -> FleetConfig {
+    FleetConfig {
+        shards,
+        key_extractor: KeyExtractor::ByTypeGroup(4),
+        sync_every_events: 32,
+        checkpoint_every_events: 256,
+        ..FleetConfig::default()
+    }
+}
+
+fn make_fleet(shards: u32, stores: Vec<MemStore>) -> ShardedDlacep<OracleFilter, MemStore> {
+    let pat = pattern();
+    ShardedDlacep::create(
+        pattern(),
+        fleet_config(shards),
+        Arc::new(move || OracleFilter::new(pat.clone())),
+        Arc::new(|| None),
+        stores,
+    )
+    .expect("fresh fleet")
+}
+
+fn server_cfg() -> ServerConfig {
+    ServerConfig {
+        read_timeout: Duration::from_millis(50),
+        ..ServerConfig::default()
+    }
+}
+
+fn main() {
+    let shards = 4u32;
+    let (_, stream) = StockConfig {
+        num_events: 3_000,
+        ..Default::default()
+    }
+    .generate();
+    let events = stream.events().to_vec();
+
+    // The yardstick: drive the same stream straight into an identical
+    // fleet with no wire, no crash, no reconnect.
+    let mut direct = make_fleet(shards, (0..shards).map(|_| MemStore::new()).collect());
+    for ev in &events {
+        direct
+            .ingest(ev.type_id, ev.ts.0, ev.attrs.clone())
+            .expect("direct ingest");
+    }
+    let expect = direct.finish();
+
+    // The real topology: fleet -> pump -> wire server -> proxy -> client.
+    // The proxy gives the client one stable address across the restart.
+    let fleet = make_fleet(shards, (0..shards).map(|_| MemStore::new()).collect());
+    let (handle, pump) = spawn(fleet, 256);
+    let server = WireServer::bind_with("127.0.0.1:0", handle.clone(), server_cfg())
+        .expect("bind")
+        .spawn()
+        .expect("serve");
+    let proxy = ChaosProxy::spawn(server.addr(), ChaosPlan::quiet()).expect("proxy");
+    println!("serving {} shards behind {}", shards, proxy.addr());
+
+    let cfg = ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Duration::from_secs(2),
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(100),
+        max_retries: 40,
+        jitter_seed: 42,
+    };
+    let mut client =
+        ResilientClient::connect(proxy.addr().to_string(), cfg).expect("first connect");
+
+    // Phase 1: two thirds of the stream, acked by a flush barrier.
+    let crash_at = events.len() * 2 / 3;
+    for ev in &events[..crash_at] {
+        client.ingest(ev.type_id, ev.ts.0, ev.attrs.clone());
+    }
+    let (offered, matches, _, _) = client.flush().expect("pre-crash flush");
+    println!("pre-crash:  {offered} events acked, {matches} matches");
+
+    // Crash: stop_hard skips the drain and the final durability barrier —
+    // whatever the fleet cadence already synced is all that survives.
+    let report = server.stop_hard().expect("stop");
+    assert!(report.hard);
+    drop(handle);
+    let (dead_fleet, pump_err) = pump.into_fleet().expect("pump teardown");
+    assert!(pump_err.is_none(), "pump saw no fleet error: {pump_err:?}");
+    println!("crash:      server killed (crash-only, no drain)");
+
+    // Operator restart: recover the fleet from its stores, put a fresh
+    // pump and server in front, repoint the stable address.
+    let (recovered, rec) = ShardedDlacep::recover(
+        pattern(),
+        fleet_config(shards),
+        {
+            let pat = pattern();
+            Arc::new(move || OracleFilter::new(pat.clone()))
+        },
+        Arc::new(|| None),
+        dead_fleet.into_stores(),
+    )
+    .expect("recover");
+    println!(
+        "recover:    {} shards back, fleet resumes at seq {}",
+        shards, rec.resume_seq
+    );
+    let (handle2, pump2) = spawn(recovered, 256);
+    let server2 = WireServer::bind_with("127.0.0.1:0", handle2.clone(), server_cfg())
+        .expect("rebind")
+        .spawn()
+        .expect("reserve");
+    proxy.set_upstream(server2.addr());
+
+    // Phase 2: the client never heard about any of that. Its next flush
+    // hits a dead connection, reconnects through the proxy, handshakes
+    // Hello/Resume, re-feeds its buffered tail, and keeps going.
+    for ev in &events[crash_at..] {
+        client.ingest(ev.type_id, ev.ts.0, ev.attrs.clone());
+    }
+    let (offered, matches, keys, refeed_skipped) = client.flush().expect("post-crash flush");
+    println!(
+        "post-crash: {offered} events acked across {keys} keys, {matches} matches, \
+         {refeed_skipped} refed events deduped"
+    );
+    let stats = client.stats();
+    println!(
+        "client:     {} connects, {} drops, {} backoffs, {} events re-fed",
+        stats.connects, stats.conn_drops, stats.backoffs, stats.refed_events
+    );
+    assert!(stats.connects >= 2, "the crash must force a reconnect");
+    assert_eq!(offered, events.len() as u64, "every event must land");
+
+    drop(client);
+    proxy.shutdown();
+    server2.stop().expect("graceful stop");
+    drop(handle2);
+    let got = pump2.finish().expect("fleet finish");
+
+    // Bitwise convergence with the uninterrupted run (refeed_skipped is
+    // the one counter that legitimately differs: it *counts* the repair).
+    assert_eq!(got.totals.offered, expect.totals.offered, "offered");
+    assert_eq!(got.totals.matches, expect.totals.matches, "matches");
+    assert_eq!(got.keys.len(), expect.keys.len(), "key count");
+    for (a, b) in got.keys.iter().zip(&expect.keys) {
+        assert_eq!(a.key, b.key, "key set");
+        assert_eq!(a.report.matches, b.report.matches, "key {} matches", a.key);
+    }
+    println!(
+        "converged:  {} offered / {} matches == uninterrupted run",
+        got.totals.offered, got.totals.matches
+    );
+}
