@@ -116,7 +116,8 @@ fn main() {
     // individually, then their disjunction as one composite pattern.
     let p1 = q_a9(4, base, 2 * base, 0.8, 1.2, 0.8, 1.2, w);
     let p2 = q_a5(1, base, step, 0.8, 1.2, w);
-    let combined = Pattern::disjunction_of(&[p1.clone(), p2.clone()]);
+    let combined =
+        Pattern::disjunction_of(&[p1.clone(), p2.clone()]).expect("q_a9/q_a5 share the window");
     let mut rows_g: Vec<Row> = Vec::new();
     rows_g.extend(run_experiment(
         "Q_A9(j=4) alone",

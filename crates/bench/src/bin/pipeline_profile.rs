@@ -22,8 +22,9 @@
 //! cargo run --release -p dlacep-bench --bin pipeline_profile
 //! ```
 
-use dlacep_bench::queries::real::q_a1;
-use dlacep_cep::{Pattern, PatternExpr, TypeSet};
+use dlacep_bench::queries::real::{q_a1, q_a5, q_a9};
+use dlacep_cep::engine::CepEngine;
+use dlacep_cep::{Match, NfaConfig, NfaEngine, Pattern, PatternExpr, PatternSet, TypeSet};
 use dlacep_core::filter::OracleFilter;
 use dlacep_core::pipeline::Dlacep;
 use dlacep_core::trainer::{train_event_filter, TrainConfig};
@@ -257,8 +258,156 @@ fn profile_fleet(
     )
 }
 
+/// One row of the Fig. 9(g)-style separate-vs-shared sweep: the first `n`
+/// patterns of the workload evaluated as `n` independent extractors, then as
+/// one fused [`PatternSet`] plan scanning the stream once.
+#[derive(Debug, Serialize)]
+struct MultiQueryRow {
+    patterns: usize,
+    branches_total: usize,
+    units: usize,
+    branches_merged: usize,
+    shared_prefix_steps: usize,
+    matches_per_pattern: Vec<usize>,
+    /// Σ `EngineStats::events_processed` across the independent engines.
+    separate_engine_steps: u64,
+    /// `EngineStats::events_processed` of the single fused engine.
+    shared_engine_steps: u64,
+    separate_events_per_sec: f64,
+    shared_events_per_sec: f64,
+    /// Shared ev/s ÷ separate ev/s.
+    speedup: f64,
+    /// Per-pattern match keys identical between the two evaluations.
+    parity: bool,
+}
+
+/// The multi-query workload: four Table-1 patterns on one window, chosen so
+/// the sharing optimizer has real work — `q_a1(4, 6, [1,2,3])` is exactly
+/// the first branch of `q_a9(4)` under binding canonicalization (a merged
+/// unit), and `q_a5` shares its 4-step prefix with that branch.
+fn multiquery_patterns() -> Vec<Pattern> {
+    const W: u64 = 22;
+    vec![
+        q_a9(4, 6, 12, 0.8, 1.2, 0.8, 1.2, W),
+        q_a5(1, 6, 2, 0.8, 1.2, W),
+        q_a1(4, 6, &[1, 2, 3], 0.8, 1.2, W),
+        q_a1(4, 2, &[1, 2], 0.8, 1.25, W),
+    ]
+}
+
+fn sorted_keys(ms: &[Match]) -> Vec<Vec<dlacep_events::EventId>> {
+    let mut k: Vec<Vec<dlacep_events::EventId>> = ms.iter().map(|m| m.event_ids.clone()).collect();
+    k.sort();
+    k.dedup();
+    k
+}
+
+fn multiquery_sweep(events: &[PrimitiveEvent], runs: usize) -> Vec<MultiQueryRow> {
+    let patterns = multiquery_patterns();
+    let mut rows = Vec::new();
+    for n in 1..=patterns.len() {
+        let set = PatternSet::new(patterns[..n].to_vec()).expect("one shared window");
+        let shared = set.compile().expect("workload compiles");
+        let report = *shared.report();
+
+        // Baseline: n independent extractors, each scanning the full stream.
+        let mut separate: Vec<Vec<Match>> = Vec::new();
+        let mut separate_steps = 0u64;
+        let sep_start = std::time::Instant::now();
+        for _ in 0..runs {
+            separate.clear();
+            separate_steps = 0;
+            for p in set.patterns() {
+                let mut engine = NfaEngine::new(p).expect("pattern compiles");
+                separate.push(engine.run(events));
+                separate_steps += engine.stats().events_processed;
+            }
+        }
+        let sep_elapsed = sep_start.elapsed();
+
+        // Shared: the fused plan scans once; matches are attributed back.
+        let mut attributed: Vec<Vec<Match>> = Vec::new();
+        let mut shared_steps = 0u64;
+        let sh_start = std::time::Instant::now();
+        for _ in 0..runs {
+            let mut engine = shared.engine(NfaConfig::default());
+            let fused = engine.run(events);
+            shared_steps = engine.stats().events_processed;
+            attributed = shared.attribute(&fused);
+        }
+        let sh_elapsed = sh_start.elapsed();
+
+        let parity = separate
+            .iter()
+            .zip(&attributed)
+            .all(|(a, b)| sorted_keys(a) == sorted_keys(b));
+        let total = (events.len() * runs) as f64;
+        let sep_tput = total / sep_elapsed.as_secs_f64();
+        let sh_tput = total / sh_elapsed.as_secs_f64();
+        rows.push(MultiQueryRow {
+            patterns: n,
+            branches_total: report.branches_total,
+            units: report.units,
+            branches_merged: report.branches_merged,
+            shared_prefix_steps: report.shared_prefix_steps,
+            matches_per_pattern: attributed.iter().map(Vec::len).collect(),
+            separate_engine_steps: separate_steps,
+            shared_engine_steps: shared_steps,
+            separate_events_per_sec: sep_tput,
+            shared_events_per_sec: sh_tput,
+            speedup: sh_tput / sep_tput,
+            parity,
+        });
+    }
+    rows
+}
+
+fn run_multiquery(events: &[PrimitiveEvent], runs: usize) {
+    let rows = multiquery_sweep(events, runs);
+    for r in &rows {
+        println!(
+            "multiquery n={}: {} branches -> {} units ({} merged, {} prefix steps), \
+             steps {} -> {}, {:.0} -> {:.0} ev/s ({:.2}x), parity={}",
+            r.patterns,
+            r.branches_total,
+            r.units,
+            r.branches_merged,
+            r.shared_prefix_steps,
+            r.separate_engine_steps,
+            r.shared_engine_steps,
+            r.separate_events_per_sec,
+            r.shared_events_per_sec,
+            r.speedup,
+            r.parity
+        );
+    }
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join("BENCH_multiquery.json");
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_multiquery.json");
+    f.write_all(json.as_bytes()).expect("write multiquery rows");
+    println!("[saved {}]", path.display());
+    assert!(
+        rows.iter().all(|r| r.parity),
+        "shared-plan attribution must reproduce per-pattern match sets"
+    );
+}
+
 fn main() {
     let runs = 5;
+
+    // `pipeline_profile multiquery` runs only the separate-vs-shared sweep
+    // (no training, fast enough for CI).
+    if std::env::args().nth(1).as_deref() == Some("multiquery") {
+        let (_, stock) = StockConfig {
+            num_events: 20_000,
+            ..Default::default()
+        }
+        .generate();
+        run_multiquery(stock.events(), 3);
+        return;
+    }
 
     let (_, stock) = StockConfig {
         num_events: 20_000,
@@ -354,4 +503,6 @@ fn main() {
     let mut f = std::fs::File::create(&serve_path).expect("create BENCH_serve.json");
     f.write_all(json.as_bytes()).expect("write slo");
     println!("[saved {}]", serve_path.display());
+
+    run_multiquery(stock.events(), runs);
 }

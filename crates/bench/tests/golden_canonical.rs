@@ -1,0 +1,97 @@
+//! Golden tests pinning the canonical (normalized) form of the Fig. 9(g)
+//! patterns: `Q_A9(j=4)` and `Q_A5(j=1)` individually, and their combined
+//! disjunction as evaluated by the separate-vs-combined experiment.
+
+use dlacep_bench::queries::real::{q_a5, q_a9};
+use dlacep_cep::rewrite::{is_normalized, normalize_pattern};
+use dlacep_cep::{Pattern, PatternExpr, PatternSet};
+
+// Fig. 9(g) instantiation (see `fig9_operators`): W = 22, base = 6.
+const W: u64 = 22;
+const BASE: usize = 6;
+
+fn fig9g_patterns() -> (Pattern, Pattern) {
+    (
+        q_a9(4, BASE, 2 * BASE, 0.8, 1.2, 0.8, 1.2, W),
+        q_a5(1, BASE, 2, 0.8, 1.2, W),
+    )
+}
+
+#[test]
+fn q_a9_is_already_canonical() {
+    let (p1, _) = fig9g_patterns();
+    // DISJ of two DISJ-free sequences: canonical as authored.
+    let (normalized, stats) = normalize_pattern(&p1).unwrap();
+    assert!(!stats.any(), "no rule should fire: {stats:?}");
+    assert_eq!(normalized.expr, p1.expr);
+    assert!(is_normalized(&p1.expr));
+}
+
+#[test]
+fn q_a5_is_already_canonical() {
+    let (_, p2) = fig9g_patterns();
+    // SEQ of five leaves plus one flat Kleene closure: canonical as authored.
+    let (normalized, stats) = normalize_pattern(&p2).unwrap();
+    assert!(!stats.any(), "no rule should fire: {stats:?}");
+    assert_eq!(normalized.expr, p2.expr);
+    assert!(is_normalized(&p2.expr));
+}
+
+#[test]
+fn combined_disjunction_normalizes_to_three_flat_alternatives() {
+    let (p1, p2) = fig9g_patterns();
+    let combined = Pattern::disjunction_of(&[p1, p2]).unwrap();
+
+    // Raw: DISJ(DISJ(b1, b2), a5) — q_a9's own disjunction is nested one
+    // level down. Canonical: the three alternatives at one level, in order.
+    let PatternExpr::Disj(top) = &combined.expr else {
+        panic!("disjunction_of must produce a DISJ");
+    };
+    let [PatternExpr::Disj(q_a9_branches), a5_branch] = top.as_slice() else {
+        panic!("expected DISJ(DISJ(..), seq)");
+    };
+    let expected = PatternExpr::Disj(vec![
+        q_a9_branches[0].clone(),
+        q_a9_branches[1].clone(),
+        a5_branch.clone(),
+    ]);
+
+    let (normalized, stats) = normalize_pattern(&combined).unwrap();
+    assert_eq!(normalized.expr, expected);
+    assert_eq!(stats.disj_hoisted, 1, "one nested DISJ lifted");
+    assert!(is_normalized(&normalized.expr));
+
+    // Conditions and window pass through untouched.
+    assert_eq!(normalized.conditions, combined.conditions);
+    assert_eq!(normalized.window, combined.window);
+
+    // Pinned binding namespaces: disjunction_of prefixes by source index.
+    let PatternExpr::Disj(alts) = &normalized.expr else {
+        unreachable!()
+    };
+    let first_binding = |e: &PatternExpr| match e {
+        PatternExpr::Seq(xs) => match &xs[0] {
+            PatternExpr::Event { binding, .. } => binding.clone(),
+            other => panic!("expected leaf, got {other:?}"),
+        },
+        other => panic!("expected SEQ alternative, got {other:?}"),
+    };
+    assert_eq!(first_binding(&alts[0]), "p0_s1");
+    assert_eq!(first_binding(&alts[1]), "p0_r1");
+    assert_eq!(first_binding(&alts[2]), "p1_s1");
+}
+
+#[test]
+fn fig9g_pattern_set_shares_one_plan() {
+    let (p1, p2) = fig9g_patterns();
+    let set = PatternSet::new(vec![p1, p2]).unwrap();
+    let shared = set.compile().unwrap();
+    let r = shared.report();
+    // Q_A9 contributes two branches, Q_A5 one; their type sets and
+    // conditions differ, so all three stay distinct units.
+    assert_eq!(r.patterns, 2);
+    assert_eq!(r.branches_total, 3);
+    assert_eq!(r.units, 3);
+    assert_eq!(r.branches_merged, 0);
+    assert_eq!(shared.plan().branches.len(), 3);
+}

@@ -20,7 +20,9 @@ pub mod lazy;
 pub mod nfa;
 pub mod pattern;
 pub mod plan;
+pub mod rewrite;
 pub mod sharded;
+pub mod share;
 pub mod state;
 pub mod stats;
 pub mod tree;
@@ -30,7 +32,11 @@ pub use lazy::LazyEngine;
 pub use nfa::{NfaConfig, NfaEngine};
 pub use pattern::ast::{Pattern, PatternExpr, TypeSet};
 pub use pattern::condition::{CmpOp, Expr, Predicate};
+pub use pattern::dsl::{conj, disj, event, kleene, neg, seq, PatternBuilder};
+pub use pattern::error::PatternError;
 pub use plan::{CompileError, Plan};
+pub use rewrite::{normalize, normalize_pattern, RewriteStats, MAX_ALTERNATIVES};
 pub use sharded::{run_sharded, run_sharded_obs, shard_layout, Shard};
+pub use share::{AttributedMatches, PatternSet, ShareReport, SharedPlan};
 pub use state::{NfaEngineState, StateError, TreeEngineState};
 pub use tree::{CostModel, TreeEngine};

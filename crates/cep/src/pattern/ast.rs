@@ -2,6 +2,7 @@
 //! closure) and NEG (negation) over typed event leaves (paper §2.1).
 
 use crate::pattern::condition::Predicate;
+use crate::pattern::error::PatternError;
 use dlacep_events::{Schema, TypeId, WindowSpec};
 use serde::{Deserialize, Serialize};
 
@@ -25,19 +26,18 @@ impl TypeSet {
 
     /// Resolve names through a schema.
     ///
-    /// # Panics
-    /// Panics if a name is unknown — patterns are authored against a schema.
-    pub fn of_names(schema: &Schema, names: &[&str]) -> Self {
-        Self::new(
-            names
-                .iter()
-                .map(|n| {
-                    schema
-                        .type_id(n)
-                        .unwrap_or_else(|| panic!("unknown event type {n:?}"))
-                })
-                .collect(),
-        )
+    /// # Errors
+    /// [`PatternError::UnknownEventType`] if a name does not resolve —
+    /// patterns are authored against a schema.
+    pub fn of_names(schema: &Schema, names: &[&str]) -> Result<Self, PatternError> {
+        let mut types = Vec::with_capacity(names.len());
+        for n in names {
+            match schema.type_id(n) {
+                Some(t) => types.push(t),
+                None => return Err(PatternError::UnknownEventType((*n).to_string())),
+            }
+        }
+        Ok(Self::new(types))
     }
 
     /// Membership test (binary search).
@@ -242,15 +242,24 @@ impl Pattern {
     /// prefixing each pattern's bindings with `p<i>_` to keep namespaces
     /// disjoint. All patterns must share the same window.
     ///
-    /// # Panics
-    /// Panics when `patterns` is empty or the windows differ.
-    pub fn disjunction_of(patterns: &[Pattern]) -> Pattern {
-        assert!(!patterns.is_empty(), "need at least one pattern");
-        let window = patterns[0].window;
-        assert!(
-            patterns.iter().all(|p| p.window == window),
-            "disjunction requires one shared window"
-        );
+    /// For first-class multi-pattern evaluation with per-pattern match
+    /// attribution, prefer [`crate::share::PatternSet`]; this combinator
+    /// remains for callers that want one merged match stream.
+    ///
+    /// # Errors
+    /// [`PatternError::EmptySet`] when `patterns` is empty,
+    /// [`PatternError::WindowMismatch`] when the windows differ.
+    pub fn disjunction_of(patterns: &[Pattern]) -> Result<Pattern, PatternError> {
+        let Some(first) = patterns.first() else {
+            return Err(PatternError::EmptySet);
+        };
+        let window = first.window;
+        if let Some(p) = patterns.iter().find(|p| p.window != window) {
+            return Err(PatternError::WindowMismatch {
+                expected: window,
+                got: p.window,
+            });
+        }
         let mut exprs = Vec::with_capacity(patterns.len());
         let mut conds = Vec::new();
         for (i, p) in patterns.iter().enumerate() {
@@ -258,7 +267,7 @@ impl Pattern {
             exprs.push(renamed.expr);
             conds.extend(renamed.conditions);
         }
-        Pattern::new(PatternExpr::Disj(exprs), conds, window)
+        Ok(Pattern::new(PatternExpr::Disj(exprs), conds, window))
     }
 }
 
@@ -289,15 +298,15 @@ mod tests {
             .attribute("v")
             .build()
             .unwrap();
-        let s = TypeSet::of_names(&schema, &["C", "A"]);
+        let s = TypeSet::of_names(&schema, &["C", "A"]).unwrap();
         assert_eq!(s.types(), &[TypeId(0), TypeId(2)]);
     }
 
     #[test]
-    #[should_panic(expected = "unknown event type")]
-    fn typeset_unknown_name_panics() {
+    fn typeset_unknown_name_is_typed_error() {
         let schema = Schema::builder().event_type("A").build().unwrap();
-        let _ = TypeSet::of_names(&schema, &["Z"]);
+        let err = TypeSet::of_names(&schema, &["Z"]).unwrap_err();
+        assert_eq!(err, PatternError::UnknownEventType("Z".into()));
     }
 
     #[test]
@@ -328,12 +337,19 @@ mod tests {
                 dlacep_events::WindowSpec::Count(5),
             )
         };
-        let d = Pattern::disjunction_of(&[mk(0), mk(2)]);
+        let d = Pattern::disjunction_of(&[mk(0), mk(2)]).unwrap();
         assert_eq!(d.expr.bindings(), vec!["p0_a", "p0_b", "p1_a", "p1_b"]);
     }
 
     #[test]
-    #[should_panic(expected = "shared window")]
+    fn disjunction_of_empty_is_typed_error() {
+        assert_eq!(
+            Pattern::disjunction_of(&[]).unwrap_err(),
+            PatternError::EmptySet
+        );
+    }
+
+    #[test]
     fn disjunction_of_rejects_mixed_windows() {
         let a = Pattern::new(
             PatternExpr::event(TypeSet::single(TypeId(0)), "a"),
@@ -345,7 +361,10 @@ mod tests {
             vec![],
             dlacep_events::WindowSpec::Count(6),
         );
-        let _ = Pattern::disjunction_of(&[a, b]);
+        assert!(matches!(
+            Pattern::disjunction_of(&[a, b]).unwrap_err(),
+            PatternError::WindowMismatch { .. }
+        ));
     }
 
     #[test]

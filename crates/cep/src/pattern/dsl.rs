@@ -1,0 +1,156 @@
+//! Fluent pattern-construction DSL.
+//!
+//! Free-function combinators mirror the paper's operators — [`seq`],
+//! [`conj`], [`disj`], [`kleene`], [`neg`] over [`event`] leaves — and
+//! [`PatternBuilder`] assembles them with `WHERE` conditions and a window
+//! in the workspace-wide builder style:
+//!
+//! ```
+//! use dlacep_cep::pattern::dsl::{event, kleene, seq};
+//! use dlacep_cep::{Pattern, TypeSet};
+//! use dlacep_events::{TypeId, WindowSpec};
+//!
+//! let pattern = Pattern::builder()
+//!     .expr(seq([
+//!         event(TypeSet::single(TypeId(0)), "a"),
+//!         kleene(event(TypeSet::single(TypeId(1)), "k")),
+//!     ]))
+//!     .window(WindowSpec::Count(8))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(pattern.window_size(), 8);
+//! ```
+
+use crate::pattern::ast::{Pattern, PatternExpr, TypeSet};
+use crate::pattern::condition::Predicate;
+use crate::pattern::error::PatternError;
+use dlacep_events::WindowSpec;
+
+/// Leaf: one primitive event of any of `types`, bound to `binding`.
+pub fn event(types: TypeSet, binding: impl Into<String>) -> PatternExpr {
+    PatternExpr::event(types, binding)
+}
+
+/// `SEQ(...)` — the elements in strict arrival order.
+pub fn seq(elems: impl IntoIterator<Item = PatternExpr>) -> PatternExpr {
+    PatternExpr::Seq(elems.into_iter().collect())
+}
+
+/// `CONJ(...)` — the elements in any arrival order.
+pub fn conj(elems: impl IntoIterator<Item = PatternExpr>) -> PatternExpr {
+    PatternExpr::Conj(elems.into_iter().collect())
+}
+
+/// `DISJ(...)` — any of the alternatives (union of their matches).
+pub fn disj(alts: impl IntoIterator<Item = PatternExpr>) -> PatternExpr {
+    PatternExpr::Disj(alts.into_iter().collect())
+}
+
+/// `KC(body)` — one or more repetitions of the body.
+pub fn kleene(body: PatternExpr) -> PatternExpr {
+    PatternExpr::Kleene(Box::new(body))
+}
+
+/// `NEG(body)` — the body must not occur at this position in a `SEQ`.
+pub fn neg(body: PatternExpr) -> PatternExpr {
+    PatternExpr::Neg(Box::new(body))
+}
+
+/// Fluent builder for [`Pattern`], created by [`Pattern::builder`].
+#[derive(Debug, Clone, Default)]
+#[must_use = "builders do nothing unless .build() is called"]
+pub struct PatternBuilder {
+    expr: Option<PatternExpr>,
+    conditions: Vec<Predicate>,
+    window: Option<WindowSpec>,
+}
+
+impl PatternBuilder {
+    /// Set the operator tree (required).
+    pub fn expr(mut self, expr: PatternExpr) -> Self {
+        self.expr = Some(expr);
+        self
+    }
+
+    /// Add one `WHERE` condition (repeatable).
+    pub fn condition(mut self, pred: Predicate) -> Self {
+        self.conditions.push(pred);
+        self
+    }
+
+    /// Add several `WHERE` conditions.
+    pub fn conditions(mut self, preds: impl IntoIterator<Item = Predicate>) -> Self {
+        self.conditions.extend(preds);
+        self
+    }
+
+    /// Set the `WITHIN` window.
+    pub fn window(mut self, window: WindowSpec) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Finalize.
+    ///
+    /// # Errors
+    /// [`PatternError::MissingExpr`] / [`PatternError::MissingWindow`] if a
+    /// required part was not set.
+    pub fn build(self) -> Result<Pattern, PatternError> {
+        let expr = self.expr.ok_or(PatternError::MissingExpr)?;
+        let window = self.window.ok_or(PatternError::MissingWindow)?;
+        Ok(Pattern::new(expr, self.conditions, window))
+    }
+}
+
+impl Pattern {
+    /// Start a fluent [`PatternBuilder`]. The expression and window are
+    /// required; the condition list defaults to empty.
+    pub fn builder() -> PatternBuilder {
+        PatternBuilder::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::condition::Expr;
+    use dlacep_events::TypeId;
+
+    fn t(i: u32) -> TypeSet {
+        TypeSet::single(TypeId(i))
+    }
+
+    #[test]
+    fn builder_assembles_pattern() {
+        let p = Pattern::builder()
+            .expr(seq([event(t(0), "a"), event(t(1), "b")]))
+            .condition(Predicate::lt(Expr::attr("a", 0), Expr::attr("b", 0)))
+            .window(WindowSpec::Count(10))
+            .build()
+            .unwrap();
+        assert_eq!(p.expr.bindings(), vec!["a", "b"]);
+        assert_eq!(p.conditions.len(), 1);
+        assert_eq!(p.window, WindowSpec::Count(10));
+    }
+
+    #[test]
+    fn builder_without_expr_is_typed_error() {
+        let err = Pattern::builder().window(WindowSpec::Count(4)).build();
+        assert_eq!(err.unwrap_err(), PatternError::MissingExpr);
+    }
+
+    #[test]
+    fn combinators_mirror_ast() {
+        let e = disj([
+            seq([event(t(0), "a"), neg(event(t(1), "n")), event(t(2), "b")]),
+            conj([event(t(3), "c"), kleene(event(t(4), "k"))]),
+        ]);
+        match &e {
+            PatternExpr::Disj(alts) => {
+                assert!(matches!(&alts[0], PatternExpr::Seq(xs) if xs.len() == 3));
+                assert!(matches!(&alts[1], PatternExpr::Conj(xs) if xs.len() == 2));
+            }
+            _ => panic!("expected DISJ"),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Typed errors for the pattern-construction surface.
+//!
+//! Pattern authoring used to panic on bad input (`TypeSet::of_names` on an
+//! unknown name, `Pattern::disjunction_of` on mixed windows). Patterns are
+//! user-supplied configuration, so these now surface as a typed,
+//! `#[non_exhaustive]` error enum following the workspace convention
+//! (`DlacepError`, `FleetError`).
+
+use crate::plan::CompileError;
+use dlacep_events::WindowSpec;
+
+/// Errors from pattern construction, combination, and set compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PatternError {
+    /// A type name did not resolve through the schema.
+    UnknownEventType(String),
+    /// A pattern set (or disjunction) was built from zero patterns.
+    EmptySet,
+    /// Patterns combined into one set/disjunction must share a window.
+    WindowMismatch {
+        /// Window of the first pattern.
+        expected: WindowSpec,
+        /// The offending pattern's window.
+        got: WindowSpec,
+    },
+    /// Normalization would exceed the DNF alternative cap
+    /// ([`crate::rewrite::MAX_ALTERNATIVES`]).
+    TooManyAlternatives {
+        /// Number of alternatives the rewrite produced.
+        alternatives: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The builder was finalized without an expression.
+    MissingExpr,
+    /// The builder was finalized without a window.
+    MissingWindow,
+    /// A pattern in the set failed plan compilation.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::UnknownEventType(n) => write!(f, "unknown event type {n:?}"),
+            PatternError::EmptySet => write!(f, "need at least one pattern"),
+            PatternError::WindowMismatch { expected, got } => write!(
+                f,
+                "patterns must share one window (expected {expected:?}, got {got:?})"
+            ),
+            PatternError::TooManyAlternatives { alternatives, cap } => write!(
+                f,
+                "normalization produced {alternatives} DNF alternatives (cap {cap})"
+            ),
+            PatternError::MissingExpr => write!(f, "pattern builder needs an expression"),
+            PatternError::MissingWindow => write!(f, "pattern builder needs a window"),
+            PatternError::Compile(e) => write!(f, "compile: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PatternError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for PatternError {
+    fn from(e: CompileError) -> Self {
+        PatternError::Compile(e)
+    }
+}

@@ -1,5 +1,11 @@
-//! Pattern definition: AST, condition DSL, and the textual pattern language.
+//! Pattern definition: AST, fluent DSL, condition DSL, typed errors, and the
+//! textual pattern language.
 
 pub mod ast;
 pub mod condition;
+pub mod dsl;
+pub mod error;
 pub mod parser;
+
+pub use ast::{Pattern, PatternExpr, TypeSet};
+pub use error::PatternError;

@@ -228,7 +228,10 @@ impl<'a> Parser<'a> {
                     }
                 }
                 let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                let types = TypeSet::of_names(self.schema, &refs);
+                let types = match TypeSet::of_names(self.schema, &refs) {
+                    Ok(t) => t,
+                    Err(e) => return err(e.to_string()),
+                };
                 let binding = self.ident()?;
                 Ok(PatternExpr::Event { types, binding })
             }

@@ -1,0 +1,342 @@
+//! Pattern-algebra rewriter: normalizes [`PatternExpr`] trees into a
+//! canonical form ahead of plan compilation.
+//!
+//! The rules (each match-set preserving):
+//!
+//! 1. **Flattening** — same-kind nesting splices into the parent
+//!    (`SEQ(a, SEQ(b, c))` → `SEQ(a, b, c)`, likewise CONJ and DISJ).
+//!    `SEQ`/`CONJ` treat an empty same-kind child as the identity element.
+//! 2. **Singleton collapse** — `SEQ(x)`, `CONJ(x)` and `DISJ(x)` are `x`.
+//! 3. **DISJ hoisting / DNF split** — `SEQ`/`CONJ` distribute over `DISJ`
+//!    by cross product, so every disjunction surfaces at the top level
+//!    (`SEQ(a, DISJ(b, c))` → `DISJ(SEQ(a, b), SEQ(a, c))`). This mirrors
+//!    [`crate::plan`]'s branch hoisting, which is what makes the rewrite
+//!    provably equivalent: both walk children in the same order, so the
+//!    normalized tree compiles to the same branches in the same order.
+//! 4. **KC/NEG body simplification** — group bodies are normalized and
+//!    flattened so `KC(SEQ(a, SEQ(b)))` becomes the compilable
+//!    `KC(SEQ(a, b))`; double negation is eliminated (`NEG(NEG(x))` → `x`,
+//!    negation normal form). A `DISJ` that survives inside a group body is
+//!    left in place for the compiler to reject, exactly as before.
+//!
+//! The canonical form is therefore: a top-level `DISJ` of two or more
+//! DISJ-free alternatives (or a single DISJ-free expression), with no
+//! same-kind direct nesting, no single-child groupings, and flat group
+//! bodies. [`normalize`] is idempotent on its own output.
+
+use crate::pattern::ast::{Pattern, PatternExpr};
+use crate::pattern::error::PatternError;
+
+/// Cap on DNF alternatives produced by one normalization. Distribution is a
+/// cross product, so adversarial inputs explode exponentially; the cap turns
+/// that into a typed error instead of an OOM.
+pub const MAX_ALTERNATIVES: usize = 256;
+
+/// Counts of rule applications performed by one [`normalize`] call. Useful
+/// for golden tests and for reporting what the compiler front-end did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Same-kind SEQ/CONJ splices (rule 1).
+    pub flattened: usize,
+    /// Single-child groupings removed (rule 2).
+    pub singletons_collapsed: usize,
+    /// Nested DISJ alternatives lifted into a parent DISJ (rule 1).
+    pub disj_hoisted: usize,
+    /// SEQ/CONJ-over-DISJ cross-product distributions (rule 3).
+    pub disj_distributed: usize,
+    /// KC/NEG bodies rewritten, including double-negation elimination
+    /// (rule 4).
+    pub groups_simplified: usize,
+}
+
+impl RewriteStats {
+    /// Whether any rule fired at all (false ⇒ input was already canonical).
+    pub fn any(&self) -> bool {
+        self.flattened
+            + self.singletons_collapsed
+            + self.disj_hoisted
+            + self.disj_distributed
+            + self.groups_simplified
+            > 0
+    }
+}
+
+/// Normalize an expression into canonical form.
+///
+/// # Errors
+/// [`PatternError::TooManyAlternatives`] when DNF splitting would exceed
+/// [`MAX_ALTERNATIVES`].
+pub fn normalize(expr: &PatternExpr) -> Result<(PatternExpr, RewriteStats), PatternError> {
+    let mut stats = RewriteStats::default();
+    let mut alts = alternatives(expr, &mut stats)?;
+    let out = if alts.len() == 1 {
+        alts.pop().expect("len checked")
+    } else {
+        PatternExpr::Disj(alts)
+    };
+    Ok((out, stats))
+}
+
+/// Normalize a pattern: the expression is rewritten, conditions and window
+/// pass through untouched (no rule renames bindings, so every `WHERE`
+/// predicate stays valid).
+///
+/// # Errors
+/// See [`normalize`].
+pub fn normalize_pattern(pattern: &Pattern) -> Result<(Pattern, RewriteStats), PatternError> {
+    let (expr, stats) = normalize(&pattern.expr)?;
+    Ok((
+        Pattern::new(expr, pattern.conditions.clone(), pattern.window),
+        stats,
+    ))
+}
+
+/// Whether an expression is already in canonical form.
+pub fn is_normalized(expr: &PatternExpr) -> bool {
+    match normalize(expr) {
+        Ok((_, stats)) => !stats.any(),
+        Err(_) => false,
+    }
+}
+
+fn cap(n_alternatives: usize) -> Result<(), PatternError> {
+    if n_alternatives > MAX_ALTERNATIVES {
+        return Err(PatternError::TooManyAlternatives {
+            alternatives: n_alternatives,
+            cap: MAX_ALTERNATIVES,
+        });
+    }
+    Ok(())
+}
+
+/// Core: rewrite `expr` into its list of DISJ-free canonical alternatives.
+/// The list is the top-level DISJ (length 1 ⇒ no disjunction at all).
+fn alternatives(
+    expr: &PatternExpr,
+    stats: &mut RewriteStats,
+) -> Result<Vec<PatternExpr>, PatternError> {
+    match expr {
+        PatternExpr::Event { .. } => Ok(vec![expr.clone()]),
+        PatternExpr::Disj(children) => {
+            let mut out = Vec::with_capacity(children.len());
+            for c in children {
+                if matches!(c, PatternExpr::Disj(_)) {
+                    stats.disj_hoisted += 1;
+                }
+                out.extend(alternatives(c, stats)?);
+                cap(out.len())?;
+            }
+            if out.len() == 1 {
+                stats.singletons_collapsed += 1;
+            }
+            Ok(out)
+        }
+        PatternExpr::Seq(children) | PatternExpr::Conj(children) => {
+            let is_seq = matches!(expr, PatternExpr::Seq(_));
+            // Cross product over each child's alternatives, in child order —
+            // the same traversal the plan compiler uses for branch hoisting.
+            let mut combos: Vec<Vec<PatternExpr>> = vec![Vec::new()];
+            for c in children {
+                let child_alts = alternatives(c, stats)?;
+                if child_alts.len() > 1 {
+                    stats.disj_distributed += 1;
+                }
+                let mut next = Vec::with_capacity(combos.len() * child_alts.len());
+                for combo in &combos {
+                    for alt in &child_alts {
+                        let mut v = combo.clone();
+                        splice(&mut v, alt.clone(), is_seq, stats);
+                        next.push(v);
+                    }
+                }
+                combos = next;
+                cap(combos.len())?;
+            }
+            Ok(combos
+                .into_iter()
+                .map(|mut items| {
+                    if items.len() == 1 {
+                        stats.singletons_collapsed += 1;
+                        items.pop().expect("len checked")
+                    } else if is_seq {
+                        PatternExpr::Seq(items)
+                    } else {
+                        PatternExpr::Conj(items)
+                    }
+                })
+                .collect())
+        }
+        PatternExpr::Kleene(body) => {
+            let inner = normalize_group_body(body, stats)?;
+            Ok(vec![PatternExpr::Kleene(Box::new(inner))])
+        }
+        PatternExpr::Neg(body) => {
+            // Negation normal form: NEG(NEG(x)) ⇒ x (which may itself be a
+            // disjunction, so re-enter the alternative rewriter).
+            if let PatternExpr::Neg(inner) = body.as_ref() {
+                stats.groups_simplified += 1;
+                return alternatives(inner, stats);
+            }
+            let inner = normalize_group_body(body, stats)?;
+            // Body simplification may itself surface a double negation —
+            // NEG(CONJ(NEG(x))) collapses its singleton to NEG(NEG(x)) —
+            // so re-check after the rewrite.
+            if let PatternExpr::Neg(innermost) = &inner {
+                stats.groups_simplified += 1;
+                return alternatives(innermost, stats);
+            }
+            Ok(vec![PatternExpr::Neg(Box::new(inner))])
+        }
+    }
+}
+
+/// Normalize a KC/NEG body. Bodies admit no disjunction; if one survives
+/// normalization it is preserved verbatim so plan compilation reports
+/// `DisjUnderKleeneOrNeg` exactly as it would on the raw tree.
+fn normalize_group_body(
+    body: &PatternExpr,
+    stats: &mut RewriteStats,
+) -> Result<PatternExpr, PatternError> {
+    let mut probe = RewriteStats::default();
+    let mut alts = alternatives(body, &mut probe)?;
+    if alts.len() != 1 {
+        return Ok(body.clone());
+    }
+    let rewritten = alts.pop().expect("len checked");
+    if probe.any() {
+        stats.groups_simplified += 1;
+        stats.flattened += probe.flattened;
+        stats.singletons_collapsed += probe.singletons_collapsed;
+        stats.disj_hoisted += probe.disj_hoisted;
+        stats.disj_distributed += probe.disj_distributed;
+        stats.groups_simplified += probe.groups_simplified;
+    }
+    Ok(rewritten)
+}
+
+/// Append `item` to a SEQ/CONJ child list, splicing same-kind children.
+fn splice(out: &mut Vec<PatternExpr>, item: PatternExpr, is_seq: bool, stats: &mut RewriteStats) {
+    match item {
+        PatternExpr::Seq(xs) if is_seq => {
+            stats.flattened += 1;
+            out.extend(xs);
+        }
+        PatternExpr::Conj(xs) if !is_seq => {
+            stats.flattened += 1;
+            out.extend(xs);
+        }
+        other => out.push(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::dsl::{conj, disj, event, kleene, neg, seq};
+    use crate::pattern::TypeSet;
+    use dlacep_events::TypeId;
+
+    fn ev(t: u32, b: &str) -> PatternExpr {
+        event(TypeSet::single(TypeId(t)), b)
+    }
+
+    fn norm(e: &PatternExpr) -> PatternExpr {
+        normalize(e).unwrap().0
+    }
+
+    #[test]
+    fn flattens_nested_seq() {
+        let e = seq([ev(0, "a"), seq([ev(1, "b"), seq([ev(2, "c")])])]);
+        assert_eq!(norm(&e), seq([ev(0, "a"), ev(1, "b"), ev(2, "c")]));
+    }
+
+    #[test]
+    fn flattens_nested_conj_and_collapses_singletons() {
+        let e = conj([conj([ev(0, "a")]), conj([ev(1, "b"), ev(2, "c")])]);
+        assert_eq!(norm(&e), conj([ev(0, "a"), ev(1, "b"), ev(2, "c")]));
+    }
+
+    #[test]
+    fn hoists_nested_disj() {
+        let e = disj([ev(0, "a"), disj([ev(1, "b"), ev(2, "c")])]);
+        assert_eq!(norm(&e), disj([ev(0, "a"), ev(1, "b"), ev(2, "c")]));
+    }
+
+    #[test]
+    fn distributes_seq_over_disj() {
+        let e = seq([ev(0, "a"), disj([ev(1, "b"), ev(2, "c")])]);
+        assert_eq!(
+            norm(&e),
+            disj([seq([ev(0, "a"), ev(1, "b")]), seq([ev(0, "a"), ev(2, "c")])])
+        );
+    }
+
+    #[test]
+    fn distributes_conj_over_two_disjs_in_plan_order() {
+        // Cross product enumerates the later child fastest — the same order
+        // plan branch hoisting produces.
+        let e = conj([
+            disj([ev(0, "a"), ev(1, "b")]),
+            disj([ev(2, "c"), ev(3, "d")]),
+        ]);
+        assert_eq!(
+            norm(&e),
+            disj([
+                conj([ev(0, "a"), ev(2, "c")]),
+                conj([ev(0, "a"), ev(3, "d")]),
+                conj([ev(1, "b"), ev(2, "c")]),
+                conj([ev(1, "b"), ev(3, "d")]),
+            ])
+        );
+    }
+
+    #[test]
+    fn kleene_body_flattened_to_compilable_form() {
+        let e = kleene(seq([ev(0, "x"), seq([ev(1, "y")])]));
+        assert_eq!(norm(&e), kleene(seq([ev(0, "x"), ev(1, "y")])));
+        // The raw form is rejected by the compiler; the normalized form
+        // compiles.
+        use crate::plan::Plan;
+        use dlacep_events::WindowSpec;
+        let raw = Pattern::new(e.clone(), vec![], WindowSpec::Count(8));
+        assert!(Plan::compile(&raw).is_err());
+        let cooked = normalize_pattern(&raw).unwrap().0;
+        assert!(Plan::compile(&cooked).is_ok());
+    }
+
+    #[test]
+    fn double_negation_eliminated() {
+        let e = seq([ev(0, "a"), neg(neg(ev(1, "b"))), ev(2, "c")]);
+        assert_eq!(norm(&e), seq([ev(0, "a"), ev(1, "b"), ev(2, "c")]));
+    }
+
+    #[test]
+    fn disj_under_kleene_preserved_for_compiler() {
+        let e = kleene(disj([ev(0, "x"), ev(1, "y")]));
+        assert_eq!(norm(&e), e);
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let e = seq([
+            ev(0, "a"),
+            disj([seq([ev(1, "b"), seq([ev(2, "c")])]), conj([ev(3, "d")])]),
+        ]);
+        let (once, stats) = normalize(&e).unwrap();
+        assert!(stats.any());
+        let (twice, stats2) = normalize(&once).unwrap();
+        assert_eq!(once, twice);
+        assert!(!stats2.any());
+        assert!(is_normalized(&once));
+    }
+
+    #[test]
+    fn explosion_hits_typed_cap() {
+        // 9 children × 4 alternatives each = 4^9 = 262144 > MAX_ALTERNATIVES.
+        let wide: Vec<PatternExpr> = (0..9)
+            .map(|i| disj((0..4).map(|j| ev(i * 4 + j, &format!("b{i}_{j}")))))
+            .collect();
+        let err = normalize(&seq(wide)).unwrap_err();
+        assert!(matches!(err, PatternError::TooManyAlternatives { .. }));
+    }
+}

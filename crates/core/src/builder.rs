@@ -44,7 +44,7 @@ use crate::guard::GuardConfig;
 use crate::pipeline::{Dlacep, DlacepError};
 use crate::retrain::{ModelTrainer, RetrainConfig};
 use crate::runtime::{RuntimeCheckpoint, RuntimeConfig, RuntimeError, StreamingDlacep};
-use dlacep_cep::Pattern;
+use dlacep_cep::{Pattern, PatternSet};
 use dlacep_dur::Store;
 use dlacep_events::OutOfOrderPolicy;
 use dlacep_obs::Registry;
@@ -58,7 +58,7 @@ use std::sync::Arc;
 #[must_use = "builders do nothing until .build() is called"]
 #[derive(Debug)]
 pub struct DlacepBuilder<F: Filter> {
-    pattern: Pattern,
+    patterns: Vec<Pattern>,
     filter: F,
     assembler: Option<AssemblerConfig>,
     parallelism: Parallelism,
@@ -69,12 +69,33 @@ impl<F: Filter> DlacepBuilder<F> {
     /// Start building a pipeline for `pattern` marked by `filter`.
     pub fn new(pattern: Pattern, filter: F) -> Self {
         Self {
-            pattern,
+            patterns: vec![pattern],
             filter,
             assembler: None,
             parallelism: Parallelism::default(),
             obs: None,
         }
+    }
+
+    /// Start building a pipeline monitoring a whole [`PatternSet`].
+    pub fn multi(patterns: PatternSet, filter: F) -> Self {
+        Self {
+            patterns: patterns.patterns().to_vec(),
+            filter,
+            assembler: None,
+            parallelism: Parallelism::default(),
+            obs: None,
+        }
+    }
+
+    /// Register additional patterns alongside the constructor's pattern.
+    /// The whole set is validated as a [`PatternSet`] (one shared window) at
+    /// [`DlacepBuilder::build`] and compiled into a shared plan evaluated in
+    /// one stream scan; per-pattern matches land in
+    /// [`crate::pipeline::DlacepReport::per_pattern`].
+    pub fn patterns(mut self, patterns: impl IntoIterator<Item = Pattern>) -> Self {
+        self.patterns.extend(patterns);
+        self
     }
 
     /// Assembler geometry (default: `MarkSize = 2W`, `StepSize = W`).
@@ -99,9 +120,15 @@ impl<F: Filter> DlacepBuilder<F> {
     }
 
     /// Carry the accumulated pattern/filter/assembler/parallelism/obs into
-    /// a [`StreamingBuilder`] for the supervised streaming runtime.
+    /// a [`StreamingBuilder`] for the supervised streaming runtime. The
+    /// streaming runtime monitors a single pattern; if extra patterns were
+    /// registered via [`DlacepBuilder::patterns`], the streaming build
+    /// reports a config error.
     pub fn streaming(self) -> StreamingBuilder<F> {
-        let mut b = StreamingBuilder::new(self.pattern, self.filter);
+        let mut patterns = self.patterns.into_iter();
+        let first = patterns.next().expect("builder always holds one pattern");
+        let mut b = StreamingBuilder::new(first, self.filter);
+        b.extra_patterns = patterns.count();
         b.config.assembler = self.assembler;
         b.config.parallelism = self.parallelism;
         b.obs = self.obs;
@@ -110,16 +137,11 @@ impl<F: Filter> DlacepBuilder<F> {
 
     /// Validate and construct the pipeline.
     pub fn build(self) -> Result<Dlacep<F>, DlacepError> {
+        let set = PatternSet::new(self.patterns)?;
         let assembler = self
             .assembler
-            .unwrap_or_else(|| AssemblerConfig::paper_default(self.pattern.window_size()));
-        Dlacep::construct(
-            self.pattern,
-            self.filter,
-            assembler,
-            self.parallelism,
-            self.obs,
-        )
+            .unwrap_or_else(|| AssemblerConfig::paper_default(set.window().size()));
+        Dlacep::construct(set, self.filter, assembler, self.parallelism, self.obs)
     }
 }
 
@@ -135,6 +157,9 @@ pub struct StreamingBuilder<F: Filter> {
     config: RuntimeConfig,
     obs: Option<Arc<Registry>>,
     trainer: Option<Box<dyn ModelTrainer<F>>>,
+    /// Patterns beyond the first carried over from a multi-pattern batch
+    /// chain; the streaming runtime cannot serve them, so `build` rejects.
+    extra_patterns: usize,
 }
 
 impl<F: Filter + std::fmt::Debug> std::fmt::Debug for StreamingBuilder<F> {
@@ -161,6 +186,7 @@ impl<F: Filter> StreamingBuilder<F> {
             config: RuntimeConfig::default(),
             obs: None,
             trainer: None,
+            extra_patterns: 0,
         }
     }
 
@@ -235,8 +261,21 @@ impl<F: Filter> StreamingBuilder<F> {
         }
     }
 
+    fn reject_extra_patterns(&self) -> Result<(), RuntimeError> {
+        if self.extra_patterns > 0 {
+            return Err(RuntimeError::Config(format!(
+                "streaming runtime monitors a single pattern; {} extra pattern(s) \
+                 registered via DlacepBuilder::patterns are not supported — use the \
+                 batch pipeline (DlacepBuilder::build) for multi-pattern sets",
+                self.extra_patterns
+            )));
+        }
+        Ok(())
+    }
+
     /// Validate and construct the runtime.
     pub fn build(self) -> Result<StreamingDlacep<F>, RuntimeError> {
+        self.reject_extra_patterns()?;
         StreamingDlacep::with_config_obs_trainer(
             self.pattern,
             self.filter,
@@ -250,6 +289,7 @@ impl<F: Filter> StreamingBuilder<F> {
     /// cold start. Pattern, filter kind, config (and trainer, when retrain
     /// is enabled) must match what the checkpointed runtime ran with.
     pub fn restore(self, ckpt: RuntimeCheckpoint) -> Result<StreamingDlacep<F>, RuntimeError> {
+        self.reject_extra_patterns()?;
         StreamingDlacep::restore_with_trainer(
             self.pattern,
             self.filter,

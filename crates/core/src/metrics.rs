@@ -204,6 +204,7 @@ mod tests {
         cep_time: Duration,
     ) -> DlacepReport {
         DlacepReport {
+            per_pattern: vec![matches.clone()],
             matches,
             events_total: 10,
             events_relayed: 0,

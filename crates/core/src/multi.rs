@@ -9,14 +9,17 @@
 //!
 //! This differs from [`dlacep_cep::Pattern::disjunction_of`], which fuses
 //! the patterns into one composite DISJ query with one merged match set.
+//! Since the pattern-compiler redesign, extraction itself is also shared:
+//! the set compiles to one [`SharedPlan`] whose fused automaton scans the
+//! filtered stream once, with matches attributed back per pattern.
 
 use crate::embed::EventEmbedder;
 use crate::filter::{EventNetFilter, Filter};
 use crate::model::{EventNetwork, NetworkConfig};
+use crate::pipeline::DlacepError;
 use crate::trainer::TrainConfig;
 use dlacep_cep::engine::CepEngine;
-use dlacep_cep::plan::Plan;
-use dlacep_cep::{Match, NfaEngine, Pattern, TypeSet};
+use dlacep_cep::{Match, NfaConfig, Pattern, PatternSet, SharedPlan};
 use dlacep_data::label::{label_stream_multi, relevant_types};
 use dlacep_data::train_test_split;
 use dlacep_events::{EventStream, PrimitiveEvent};
@@ -27,9 +30,11 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 
-/// A DLACEP instance monitoring several patterns with one shared filter.
+/// A DLACEP instance monitoring several patterns with one shared filter
+/// and one shared extraction plan.
 pub struct MultiPatternDlacep {
-    patterns: Vec<Pattern>,
+    patterns: PatternSet,
+    shared: SharedPlan,
     filter: EventNetFilter,
     /// Shared count-window size `W` (all patterns must agree — the paper's
     /// unification trains on samples of one fixed `2W`).
@@ -59,29 +64,20 @@ pub struct MultiTraining {
 
 /// Train one event-network for a set of patterns (labels OR-ed, §4.3).
 ///
-/// # Panics
-/// Panics when `patterns` is empty, the windows disagree, or any pattern
-/// fails to compile.
+/// # Errors
+/// Returns [`DlacepError::Pattern`] when `patterns` is empty or the windows
+/// disagree, and [`DlacepError::Compile`] when any pattern fails to compile.
 pub fn train_multi_pattern(
     patterns: &[Pattern],
     stream: &EventStream,
     cfg: &TrainConfig,
-) -> MultiTraining {
-    assert!(!patterns.is_empty(), "need at least one pattern");
-    let w = patterns[0].window_size();
-    assert!(
-        patterns.iter().all(|p| p.window_size() == w),
-        "multi-pattern unification requires one shared window size"
-    );
-    let plans: Vec<Plan> = patterns
-        .iter()
-        .map(|p| Plan::compile(p).expect("pattern compiles"))
-        .collect();
-    // Relevant types = union over patterns, so one embedding serves all.
-    let mut relevant = TypeSet::new(vec![]);
-    for plan in &plans {
-        relevant = relevant.union(&relevant_types(plan));
-    }
+) -> Result<MultiTraining, DlacepError> {
+    let set = PatternSet::new(patterns.to_vec())?;
+    let w = set.window().size();
+    let shared = set.compile()?;
+    // Relevant types = union over patterns; the fused plan carries every
+    // branch of every pattern, so one embedding serves all.
+    let relevant = relevant_types(shared.plan());
     let num_attrs = stream.events().first().map_or(0, |e| e.attrs.len());
     let embedder = EventEmbedder::new(&relevant, num_attrs);
 
@@ -159,9 +155,10 @@ pub fn train_multi_pattern(
         };
         test_conf.record_all(&pred, labels);
     }
-    MultiTraining {
+    Ok(MultiTraining {
         system: MultiPatternDlacep {
-            patterns: patterns.to_vec(),
+            patterns: set,
+            shared,
             filter: EventNetFilter {
                 network: net,
                 embedder,
@@ -175,13 +172,18 @@ pub fn train_multi_pattern(
             converged,
         },
         test: test_conf,
-    }
+    })
 }
 
 impl MultiPatternDlacep {
     /// The monitored patterns.
     pub fn patterns(&self) -> &[Pattern] {
-        &self.patterns
+        self.patterns.patterns()
+    }
+
+    /// The shared extraction plan (fused automaton + attribution table).
+    pub fn shared_plan(&self) -> &SharedPlan {
+        &self.shared
     }
 
     /// The shared trained filter.
@@ -189,8 +191,8 @@ impl MultiPatternDlacep {
         &self.filter
     }
 
-    /// Run: filter the stream once, then extract each pattern's matches from
-    /// the shared filtered stream.
+    /// Run: filter the stream once, scan the survivors once with the fused
+    /// shared-plan automaton, and attribute matches back per pattern.
     pub fn run(&self, events: &[PrimitiveEvent]) -> MultiReport {
         let assembler = crate::assembler::AssemblerConfig::paper_default(self.w);
         let mut relayed: BTreeMap<u64, PrimitiveEvent> = BTreeMap::new();
@@ -203,14 +205,9 @@ impl MultiPatternDlacep {
             }
         }
         let filtered: Vec<PrimitiveEvent> = relayed.into_values().collect();
-        let matches = self
-            .patterns
-            .iter()
-            .map(|p| {
-                let mut engine = NfaEngine::new(p).expect("pattern compiles");
-                engine.run(&filtered)
-            })
-            .collect();
+        let mut engine = self.shared.engine(NfaConfig::default());
+        let fused = engine.run(&filtered);
+        let matches = self.shared.attribute(&fused);
         MultiReport {
             matches,
             events_relayed: filtered.len(),
@@ -222,7 +219,7 @@ impl MultiPatternDlacep {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlacep_cep::PatternExpr;
+    use dlacep_cep::{PatternExpr, TypeSet};
     use dlacep_data::label::ground_truth_matches;
     use dlacep_events::{TypeId, WindowSpec};
     use rand::Rng;
@@ -258,7 +255,7 @@ mod tests {
         let history = stream(2_400, 1);
         let mut cfg = TrainConfig::quick();
         cfg.max_epochs = 14;
-        let trained = train_multi_pattern(&[p1.clone(), p2.clone()], &history, &cfg);
+        let trained = train_multi_pattern(&[p1.clone(), p2.clone()], &history, &cfg).unwrap();
         assert!(trained.report.epochs_run > 0);
 
         let live = stream(1_200, 2);
@@ -286,17 +283,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shared window")]
     fn mismatched_windows_rejected() {
         let p1 = seq2(0, 1);
         let mut p2 = seq2(2, 3);
         p2.window = WindowSpec::Count(9);
-        let _ = train_multi_pattern(&[p1, p2], &stream(200, 0), &TrainConfig::quick());
+        let err = train_multi_pattern(&[p1, p2], &stream(200, 0), &TrainConfig::quick())
+            .err()
+            .expect("mixed windows must be rejected");
+        assert!(matches!(
+            err,
+            DlacepError::Pattern(dlacep_cep::PatternError::WindowMismatch { .. })
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "at least one pattern")]
     fn empty_pattern_set_rejected() {
-        let _ = train_multi_pattern(&[], &stream(100, 0), &TrainConfig::quick());
+        let err = train_multi_pattern(&[], &stream(100, 0), &TrainConfig::quick())
+            .err()
+            .expect("empty set must be rejected");
+        assert!(matches!(
+            err,
+            DlacepError::Pattern(dlacep_cep::PatternError::EmptySet)
+        ));
     }
 }

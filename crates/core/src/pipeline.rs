@@ -6,7 +6,9 @@ use crate::filter::Filter;
 use dlacep_cep::engine::CepEngine;
 use dlacep_cep::plan::{CompileError, Plan};
 use dlacep_cep::sharded::run_sharded_traced;
-use dlacep_cep::{EngineStats, Match, NfaConfig, NfaEngine, Pattern};
+use dlacep_cep::{
+    EngineStats, Match, NfaConfig, NfaEngine, Pattern, PatternError, PatternSet, SharedPlan,
+};
 use dlacep_events::PrimitiveEvent;
 use dlacep_obs::{Counter, Histogram, MetricsSnapshot, Registry, TraceBuilder, Tracer};
 use dlacep_par::{Parallelism, PoolStats, ThreadPool};
@@ -22,6 +24,9 @@ pub enum DlacepError {
     Assembler(AssemblerError),
     /// The pattern failed to compile into an extractor plan.
     Compile(CompileError),
+    /// The pattern set was rejected (empty, mixed windows, or a rewrite
+    /// failure) before compilation.
+    Pattern(PatternError),
 }
 
 impl std::fmt::Display for DlacepError {
@@ -29,6 +34,7 @@ impl std::fmt::Display for DlacepError {
         match self {
             DlacepError::Assembler(e) => write!(f, "assembler: {e}"),
             DlacepError::Compile(e) => write!(f, "pattern compile: {e}"),
+            DlacepError::Pattern(e) => write!(f, "pattern set: {e}"),
         }
     }
 }
@@ -47,11 +53,26 @@ impl From<CompileError> for DlacepError {
     }
 }
 
+impl From<PatternError> for DlacepError {
+    fn from(e: PatternError) -> Self {
+        match e {
+            // Preserve the historical shape: a plan-compilation failure
+            // surfaces as `Compile` whether it came through a set or not.
+            PatternError::Compile(c) => DlacepError::Compile(c),
+            other => DlacepError::Pattern(other),
+        }
+    }
+}
+
 /// Outcome of one DLACEP run over a stream prefix.
 #[derive(Debug, Clone)]
 pub struct DlacepReport {
-    /// Matches emitted by the CEP extractor on the filtered stream.
+    /// Matches emitted by the CEP extractor on the filtered stream (the
+    /// union across registered patterns, in emission order).
     pub matches: Vec<Match>,
+    /// Matches attributed to each registered pattern, in registration
+    /// order. For a single-pattern pipeline `per_pattern[0] == matches`.
+    pub per_pattern: Vec<Vec<Match>>,
     /// Events fed to the pipeline.
     pub events_total: usize,
     /// Distinct events relayed to the extractor after marking + dedup.
@@ -229,9 +250,14 @@ fn finish_pipeline_traces(
 }
 
 /// The DLACEP system: an input assembler, a filter, and a CEP extractor.
+///
+/// Natively multi-pattern: the registered [`PatternSet`] (one pattern for
+/// the classic surface) is compiled through the rewrite front-end into one
+/// shared plan ([`SharedPlan`]), so N patterns cost one stream scan, and
+/// matches are attributed back per pattern in [`DlacepReport::per_pattern`].
 pub struct Dlacep<F: Filter> {
-    pattern: Pattern,
-    plan: Plan,
+    patterns: PatternSet,
+    shared: SharedPlan,
     assembler: AssemblerConfig,
     filter: F,
     par: Parallelism,
@@ -248,29 +274,37 @@ impl<F: Filter> Dlacep<F> {
 
     /// Start a fluent builder — the one construction surface for every
     /// non-default option (assembler geometry, parallelism, obs registry).
+    /// Additional patterns register via
+    /// [`crate::builder::DlacepBuilder::patterns`].
     pub fn builder(pattern: Pattern, filter: F) -> crate::builder::DlacepBuilder<F> {
         crate::builder::DlacepBuilder::new(pattern, filter)
     }
 
+    /// Start a builder over a whole [`PatternSet`] — the multi-pattern
+    /// registration surface.
+    pub fn multi(patterns: PatternSet, filter: F) -> crate::builder::DlacepBuilder<F> {
+        crate::builder::DlacepBuilder::multi(patterns, filter)
+    }
+
     /// Shared construction path behind [`Dlacep::builder`]: validates the
-    /// assembler against the pattern's `W`, compiles the plan once (per-run
-    /// extractors are instantiated from it, so `run` cannot fail), resolves
-    /// obs handles, and builds the pool so its `pool.*` metrics land in the
-    /// same registry.
+    /// assembler against the set's `W`, compiles the shared plan once
+    /// (per-run extractors are instantiated from it, so `run` cannot fail),
+    /// resolves obs handles, and builds the pool so its `pool.*` metrics
+    /// land in the same registry.
     pub(crate) fn construct(
-        pattern: Pattern,
+        patterns: PatternSet,
         filter: F,
         assembler: AssemblerConfig,
         par: Parallelism,
         registry: Option<Arc<Registry>>,
     ) -> Result<Self, DlacepError> {
-        assembler.validate(pattern.window_size())?;
-        let plan = Plan::compile(&pattern)?;
+        assembler.validate(patterns.window().size())?;
+        let shared = patterns.compile()?;
         let obs = PipelineObs::new(registry.unwrap_or_else(dlacep_obs::global));
         let pool = par.build_pool_with_obs(&obs.registry);
         Ok(Self {
-            pattern,
-            plan,
+            patterns,
+            shared,
             assembler,
             filter,
             par,
@@ -289,14 +323,26 @@ impl<F: Filter> Dlacep<F> {
         &self.filter
     }
 
-    /// The pattern this pipeline extracts.
+    /// The first registered pattern — the whole set for single-pattern
+    /// pipelines (see [`Dlacep::patterns`] for all of them).
     pub fn pattern(&self) -> &Pattern {
-        &self.pattern
+        &self.patterns.patterns()[0]
     }
 
-    /// The compiled extractor plan.
+    /// The registered pattern set.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// The compiled extractor plan (the shared plan's fused branches).
     pub fn plan(&self) -> &Plan {
-        &self.plan
+        self.shared.plan()
+    }
+
+    /// The shared evaluation plan, including sharing statistics
+    /// ([`SharedPlan::report`]).
+    pub fn shared_plan(&self) -> &SharedPlan {
+        &self.shared
     }
 
     /// The assembler configuration.
@@ -351,7 +397,7 @@ impl<F: Filter> Dlacep<F> {
         self.record_filter_stage(windows_marked, filter_faults, filtered.len(), filter_time);
 
         let cep_start = Instant::now();
-        let mut extractor = NfaEngine::from_plan(self.plan.clone(), NfaConfig::default());
+        let mut extractor = NfaEngine::from_plan(self.shared.plan().clone(), NfaConfig::default());
         let matches = extractor.run(&filtered);
         let cep_time = cep_start.elapsed();
         let t_c1 = tracer.now_nanos();
@@ -414,8 +460,8 @@ impl<F: Filter> Dlacep<F> {
         let cep_start = Instant::now();
         let (matches, stats) = if filtered.len() >= 2 * self.par.shard_events {
             run_sharded_traced(
-                || NfaEngine::from_plan(self.plan.clone(), NfaConfig::default()),
-                self.plan.window,
+                || NfaEngine::from_plan(self.shared.plan().clone(), NfaConfig::default()),
+                self.shared.plan().window,
                 &filtered,
                 self.par.shard_events,
                 pool.as_ref(),
@@ -423,7 +469,8 @@ impl<F: Filter> Dlacep<F> {
                 &tracer,
             )
         } else {
-            let mut extractor = NfaEngine::from_plan(self.plan.clone(), NfaConfig::default());
+            let mut extractor =
+                NfaEngine::from_plan(self.shared.plan().clone(), NfaConfig::default());
             let matches = extractor.run(&filtered);
             (matches, *extractor.stats())
         };
@@ -497,8 +544,13 @@ impl<F: Filter> Dlacep<F> {
         filter_faults: usize,
         pool: Option<PoolStats>,
     ) -> DlacepReport {
+        // The engine emitted fused-plan matches (unit binding names);
+        // attribute them back to their source patterns with the original
+        // names restored.
+        let attributed = self.shared.attribute_all(&matches);
         DlacepReport {
-            matches,
+            matches: attributed.union,
+            per_pattern: attributed.per_pattern,
             events_total,
             events_relayed,
             filter_time,

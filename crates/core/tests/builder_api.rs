@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use dlacep_cep::{Pattern, PatternExpr, TypeSet};
+use dlacep_cep::{Match, Pattern, PatternExpr, PatternSet, TypeSet};
 use dlacep_core::runtime::{RuntimeConfig, StreamingDlacep};
 use dlacep_core::{
     AssemblerConfig, Dlacep, DriftConfig, ModelTrainer, OracleFilter, Parallelism,
@@ -177,6 +177,106 @@ fn retrain_config_without_trainer_is_rejected_at_build() {
         .expect("retrain config without trainer must be rejected");
     assert!(
         matches!(err, RuntimeError::Config(ref m) if m.contains("trainer")),
+        "got: {err:?}"
+    );
+}
+
+fn seq_bc(w: u64) -> Pattern {
+    Pattern::new(
+        PatternExpr::Seq(vec![
+            PatternExpr::event(TypeSet::single(B), "b"),
+            PatternExpr::event(TypeSet::single(TypeId(2)), "c"),
+        ]),
+        vec![],
+        WindowSpec::Count(w),
+    )
+}
+
+fn match_keys(ms: &[Match]) -> std::collections::BTreeSet<Vec<dlacep_events::EventId>> {
+    ms.iter().map(|m| m.event_ids.clone()).collect()
+}
+
+#[test]
+fn multi_per_pattern_attribution_agrees_with_independent_runs() {
+    let p1 = seq_ab(6);
+    let p2 = seq_bc(6);
+    let s = stream(200);
+
+    // A passthrough filter relays every window, so each run is exact CEP:
+    // the shared plan's per-pattern attribution must reproduce what each
+    // pattern finds when evaluated on its own.
+    let solo1 = Dlacep::new(p1.clone(), PassthroughFilter)
+        .unwrap()
+        .run(s.events());
+    let solo2 = Dlacep::new(p2.clone(), PassthroughFilter)
+        .unwrap()
+        .run(s.events());
+
+    let set = PatternSet::new(vec![p1, p2]).unwrap();
+    let multi = Dlacep::multi(set, PassthroughFilter)
+        .build()
+        .unwrap()
+        .run(s.events());
+
+    assert_eq!(multi.per_pattern.len(), 2);
+    assert!(
+        !solo1.matches.is_empty() && !solo2.matches.is_empty(),
+        "workload must exercise both patterns"
+    );
+    assert_eq!(
+        match_keys(&multi.per_pattern[0]),
+        match_keys(&solo1.matches)
+    );
+    assert_eq!(
+        match_keys(&multi.per_pattern[1]),
+        match_keys(&solo2.matches)
+    );
+    // The union report covers exactly the attributed matches.
+    let mut union = match_keys(&multi.per_pattern[0]);
+    union.extend(match_keys(&multi.per_pattern[1]));
+    assert_eq!(match_keys(&multi.matches), union);
+}
+
+#[test]
+fn single_pattern_report_attributes_everything_to_that_pattern() {
+    let p = seq_ab(6);
+    let report = Dlacep::new(p.clone(), OracleFilter::new(p))
+        .unwrap()
+        .run(stream(160).events());
+    assert_eq!(report.per_pattern.len(), 1);
+    assert_eq!(report.per_pattern[0], report.matches);
+}
+
+#[test]
+fn builder_patterns_appends_to_the_registered_set() {
+    let p1 = seq_ab(6);
+    let p2 = seq_bc(6);
+    let s = stream(200);
+
+    let via_append = Dlacep::builder(p1.clone(), PassthroughFilter)
+        .patterns([p2.clone()])
+        .build()
+        .unwrap()
+        .run(s.events());
+    let via_set = Dlacep::multi(PatternSet::new(vec![p1, p2]).unwrap(), PassthroughFilter)
+        .build()
+        .unwrap()
+        .run(s.events());
+
+    assert_eq!(via_append.matches, via_set.matches);
+    assert_eq!(via_append.per_pattern, via_set.per_pattern);
+}
+
+#[test]
+fn streaming_build_rejects_extra_patterns() {
+    let err = Dlacep::builder(seq_ab(6), PassthroughFilter)
+        .patterns([seq_bc(6)])
+        .streaming()
+        .build()
+        .err()
+        .expect("streaming runtime must reject multi-pattern sets");
+    assert!(
+        matches!(err, RuntimeError::Config(ref m) if m.contains("extra pattern")),
         "got: {err:?}"
     );
 }

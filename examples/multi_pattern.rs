@@ -4,13 +4,18 @@
 //! finds a composite disjunction can even beat the average of evaluating the
 //! patterns separately (§5.2, Fig. 9g).
 //!
+//! This example registers the patterns as a [`PatternSet`]: the set compiles
+//! to one fused shared plan that scans each window once, and matches are
+//! attributed back to the pattern that produced them.
+//!
 //! ```bash
 //! cargo run --release --example multi_pattern
 //! ```
 
-use dlacep::cep::{Expr, Pattern, PatternExpr, Predicate, TypeSet};
+use dlacep::cep::{Expr, Pattern, PatternExpr, PatternSet, Predicate, TypeSet};
 use dlacep::core::prelude::*;
-use dlacep::core::trainer::train_event_filter;
+use dlacep::core::train_multi_pattern;
+use dlacep::data::label::ground_truth_matches;
 use dlacep::events::{EventStream, TypeId, WindowSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,41 +49,62 @@ fn main() {
     let p1 = seq2(0, 1, 6); // type 0 then type 1, rising attribute
     let p2 = seq2(2, 3, 6); // type 2 then type 3, rising attribute
 
-    // Unify them into one disjunction; binding namespaces are kept disjoint
-    // automatically.
-    let combined = Pattern::disjunction_of(&[p1.clone(), p2.clone()]);
+    // Register them as a first-class pattern set. The compiler normalizes
+    // each pattern, dedups structurally identical branches, and fuses the
+    // rest into one plan evaluated in a single pass per window.
+    let set = PatternSet::new(vec![p1.clone(), p2.clone()]).expect("patterns share a window");
+    let shared = set.compile().expect("pattern set compiles");
+    let sr = shared.report();
+    println!(
+        "pattern set: {} patterns, {} branches -> {} fused units ({} merged, {} shared prefix steps)",
+        sr.patterns, sr.branches_total, sr.units, sr.branches_merged, sr.shared_prefix_steps
+    );
 
     let history = stream(14_000, 5);
     let live = stream(7_000, 6);
 
-    println!("training one network for the combined DISJ(p1, p2) pattern...");
-    let trained = train_event_filter(&combined, &history, &TrainConfig::quick());
+    // One network for the whole set: labels are OR-ed across patterns (§4.3).
+    println!("\ntraining one network for the pattern set...");
+    let trained = train_multi_pattern(set.patterns(), &history, &TrainConfig::quick())
+        .expect("pattern set is valid");
     println!(
         "  {} epochs, test F1 = {:.3}",
         trained.report.epochs_run,
         trained.test.f1()
     );
-    let dlacep = Dlacep::new(combined.clone(), trained.filter).unwrap();
-    let combined_report = compare(&combined, live.events(), &dlacep);
 
-    println!("\ncombined evaluation over {} events:", live.len());
+    // Filter once, scan once with the fused automaton, attribute per pattern.
+    let report = trained.system.run(live.events());
     println!(
-        "  matches {} / {} (recall {:.3}), gain {:.2}x",
-        combined_report.acep_matches,
-        combined_report.ecep_matches,
-        combined_report.recall,
-        combined_report.throughput_gain
+        "\nshared evaluation over {} events ({} relayed to the extractor):",
+        report.events_total, report.events_relayed
     );
-
-    // For comparison: each pattern evaluated separately with its own network.
-    for (name, p) in [("p1", &p1), ("p2", &p2)] {
-        let t = train_event_filter(p, &history, &TrainConfig::quick());
-        let dl = Dlacep::new(p.clone(), t.filter).unwrap();
-        let r = compare(p, live.events(), &dl);
+    for (i, (p, found)) in [&p1, &p2].iter().zip(&report.matches).enumerate() {
+        let truth = ground_truth_matches(p, live.events());
+        let keys: std::collections::BTreeSet<_> =
+            truth.iter().map(|m| m.event_ids.clone()).collect();
+        let hit = found.iter().filter(|m| keys.contains(&m.event_ids)).count();
         println!(
-            "  {name} separate: matches {} / {} (recall {:.3}), gain {:.2}x",
-            r.acep_matches, r.ecep_matches, r.recall, r.throughput_gain
+            "  p{} matches {} / {} (recall {:.3})",
+            i + 1,
+            hit,
+            truth.len(),
+            hit as f64 / truth.len().max(1) as f64
         );
     }
-    println!("\n(one model, one pass over the stream — vs two of each when separate)");
+
+    // The batch pipeline accepts the same set: Dlacep::multi gives a report
+    // with the union match set plus per-pattern attribution.
+    let oracle = Pattern::disjunction_of(&[p1.clone(), p2.clone()]).expect("one shared window");
+    let dl = Dlacep::multi(set, OracleFilter::new(oracle))
+        .build()
+        .unwrap();
+    let r = dl.run(live.events());
+    println!(
+        "\nDlacep::multi (oracle filter): {} union matches = {} (p1) + {} (p2)",
+        r.matches.len(),
+        r.per_pattern[0].len(),
+        r.per_pattern[1].len()
+    );
+    println!("(one model, one scan of the stream — vs one of each per pattern when separate)");
 }

@@ -53,7 +53,7 @@ pub use dlacep_serve as serve;
 /// # let _ = dlacep;
 /// ```
 pub mod prelude {
-    pub use dlacep_cep::{Pattern, PatternExpr, TypeSet};
+    pub use dlacep_cep::{Pattern, PatternError, PatternExpr, PatternSet, TypeSet};
     pub use dlacep_core::prelude::*;
     pub use dlacep_events::{EventStream, OutOfOrderPolicy, PrimitiveEvent, TypeId, WindowSpec};
 }
